@@ -1,0 +1,35 @@
+//! Ablation — mask-table storage with and without d²-coalescing (§4.5).
+//!
+//! The paper observes that logical instructions operate at a granularity
+//! of d² physical qubits, so the mask table can hold one bit per region
+//! instead of one per qubit, shrinking its storage N → N/d².
+
+use quest_bench::{header, row, sci};
+use quest_core::MaskTable;
+
+fn main() {
+    header(
+        "Ablation: mask-table storage, per-qubit vs. d^2-coalesced",
+        "coalescing shrinks mask storage from N bits to N/d^2 bits",
+    );
+    row(&["qubits", "distance", "per-qubit bits", "coalesced bits", "saving"]);
+    for (n, d) in [
+        (10_000usize, 5usize),
+        (100_000, 7),
+        (1_000_000, 11),
+        (10_000_000, 15),
+    ] {
+        let per_qubit = MaskTable::per_qubit(n).storage_bits();
+        let coalesced = MaskTable::coalesced(n, d * d).storage_bits();
+        row(&[
+            &sci(n as f64),
+            &d.to_string(),
+            &sci(per_qubit as f64),
+            &sci(coalesced as f64),
+            &format!("{:.0}x", per_qubit as f64 / coalesced as f64),
+        ]);
+        assert!(per_qubit as f64 / coalesced as f64 >= (d * d) as f64 * 0.99);
+    }
+    println!();
+    println!("check: saving equals d^2 for every configuration");
+}

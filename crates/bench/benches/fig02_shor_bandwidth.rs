@@ -1,0 +1,46 @@
+//! Figure 2 — baseline instruction bandwidth for Shor's algorithm as the
+//! modulus (and hence the qubit count) scales from 128 to 1024 bits.
+//!
+//! Paper: "factoring a 1024 bit number requires an extremely high
+//! instruction bandwidth (100 TB/s) as it requires millions of qubits."
+
+use quest_bench::{bandwidth, header, row, sci};
+use quest_estimate::ShorEstimate;
+
+fn main() {
+    header(
+        "Figure 2: instruction bandwidth vs. number of qubits (SHOR 128–1024 bit)",
+        "bandwidth grows linearly with qubits; ~100 TB/s and millions of qubits at 1024 bits",
+    );
+    row(&[
+        "modulus bits",
+        "code distance",
+        "logical qubits",
+        "T factories",
+        "physical qubits",
+        "baseline BW",
+    ]);
+    for n in [128u32, 192, 256, 384, 512, 768, 1024] {
+        let s = ShorEstimate::new(n, 1e-4);
+        row(&[
+            &n.to_string(),
+            &s.distance.to_string(),
+            &format!("{:.0}", s.logical_qubits),
+            &format!("{:.0}", s.factories),
+            &sci(s.physical_qubits),
+            &bandwidth(s.baseline_bandwidth()),
+        ]);
+    }
+    let s1024 = ShorEstimate::new(1024, 1e-4);
+    println!();
+    println!(
+        "check: 1024-bit instance needs {} physical qubits (paper: \"millions\") and {} (paper: ~100 TB/s)",
+        sci(s1024.physical_qubits),
+        bandwidth(s1024.baseline_bandwidth()),
+    );
+    assert!(s1024.physical_qubits >= 1e6, "fewer than a million qubits");
+    assert!(
+        s1024.baseline_bandwidth() >= 5e13,
+        "bandwidth not in the 100 TB/s regime"
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 10 — microcode memory capacity required vs. qubits serviced for
+//! the three microcode designs.
+//!
+//! Paper: RAM scales O(N·log₂N), FIFO scales O(N) (3–4× better), and the
+//! unit-cell design is O(1).
+
+use quest_bench::{header, row, sci};
+use quest_core::microcode::MicrocodeDesign;
+use quest_surface::SyndromeDesign;
+
+fn main() {
+    header(
+        "Figure 10: microcode capacity vs. qubits serviced",
+        "RAM O(N log N), FIFO O(N) (3–4x better), unit-cell O(1)",
+    );
+    let steane = SyndromeDesign::STEANE;
+    let opcode_bits = 4.0;
+    row(&["qubits", "RAM (bits)", "FIFO (bits)", "unit-cell (bits)", "RAM/FIFO"]);
+    for n in [16usize, 64, 256, 1024, 4096, 16384, 65536] {
+        let ram = MicrocodeDesign::Ram.capacity_bits(n, &steane, opcode_bits);
+        let fifo = MicrocodeDesign::Fifo.capacity_bits(n, &steane, opcode_bits);
+        let uc = MicrocodeDesign::UnitCell.capacity_bits(n, &steane, opcode_bits);
+        row(&[
+            &n.to_string(),
+            &sci(ram),
+            &sci(fifo),
+            &sci(uc),
+            &format!("{:.2}", ram / fifo),
+        ]);
+    }
+    // Shape checks.
+    let uc_small = MicrocodeDesign::UnitCell.capacity_bits(16, &steane, opcode_bits);
+    let uc_large = MicrocodeDesign::UnitCell.capacity_bits(65536, &steane, opcode_bits);
+    assert_eq!(uc_small, uc_large, "unit-cell capacity must be O(1)");
+    let ratio_64k = MicrocodeDesign::Ram.capacity_bits(65536, &steane, opcode_bits)
+        / MicrocodeDesign::Fifo.capacity_bits(65536, &steane, opcode_bits);
+    println!();
+    println!(
+        "check: unit-cell capacity constant at {uc_small} bits; RAM/FIFO ratio reaches {ratio_64k:.1} (paper: 3–4x)"
+    );
+    assert!((3.0..=6.0).contains(&ratio_64k));
+}

@@ -1,0 +1,52 @@
+//! Figure 11 — qubits serviced per MCE for the RAM / FIFO / unit-cell
+//! microcode designs at a fixed 4 Kb memory, for 1/2/4-channel
+//! configurations.
+//!
+//! Paper anchors: a 4 Kb RAM holds ~48 qubits of QECC instructions; the
+//! FIFO design reaches ~120; the unit-cell design becomes
+//! bandwidth-limited and gains super-linearly from channels (4 channels =
+//! 6x the 1-channel bandwidth).
+
+use quest_bench::{header, row};
+use quest_core::microcode::MicrocodeDesign;
+use quest_core::throughput::figure11_point;
+use quest_core::TechnologyParams;
+
+fn main() {
+    header(
+        "Figure 11: qubits serviced per MCE (fixed 4 Kb microcode memory)",
+        "RAM ~48, FIFO ~120 (capacity-bound, channel-insensitive); unit-cell scales super-linearly with channels",
+    );
+    let tech = TechnologyParams::PROJECTED_F;
+    row(&["design", "1-channel", "2-channel", "4-channel"]);
+    let mut results = std::collections::HashMap::new();
+    for design in MicrocodeDesign::ALL {
+        let pts: Vec<usize> = [1usize, 2, 4]
+            .into_iter()
+            .map(|ch| figure11_point(design, ch, &tech))
+            .collect();
+        row(&[
+            &design.to_string(),
+            &pts[0].to_string(),
+            &pts[1].to_string(),
+            &pts[2].to_string(),
+        ]);
+        results.insert(format!("{design}"), pts);
+    }
+    println!();
+    let ram = &results["RAM"];
+    let fifo = &results["FIFO"];
+    let uc = &results["Unit-cell"];
+    println!(
+        "check: RAM {} (paper ~48), FIFO {} (paper ~120), unit-cell 4ch/1ch = {:.1}x (paper 6x)",
+        ram[0],
+        fifo[0],
+        uc[2] as f64 / uc[0] as f64
+    );
+    assert!((40..=55).contains(&ram[0]));
+    assert!((100..=130).contains(&fifo[0]));
+    assert_eq!(ram[0], ram[2], "RAM must be channel-insensitive");
+    assert_eq!(fifo[0], fifo[2], "FIFO must be channel-insensitive");
+    let gain = uc[2] as f64 / uc[0] as f64;
+    assert!((5.0..7.0).contains(&gain), "super-linear gain {gain}");
+}

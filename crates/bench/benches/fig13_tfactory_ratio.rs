@@ -1,0 +1,51 @@
+//! Figure 13 — ratio of T-factory (magic-state distillation) logical
+//! instructions to the workload's algorithmic logical instructions.
+//!
+//! Paper: T gates are 25–30% of the stream, each needing a distilled
+//! magic state; distillation kernels dominate the logical instruction
+//! stream, which is why caching them buys ~3 more orders of magnitude.
+
+use quest_bench::{header, row, sci};
+use quest_estimate::analyze_suite;
+
+fn main() {
+    header(
+        "Figure 13: T-factory to algorithmic instruction ratio per workload",
+        "distillation dominates the logical stream (ratios of ~10^1.5–10^3)",
+    );
+    row(&[
+        "workload",
+        "T fraction",
+        "distill levels",
+        "factories",
+        "instrs/state",
+        "ratio",
+    ]);
+    for e in analyze_suite(1e-4) {
+        row(&[
+            e.workload.name,
+            &format!("{:.2}", e.workload.t_fraction),
+            &e.distillation.levels.to_string(),
+            &format!("{:.0}", e.distillation.factories),
+            &format!("{:.0}", e.distillation.instrs_per_state),
+            &sci(e.t_factory_ratio()),
+        ]);
+    }
+    println!();
+    let suite = analyze_suite(1e-4);
+    let max = suite
+        .iter()
+        .map(|e| e.t_factory_ratio())
+        .fold(0.0f64, f64::max);
+    let min = suite
+        .iter()
+        .map(|e| e.t_factory_ratio())
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "check: every workload's logical stream is dominated by distillation \
+         (ratios {:.0}–{:.0}; two-level workloads ≈ 720, matching the ~10^3 cache gain of §5.3)",
+        min, max
+    );
+    assert!(min >= 10.0, "distillation must dominate");
+    assert!(max >= 500.0, "two-level workloads must reach ~10^3");
+}

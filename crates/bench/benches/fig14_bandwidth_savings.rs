@@ -1,0 +1,53 @@
+//! Figure 14 — global instruction-bandwidth savings of QuEST over the
+//! software-managed baseline, per workload, with and without the logical
+//! instruction cache.
+//!
+//! Paper: hardware-managed QECC in the MCEs reduces bandwidth by at least
+//! five orders of magnitude; adding the logical instruction cache another
+//! three; overall almost eight orders.
+
+use quest_bench::{bandwidth, header, orders, row};
+use quest_estimate::analyze_suite;
+
+fn main() {
+    header(
+        "Figure 14: global bandwidth savings with QuEST (Projected_D, Steane syndrome)",
+        "MCE alone ≥10^5x, MCE + logical cache ≈10^8x",
+    );
+    row(&[
+        "workload",
+        "baseline",
+        "QuEST(MCE)",
+        "QuEST+cache",
+        "MCE savings",
+        "total savings",
+    ]);
+    let suite = analyze_suite(1e-4);
+    for e in &suite {
+        row(&[
+            e.workload.name,
+            &bandwidth(e.baseline),
+            &bandwidth(e.quest_mce),
+            &bandwidth(e.quest_cached),
+            &format!("10^{:.1}", orders(e.mce_savings())),
+            &format!("10^{:.1}", orders(e.cached_savings())),
+        ]);
+    }
+    println!();
+    let min_mce = suite
+        .iter()
+        .map(|e| e.mce_savings())
+        .fold(f64::INFINITY, f64::min);
+    let mean_total = suite
+        .iter()
+        .map(|e| orders(e.cached_savings()))
+        .sum::<f64>()
+        / suite.len() as f64;
+    println!(
+        "check: minimum MCE-only savings 10^{:.1} (paper: ≥10^5); mean total savings 10^{:.1} (paper: ≈10^8)",
+        orders(min_mce),
+        mean_total
+    );
+    assert!(min_mce >= 1e5, "MCE savings below five orders");
+    assert!((7.0..9.5).contains(&mean_total), "total savings off-shape");
+}

@@ -1,0 +1,58 @@
+//! Figure 15 — sensitivity of the bandwidth savings to the physical qubit
+//! error rate.
+//!
+//! Paper: a reduced error rate lowers the physical-qubit count (smaller
+//! code distance), shrinking the baseline bandwidth and hence the savings
+//! from hardware-managed QECC, while the magic-state-distillation
+//! overhead stays roughly constant (factory count scales sub-linearly in
+//! the error rate).
+
+use quest_bench::{header, orders, row, sci};
+use quest_core::TechnologyParams;
+use quest_estimate::{BandwidthEstimate, Workload};
+use quest_surface::SyndromeDesign;
+
+fn main() {
+    header(
+        "Figure 15: bandwidth savings vs. physical error rate",
+        "savings shrink as the error rate improves; distillation overhead ~constant",
+    );
+    row(&[
+        "workload",
+        "error rate",
+        "distance",
+        "phys qubits",
+        "MCE savings",
+        "total savings",
+        "T-factory ratio",
+    ]);
+    let tech = TechnologyParams::PROJECTED_D;
+    let syn = SyndromeDesign::STEANE;
+    let mut per_workload: Vec<Vec<f64>> = Vec::new();
+    for w in &Workload::ALL {
+        let mut series = Vec::new();
+        for p in [1e-3, 1e-4, 1e-5] {
+            let e = BandwidthEstimate::analyze(w, p, &tech, &syn);
+            row(&[
+                w.name,
+                &sci(p),
+                &e.distance.to_string(),
+                &sci(e.physical_qubits),
+                &format!("10^{:.1}", orders(e.mce_savings())),
+                &format!("10^{:.1}", orders(e.cached_savings())),
+                &format!("{:.0}", e.t_factory_ratio()),
+            ]);
+            series.push(e.mce_savings());
+        }
+        per_workload.push(series);
+    }
+    println!();
+    println!("check: savings strictly decrease as the error rate improves, for every workload");
+    for (w, series) in Workload::ALL.iter().zip(&per_workload) {
+        assert!(
+            series[0] > series[1] && series[1] > series[2],
+            "{}: {series:?}",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 16 — MCE throughput (qubits serviced per MCE) for three qubit
+//! technologies and four syndrome designs, each at its optimal microcode
+//! configuration.
+//!
+//! Paper: technology parameters and syndrome design significantly affect
+//! MCE throughput; slower qubits leave more time per instruction slot to
+//! stream µops, so Experimental_S services the most qubits per MCE; the
+//! compact SC-17 design sustains the most qubits at any technology.
+
+use quest_bench::{header, row};
+use quest_core::throughput::figure16_point;
+use quest_core::TechnologyParams;
+use quest_surface::SyndromeDesign;
+
+fn main() {
+    header(
+        "Figure 16: qubits serviced per MCE (technology x syndrome design)",
+        "throughput ordered Experimental_S > Projected_F > Projected_D; SC-17 highest per technology",
+    );
+    // Also print Table 1 (the input technology parameters) for reference.
+    println!("Table 1 (inputs):");
+    row(&["parameter set", "t_prep", "t_single", "t_meas", "t_cnot", "T_ecc"]);
+    for t in TechnologyParams::ALL {
+        row(&[
+            t.name,
+            &format!("{:.0} ns", t.t_prep * 1e9),
+            &format!("{:.0} ns", t.t_single * 1e9),
+            &format!("{:.0} ns", t.t_meas * 1e9),
+            &format!("{:.0} ns", t.t_cnot * 1e9),
+            &format!("{:.0} ns", t.t_ecc_round * 1e9),
+        ]);
+    }
+    println!();
+    row(&["syndrome", "Experimental_S", "Projected_F", "Projected_D"]);
+    for design in &SyndromeDesign::ALL {
+        let pts: Vec<usize> = TechnologyParams::ALL
+            .iter()
+            .map(|t| figure16_point(design, t))
+            .collect();
+        row(&[
+            design.name,
+            &pts[0].to_string(),
+            &pts[1].to_string(),
+            &pts[2].to_string(),
+        ]);
+        assert!(
+            pts[0] > pts[1] && pts[1] > pts[2],
+            "{}: throughput must fall with faster qubits: {pts:?}",
+            design.name
+        );
+    }
+    println!();
+    // SC-17 dominates at every technology.
+    for t in &TechnologyParams::ALL {
+        let sc17 = figure16_point(&SyndromeDesign::SC17, t);
+        for d in &SyndromeDesign::ALL {
+            assert!(
+                figure16_point(d, t) <= sc17,
+                "{} beats SC-17 at {}",
+                d.name,
+                t.name
+            );
+        }
+    }
+    println!("check: SC-17 services the most qubits per MCE at every technology point");
+}

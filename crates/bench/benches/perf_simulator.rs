@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the substrate itself: stabilizer
+//! simulation throughput, decoder latency, and the MCE replay loop.
+//!
+//! These are genuine performance benchmarks (the figure benches above are
+//! reproduction harnesses); they track the cost of the building blocks a
+//! downstream user would scale up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quest_core::Mce;
+use quest_stabilizer::{SeedableRng, StdRng, Tableau};
+use quest_surface::decoder::Decoder;
+use quest_surface::{
+    DecodingGraph, MemoryBasis, MemoryExperiment, MemoryNoise, RotatedLattice, StabKind,
+    SyndromeCircuit, UnionFindDecoder,
+};
+
+fn bench_tableau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau");
+    for n in [25usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::new("cnot_layer", n), &n, |b, &n| {
+            let mut t = Tableau::new(n);
+            b.iter(|| {
+                for q in 0..n / 2 {
+                    t.cnot(q, n / 2 + q);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("measure_all", n), &n, |b, &n| {
+            let mut t = Tableau::new(n);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                for q in 0..n {
+                    t.h(q);
+                    t.measure(q, &mut rng);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_syndrome_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("syndrome_round");
+    for d in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let lat = RotatedLattice::new(d);
+            let sc = SyndromeCircuit::new(&lat);
+            let mut t = Tableau::new(lat.num_qubits());
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| sc.run_round(&mut t, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_find_decode");
+    for d in [5usize, 7, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let lat = RotatedLattice::new(d);
+            let g = DecodingGraph::new(&lat, StabKind::Z, d);
+            // A fixed random-ish event set.
+            let events: Vec<usize> = (0..g.boundary()).step_by(7).take(8).collect();
+            let dec = UnionFindDecoder::new();
+            b.iter(|| dec.decode(&g, &events));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mce_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mce_qecc_cycle");
+    for d in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let lat = RotatedLattice::new(d);
+            let mut mce = Mce::new(&lat, 4096);
+            let mut t = Tableau::new(lat.num_qubits());
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| mce.run_qecc_cycle(&mut t, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_memory_shot(c: &mut Criterion) {
+    c.bench_function("memory_experiment_d3_shot", |b| {
+        let exp = MemoryExperiment::new(3, 3, MemoryBasis::Z);
+        let noise = MemoryNoise::phenomenological(1e-3);
+        let dec = UnionFindDecoder::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| exp.run(&noise, &dec, &mut rng));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tableau,
+    bench_syndrome_round,
+    bench_union_find,
+    bench_mce_cycle,
+    bench_memory_shot
+);
+criterion_main!(benches);

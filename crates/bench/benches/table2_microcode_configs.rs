@@ -1,0 +1,45 @@
+//! Table 2 — optimal microcode configuration per syndrome design, with JJ
+//! count and power dissipation.
+//!
+//! Paper's rows: Steane (148 µops) → 4-channel 1 Kb x 4, 170,048 JJs,
+//! 2.1 µW; Shor (300) → 2-channel, 168,264 JJs, 1.1 µW; SC-17 (136) →
+//! 8-channel, 163,472 JJs, 5.6 µW; SC-13 (147) → 4-channel, 170,048 JJs,
+//! 2.1 µW.
+
+use quest_bench::{header, row};
+use quest_core::throughput::table2;
+use quest_core::TechnologyParams;
+
+fn main() {
+    header(
+        "Table 2: QECC microcode design (optimal configuration per syndrome)",
+        "Steane→4ch, Shor→2ch, SC-17→8ch, SC-13→4ch with the JJ counts and power of the paper",
+    );
+    row(&[
+        "syndrome",
+        "instructions",
+        "optimal config",
+        "JJs",
+        "power",
+        "qubits/MCE",
+    ]);
+    let rows = table2(&TechnologyParams::PROJECTED_F);
+    for r in &rows {
+        row(&[
+            r.design.name,
+            &r.design.microcode_uops.to_string(),
+            &r.config.to_string(),
+            &r.jj_count.to_string(),
+            &format!("{:.1} uW", r.power_w * 1e6),
+            &r.qubits_serviced.to_string(),
+        ]);
+    }
+    println!();
+    let channels: Vec<usize> = rows.iter().map(|r| r.config.channels()).collect();
+    let jjs: Vec<u64> = rows.iter().map(|r| r.jj_count).collect();
+    println!(
+        "check: channel assignment {channels:?} (paper: [4, 2, 8, 4]); JJ counts {jjs:?}"
+    );
+    assert_eq!(channels, vec![4, 2, 8, 4]);
+    assert_eq!(jjs, vec![170_048, 168_264, 163_472, 170_048]);
+}

@@ -1,0 +1,63 @@
+//! Shared helpers for the figure/table regeneration benches.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of
+//! the paper and prints the rows/series in a uniform format so
+//! `cargo bench --workspace` produces a complete reproduction report.
+
+/// Formats a value in scientific notation (`1.23e6`).
+pub fn sci(v: f64) -> String {
+    format!("{v:.2e}")
+}
+
+/// Formats bytes/second with an SI unit.
+pub fn bandwidth(v: f64) -> String {
+    const UNITS: [(&str, f64); 5] = [
+        ("PB/s", 1e15),
+        ("TB/s", 1e12),
+        ("GB/s", 1e9),
+        ("MB/s", 1e6),
+        ("KB/s", 1e3),
+    ];
+    for (unit, scale) in UNITS {
+        if v >= scale {
+            return format!("{:.2} {unit}", v / scale);
+        }
+    }
+    format!("{v:.1} B/s")
+}
+
+/// Prints a bench header naming the figure/table being regenerated.
+pub fn header(experiment: &str, claim: &str) {
+    println!();
+    println!("==== {experiment} ====");
+    println!("paper claim: {claim}");
+    println!();
+}
+
+/// Prints one aligned row of label/value columns.
+pub fn row(cols: &[&str]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>18}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Order-of-magnitude (base-10 log) of a positive value.
+pub fn orders(v: f64) -> f64 {
+    v.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_units() {
+        assert_eq!(bandwidth(1.5e13), "15.00 TB/s");
+        assert_eq!(bandwidth(2e8), "200.00 MB/s");
+        assert_eq!(bandwidth(10.0), "10.0 B/s");
+    }
+
+    #[test]
+    fn orders_of_magnitude() {
+        assert!((orders(1e8) - 8.0).abs() < 1e-12);
+    }
+}

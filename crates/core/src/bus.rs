@@ -1,0 +1,146 @@
+//! Global-bus byte accounting.
+//!
+//! The global bus between the master controller and the MCEs carries
+//! logical instructions downstream and error-syndrome data upstream
+//! (§4.2). The entire point of QuEST is what does *not* travel on this
+//! bus: QECC µops. [`BusCounters`] tallies traffic by class so experiments
+//! can report baseline-vs-QuEST bandwidth directly from the simulation.
+
+use std::fmt;
+
+/// Traffic classes tallied on the global bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Traffic {
+    /// Physical QECC instructions (baseline design only).
+    QeccInstructions,
+    /// Physical instructions expanded from logical ops (baseline only).
+    PhysicalLogical,
+    /// Logical instructions dispatched to MCEs.
+    LogicalInstructions,
+    /// Magic-state-distillation logical instructions.
+    Distillation,
+    /// Syndrome data escalated to the global decoder.
+    Syndrome,
+    /// Synchronization tokens.
+    Sync,
+    /// Instruction-cache fill traffic.
+    CacheFill,
+}
+
+impl Traffic {
+    /// All classes, display order.
+    pub const ALL: [Traffic; 7] = [
+        Traffic::QeccInstructions,
+        Traffic::PhysicalLogical,
+        Traffic::LogicalInstructions,
+        Traffic::Distillation,
+        Traffic::Syndrome,
+        Traffic::Sync,
+        Traffic::CacheFill,
+    ];
+}
+
+impl fmt::Display for Traffic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Traffic::QeccInstructions => "qecc-instructions",
+            Traffic::PhysicalLogical => "physical-logical",
+            Traffic::LogicalInstructions => "logical-instructions",
+            Traffic::Distillation => "distillation",
+            Traffic::Syndrome => "syndrome",
+            Traffic::Sync => "sync",
+            Traffic::CacheFill => "cache-fill",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Byte counters per traffic class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusCounters {
+    counts: [u64; 7],
+}
+
+impl BusCounters {
+    /// Fresh, zeroed counters.
+    pub fn new() -> BusCounters {
+        BusCounters::default()
+    }
+
+    fn idx(class: Traffic) -> usize {
+        Traffic::ALL
+            .iter()
+            .position(|&t| t == class)
+            .expect("class is in ALL")
+    }
+
+    /// Records `bytes` of traffic in `class`.
+    pub fn record(&mut self, class: Traffic, bytes: u64) {
+        self.counts[Self::idx(class)] += bytes;
+    }
+
+    /// Bytes recorded for one class.
+    pub fn bytes(&self, class: Traffic) -> u64 {
+        self.counts[Self::idx(class)]
+    }
+
+    /// Total bytes across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total excluding the baseline-only classes — the bytes a QuEST bus
+    /// actually carries.
+    pub fn quest_total(&self) -> u64 {
+        self.total()
+            - self.bytes(Traffic::QeccInstructions)
+            - self.bytes(Traffic::PhysicalLogical)
+    }
+}
+
+impl fmt::Display for BusCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for class in Traffic::ALL {
+            let b = self.bytes(class);
+            if b > 0 {
+                writeln!(f, "{class:>22}: {b} B")?;
+            }
+        }
+        write!(f, "{:>22}: {} B", "total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut c = BusCounters::new();
+        c.record(Traffic::Syndrome, 10);
+        c.record(Traffic::Syndrome, 5);
+        c.record(Traffic::Sync, 2);
+        assert_eq!(c.bytes(Traffic::Syndrome), 15);
+        assert_eq!(c.bytes(Traffic::Sync), 2);
+        assert_eq!(c.total(), 17);
+    }
+
+    #[test]
+    fn quest_total_excludes_baseline_classes() {
+        let mut c = BusCounters::new();
+        c.record(Traffic::QeccInstructions, 1_000_000);
+        c.record(Traffic::PhysicalLogical, 500);
+        c.record(Traffic::LogicalInstructions, 20);
+        assert_eq!(c.quest_total(), 20);
+        assert_eq!(c.total(), 1_000_520);
+    }
+
+    #[test]
+    fn display_includes_total() {
+        let mut c = BusCounters::new();
+        c.record(Traffic::CacheFill, 7);
+        let s = c.to_string();
+        assert!(s.contains("cache-fill"));
+        assert!(s.contains("total"));
+    }
+}

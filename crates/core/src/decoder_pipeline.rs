@@ -1,0 +1,323 @@
+//! MCE error-decoder pipeline: the local half of the two-level decoding
+//! scheme (§4.2).
+//!
+//! Each MCE collects the syndrome measurements its execution unit
+//! produces, converts them to detection events, and runs a *local* lookup
+//! decode that resolves isolated single-qubit errors immediately
+//! (accumulating the correction into a Pauli frame — Appendix A.2: errors
+//! are logged and corrected before measurement, not by executing extra
+//! quantum instructions). Anything the lookup table cannot explain is
+//! escalated to the master controller's global decoder, costing upstream
+//! syndrome bandwidth.
+
+use quest_surface::decoder::Correction;
+use quest_surface::{DecodingGraph, LutDecoder, NodeId, RotatedLattice, StabKind};
+use std::collections::BTreeSet;
+
+/// Statistics for the local decode stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Rounds whose events were fully resolved locally.
+    pub local_hits: u64,
+    /// Rounds escalated to the global decoder.
+    pub escalations: u64,
+    /// Rounds with no detection events at all.
+    pub quiet_rounds: u64,
+    /// Data-qubit corrections applied to the Pauli frame locally.
+    pub local_corrections: u64,
+}
+
+/// A round of detection events escalated to the master controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Escalation {
+    /// Round index (monotonically increasing since reset).
+    pub round: usize,
+    /// Detection events in the single-round graph's node numbering.
+    pub events: Vec<NodeId>,
+}
+
+/// How the first syndrome round after (re)initialization is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reference {
+    /// The prepared state is a known +1 eigenstate of every check of this
+    /// type (e.g. Z checks after `|0…0⟩`): the reference is all-zero and
+    /// the first round already carries detection events.
+    Deterministic,
+    /// The checks of this type are randomly projected by the first round
+    /// (e.g. X checks after `|0…0⟩`): the first round *establishes* the
+    /// reference and produces no events.
+    FirstRound,
+}
+
+/// The per-MCE decoder pipeline for one stabilizer type.
+#[derive(Debug, Clone)]
+pub struct DecoderPipeline {
+    kind: StabKind,
+    /// Single-round decoding graph driving the LUT.
+    graph: DecodingGraph,
+    lut: LutDecoder,
+    /// Previous round's syndrome bits (for detection-event differencing);
+    /// `None` while waiting for a first-round reference.
+    previous: Option<Vec<bool>>,
+    /// Accumulated Pauli-frame flips on data qubits.
+    frame: BTreeSet<usize>,
+    round: usize,
+    stats: DecodeStats,
+    escalations: Vec<Escalation>,
+}
+
+impl DecoderPipeline {
+    /// Builds the pipeline for checks of `kind` on `lattice`, assuming a
+    /// `|0…0⟩`-booted substrate: Z checks start deterministic, X checks
+    /// take their reference from the first projective round.
+    pub fn new(lattice: &RotatedLattice, kind: StabKind) -> DecoderPipeline {
+        let reference = match kind {
+            StabKind::Z => Reference::Deterministic,
+            StabKind::X => Reference::FirstRound,
+        };
+        DecoderPipeline::with_reference(lattice, kind, reference)
+    }
+
+    /// Builds the pipeline with an explicit first-round interpretation.
+    pub fn with_reference(
+        lattice: &RotatedLattice,
+        kind: StabKind,
+        reference: Reference,
+    ) -> DecoderPipeline {
+        let graph = DecodingGraph::new(lattice, kind, 1);
+        let lut = LutDecoder::new(&graph);
+        let previous = match reference {
+            Reference::Deterministic => Some(vec![false; graph.num_checks()]),
+            Reference::FirstRound => None,
+        };
+        DecoderPipeline {
+            kind,
+            graph,
+            lut,
+            previous,
+            frame: BTreeSet::new(),
+            round: 0,
+            stats: DecodeStats::default(),
+            escalations: Vec::new(),
+        }
+    }
+
+    /// The current syndrome reference (last round's bits), or `None`
+    /// before the first projective round.
+    pub fn reference_bits(&self) -> Option<&[bool]> {
+        self.previous.as_deref()
+    }
+
+    /// XORs another tile's syndrome values into this pipeline's reference.
+    ///
+    /// A transversal CNOT conjugates the target tile's Z checks into the
+    /// product of both tiles' Z checks (and the control's X checks into
+    /// the product of both X checks), so the affected pipeline's expected
+    /// syndrome shifts by the partner tile's current values. Without this
+    /// update every subsequent round would appear to be full of detection
+    /// events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either reference is not yet established or the widths
+    /// differ.
+    pub fn xor_reference(&mut self, partner_bits: &[bool]) {
+        let prev = self
+            .previous
+            .as_mut()
+            .expect("reference must be established before a transversal CNOT");
+        assert_eq!(prev.len(), partner_bits.len(), "check-count mismatch");
+        for (a, &b) in prev.iter_mut().zip(partner_bits) {
+            *a ^= b;
+        }
+    }
+
+    /// Re-arms the pipeline after a logical (re)preparation: clears the
+    /// Pauli frame and resets the reference.
+    pub fn reset_reference(&mut self, reference: Reference) {
+        self.previous = match reference {
+            Reference::Deterministic => Some(vec![false; self.graph.num_checks()]),
+            Reference::FirstRound => None,
+        };
+        self.frame.clear();
+        self.escalations.clear();
+    }
+
+    /// Stabilizer type handled by this pipeline.
+    pub fn kind(&self) -> StabKind {
+        self.kind
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DecodeStats {
+        self.stats
+    }
+
+    /// The accumulated Pauli frame: data qubits whose readout must be
+    /// flipped before interpretation.
+    pub fn frame(&self) -> &BTreeSet<usize> {
+        &self.frame
+    }
+
+    /// Escalated rounds awaiting the global decoder.
+    pub fn pending_escalations(&self) -> &[Escalation] {
+        &self.escalations
+    }
+
+    /// Drains the escalation queue (the master controller fetched them).
+    pub fn take_escalations(&mut self) -> Vec<Escalation> {
+        std::mem::take(&mut self.escalations)
+    }
+
+    /// Feeds one round of syndrome bits (plaquette order for this type).
+    ///
+    /// Detection events are the bits that changed since the previous
+    /// round. If the LUT explains them as isolated single faults, the
+    /// correction joins the local Pauli frame; otherwise the round is
+    /// queued for escalation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` has the wrong length.
+    pub fn feed_round(&mut self, bits: &[bool]) {
+        assert_eq!(
+            bits.len(),
+            self.graph.num_checks(),
+            "syndrome width mismatch"
+        );
+        let events: Vec<NodeId> = match &self.previous {
+            // First projective round: establish the reference, no events.
+            None => {
+                self.previous = Some(bits.to_vec());
+                self.stats.quiet_rounds += 1;
+                self.round += 1;
+                return;
+            }
+            Some(prev) => bits
+                .iter()
+                .zip(prev)
+                .enumerate()
+                .filter(|(_, (&now, &before))| now != before)
+                .map(|(c, _)| self.graph.node(0, c))
+                .collect(),
+        };
+        self.previous = Some(bits.to_vec());
+
+        if events.is_empty() {
+            self.stats.quiet_rounds += 1;
+        } else {
+            match self.lut.try_correction(&self.graph, &events) {
+                Some(Correction { data_flips, .. }) => {
+                    self.stats.local_hits += 1;
+                    self.stats.local_corrections += data_flips.len() as u64;
+                    for q in data_flips {
+                        // XOR into the frame.
+                        if !self.frame.insert(q) {
+                            self.frame.remove(&q);
+                        }
+                    }
+                }
+                None => {
+                    self.stats.escalations += 1;
+                    self.escalations.push(Escalation {
+                        round: self.round,
+                        events,
+                    });
+                }
+            }
+        }
+        self.round += 1;
+    }
+
+    /// Merges a correction computed by the global decoder into the frame.
+    pub fn apply_global_correction(&mut self, data_flips: impl IntoIterator<Item = usize>) {
+        for q in data_flips {
+            if !self.frame.insert(q) {
+                self.frame.remove(&q);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z_pipeline(d: usize) -> (RotatedLattice, DecoderPipeline) {
+        let lat = RotatedLattice::new(d);
+        let p = DecoderPipeline::new(&lat, StabKind::Z);
+        (lat, p)
+    }
+
+    #[test]
+    fn quiet_rounds_are_counted() {
+        let (lat, mut p) = z_pipeline(3);
+        let zeros = vec![false; lat.plaquettes_of(StabKind::Z).count()];
+        for _ in 0..5 {
+            p.feed_round(&zeros);
+        }
+        assert_eq!(p.stats().quiet_rounds, 5);
+        assert!(p.frame().is_empty());
+        assert!(p.pending_escalations().is_empty());
+    }
+
+    #[test]
+    fn isolated_error_is_fixed_locally() {
+        let (lat, mut p) = z_pipeline(3);
+        let zc = lat.plaquettes_of(StabKind::Z).count();
+        // A bulk data qubit flips its two Z checks.
+        let victim = lat.data_index(1, 1);
+        let owners: Vec<usize> = lat
+            .plaquettes_of(StabKind::Z)
+            .enumerate()
+            .filter(|(_, pl)| pl.data.contains(&victim))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(owners.len(), 2);
+        let mut bits = vec![false; zc];
+        for &o in &owners {
+            bits[o] = true;
+        }
+        p.feed_round(&bits);
+        assert_eq!(p.stats().local_hits, 1);
+        assert_eq!(p.stats().escalations, 0);
+        // The frame holds exactly the victim.
+        assert_eq!(p.frame().iter().copied().collect::<Vec<_>>(), vec![victim]);
+        // The syndrome persists next round (error not physically removed);
+        // no *new* events, so the round is quiet.
+        p.feed_round(&bits);
+        assert_eq!(p.stats().quiet_rounds, 1);
+    }
+
+    #[test]
+    fn complex_pattern_escalates() {
+        let (lat, mut p) = z_pipeline(5);
+        let zc = lat.plaquettes_of(StabKind::Z).count();
+        // Fire a non-adjacent pattern that no single fault explains: pick
+        // three pairwise-distant bulk checks.
+        let mut bits = vec![false; zc];
+        bits[0] = true;
+        bits[zc / 2] = true;
+        bits[zc - 1] = true;
+        p.feed_round(&bits);
+        let escalated = p.stats().escalations == 1;
+        let local = p.stats().local_hits == 1;
+        assert!(escalated || local);
+        if escalated {
+            let esc = p.take_escalations();
+            assert_eq!(esc.len(), 1);
+            assert_eq!(esc[0].events.len(), 3);
+            assert!(p.pending_escalations().is_empty());
+        }
+    }
+
+    #[test]
+    fn frame_xor_cancels_double_corrections() {
+        let (lat, mut p) = z_pipeline(3);
+        let q = lat.data_index(0, 0);
+        p.apply_global_correction([q]);
+        assert!(p.frame().contains(&q));
+        p.apply_global_correction([q]);
+        assert!(!p.frame().contains(&q));
+    }
+}

@@ -1,0 +1,310 @@
+//! Prime-line quantum execution unit (§2.3, Figure 4; execution steps of
+//! §4.3, Figure 8a).
+//!
+//! The unit models Hornibrook et al.'s Primeline Multiplexing Architecture:
+//! a small set of arbitrary waveform generators (AWGs) continuously drive a
+//! prime-line analog bus, and a matrix of microwave switches steers
+//! waveforms to qubits. A physical instruction is just the select code
+//! latched onto a switch.
+//!
+//! Execution of one VLIW word proceeds in the paper's three steps:
+//! ① µops stream from the microcode memory to the address decoder,
+//! ② each µop is latched onto its microwave switch, and
+//! ③ the master clock fires, executing all latched waveforms in parallel.
+//! Here "executing a waveform" means applying the corresponding gate to
+//! the stabilizer-simulated substrate. Measurement waveforms return their
+//! outcome bits, which flow to the error-decoder pipeline.
+
+use crate::geometry::TileGeometry;
+use quest_isa::{MicroOp, PhysOpcode, VliwWord};
+use quest_stabilizer::Tableau;
+use rand::Rng;
+
+/// Result of firing one VLIW word: measurement outcomes by qubit slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FireResult {
+    /// `(qubit, outcome)` for every measurement µop in the word.
+    pub measurements: Vec<(usize, bool)>,
+}
+
+/// Statistics kept by the execution unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutionStats {
+    /// VLIW words fired (master-clock pulses).
+    pub words_fired: u64,
+    /// Total µops latched (step ② events).
+    pub uops_latched: u64,
+    /// Non-idle µops executed.
+    pub active_uops: u64,
+    /// Measurement outcomes produced.
+    pub measurements: u64,
+}
+
+/// The execution unit for one MCE tile.
+#[derive(Debug, Clone)]
+pub struct ExecutionUnit {
+    geometry: TileGeometry,
+    /// Latched select codes, one per switch (= per qubit).
+    latches: Vec<MicroOp>,
+    /// Index of this tile's first qubit within the shared substrate
+    /// (tiles of a multi-MCE system occupy disjoint index ranges).
+    offset: usize,
+    stats: ExecutionStats,
+}
+
+impl ExecutionUnit {
+    /// Builds an execution unit over a tile geometry.
+    pub fn new(geometry: TileGeometry) -> ExecutionUnit {
+        ExecutionUnit::with_offset(geometry, 0)
+    }
+
+    /// Builds an execution unit whose tile starts at substrate index
+    /// `offset` (multi-tile systems place tiles side by side in one
+    /// simulated substrate).
+    pub fn with_offset(geometry: TileGeometry, offset: usize) -> ExecutionUnit {
+        let n = geometry.num_qubits();
+        ExecutionUnit {
+            geometry,
+            latches: vec![MicroOp::nop(); n],
+            offset,
+            stats: ExecutionStats::default(),
+        }
+    }
+
+    /// This tile's substrate offset.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Tile width.
+    pub fn num_qubits(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> ExecutionStats {
+        self.stats
+    }
+
+    /// The tile geometry.
+    pub fn geometry(&self) -> &TileGeometry {
+        &self.geometry
+    }
+
+    /// Steps ① and ②: latch every µop of a word onto its switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word width differs from the tile width.
+    pub fn latch(&mut self, word: &VliwWord) {
+        assert_eq!(
+            word.len(),
+            self.latches.len(),
+            "VLIW word width must match tile width"
+        );
+        for (q, u) in word.iter() {
+            self.latches[q] = u;
+            self.stats.uops_latched += 1;
+        }
+    }
+
+    /// Step ③: fire the master clock, applying every latched waveform to
+    /// the substrate in one parallel step.
+    ///
+    /// Two-qubit waveforms are resolved by pairing each `CnotCtrl` with the
+    /// `CnotTgt` latched on the neighbour its direction nibble points at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a CNOT half points at a missing neighbour or at a qubit
+    /// whose latch does not hold the matching half — such a word is
+    /// malformed microcode.
+    pub fn fire<R: Rng + ?Sized>(&mut self, substrate: &mut Tableau, rng: &mut R) -> FireResult {
+        assert!(
+            substrate.num_qubits() >= self.offset + self.latches.len(),
+            "substrate too small for tile at offset {}",
+            self.offset
+        );
+        let off = self.offset;
+        let mut result = FireResult::default();
+        // Single-qubit waveforms and measurements first, then entangling
+        // pairs (all commute within a well-formed lock-step word: the
+        // scheduler never touches a qubit twice in one slot).
+        for q in 0..self.latches.len() {
+            let u = self.latches[q];
+            if u.opcode() != PhysOpcode::Nop {
+                self.stats.active_uops += 1;
+            }
+            match u.opcode() {
+                PhysOpcode::Nop | PhysOpcode::CnotCtrl | PhysOpcode::CnotTgt => {}
+                PhysOpcode::PrepZ => substrate.reset(off + q, rng),
+                PhysOpcode::PrepX => substrate.reset_plus(off + q, rng),
+                PhysOpcode::MeasZ => {
+                    let m = substrate.measure(off + q, rng);
+                    result.measurements.push((q, m.value));
+                    self.stats.measurements += 1;
+                }
+                PhysOpcode::MeasX => {
+                    let m = substrate.measure_x(off + q, rng);
+                    result.measurements.push((q, m.value));
+                    self.stats.measurements += 1;
+                }
+                PhysOpcode::H => substrate.h(off + q),
+                PhysOpcode::S => substrate.s(off + q),
+                PhysOpcode::Sdg => substrate.s_dagger(off + q),
+                PhysOpcode::X => substrate.x(off + q),
+                PhysOpcode::Y => substrate.y(off + q),
+                PhysOpcode::Z => substrate.z(off + q),
+            }
+        }
+        for q in 0..self.latches.len() {
+            let u = self.latches[q];
+            if u.opcode() == PhysOpcode::CnotCtrl {
+                let dir = u.direction().expect("ctrl µop carries a direction");
+                let target = self
+                    .geometry
+                    .neighbor(q, dir)
+                    .unwrap_or_else(|| panic!("qubit {q}: no neighbour to the {dir}"));
+                let partner = self.latches[target];
+                assert_eq!(
+                    partner.opcode(),
+                    PhysOpcode::CnotTgt,
+                    "qubit {target} latch does not hold the target half"
+                );
+                assert_eq!(
+                    partner.direction(),
+                    Some(dir.opposite()),
+                    "target half at {target} points the wrong way"
+                );
+                substrate.cnot(off + q, off + target);
+            }
+        }
+        self.stats.words_fired += 1;
+        result
+    }
+
+    /// Latches and fires in one call — the pipelined steady state of the
+    /// microcode pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`ExecutionUnit::latch`] and
+    /// [`ExecutionUnit::fire`].
+    pub fn execute<R: Rng + ?Sized>(
+        &mut self,
+        word: &VliwWord,
+        substrate: &mut Tableau,
+        rng: &mut R,
+    ) -> FireResult {
+        self.latch(word);
+        self.fire(substrate, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quest_isa::Direction;
+    use quest_stabilizer::{SeedableRng, StdRng};
+    use quest_surface::RotatedLattice;
+
+    fn setup() -> (ExecutionUnit, Tableau, StdRng, RotatedLattice) {
+        let lat = RotatedLattice::new(3);
+        let geo = TileGeometry::from_lattice(&lat);
+        let n = geo.num_qubits();
+        (
+            ExecutionUnit::new(geo),
+            Tableau::new(n),
+            StdRng::seed_from_u64(5),
+            lat,
+        )
+    }
+
+    #[test]
+    fn single_qubit_word_applies_gates() {
+        let (mut eu, mut t, mut rng, lat) = setup();
+        let q = lat.data_index(1, 1);
+        let mut w = VliwWord::nop(eu.num_qubits());
+        w.set(q, MicroOp::simple(PhysOpcode::X));
+        eu.execute(&w, &mut t, &mut rng);
+        assert!(t.measure(q, &mut rng).value);
+        assert_eq!(eu.stats().words_fired, 1);
+        assert_eq!(eu.stats().active_uops, 1);
+    }
+
+    #[test]
+    fn measurement_word_reports_outcomes() {
+        let (mut eu, mut t, mut rng, lat) = setup();
+        let q = lat.data_index(0, 0);
+        t.x(q);
+        let mut w = VliwWord::nop(eu.num_qubits());
+        w.set(q, MicroOp::simple(PhysOpcode::MeasZ));
+        let r = eu.execute(&w, &mut t, &mut rng);
+        assert_eq!(r.measurements, vec![(q, true)]);
+    }
+
+    #[test]
+    fn cnot_halves_resolve_to_a_cnot() {
+        let (mut eu, mut t, mut rng, lat) = setup();
+        // Use an ancilla and its SE data neighbour.
+        let p = &lat.plaquettes()[0];
+        let anc = p.ancilla;
+        let geo = eu.geometry().clone();
+        let (dir, data) = Direction::ALL
+            .into_iter()
+            .find_map(|d| geo.neighbor(anc, d).map(|n| (d, n)))
+            .expect("ancilla has a neighbour");
+        // Excite the control, fire CNOT(anc -> data).
+        t.x(anc);
+        let mut w = VliwWord::nop(eu.num_qubits());
+        w.set(anc, MicroOp::cnot_half(PhysOpcode::CnotCtrl, dir));
+        w.set(data, MicroOp::cnot_half(PhysOpcode::CnotTgt, dir.opposite()));
+        eu.execute(&w, &mut t, &mut rng);
+        assert!(t.measure(data, &mut rng).value, "target was flipped");
+        assert!(t.measure(anc, &mut rng).value, "control unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold the target half")]
+    fn dangling_ctrl_half_panics() {
+        let (mut eu, mut t, mut rng, lat) = setup();
+        let p = &lat.plaquettes()[0];
+        let geo = eu.geometry().clone();
+        let dir = Direction::ALL
+            .into_iter()
+            .find(|&d| geo.neighbor(p.ancilla, d).is_some())
+            .unwrap();
+        let mut w = VliwWord::nop(eu.num_qubits());
+        w.set(p.ancilla, MicroOp::cnot_half(PhysOpcode::CnotCtrl, dir));
+        eu.execute(&w, &mut t, &mut rng);
+    }
+
+    #[test]
+    fn prep_words_reset_state() {
+        let (mut eu, mut t, mut rng, _) = setup();
+        for q in 0..eu.num_qubits() {
+            t.x(q);
+        }
+        let w = VliwWord::from_uops(vec![
+            MicroOp::simple(PhysOpcode::PrepZ);
+            eu.num_qubits()
+        ]);
+        eu.execute(&w, &mut t, &mut rng);
+        for q in 0..eu.num_qubits() {
+            assert!(!t.measure(q, &mut rng).value);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut eu, mut t, mut rng, _) = setup();
+        let w = VliwWord::nop(eu.num_qubits());
+        for _ in 0..5 {
+            eu.execute(&w, &mut t, &mut rng);
+        }
+        let s = eu.stats();
+        assert_eq!(s.words_fired, 5);
+        assert_eq!(s.uops_latched, 5 * eu.num_qubits() as u64);
+        assert_eq!(s.active_uops, 0);
+    }
+}

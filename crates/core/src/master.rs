@@ -1,0 +1,348 @@
+//! Master controller (§4.2, footnote 3).
+//!
+//! The master controller sits in the 77 K domain, dispatches logical
+//! instructions to MCEs over the packet-switched global bus, runs the
+//! *global* error decoder for syndrome patterns the MCEs' local lookup
+//! decoders escalate, and issues synchronization tokens. Every byte it
+//! moves is tallied in [`BusCounters`], because the bus traffic *is* the
+//! experiment.
+
+use crate::bus::{BusCounters, Traffic};
+use crate::decoder_pipeline::Escalation;
+use crate::instruction_pipeline::traffic_class;
+use crate::mce::Mce;
+use quest_isa::{InstrClass, LogicalInstr};
+use quest_surface::decoder::Decoder;
+use quest_surface::{DecodingGraph, StabKind, UnionFindDecoder};
+
+/// Bytes of syndrome data per escalated detection event (check id + round
+/// tag in the upstream packet format).
+pub const SYNDROME_EVENT_BYTES: u64 = 2;
+
+/// Bytes per synchronization token.
+pub const SYNC_TOKEN_BYTES: u64 = 2;
+
+/// Statistics for the master controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MasterStats {
+    /// Logical instructions dispatched.
+    pub dispatched: u64,
+    /// Escalations resolved by the global decoder.
+    pub global_decodes: u64,
+    /// Sync tokens issued.
+    pub sync_tokens: u64,
+}
+
+/// The master controller of a QuEST control processor.
+#[derive(Debug, Clone, Default)]
+pub struct MasterController {
+    bus: BusCounters,
+    stats: MasterStats,
+    decoder: UnionFindDecoder,
+}
+
+impl MasterController {
+    /// Creates a master controller with zeroed counters.
+    pub fn new() -> MasterController {
+        MasterController::default()
+    }
+
+    /// Global-bus traffic counters.
+    pub fn bus(&self) -> &BusCounters {
+        &self.bus
+    }
+
+    /// Crate-internal accounting hook: the system model records traffic
+    /// (e.g. baseline QECC streams) that does not flow through a public
+    /// dispatch method. Kept out of the public API so external users
+    /// cannot forge counters.
+    pub(crate) fn record_traffic(&mut self, class: Traffic, bytes: u64) {
+        self.bus.record(class, bytes);
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> MasterStats {
+        self.stats
+    }
+
+    /// Dispatches one logical instruction to an MCE (downstream bus
+    /// traffic + instruction-pipeline delivery).
+    pub fn dispatch(&mut self, mce: &mut Mce, i: LogicalInstr, class: InstrClass) {
+        self.bus
+            .record(traffic_class(class), LogicalInstr::ENCODED_BYTES as u64);
+        self.stats.dispatched += 1;
+        mce.instruction_pipeline_mut().deliver(i);
+    }
+
+    /// Dispatches one logical instruction *and executes it* on the tile:
+    /// bus accounting plus the instruction pipeline's decode/expand step
+    /// (`Mce::execute_logical`). Use this when the tile's logical content
+    /// matters; [`MasterController::dispatch`] models delivery-only
+    /// traffic shaping.
+    pub fn dispatch_execute(&mut self, mce: &mut Mce, i: LogicalInstr, class: InstrClass) {
+        self.dispatch(mce, i, class);
+        mce.execute_logical(i);
+    }
+
+    /// Fills an MCE's instruction cache with a block (bus traffic once).
+    pub fn dispatch_cache_fill(&mut self, mce: &mut Mce, block: u8, instrs: &[LogicalInstr]) {
+        let bytes = mce.instruction_pipeline_mut().cache_fill(block, instrs);
+        self.bus.record(Traffic::CacheFill, bytes);
+        self.stats.dispatched += instrs.len() as u64;
+    }
+
+    /// Requests a cached-block replay (one two-byte command downstream;
+    /// the block's instructions issue locally at the MCE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident — replaying an unfilled block
+    /// is a programming error in the workload schedule.
+    pub fn dispatch_cache_replay(&mut self, mce: &mut Mce, block: u8) {
+        self.bus
+            .record(Traffic::Sync, LogicalInstr::ENCODED_BYTES as u64);
+        let replayed = mce
+            .instruction_pipeline_mut()
+            .cache_replay(block)
+            .expect("replay of a non-resident cache block");
+        self.stats.dispatched += replayed.len() as u64;
+    }
+
+    /// Issues a synchronization token to an MCE.
+    pub fn sync(&mut self, _mce: &mut Mce, _token: u8) {
+        self.bus.record(Traffic::Sync, SYNC_TOKEN_BYTES);
+        self.stats.sync_tokens += 1;
+    }
+
+    /// Collects an MCE's escalated syndromes (upstream traffic), resolves
+    /// them with the global decoder, and pushes the corrections back into
+    /// the MCE's Pauli frames.
+    pub fn service_escalations(&mut self, mce: &mut Mce) {
+        let escalations = mce.take_escalations();
+        for (kind, esc) in escalations {
+            self.resolve_escalation(mce, kind, &esc);
+        }
+    }
+
+    /// Windowed variant of [`MasterController::service_escalations`]: all
+    /// escalations currently pending at the MCE are decoded *jointly* over
+    /// a multi-round space-time graph (Appendix A.2: the decoder observes
+    /// "changes in syndrome over a window of space and time"), so
+    /// diagonal error/measurement-error chains that span rounds are
+    /// matched through temporal edges instead of being forced into
+    /// per-round data corrections.
+    ///
+    /// Call this at window boundaries (the MCE keeps buffering escalations
+    /// in between).
+    pub fn service_escalations_windowed(&mut self, mce: &mut Mce) {
+        use std::collections::HashMap;
+        let escalations = mce.take_escalations();
+        if escalations.is_empty() {
+            return;
+        }
+        let mut by_kind: HashMap<StabKind, Vec<Escalation>> = HashMap::new();
+        for (kind, esc) in escalations {
+            by_kind.entry(kind).or_default().push(esc);
+        }
+        for (kind, escs) in by_kind {
+            let first = escs.iter().map(|e| e.round).min().expect("nonempty");
+            let last = escs.iter().map(|e| e.round).max().expect("nonempty");
+            let rounds = last - first + 1;
+            let graph = DecodingGraph::new(mce.lattice(), kind, rounds);
+            let mut events = Vec::new();
+            let mut event_count = 0u64;
+            for esc in &escs {
+                for &check in &esc.events {
+                    // Per-round escalations carry single-round node ids,
+                    // which equal the check index.
+                    events.push(graph.node(esc.round - first, check));
+                    event_count += 1;
+                }
+            }
+            self.bus
+                .record(Traffic::Syndrome, event_count * SYNDROME_EVENT_BYTES);
+            self.stats.global_decodes += 1;
+            let correction = self.decoder.decode(&graph, &events);
+            mce.decoder_mut(kind)
+                .apply_global_correction(correction.data_flips.iter().copied());
+        }
+    }
+
+    fn resolve_escalation(&mut self, mce: &mut Mce, kind: StabKind, esc: &Escalation) {
+        self.bus.record(
+            Traffic::Syndrome,
+            esc.events.len() as u64 * SYNDROME_EVENT_BYTES,
+        );
+        self.stats.global_decodes += 1;
+        // Single-round graph: the MCE escalates per round. The global
+        // decoder sees the same node numbering the escalation used.
+        let graph = DecodingGraph::new(mce.lattice(), kind, 1);
+        let correction = self.decoder.decode(&graph, &esc.events);
+        mce.decoder_mut(kind)
+            .apply_global_correction(correction.data_flips.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quest_isa::LogicalQubit;
+    use quest_stabilizer::{SeedableRng, StdRng, Tableau};
+    use quest_surface::RotatedLattice;
+
+    fn setup() -> (MasterController, Mce, Tableau, StdRng) {
+        let lat = RotatedLattice::new(3);
+        (
+            MasterController::new(),
+            Mce::new(&lat, 4096),
+            Tableau::new(lat.num_qubits()),
+            StdRng::seed_from_u64(17),
+        )
+    }
+
+    #[test]
+    fn dispatch_counts_bytes_by_class() {
+        let (mut master, mut mce, _, _) = setup();
+        master.dispatch(
+            &mut mce,
+            LogicalInstr::H(LogicalQubit(0)),
+            InstrClass::Algorithmic,
+        );
+        master.dispatch(
+            &mut mce,
+            LogicalInstr::T(LogicalQubit(0)),
+            InstrClass::Distillation,
+        );
+        assert_eq!(master.bus().bytes(Traffic::LogicalInstructions), 2);
+        assert_eq!(master.bus().bytes(Traffic::Distillation), 2);
+        assert_eq!(master.stats().dispatched, 2);
+        assert_eq!(mce.instruction_pipeline().stats().issued, 2);
+    }
+
+    #[test]
+    fn cache_replay_costs_one_command() {
+        let (mut master, mut mce, _, _) = setup();
+        let kernel = vec![LogicalInstr::H(LogicalQubit(0)); 150];
+        master.dispatch_cache_fill(&mut mce, 0, &kernel);
+        let fill_bytes = master.bus().bytes(Traffic::CacheFill);
+        assert_eq!(fill_bytes, 300);
+        for _ in 0..100 {
+            master.dispatch_cache_replay(&mut mce, 0);
+        }
+        // 100 replays of a 150-instruction kernel cost 200 bytes of
+        // commands instead of 30 000 bytes of instructions.
+        assert_eq!(master.bus().bytes(Traffic::Sync), 200);
+        assert_eq!(mce.instruction_pipeline().stats().cached_instructions, 15_000);
+    }
+
+    #[test]
+    fn escalations_reach_global_decoder_and_fix_frame() {
+        let (mut master, mut mce, mut t, mut rng) = setup();
+        mce.run_qecc_cycle(&mut t, &mut rng); // project
+        // Inject a two-qubit X chain: adjacent data qubits sharing a Z
+        // check produce a pattern the LUT may escalate.
+        let a = mce.lattice().data_index(1, 1);
+        let b = mce.lattice().data_index(1, 2);
+        t.x(a);
+        t.x(b);
+        mce.run_qecc_cycle(&mut t, &mut rng);
+        master.service_escalations(&mut mce);
+        // Whether locally or globally decoded, the frame must now cancel
+        // the injected error up to a stabilizer: syndrome quiet next round.
+        mce.run_qecc_cycle(&mut t, &mut rng);
+        let stats = mce.decode_stats(StabKind::Z);
+        assert_eq!(
+            stats.escalations as usize,
+            master.stats().global_decodes as usize
+        );
+        // No unexplained events remain pending.
+        assert!(mce.decoder(StabKind::Z).pending_escalations().is_empty());
+    }
+
+    #[test]
+    fn windowed_decode_resolves_multi_round_patterns() {
+        // Inject a two-qubit chain each round for three rounds, letting
+        // escalations pile up, then flush the whole window at once.
+        let (mut master, mut mce, mut t, mut rng) = setup();
+        mce.run_qecc_cycle(&mut t, &mut rng); // project
+        for _ in 0..3 {
+            let a = mce.lattice().data_index(1, 1);
+            let b = mce.lattice().data_index(1, 2);
+            t.x(a);
+            t.x(b);
+            mce.run_qecc_cycle(&mut t, &mut rng);
+        }
+        let pending = mce
+            .decoder(quest_surface::StabKind::Z)
+            .pending_escalations()
+            .len();
+        master.service_escalations_windowed(&mut mce);
+        assert!(mce
+            .decoder(quest_surface::StabKind::Z)
+            .pending_escalations()
+            .is_empty());
+        if pending > 0 {
+            assert!(master.stats().global_decodes >= 1);
+            assert!(master.bus().bytes(Traffic::Syndrome) > 0);
+        }
+        // After the window, the substrate + frame must be syndrome-quiet.
+        mce.run_qecc_cycle(&mut t, &mut rng);
+        master.service_escalations_windowed(&mut mce);
+        let readout = mce.measure_logical_z(&mut t, &mut rng);
+        // Six X flips total on (1,1)/(1,2): net identity on the data, so
+        // logical |0> must read 0 once decoding settles.
+        assert!(!readout, "windowed decoding corrupted the logical state");
+    }
+
+    #[test]
+    fn dispatch_execute_interleaves_logical_work_with_qecc() {
+        // §5.1: logical instructions interleave with the continuous QECC
+        // stream. Dispatch-execute a logical X mid-run; the tile's Pauli
+        // frame carries it and the final decoded readout reports 1.
+        use quest_isa::LogicalQubit;
+        let (mut master, mut mce, mut t, mut rng) = setup();
+        mce.run_qecc_cycle(&mut t, &mut rng); // project |0_L>
+        master.dispatch_execute(
+            &mut mce,
+            LogicalInstr::X(LogicalQubit(0)),
+            InstrClass::Algorithmic,
+        );
+        // QECC keeps running with zero extra instruction traffic.
+        for _ in 0..3 {
+            mce.run_qecc_cycle(&mut t, &mut rng);
+        }
+        assert_eq!(master.bus().total(), 2, "one two-byte instruction");
+        assert!(mce.measure_logical_z(&mut t, &mut rng), "logical X lost");
+    }
+
+    #[test]
+    fn dispatch_execute_mask_writes_take_effect() {
+        use quest_isa::MaskRegion;
+        let (mut master, mut mce, _, _) = setup();
+        master.dispatch_execute(
+            &mut mce,
+            LogicalInstr::MaskOn(MaskRegion(0)),
+            InstrClass::Algorithmic,
+        );
+        assert!(mce.mask().region_masked(0));
+        assert_eq!(mce.instruction_pipeline().stats().issued, 1);
+    }
+
+    #[test]
+    fn windowed_decode_of_nothing_is_free() {
+        let (mut master, mut mce, _, _) = setup();
+        master.service_escalations_windowed(&mut mce);
+        assert_eq!(master.stats().global_decodes, 0);
+        assert_eq!(master.bus().total(), 0);
+    }
+
+    #[test]
+    fn sync_tokens_are_cheap() {
+        let (mut master, mut mce, _, _) = setup();
+        for tok in 0..10 {
+            master.sync(&mut mce, tok);
+        }
+        assert_eq!(master.bus().bytes(Traffic::Sync), 20);
+        assert_eq!(master.stats().sync_tokens, 10);
+    }
+}

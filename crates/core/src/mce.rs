@@ -1,0 +1,582 @@
+//! The Micro-coded Control Engine (MCE), §4.2/Figure 7.
+//!
+//! An MCE owns a tile of the quantum substrate and contains the four
+//! functional blocks of the paper: the instruction pipeline (logical
+//! instructions), the microcode pipeline (QECC replay), the prime-line
+//! quantum execution unit, and the error-decoder pipeline. Once its QECC
+//! microcode is programmed, the MCE sustains error correction with *zero*
+//! global-bus instruction traffic — the architectural claim this
+//! repository exists to demonstrate.
+
+use crate::decoder_pipeline::{DecodeStats, DecoderPipeline, Escalation};
+use crate::execution_unit::{ExecutionStats, ExecutionUnit};
+use crate::geometry::TileGeometry;
+use crate::instruction_pipeline::InstructionPipeline;
+use crate::mask::MaskTable;
+use crate::microcode::QeccMicrocode;
+use crate::program_gen;
+use quest_isa::{LogicalInstr, MicroOp, VliwWord};
+#[cfg(test)]
+use quest_isa::PhysOpcode;
+use quest_stabilizer::Tableau;
+use quest_surface::{RotatedLattice, StabKind};
+use rand::Rng;
+
+/// One Micro-coded Control Engine driving a surface-code tile.
+///
+/// # Example
+///
+/// ```
+/// use quest_core::Mce;
+/// use quest_stabilizer::{SeedableRng, StdRng, Tableau};
+/// use quest_surface::RotatedLattice;
+///
+/// let lattice = RotatedLattice::new(3);
+/// let mut mce = Mce::new(&lattice, 4096);
+/// let mut substrate = Tableau::new(lattice.num_qubits());
+/// let mut rng = StdRng::seed_from_u64(2);
+/// // Run three full QECC cycles with no master-controller involvement.
+/// for _ in 0..3 {
+///     mce.run_qecc_cycle(&mut substrate, &mut rng);
+/// }
+/// assert_eq!(mce.microcode().completed_cycles(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mce {
+    lattice: RotatedLattice,
+    microcode: QeccMicrocode,
+    mask: MaskTable,
+    execution: ExecutionUnit,
+    instruction: InstructionPipeline,
+    decode_x: DecoderPipeline,
+    decode_z: DecoderPipeline,
+    /// Logical-µop table: words queued by the instruction pipeline that
+    /// take priority (via the mask) over QECC words.
+    logical_uops: Vec<VliwWord>,
+    /// Pending logical Pauli-frame flips on the tile's logical qubit.
+    logical_frame_x: bool,
+    logical_frame_z: bool,
+    /// Magic states consumed by T gates dispatched to this tile.
+    magic_states_consumed: u64,
+    /// Probability that a syndrome measurement is reported flipped
+    /// (readout-chain error, independent of the quantum state).
+    measurement_flip: f64,
+}
+
+impl Mce {
+    /// Builds an MCE for a lattice tile with an instruction buffer of
+    /// `ibuf_bytes` bytes. The QECC microcode is generated and installed
+    /// immediately (the unit-cell program of the tile's syndrome circuit).
+    pub fn new(lattice: &RotatedLattice, ibuf_bytes: usize) -> Mce {
+        Mce::with_offset(lattice, ibuf_bytes, 0)
+    }
+
+    /// Builds an MCE whose tile starts at substrate index `offset`
+    /// (multi-MCE systems place tiles side by side in one substrate).
+    pub fn with_offset(lattice: &RotatedLattice, ibuf_bytes: usize, offset: usize) -> Mce {
+        let geometry = TileGeometry::from_lattice(lattice);
+        let words = program_gen::qecc_cycle_words(lattice, &geometry);
+        let d = lattice.distance();
+        Mce {
+            lattice: lattice.clone(),
+            microcode: QeccMicrocode::new(words),
+            mask: MaskTable::coalesced(lattice.num_qubits(), d * d),
+            execution: ExecutionUnit::with_offset(geometry, offset),
+            instruction: InstructionPipeline::new(ibuf_bytes),
+            decode_x: DecoderPipeline::new(lattice, StabKind::X),
+            decode_z: DecoderPipeline::new(lattice, StabKind::Z),
+            logical_uops: Vec::new(),
+            logical_frame_x: false,
+            logical_frame_z: false,
+            magic_states_consumed: 0,
+            measurement_flip: 0.0,
+        }
+    }
+
+    /// Sets the classical syndrome-measurement flip probability (readout
+    /// noise between the execution unit and the decoder pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_measurement_flip(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.measurement_flip = p;
+    }
+
+    /// Substrate index of tile-local qubit `q`.
+    pub fn substrate_index(&self, q: usize) -> usize {
+        self.execution.offset() + q
+    }
+
+    /// The tile's lattice.
+    pub fn lattice(&self) -> &RotatedLattice {
+        &self.lattice
+    }
+
+    /// The QECC replay engine.
+    pub fn microcode(&self) -> &QeccMicrocode {
+        &self.microcode
+    }
+
+    /// The mask table.
+    pub fn mask(&self) -> &MaskTable {
+        &self.mask
+    }
+
+    /// Mutable mask access (mask instructions write here).
+    pub fn mask_mut(&mut self) -> &mut MaskTable {
+        &mut self.mask
+    }
+
+    /// The instruction pipeline.
+    pub fn instruction_pipeline(&self) -> &InstructionPipeline {
+        &self.instruction
+    }
+
+    /// Mutable instruction-pipeline access.
+    pub fn instruction_pipeline_mut(&mut self) -> &mut InstructionPipeline {
+        &mut self.instruction
+    }
+
+    /// Execution-unit statistics.
+    pub fn execution_stats(&self) -> ExecutionStats {
+        self.execution.stats()
+    }
+
+    /// Local-decoder statistics for one stabilizer type.
+    pub fn decode_stats(&self, kind: StabKind) -> DecodeStats {
+        match kind {
+            StabKind::X => self.decode_x.stats(),
+            StabKind::Z => self.decode_z.stats(),
+        }
+    }
+
+    /// The decoder pipeline for one stabilizer type.
+    pub fn decoder(&self, kind: StabKind) -> &DecoderPipeline {
+        match kind {
+            StabKind::X => &self.decode_x,
+            StabKind::Z => &self.decode_z,
+        }
+    }
+
+    /// Mutable decoder access (the master controller pushes global
+    /// corrections through this).
+    pub fn decoder_mut(&mut self, kind: StabKind) -> &mut DecoderPipeline {
+        match kind {
+            StabKind::X => &mut self.decode_x,
+            StabKind::Z => &mut self.decode_z,
+        }
+    }
+
+    /// Queues a logical VLIW word; while queued words exist they are
+    /// issued in place of QECC words on masked qubits.
+    pub fn queue_logical_word(&mut self, w: VliwWord) {
+        assert_eq!(
+            w.len(),
+            self.lattice.num_qubits(),
+            "logical word width must match tile"
+        );
+        self.logical_uops.push(w);
+    }
+
+    /// Number of queued logical words.
+    pub fn pending_logical_words(&self) -> usize {
+        self.logical_uops.len()
+    }
+
+    /// Issues one instruction slot: the next QECC word, merged through the
+    /// mask table with the head of the logical-µop queue (Figure 8c).
+    /// Returns the word actually fired.
+    pub fn step<R: Rng + ?Sized>(&mut self, substrate: &mut Tableau, rng: &mut R) -> VliwWord {
+        let qecc_word = self.microcode.next_word();
+        let logical = if self.logical_uops.is_empty() {
+            None
+        } else {
+            Some(self.logical_uops.remove(0))
+        };
+        let mut merged = VliwWord::nop(qecc_word.len());
+        for (q, qecc_uop) in qecc_word.iter() {
+            let uop = if self.mask.is_masked(q) {
+                logical.as_ref().map_or(MicroOp::nop(), |w| w.get(q))
+            } else {
+                qecc_uop
+            };
+            merged.set(q, uop);
+        }
+        let fired = self.execution.execute(&merged, substrate, rng);
+
+        // Route measurement outcomes from the cycle's measurement word to
+        // the decoder pipelines, optionally corrupted by readout noise.
+        if !fired.measurements.is_empty() {
+            let mut readings = fired.measurements;
+            if self.measurement_flip > 0.0 {
+                for (_, v) in &mut readings {
+                    if rng.gen::<f64>() < self.measurement_flip {
+                        *v = !*v;
+                    }
+                }
+            }
+            self.route_syndrome(&readings);
+        }
+        merged
+    }
+
+    /// Runs exactly one full QECC cycle (all words of the microcode
+    /// program from its current cycle start).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-cycle (the microcode cursor is not at a cycle
+    /// boundary).
+    pub fn run_qecc_cycle<R: Rng + ?Sized>(&mut self, substrate: &mut Tableau, rng: &mut R) {
+        assert!(
+            self.microcode.at_cycle_start(),
+            "run_qecc_cycle must start at a cycle boundary"
+        );
+        for _ in 0..self.microcode.cycle_len() {
+            self.step(substrate, rng);
+        }
+    }
+
+    fn route_syndrome(&mut self, measurements: &[(usize, bool)]) {
+        for kind in [StabKind::X, StabKind::Z] {
+            let ancillas = program_gen::measured_ancillas(&self.lattice, kind);
+            // Only route when the full set of this type's ancillas was
+            // measured this slot and none of them is masked (masked
+            // regions produce no valid syndrome).
+            let bits: Option<Vec<bool>> = ancillas
+                .iter()
+                .map(|&a| {
+                    measurements
+                        .iter()
+                        .find(|(q, _)| *q == a)
+                        .map(|(_, v)| *v)
+                })
+                .collect();
+            if let Some(bits) = bits {
+                if ancillas.iter().all(|&a| !self.mask.is_masked(a)) {
+                    match kind {
+                        StabKind::X => self.decode_x.feed_round(&bits),
+                        StabKind::Z => self.decode_z.feed_round(&bits),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one logical instruction on this tile (step ⑤/⑥ of the
+    /// instruction pipeline: decode and expand).
+    ///
+    /// The tile hosts one logical qubit, so single-qubit operands are
+    /// ignored. Simulation-backed operations:
+    ///
+    /// * `X`/`Z` — tracked in the logical Pauli frame (no physical µops,
+    ///   exactly like real Pauli-frame controllers);
+    /// * `MaskOn`/`MaskOff` — mask-table writes;
+    /// * `BraidStep` — toggles a mask region (one boundary-move step);
+    /// * `PrepZ`/`PrepX` — queue a transverse preparation word for the
+    ///   data qubits (issued through the mask on the next slot);
+    /// * `T`/`MagicInject` — consume a magic state (counted; the
+    ///   non-Clifford rotation itself lies outside stabilizer
+    ///   simulation);
+    /// * `H`, `S`, `Cnot`, measurements, sync and cache control are
+    ///   coordinated by the master controller, not expanded per tile.
+    pub fn execute_logical(&mut self, i: LogicalInstr) {
+        use quest_isa::PhysOpcode as Op;
+        match i {
+            LogicalInstr::X(_) => self.logical_frame_x = !self.logical_frame_x,
+            LogicalInstr::Z(_) => self.logical_frame_z = !self.logical_frame_z,
+            LogicalInstr::MaskOn(r) => self.mask.set_region(r.0 as usize, true),
+            LogicalInstr::MaskOff(r) => self.mask.set_region(r.0 as usize, false),
+            LogicalInstr::BraidStep(r) => {
+                let region = r.0 as usize;
+                let now = self.mask.region_masked(region);
+                self.mask.set_region(region, !now);
+            }
+            LogicalInstr::PrepZ(_) | LogicalInstr::PrepX(_) => {
+                let op = if matches!(i, LogicalInstr::PrepZ(_)) {
+                    Op::PrepZ
+                } else {
+                    Op::PrepX
+                };
+                let mut w = VliwWord::nop(self.lattice.num_qubits());
+                for q in 0..self.lattice.num_data() {
+                    w.set(q, MicroOp::simple(op));
+                }
+                self.queue_logical_word(w);
+                self.notify_prepared(if matches!(i, LogicalInstr::PrepZ(_)) {
+                    StabKind::Z
+                } else {
+                    StabKind::X
+                });
+            }
+            LogicalInstr::T(_) | LogicalInstr::MagicInject(_) => {
+                self.magic_states_consumed += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-arms the decoder pipelines and clears the logical frame after a
+    /// fresh logical preparation in the `deterministic_kind` basis: that
+    /// kind's checks start from the known all-zero reference, the other
+    /// kind's checks take their reference from the first projective round.
+    pub fn notify_prepared(&mut self, deterministic_kind: StabKind) {
+        use crate::decoder_pipeline::Reference;
+        self.decoder_mut(deterministic_kind)
+            .reset_reference(Reference::Deterministic);
+        self.decoder_mut(deterministic_kind.other())
+            .reset_reference(Reference::FirstRound);
+        self.logical_frame_x = false;
+        self.logical_frame_z = false;
+    }
+
+    /// Pending logical Pauli-frame flips `(x, z)` on the tile's logical
+    /// qubit.
+    pub fn logical_frame(&self) -> (bool, bool) {
+        (self.logical_frame_x, self.logical_frame_z)
+    }
+
+    /// Magic states consumed by T gates dispatched to this tile.
+    pub fn magic_states_consumed(&self) -> u64 {
+        self.magic_states_consumed
+    }
+
+    /// Reads out the tile's logical qubit in the Z basis: measures every
+    /// data qubit, applies the error-decoder Pauli frame plus one final
+    /// perfect decoding round, XORs the logical-Z row, and folds in the
+    /// logical Pauli frame.
+    ///
+    /// This consumes the logical state (all data qubits collapse).
+    pub fn measure_logical_z<R: Rng + ?Sized>(
+        &mut self,
+        substrate: &mut Tableau,
+        rng: &mut R,
+    ) -> bool {
+        use quest_surface::decoder::Decoder;
+        let mut bits: Vec<bool> = (0..self.lattice.num_data())
+            .map(|q| substrate.measure(self.substrate_index(q), rng).value)
+            .collect();
+        for &q in self.decode_z.frame() {
+            bits[q] = !bits[q];
+        }
+        // Final perfect round: decode the residual syndrome derived from
+        // the readout itself.
+        let graph = quest_surface::DecodingGraph::new(&self.lattice, StabKind::Z, 1);
+        let events: Vec<usize> = self
+            .lattice
+            .plaquettes_of(StabKind::Z)
+            .enumerate()
+            .filter_map(|(c, p)| {
+                let parity = p.data.iter().fold(false, |acc, &q| acc ^ bits[q]);
+                parity.then_some(graph.node(0, c))
+            })
+            .collect();
+        if !events.is_empty() {
+            let correction = quest_surface::UnionFindDecoder::new().decode(&graph, &events);
+            for q in correction.data_flips {
+                bits[q] = !bits[q];
+            }
+        }
+        let parity = (0..self.lattice.distance())
+            .map(|col| bits[self.lattice.data_index(0, col)])
+            .fold(false, |acc, b| acc ^ b);
+        parity ^ self.logical_frame_x
+    }
+
+    /// Drains pending escalations from both decoder pipelines as
+    /// `(kind, escalation)` pairs for the master controller.
+    pub fn take_escalations(&mut self) -> Vec<(StabKind, Escalation)> {
+        let mut out = Vec::new();
+        for e in self.decode_z.take_escalations() {
+            out.push((StabKind::Z, e));
+        }
+        for e in self.decode_x.take_escalations() {
+            out.push((StabKind::X, e));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quest_stabilizer::{SeedableRng, StdRng};
+
+    fn setup(d: usize) -> (Mce, Tableau, StdRng) {
+        let lat = RotatedLattice::new(d);
+        let mce = Mce::new(&lat, 4096);
+        let t = Tableau::new(lat.num_qubits());
+        (mce, t, StdRng::seed_from_u64(13))
+    }
+
+    #[test]
+    fn qecc_cycles_replay_without_bus_traffic() {
+        let (mut mce, mut t, mut rng) = setup(3);
+        for _ in 0..10 {
+            mce.run_qecc_cycle(&mut t, &mut rng);
+        }
+        assert_eq!(mce.microcode().completed_cycles(), 10);
+        // The instruction pipeline saw nothing: QECC is hardware-managed.
+        assert_eq!(mce.instruction_pipeline().stats().bus_instructions, 0);
+    }
+
+    #[test]
+    fn noiseless_cycles_produce_no_corrections_or_escalations() {
+        let (mut mce, mut t, mut rng) = setup(3);
+        for _ in 0..5 {
+            mce.run_qecc_cycle(&mut t, &mut rng);
+        }
+        let z = mce.decode_stats(StabKind::Z);
+        assert_eq!(z.escalations, 0);
+        assert_eq!(z.local_corrections, 0);
+        assert!(mce.decoder(StabKind::Z).frame().is_empty());
+    }
+
+    #[test]
+    fn injected_error_is_fixed_by_local_decoder() {
+        let (mut mce, mut t, mut rng) = setup(3);
+        mce.run_qecc_cycle(&mut t, &mut rng); // project
+        let victim = mce.lattice().data_index(1, 1);
+        t.x(victim);
+        mce.run_qecc_cycle(&mut t, &mut rng);
+        let frame: Vec<usize> = mce.decoder(StabKind::Z).frame().iter().copied().collect();
+        assert_eq!(frame, vec![victim]);
+        assert_eq!(mce.decode_stats(StabKind::Z).local_hits, 1);
+        assert_eq!(mce.decode_stats(StabKind::Z).escalations, 0);
+    }
+
+    #[test]
+    fn masked_region_stops_qecc_uops() {
+        let (mut mce, mut t, mut rng) = setup(3);
+        // Mask everything: all µops become NOPs, no measurements occur.
+        let regions = mce.mask().num_regions();
+        for r in 0..regions {
+            mce.mask_mut().set_region(r, true);
+        }
+        let before = mce.execution_stats().measurements;
+        mce.run_qecc_cycle(&mut t, &mut rng);
+        assert_eq!(mce.execution_stats().measurements, before);
+        assert_eq!(mce.execution_stats().active_uops, 0);
+    }
+
+    #[test]
+    fn logical_words_flow_through_mask() {
+        let (mut mce, mut t, mut rng) = setup(3);
+        let n = mce.lattice().num_qubits();
+        // Mask the whole tile and queue a logical X on one data qubit.
+        for r in 0..mce.mask().num_regions() {
+            mce.mask_mut().set_region(r, true);
+        }
+        let q = mce.lattice().data_index(0, 0);
+        let mut w = VliwWord::nop(n);
+        w.set(q, MicroOp::simple(PhysOpcode::X));
+        mce.queue_logical_word(w);
+        mce.step(&mut t, &mut rng);
+        assert_eq!(mce.pending_logical_words(), 0);
+        assert!(t.measure(q, &mut rng).value, "logical µop executed");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle boundary")]
+    fn mid_cycle_full_cycle_call_panics() {
+        let (mut mce, mut t, mut rng) = setup(3);
+        mce.step(&mut t, &mut rng);
+        mce.run_qecc_cycle(&mut t, &mut rng);
+    }
+
+    #[test]
+    fn mask_idle_and_resume_preserves_logical_state() {
+        // §5.1: logical qubits are created by masking QECC over a region.
+        // Mask the whole tile (QECC off), idle a few slots, unmask: in the
+        // absence of noise the stabilizer state persists, the resumed
+        // syndrome matches the pre-mask reference (no spurious detection
+        // events), and the logical qubit reads back intact.
+        let (mut mce, mut t, mut rng) = setup(3);
+        mce.run_qecc_cycle(&mut t, &mut rng); // project |0_L>
+        for r in 0..mce.mask().num_regions() {
+            mce.mask_mut().set_region(r, true);
+        }
+        for _ in 0..3 {
+            mce.run_qecc_cycle(&mut t, &mut rng); // masked: all-NOP cycles
+        }
+        for r in 0..mce.mask().num_regions() {
+            mce.mask_mut().set_region(r, false);
+        }
+        mce.run_qecc_cycle(&mut t, &mut rng); // resumed QECC
+        let z = mce.decode_stats(StabKind::Z);
+        assert_eq!(z.local_hits + z.escalations, 0, "spurious events on resume");
+        assert!(!mce.measure_logical_z(&mut t, &mut rng));
+    }
+
+    #[test]
+    fn logical_pauli_instructions_toggle_the_frame() {
+        use quest_isa::{LogicalInstr, LogicalQubit};
+        let (mut mce, _, _) = setup(3);
+        assert_eq!(mce.logical_frame(), (false, false));
+        mce.execute_logical(LogicalInstr::X(LogicalQubit(0)));
+        mce.execute_logical(LogicalInstr::Z(LogicalQubit(0)));
+        assert_eq!(mce.logical_frame(), (true, true));
+        mce.execute_logical(LogicalInstr::X(LogicalQubit(0)));
+        assert_eq!(mce.logical_frame(), (false, true));
+    }
+
+    #[test]
+    fn mask_instructions_write_the_mask_table() {
+        use quest_isa::{LogicalInstr, MaskRegion};
+        let (mut mce, _, _) = setup(3);
+        mce.execute_logical(LogicalInstr::MaskOn(MaskRegion(1)));
+        assert!(mce.mask().region_masked(1));
+        mce.execute_logical(LogicalInstr::BraidStep(MaskRegion(1)));
+        assert!(!mce.mask().region_masked(1));
+        mce.execute_logical(LogicalInstr::BraidStep(MaskRegion(1)));
+        assert!(mce.mask().region_masked(1));
+        mce.execute_logical(LogicalInstr::MaskOff(MaskRegion(1)));
+        assert!(!mce.mask().region_masked(1));
+    }
+
+    #[test]
+    fn t_gates_consume_magic_states() {
+        use quest_isa::{LogicalInstr, LogicalQubit};
+        let (mut mce, _, _) = setup(3);
+        for _ in 0..7 {
+            mce.execute_logical(LogicalInstr::T(LogicalQubit(0)));
+        }
+        mce.execute_logical(LogicalInstr::MagicInject(LogicalQubit(0)));
+        assert_eq!(mce.magic_states_consumed(), 8);
+    }
+
+    #[test]
+    fn logical_prep_queues_a_transverse_word_and_clears_frames() {
+        use quest_isa::{LogicalInstr, LogicalQubit};
+        let (mut mce, _, _) = setup(3);
+        mce.execute_logical(LogicalInstr::X(LogicalQubit(0)));
+        mce.execute_logical(LogicalInstr::PrepZ(LogicalQubit(0)));
+        assert_eq!(mce.pending_logical_words(), 1);
+        assert_eq!(mce.logical_frame(), (false, false));
+    }
+
+    #[test]
+    fn logical_readout_respects_frame_and_corrections() {
+        use quest_isa::{LogicalInstr, LogicalQubit};
+        let (mut mce, mut t, mut rng) = setup(3);
+        mce.run_qecc_cycle(&mut t, &mut rng);
+        // Clean |0_L>: reads 0. Frame X flips the report to 1.
+        let mut probe = mce.clone();
+        let mut pt = t.clone();
+        assert!(!probe.measure_logical_z(&mut pt, &mut rng));
+        mce.execute_logical(LogicalInstr::X(LogicalQubit(0)));
+        assert!(mce.measure_logical_z(&mut t, &mut rng));
+    }
+
+    #[test]
+    fn readout_survives_uncorrected_residual_error() {
+        // An error injected after the last QECC cycle is caught by the
+        // final perfect decoding round inside measure_logical_z.
+        let (mut mce, mut t, mut rng) = setup(3);
+        mce.run_qecc_cycle(&mut t, &mut rng);
+        t.x(mce.lattice().data_index(1, 1));
+        assert!(!mce.measure_logical_z(&mut t, &mut rng));
+    }
+}

@@ -1,0 +1,401 @@
+//! Multi-tile QuEST system: an array of MCEs over one shared substrate.
+//!
+//! §4.2 organizes the control processor as an array of MCEs, each owning
+//! a tiled subsection of the substrate, with the master controller
+//! orchestrating logical operations across tiles. The paper does not
+//! evaluate cross-MCE logical instructions (footnote 9); this module
+//! implements them as an *extension*: a transversal logical CNOT between
+//! two same-distance tiles (physically exact for CSS codes — the rotated
+//! surface code's logical CNOT is transversal qubit-by-qubit), with the
+//! master coordinating via sync tokens and the MCEs' Pauli frames
+//! propagating through the gate as they must (`X` frames copy
+//! control→target, `Z` frames copy target→control).
+
+use crate::master::MasterController;
+use crate::mce::Mce;
+use quest_stabilizer::{NoiseChannel, PauliChannel, Tableau};
+use quest_surface::{RotatedLattice, StabKind};
+use rand::Rng;
+
+/// Logical basis for tile preparation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicalBasis {
+    /// `|0_L⟩` (all data qubits `|0⟩`).
+    Zero,
+    /// `|+_L⟩` (all data qubits `|+⟩`).
+    Plus,
+}
+
+/// An array of MCE-driven tiles over one simulated substrate.
+///
+/// # Example
+///
+/// ```
+/// use quest_core::multi_tile::{LogicalBasis, MultiTileSystem};
+/// use quest_stabilizer::{SeedableRng, StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let mut sys = MultiTileSystem::new(3, 2, 0.0);
+/// sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
+/// sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
+/// sys.run_noisy_cycle(&mut rng);
+/// sys.transversal_cnot(0, 1, &mut rng);
+/// assert!(!sys.measure_logical_z(0, &mut rng));
+/// assert!(!sys.measure_logical_z(1, &mut rng));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiTileSystem {
+    lattice: RotatedLattice,
+    mces: Vec<Mce>,
+    master: MasterController,
+    substrate: Tableau,
+    noise: PauliChannel,
+}
+
+impl MultiTileSystem {
+    /// Builds `tiles` distance-`d` tiles with per-round depolarizing data
+    /// noise of total probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiles` is zero, `d` is invalid, or `p` is out of range.
+    pub fn new(d: usize, tiles: usize, p: f64) -> MultiTileSystem {
+        assert!(tiles > 0, "need at least one tile");
+        let lattice = RotatedLattice::new(d);
+        let tile_width = lattice.num_qubits();
+        let mces = (0..tiles)
+            .map(|i| Mce::with_offset(&lattice, 65_536, i * tile_width))
+            .collect();
+        MultiTileSystem {
+            substrate: Tableau::new(tiles * tile_width),
+            lattice,
+            mces,
+            master: MasterController::new(),
+            noise: PauliChannel::depolarizing(p),
+        }
+    }
+
+    /// Number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.mces.len()
+    }
+
+    /// The shared tile lattice.
+    pub fn lattice(&self) -> &RotatedLattice {
+        &self.lattice
+    }
+
+    /// The MCE of tile `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn mce(&self, i: usize) -> &Mce {
+        &self.mces[i]
+    }
+
+    /// The master controller (bus counters live here).
+    pub fn master(&self) -> &MasterController {
+        &self.master
+    }
+
+    /// Prepares tile `i`'s logical qubit (bootstrap: direct transverse
+    /// reset of the data qubits, then QECC projection on the next cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn prep_logical<R: Rng + ?Sized>(&mut self, i: usize, basis: LogicalBasis, rng: &mut R) {
+        let off = self.mces[i].substrate_index(0);
+        for q in 0..self.lattice.num_data() {
+            self.substrate.reset(off + q, rng);
+            if basis == LogicalBasis::Plus {
+                self.substrate.h(off + q);
+            }
+        }
+        self.mces[i].notify_prepared(match basis {
+            LogicalBasis::Zero => StabKind::Z,
+            LogicalBasis::Plus => StabKind::X,
+        });
+    }
+
+    /// Runs one noisy QECC cycle on every tile and services escalations.
+    pub fn run_noisy_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for mce in &mut self.mces {
+            for q in 0..self.lattice.num_data() {
+                let e = self.noise.sample(rng);
+                self.substrate.pauli(mce.substrate_index(q), e);
+            }
+        }
+        for mce in &mut self.mces {
+            mce.run_qecc_cycle(&mut self.substrate, rng);
+            self.master.service_escalations(mce);
+        }
+    }
+
+    /// Transversal logical CNOT from tile `control` to tile `target`:
+    /// a physical CNOT between every pair of corresponding data qubits.
+    /// Pauli frames propagate through the gate (pending X corrections on
+    /// the control copy onto the target; pending Z corrections on the
+    /// target copy onto the control), and the master issues a sync token
+    /// to both MCEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile indices coincide or are out of range.
+    pub fn transversal_cnot<R: Rng + ?Sized>(
+        &mut self,
+        control: usize,
+        target: usize,
+        _rng: &mut R,
+    ) {
+        assert_ne!(control, target, "control and target tiles must differ");
+        let c_off = self.mces[control].substrate_index(0);
+        let t_off = self.mces[target].substrate_index(0);
+        for q in 0..self.lattice.num_data() {
+            self.substrate.cnot(c_off + q, t_off + q);
+        }
+
+        // Propagate the syndrome references: the CNOT conjugates the
+        // target's Z checks into (control Z check) x (target Z check) and
+        // the control's X checks into the product of both X checks, so the
+        // expected syndromes shift by the partner's current values.
+        let c_z_ref: Vec<bool> = self.mces[control]
+            .decoder(StabKind::Z)
+            .reference_bits()
+            .expect("run at least one QECC cycle before a transversal CNOT")
+            .to_vec();
+        self.mces[target]
+            .decoder_mut(StabKind::Z)
+            .xor_reference(&c_z_ref);
+        let t_x_ref: Vec<bool> = self.mces[target]
+            .decoder(StabKind::X)
+            .reference_bits()
+            .expect("run at least one QECC cycle before a transversal CNOT")
+            .to_vec();
+        self.mces[control]
+            .decoder_mut(StabKind::X)
+            .xor_reference(&t_x_ref);
+
+        // Propagate the error-decoder Pauli frames: CNOT maps X_c -> X_c X_t
+        // and Z_t -> Z_c Z_t. The Z-decoder frame holds pending X
+        // corrections; the X-decoder frame holds pending Z corrections.
+        let x_frame: Vec<usize> = self.mces[control]
+            .decoder(StabKind::Z)
+            .frame()
+            .iter()
+            .copied()
+            .collect();
+        self.mces[target]
+            .decoder_mut(StabKind::Z)
+            .apply_global_correction(x_frame);
+        let z_frame: Vec<usize> = self.mces[target]
+            .decoder(StabKind::X)
+            .frame()
+            .iter()
+            .copied()
+            .collect();
+        self.mces[control]
+            .decoder_mut(StabKind::X)
+            .apply_global_correction(z_frame);
+
+        // Propagate logical frames the same way.
+        let (cx, _cz) = self.mces[control].logical_frame();
+        let (_tx, tz) = self.mces[target].logical_frame();
+        if cx {
+            self.mces[target].execute_logical(quest_isa::LogicalInstr::X(
+                quest_isa::LogicalQubit(0),
+            ));
+        }
+        if tz {
+            self.mces[control].execute_logical(quest_isa::LogicalInstr::Z(
+                quest_isa::LogicalQubit(0),
+            ));
+        }
+
+        // Master-controller coordination.
+        let [c_mce, t_mce] = self
+            .mces
+            .get_disjoint_mut([control, target])
+            .expect("distinct indices");
+        self.master.sync(c_mce, 0);
+        self.master.sync(t_mce, 0);
+    }
+
+    /// Applies a logical X to tile `i` through its MCE's instruction path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn logical_x(&mut self, i: usize) {
+        self.mces[i].execute_logical(quest_isa::LogicalInstr::X(quest_isa::LogicalQubit(0)));
+    }
+
+    /// Reads out tile `i`'s logical qubit in the Z basis (destructive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn measure_logical_z<R: Rng + ?Sized>(&mut self, i: usize, rng: &mut R) -> bool {
+        self.mces[i].measure_logical_z(&mut self.substrate, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quest_stabilizer::{SeedableRng, StdRng};
+
+    #[test]
+    fn zero_zero_cnot_stays_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
+        sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
+        sys.run_noisy_cycle(&mut rng);
+        sys.transversal_cnot(0, 1, &mut rng);
+        sys.run_noisy_cycle(&mut rng);
+        assert!(!sys.measure_logical_z(0, &mut rng));
+        assert!(!sys.measure_logical_z(1, &mut rng));
+    }
+
+    #[test]
+    fn physical_logical_one_propagates() {
+        // Flip the control's logical value *physically* (X along the
+        // logical-X column); the CNOT must flip the target.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
+        sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
+        sys.run_noisy_cycle(&mut rng);
+        // Physical logical X on tile 0.
+        let lat = sys.lattice().clone();
+        let off = sys.mce(0).substrate_index(0);
+        for row in 0..lat.distance() {
+            sys.substrate.x(off + lat.data_index(row, 0));
+        }
+        sys.transversal_cnot(0, 1, &mut rng);
+        sys.run_noisy_cycle(&mut rng);
+        assert!(sys.measure_logical_z(0, &mut rng));
+        assert!(sys.measure_logical_z(1, &mut rng));
+    }
+
+    #[test]
+    fn frame_only_logical_one_propagates() {
+        // Flip the control's logical value in the *Pauli frame* only; the
+        // frame must ride through the CNOT.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
+        sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
+        sys.run_noisy_cycle(&mut rng);
+        sys.logical_x(0);
+        sys.transversal_cnot(0, 1, &mut rng);
+        assert!(sys.measure_logical_z(0, &mut rng));
+        assert!(sys.measure_logical_z(1, &mut rng));
+    }
+
+    #[test]
+    fn logical_bell_pair_is_correlated() {
+        for seed in 0..12 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sys = MultiTileSystem::new(3, 2, 0.0);
+            sys.prep_logical(0, LogicalBasis::Plus, &mut rng);
+            sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
+            sys.run_noisy_cycle(&mut rng);
+            sys.transversal_cnot(0, 1, &mut rng);
+            sys.run_noisy_cycle(&mut rng);
+            let a = sys.measure_logical_z(0, &mut rng);
+            let b = sys.measure_logical_z(1, &mut rng);
+            assert_eq!(a, b, "seed {seed}: Bell pair decorrelated");
+        }
+    }
+
+    #[test]
+    fn bell_pair_survives_noise_and_error_correction() {
+        let mut mismatches = 0;
+        let shots = 20;
+        for seed in 0..shots {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let mut sys = MultiTileSystem::new(3, 2, 1e-3);
+            sys.prep_logical(0, LogicalBasis::Plus, &mut rng);
+            sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
+            sys.run_noisy_cycle(&mut rng);
+            sys.transversal_cnot(0, 1, &mut rng);
+            for _ in 0..5 {
+                sys.run_noisy_cycle(&mut rng);
+            }
+            let a = sys.measure_logical_z(0, &mut rng);
+            let b = sys.measure_logical_z(1, &mut rng);
+            mismatches += (a != b) as u32;
+        }
+        assert!(mismatches <= 2, "{mismatches}/{shots} Bell mismatches at p=1e-3");
+    }
+
+    #[test]
+    fn tiles_error_correct_independently() {
+        // An error injected in one tile must not produce decoder activity
+        // in the other.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
+        sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
+        sys.run_noisy_cycle(&mut rng);
+        let victim = sys.mce(0).substrate_index(sys.lattice().data_index(1, 1));
+        sys.substrate.x(victim);
+        sys.run_noisy_cycle(&mut rng);
+        let s0 = sys.mce(0).decode_stats(StabKind::Z);
+        let s1 = sys.mce(1).decode_stats(StabKind::Z);
+        assert_eq!(s0.local_hits, 1);
+        assert_eq!(s1.local_hits + s1.escalations, 0);
+    }
+
+    #[test]
+    fn cnot_costs_only_sync_tokens() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
+        sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
+        sys.run_noisy_cycle(&mut rng);
+        let before = sys.master().bus().total();
+        sys.transversal_cnot(0, 1, &mut rng);
+        let after = sys.master().bus().total();
+        assert_eq!(after - before, 4, "two 2-byte sync tokens");
+    }
+
+    #[test]
+    fn three_tile_ghz_is_fully_correlated() {
+        // |+>_L ⊗ |0>_L ⊗ |0>_L with CNOT(0→1), CNOT(1→2) yields a
+        // logical GHZ state: all three Z readouts agree, and both values
+        // occur across seeds.
+        let mut ones = 0;
+        let shots = 16;
+        for seed in 0..shots {
+            let mut rng = StdRng::seed_from_u64(600 + seed);
+            let mut sys = MultiTileSystem::new(3, 3, 0.0);
+            sys.prep_logical(0, LogicalBasis::Plus, &mut rng);
+            sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
+            sys.prep_logical(2, LogicalBasis::Zero, &mut rng);
+            sys.run_noisy_cycle(&mut rng);
+            sys.transversal_cnot(0, 1, &mut rng);
+            sys.run_noisy_cycle(&mut rng);
+            sys.transversal_cnot(1, 2, &mut rng);
+            sys.run_noisy_cycle(&mut rng);
+            let a = sys.measure_logical_z(0, &mut rng);
+            let b = sys.measure_logical_z(1, &mut rng);
+            let c = sys.measure_logical_z(2, &mut rng);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(b, c, "seed {seed}");
+            ones += a as u32;
+        }
+        assert!(ones > 0 && ones < shots as u32, "GHZ outcomes not random");
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_tile_cnot_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        sys.transversal_cnot(1, 1, &mut rng);
+    }
+}

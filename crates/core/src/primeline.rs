@@ -1,0 +1,96 @@
+//! Prime-line multiplexing resource model (§2.3, Figure 4).
+//!
+//! Existing superconducting systems give every qubit a dedicated
+//! arbitrary waveform generator (AWG); the Hornibrook et al. prime-line
+//! architecture the paper adopts instead shares a small bank of AWGs — one
+//! per distinct waveform in the instruction alphabet — across a microwave
+//! switch matrix. A physical instruction is then just the select code
+//! routing a prime line to a qubit. This module quantifies that trade:
+//! AWG counts, select-bus width, and switch counts, versus the
+//! point-to-point baseline.
+
+use quest_isa::PhysOpcode;
+
+/// Number of distinct waveforms in the physical instruction alphabet:
+/// one prime line per non-idle opcode (the idle slot routes nothing).
+pub fn waveform_alphabet() -> usize {
+    PhysOpcode::ALL.len() - 1
+}
+
+/// Resource summary of one quantum execution unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimelineResources {
+    /// Qubits served by the unit.
+    pub qubits: usize,
+    /// Arbitrary waveform generators (shared prime lines).
+    pub awgs: usize,
+    /// Microwave switches (one per qubit × prime line crossing).
+    pub switches: usize,
+    /// Select-bus bits per qubit (`⌈log₂(alphabet + 1)⌉`).
+    pub select_bits_per_qubit: usize,
+}
+
+impl PrimelineResources {
+    /// Sizes a prime-line execution unit for `qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits` is zero.
+    pub fn for_qubits(qubits: usize) -> PrimelineResources {
+        assert!(qubits > 0, "unit must serve at least one qubit");
+        let alphabet = waveform_alphabet();
+        let select_bits_per_qubit = usize::BITS as usize
+            - (alphabet + 1).next_power_of_two().leading_zeros() as usize
+            - 1;
+        PrimelineResources {
+            qubits,
+            awgs: alphabet,
+            switches: qubits * alphabet,
+            select_bits_per_qubit,
+        }
+    }
+
+    /// AWGs the point-to-point baseline would need for the same qubits
+    /// (one per qubit).
+    pub fn point_to_point_awgs(&self) -> usize {
+        self.qubits
+    }
+
+    /// AWG savings factor over point-to-point.
+    pub fn awg_savings(&self) -> f64 {
+        self.point_to_point_awgs() as f64 / self.awgs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_covers_every_non_idle_opcode() {
+        assert_eq!(waveform_alphabet(), 12);
+    }
+
+    #[test]
+    fn select_bits_fit_a_nibble() {
+        // The µop encoding reserves a 4-bit opcode; the select bus must
+        // agree.
+        let r = PrimelineResources::for_qubits(100);
+        assert!(r.select_bits_per_qubit <= 4, "{}", r.select_bits_per_qubit);
+    }
+
+    #[test]
+    fn awg_count_is_constant_in_qubits() {
+        let small = PrimelineResources::for_qubits(17);
+        let large = PrimelineResources::for_qubits(100_000);
+        assert_eq!(small.awgs, large.awgs);
+        assert!(large.awg_savings() > 8_000.0);
+    }
+
+    #[test]
+    fn switch_matrix_scales_linearly() {
+        let a = PrimelineResources::for_qubits(100);
+        let b = PrimelineResources::for_qubits(200);
+        assert_eq!(b.switches, 2 * a.switches);
+    }
+}

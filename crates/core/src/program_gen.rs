@@ -1,0 +1,172 @@
+//! Microcode program generation: compiling a surface-code QECC cycle into
+//! lock-step VLIW words.
+//!
+//! The generated program is the content of the QECC-µop table (Figure 8c):
+//! six words per cycle — ancilla preparation, four interleaved CNOT
+//! layers, ancilla measurement — with every CNOT encoded as a
+//! ctrl/tgt µop pair carrying coupling directions. Executing the program
+//! through the [`crate::execution_unit::ExecutionUnit`] reproduces the
+//! reference syndrome circuit of `quest_surface` gate for gate (verified
+//! in tests).
+
+use crate::geometry::TileGeometry;
+use quest_isa::{Direction, MicroOp, PhysOpcode, VliwWord};
+use quest_surface::{schedule, RotatedLattice, StabKind};
+
+/// Number of VLIW words in one generated QECC cycle.
+pub const CYCLE_WORDS: usize = 6;
+
+/// Index of the measurement word within the cycle.
+pub const MEASURE_WORD: usize = CYCLE_WORDS - 1;
+
+/// Compiles one QECC cycle for `lattice` into VLIW words.
+///
+/// The word layout is:
+/// * word 0 — `PrepX`/`PrepZ` on every ancilla;
+/// * words 1–4 — CNOT layers in the collision-free interleaving of
+///   [`schedule::corner_for_layer`];
+/// * word 5 — `MeasX`/`MeasZ` on every ancilla.
+pub fn qecc_cycle_words(lattice: &RotatedLattice, geometry: &TileGeometry) -> Vec<VliwWord> {
+    let n = lattice.num_qubits();
+    let mut words = vec![VliwWord::nop(n); CYCLE_WORDS];
+
+    for p in lattice.plaquettes() {
+        let (prep, meas) = match p.kind {
+            StabKind::X => (PhysOpcode::PrepX, PhysOpcode::MeasX),
+            StabKind::Z => (PhysOpcode::PrepZ, PhysOpcode::MeasZ),
+        };
+        words[0].set(p.ancilla, MicroOp::simple(prep));
+        words[MEASURE_WORD].set(p.ancilla, MicroOp::simple(meas));
+
+        let corners = lattice.corners(p);
+        for layer in 0..4 {
+            let corner = schedule::corner_for_layer(p.kind, layer);
+            let Some(data) = corners[corner] else {
+                continue;
+            };
+            // Corner order NW, NE, SW, SE matches `Direction::ALL`.
+            let dir = Direction::ALL[corner];
+            debug_assert_eq!(geometry.neighbor(p.ancilla, dir), Some(data));
+            let word = &mut words[1 + layer];
+            match p.kind {
+                // X syndrome: ancilla is the control.
+                StabKind::X => {
+                    word.set(p.ancilla, MicroOp::cnot_half(PhysOpcode::CnotCtrl, dir));
+                    word.set(data, MicroOp::cnot_half(PhysOpcode::CnotTgt, dir.opposite()));
+                }
+                // Z syndrome: data is the control.
+                StabKind::Z => {
+                    word.set(data, MicroOp::cnot_half(PhysOpcode::CnotCtrl, dir.opposite()));
+                    word.set(p.ancilla, MicroOp::cnot_half(PhysOpcode::CnotTgt, dir));
+                }
+            }
+        }
+    }
+    words
+}
+
+/// The ancilla slots measured by the cycle's measurement word, split by
+/// stabilizer type in plaquette order — the wiring between the execution
+/// unit's measurement outputs and the error-decoder pipeline.
+pub fn measured_ancillas(lattice: &RotatedLattice, kind: StabKind) -> Vec<usize> {
+    lattice.plaquettes_of(kind).map(|p| p.ancilla).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quest_stabilizer::{SeedableRng, StdRng, Tableau};
+    use quest_surface::SyndromeCircuit;
+
+    #[test]
+    fn generated_cycle_has_six_words() {
+        let lat = RotatedLattice::new(3);
+        let geo = TileGeometry::from_lattice(&lat);
+        let words = qecc_cycle_words(&lat, &geo);
+        assert_eq!(words.len(), CYCLE_WORDS);
+        for w in &words {
+            assert_eq!(w.len(), lat.num_qubits());
+        }
+    }
+
+    #[test]
+    fn every_ancilla_prepped_and_measured_once() {
+        let lat = RotatedLattice::new(5);
+        let geo = TileGeometry::from_lattice(&lat);
+        let words = qecc_cycle_words(&lat, &geo);
+        assert_eq!(words[0].active_count(), lat.num_ancillas());
+        assert_eq!(words[MEASURE_WORD].active_count(), lat.num_ancillas());
+    }
+
+    #[test]
+    fn cnot_layers_pair_up_exactly() {
+        let lat = RotatedLattice::new(5);
+        let geo = TileGeometry::from_lattice(&lat);
+        let words = qecc_cycle_words(&lat, &geo);
+        #[allow(clippy::needless_range_loop)] // layer is the word index
+        for layer in 1..5 {
+            let mut ctrls = 0;
+            let mut tgts = 0;
+            for (_, u) in words[layer].iter() {
+                match u.opcode() {
+                    PhysOpcode::CnotCtrl => ctrls += 1,
+                    PhysOpcode::CnotTgt => tgts += 1,
+                    PhysOpcode::Nop => {}
+                    other => panic!("unexpected µop {other} in CNOT layer"),
+                }
+            }
+            assert_eq!(ctrls, tgts, "layer {layer}");
+            assert!(ctrls > 0, "layer {layer} is empty");
+        }
+    }
+
+    /// The microcode program, executed through the execution unit, must
+    /// produce identical syndrome statistics to the reference circuit: on
+    /// the |0…0⟩ state all Z checks read 0, and injected single errors
+    /// flip exactly the same checks.
+    #[test]
+    fn microcode_reproduces_reference_syndrome_circuit() {
+        use crate::execution_unit::ExecutionUnit;
+        let lat = RotatedLattice::new(3);
+        let geo = TileGeometry::from_lattice(&lat);
+        let words = qecc_cycle_words(&lat, &geo);
+        let sc = SyndromeCircuit::new(&lat);
+
+        for victim in 0..lat.num_data() {
+            // Reference: project, inject X, measure syndrome.
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut t_ref = Tableau::new(lat.num_qubits());
+            sc.run_round(&mut t_ref, &mut rng);
+            t_ref.x(victim);
+            let expect = sc.run_round(&mut t_ref, &mut rng);
+
+            // Microcode path: same protocol through the execution unit.
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut t_mc = Tableau::new(lat.num_qubits());
+            let mut eu = ExecutionUnit::new(TileGeometry::from_lattice(&lat));
+            let mut run_cycle = |t: &mut Tableau, rng: &mut StdRng| {
+                let mut meas = Vec::new();
+                for w in &words {
+                    meas.extend(eu.execute(w, t, rng).measurements);
+                }
+                meas
+            };
+            run_cycle(&mut t_mc, &mut rng);
+            t_mc.x(victim);
+            let got = run_cycle(&mut t_mc, &mut rng);
+
+            // Compare Z-check outcomes (deterministic under this protocol).
+            let z_ancillas = measured_ancillas(&lat, StabKind::Z);
+            let got_z: Vec<bool> = z_ancillas
+                .iter()
+                .map(|&a| {
+                    got.iter()
+                        .find(|(q, _)| *q == a)
+                        .map(|(_, v)| *v)
+                        .expect("ancilla measured")
+                })
+                .collect();
+            assert_eq!(got_z, expect.z, "victim {victim}");
+        }
+    }
+}

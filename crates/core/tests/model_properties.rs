@@ -1,0 +1,113 @@
+//! Property tests of the microarchitecture models: monotonicity and
+//! consistency laws the paper's arguments rely on.
+
+use proptest::prelude::*;
+use quest_core::jj::MemoryConfig;
+use quest_core::mask::MaskTable;
+use quest_core::microcode::{bandwidth_limited_qubits, MicrocodeDesign};
+use quest_core::TechnologyParams;
+use quest_surface::SyndromeDesign;
+
+fn syndrome_strategy() -> impl Strategy<Value = SyndromeDesign> {
+    prop_oneof![
+        Just(SyndromeDesign::STEANE),
+        Just(SyndromeDesign::SHOR),
+        Just(SyndromeDesign::SC17),
+        Just(SyndromeDesign::SC13),
+    ]
+}
+
+proptest! {
+    /// RAM capacity is always at least FIFO capacity (address bits never
+    /// help), and FIFO at least unit-cell beyond the unit-cell size.
+    #[test]
+    fn capacity_ordering(n in 32usize..100_000, syn in syndrome_strategy()) {
+        let ram = MicrocodeDesign::Ram.capacity_bits(n, &syn, 4.0);
+        let fifo = MicrocodeDesign::Fifo.capacity_bits(n, &syn, 4.0);
+        let uc = MicrocodeDesign::UnitCell.capacity_bits(n, &syn, 4.0);
+        prop_assert!(ram > fifo);
+        if n * syn.cycle_depth > syn.microcode_uops {
+            prop_assert!(fifo >= uc);
+        }
+    }
+
+    /// Capacity-limited qubit counts are monotone in the memory size.
+    #[test]
+    fn capacity_limit_monotone_in_memory(
+        bits_a in 1024usize..32_768,
+        bits_b in 1024usize..32_768,
+        syn in syndrome_strategy(),
+    ) {
+        let (lo, hi) = (bits_a.min(bits_b), bits_a.max(bits_b));
+        for design in [MicrocodeDesign::Ram, MicrocodeDesign::Fifo] {
+            let a = design.capacity_limited_qubits(lo, &syn, 4.0);
+            let b = design.capacity_limited_qubits(hi, &syn, 4.0);
+            prop_assert!(a <= b, "{design}: {a} qubits at {lo}b vs {b} at {hi}b");
+        }
+    }
+
+    /// The capacity-limited count is exact: the reported count fits, one
+    /// more does not.
+    #[test]
+    fn capacity_limit_is_tight(bits in 2048usize..65_536, syn in syndrome_strategy()) {
+        for design in [MicrocodeDesign::Ram, MicrocodeDesign::Fifo] {
+            let n = design.capacity_limited_qubits(bits, &syn, 4.0);
+            prop_assert!(design.capacity_bits(n, &syn, 4.0) <= bits as f64);
+            prop_assert!(design.capacity_bits(n + 1, &syn, 4.0) > bits as f64);
+        }
+    }
+
+    /// Memory bandwidth grows with channel count at fixed total capacity,
+    /// and the serviced-qubit count follows.
+    #[test]
+    fn bandwidth_monotone_in_channels(total_kb in 1usize..8) {
+        let total = total_kb * 1024;
+        let tech = TechnologyParams::PROJECTED_F;
+        let mut last = 0;
+        for channels in [1usize, 2, 4, 8] {
+            if total % channels != 0 {
+                continue;
+            }
+            let cfg = MemoryConfig::new(channels, total / channels);
+            let n = bandwidth_limited_qubits(&cfg, &tech, 4.0);
+            prop_assert!(n >= last, "{channels} channels served {n} < {last}");
+            last = n;
+        }
+    }
+
+    /// Mask coalescing always stores exactly ceil(N / region) bits and
+    /// region masking covers exactly its members.
+    #[test]
+    fn mask_coalescing_laws(n in 1usize..10_000, region in 1usize..200) {
+        let mut m = MaskTable::coalesced(n, region);
+        prop_assert_eq!(m.storage_bits(), n.div_ceil(region));
+        if m.num_regions() > 0 {
+            let r = m.num_regions() - 1;
+            m.set_region(r, true);
+            let expected: usize = (0..n).filter(|&q| q / region == r).count();
+            prop_assert_eq!(m.masked_count(), expected);
+        }
+    }
+
+    /// JJ counts and power are positive and monotone-ish in capacity for
+    /// the approximate model (non-anchor configurations).
+    #[test]
+    fn jj_model_sane(channels in 1usize..16, bank_kb in 1usize..8) {
+        let cfg = MemoryConfig::new(channels, bank_kb * 1024 + 8);
+        prop_assert!(cfg.jj_count() > 0);
+        prop_assert!(cfg.power_w() > 0.0);
+        let bigger = MemoryConfig::new(channels, bank_kb * 2048 + 8);
+        prop_assert!(bigger.jj_count() >= cfg.jj_count());
+    }
+
+    /// Faster qubit technologies never increase the serviced-qubit count
+    /// (less streaming time per slot).
+    #[test]
+    fn throughput_monotone_in_slot_time(syn in syndrome_strategy()) {
+        use quest_core::throughput::figure16_point;
+        let exp = figure16_point(&syn, &TechnologyParams::EXPERIMENTAL_S);
+        let f = figure16_point(&syn, &TechnologyParams::PROJECTED_F);
+        let d = figure16_point(&syn, &TechnologyParams::PROJECTED_D);
+        prop_assert!(exp >= f && f >= d);
+    }
+}

@@ -1,0 +1,112 @@
+//! Control-processor array sizing.
+//!
+//! §4.2 organizes QuEST as an array of MCEs, each servicing a fixed tile
+//! of the substrate. Combining the workload footprint (how many physical
+//! qubits, from [`crate::bandwidth`]) with the per-MCE throughput model
+//! (how many qubits one MCE can service, from `quest_core::throughput`)
+//! yields the control-processor bill of materials: MCE count, total JJ
+//! budget, and total microcode power — the quantities a hardware team
+//! would take to floor-planning.
+
+use crate::bandwidth::BandwidthEstimate;
+use quest_core::throughput::{optimal_config, unit_cell_throughput};
+use quest_core::TechnologyParams;
+use quest_surface::SyndromeDesign;
+
+/// Sized MCE array for one workload at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayPlan {
+    /// Physical qubits to be serviced.
+    pub physical_qubits: f64,
+    /// Qubits serviced per MCE at the chosen configuration.
+    pub qubits_per_mce: usize,
+    /// Number of MCEs in the array.
+    pub mces: u64,
+    /// Total JJ count of all microcode memories.
+    pub total_jjs: u64,
+    /// Total microcode power in watts.
+    pub total_power_w: f64,
+}
+
+impl ArrayPlan {
+    /// Sizes the array for a bandwidth estimate under a syndrome design
+    /// and technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome design's program fits no 4 Kb configuration
+    /// (cannot happen for the four shipped designs).
+    pub fn size(
+        estimate: &BandwidthEstimate,
+        syndrome: &SyndromeDesign,
+        tech: &TechnologyParams,
+    ) -> ArrayPlan {
+        let config = optimal_config(syndrome, tech);
+        let qubits_per_mce = unit_cell_throughput(syndrome, &config, tech);
+        assert!(qubits_per_mce > 0, "no feasible configuration");
+        let mces = (estimate.physical_qubits / qubits_per_mce as f64).ceil() as u64;
+        ArrayPlan {
+            physical_qubits: estimate.physical_qubits,
+            qubits_per_mce,
+            mces,
+            total_jjs: mces * config.jj_count(),
+            total_power_w: mces as f64 * config.power_w(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Workload;
+
+    fn plan(w: &Workload) -> ArrayPlan {
+        let tech = TechnologyParams::PROJECTED_D;
+        let syn = SyndromeDesign::STEANE;
+        let e = BandwidthEstimate::analyze(w, 1e-4, &tech, &syn);
+        ArrayPlan::size(&e, &syn, &tech)
+    }
+
+    #[test]
+    fn array_covers_every_qubit() {
+        for w in &Workload::ALL {
+            let p = plan(w);
+            assert!(
+                p.mces as f64 * p.qubits_per_mce as f64 >= p.physical_qubits,
+                "{}: array too small",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn shor_needs_thousands_of_mces_at_microwatts() {
+        // The point of the distributed design: millions of qubits under
+        // thousands of tiny engines, total power in the milliwatt class —
+        // feasible at 4 K, unlike streaming hundreds of TB/s.
+        let p = plan(&Workload::SHOR);
+        assert!(p.mces > 1_000 && p.mces < 1_000_000, "{} MCEs", p.mces);
+        assert!(
+            p.total_power_w < 0.1,
+            "total microcode power {} W",
+            p.total_power_w
+        );
+    }
+
+    #[test]
+    fn bigger_workloads_need_more_mces() {
+        let small = plan(&Workload::BF);
+        let large = plan(&Workload::FEMOCO);
+        assert!(large.mces > small.mces);
+        assert!(large.total_jjs > small.total_jjs);
+    }
+
+    #[test]
+    fn sc17_reduces_the_array() {
+        let tech = TechnologyParams::PROJECTED_D;
+        let e = BandwidthEstimate::analyze(&Workload::GSE, 1e-4, &tech, &SyndromeDesign::STEANE);
+        let steane = ArrayPlan::size(&e, &SyndromeDesign::STEANE, &tech);
+        let sc17 = ArrayPlan::size(&e, &SyndromeDesign::SC17, &tech);
+        assert!(sc17.mces < steane.mces, "SC-17 should shrink the array");
+    }
+}

@@ -1,0 +1,132 @@
+//! Surface-code distance selection and logical error-rate model.
+//!
+//! Standard Fowler-style scaling: the logical error rate per logical qubit
+//! per QECC round is `p_L(d) = A · (p / p_th)^⌈(d+1)/2⌉` with threshold
+//! `p_th = 10⁻²` and prefactor `A = 0.1`. The code distance is the
+//! smallest odd `d` for which the whole workload's accumulated logical
+//! error probability stays below ½.
+
+/// Surface-code threshold error rate (per physical qubit per round).
+pub const P_THRESHOLD: f64 = 1e-2;
+
+/// Logical error-rate prefactor.
+pub const PREFACTOR: f64 = 0.1;
+
+/// Logical error rate per logical qubit per QECC round at distance `d`
+/// and physical error rate `p`.
+///
+/// # Panics
+///
+/// Panics if `d` is even or zero, or `p` is not in `(0, 1)`.
+pub fn logical_error_per_round(d: usize, p: f64) -> f64 {
+    assert!(d >= 1 && d % 2 == 1, "distance must be odd and positive");
+    assert!(p > 0.0 && p < 1.0, "physical error rate must be in (0,1)");
+    PREFACTOR * (p / P_THRESHOLD).powi(d.div_ceil(2) as i32)
+}
+
+/// QuRE-style per-round logical error-rate target: the toolbox the paper
+/// uses picks the code distance so that each logical qubit's error per
+/// round falls below a fixed target rather than budgeting the whole run.
+/// `10⁻¹²` reproduces the paper's footprints (Shor-1024 at p = 10⁻⁴ lands
+/// on d = 11 and "millions of qubits", §1/Figure 2).
+pub const QURE_TARGET: f64 = 1e-12;
+
+/// Smallest odd distance with `p_L(d) < QURE_TARGET` — the QuRE
+/// convention used throughout the bandwidth models.
+///
+/// # Panics
+///
+/// Panics if `p ≥ p_th`.
+pub fn qure_distance(p: f64) -> usize {
+    assert!(
+        p < P_THRESHOLD,
+        "physical error rate {p} is not below threshold"
+    );
+    let mut d = 3usize;
+    while logical_error_per_round(d, p) >= QURE_TARGET {
+        d += 2;
+        assert!(d < 1000, "no practical distance at p = {p}");
+    }
+    d
+}
+
+/// Smallest odd distance such that `volume · p_L(d) < 0.5`, where
+/// `volume` is the workload's space-time volume in (logical qubit ×
+/// round) units.
+///
+/// # Panics
+///
+/// Panics if `p ≥ p_th` (below threshold no distance suffices) or the
+/// volume is not positive and finite.
+pub fn required_distance(volume: f64, p: f64) -> usize {
+    assert!(
+        p < P_THRESHOLD,
+        "physical error rate {p} is not below threshold"
+    );
+    assert!(
+        volume.is_finite() && volume > 0.0,
+        "space-time volume must be positive"
+    );
+    let mut d = 3usize;
+    while volume * logical_error_per_round(d, p) >= 0.5 {
+        d += 2;
+        assert!(d < 1000, "no practical distance for volume {volume}");
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_decreases_exponentially_with_distance() {
+        let p = 1e-4;
+        let p3 = logical_error_per_round(3, p);
+        let p5 = logical_error_per_round(5, p);
+        let p7 = logical_error_per_round(7, p);
+        assert!((p3 / p5 - 100.0).abs() < 1e-6);
+        assert!((p5 / p7 - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn required_distance_grows_with_volume() {
+        let p = 1e-4;
+        let d_small = required_distance(1e3, p);
+        let d_large = required_distance(1e15, p);
+        assert!(d_large > d_small);
+        assert!(d_small >= 3);
+        // Sanity: the chosen distance actually meets the budget and the
+        // next smaller does not.
+        for (v, d) in [(1e3, d_small), (1e15, d_large)] {
+            assert!(v * logical_error_per_round(d, p) < 0.5);
+            if d > 3 {
+                assert!(v * logical_error_per_round(d - 2, p) >= 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn lower_error_rate_needs_smaller_distance() {
+        let v = 1e12;
+        let d4 = required_distance(v, 1e-4);
+        let d5 = required_distance(v, 1e-5);
+        let d3 = required_distance(v, 1e-3);
+        assert!(d5 < d4, "1e-5 ⇒ d {d5} vs 1e-4 ⇒ d {d4}");
+        assert!(d3 > d4, "1e-3 ⇒ d {d3} vs 1e-4 ⇒ d {d4}");
+    }
+
+    #[test]
+    fn qure_distance_anchors() {
+        // Calibration anchors behind the paper's footprints.
+        assert_eq!(qure_distance(1e-4), 11);
+        assert!(qure_distance(1e-3) > qure_distance(1e-4));
+        assert!(qure_distance(1e-5) < qure_distance(1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not below threshold")]
+    fn above_threshold_panics() {
+        required_distance(1e6, 2e-2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Exact simulation of one 15-to-1 magic-state distillation round.
+//!
+//! The Bravyi–Kitaev protocol runs the T-gadget over the `[[15,1,3]]`
+//! punctured Reed–Muller code. Under the standard Pauli twirl, a faulty
+//! input T state is a perfect one followed by a Z error with probability
+//! `p`, and the protocol's behaviour is fully classical:
+//!
+//! * the X-type checks are the parity-check matrix of the `[15,11,3]`
+//!   Hamming code (column `i` is the 4-bit binary of `i`);
+//! * a Z-error pattern `e` is **detected** iff `H·e ≠ 0` (round rejected);
+//! * an undetected pattern is **harmful** iff its weight is odd: the
+//!   code's Z-stabilizer group is the even-weight subcode of the Hamming
+//!   code, and any odd-weight codeword acts as logical Z on the output.
+//!
+//! Because the Hamming code has exactly 35 weight-3 codewords, the leading
+//! output error is `35·p³` — the constant used by the analytical model in
+//! [`crate::distillation`]. This module computes the *exact* output error
+//! and acceptance probability by enumerating all 2¹⁵ error patterns, and
+//! verifies the analytical model against it.
+
+/// Number of input magic states per round.
+pub const INPUTS: usize = 15;
+
+/// Returns the 4-bit Hamming syndrome of an error pattern (bit `i` of
+/// `pattern` = Z error on input `i+1`; columns are 1..=15).
+pub fn syndrome(pattern: u16) -> u8 {
+    let mut s = 0u8;
+    for i in 0..INPUTS {
+        if pattern >> i & 1 == 1 {
+            s ^= (i as u8) + 1;
+        }
+    }
+    s
+}
+
+/// Classifies one error pattern: `(accepted, harmful)`.
+pub fn classify(pattern: u16) -> (bool, bool) {
+    let accepted = syndrome(pattern) == 0;
+    let harmful = accepted && pattern.count_ones() % 2 == 1;
+    (accepted, harmful)
+}
+
+/// Exact acceptance probability and output error rate of one 15-to-1
+/// round with i.i.d. input Z-error probability `p`.
+///
+/// Returns `(p_accept, p_output_error_given_accept)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn exact_round(p: f64) -> (f64, f64) {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut p_accept = 0.0;
+    let mut p_harm = 0.0;
+    for pattern in 0u32..(1 << INPUTS) {
+        let pattern = pattern as u16;
+        let w = pattern.count_ones();
+        let prob = p.powi(w as i32) * (1.0 - p).powi((INPUTS as u32 - w) as i32);
+        let (accepted, harmful) = classify(pattern);
+        if accepted {
+            p_accept += prob;
+            if harmful {
+                p_harm += prob;
+            }
+        }
+    }
+    (p_accept, p_harm / p_accept)
+}
+
+/// Number of undetected (syndrome-zero) patterns of each weight —
+/// the weight distribution of the `[15,11,3]` Hamming code.
+pub fn undetected_weight_distribution() -> [u64; INPUTS + 1] {
+    let mut dist = [0u64; INPUTS + 1];
+    for pattern in 0u32..(1 << INPUTS) {
+        let pattern = pattern as u16;
+        if syndrome(pattern) == 0 {
+            dist[pattern.count_ones() as usize] += 1;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distillation::output_error;
+
+    #[test]
+    fn hamming_code_has_2048_codewords() {
+        let dist = undetected_weight_distribution();
+        let total: u64 = dist.iter().sum();
+        assert_eq!(total, 1 << 11, "Hamming [15,11] has 2^11 codewords");
+    }
+
+    #[test]
+    fn thirty_five_weight_three_codewords() {
+        // The source of the famous 35·p³.
+        let dist = undetected_weight_distribution();
+        assert_eq!(dist[0], 1);
+        assert_eq!(dist[1], 0);
+        assert_eq!(dist[2], 0);
+        assert_eq!(dist[3], 35);
+    }
+
+    #[test]
+    fn single_errors_are_always_detected() {
+        for i in 0..INPUTS {
+            let (accepted, _) = classify(1 << i);
+            assert!(!accepted, "single error on input {i} slipped through");
+        }
+    }
+
+    #[test]
+    fn double_errors_are_always_detected() {
+        for i in 0..INPUTS {
+            for j in i + 1..INPUTS {
+                let (accepted, _) = classify((1 << i) | (1 << j));
+                assert!(!accepted, "double error ({i},{j}) slipped through");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_output_error_approaches_35_p_cubed() {
+        for p in [1e-3, 1e-4] {
+            let (_, p_out) = exact_round(p);
+            let model = 35.0 * p * p * p;
+            let rel = (p_out - model).abs() / model;
+            assert!(rel < 0.05, "p={p}: exact {p_out:.3e} vs 35p^3 {model:.3e}");
+        }
+    }
+
+    #[test]
+    fn analytical_model_matches_exact_simulation() {
+        // The DistillationPlan uses p_out = 35·p³ per level; the exact
+        // round must agree to leading order.
+        let p = 1e-3;
+        let (_, exact) = exact_round(p);
+        let model = output_error(p, 1);
+        assert!((exact / model - 1.0).abs() < 0.05, "exact {exact} model {model}");
+    }
+
+    #[test]
+    fn acceptance_probability_is_nearly_one_at_low_p() {
+        let (p_acc, _) = exact_round(1e-3);
+        // Rejection is dominated by any-single-error ≈ 15p.
+        assert!((p_acc - (1.0 - 15.0 * 1e-3)).abs() < 2e-3, "{p_acc}");
+    }
+
+    #[test]
+    fn noiseless_round_is_perfect() {
+        let (p_acc, p_out) = exact_round(0.0);
+        assert_eq!(p_acc, 1.0);
+        assert_eq!(p_out, 0.0);
+    }
+
+    #[test]
+    fn high_noise_round_mostly_rejects() {
+        let (p_acc, _) = exact_round(0.3);
+        // 2^11/2^15 = 1/16 of patterns pass; at high noise acceptance
+        // approaches the code rate.
+        assert!(p_acc < 0.2, "{p_acc}");
+    }
+}

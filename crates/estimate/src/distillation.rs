@@ -1,0 +1,178 @@
+//! Magic-state distillation and T-factory model (§5.2).
+//!
+//! T gates require magic states produced by the recursive 15-to-1
+//! Bravyi–Kitaev distillation protocol: each level consumes 15 input
+//! states and emits one state whose error is `35·p³` of the input error.
+//! Workloads consume magic states roughly every third logical instruction,
+//! so factories must run continuously and in parallel — and their
+//! instruction streams dominate the *logical* bandwidth (Figure 13).
+
+use crate::distance::P_THRESHOLD;
+
+/// Error-suppression constant of the 15-to-1 protocol: `p_out = 35·p_in³`.
+pub const BK_CONSTANT: f64 = 35.0;
+
+/// Logical instructions per level of one distillation round (§5.3: "a
+/// typical distillation algorithm has 100 to 200 logical instructions").
+pub const INSTRS_PER_LEVEL: f64 = 150.0;
+
+/// Logical qubits occupied by one level-1 factory instance (15 inputs +
+/// one output/work qubit).
+pub const FACTORY_LOGICAL_QUBITS: f64 = 16.0;
+
+/// Output error after `levels` rounds of 15-to-1 starting from injected
+/// states of error `p_in`.
+pub fn output_error(p_in: f64, levels: u32) -> f64 {
+    let mut p = p_in;
+    for _ in 0..levels {
+        p = BK_CONSTANT * p * p * p;
+    }
+    p
+}
+
+/// Number of 15-to-1 levels needed so that states injected at error
+/// `p_in` reach a target error below `p_target`.
+///
+/// # Panics
+///
+/// Panics if the recursion cannot converge (`35·p_in² ≥ 1`) or the target
+/// is not positive.
+pub fn levels_needed(p_in: f64, p_target: f64) -> u32 {
+    assert!(p_target > 0.0, "target error must be positive");
+    assert!(
+        BK_CONSTANT * p_in * p_in < 1.0,
+        "injected error {p_in} too high for 15-to-1 to converge"
+    );
+    let mut levels = 0;
+    let mut p = p_in;
+    while p >= p_target {
+        p = BK_CONSTANT * p * p * p;
+        levels += 1;
+        assert!(levels < 16, "distillation depth runaway");
+    }
+    levels
+}
+
+/// A sized distillation pipeline for one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistillationPlan {
+    /// Recursion levels per magic state.
+    pub levels: u32,
+    /// Logical instructions expended per distilled magic state
+    /// (geometric sum over the recursion tree).
+    pub instrs_per_state: f64,
+    /// Logical qubits per factory (the widest level dominates).
+    pub logical_qubits_per_factory: f64,
+    /// Number of parallel factories needed to keep up with the workload's
+    /// T-gate consumption rate.
+    pub factories: f64,
+}
+
+impl DistillationPlan {
+    /// Sizes the pipeline.
+    ///
+    /// * `p` — physical error rate; injected states start at `p_in ≈ 10·p`.
+    /// * `t_count` — total T gates in the workload (sets the per-state
+    ///   error budget `0.5 / t_count`).
+    /// * `t_rate_per_step` — magic states consumed per logical time step
+    ///   (T-fraction × instruction-level parallelism).
+    ///
+    /// A level takes ~10 logical steps; a `levels`-deep pipeline outputs
+    /// one state per 10·`levels` steps per factory, so
+    /// `factories = t_rate_per_step × 10 × levels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_count` is not positive or `p` is not in `(0, p_th)`.
+    pub fn size(p: f64, t_count: f64, t_rate_per_step: f64) -> DistillationPlan {
+        assert!(t_count > 0.0, "need a positive T count");
+        assert!(p > 0.0 && p < P_THRESHOLD, "p out of range");
+        let p_in = (10.0 * p).min(0.1);
+        let p_target = 0.5 / t_count;
+        let levels = levels_needed(p_in, p_target).max(1);
+        // Recursion tree: level k consumes 15^(k-1) level-1 rounds.
+        let mut instrs = 0.0;
+        let mut width: f64 = FACTORY_LOGICAL_QUBITS;
+        let mut rounds = 1.0;
+        for _ in 0..levels {
+            instrs += rounds * INSTRS_PER_LEVEL;
+            width = width.max(rounds * FACTORY_LOGICAL_QUBITS);
+            rounds *= 15.0;
+        }
+        let factories = (t_rate_per_step * 10.0 * levels as f64).max(1.0);
+        DistillationPlan {
+            levels,
+            instrs_per_state: instrs,
+            logical_qubits_per_factory: width,
+            factories,
+        }
+    }
+
+    /// Total logical qubits occupied by all factories.
+    pub fn total_factory_qubits(&self) -> f64 {
+        self.factories * self.logical_qubits_per_factory
+    }
+
+    /// Ratio of distillation logical instructions to algorithmic logical
+    /// instructions, given the workload's T-fraction (Figure 13).
+    pub fn instruction_ratio(&self, t_fraction: f64) -> f64 {
+        t_fraction * self.instrs_per_state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_error_is_cubic_per_level() {
+        let p = 1e-3;
+        let one = output_error(p, 1);
+        assert!((one - 35.0 * p * p * p).abs() < 1e-18);
+        let two = output_error(p, 2);
+        assert!((two - 35.0 * one * one * one).abs() < 1e-24);
+    }
+
+    #[test]
+    fn levels_track_target() {
+        // p_in = 1e-3: one level gives 3.5e-8, two give ~1.5e-21.
+        assert_eq!(levels_needed(1e-3, 1e-6), 1);
+        assert_eq!(levels_needed(1e-3, 1e-10), 2);
+        assert_eq!(levels_needed(1e-3, 1e-22), 3);
+    }
+
+    #[test]
+    fn typical_workload_needs_two_levels() {
+        // p = 1e-4 (paper's assumption), 1e10 T gates.
+        let plan = DistillationPlan::size(1e-4, 1e10, 0.75);
+        assert_eq!(plan.levels, 2);
+        // ~150 + 15·150 = 2400 instructions per state.
+        assert!((plan.instrs_per_state - 2400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn instruction_ratio_is_roughly_three_orders() {
+        // §5.3: caching distillation cuts logical bandwidth ~1000×, so the
+        // distillation:algorithmic ratio must be ~1e3 for typical
+        // workloads.
+        let plan = DistillationPlan::size(1e-4, 1e12, 0.75);
+        let r = plan.instruction_ratio(0.3);
+        assert!((100.0..=100_000.0).contains(&r), "ratio {r}");
+    }
+
+    #[test]
+    fn factories_scale_sublinearly_with_error_rate() {
+        // Figure 15's discussion: factory count scales with the *number of
+        // levels*, i.e. log-log in the error budget.
+        let lo = DistillationPlan::size(1e-5, 1e12, 0.75);
+        let hi = DistillationPlan::size(1e-3, 1e12, 0.75);
+        assert!(hi.factories >= lo.factories);
+        assert!(hi.factories <= 4.0 * lo.factories);
+    }
+
+    #[test]
+    #[should_panic(expected = "converge")]
+    fn hopeless_injection_panics() {
+        levels_needed(0.5, 1e-10);
+    }
+}

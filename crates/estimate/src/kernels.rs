@@ -1,0 +1,194 @@
+//! Distillation kernel generation: the concrete logical instruction
+//! sequence of one 15-to-1 round.
+//!
+//! §5.3 sizes the MCE instruction cache around "a typical distillation
+//! algorithm \[of\] 100 to 200 logical instructions". This module emits
+//! that kernel as an executable [`LogicalProgram`]: encode the
+//! `[[15,1,3]]` punctured Reed–Muller code over 15 input magic states
+//! plus one output qubit, apply the transversal T-gadget, measure the
+//! syndrome, and deliver the distilled state. The emitted stream is what
+//! the master controller caches into the MCEs (and what the system
+//! simulation replays).
+
+use crate::distill_sim::INPUTS;
+use quest_isa::{InstrClass, LogicalInstr, LogicalProgram, LogicalQubit};
+
+/// Logical qubit ids used by the kernel: inputs 0–14, output 15.
+pub const OUTPUT_QUBIT: u8 = INPUTS as u8;
+
+/// CNOT pairs of the encoding ladder: for each pair of inputs whose
+/// 1-based indices share a bit, couple them once per shared generator
+/// (the Hamming-code generator structure; see [`crate::distill_sim`]).
+fn encoding_pairs() -> Vec<(u8, u8)> {
+    let mut pairs = Vec::new();
+    // Four X-type generators, one per syndrome bit: qubit j participates
+    // in generator g iff bit g of (j+1) is set. Encode by fanning each
+    // generator's first member out to the rest.
+    for g in 0..4u8 {
+        let members: Vec<u8> = (0..INPUTS as u8).filter(|j| (j + 1) >> g & 1 == 1).collect();
+        let head = members[0];
+        for &m in &members[1..] {
+            pairs.push((head, m));
+        }
+    }
+    pairs
+}
+
+/// Emits one 15-to-1 distillation round as a classified logical program.
+///
+/// The stream layout follows the protocol phases: input preparation
+/// (15 + 1 preps), encoding CNOT ladder, transversal T-gadget (15 T
+/// gates), syndrome measurement (15 X-basis measurements), and the
+/// output magic-state injection. All instructions carry
+/// [`InstrClass::Distillation`].
+///
+/// # Example
+///
+/// ```
+/// use quest_estimate::kernels::distillation_kernel;
+///
+/// let kernel = distillation_kernel();
+/// // §5.3: "a typical distillation algorithm has 100 to 200 logical
+/// // instructions".
+/// assert!((100..=200).contains(&kernel.len()));
+/// ```
+pub fn distillation_kernel() -> LogicalProgram {
+    let mut p = LogicalProgram::new();
+    let class = InstrClass::Distillation;
+
+    // Phase 1: prepare the 15 input slots in |+⟩ and the output in |0⟩.
+    for q in 0..INPUTS as u8 {
+        p.push(LogicalInstr::PrepX(LogicalQubit(q)), class);
+    }
+    p.push(LogicalInstr::PrepZ(LogicalQubit(OUTPUT_QUBIT)), class);
+
+    // Phase 2: encoding ladder over the Reed–Muller generators, plus the
+    // output coupling (logical X of the code is the all-ones string).
+    for (c, t) in encoding_pairs() {
+        p.push(
+            LogicalInstr::Cnot {
+                control: LogicalQubit(c),
+                target: LogicalQubit(t),
+            },
+            class,
+        );
+    }
+    for q in 0..INPUTS as u8 {
+        if q % 4 == 0 {
+            p.push(
+                LogicalInstr::Cnot {
+                    control: LogicalQubit(q),
+                    target: LogicalQubit(OUTPUT_QUBIT),
+                },
+                class,
+            );
+        }
+    }
+
+    // Phase 3: transversal T-gadget — inject one (noisy) magic state per
+    // input and rotate.
+    for q in 0..INPUTS as u8 {
+        p.push(LogicalInstr::MagicInject(LogicalQubit(q)), class);
+        p.push(LogicalInstr::T(LogicalQubit(q)), class);
+    }
+
+    // Phase 4: decode — run the encoding ladder in reverse so the
+    // syndrome information localizes onto the input slots.
+    for (c, t) in encoding_pairs().into_iter().rev() {
+        p.push(
+            LogicalInstr::Cnot {
+                control: LogicalQubit(c),
+                target: LogicalQubit(t),
+            },
+            class,
+        );
+    }
+
+    // Phase 5: syndrome measurement — X-basis readout of all inputs, with
+    // a correction slot (S gate) conditioned at the master on the parity.
+    for q in 0..INPUTS as u8 {
+        p.push(LogicalInstr::MeasX(LogicalQubit(q)), class);
+    }
+    p.push(LogicalInstr::S(LogicalQubit(OUTPUT_QUBIT)), class);
+
+    // Phase 6: hand the distilled state to the consumer.
+    p.push(LogicalInstr::MagicInject(LogicalQubit(OUTPUT_QUBIT)), class);
+    p.push(LogicalInstr::Sync(0), class);
+    p
+}
+
+/// A workload program with real distillation kernels: `algo_len`
+/// algorithmic instructions from the workload's gate mix plus one
+/// resident kernel (replayed by the system according to its
+/// `distillation_replays` argument).
+pub fn workload_with_kernel(workload: &crate::workloads::Workload, algo_len: usize) -> LogicalProgram {
+    let mut p = workload.generate_program(algo_len);
+    p.extend(distillation_kernel().iter().copied());
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_size_matches_paper_range() {
+        let k = distillation_kernel();
+        assert!(
+            (100..=200).contains(&k.len()),
+            "kernel has {} instructions",
+            k.len()
+        );
+    }
+
+    #[test]
+    fn kernel_is_all_distillation_class() {
+        let k = distillation_kernel();
+        assert_eq!(k.count_class(InstrClass::Distillation), k.len());
+    }
+
+    #[test]
+    fn kernel_consumes_15_magic_states_and_t_gates() {
+        let k = distillation_kernel();
+        assert_eq!(k.t_count(), INPUTS);
+        let injects = k
+            .iter()
+            .filter(|(i, _)| matches!(i, LogicalInstr::MagicInject(_)))
+            .count();
+        assert_eq!(injects, INPUTS + 1, "15 inputs + 1 output handoff");
+    }
+
+    #[test]
+    fn kernel_round_trips_through_encoding() {
+        let k = distillation_kernel();
+        let decoded = LogicalProgram::decode(&k.encode()).unwrap();
+        assert_eq!(decoded.len(), k.len());
+    }
+
+    #[test]
+    fn encoding_ladder_touches_every_input() {
+        let pairs = encoding_pairs();
+        let mut touched = std::collections::HashSet::new();
+        for (c, t) in pairs {
+            touched.insert(c);
+            touched.insert(t);
+        }
+        for q in 0..INPUTS as u8 {
+            assert!(touched.contains(&q), "input {q} never coupled");
+        }
+    }
+
+    #[test]
+    fn kernel_fits_a_4kb_instruction_buffer() {
+        // §5.3 sizes the software-managed cache for exactly this.
+        let k = distillation_kernel();
+        assert!(k.encoded_bytes() <= 4096);
+    }
+
+    #[test]
+    fn workload_with_kernel_mixes_classes() {
+        let p = workload_with_kernel(&crate::workloads::Workload::QLS, 50);
+        assert_eq!(p.count_class(InstrClass::Algorithmic), 50);
+        assert!(p.count_class(InstrClass::Distillation) >= 100);
+    }
+}

@@ -1,0 +1,42 @@
+//! QuRE-style analytical resource and instruction-bandwidth estimator.
+//!
+//! The paper evaluates QuEST with the QuRE toolbox (resource estimation
+//! for quantum algorithms) driving workloads from ScaffCC. Neither tool
+//! is openly available, so this crate re-implements the analytical chain:
+//!
+//! 1. [`distance`] — surface-code distance from the workload's space-time
+//!    volume and the physical error rate;
+//! 2. [`distillation`] — 15-to-1 magic-state distillation levels,
+//!    T-factory counts, and the distillation instruction overhead;
+//! 3. [`workloads`] — the seven-workload catalog of §6.1 with logical
+//!    resources and an instruction-stream generator;
+//! 4. [`shor`] — the parametric Shor model behind Figure 2;
+//! 5. [`bandwidth`] — baseline / QuEST / QuEST + cache global instruction
+//!    bandwidth and the savings reported in Figures 6, 13, 14 and 15.
+//!
+//! # Example
+//!
+//! ```
+//! use quest_estimate::bandwidth::analyze_suite;
+//!
+//! for e in analyze_suite(1e-4) {
+//!     assert!(e.mce_savings() >= 1e5, "{}", e.workload.name);
+//! }
+//! ```
+
+pub mod array;
+pub mod bandwidth;
+pub mod distance;
+pub mod distill_sim;
+pub mod distillation;
+pub mod footprint;
+pub mod kernels;
+pub mod shor;
+pub mod workloads;
+
+pub use array::ArrayPlan;
+pub use bandwidth::{analyze_suite, BandwidthEstimate};
+pub use distance::{logical_error_per_round, required_distance};
+pub use distillation::DistillationPlan;
+pub use shor::ShorEstimate;
+pub use workloads::Workload;

@@ -1,0 +1,125 @@
+//! Property tests of the analytical estimator: the monotonicity laws the
+//! paper's scaling arguments depend on.
+
+use proptest::prelude::*;
+use quest_core::TechnologyParams;
+use quest_estimate::distance::{logical_error_per_round, qure_distance, required_distance};
+use quest_estimate::distillation::{levels_needed, output_error, DistillationPlan};
+use quest_estimate::{BandwidthEstimate, ShorEstimate, Workload};
+use quest_surface::SyndromeDesign;
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    prop_oneof![
+        Just(Workload::BWT),
+        Just(Workload::BF),
+        Just(Workload::GSE),
+        Just(Workload::FEMOCO),
+        Just(Workload::QLS),
+        Just(Workload::SHOR),
+        Just(Workload::TFP),
+    ]
+}
+
+proptest! {
+    /// Logical error per round is strictly decreasing in distance and
+    /// increasing in physical error rate.
+    #[test]
+    fn logical_error_monotonicity(
+        d_idx in 1usize..12,
+        p_exp in 3.0f64..6.0,
+    ) {
+        let d = 2 * d_idx + 1;
+        let p = 10f64.powf(-p_exp);
+        prop_assert!(logical_error_per_round(d + 2, p) < logical_error_per_round(d, p));
+        prop_assert!(logical_error_per_round(d, p * 2.0) > logical_error_per_round(d, p));
+    }
+
+    /// The required distance is monotone in the space-time volume and the
+    /// chosen distance actually meets the budget.
+    #[test]
+    fn required_distance_is_correct_and_monotone(
+        vol_exp in 2.0f64..18.0,
+        p_exp in 3.0f64..6.0,
+    ) {
+        let v = 10f64.powf(vol_exp);
+        let p = 10f64.powf(-p_exp);
+        let d = required_distance(v, p);
+        prop_assert!(v * logical_error_per_round(d, p) < 0.5);
+        prop_assert!(required_distance(v * 100.0, p) >= d);
+    }
+
+    /// Distillation output error is decreasing in levels; the level count
+    /// from `levels_needed` is minimal.
+    #[test]
+    fn distillation_levels_minimal(
+        p_exp in 3.0f64..5.0,
+        target_exp in 6.0f64..20.0,
+    ) {
+        let p_in = 10f64.powf(-p_exp);
+        let target = 10f64.powf(-target_exp);
+        let k = levels_needed(p_in, target);
+        prop_assert!(output_error(p_in, k) < target);
+        if k > 0 {
+            prop_assert!(output_error(p_in, k - 1) >= target);
+        }
+    }
+
+    /// Bigger T counts can only deepen (never shallow) the distillation
+    /// pipeline; factories scale with the consumption rate.
+    #[test]
+    fn distillation_plan_monotone(
+        t_exp in 4.0f64..15.0,
+        rate in 0.1f64..5.0,
+    ) {
+        let t = 10f64.powf(t_exp);
+        let small = DistillationPlan::size(1e-4, t, rate);
+        let big = DistillationPlan::size(1e-4, t * 1e4, rate);
+        prop_assert!(big.levels >= small.levels);
+        let faster = DistillationPlan::size(1e-4, t, rate * 2.0);
+        prop_assert!(faster.factories >= small.factories);
+    }
+
+    /// For every workload and configuration: savings ordering
+    /// baseline > quest_mce > quest_cached always holds, and both savings
+    /// exceed 10^4.
+    #[test]
+    fn bandwidth_ordering_universal(
+        w in workload_strategy(),
+        p_exp in 3.1f64..5.0,
+        tech_idx in 0usize..3,
+        syn_idx in 0usize..2,
+    ) {
+        let p = 10f64.powf(-p_exp);
+        let tech = TechnologyParams::ALL[tech_idx];
+        let syn = [SyndromeDesign::STEANE, SyndromeDesign::SHOR][syn_idx];
+        let e = BandwidthEstimate::analyze(&w, p, &tech, &syn);
+        prop_assert!(e.baseline > e.quest_mce);
+        prop_assert!(e.quest_mce > e.quest_cached);
+        prop_assert!(e.mce_savings() > 1e4, "{}: {:.2e}", w.name, e.mce_savings());
+        prop_assert!(e.cached_savings() > e.mce_savings());
+    }
+
+    /// Shor estimates are monotone in the modulus width for every output.
+    #[test]
+    fn shor_monotone(n1 in 64u32..1024, n2 in 64u32..1024) {
+        prop_assume!(n1 < n2);
+        let a = ShorEstimate::new(n1, 1e-4);
+        let b = ShorEstimate::new(n2, 1e-4);
+        prop_assert!(b.logical_qubits > a.logical_qubits);
+        prop_assert!(b.t_count > a.t_count);
+        prop_assert!(b.physical_qubits >= a.physical_qubits);
+        prop_assert!(b.baseline_bandwidth() >= a.baseline_bandwidth());
+    }
+
+    /// QuRE distance is monotone in the error rate and always meets the
+    /// per-round target.
+    #[test]
+    fn qure_distance_meets_target(p_exp in 2.1f64..6.0) {
+        let p = 10f64.powf(-p_exp);
+        let d = qure_distance(p);
+        prop_assert!(logical_error_per_round(d, p) < 1e-12);
+        if d > 3 {
+            prop_assert!(logical_error_per_round(d - 2, p) >= 1e-12);
+        }
+    }
+}

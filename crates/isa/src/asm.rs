@@ -1,0 +1,251 @@
+//! Text assembler/disassembler for logical programs.
+//!
+//! The paper's toolchain (ScaffCC) compiles quantum programs into logical
+//! instruction streams; this module provides the equivalent front door: a
+//! small assembly language that round-trips with [`LogicalProgram`].
+//!
+//! Syntax: one instruction per line, `#` comments, and `.class`
+//! directives that set the bandwidth class of subsequent instructions:
+//!
+//! ```text
+//! .class algorithmic
+//! lprepz L0
+//! lh L0
+//! lcnot L0 L1
+//! lt L1
+//! .class distillation
+//! lprepx L2
+//! sync 3
+//! ```
+
+use crate::logical::{InstrClass, LogicalInstr, LogicalQubit, MaskRegion};
+use crate::program::LogicalProgram;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when assembling a program from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number of the offending text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_qubit(tok: &str, line: usize) -> Result<LogicalQubit, ParseAsmError> {
+    let body = tok
+        .strip_prefix('L')
+        .ok_or_else(|| err(line, format!("expected logical qubit `L<n>`, got `{tok}`")))?;
+    body.parse::<u8>()
+        .map(LogicalQubit)
+        .map_err(|_| err(line, format!("invalid qubit id `{tok}`")))
+}
+
+fn parse_region(tok: &str, line: usize) -> Result<MaskRegion, ParseAsmError> {
+    let body = tok
+        .strip_prefix('R')
+        .ok_or_else(|| err(line, format!("expected mask region `R<n>`, got `{tok}`")))?;
+    body.parse::<u8>()
+        .map(MaskRegion)
+        .map_err(|_| err(line, format!("invalid region id `{tok}`")))
+}
+
+fn parse_u8(tok: &str, line: usize) -> Result<u8, ParseAsmError> {
+    tok.parse::<u8>()
+        .map_err(|_| err(line, format!("expected 8-bit literal, got `{tok}`")))
+}
+
+/// Assembles a program from text.
+///
+/// # Errors
+///
+/// Returns a [`ParseAsmError`] naming the offending line for unknown
+/// mnemonics, malformed operands, or bad `.class` directives.
+pub fn parse(source: &str) -> Result<LogicalProgram, ParseAsmError> {
+    let mut program = LogicalProgram::new();
+    let mut class = InstrClass::Algorithmic;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut toks = text.split_whitespace();
+        let head = toks.next().expect("nonempty line has a token");
+        let mut operand = |name: &str| {
+            toks.next()
+                .ok_or_else(|| err(line, format!("`{head}` needs a {name} operand")))
+        };
+        let instr = match head {
+            ".class" => {
+                let c = operand("class")?;
+                class = match c {
+                    "algorithmic" => InstrClass::Algorithmic,
+                    "distillation" => InstrClass::Distillation,
+                    "sync" => InstrClass::Sync,
+                    "cache" => InstrClass::CacheControl,
+                    other => return Err(err(line, format!("unknown class `{other}`"))),
+                };
+                continue;
+            }
+            "lprepz" => LogicalInstr::PrepZ(parse_qubit(operand("qubit")?, line)?),
+            "lprepx" => LogicalInstr::PrepX(parse_qubit(operand("qubit")?, line)?),
+            "lmeasz" => LogicalInstr::MeasZ(parse_qubit(operand("qubit")?, line)?),
+            "lmeasx" => LogicalInstr::MeasX(parse_qubit(operand("qubit")?, line)?),
+            "lh" => LogicalInstr::H(parse_qubit(operand("qubit")?, line)?),
+            "ls" => LogicalInstr::S(parse_qubit(operand("qubit")?, line)?),
+            "lx" => LogicalInstr::X(parse_qubit(operand("qubit")?, line)?),
+            "lz" => LogicalInstr::Z(parse_qubit(operand("qubit")?, line)?),
+            "lcnot" => {
+                let control = parse_qubit(operand("control")?, line)?;
+                let target = parse_qubit(operand("target")?, line)?;
+                if control.0 >= 16 || target.0 >= 16 {
+                    return Err(err(line, "lcnot operands must be L0–L15 (packed encoding)"));
+                }
+                LogicalInstr::Cnot { control, target }
+            }
+            "lt" => LogicalInstr::T(parse_qubit(operand("qubit")?, line)?),
+            "mask.on" => LogicalInstr::MaskOn(parse_region(operand("region")?, line)?),
+            "mask.off" => LogicalInstr::MaskOff(parse_region(operand("region")?, line)?),
+            "braid" => LogicalInstr::BraidStep(parse_region(operand("region")?, line)?),
+            "minject" => LogicalInstr::MagicInject(parse_qubit(operand("qubit")?, line)?),
+            "sync" => LogicalInstr::Sync(parse_u8(operand("token")?, line)?),
+            "cload" => LogicalInstr::CacheLoad(parse_u8(operand("block")?, line)?),
+            "creplay" => LogicalInstr::CacheReplay(parse_u8(operand("block")?, line)?),
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        };
+        if let Some(extra) = toks.next() {
+            return Err(err(line, format!("unexpected trailing token `{extra}`")));
+        }
+        program.push(instr, class);
+    }
+    Ok(program)
+}
+
+/// Disassembles a program to text that [`parse`] accepts, emitting
+/// `.class` directives at class boundaries.
+pub fn format(program: &LogicalProgram) -> String {
+    let mut out = String::new();
+    let mut current: Option<InstrClass> = None;
+    for &(i, class) in program {
+        if current != Some(class) {
+            let name = match class {
+                InstrClass::Algorithmic => "algorithmic",
+                InstrClass::Distillation => "distillation",
+                InstrClass::Sync => "sync",
+                InstrClass::CacheControl => "cache",
+            };
+            out.push_str(".class ");
+            out.push_str(name);
+            out.push('\n');
+            current = Some(class);
+        }
+        out.push_str(&i.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# prepare a Bell-ish pair and rotate
+.class algorithmic
+lprepz L0
+lprepx L1
+lcnot L1 L0
+lt L0
+.class distillation
+minject L2
+lmeasx L2
+.class sync
+sync 7
+";
+
+    #[test]
+    fn sample_assembles() {
+        let p = parse(SAMPLE).unwrap();
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.count_class(InstrClass::Algorithmic), 4);
+        assert_eq!(p.count_class(InstrClass::Distillation), 2);
+        assert_eq!(p.count_class(InstrClass::Sync), 1);
+        assert_eq!(p.t_count(), 1);
+    }
+
+    #[test]
+    fn round_trip_text_binary_text() {
+        let p = parse(SAMPLE).unwrap();
+        let text = format(&p);
+        let again = parse(&text).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = parse("lh L0\nfrobnicate L1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_operand_reports_line() {
+        let e = parse("lcnot L0\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("target"));
+    }
+
+    #[test]
+    fn bad_qubit_prefix_rejected() {
+        let e = parse("lh 0\n").unwrap_err();
+        assert!(e.message.contains("L<n>"));
+    }
+
+    #[test]
+    fn packed_cnot_range_enforced() {
+        let e = parse("lcnot L16 L0\n").unwrap_err();
+        assert!(e.message.contains("L0–L15"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        let e = parse("lh L0 L1\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse("\n  # nothing\n\nlh L3 # inline\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn kernel_sized_programs_round_trip() {
+        // Build a large program with every mnemonic and round-trip it.
+        let mut src = String::from(".class distillation\n");
+        for i in 0..40u8 {
+            src.push_str(&std::format!("lprepx L{i}\nlt L{i}\nminject L{i}\n"));
+        }
+        src.push_str("mask.on R3\nbraid R3\nmask.off R3\ncload 1\ncreplay 1\n");
+        let p = parse(&src).unwrap();
+        let again = parse(&format(&p)).unwrap();
+        assert_eq!(p, again);
+        assert_eq!(p.len(), 125);
+    }
+}

@@ -1,0 +1,42 @@
+//! Quantum instruction set architecture for the QuEST control processor.
+//!
+//! Two instruction levels exist in the paper's execution model (§2.3, §5):
+//!
+//! * **Physical µops** ([`MicroOp`]) — byte-sized select codes latched onto
+//!   the microwave switch matrix; one µop per qubit per time slot. A
+//!   [`VliwWord`] bundles one µop for every qubit of an MCE tile, executed
+//!   in lock step.
+//! * **Logical instructions** ([`LogicalInstr`]) — two-byte fault-tolerant
+//!   instructions (transverse Cliffords, mask/braid operations, T gates,
+//!   synchronization tokens) dispatched by the master controller and
+//!   expanded to µops inside the MCE's instruction pipeline.
+//!
+//! All encodings round-trip exactly; see the property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use quest_isa::{LogicalInstr, LogicalQubit, MicroOp, PhysOpcode};
+//!
+//! let uop = MicroOp::new(PhysOpcode::CnotCtrl, 2);
+//! assert_eq!(MicroOp::decode(uop.encode()), Some(uop));
+//!
+//! let li = LogicalInstr::Cnot {
+//!     control: LogicalQubit(3),
+//!     target: LogicalQubit(4),
+//! };
+//! let bytes = li.encode();
+//! assert_eq!(LogicalInstr::decode(bytes), Some(li));
+//! ```
+
+pub mod asm;
+pub mod logical;
+pub mod phys;
+pub mod program;
+pub mod vliw;
+
+pub use asm::ParseAsmError;
+pub use logical::{InstrClass, LogicalInstr, LogicalQubit, MaskRegion};
+pub use phys::{Direction, MicroOp, PhysOpcode};
+pub use program::LogicalProgram;
+pub use vliw::VliwWord;

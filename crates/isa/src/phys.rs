@@ -1,0 +1,305 @@
+//! Physical µops: byte-sized select codes for the microwave switch matrix.
+//!
+//! In the prime-line architecture (§2.3) a physical instruction is simply
+//! the select bits steering one of the AWG waveforms to one qubit. The
+//! paper assumes byte-sized physical instructions; we encode a µop as
+//! `opcode(4 bits) | arg(4 bits)`. The argument nibble carries the coupling
+//! direction for two-qubit gate halves and is zero otherwise.
+
+use std::fmt;
+
+/// 4-bit physical opcode: the waveform selected for a qubit in one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum PhysOpcode {
+    /// Idle (identity waveform).
+    #[default]
+    Nop = 0,
+    /// Prepare `|0⟩`.
+    PrepZ = 1,
+    /// Prepare `|+⟩`.
+    PrepX = 2,
+    /// Measure in the Z basis.
+    MeasZ = 3,
+    /// Measure in the X basis.
+    MeasX = 4,
+    /// Hadamard.
+    H = 5,
+    /// Phase gate `S`.
+    S = 6,
+    /// Inverse phase gate `S†`.
+    Sdg = 7,
+    /// Pauli X.
+    X = 8,
+    /// Pauli Y.
+    Y = 9,
+    /// Pauli Z.
+    Z = 10,
+    /// Control half of a CNOT; the arg nibble names the target direction.
+    CnotCtrl = 11,
+    /// Target half of a CNOT; the arg nibble names the control direction.
+    CnotTgt = 12,
+}
+
+impl PhysOpcode {
+    /// All defined opcodes.
+    pub const ALL: [PhysOpcode; 13] = [
+        PhysOpcode::Nop,
+        PhysOpcode::PrepZ,
+        PhysOpcode::PrepX,
+        PhysOpcode::MeasZ,
+        PhysOpcode::MeasX,
+        PhysOpcode::H,
+        PhysOpcode::S,
+        PhysOpcode::Sdg,
+        PhysOpcode::X,
+        PhysOpcode::Y,
+        PhysOpcode::Z,
+        PhysOpcode::CnotCtrl,
+        PhysOpcode::CnotTgt,
+    ];
+
+    /// Opcode width in bits (the paper's FIFO-optimization µop size, §4.5).
+    pub const BITS: usize = 4;
+
+    /// Decodes a 4-bit value.
+    pub fn from_nibble(n: u8) -> Option<PhysOpcode> {
+        PhysOpcode::ALL.get(n as usize).copied()
+    }
+
+    /// The 4-bit encoding.
+    pub fn nibble(self) -> u8 {
+        self as u8
+    }
+
+    /// Returns `true` for the two CNOT halves.
+    pub fn is_two_qubit_half(self) -> bool {
+        matches!(self, PhysOpcode::CnotCtrl | PhysOpcode::CnotTgt)
+    }
+
+    /// Returns `true` for measurement waveforms.
+    pub fn is_measurement(self) -> bool {
+        matches!(self, PhysOpcode::MeasZ | PhysOpcode::MeasX)
+    }
+}
+
+impl fmt::Display for PhysOpcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PhysOpcode::Nop => "nop",
+            PhysOpcode::PrepZ => "prepz",
+            PhysOpcode::PrepX => "prepx",
+            PhysOpcode::MeasZ => "measz",
+            PhysOpcode::MeasX => "measx",
+            PhysOpcode::H => "h",
+            PhysOpcode::S => "s",
+            PhysOpcode::Sdg => "sdg",
+            PhysOpcode::X => "x",
+            PhysOpcode::Y => "y",
+            PhysOpcode::Z => "z",
+            PhysOpcode::CnotCtrl => "cnot.c",
+            PhysOpcode::CnotTgt => "cnot.t",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Lattice coupling direction for two-qubit gate halves.
+///
+/// The rotated surface code couples each ancilla to its four diagonal data
+/// neighbours; the direction nibble tells the switch matrix which coupler
+/// to energize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Direction {
+    /// North-west neighbour.
+    Nw = 0,
+    /// North-east neighbour.
+    Ne = 1,
+    /// South-west neighbour.
+    Sw = 2,
+    /// South-east neighbour.
+    Se = 3,
+}
+
+impl Direction {
+    /// All four directions in encoding order.
+    pub const ALL: [Direction; 4] = [
+        Direction::Nw,
+        Direction::Ne,
+        Direction::Sw,
+        Direction::Se,
+    ];
+
+    /// Decodes a 2-bit value.
+    pub fn from_bits(b: u8) -> Option<Direction> {
+        Direction::ALL.get(b as usize).copied()
+    }
+
+    /// The direction pointing back (NW ↔ SE, NE ↔ SW).
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::Nw => Direction::Se,
+            Direction::Ne => Direction::Sw,
+            Direction::Sw => Direction::Ne,
+            Direction::Se => Direction::Nw,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::Nw => "nw",
+            Direction::Ne => "ne",
+            Direction::Sw => "sw",
+            Direction::Se => "se",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One physical µop: opcode plus a 4-bit argument.
+///
+/// The encoded form is the single byte `opcode << 4 | arg` — the paper's
+/// byte-sized physical instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MicroOp {
+    opcode: PhysOpcode,
+    arg: u8,
+}
+
+impl MicroOp {
+    /// Builds a µop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arg` does not fit in 4 bits.
+    pub fn new(opcode: PhysOpcode, arg: u8) -> MicroOp {
+        assert!(arg < 16, "µop argument must fit in a nibble");
+        MicroOp { opcode, arg }
+    }
+
+    /// The idle µop.
+    pub fn nop() -> MicroOp {
+        MicroOp::default()
+    }
+
+    /// A single-qubit µop (argument 0).
+    pub fn simple(opcode: PhysOpcode) -> MicroOp {
+        MicroOp::new(opcode, 0)
+    }
+
+    /// A CNOT-half µop with its coupling direction.
+    pub fn cnot_half(opcode: PhysOpcode, dir: Direction) -> MicroOp {
+        assert!(
+            opcode.is_two_qubit_half(),
+            "direction argument only valid for CNOT halves"
+        );
+        MicroOp::new(opcode, dir as u8)
+    }
+
+    /// Opcode.
+    pub fn opcode(self) -> PhysOpcode {
+        self.opcode
+    }
+
+    /// Raw argument nibble.
+    pub fn arg(self) -> u8 {
+        self.arg
+    }
+
+    /// Coupling direction, when this is a CNOT half.
+    pub fn direction(self) -> Option<Direction> {
+        if self.opcode.is_two_qubit_half() {
+            Direction::from_bits(self.arg)
+        } else {
+            None
+        }
+    }
+
+    /// Byte encoding.
+    pub fn encode(self) -> u8 {
+        (self.opcode.nibble() << 4) | self.arg
+    }
+
+    /// Decodes a byte; `None` for undefined opcodes.
+    pub fn decode(byte: u8) -> Option<MicroOp> {
+        let opcode = PhysOpcode::from_nibble(byte >> 4)?;
+        Some(MicroOp {
+            opcode,
+            arg: byte & 0x0F,
+        })
+    }
+
+    /// Size in bytes of an encoded physical instruction (paper §3.3).
+    pub const ENCODED_BYTES: usize = 1;
+}
+
+impl fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.direction() {
+            Some(d) => write!(f, "{}.{}", self.opcode, d),
+            None => write!(f, "{}", self.opcode),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_nibbles_round_trip() {
+        for op in PhysOpcode::ALL {
+            assert_eq!(PhysOpcode::from_nibble(op.nibble()), Some(op));
+        }
+        assert_eq!(PhysOpcode::from_nibble(13), None);
+        assert_eq!(PhysOpcode::from_nibble(15), None);
+    }
+
+    #[test]
+    fn microop_bytes_round_trip() {
+        for op in PhysOpcode::ALL {
+            for arg in 0..16u8 {
+                let u = MicroOp::new(op, arg);
+                assert_eq!(MicroOp::decode(u.encode()), Some(u));
+            }
+        }
+    }
+
+    #[test]
+    fn undefined_opcodes_fail_decode() {
+        assert_eq!(MicroOp::decode(0xD0), None);
+        assert_eq!(MicroOp::decode(0xFF), None);
+    }
+
+    #[test]
+    fn direction_round_trip_and_opposites() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_bits(d as u8), Some(d));
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn cnot_half_carries_direction() {
+        let u = MicroOp::cnot_half(PhysOpcode::CnotTgt, Direction::Ne);
+        assert_eq!(u.direction(), Some(Direction::Ne));
+        assert_eq!(MicroOp::simple(PhysOpcode::H).direction(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "only valid for CNOT halves")]
+    fn direction_on_single_qubit_op_panics() {
+        MicroOp::cnot_half(PhysOpcode::H, Direction::Nw);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let u = MicroOp::cnot_half(PhysOpcode::CnotCtrl, Direction::Se);
+        assert_eq!(u.to_string(), "cnot.c.se");
+        assert_eq!(MicroOp::nop().to_string(), "nop");
+    }
+}

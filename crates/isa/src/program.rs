@@ -1,0 +1,201 @@
+//! Logical program representation.
+//!
+//! A [`LogicalProgram`] is the stream of two-byte logical instructions a
+//! quantum workload sends through the master controller, with each
+//! instruction tagged by its bandwidth class (algorithmic vs. distillation
+//! vs. sync). The tags drive the instruction-bandwidth accounting in the
+//! architecture and estimator crates.
+
+use crate::logical::{InstrClass, LogicalInstr};
+use std::fmt;
+
+/// A classified stream of logical instructions.
+///
+/// # Example
+///
+/// ```
+/// use quest_isa::{InstrClass, LogicalInstr, LogicalProgram, LogicalQubit};
+///
+/// let mut p = LogicalProgram::new();
+/// p.push(LogicalInstr::H(LogicalQubit(0)), InstrClass::Algorithmic);
+/// p.push(LogicalInstr::T(LogicalQubit(0)), InstrClass::Algorithmic);
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.t_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogicalProgram {
+    instrs: Vec<(LogicalInstr, InstrClass)>,
+}
+
+impl LogicalProgram {
+    /// Creates an empty program.
+    pub fn new() -> LogicalProgram {
+        LogicalProgram::default()
+    }
+
+    /// Appends a classified instruction.
+    pub fn push(&mut self, i: LogicalInstr, class: InstrClass) {
+        self.instrs.push((i, class));
+    }
+
+    /// Appends an instruction using its intrinsic class.
+    pub fn push_auto(&mut self, i: LogicalInstr) {
+        self.instrs.push((i, i.intrinsic_class()));
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` when the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Iterates over `(instruction, class)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (LogicalInstr, InstrClass)> {
+        self.instrs.iter()
+    }
+
+    /// Number of instructions in a class.
+    pub fn count_class(&self, class: InstrClass) -> usize {
+        self.instrs.iter().filter(|(_, c)| *c == class).count()
+    }
+
+    /// Number of T gates (each consuming a magic state).
+    pub fn t_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|(i, _)| i.needs_magic_state())
+            .count()
+    }
+
+    /// Fraction of instructions that are T gates.
+    pub fn t_fraction(&self) -> f64 {
+        if self.instrs.is_empty() {
+            0.0
+        } else {
+            self.t_count() as f64 / self.instrs.len() as f64
+        }
+    }
+
+    /// Total encoded size in bytes.
+    pub fn encoded_bytes(&self) -> usize {
+        self.instrs.len() * LogicalInstr::ENCODED_BYTES
+    }
+
+    /// Serializes to a flat byte stream.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_bytes());
+        for (i, _) in &self.instrs {
+            out.extend_from_slice(&i.encode());
+        }
+        out
+    }
+
+    /// Deserializes a byte stream (classes restored via
+    /// [`LogicalInstr::intrinsic_class`]). Returns `None` on odd length or
+    /// undefined opcodes.
+    pub fn decode(bytes: &[u8]) -> Option<LogicalProgram> {
+        if !bytes.len().is_multiple_of(2) {
+            return None;
+        }
+        let mut p = LogicalProgram::new();
+        for chunk in bytes.chunks_exact(2) {
+            let i = LogicalInstr::decode([chunk[0], chunk[1]])?;
+            p.push_auto(i);
+        }
+        Some(p)
+    }
+}
+
+impl FromIterator<(LogicalInstr, InstrClass)> for LogicalProgram {
+    fn from_iter<I: IntoIterator<Item = (LogicalInstr, InstrClass)>>(iter: I) -> LogicalProgram {
+        LogicalProgram {
+            instrs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(LogicalInstr, InstrClass)> for LogicalProgram {
+    fn extend<I: IntoIterator<Item = (LogicalInstr, InstrClass)>>(&mut self, iter: I) {
+        self.instrs.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a LogicalProgram {
+    type Item = &'a (LogicalInstr, InstrClass);
+    type IntoIter = std::slice::Iter<'a, (LogicalInstr, InstrClass)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+impl fmt::Display for LogicalProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, _) in &self.instrs {
+            writeln!(f, "{i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::LogicalQubit;
+
+    fn sample() -> LogicalProgram {
+        let mut p = LogicalProgram::new();
+        p.push(LogicalInstr::PrepZ(LogicalQubit(0)), InstrClass::Algorithmic);
+        p.push(LogicalInstr::H(LogicalQubit(0)), InstrClass::Algorithmic);
+        p.push(LogicalInstr::T(LogicalQubit(0)), InstrClass::Algorithmic);
+        p.push(
+            LogicalInstr::Cnot {
+                control: LogicalQubit(0),
+                target: LogicalQubit(1),
+            },
+            InstrClass::Distillation,
+        );
+        p.push_auto(LogicalInstr::Sync(1));
+        p
+    }
+
+    #[test]
+    fn counting() {
+        let p = sample();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.t_count(), 1);
+        assert_eq!(p.count_class(InstrClass::Algorithmic), 3);
+        assert_eq!(p.count_class(InstrClass::Distillation), 1);
+        assert_eq!(p.count_class(InstrClass::Sync), 1);
+        assert!((p.t_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_preserves_instructions() {
+        let p = sample();
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), p.encoded_bytes());
+        let q = LogicalProgram::decode(&bytes).unwrap();
+        // Instructions survive; explicit classes collapse to intrinsic.
+        let orig: Vec<LogicalInstr> = p.iter().map(|(i, _)| *i).collect();
+        let back: Vec<LogicalInstr> = q.iter().map(|(i, _)| *i).collect();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn odd_length_stream_rejected() {
+        assert_eq!(LogicalProgram::decode(&[0x01]), None);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = LogicalProgram::new();
+        assert!(p.is_empty());
+        assert_eq!(p.t_fraction(), 0.0);
+        assert_eq!(p.encoded_bytes(), 0);
+    }
+}

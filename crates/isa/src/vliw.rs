@@ -1,0 +1,157 @@
+//! VLIW physical instruction words.
+//!
+//! §4.3: *"the physical instruction is designed similar to a very long
+//! instruction word (VLIW) and composed of a µop per qubit. These
+//! instructions are executed in lockstep for all qubits."* A [`VliwWord`]
+//! carries exactly one [`MicroOp`] per qubit of an MCE tile.
+
+use crate::phys::MicroOp;
+use std::fmt;
+
+/// One lock-step physical instruction word: one µop per tile qubit.
+///
+/// # Example
+///
+/// ```
+/// use quest_isa::{MicroOp, PhysOpcode, VliwWord};
+///
+/// let mut w = VliwWord::nop(4);
+/// w.set(2, MicroOp::simple(PhysOpcode::H));
+/// assert_eq!(w.encoded_bytes(), 4);
+/// let bytes = w.encode();
+/// assert_eq!(VliwWord::decode(&bytes), Some(w));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VliwWord {
+    uops: Vec<MicroOp>,
+}
+
+impl VliwWord {
+    /// A word of `n` idle µops.
+    pub fn nop(n: usize) -> VliwWord {
+        VliwWord {
+            uops: vec![MicroOp::nop(); n],
+        }
+    }
+
+    /// Builds a word from explicit µops.
+    pub fn from_uops(uops: Vec<MicroOp>) -> VliwWord {
+        VliwWord { uops }
+    }
+
+    /// Number of qubit slots.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Returns `true` for a zero-slot word.
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// µop for qubit slot `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn get(&self, q: usize) -> MicroOp {
+        self.uops[q]
+    }
+
+    /// Replaces the µop in slot `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set(&mut self, q: usize, u: MicroOp) {
+        self.uops[q] = u;
+    }
+
+    /// Iterates over `(slot, µop)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, MicroOp)> + '_ {
+        self.uops.iter().copied().enumerate()
+    }
+
+    /// Number of non-idle µops.
+    pub fn active_count(&self) -> usize {
+        self.uops
+            .iter()
+            .filter(|u| u.opcode() != crate::phys::PhysOpcode::Nop)
+            .count()
+    }
+
+    /// Encoded size: one byte per qubit slot.
+    pub fn encoded_bytes(&self) -> usize {
+        self.uops.len() * MicroOp::ENCODED_BYTES
+    }
+
+    /// Byte encoding, slot order.
+    pub fn encode(&self) -> Vec<u8> {
+        self.uops.iter().map(|u| u.encode()).collect()
+    }
+
+    /// Decodes a byte slice; `None` if any byte is not a valid µop.
+    pub fn decode(bytes: &[u8]) -> Option<VliwWord> {
+        let uops = bytes
+            .iter()
+            .map(|&b| MicroOp::decode(b))
+            .collect::<Option<Vec<_>>>()?;
+        Some(VliwWord { uops })
+    }
+}
+
+impl fmt::Display for VliwWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, u) in self.uops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{u}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phys::{Direction, PhysOpcode};
+
+    #[test]
+    fn nop_word_is_inactive() {
+        let w = VliwWord::nop(8);
+        assert_eq!(w.len(), 8);
+        assert_eq!(w.active_count(), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut w = VliwWord::nop(5);
+        w.set(0, MicroOp::simple(PhysOpcode::PrepZ));
+        w.set(1, MicroOp::cnot_half(PhysOpcode::CnotCtrl, Direction::Ne));
+        w.set(4, MicroOp::simple(PhysOpcode::MeasZ));
+        let bytes = w.encode();
+        assert_eq!(bytes.len(), 5);
+        assert_eq!(VliwWord::decode(&bytes), Some(w));
+    }
+
+    #[test]
+    fn decode_rejects_bad_bytes() {
+        assert_eq!(VliwWord::decode(&[0x00, 0xFF]), None);
+    }
+
+    #[test]
+    fn active_count_counts_non_nops() {
+        let mut w = VliwWord::nop(3);
+        w.set(1, MicroOp::simple(PhysOpcode::X));
+        assert_eq!(w.active_count(), 1);
+    }
+
+    #[test]
+    fn display_lists_uops() {
+        let mut w = VliwWord::nop(2);
+        w.set(0, MicroOp::simple(PhysOpcode::H));
+        assert_eq!(w.to_string(), "[h nop]");
+    }
+}

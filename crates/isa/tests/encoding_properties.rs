@@ -1,0 +1,107 @@
+//! Property tests: every representable instruction encodes/decodes
+//! losslessly, and arbitrary byte streams never decode to something that
+//! re-encodes differently.
+
+use proptest::prelude::*;
+use quest_isa::{LogicalInstr, LogicalQubit, MaskRegion, MicroOp, PhysOpcode, VliwWord};
+
+fn logical_instr_strategy() -> impl Strategy<Value = LogicalInstr> {
+    prop_oneof![
+        any::<u8>().prop_map(|q| LogicalInstr::PrepZ(LogicalQubit(q))),
+        any::<u8>().prop_map(|q| LogicalInstr::PrepX(LogicalQubit(q))),
+        any::<u8>().prop_map(|q| LogicalInstr::MeasZ(LogicalQubit(q))),
+        any::<u8>().prop_map(|q| LogicalInstr::MeasX(LogicalQubit(q))),
+        any::<u8>().prop_map(|q| LogicalInstr::H(LogicalQubit(q))),
+        any::<u8>().prop_map(|q| LogicalInstr::S(LogicalQubit(q))),
+        any::<u8>().prop_map(|q| LogicalInstr::X(LogicalQubit(q))),
+        any::<u8>().prop_map(|q| LogicalInstr::Z(LogicalQubit(q))),
+        (0u8..16, 0u8..16).prop_map(|(c, t)| LogicalInstr::Cnot {
+            control: LogicalQubit(c),
+            target: LogicalQubit(t),
+        }),
+        any::<u8>().prop_map(|q| LogicalInstr::T(LogicalQubit(q))),
+        any::<u8>().prop_map(|r| LogicalInstr::MaskOn(MaskRegion(r))),
+        any::<u8>().prop_map(|r| LogicalInstr::MaskOff(MaskRegion(r))),
+        any::<u8>().prop_map(|r| LogicalInstr::BraidStep(MaskRegion(r))),
+        any::<u8>().prop_map(|q| LogicalInstr::MagicInject(LogicalQubit(q))),
+        any::<u8>().prop_map(LogicalInstr::Sync),
+        any::<u8>().prop_map(LogicalInstr::CacheLoad),
+        any::<u8>().prop_map(LogicalInstr::CacheReplay),
+    ]
+}
+
+fn microop_strategy() -> impl Strategy<Value = MicroOp> {
+    (0usize..PhysOpcode::ALL.len(), 0u8..16)
+        .prop_map(|(op, arg)| MicroOp::new(PhysOpcode::ALL[op], arg))
+}
+
+proptest! {
+    #[test]
+    fn logical_instr_round_trips(i in logical_instr_strategy()) {
+        prop_assert_eq!(LogicalInstr::decode(i.encode()), Some(i));
+    }
+
+    #[test]
+    fn logical_decode_reencode_is_identity(bytes in any::<[u8; 2]>()) {
+        if let Some(i) = LogicalInstr::decode(bytes) {
+            prop_assert_eq!(i.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn microop_round_trips(u in microop_strategy()) {
+        prop_assert_eq!(MicroOp::decode(u.encode()), Some(u));
+    }
+
+    #[test]
+    fn microop_decode_reencode_is_identity(b in any::<u8>()) {
+        if let Some(u) = MicroOp::decode(b) {
+            prop_assert_eq!(u.encode(), b);
+        }
+    }
+
+    #[test]
+    fn vliw_word_round_trips(uops in prop::collection::vec(microop_strategy(), 0..64)) {
+        let w = VliwWord::from_uops(uops);
+        let bytes = w.encode();
+        prop_assert_eq!(bytes.len(), w.encoded_bytes());
+        prop_assert_eq!(VliwWord::decode(&bytes), Some(w));
+    }
+
+    #[test]
+    fn program_round_trips(instrs in prop::collection::vec(logical_instr_strategy(), 0..200)) {
+        use quest_isa::LogicalProgram;
+        let mut p = LogicalProgram::new();
+        for i in &instrs {
+            p.push_auto(*i);
+        }
+        let q = LogicalProgram::decode(&p.encode()).unwrap();
+        let back: Vec<LogicalInstr> = q.iter().map(|(i, _)| *i).collect();
+        prop_assert_eq!(instrs, back);
+    }
+
+    /// Assembly text round-trips: format(parse(format(p))) is stable and
+    /// preserves instructions and classes exactly.
+    #[test]
+    fn assembly_round_trips(
+        instrs in prop::collection::vec(logical_instr_strategy(), 0..120),
+        class_seed in any::<u8>(),
+    ) {
+        use quest_isa::{asm, InstrClass, LogicalProgram};
+        let classes = [
+            InstrClass::Algorithmic,
+            InstrClass::Distillation,
+            InstrClass::Sync,
+            InstrClass::CacheControl,
+        ];
+        let mut p = LogicalProgram::new();
+        for (k, i) in instrs.iter().enumerate() {
+            p.push(*i, classes[(k + class_seed as usize) % classes.len()]);
+        }
+        let text = asm::format(&p);
+        let parsed = asm::parse(&text).unwrap();
+        prop_assert_eq!(&p, &parsed);
+        // Idempotence of the printer.
+        prop_assert_eq!(asm::format(&parsed), text);
+    }
+}

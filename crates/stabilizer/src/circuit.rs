@@ -1,0 +1,324 @@
+//! Gate-level circuit representation shared by the simulators.
+//!
+//! A [`Circuit`] is an ordered list of [`Gate`]s. Circuits are the common
+//! currency between the ISA crate (which compiles µop streams into gates),
+//! the surface-code crate (which generates syndrome-extraction circuits) and
+//! the simulators in this crate.
+
+use crate::tableau::{Measurement, Tableau};
+use rand::Rng;
+use std::fmt;
+
+/// A quantum gate or non-unitary operation on named qubit indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Identity / explicit idle slot.
+    I(usize),
+    /// Pauli X.
+    X(usize),
+    /// Pauli Y.
+    Y(usize),
+    /// Pauli Z.
+    Z(usize),
+    /// Hadamard.
+    H(usize),
+    /// Phase gate `S`.
+    S(usize),
+    /// Inverse phase gate `S†`.
+    Sdg(usize),
+    /// Controlled-NOT (control, target).
+    Cnot(usize, usize),
+    /// Controlled-Z.
+    Cz(usize, usize),
+    /// Swap.
+    Swap(usize, usize),
+    /// Prepare `|0⟩`.
+    PrepZ(usize),
+    /// Prepare `|+⟩`.
+    PrepX(usize),
+    /// Measure in the Z basis.
+    MeasZ(usize),
+    /// Measure in the X basis.
+    MeasX(usize),
+}
+
+impl Gate {
+    /// Qubits touched by the gate, as `(first, second)` with `second` only
+    /// set for two-qubit gates.
+    pub fn qubits(self) -> (usize, Option<usize>) {
+        match self {
+            Gate::I(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::PrepZ(q)
+            | Gate::PrepX(q)
+            | Gate::MeasZ(q)
+            | Gate::MeasX(q) => (q, None),
+            Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => (a, Some(b)),
+        }
+    }
+
+    /// Largest qubit index referenced by this gate.
+    pub fn max_qubit(self) -> usize {
+        let (a, b) = self.qubits();
+        b.map_or(a, |b| a.max(b))
+    }
+
+    /// Returns `true` for measurement operations.
+    pub fn is_measurement(self) -> bool {
+        matches!(self, Gate::MeasZ(_) | Gate::MeasX(_))
+    }
+
+    /// Returns `true` for state-preparation operations.
+    pub fn is_preparation(self) -> bool {
+        matches!(self, Gate::PrepZ(_) | Gate::PrepX(_))
+    }
+
+    /// Returns `true` for two-qubit gates.
+    pub fn is_two_qubit(self) -> bool {
+        self.qubits().1.is_some()
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::I(q) => write!(f, "I {q}"),
+            Gate::X(q) => write!(f, "X {q}"),
+            Gate::Y(q) => write!(f, "Y {q}"),
+            Gate::Z(q) => write!(f, "Z {q}"),
+            Gate::H(q) => write!(f, "H {q}"),
+            Gate::S(q) => write!(f, "S {q}"),
+            Gate::Sdg(q) => write!(f, "SDG {q}"),
+            Gate::Cnot(c, t) => write!(f, "CNOT {c} {t}"),
+            Gate::Cz(a, b) => write!(f, "CZ {a} {b}"),
+            Gate::Swap(a, b) => write!(f, "SWAP {a} {b}"),
+            Gate::PrepZ(q) => write!(f, "PREPZ {q}"),
+            Gate::PrepX(q) => write!(f, "PREPX {q}"),
+            Gate::MeasZ(q) => write!(f, "MEASZ {q}"),
+            Gate::MeasX(q) => write!(f, "MEASX {q}"),
+        }
+    }
+}
+
+/// An ordered sequence of gates.
+///
+/// # Example
+///
+/// ```
+/// use quest_stabilizer::{Circuit, Gate, StdRng, SeedableRng};
+///
+/// let mut c = Circuit::new();
+/// c.push(Gate::H(0));
+/// c.push(Gate::Cnot(0, 1));
+/// c.push(Gate::MeasZ(0));
+/// c.push(Gate::MeasZ(1));
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let outcome = c.run_stabilizer(2, &mut rng);
+/// assert_eq!(outcome.len(), 2);
+/// assert_eq!(outcome[0].value, outcome[1].value);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new() -> Circuit {
+        Circuit::default()
+    }
+
+    /// Appends a gate.
+    pub fn push(&mut self, g: Gate) {
+        self.gates.push(g);
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` when the circuit holds no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Iterates over gates in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// Gates as a slice.
+    pub fn as_slice(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of qubits needed to execute the circuit (max index + 1).
+    pub fn num_qubits(&self) -> usize {
+        self.gates
+            .iter()
+            .map(|g| g.max_qubit() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of measurement operations.
+    pub fn num_measurements(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_measurement()).count()
+    }
+
+    /// Applies a single gate to a tableau, appending any measurement result
+    /// to `results`.
+    pub fn apply_gate<R: Rng + ?Sized>(
+        t: &mut Tableau,
+        g: Gate,
+        rng: &mut R,
+        results: &mut Vec<Measurement>,
+    ) {
+        match g {
+            Gate::I(_) => {}
+            Gate::X(q) => t.x(q),
+            Gate::Y(q) => t.y(q),
+            Gate::Z(q) => t.z(q),
+            Gate::H(q) => t.h(q),
+            Gate::S(q) => t.s(q),
+            Gate::Sdg(q) => t.s_dagger(q),
+            Gate::Cnot(c, tq) => t.cnot(c, tq),
+            Gate::Cz(a, b) => t.cz(a, b),
+            Gate::Swap(a, b) => t.swap(a, b),
+            Gate::PrepZ(q) => t.reset(q, rng),
+            Gate::PrepX(q) => t.reset_plus(q, rng),
+            Gate::MeasZ(q) => results.push(t.measure(q, rng)),
+            Gate::MeasX(q) => results.push(t.measure_x(q, rng)),
+        }
+    }
+
+    /// Runs the circuit on a fresh `|0…0⟩` tableau of `n` qubits, returning
+    /// measurement outcomes in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit references a qubit `>= n`.
+    pub fn run_stabilizer<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Measurement> {
+        let mut t = Tableau::new(n);
+        self.run_on(&mut t, rng)
+    }
+
+    /// Runs the circuit on an existing tableau, returning measurement
+    /// outcomes in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit references a qubit outside the tableau.
+    pub fn run_on<R: Rng + ?Sized>(&self, t: &mut Tableau, rng: &mut R) -> Vec<Measurement> {
+        let mut results = Vec::with_capacity(self.num_measurements());
+        for &g in &self.gates {
+            Self::apply_gate(t, g, rng, &mut results);
+        }
+        results
+    }
+}
+
+impl FromIterator<Gate> for Circuit {
+    fn from_iter<I: IntoIterator<Item = Gate>>(iter: I) -> Circuit {
+        Circuit {
+            gates: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<I: IntoIterator<Item = Gate>>(&mut self, iter: I) {
+        self.gates.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+impl IntoIterator for Circuit {
+    type Item = Gate;
+    type IntoIter = std::vec::IntoIter<Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn num_qubits_tracks_max_index() {
+        let c: Circuit = [Gate::H(0), Gate::Cnot(0, 5)].into_iter().collect();
+        assert_eq!(c.num_qubits(), 6);
+        assert_eq!(Circuit::new().num_qubits(), 0);
+    }
+
+    #[test]
+    fn measurement_count() {
+        let c: Circuit = [Gate::MeasZ(0), Gate::H(1), Gate::MeasX(1)]
+            .into_iter()
+            .collect();
+        assert_eq!(c.num_measurements(), 2);
+    }
+
+    #[test]
+    fn run_bell_is_correlated() {
+        let c: Circuit = [
+            Gate::H(0),
+            Gate::Cnot(0, 1),
+            Gate::MeasZ(0),
+            Gate::MeasZ(1),
+        ]
+        .into_iter()
+        .collect();
+        for seed in 0..16 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = c.run_stabilizer(2, &mut rng);
+            assert_eq!(m[0].value, m[1].value);
+        }
+    }
+
+    #[test]
+    fn prep_gates_reset_state() {
+        let c: Circuit = [Gate::X(0), Gate::PrepZ(0), Gate::MeasZ(0)]
+            .into_iter()
+            .collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = c.run_stabilizer(1, &mut rng);
+        assert!(!m[0].value);
+        assert!(m[0].deterministic);
+    }
+
+    #[test]
+    fn gate_classification() {
+        assert!(Gate::MeasZ(0).is_measurement());
+        assert!(Gate::PrepX(0).is_preparation());
+        assert!(Gate::Cnot(0, 1).is_two_qubit());
+        assert!(!Gate::H(0).is_two_qubit());
+        assert_eq!(Gate::Cz(2, 7).max_qubit(), 7);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for g in [Gate::I(0), Gate::Cnot(1, 2), Gate::MeasX(3)] {
+            assert!(!g.to_string().is_empty());
+        }
+    }
+}

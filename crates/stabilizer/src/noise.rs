@@ -1,0 +1,208 @@
+//! Pauli noise channels.
+//!
+//! The paper's error model (§3.1, §6.2) is a physical error rate per QECC
+//! cycle on superconducting qubits. Because Pauli errors commute through
+//! Clifford circuits, injecting random single-qubit Paulis between syndrome
+//! rounds reproduces the standard circuit-level/phenomenological noise models
+//! used in surface-code studies.
+
+use crate::pauli::{Pauli, PauliString};
+use crate::tableau::Tableau;
+use rand::Rng;
+
+/// A stochastic single-qubit Pauli channel applied independently per qubit.
+pub trait NoiseChannel {
+    /// Samples the error applied to one qubit.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Pauli;
+
+    /// Samples an error layer over `n` qubits as a [`PauliString`].
+    fn sample_layer<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> PauliString {
+        let mut layer = PauliString::identity(n);
+        for q in 0..n {
+            layer.set(q, self.sample(rng));
+        }
+        layer
+    }
+
+    /// Applies one sampled error layer directly to a tableau, returning the
+    /// layer that was applied (for diagnostics and decoder validation).
+    fn apply_layer<R: Rng + ?Sized>(&self, t: &mut Tableau, rng: &mut R) -> PauliString {
+        let layer = self.sample_layer(t.num_qubits(), rng);
+        t.pauli_string(&layer);
+        layer
+    }
+}
+
+/// Independent X/Y/Z error probabilities per qubit.
+///
+/// # Example
+///
+/// ```
+/// use quest_stabilizer::{NoiseChannel, PauliChannel};
+///
+/// let depolarizing = PauliChannel::depolarizing(3e-3);
+/// assert!((depolarizing.total_error_probability() - 3e-3).abs() < 1e-12);
+/// let bitflip = PauliChannel::bit_flip(1e-2);
+/// assert_eq!(bitflip.total_error_probability(), 1e-2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PauliChannel {
+    px: f64,
+    py: f64,
+    pz: f64,
+}
+
+impl PauliChannel {
+    /// Channel with explicit X/Y/Z probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is negative or the sum exceeds 1.
+    pub fn new(px: f64, py: f64, pz: f64) -> PauliChannel {
+        assert!(px >= 0.0 && py >= 0.0 && pz >= 0.0, "negative probability");
+        assert!(px + py + pz <= 1.0, "probabilities sum to more than 1");
+        PauliChannel { px, py, pz }
+    }
+
+    /// Symmetric depolarizing channel with total error probability `p`
+    /// (each Pauli with probability `p/3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn depolarizing(p: f64) -> PauliChannel {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        PauliChannel::new(p / 3.0, p / 3.0, p / 3.0)
+    }
+
+    /// Pure bit-flip channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn bit_flip(p: f64) -> PauliChannel {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        PauliChannel::new(p, 0.0, 0.0)
+    }
+
+    /// Pure phase-flip channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn phase_flip(p: f64) -> PauliChannel {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        PauliChannel::new(0.0, 0.0, p)
+    }
+
+    /// The noiseless channel.
+    pub fn noiseless() -> PauliChannel {
+        PauliChannel::new(0.0, 0.0, 0.0)
+    }
+
+    /// Probability that *some* error occurs on a qubit.
+    pub fn total_error_probability(&self) -> f64 {
+        self.px + self.py + self.pz
+    }
+
+    /// X-error probability.
+    pub fn px(&self) -> f64 {
+        self.px
+    }
+
+    /// Y-error probability.
+    pub fn py(&self) -> f64 {
+        self.py
+    }
+
+    /// Z-error probability.
+    pub fn pz(&self) -> f64 {
+        self.pz
+    }
+}
+
+impl NoiseChannel for PauliChannel {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Pauli {
+        let total = self.total_error_probability();
+        if total == 0.0 {
+            return Pauli::I;
+        }
+        let u: f64 = rng.gen();
+        if u < self.px {
+            Pauli::X
+        } else if u < self.px + self.py {
+            Pauli::Y
+        } else if u < total {
+            Pauli::Z
+        } else {
+            Pauli::I
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_channel_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ch = PauliChannel::noiseless();
+        for _ in 0..100 {
+            assert_eq!(ch.sample(&mut rng), Pauli::I);
+        }
+    }
+
+    #[test]
+    fn bit_flip_only_produces_x() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ch = PauliChannel::bit_flip(0.5);
+        let mut seen_x = false;
+        for _ in 0..200 {
+            match ch.sample(&mut rng) {
+                Pauli::X => seen_x = true,
+                Pauli::I => {}
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(seen_x);
+    }
+
+    #[test]
+    fn depolarizing_rate_is_approximately_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = 0.2;
+        let ch = PauliChannel::depolarizing(p);
+        let n = 20_000;
+        let errors = (0..n).filter(|_| ch.sample(&mut rng) != Pauli::I).count();
+        let rate = errors as f64 / n as f64;
+        assert!((rate - p).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn layer_has_correct_length() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = PauliChannel::depolarizing(0.3).sample_layer(17, &mut rng);
+        assert_eq!(layer.len(), 17);
+    }
+
+    #[test]
+    fn apply_layer_reports_what_it_did() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Tableau::new(8);
+        let layer = PauliChannel::bit_flip(1.0).apply_layer(&mut t, &mut rng);
+        // With p = 1 every qubit gets an X and measures 1.
+        assert_eq!(layer.weight(), 8);
+        for q in 0..8 {
+            assert!(t.measure(q, &mut rng).value);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to more than 1")]
+    fn overfull_channel_panics() {
+        PauliChannel::new(0.5, 0.4, 0.2);
+    }
+}

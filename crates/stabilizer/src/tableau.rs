@@ -1,0 +1,807 @@
+//! Aaronson–Gottesman stabilizer tableau simulator.
+//!
+//! The tableau tracks `2n` Pauli rows (n destabilizers followed by n
+//! stabilizers) plus one scratch row, each stored as bit-packed X and Z
+//! vectors with a sign bit. Clifford gates update rows in O(n) time;
+//! measurement is O(n²) worst case. This is the standard CHP construction
+//! from Aaronson & Gottesman, *Improved simulation of stabilizer circuits*
+//! (2004).
+
+use crate::pauli::{Pauli, PauliString};
+use rand::Rng;
+
+const WORD_BITS: usize = 64;
+
+/// Outcome of a single-qubit measurement in the computational basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Measurement {
+    /// The measured bit.
+    pub value: bool,
+    /// `true` when the outcome was fully determined by the state (no
+    /// randomness was consumed).
+    pub deterministic: bool,
+}
+
+/// CHP-style stabilizer tableau over `n` qubits.
+///
+/// Newly constructed tableaus hold the all-zeros state `|0…0⟩`.
+///
+/// # Example
+///
+/// ```
+/// use quest_stabilizer::{Tableau, StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut t = Tableau::new(3);
+/// t.h(0);
+/// t.cnot(0, 1);
+/// t.cnot(1, 2);
+/// // GHZ state: all three measurements agree.
+/// let m0 = t.measure(0, &mut rng).value;
+/// assert_eq!(t.measure(1, &mut rng).value, m0);
+/// assert_eq!(t.measure(2, &mut rng).value, m0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    words: usize,
+    /// X bit-matrix, `(2n + 1)` rows of `words` u64 words each, flattened.
+    x: Vec<u64>,
+    /// Z bit-matrix with the same layout.
+    z: Vec<u64>,
+    /// Sign bits (`true` = −1) for each row.
+    r: Vec<bool>,
+}
+
+impl Tableau {
+    /// Creates a tableau for `n` qubits in the `|0…0⟩` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Tableau {
+        assert!(n > 0, "tableau needs at least one qubit");
+        let words = n.div_ceil(WORD_BITS);
+        let rows = 2 * n + 1;
+        let mut t = Tableau {
+            n,
+            words,
+            x: vec![0; rows * words],
+            z: vec![0; rows * words],
+            r: vec![false; rows],
+        };
+        for i in 0..n {
+            t.set_x(i, i, true); // destabilizer i = X_i
+            t.set_z(n + i, i, true); // stabilizer i = Z_i
+        }
+        t
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn xw(&self, row: usize) -> &[u64] {
+        &self.x[row * self.words..(row + 1) * self.words]
+    }
+
+    #[inline]
+    fn zw(&self, row: usize) -> &[u64] {
+        &self.z[row * self.words..(row + 1) * self.words]
+    }
+
+    #[inline]
+    fn get_x(&self, row: usize, q: usize) -> bool {
+        self.x[row * self.words + q / WORD_BITS] >> (q % WORD_BITS) & 1 == 1
+    }
+
+    #[inline]
+    fn get_z(&self, row: usize, q: usize) -> bool {
+        self.z[row * self.words + q / WORD_BITS] >> (q % WORD_BITS) & 1 == 1
+    }
+
+    #[inline]
+    fn set_x(&mut self, row: usize, q: usize, v: bool) {
+        let idx = row * self.words + q / WORD_BITS;
+        let mask = 1u64 << (q % WORD_BITS);
+        if v {
+            self.x[idx] |= mask;
+        } else {
+            self.x[idx] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn set_z(&mut self, row: usize, q: usize, v: bool) {
+        let idx = row * self.words + q / WORD_BITS;
+        let mask = 1u64 << (q % WORD_BITS);
+        if v {
+            self.z[idx] |= mask;
+        } else {
+            self.z[idx] &= !mask;
+        }
+    }
+
+    #[inline]
+    fn check_qubit(&self, q: usize) {
+        assert!(q < self.n, "qubit index {q} out of range (n = {})", self.n);
+    }
+
+    /// Applies a Hadamard gate to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn h(&mut self, q: usize) {
+        self.check_qubit(q);
+        let word = q / WORD_BITS;
+        let mask = 1u64 << (q % WORD_BITS);
+        for row in 0..2 * self.n {
+            let xi = row * self.words + word;
+            let xv = self.x[xi] & mask;
+            let zv = self.z[xi] & mask;
+            // Phase flips when the row acts as Y on q.
+            if xv != 0 && zv != 0 {
+                self.r[row] = !self.r[row];
+            }
+            // Swap the x and z bits.
+            self.x[xi] = (self.x[xi] & !mask) | zv;
+            self.z[xi] = (self.z[xi] & !mask) | xv;
+        }
+    }
+
+    /// Applies a phase gate `S = diag(1, i)` to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn s(&mut self, q: usize) {
+        self.check_qubit(q);
+        let word = q / WORD_BITS;
+        let mask = 1u64 << (q % WORD_BITS);
+        for row in 0..2 * self.n {
+            let xi = row * self.words + word;
+            let xv = self.x[xi] & mask;
+            let zv = self.z[xi] & mask;
+            if xv != 0 && zv != 0 {
+                self.r[row] = !self.r[row];
+            }
+            // z ^= x
+            self.z[xi] ^= xv;
+        }
+    }
+
+    /// Applies the inverse phase gate `S† = S³`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn s_dagger(&mut self, q: usize) {
+        self.s(q);
+        self.s(q);
+        self.s(q);
+    }
+
+    /// Applies a Pauli X (bit flip) to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn x(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            if self.get_z(row, q) {
+                self.r[row] = !self.r[row];
+            }
+        }
+    }
+
+    /// Applies a Pauli Z (phase flip) to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn z(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            if self.get_x(row, q) {
+                self.r[row] = !self.r[row];
+            }
+        }
+    }
+
+    /// Applies a Pauli Y to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn y(&mut self, q: usize) {
+        self.check_qubit(q);
+        for row in 0..2 * self.n {
+            if self.get_x(row, q) != self.get_z(row, q) {
+                self.r[row] = !self.r[row];
+            }
+        }
+    }
+
+    /// Applies a Pauli operator to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn pauli(&mut self, q: usize, p: Pauli) {
+        match p {
+            Pauli::I => {}
+            Pauli::X => self.x(q),
+            Pauli::Y => self.y(q),
+            Pauli::Z => self.z(q),
+        }
+    }
+
+    /// Applies a whole Pauli string as an error/correction layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string length differs from the qubit count.
+    pub fn pauli_string(&mut self, p: &PauliString) {
+        assert_eq!(p.len(), self.n, "Pauli string length mismatch");
+        for (q, op) in p.iter_support() {
+            self.pauli(q, op);
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or `c == t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        self.check_qubit(c);
+        self.check_qubit(t);
+        assert_ne!(c, t, "CNOT control and target must differ");
+        for row in 0..2 * self.n {
+            let xc = self.get_x(row, c);
+            let zc = self.get_z(row, c);
+            let xt = self.get_x(row, t);
+            let zt = self.get_z(row, t);
+            if xc && zt && (xt == zc) {
+                self.r[row] = !self.r[row];
+            }
+            self.set_x(row, t, xt ^ xc);
+            self.set_z(row, c, zc ^ zt);
+        }
+    }
+
+    /// Applies a controlled-Z between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or `a == b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cnot(a, b);
+        self.h(b);
+    }
+
+    /// Swaps qubits `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or `a == b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cnot(a, b);
+        self.cnot(b, a);
+        self.cnot(a, b);
+    }
+
+    /// Measures qubit `q` in the computational (Z) basis.
+    ///
+    /// Random outcomes draw one bit from `rng`; deterministic outcomes draw
+    /// nothing and report [`Measurement::deterministic`] = `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn measure<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> Measurement {
+        self.check_qubit(q);
+        let n = self.n;
+        // Look for a stabilizer row that anticommutes with Z_q (x bit set).
+        let p = (n..2 * n).find(|&row| self.get_x(row, q));
+        match p {
+            Some(p) => {
+                // Random outcome.
+                for row in 0..2 * n {
+                    if row != p && self.get_x(row, q) {
+                        self.row_mul(row, p);
+                    }
+                }
+                // Destabilizer p-n := old stabilizer p.
+                self.copy_row(p - n, p);
+                // Stabilizer p := ±Z_q with a fresh random sign.
+                self.zero_row(p);
+                self.set_z(p, q, true);
+                let value: bool = rng.gen();
+                self.r[p] = value;
+                Measurement {
+                    value,
+                    deterministic: false,
+                }
+            }
+            None => {
+                // Deterministic outcome: accumulate into the scratch row.
+                let scratch = 2 * n;
+                self.zero_row(scratch);
+                for i in 0..n {
+                    if self.get_x(i, q) {
+                        self.row_mul(scratch, i + n);
+                    }
+                }
+                Measurement {
+                    value: self.r[scratch],
+                    deterministic: true,
+                }
+            }
+        }
+    }
+
+    /// Measures qubit `q` in the X basis (conjugating by Hadamards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn measure_x<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) -> Measurement {
+        self.h(q);
+        let m = self.measure(q, rng);
+        self.h(q);
+        m
+    }
+
+    /// Resets qubit `q` to `|0⟩` (measure, then flip if needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn reset<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        if self.measure(q, rng).value {
+            self.x(q);
+        }
+    }
+
+    /// Resets qubit `q` to `|+⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn reset_plus<R: Rng + ?Sized>(&mut self, q: usize, rng: &mut R) {
+        self.reset(q, rng);
+        self.h(q);
+    }
+
+    /// Returns the probability that measuring qubit `q` yields 1, which for
+    /// stabilizer states is always 0, ½, or 1.
+    ///
+    /// Unlike [`Tableau::measure`] this does not disturb the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn prob_one(&mut self, q: usize) -> f64 {
+        self.check_qubit(q);
+        let n = self.n;
+        if (n..2 * n).any(|row| self.get_x(row, q)) {
+            return 0.5;
+        }
+        let scratch = 2 * n;
+        self.zero_row(scratch);
+        for i in 0..n {
+            if self.get_x(i, q) {
+                self.row_mul(scratch, i + n);
+            }
+        }
+        if self.r[scratch] {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Returns stabilizer `i` (for `i < n`) as a signed Pauli string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn stabilizer(&self, i: usize) -> PauliString {
+        assert!(i < self.n, "stabilizer index out of range");
+        self.row_to_pauli_string(self.n + i)
+    }
+
+    /// Returns destabilizer `i` (for `i < n`) as a signed Pauli string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn destabilizer(&self, i: usize) -> PauliString {
+        assert!(i < self.n, "destabilizer index out of range");
+        self.row_to_pauli_string(i)
+    }
+
+    /// Returns `true` when the signed Pauli operator `p` stabilizes the
+    /// current state (i.e. `p |ψ⟩ = |ψ⟩`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string length differs from the qubit count.
+    pub fn is_stabilized_by(&mut self, p: &PauliString) -> bool {
+        assert_eq!(p.len(), self.n, "Pauli string length mismatch");
+        // p must commute with every stabilizer generator...
+        for i in 0..self.n {
+            if !self.stabilizer(i).commutes_with(p) {
+                return false;
+            }
+        }
+        // ...and be generated by them with matching sign. Reduce p against
+        // the stabilizer set using destabilizer pivots: stabilizer row i is
+        // the unique generator anticommuting with destabilizer i.
+        let scratch = 2 * self.n;
+        self.zero_row(scratch);
+        self.r[scratch] = false;
+        let mut acc = PauliString::identity(self.n);
+        for i in 0..self.n {
+            if !self.destabilizer(i).commutes_with(p) {
+                self.row_mul(scratch, self.n + i);
+                acc.mul_assign(&self.stabilizer(i));
+            }
+        }
+        // The accumulated product must equal p exactly (including sign).
+        for q in 0..self.n {
+            if acc.get(q) != p.get(q) {
+                return false;
+            }
+        }
+        acc.is_negative() == p.is_negative()
+    }
+
+    fn row_to_pauli_string(&self, row: usize) -> PauliString {
+        let mut p = PauliString::identity(self.n);
+        for q in 0..self.n {
+            p.set(q, Pauli::from_xz(self.get_x(row, q), self.get_z(row, q)));
+        }
+        if self.r[row] {
+            p.negate();
+        }
+        p
+    }
+
+    fn zero_row(&mut self, row: usize) {
+        for w in 0..self.words {
+            self.x[row * self.words + w] = 0;
+            self.z[row * self.words + w] = 0;
+        }
+        self.r[row] = false;
+    }
+
+    fn copy_row(&mut self, dst: usize, src: usize) {
+        for w in 0..self.words {
+            self.x[dst * self.words + w] = self.x[src * self.words + w];
+            self.z[dst * self.words + w] = self.z[src * self.words + w];
+        }
+        self.r[dst] = self.r[src];
+    }
+
+    /// Multiplies row `src` into row `dst` (`dst := dst * src`), tracking the
+    /// sign via the bit-parallel phase-exponent computation.
+    fn row_mul(&mut self, dst: usize, src: usize) {
+        let (mut plus, mut minus) = (0u32, 0u32);
+        for w in 0..self.words {
+            let x1 = self.x[dst * self.words + w];
+            let z1 = self.z[dst * self.words + w];
+            let x2 = self.x[src * self.words + w];
+            let z2 = self.z[src * self.words + w];
+
+            let y1 = x1 & z1;
+            let xonly1 = x1 & !z1;
+            let zonly1 = !x1 & z1;
+
+            // Per-qubit contribution g(x1,z1,x2,z2) ∈ {−1, 0, +1}:
+            //   row1 = Y: g = z2 − x2
+            //   row1 = X: g = z2 · (2·x2 − 1)
+            //   row1 = Z: g = x2 · (1 − 2·z2)
+            let p = (y1 & z2 & !x2) | (xonly1 & z2 & x2) | (zonly1 & x2 & !z2);
+            let m = (y1 & x2 & !z2) | (xonly1 & z2 & !x2) | (zonly1 & x2 & z2);
+            plus += p.count_ones();
+            minus += m.count_ones();
+
+            self.x[dst * self.words + w] = x1 ^ x2;
+            self.z[dst * self.words + w] = z1 ^ z2;
+        }
+        let phase = (2 * self.r[dst] as i64 + 2 * self.r[src] as i64 + plus as i64
+            - minus as i64)
+            .rem_euclid(4);
+        // Stabilizer and scratch rows always yield an even exponent (their
+        // products are Hermitian); destabilizer rows may pick up an
+        // irrelevant ±i during the random-measurement update, which we fold
+        // into the sign bit exactly as Aaronson–Gottesman's CHP does.
+        self.r[dst] = phase == 2 || phase == 3;
+    }
+
+    /// Checks internal invariants: stabilizers commute pairwise, destabilizer
+    /// `i` anticommutes with stabilizer `i` only. Used by tests.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let si = self.row_to_pauli_string(self.n + i);
+                let sj = self.row_to_pauli_string(self.n + j);
+                assert!(si.commutes_with(&sj), "stabilizers {i},{j} anticommute");
+                let di = self.row_to_pauli_string(i);
+                if i == j {
+                    assert!(
+                        !di.commutes_with(&sj),
+                        "destabilizer {i} commutes with its stabilizer"
+                    );
+                } else {
+                    assert!(
+                        di.commutes_with(&sj),
+                        "destabilizer {i} anticommutes with stabilizer {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Returns the X bit of stabilizer row `i` at qubit `q` (used by the
+    /// surface-code crate's diagnostics).
+    #[doc(hidden)]
+    pub fn stabilizer_x_bit(&self, i: usize, q: usize) -> bool {
+        self.get_x(self.n + i, q)
+    }
+
+    /// Words of the X component of stabilizer row `i` (diagnostics).
+    #[doc(hidden)]
+    pub fn stabilizer_x_words(&self, i: usize) -> &[u64] {
+        self.xw(self.n + i)
+    }
+
+    /// Words of the Z component of stabilizer row `i` (diagnostics).
+    #[doc(hidden)]
+    pub fn stabilizer_z_words(&self, i: usize) -> &[u64] {
+        self.zw(self.n + i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn fresh_state_measures_zero_deterministically() {
+        let mut t = Tableau::new(5);
+        let mut rng = rng();
+        for q in 0..5 {
+            let m = t.measure(q, &mut rng);
+            assert!(!m.value);
+            assert!(m.deterministic);
+        }
+    }
+
+    #[test]
+    fn x_flips_measurement() {
+        let mut t = Tableau::new(3);
+        let mut rng = rng();
+        t.x(1);
+        assert!(!t.measure(0, &mut rng).value);
+        assert!(t.measure(1, &mut rng).value);
+        assert!(!t.measure(2, &mut rng).value);
+    }
+
+    #[test]
+    fn hadamard_gives_random_then_repeatable_outcome() {
+        let mut rng = rng();
+        let mut ones = 0;
+        for seed in 0..64 {
+            let mut t = Tableau::new(1);
+            t.h(0);
+            let mut local = StdRng::seed_from_u64(seed);
+            let m1 = t.measure(0, &mut local);
+            assert!(!m1.deterministic);
+            // Second measurement must repeat the first, deterministically.
+            let m2 = t.measure(0, &mut rng);
+            assert!(m2.deterministic);
+            assert_eq!(m1.value, m2.value);
+            ones += m1.value as u32;
+        }
+        // Both outcomes occur across seeds.
+        assert!(ones > 10 && ones < 54, "ones = {ones}");
+    }
+
+    #[test]
+    fn bell_pair_is_correlated() {
+        for seed in 0..32 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cnot(0, 1);
+            let a = t.measure(0, &mut rng);
+            let b = t.measure(1, &mut rng);
+            assert!(!a.deterministic);
+            assert!(b.deterministic);
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn ghz_stabilizers() {
+        let mut t = Tableau::new(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.cnot(1, 2);
+        // XXX stabilizes GHZ.
+        let xxx = PauliString::from_sparse(
+            3,
+            &[(0, Pauli::X), (1, Pauli::X), (2, Pauli::X)],
+        );
+        assert!(t.is_stabilized_by(&xxx));
+        // ZZI stabilizes GHZ.
+        let zzi = PauliString::from_sparse(3, &[(0, Pauli::Z), (1, Pauli::Z)]);
+        assert!(t.is_stabilized_by(&zzi));
+        // ZII does not.
+        let zii = PauliString::from_sparse(3, &[(0, Pauli::Z)]);
+        assert!(!t.is_stabilized_by(&zii));
+        // -XXX does not (wrong sign).
+        let mut neg = xxx.clone();
+        neg.negate();
+        assert!(!t.is_stabilized_by(&neg));
+    }
+
+    #[test]
+    fn s_gate_turns_x_into_y() {
+        // S X S† = Y, so H then S gives a state stabilized by Y.
+        let mut t = Tableau::new(1);
+        t.h(0);
+        t.s(0);
+        let y = PauliString::from_sparse(1, &[(0, Pauli::Y)]);
+        assert!(t.is_stabilized_by(&y));
+    }
+
+    #[test]
+    fn s_dagger_inverts_s() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        t.cnot(0, 1);
+        let before = t.clone();
+        t.s(1);
+        t.s_dagger(1);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn cz_is_symmetric() {
+        let mut a = Tableau::new(2);
+        a.h(0);
+        a.h(1);
+        let mut b = a.clone();
+        a.cz(0, 1);
+        b.cz(1, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn swap_moves_excitation() {
+        let mut t = Tableau::new(2);
+        let mut rng = rng();
+        t.x(0);
+        t.swap(0, 1);
+        assert!(!t.measure(0, &mut rng).value);
+        assert!(t.measure(1, &mut rng).value);
+    }
+
+    #[test]
+    fn reset_forces_zero() {
+        for seed in 0..16 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Tableau::new(2);
+            t.h(0);
+            t.cnot(0, 1);
+            t.reset(0, &mut rng);
+            let m = t.measure(0, &mut rng);
+            assert!(m.deterministic);
+            assert!(!m.value);
+        }
+    }
+
+    #[test]
+    fn reset_plus_is_stabilized_by_x() {
+        let mut rng = rng();
+        let mut t = Tableau::new(1);
+        t.x(0);
+        t.reset_plus(0, &mut rng);
+        let x = PauliString::from_sparse(1, &[(0, Pauli::X)]);
+        assert!(t.is_stabilized_by(&x));
+    }
+
+    #[test]
+    fn prob_one_reports_without_disturbing() {
+        let mut t = Tableau::new(2);
+        t.h(0);
+        assert_eq!(t.prob_one(0), 0.5);
+        assert_eq!(t.prob_one(1), 0.0);
+        t.x(1);
+        assert_eq!(t.prob_one(1), 1.0);
+        // prob_one(0) did not collapse qubit 0.
+        assert_eq!(t.prob_one(0), 0.5);
+    }
+
+    #[test]
+    fn measure_x_detects_plus_state() {
+        let mut rng = rng();
+        let mut t = Tableau::new(1);
+        t.h(0);
+        let m = t.measure_x(0, &mut rng);
+        assert!(m.deterministic);
+        assert!(!m.value);
+        t.z(0); // |+⟩ -> |−⟩
+        let m = t.measure_x(0, &mut rng);
+        assert!(m.deterministic);
+        assert!(m.value);
+    }
+
+    #[test]
+    fn invariants_hold_after_random_circuit() {
+        let mut rng = rng();
+        // 70 qubits forces multi-word rows.
+        let mut t = Tableau::new(70);
+        for step in 0..500 {
+            match step % 5 {
+                0 => t.h(rng.gen_range(0..70)),
+                1 => t.s(rng.gen_range(0..70)),
+                2 => {
+                    let c = rng.gen_range(0..70);
+                    let mut tq = rng.gen_range(0..70);
+                    if tq == c {
+                        tq = (tq + 1) % 70;
+                    }
+                    t.cnot(c, tq);
+                }
+                3 => t.x(rng.gen_range(0..70)),
+                _ => {
+                    let q = rng.gen_range(0..70);
+                    t.measure(q, &mut rng);
+                }
+            }
+        }
+        t.check_invariants();
+    }
+
+    #[test]
+    fn pauli_errors_commute_through_cnot_as_expected() {
+        // X on control propagates to X on both qubits through CNOT.
+        let mut rng = rng();
+        let mut t = Tableau::new(2);
+        t.x(0);
+        t.cnot(0, 1);
+        assert!(t.measure(0, &mut rng).value);
+        assert!(t.measure(1, &mut rng).value);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut t = Tableau::new(2);
+        t.h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn cnot_same_qubit_panics() {
+        let mut t = Tableau::new(2);
+        t.cnot(1, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Two-level error decoding, mirroring the paper's §4.2:
+//!
+//! * [`LutDecoder`] — the *local* decoder inside each MCE's error-decoder
+//!   pipeline. A lookup table recognises frequently-occurring isolated
+//!   single-qubit errors and corrects them without master-controller
+//!   involvement.
+//! * [`UnionFindDecoder`] — the *global* decoder in the master controller.
+//!   It resolves arbitrary error patterns (chains, multi-error clusters)
+//!   over the space-time decoding graph. The paper uses minimum-weight
+//!   perfect matching; we use the union-find decoder (Delfosse–Nickerson),
+//!   which achieves near-identical thresholds, and validate it against
+//!   [`ExactMatchingDecoder`] on small instances.
+//! * [`ExactMatchingDecoder`] — brute-force minimum-weight perfect matching
+//!   (exponential in the number of detection events), used as ground truth
+//!   in tests and small benchmarks.
+
+mod exact;
+mod lut;
+mod table;
+mod union_find;
+
+pub use exact::ExactMatchingDecoder;
+pub use lut::LutDecoder;
+pub use table::TableDecoder;
+pub use union_find::UnionFindDecoder;
+
+use crate::graph::{DecodingGraph, EdgeId, Fault, NodeId};
+use std::collections::BTreeSet;
+
+/// The output of a decoder: which data qubits to flip, and the full edge
+/// set of the inferred fault pattern (including measurement-error edges,
+/// which need no physical correction).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Correction {
+    /// Data qubits whose Pauli frame must be flipped.
+    pub data_flips: BTreeSet<usize>,
+    /// Matched edges of the decoding graph.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Correction {
+    /// Builds a correction from matched edges, XOR-folding data faults
+    /// (a qubit flipped an even number of times needs no correction).
+    pub fn from_edges(graph: &DecodingGraph, edges: Vec<EdgeId>) -> Correction {
+        let mut data_flips = BTreeSet::new();
+        for &e in &edges {
+            if let Fault::Data(q) = graph.edges()[e].fault {
+                if !data_flips.insert(q) {
+                    data_flips.remove(&q);
+                }
+            }
+        }
+        Correction { data_flips, edges }
+    }
+
+    /// Number of data-qubit flips.
+    pub fn weight(&self) -> usize {
+        self.data_flips.len()
+    }
+}
+
+/// A decoder over the space-time decoding graph.
+///
+/// `events` are the detection-event nodes (flipped syndrome records).
+pub trait Decoder {
+    /// Produces a correction whose induced syndrome matches `events`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `events` contains the boundary node or
+    /// out-of-range ids.
+    fn decode(&self, graph: &DecodingGraph, events: &[NodeId]) -> Correction;
+}
+
+/// Validates that a correction's edges reproduce exactly the given
+/// detection events (every event node touched an odd number of times, all
+/// other check nodes an even number). Shared by tests.
+pub fn correction_explains_events(
+    graph: &DecodingGraph,
+    correction: &Correction,
+    events: &[NodeId],
+) -> bool {
+    let mut parity = vec![false; graph.num_nodes()];
+    for &e in &correction.edges {
+        let edge = &graph.edges()[e];
+        parity[edge.a] = !parity[edge.a];
+        parity[edge.b] = !parity[edge.b];
+    }
+    let event_set: BTreeSet<_> = events.iter().copied().collect();
+    #[allow(clippy::needless_range_loop)] // n is the node id
+    for n in 0..graph.num_nodes() {
+        if graph.is_boundary(n) {
+            continue; // the boundary absorbs any parity
+        }
+        if parity[n] != event_set.contains(&n) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{RotatedLattice, StabKind};
+
+    #[test]
+    fn correction_from_edges_xor_folds_duplicates() {
+        let lat = RotatedLattice::new(3);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 2);
+        // Find two edges with the same data fault in different rounds.
+        let q = 4usize; // bulk data qubit
+        let same_fault: Vec<EdgeId> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.fault == Fault::Data(q))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(same_fault.len(), 2);
+        let c = Correction::from_edges(&g, same_fault);
+        assert!(c.data_flips.is_empty(), "double flip should cancel");
+    }
+
+    #[test]
+    fn empty_correction_explains_no_events() {
+        let lat = RotatedLattice::new(3);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 1);
+        let c = Correction::default();
+        assert!(correction_explains_events(&g, &c, &[]));
+        assert!(!correction_explains_events(&g, &c, &[g.node(0, 0)]));
+    }
+}

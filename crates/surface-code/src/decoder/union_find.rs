@@ -1,0 +1,354 @@
+//! Union-find decoder (Delfosse–Nickerson, "Almost-linear time decoding
+//! algorithm for topological codes").
+//!
+//! The decoder grows clusters around detection events in half-edge steps,
+//! merging clusters as they touch, until every cluster has even parity or
+//! touches the boundary. The grown region is then treated as an erasure and
+//! peeled: a spanning forest is built and leaf edges are processed inward,
+//! emitting a correction edge whenever a leaf carries an unpaired event.
+//!
+//! This plays the role of the paper's global MWPM decoder in the master
+//! controller; its output is validated against the exact matcher in tests.
+
+use super::{Correction, Decoder};
+use crate::graph::{DecodingGraph, EdgeId, NodeId};
+use std::collections::VecDeque;
+
+/// Scalable union-find decoder.
+///
+/// # Example
+///
+/// ```
+/// use quest_surface::{DecodingGraph, RotatedLattice, StabKind, UnionFindDecoder};
+/// use quest_surface::decoder::{correction_explains_events, Decoder};
+///
+/// let lat = RotatedLattice::new(5);
+/// let g = DecodingGraph::new(&lat, StabKind::Z, 5);
+/// let events = [g.node(1, 2), g.node(1, 3)];
+/// let c = UnionFindDecoder::new().decode(&g, &events);
+/// assert!(correction_explains_events(&g, &c, &events));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnionFindDecoder {
+    _private: (),
+}
+
+impl UnionFindDecoder {
+    /// Creates the decoder.
+    pub fn new() -> UnionFindDecoder {
+        UnionFindDecoder::default()
+    }
+}
+
+struct Dsu {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// Odd number of unpaired detection events in the cluster (root-indexed).
+    odd: Vec<bool>,
+    /// Cluster touches the boundary (root-indexed).
+    boundary: Vec<bool>,
+}
+
+impl Dsu {
+    fn new(n: usize, events: &[bool]) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            odd: events.to_vec(),
+            boundary: vec![false; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        if self.rank[big] == self.rank[small] {
+            self.rank[big] += 1;
+        }
+        self.odd[big] ^= self.odd[small];
+        self.boundary[big] |= self.boundary[small];
+    }
+
+    /// A cluster is *active* (must keep growing) when it holds odd parity
+    /// and does not touch the boundary.
+    fn is_active_root(&self, root: usize) -> bool {
+        self.odd[root] && !self.boundary[root]
+    }
+}
+
+impl Decoder for UnionFindDecoder {
+    fn decode(&self, graph: &DecodingGraph, events: &[NodeId]) -> Correction {
+        if events.is_empty() {
+            return Correction::default();
+        }
+        let n = graph.num_nodes();
+        let boundary = graph.boundary();
+        let mut is_event = vec![false; n];
+        for &e in events {
+            assert!(!graph.is_boundary(e), "boundary node cannot be an event");
+            is_event[e] = true;
+        }
+
+        // --- Growth stage -------------------------------------------------
+        let mut dsu = Dsu::new(n, &is_event);
+        // support[e] ∈ {0, 1, 2}: number of half-steps grown on edge e.
+        let mut support = vec![0u8; graph.edges().len()];
+        // Node membership in a growing cluster (false = untouched so far).
+        let mut in_cluster = vec![false; n];
+        for &e in events {
+            in_cluster[e] = true;
+        }
+
+        // Scratch vectors reused across growth rounds: per-edge growth
+        // increment this round, and a stamp marking edges already counted
+        // for the current cluster (an edge grows once per incident *active
+        // cluster*, so an edge between two active clusters gains two halves
+        // per round and completes before cluster-to-boundary edges do —
+        // this is what makes union-find respect error homology).
+        let mut delta = vec![0u8; graph.edges().len()];
+        let mut edge_stamp = vec![usize::MAX; graph.edges().len()];
+        loop {
+            // Group member nodes by active cluster root. (The index is
+            // the node id itself, so a range loop is the clear form.)
+            let mut members_of_active: std::collections::HashMap<usize, Vec<NodeId>> =
+                std::collections::HashMap::new();
+            #[allow(clippy::needless_range_loop)]
+            for node in 0..n {
+                if node == boundary || !in_cluster[node] {
+                    continue;
+                }
+                let root = dsu.find(node);
+                if dsu.is_active_root(root) {
+                    members_of_active.entry(root).or_default().push(node);
+                }
+            }
+            if members_of_active.is_empty() {
+                break;
+            }
+            delta.iter_mut().for_each(|d| *d = 0);
+            for (&root, members) in &members_of_active {
+                for &node in members {
+                    for &e in graph.incident(node) {
+                        if support[e] < 2 && edge_stamp[e] != root {
+                            edge_stamp[e] = root;
+                            delta[e] += 1;
+                        }
+                    }
+                }
+            }
+            edge_stamp.iter_mut().for_each(|s| *s = usize::MAX);
+            for (e, &d) in delta.iter().enumerate() {
+                if d == 0 {
+                    continue;
+                }
+                support[e] = (support[e] + d).min(2);
+                if support[e] == 2 {
+                    let edge = &graph.edges()[e];
+                    let (a, b) = (edge.a, edge.b);
+                    if a == boundary || b == boundary {
+                        let inner = if a == boundary { b } else { a };
+                        in_cluster[inner] = true;
+                        let root = dsu.find(inner);
+                        dsu.boundary[root] = true;
+                    } else {
+                        in_cluster[a] = true;
+                        in_cluster[b] = true;
+                        dsu.union(a, b);
+                    }
+                }
+            }
+        }
+
+        // --- Peeling stage ------------------------------------------------
+        // Erasure = fully grown edges. Build a spanning forest with BFS,
+        // seeding from the boundary first so boundary-touching trees are
+        // rooted at the boundary (which absorbs leftover parity).
+        let erased: Vec<EdgeId> = (0..graph.edges().len())
+            .filter(|&e| support[e] == 2)
+            .collect();
+        let mut visited = vec![false; n];
+        let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+        let mut order: Vec<NodeId> = Vec::new(); // BFS order, roots first
+        let mut adj: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        for &e in &erased {
+            let edge = &graph.edges()[e];
+            adj[edge.a].push(e);
+            adj[edge.b].push(e);
+        }
+        let bfs = |start: NodeId,
+                       visited: &mut Vec<bool>,
+                       parent_edge: &mut Vec<Option<EdgeId>>,
+                       order: &mut Vec<NodeId>| {
+            let mut q = VecDeque::new();
+            visited[start] = true;
+            q.push_back(start);
+            while let Some(u) = q.pop_front() {
+                order.push(u);
+                for &e in &adj[u] {
+                    let v = graph.other_end(e, u);
+                    if !visited[v] {
+                        visited[v] = true;
+                        parent_edge[v] = Some(e);
+                        q.push_back(v);
+                    }
+                }
+            }
+        };
+        if !adj[boundary].is_empty() {
+            bfs(boundary, &mut visited, &mut parent_edge, &mut order);
+        }
+        for node in 0..n {
+            if !visited[node] && !adj[node].is_empty() {
+                bfs(node, &mut visited, &mut parent_edge, &mut order);
+            }
+        }
+
+        // Peel leaves inward: process nodes in reverse BFS order; each node
+        // (except roots) has a parent edge. If the node still carries an
+        // event, the parent edge joins the correction and the event moves to
+        // the parent.
+        let mut pending = is_event;
+        let mut correction_edges = Vec::new();
+        for &node in order.iter().rev() {
+            if let Some(pe) = parent_edge[node] {
+                if pending[node] {
+                    pending[node] = false;
+                    let parent = graph.other_end(pe, node);
+                    if parent != boundary {
+                        pending[parent] = !pending[parent];
+                    }
+                    correction_edges.push(pe);
+                }
+            }
+        }
+        debug_assert!(
+            pending.iter().all(|&p| !p),
+            "union-find left unpaired events: growth stage incomplete"
+        );
+
+        Correction::from_edges(graph, correction_edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{correction_explains_events, ExactMatchingDecoder};
+    use crate::lattice::{RotatedLattice, StabKind};
+    use rand::seq::SliceRandom;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_events_trivial() {
+        let lat = RotatedLattice::new(3);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 1);
+        let c = UnionFindDecoder::new().decode(&g, &[]);
+        assert!(c.edges.is_empty());
+    }
+
+    #[test]
+    fn single_event_reaches_boundary() {
+        let lat = RotatedLattice::new(3);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 1);
+        for c_idx in 0..g.num_checks() {
+            let events = [g.node(0, c_idx)];
+            let c = UnionFindDecoder::new().decode(&g, &events);
+            assert!(
+                correction_explains_events(&g, &c, &events),
+                "check {c_idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_of_adjacent_events() {
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 1);
+        let e = g
+            .edges()
+            .iter()
+            .find(|e| !g.is_boundary(e.a) && !g.is_boundary(e.b))
+            .unwrap();
+        let events = [e.a, e.b];
+        let c = UnionFindDecoder::new().decode(&g, &events);
+        assert!(correction_explains_events(&g, &c, &events));
+    }
+
+    #[test]
+    fn temporal_pair_needs_no_data_flip() {
+        // A measurement error shows up as two temporal events on the same
+        // check; the correction should involve no data flips.
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 3);
+        let events = [g.node(0, 4), g.node(1, 4)];
+        let c = UnionFindDecoder::new().decode(&g, &events);
+        assert!(correction_explains_events(&g, &c, &events));
+        assert_eq!(c.weight(), 0, "temporal match should flip no data qubits");
+    }
+
+    #[test]
+    fn random_event_sets_always_explained() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 4);
+        let all_nodes: Vec<NodeId> = (0..g.boundary()).collect();
+        let uf = UnionFindDecoder::new();
+        for k in [1usize, 2, 3, 5, 8, 12] {
+            for _ in 0..20 {
+                let events: Vec<NodeId> = all_nodes
+                    .choose_multiple(&mut rng, k)
+                    .copied()
+                    .collect();
+                let c = uf.decode(&g, &events);
+                assert!(
+                    correction_explains_events(&g, &c, &events),
+                    "k = {k}, events = {events:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_weight_is_close_to_exact_for_small_cases() {
+        // UF is not guaranteed minimum weight, but for isolated small event
+        // sets it must still produce a *valid* correction whose weight is at
+        // most a small factor above optimal. We assert validity and a 3x
+        // bound, which is far looser than observed.
+        let mut rng = StdRng::seed_from_u64(123);
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 3);
+        let all_nodes: Vec<NodeId> = (0..g.boundary()).collect();
+        let uf = UnionFindDecoder::new();
+        let exact = ExactMatchingDecoder::new();
+        for _ in 0..30 {
+            let events: Vec<NodeId> = all_nodes.choose_multiple(&mut rng, 4).copied().collect();
+            let cu = uf.decode(&g, &events);
+            let ce = exact.decode(&g, &events);
+            assert!(correction_explains_events(&g, &cu, &events));
+            assert!(correction_explains_events(&g, &ce, &events));
+            assert!(
+                cu.edges.len() <= 3 * ce.edges.len().max(1),
+                "UF used {} edges vs exact {}",
+                cu.edges.len(),
+                ce.edges.len()
+            );
+        }
+    }
+}

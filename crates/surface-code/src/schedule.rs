@@ -1,0 +1,428 @@
+//! Syndrome-extraction circuit generation.
+//!
+//! One QECC round executes, for every plaquette in parallel:
+//!
+//! * X-type: prepare the ancilla in `|+⟩`, apply CNOTs *from* the ancilla to
+//!   each neighbouring data qubit, measure the ancilla in the X basis.
+//! * Z-type: prepare the ancilla in `|0⟩`, apply CNOTs *from* each data
+//!   qubit to the ancilla, measure in the Z basis.
+//!
+//! The four CNOT layers use the standard collision-free interleaving (X
+//! ancillas visit corners in N-order `NW, NE, SW, SE`; Z ancillas in Z-order
+//! `NW, SW, NE, SE`) so that no data qubit is touched twice in a layer —
+//! the same property the paper's lock-step VLIW µop schedule relies on
+//! (§4.3: "executed in lockstep for all qubits").
+
+use crate::lattice::{Plaquette, RotatedLattice, StabKind};
+use quest_stabilizer::{Circuit, Gate, Measurement, Pauli, Tableau};
+use rand::Rng;
+
+/// Corner visit order for X-type plaquettes (indices into `Corners`).
+const X_ORDER: [usize; 4] = [0, 1, 2, 3]; // NW, NE, SW, SE
+/// Corner visit order for Z-type plaquettes.
+const Z_ORDER: [usize; 4] = [0, 2, 1, 3]; // NW, SW, NE, SE
+
+/// The corner (index into [`crate::lattice::Corners`]: NW, NE, SW, SE)
+/// visited by a plaquette of type `kind` in CNOT layer `layer` (0–3).
+///
+/// The two orders interleave collision-free: no data qubit is touched by
+/// two plaquettes in the same layer. Exposed so the microcode generator in
+/// the architecture crate can emit the identical lock-step schedule.
+///
+/// # Panics
+///
+/// Panics if `layer >= 4`.
+pub fn corner_for_layer(kind: StabKind, layer: usize) -> usize {
+    match kind {
+        StabKind::X => X_ORDER[layer],
+        StabKind::Z => Z_ORDER[layer],
+    }
+}
+
+/// Generates syndrome-extraction circuits for a lattice.
+///
+/// # Example
+///
+/// ```
+/// use quest_surface::{RotatedLattice, SyndromeCircuit};
+///
+/// let lat = RotatedLattice::new(3);
+/// let sc = SyndromeCircuit::new(&lat);
+/// // Depth: 1 prep + 4 CNOT layers + 1 measurement = 6 time steps.
+/// assert_eq!(sc.round_circuit().num_measurements(), lat.num_ancillas());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyndromeCircuit {
+    lattice: RotatedLattice,
+    round: Circuit,
+}
+
+/// The measured stabilizer values from one round, split by type and indexed
+/// in plaquette order (the order of [`RotatedLattice::plaquettes_of`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SyndromeRound {
+    /// X-stabilizer outcomes.
+    pub x: Vec<bool>,
+    /// Z-stabilizer outcomes.
+    pub z: Vec<bool>,
+}
+
+impl SyndromeRound {
+    /// Outcomes for one stabilizer type.
+    pub fn of(&self, kind: StabKind) -> &[bool] {
+        match kind {
+            StabKind::X => &self.x,
+            StabKind::Z => &self.z,
+        }
+    }
+}
+
+impl SyndromeCircuit {
+    /// Builds the per-round circuit for `lattice`.
+    pub fn new(lattice: &RotatedLattice) -> SyndromeCircuit {
+        let round = Self::build_round(lattice);
+        SyndromeCircuit {
+            lattice: lattice.clone(),
+            round,
+        }
+    }
+
+    fn build_round(lattice: &RotatedLattice) -> Circuit {
+        let mut c = Circuit::new();
+        // Layer 0: ancilla preparation.
+        for p in lattice.plaquettes() {
+            c.push(match p.kind {
+                StabKind::X => Gate::PrepX(p.ancilla),
+                StabKind::Z => Gate::PrepZ(p.ancilla),
+            });
+        }
+        // Layers 1–4: interleaved CNOTs.
+        for layer in 0..4 {
+            for p in lattice.plaquettes() {
+                if let Some(g) = Self::cnot_for(lattice, p, layer) {
+                    c.push(g);
+                }
+            }
+        }
+        // Layer 5: ancilla measurement.
+        for p in lattice.plaquettes() {
+            c.push(match p.kind {
+                StabKind::X => Gate::MeasX(p.ancilla),
+                StabKind::Z => Gate::MeasZ(p.ancilla),
+            });
+        }
+        c
+    }
+
+    /// CNOT executed by plaquette `p` in CNOT-layer `layer`, if its
+    /// scheduled corner exists.
+    fn cnot_for(lattice: &RotatedLattice, p: &Plaquette, layer: usize) -> Option<Gate> {
+        let corners = lattice.corners(p);
+        let corner = match p.kind {
+            StabKind::X => X_ORDER[layer],
+            StabKind::Z => Z_ORDER[layer],
+        };
+        corners[corner].map(|data| match p.kind {
+            StabKind::X => Gate::Cnot(p.ancilla, data),
+            StabKind::Z => Gate::Cnot(data, p.ancilla),
+        })
+    }
+
+    /// The lattice this circuit was generated for.
+    pub fn lattice(&self) -> &RotatedLattice {
+        &self.lattice
+    }
+
+    /// The full circuit of one syndrome-extraction round.
+    pub fn round_circuit(&self) -> &Circuit {
+        &self.round
+    }
+
+    /// Number of time steps (circuit depth) per round: prep + 4 CNOT layers
+    /// + measurement.
+    pub fn depth(&self) -> usize {
+        6
+    }
+
+    /// Runs one round on a tableau and returns the syndrome, split by
+    /// stabilizer type in plaquette order.
+    pub fn run_round<R: Rng + ?Sized>(&self, t: &mut Tableau, rng: &mut R) -> SyndromeRound {
+        let results: Vec<Measurement> = self.round.run_on(t, rng);
+        self.split_by_kind(results.into_iter().map(|m| m.value))
+    }
+
+    /// Runs one round with **circuit-level noise**: every gate of the
+    /// syndrome circuit is followed by depolarizing noise on its support,
+    /// preparations can mis-initialize, and measurement outcomes can be
+    /// misreported. Idle data qubits depolarize once per round.
+    pub fn run_round_with_circuit_noise<R: Rng + ?Sized>(
+        &self,
+        t: &mut Tableau,
+        noise: &CircuitNoise,
+        rng: &mut R,
+    ) -> SyndromeRound {
+        let mut outcomes = Vec::new();
+        for &g in self.round.iter() {
+            let mut results = Vec::new();
+            Circuit::apply_gate(t, g, rng, &mut results);
+            noise.corrupt_after(t, g, rng);
+            for m in results {
+                let mut v = m.value;
+                if noise.p_meas > 0.0 && rng.gen::<f64>() < noise.p_meas {
+                    v = !v;
+                }
+                outcomes.push(v);
+            }
+        }
+        // Idle noise on data qubits (one layer per round).
+        for q in 0..self.lattice.num_data() {
+            noise.depolarize(t, q, noise.p_idle, rng);
+        }
+        self.split_by_kind(outcomes.into_iter())
+    }
+
+    /// Runs one round, injecting the given Pauli fault immediately after
+    /// gate `gate_index` of the round circuit (fault-injection testing:
+    /// a distance-d code must tolerate ⌊(d−1)/2⌋ *circuit* faults,
+    /// including hook errors on CNOTs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate_index` is out of range or a fault qubit is out of
+    /// range.
+    pub fn run_round_with_fault<R: Rng + ?Sized>(
+        &self,
+        t: &mut Tableau,
+        gate_index: usize,
+        fault: &[(usize, Pauli)],
+        rng: &mut R,
+    ) -> SyndromeRound {
+        assert!(gate_index < self.round.len(), "gate index out of range");
+        let mut outcomes = Vec::new();
+        for (i, &g) in self.round.iter().enumerate() {
+            let mut results = Vec::new();
+            Circuit::apply_gate(t, g, rng, &mut results);
+            outcomes.extend(results.into_iter().map(|m| m.value));
+            if i == gate_index {
+                for &(q, p) in fault {
+                    t.pauli(q, p);
+                }
+            }
+        }
+        self.split_by_kind(outcomes.into_iter())
+    }
+
+    fn split_by_kind(&self, values: impl Iterator<Item = bool>) -> SyndromeRound {
+        let mut round = SyndromeRound::default();
+        for (p, v) in self.lattice.plaquettes().iter().zip(values) {
+            match p.kind {
+                StabKind::X => round.x.push(v),
+                StabKind::Z => round.z.push(v),
+            }
+        }
+        round
+    }
+}
+
+/// Circuit-level noise parameters for syndrome extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitNoise {
+    /// Depolarizing probability after each single-qubit gate and
+    /// preparation.
+    pub p1: f64,
+    /// Two-qubit depolarizing probability after each CNOT (each of the 15
+    /// non-identity Pauli pairs with probability `p2 / 15`).
+    pub p2: f64,
+    /// Measurement misreport probability.
+    pub p_meas: f64,
+    /// Per-round idle depolarizing on data qubits.
+    pub p_idle: f64,
+}
+
+impl CircuitNoise {
+    /// Uniform circuit-level noise: every location fails with
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn uniform(p: f64) -> CircuitNoise {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        CircuitNoise {
+            p1: p,
+            p2: p,
+            p_meas: p,
+            p_idle: p,
+        }
+    }
+
+    /// The noiseless limit.
+    pub fn noiseless() -> CircuitNoise {
+        CircuitNoise::uniform(0.0)
+    }
+
+    fn depolarize<R: Rng + ?Sized>(&self, t: &mut Tableau, q: usize, p: f64, rng: &mut R) {
+        if p > 0.0 && rng.gen::<f64>() < p {
+            let e = Pauli::ERRORS[rng.gen_range(0..3)];
+            t.pauli(q, e);
+        }
+    }
+
+    fn corrupt_after<R: Rng + ?Sized>(&self, t: &mut Tableau, g: Gate, rng: &mut R) {
+        match g {
+            Gate::Cnot(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => {
+                if self.p2 > 0.0 && rng.gen::<f64>() < self.p2 {
+                    // One of the 15 non-identity two-qubit Paulis.
+                    let idx = rng.gen_range(1..16usize);
+                    let pa = Pauli::ALL[idx / 4];
+                    let pb = Pauli::ALL[idx % 4];
+                    t.pauli(a, pa);
+                    t.pauli(b, pb);
+                }
+            }
+            Gate::MeasZ(_) | Gate::MeasX(_) => {} // handled via p_meas
+            Gate::I(_) => {}
+            g1 => {
+                let (q, _) = g1.qubits();
+                self.depolarize(t, q, self.p1, rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quest_stabilizer::{SeedableRng, StdRng};
+    use std::collections::HashSet;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xEC0)
+    }
+
+    #[test]
+    fn schedule_is_collision_free() {
+        for d in [3, 5, 7] {
+            let lat = RotatedLattice::new(d);
+            for layer in 0..4 {
+                let mut touched = HashSet::new();
+                for p in lat.plaquettes() {
+                    if let Some(g) = SyndromeCircuit::cnot_for(&lat, p, layer) {
+                        let (a, b) = g.qubits();
+                        assert!(touched.insert(a), "qubit {a} reused in layer {layer}");
+                        assert!(
+                            touched.insert(b.unwrap()),
+                            "qubit {:?} reused in layer {layer}",
+                            b
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_plaquette_gets_all_its_cnots() {
+        let lat = RotatedLattice::new(5);
+        for p in lat.plaquettes() {
+            let n: usize = (0..4)
+                .filter(|&l| SyndromeCircuit::cnot_for(&lat, p, l).is_some())
+                .count();
+            assert_eq!(n, p.data.len());
+        }
+    }
+
+    #[test]
+    fn noiseless_z_syndrome_is_trivial_on_zero_state() {
+        let lat = RotatedLattice::new(3);
+        let sc = SyndromeCircuit::new(&lat);
+        let mut t = Tableau::new(lat.num_qubits());
+        let mut rng = rng();
+        let s = sc.run_round(&mut t, &mut rng);
+        // |0…0⟩ is a +1 eigenstate of every Z stabilizer.
+        assert!(s.z.iter().all(|&b| !b), "Z syndrome fired on |0…0⟩");
+    }
+
+    #[test]
+    fn x_syndrome_is_stable_after_first_round() {
+        let lat = RotatedLattice::new(3);
+        let sc = SyndromeCircuit::new(&lat);
+        let mut t = Tableau::new(lat.num_qubits());
+        let mut rng = rng();
+        let first = sc.run_round(&mut t, &mut rng);
+        // After projection, repeated noiseless rounds repeat the syndrome.
+        for _ in 0..3 {
+            let s = sc.run_round(&mut t, &mut rng);
+            assert_eq!(s.x, first.x);
+            assert!(s.z.iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn single_x_error_flips_adjacent_z_stabilizers() {
+        let lat = RotatedLattice::new(3);
+        let sc = SyndromeCircuit::new(&lat);
+        let mut t = Tableau::new(lat.num_qubits());
+        let mut rng = rng();
+        sc.run_round(&mut t, &mut rng); // project
+        let victim = lat.data_index(1, 1); // bulk data qubit
+        t.x(victim);
+        let s = sc.run_round(&mut t, &mut rng);
+        // The Z plaquettes containing the victim fire, nothing else.
+        let z_plaqs: Vec<usize> = lat
+            .plaquettes_of(StabKind::Z)
+            .enumerate()
+            .filter(|(_, p)| p.data.contains(&victim))
+            .map(|(i, _)| i)
+            .collect();
+        for (i, &fired) in s.z.iter().enumerate() {
+            assert_eq!(fired, z_plaqs.contains(&i), "Z stabilizer {i}");
+        }
+    }
+
+    #[test]
+    fn single_z_error_flips_adjacent_x_stabilizers() {
+        let lat = RotatedLattice::new(3);
+        let sc = SyndromeCircuit::new(&lat);
+        let mut t = Tableau::new(lat.num_qubits());
+        let mut rng = rng();
+        let first = sc.run_round(&mut t, &mut rng);
+        let victim = lat.data_index(1, 1);
+        t.z(victim);
+        let s = sc.run_round(&mut t, &mut rng);
+        let x_plaqs: Vec<usize> = lat
+            .plaquettes_of(StabKind::X)
+            .enumerate()
+            .filter(|(_, p)| p.data.contains(&victim))
+            .map(|(i, _)| i)
+            .collect();
+        for i in 0..s.x.len() {
+            let flipped = s.x[i] != first.x[i];
+            assert_eq!(flipped, x_plaqs.contains(&i), "X stabilizer {i}");
+        }
+    }
+
+    #[test]
+    fn logical_z_survives_syndrome_extraction() {
+        // Measuring stabilizers must not disturb the logical Z expectation
+        // of |0_L⟩ (all-zeros is already a logical-Z +1 eigenstate).
+        let lat = RotatedLattice::new(3);
+        let sc = SyndromeCircuit::new(&lat);
+        let mut t = Tableau::new(lat.num_qubits());
+        let mut rng = rng();
+        for _ in 0..4 {
+            sc.run_round(&mut t, &mut rng);
+        }
+        assert!(t.is_stabilized_by(&lat.logical_z()));
+    }
+
+    #[test]
+    fn round_circuit_measures_every_ancilla_once() {
+        for d in [3, 5] {
+            let lat = RotatedLattice::new(d);
+            let sc = SyndromeCircuit::new(&lat);
+            assert_eq!(sc.round_circuit().num_measurements(), lat.num_ancillas());
+            assert_eq!(sc.depth(), 6);
+        }
+    }
+}

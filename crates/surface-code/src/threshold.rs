@@ -1,0 +1,140 @@
+//! Threshold estimation: sweep physical error rate × code distance and
+//! locate the crossing point below which larger codes win.
+//!
+//! The existence of a threshold is the premise of the entire paper — the
+//! reason adding physical qubits (and hence instruction bandwidth)
+//! suppresses logical errors at all. This harness measures logical error
+//! rates over a grid and reports the empirical crossing between
+//! consecutive distances.
+
+use crate::decoder::Decoder;
+use crate::memory::{MemoryBasis, MemoryExperiment, MemoryNoise};
+use rand::Rng;
+
+/// One grid point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdPoint {
+    /// Code distance.
+    pub distance: usize,
+    /// Physical error rate.
+    pub p: f64,
+    /// Measured logical error rate.
+    pub logical_rate: f64,
+    /// Shots used.
+    pub shots: usize,
+}
+
+/// Result of a full sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdSweep {
+    /// All measured points, ordered by (distance, p).
+    pub points: Vec<ThresholdPoint>,
+}
+
+impl ThresholdSweep {
+    /// Runs a code-capacity sweep over `distances` × `error_rates` with
+    /// `shots` shots per point, using `rounds = d` noisy rounds.
+    pub fn run<D: Decoder, R: Rng + ?Sized>(
+        distances: &[usize],
+        error_rates: &[f64],
+        shots: usize,
+        decoder: &D,
+        rng: &mut R,
+    ) -> ThresholdSweep {
+        let mut points = Vec::new();
+        for &d in distances {
+            let exp = MemoryExperiment::new(d, d, MemoryBasis::Z);
+            for &p in error_rates {
+                let noise = MemoryNoise::code_capacity(p);
+                let rate = exp.logical_error_rate(&noise, decoder, shots, rng);
+                points.push(ThresholdPoint {
+                    distance: d,
+                    p,
+                    logical_rate: rate,
+                    shots,
+                });
+            }
+        }
+        ThresholdSweep { points }
+    }
+
+    /// Points for one distance, ordered by error rate.
+    pub fn series(&self, distance: usize) -> Vec<ThresholdPoint> {
+        self.points
+            .iter()
+            .filter(|pt| pt.distance == distance)
+            .copied()
+            .collect()
+    }
+
+    /// The largest swept error rate at which the bigger code is at least
+    /// as good as the smaller one — an empirical lower bound on the
+    /// threshold between the two distances. `None` if the bigger code
+    /// never wins on the grid.
+    pub fn crossing_below(&self, d_small: usize, d_large: usize) -> Option<f64> {
+        let small = self.series(d_small);
+        let large = self.series(d_large);
+        small
+            .iter()
+            .zip(&large)
+            .filter(|(s, l)| l.logical_rate <= s.logical_rate)
+            .map(|(s, _)| s.p)
+            .fold(None, |acc: Option<f64>, p| Some(acc.map_or(p, |a| a.max(p))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::UnionFindDecoder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sweep_shapes_are_complete() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sweep = ThresholdSweep::run(
+            &[3, 5],
+            &[5e-3, 2e-2],
+            40,
+            &UnionFindDecoder::new(),
+            &mut rng,
+        );
+        assert_eq!(sweep.points.len(), 4);
+        assert_eq!(sweep.series(3).len(), 2);
+        assert_eq!(sweep.series(5).len(), 2);
+    }
+
+    #[test]
+    fn logical_rate_increases_with_p() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sweep = ThresholdSweep::run(
+            &[3],
+            &[2e-3, 5e-2],
+            300,
+            &UnionFindDecoder::new(),
+            &mut rng,
+        );
+        let s = sweep.series(3);
+        assert!(
+            s[0].logical_rate <= s[1].logical_rate,
+            "{} vs {}",
+            s[0].logical_rate,
+            s[1].logical_rate
+        );
+    }
+
+    #[test]
+    fn d5_beats_d3_well_below_threshold() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let sweep = ThresholdSweep::run(
+            &[3, 5],
+            &[4e-3],
+            400,
+            &UnionFindDecoder::new(),
+            &mut rng,
+        );
+        let crossing = sweep.crossing_below(3, 5);
+        assert_eq!(crossing, Some(4e-3), "d=5 must win at p=4e-3");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the decoder stack.
+//!
+//! The defining property of a distance-`d` code is that every error of
+//! weight ≤ ⌊(d−1)/2⌋ is corrected. We verify it end-to-end through the
+//! memory experiment (stabilizer simulation → syndrome extraction →
+//! space-time decoding → logical readout), and check structural properties
+//! of the decoders on random syndromes.
+
+use proptest::prelude::*;
+use quest_stabilizer::{Pauli, PauliString};
+use quest_surface::decoder::{correction_explains_events, Decoder};
+use quest_surface::{
+    DecodingGraph, ExactMatchingDecoder, LutDecoder, MemoryBasis, MemoryExperiment, MemoryNoise,
+    NodeId, RotatedLattice, StabKind, UnionFindDecoder,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// d = 3: every weight-1 error anywhere, any Pauli, any round spacing,
+    /// is corrected by both global decoders in both bases.
+    #[test]
+    fn weight_one_errors_always_corrected_d3(
+        q in 0usize..9,
+        pauli_idx in 0usize..3,
+        rounds in 1usize..4,
+        basis_z in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        let basis = if basis_z { MemoryBasis::Z } else { MemoryBasis::X };
+        let exp = MemoryExperiment::new(3, rounds, basis);
+        let n = exp.lattice().num_qubits();
+        let inject = PauliString::from_sparse(n, &[(q, Pauli::ERRORS[pauli_idx])]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let uf = exp.run_with_injection(&MemoryNoise::noiseless(), Some(&inject), &UnionFindDecoder::new(), &mut rng);
+        prop_assert!(!uf.logical_error, "union-find failed");
+        let ex = exp.run_with_injection(&MemoryNoise::noiseless(), Some(&inject), &ExactMatchingDecoder::new(), &mut rng);
+        prop_assert!(!ex.logical_error, "exact matcher failed");
+    }
+
+    /// d = 5 corrects every weight-2 error (two independent single-qubit
+    /// Paulis) with the exact matcher.
+    #[test]
+    fn weight_two_errors_always_corrected_d5(
+        q1 in 0usize..25,
+        q2 in 0usize..25,
+        p1 in 0usize..3,
+        p2 in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let exp = MemoryExperiment::new(5, 1, MemoryBasis::Z);
+        let n = exp.lattice().num_qubits();
+        let inject = PauliString::from_sparse(
+            n,
+            &[(q1, Pauli::ERRORS[p1]), (q2, Pauli::ERRORS[p2])],
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = exp.run_with_injection(
+            &MemoryNoise::noiseless(),
+            Some(&inject),
+            &ExactMatchingDecoder::new(),
+            &mut rng,
+        );
+        prop_assert!(!out.logical_error, "exact matcher failed on {inject}");
+    }
+
+    /// Union-find always yields a syndrome-consistent correction on random
+    /// event sets, across distances and round counts.
+    #[test]
+    fn union_find_is_always_syndrome_consistent(
+        d_idx in 0usize..2,
+        rounds in 1usize..5,
+        event_seed in any::<u64>(),
+        k in 0usize..10,
+    ) {
+        let d = [3, 5][d_idx];
+        let lat = RotatedLattice::new(d);
+        let g = DecodingGraph::new(&lat, StabKind::Z, rounds);
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(event_seed);
+        let nodes: Vec<NodeId> = (0..g.boundary()).collect();
+        let events: Vec<NodeId> = nodes.choose_multiple(&mut rng, k.min(nodes.len())).copied().collect();
+        let c = UnionFindDecoder::new().decode(&g, &events);
+        prop_assert!(correction_explains_events(&g, &c, &events));
+    }
+
+    /// Whenever the local LUT decoder answers, its answer is
+    /// syndrome-consistent (it may escalate by returning `None`, never
+    /// answer wrongly).
+    #[test]
+    fn lut_decoder_never_answers_inconsistently(
+        rounds in 1usize..4,
+        event_seed in any::<u64>(),
+        k in 0usize..6,
+    ) {
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, rounds);
+        let lut = LutDecoder::new(&g);
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(event_seed);
+        let nodes: Vec<NodeId> = (0..g.boundary()).collect();
+        let events: Vec<NodeId> = nodes.choose_multiple(&mut rng, k.min(nodes.len())).copied().collect();
+        if let Some(c) = lut.try_correction(&g, &events) {
+            prop_assert!(correction_explains_events(&g, &c, &events));
+        }
+    }
+
+    /// The exact matcher's cost is a lower bound on union-find's edge count
+    /// (exact is minimum-weight by construction).
+    #[test]
+    fn exact_cost_lower_bounds_union_find(
+        event_seed in any::<u64>(),
+        k in 1usize..7,
+    ) {
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 3);
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(event_seed);
+        let nodes: Vec<NodeId> = (0..g.boundary()).collect();
+        let events: Vec<NodeId> = nodes.choose_multiple(&mut rng, k).copied().collect();
+        let exact = ExactMatchingDecoder::new();
+        let cost = exact.matching_cost(&g, &events);
+        let uf = UnionFindDecoder::new().decode(&g, &events);
+        prop_assert!(uf.edges.len() >= cost || uf.edges.is_empty() && cost == 0,
+            "UF produced fewer edges ({}) than the optimal matching cost ({cost})", uf.edges.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! Circuit-fault injection campaign.
+//!
+//! A distance-d surface code with a well-chosen CNOT schedule tolerates
+//! ⌊(d−1)/2⌋ *circuit* faults — including "hook" faults, where a single
+//! faulty CNOT deposits a two-qubit error that the schedule must keep
+//! from aligning with a logical operator. This campaign injects every
+//! X-component Pauli fault after every gate of one syndrome round at
+//! d = 5 and asserts the decoded logical Z observable always survives.
+//! If the interleaving order in `schedule.rs` were wrong, specific CNOT
+//! faults here would produce logical errors.
+
+use quest_stabilizer::{Pauli, SeedableRng, StdRng, Tableau};
+use quest_surface::decoder::Decoder;
+use quest_surface::{
+    DecodingGraph, ExactMatchingDecoder, RotatedLattice, StabKind, SyndromeCircuit,
+};
+
+/// Enumerates the X-component faults to inject after one gate: for
+/// single-qubit gates the X and Y faults on its qubit; for two-qubit
+/// gates all pairs with at least one X component.
+fn faults_for(gate: quest_stabilizer::Gate) -> Vec<Vec<(usize, Pauli)>> {
+    let (a, b) = gate.qubits();
+    match b {
+        None => vec![
+            vec![(a, Pauli::X)],
+            vec![(a, Pauli::Y)],
+        ],
+        Some(b) => {
+            let mut out = Vec::new();
+            for pa in [Pauli::I, Pauli::X, Pauli::Y] {
+                for pb in [Pauli::I, Pauli::X, Pauli::Y] {
+                    if pa == Pauli::I && pb == Pauli::I {
+                        continue;
+                    }
+                    let mut f = Vec::new();
+                    if pa != Pauli::I {
+                        f.push((a, pa));
+                    }
+                    if pb != Pauli::I {
+                        f.push((b, pb));
+                    }
+                    out.push(f);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Runs the full protocol with one injected circuit fault and returns
+/// whether the decoded logical Z flipped.
+fn logical_error_with_fault(
+    lat: &RotatedLattice,
+    sc: &SyndromeCircuit,
+    gate_index: usize,
+    fault: &[(usize, Pauli)],
+    seed: u64,
+) -> bool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tableau::new(lat.num_qubits());
+
+    // Round 0: projection (clean). Rounds 1: faulty. Rounds 2–3: clean.
+    let r0 = sc.run_round(&mut t, &mut rng);
+    let r1 = sc.run_round_with_fault(&mut t, gate_index, fault, &mut rng);
+    let r2 = sc.run_round(&mut t, &mut rng);
+    let r3 = sc.run_round(&mut t, &mut rng);
+
+    // Final transversal Z readout.
+    let bits: Vec<bool> = (0..lat.num_data())
+        .map(|q| t.measure(q, &mut rng).value)
+        .collect();
+    let final_checks: Vec<bool> = lat
+        .plaquettes_of(StabKind::Z)
+        .map(|p| p.data.iter().fold(false, |acc, &q| acc ^ bits[q]))
+        .collect();
+
+    // Detection events over 4 measured rounds + final round (Z checks
+    // are deterministic from |0…0⟩, reference all-false).
+    let records = [&r0.z, &r1.z, &r2.z, &r3.z];
+    let graph = DecodingGraph::with_diagonals(lat, StabKind::Z, records.len() + 1);
+    let mut events = Vec::new();
+    for (t_idx, rec) in records.iter().enumerate() {
+        for c in 0..graph.num_checks() {
+            let prev = if t_idx == 0 { false } else { records[t_idx - 1][c] };
+            if rec[c] != prev {
+                events.push(graph.node(t_idx, c));
+            }
+        }
+    }
+    for c in 0..graph.num_checks() {
+        if final_checks[c] != records[records.len() - 1][c] {
+            events.push(graph.node(records.len(), c));
+        }
+    }
+
+    let correction = ExactMatchingDecoder::new().decode(&graph, &events);
+    let mut corrected = bits;
+    for &q in &correction.data_flips {
+        corrected[q] = !corrected[q];
+    }
+    (0..lat.distance())
+        .map(|col| corrected[lat.data_index(0, col)])
+        .fold(false, |acc, b| acc ^ b)
+}
+
+/// Every single circuit fault (including CNOT hook faults) is corrected
+/// at d = 5. This is the distance-preservation property of the
+/// interleaved schedule.
+#[test]
+fn every_single_circuit_fault_is_tolerated_d5() {
+    let lat = RotatedLattice::new(5);
+    let sc = SyndromeCircuit::new(&lat);
+    let gates: Vec<_> = sc.round_circuit().iter().copied().collect();
+    let mut injected = 0u32;
+    for (gi, g) in gates.iter().enumerate() {
+        // Faults *after* a measurement landed post-readout; still valid
+        // to test (they hit the next round).
+        for fault in faults_for(*g) {
+            injected += 1;
+            assert!(
+                !logical_error_with_fault(&lat, &sc, gi, &fault, 0xFA017 + gi as u64),
+                "gate {gi} ({g}) with fault {fault:?} broke logical Z"
+            );
+        }
+    }
+    // Sanity: the campaign actually covered a large fault set.
+    assert!(injected > 400, "only {injected} faults injected");
+}
+
+/// The same campaign at d = 3 must also pass: a *single* fault is within
+/// ⌊(3−1)/2⌋ = 1 even when a hook fault deposits two data errors, because
+/// a correct schedule aligns hooks perpendicular to the logical operator.
+#[test]
+fn single_faults_tolerated_even_at_d3() {
+    let lat = RotatedLattice::new(3);
+    let sc = SyndromeCircuit::new(&lat);
+    let gates: Vec<_> = sc.round_circuit().iter().copied().collect();
+    let mut failures = Vec::new();
+    for (gi, g) in gates.iter().enumerate() {
+        for fault in faults_for(*g) {
+            if logical_error_with_fault(&lat, &sc, gi, &fault, 0xD3 + gi as u64) {
+                failures.push((gi, *g, fault));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} single faults broke d=3: {:?}",
+        failures.len(),
+        &failures[..failures.len().min(5)]
+    );
+}

@@ -1,0 +1,42 @@
+//! Bandwidth report: the paper's headline analysis for all seven
+//! workloads at one operating point, printed as a single table.
+//!
+//! ```sh
+//! cargo run --example bandwidth_report
+//! ```
+
+use quest::estimate::analyze_suite;
+
+fn main() {
+    let p = 1e-4;
+    println!("Instruction-bandwidth analysis at p = {p:.0e} (Projected_D, Steane syndrome)\n");
+    println!(
+        "{:>8} {:>6} {:>14} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "workload",
+        "d",
+        "phys qubits",
+        "baseline B/s",
+        "QuEST B/s",
+        "cached B/s",
+        "MCE x",
+        "total x"
+    );
+    for e in analyze_suite(p) {
+        println!(
+            "{:>8} {:>6} {:>14.2e} {:>14.2e} {:>14.2e} {:>14.2e} {:>10.1e} {:>10.1e}",
+            e.workload.name,
+            e.distance,
+            e.physical_qubits,
+            e.baseline,
+            e.quest_mce,
+            e.quest_cached,
+            e.mce_savings(),
+            e.cached_savings(),
+        );
+    }
+    println!(
+        "\nHardware-managed QECC removes ≥10^5 of the instruction bandwidth;\n\
+         caching the magic-state-distillation kernels removes the bulk of the\n\
+         rest, for ~10^8 total — the paper's Figure 14."
+    );
+}

@@ -1,0 +1,46 @@
+//! Surface-code logical memory: logical error rate vs. physical error
+//! rate for several code distances, decoded with the union-find decoder.
+//!
+//! This is the substrate experiment underneath the whole paper: QECC
+//! cycles must run continuously and be decoded correctly, or logical
+//! qubits decay. Below threshold, increasing the distance suppresses the
+//! logical error rate — the property the MCE's deterministic µop replay
+//! exists to protect.
+//!
+//! ```sh
+//! cargo run --release --example surface_code_memory
+//! ```
+
+use quest::stabilizer::{SeedableRng, StdRng};
+use quest::surface::{MemoryBasis, MemoryExperiment, MemoryNoise, UnionFindDecoder};
+
+fn main() {
+    let shots = 400;
+    let decoder = UnionFindDecoder::new();
+    let physical_rates = [3e-3, 1e-2, 2e-2, 4e-2];
+    let distances = [3usize, 5, 7];
+
+    println!("logical error rate per shot ({shots} shots, Z-basis memory, d noisy rounds)\n");
+    print!("{:>12}", "p \\ d");
+    for d in distances {
+        print!("{d:>12}");
+    }
+    println!();
+
+    for p in physical_rates {
+        print!("{p:>12.0e}");
+        for d in distances {
+            let exp = MemoryExperiment::new(d, d, MemoryBasis::Z);
+            let noise = MemoryNoise::code_capacity(p);
+            let mut rng = StdRng::seed_from_u64(0xA11CE + d as u64);
+            let rate = exp.logical_error_rate(&noise, &decoder, shots, &mut rng);
+            print!("{rate:>12.4}");
+        }
+        println!();
+    }
+
+    println!(
+        "\nBelow the threshold (p ≲ 1e-2 for this noise model) larger distances\n\
+         give lower logical error rates; above it the ordering inverts."
+    );
+}

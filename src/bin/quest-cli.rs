@@ -1,0 +1,178 @@
+//! `quest-cli` — command-line front end for the QuEST reproduction.
+//!
+//! Subcommands:
+//!
+//! * `report [p]` — per-workload bandwidth analysis (default p = 1e-4);
+//! * `shor <bits> [p]` — fault-tolerant Shor sizing for one modulus;
+//! * `table2` — the optimal microcode configurations (paper Table 2);
+//! * `simulate <d> <p> <cycles>` — run the cycle-level system simulation
+//!   and print the global-bus accounting;
+//! * `asm <file>` — assemble a logical program from text and print its
+//!   statistics (use `-` for stdin).
+
+use quest::arch::throughput::table2;
+use quest::arch::{DeliveryMode, QuestSystem, TechnologyParams};
+use quest::estimate::kernels::workload_with_kernel;
+use quest::estimate::{analyze_suite, ShorEstimate, Workload};
+use quest::stabilizer::{SeedableRng, StdRng};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("report") => cmd_report(&args[1..]),
+        Some("shor") => cmd_shor(&args[1..]),
+        Some("table2") => cmd_table2(),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: quest-cli <report [p] | shor <bits> [p] | table2 | simulate <d> <p> <cycles> | asm <file>>"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let p = match args.first() {
+        Some(s) => parse_f64(s, "error rate")?,
+        None => 1e-4,
+    };
+    println!("workload bandwidth analysis at p = {p:.0e} (Projected_D, Steane)\n");
+    println!(
+        "{:>8} {:>4} {:>13} {:>13} {:>13} {:>9} {:>9}",
+        "workload", "d", "phys qubits", "baseline", "QuEST+cache", "MCE x", "total x"
+    );
+    for e in analyze_suite(p) {
+        println!(
+            "{:>8} {:>4} {:>13.2e} {:>11.1} TB/s {:>9.2e} B/s {:>7.1e} {:>9.1e}",
+            e.workload.name,
+            e.distance,
+            e.physical_qubits,
+            e.baseline / 1e12,
+            e.quest_cached,
+            e.mce_savings(),
+            e.cached_savings(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_shor(args: &[String]) -> Result<(), String> {
+    let bits = args
+        .first()
+        .ok_or("shor needs a modulus width in bits")
+        .and_then(|s| s.parse::<u32>().map_err(|_| "invalid bit width"))
+        .map_err(str::to_owned)?;
+    let p = match args.get(1) {
+        Some(s) => parse_f64(s, "error rate")?,
+        None => 1e-4,
+    };
+    let s = ShorEstimate::new(bits, p);
+    println!("Shor-{bits} at p = {p:.0e}:");
+    println!("  code distance        : {}", s.distance);
+    println!("  logical qubits       : {:.0}", s.logical_qubits);
+    println!("  T count              : {:.2e}", s.t_count);
+    println!("  distillation levels  : {}", s.distillation_levels);
+    println!("  T-factories          : {:.0}", s.factories);
+    println!("  physical qubits      : {:.2e}", s.physical_qubits);
+    println!(
+        "  baseline bandwidth   : {:.1} TB/s",
+        s.baseline_bandwidth() / 1e12
+    );
+    Ok(())
+}
+
+fn cmd_table2() -> Result<(), String> {
+    println!("optimal QECC microcode configurations (paper Table 2):\n");
+    println!(
+        "{:>8} {:>13} {:>22} {:>9} {:>8} {:>11}",
+        "syndrome", "instructions", "configuration", "JJs", "power", "qubits/MCE"
+    );
+    for r in table2(&TechnologyParams::PROJECTED_F) {
+        println!(
+            "{:>8} {:>13} {:>22} {:>9} {:>5.1} uW {:>11}",
+            r.design.name,
+            r.design.microcode_uops,
+            r.config.to_string(),
+            r.jj_count,
+            r.power_w * 1e6,
+            r.qubits_serviced
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let [d, p, cycles] = args else {
+        return Err("simulate needs: <distance> <error rate> <cycles>".into());
+    };
+    let d = parse_u64(d, "distance")? as usize;
+    let p = parse_f64(p, "error rate")?;
+    let cycles = parse_u64(cycles, "cycle count")?;
+    let program = workload_with_kernel(&Workload::QLS, 100);
+    for mode in [
+        DeliveryMode::SoftwareBaseline,
+        DeliveryMode::QuestMce,
+        DeliveryMode::QuestMceCache,
+    ] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sys = QuestSystem::new(d, p);
+        let run = sys.run_memory_workload(cycles, &program, 20, mode, &mut rng);
+        println!(
+            "{mode:?}: {} bus bytes, logical {} ({} local / {} escalated decodes)",
+            run.bus_bytes,
+            if run.logical_ok { "OK" } else { "CORRUPTED" },
+            run.local_decodes,
+            run.escalations
+        );
+    }
+    Ok(())
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("asm needs a file path (or `-`)")?;
+    let source = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    let program = quest::isa::asm::parse(&source).map_err(|e| e.to_string())?;
+    println!("assembled {} instructions ({} bytes):", program.len(), program.encoded_bytes());
+    println!(
+        "  algorithmic  : {}",
+        program.count_class(quest::isa::InstrClass::Algorithmic)
+    );
+    println!(
+        "  distillation : {}",
+        program.count_class(quest::isa::InstrClass::Distillation)
+    );
+    println!(
+        "  sync/cache   : {}",
+        program.count_class(quest::isa::InstrClass::Sync)
+            + program.count_class(quest::isa::InstrClass::CacheControl)
+    );
+    println!("  T gates      : {}", program.t_count());
+    Ok(())
+}

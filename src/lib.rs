@@ -1,0 +1,37 @@
+//! QuEST reproduction — umbrella crate.
+//!
+//! Re-exports the full stack built for the reproduction of *Taming the
+//! Instruction Bandwidth of Quantum Computers via Hardware-Managed Error
+//! Correction* (Tannu et al., MICRO-50 2017):
+//!
+//! * [`stabilizer`] — CHP tableau + state-vector simulators;
+//! * [`surface`] — surface-code lattice, syndrome circuits, decoders;
+//! * [`isa`] — physical µop and logical instruction sets;
+//! * [`arch`] — the QuEST control processor (MCEs, master controller,
+//!   microcode models, end-to-end system simulation);
+//! * [`estimate`] — the QuRE-style resource/bandwidth estimator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use quest::arch::{DeliveryMode, QuestSystem};
+//! use quest::isa::LogicalProgram;
+//! use quest::stabilizer::{SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut system = QuestSystem::new(3, 1e-3);
+//! let run = system.run_memory_workload(
+//!     50,
+//!     &LogicalProgram::new(),
+//!     0,
+//!     DeliveryMode::QuestMce,
+//!     &mut rng,
+//! );
+//! assert!(run.logical_ok);
+//! ```
+
+pub use quest_core as arch;
+pub use quest_estimate as estimate;
+pub use quest_isa as isa;
+pub use quest_stabilizer as stabilizer;
+pub use quest_surface as surface;

@@ -1,0 +1,101 @@
+//! Smoke tests for the `quest-cli` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_quest-cli"))
+}
+
+#[test]
+fn table2_prints_all_four_designs() {
+    let out = cli().arg("table2").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["Steane", "Shor", "SC-17", "SC-13"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+    assert!(text.contains("170048"));
+}
+
+#[test]
+fn report_covers_the_suite() {
+    let out = cli().arg("report").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for name in ["BWT", "BF", "GSE", "FeMoCo", "QLS", "SHOR", "TFP"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn shor_reports_millions_of_qubits() {
+    let out = cli().args(["shor", "1024"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("physical qubits"));
+    assert!(text.contains("TB/s"));
+}
+
+#[test]
+fn asm_reads_stdin() {
+    let mut child = cli()
+        .args(["asm", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"lh L0\nlt L0\nlcnot L0 L1\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("assembled 3 instructions"));
+    assert!(text.contains("T gates      : 1"));
+}
+
+#[test]
+fn asm_reports_line_errors() {
+    let mut child = cli()
+        .args(["asm", "-"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"lh L0\nbogus L1\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn simulate_runs_all_three_modes() {
+    let out = cli()
+        .args(["simulate", "3", "1e-3", "30"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("SoftwareBaseline"));
+    assert!(text.contains("QuestMce"));
+    assert!(text.contains("QuestMceCache"));
+    assert!(text.contains("logical OK"));
+}

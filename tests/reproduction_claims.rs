@@ -1,0 +1,149 @@
+//! The paper's quantitative claims, asserted as tests. Each test cites
+//! the section it reproduces; EXPERIMENTS.md holds the side-by-side
+//! numbers.
+
+use quest::arch::jj::MemoryConfig;
+use quest::arch::microcode::MicrocodeDesign;
+use quest::arch::throughput::{figure11_point, table2};
+use quest::arch::TechnologyParams;
+use quest::estimate::{analyze_suite, ShorEstimate};
+use quest::surface::SyndromeDesign;
+
+/// §3.3: "each physical qubit ... requires 100 MB/s of instruction
+/// bandwidth" and "a quantum computer with 100,000 qubits will require
+/// 10 TB/s".
+#[test]
+fn claim_per_qubit_bandwidth() {
+    use quest::arch::tech::baseline_bandwidth_bytes_per_s;
+    assert_eq!(baseline_bandwidth_bytes_per_s(1.0), 100e6);
+    assert_eq!(baseline_bandwidth_bytes_per_s(1e5), 1e13);
+}
+
+/// §1/Figure 2: factoring a 1024-bit number needs millions of qubits and
+/// an instruction bandwidth in the 100 TB/s regime.
+#[test]
+fn claim_shor_1024_regime() {
+    let s = ShorEstimate::new(1024, 1e-4);
+    assert!(s.physical_qubits >= 1e6 && s.physical_qubits < 1e8);
+    assert!(s.baseline_bandwidth() >= 1e14 * 0.5);
+}
+
+/// Abstract: "99.999% of the instructions ... stem from error
+/// correction" — the QECC-to-algorithmic ratio exceeds 10^5 for every
+/// workload.
+#[test]
+fn claim_qecc_dominance() {
+    for e in analyze_suite(1e-4) {
+        assert!(
+            e.qecc_to_logical_ratio() > 1e5,
+            "{}: {}",
+            e.workload.name,
+            e.qecc_to_logical_ratio()
+        );
+    }
+}
+
+/// §7/Figure 14: MCEs reduce instruction bandwidth by at least five
+/// orders of magnitude; with logical caching the total reaches roughly
+/// eight.
+#[test]
+fn claim_headline_savings() {
+    let suite = analyze_suite(1e-4);
+    for e in &suite {
+        assert!(e.mce_savings() >= 1e5, "{}", e.workload.name);
+    }
+    let best_total = suite
+        .iter()
+        .map(|e| e.cached_savings())
+        .fold(0.0f64, f64::max);
+    assert!(best_total >= 1e8, "best total savings {best_total:.2e}");
+}
+
+/// §4.5: a 4 Kb RAM microcode holds ~48 qubits of QECC instructions; the
+/// FIFO optimization improves scalability 3–4x; four channels give 6x the
+/// bandwidth of one.
+#[test]
+fn claim_microcode_design_anchors() {
+    let tech = TechnologyParams::PROJECTED_F;
+    let ram = figure11_point(MicrocodeDesign::Ram, 1, &tech);
+    let fifo = figure11_point(MicrocodeDesign::Fifo, 1, &tech);
+    assert!((40..=55).contains(&ram), "RAM {ram}");
+    assert!(((ram * 2)..=(ram * 5)).contains(&fifo), "FIFO {fifo}");
+    let one = MemoryConfig::new(1, 4096).bandwidth_bits_per_s();
+    let four = MemoryConfig::new(4, 1024).bandwidth_bits_per_s();
+    assert!((four / one - 6.0).abs() < 1e-9);
+}
+
+/// §4 headline: the unit-cell design lets each MCE support about 90x (or
+/// more) qubits than the unoptimized design.
+#[test]
+fn claim_unit_cell_90x() {
+    let tech = TechnologyParams::PROJECTED_F;
+    let ram = figure11_point(MicrocodeDesign::Ram, 4, &tech);
+    let uc = figure11_point(MicrocodeDesign::UnitCell, 4, &tech);
+    let gain = uc as f64 / ram as f64;
+    assert!(gain >= 30.0, "unit-cell gain {gain} (paper: ~90x)");
+}
+
+/// Table 2: optimal configurations, JJ counts and power, exactly.
+#[test]
+fn claim_table2_exact() {
+    let rows = table2(&TechnologyParams::PROJECTED_F);
+    let expected = [
+        ("Steane", 4usize, 170_048u64, 2.1e-6f64),
+        ("Shor", 2, 168_264, 1.1e-6),
+        ("SC-17", 8, 163_472, 5.6e-6),
+        ("SC-13", 4, 170_048, 2.1e-6),
+    ];
+    for (row, (name, ch, jj, p)) in rows.iter().zip(expected) {
+        assert_eq!(row.design.name, name);
+        assert_eq!(row.config.channels(), ch);
+        assert_eq!(row.jj_count, jj);
+        assert!((row.power_w - p).abs() < 1e-12);
+    }
+}
+
+/// §5.2: T gates constitute 25–30% of the instruction stream and appear
+/// roughly every third instruction.
+#[test]
+fn claim_t_gate_density() {
+    for e in analyze_suite(1e-4) {
+        let tf = e.workload.t_fraction;
+        assert!((0.2..=0.35).contains(&tf), "{}", e.workload.name);
+    }
+}
+
+/// §5.3: a typical distillation kernel (100–200 logical instructions)
+/// cached in the instruction buffer cuts logical bandwidth by orders of
+/// magnitude.
+#[test]
+fn claim_cache_gain() {
+    use quest::arch::instruction_pipeline::cache_bandwidth_ratio;
+    let gain = cache_bandwidth_ratio(150, 100_000);
+    assert!(gain > 100.0);
+    // And two-level-distillation workloads see ~3 orders end to end.
+    let gse = &analyze_suite(1e-4)[2];
+    assert_eq!(gse.workload.name, "GSE");
+    let extra = gse.cached_savings() / gse.mce_savings();
+    assert!((300.0..3000.0).contains(&extra), "extra {extra}");
+}
+
+/// Figure 16's orderings: slower experimental qubits allow more qubits
+/// per MCE; SC-17 dominates all designs at every technology.
+#[test]
+fn claim_figure16_orderings() {
+    use quest::arch::throughput::figure16_point;
+    for d in &SyndromeDesign::ALL {
+        let xs: Vec<usize> = TechnologyParams::ALL
+            .iter()
+            .map(|t| figure16_point(d, t))
+            .collect();
+        assert!(xs[0] > xs[1] && xs[1] > xs[2], "{}: {xs:?}", d.name);
+    }
+    for t in &TechnologyParams::ALL {
+        let sc17 = figure16_point(&SyndromeDesign::SC17, t);
+        for d in &SyndromeDesign::ALL {
+            assert!(figure16_point(d, t) <= sc17);
+        }
+    }
+}
