@@ -20,7 +20,13 @@ fn main() {
         "undetected-pattern weight distribution: w0={} w1={} w2={} w3={} (35 weight-3 codewords drive the error floor)\n",
         dist[0], dist[1], dist[2], dist[3]
     );
-    row(&["input error p", "P(accept)", "exact p_out", "35·p^3 model", "relative gap"]);
+    row(&[
+        "input error p",
+        "P(accept)",
+        "exact p_out",
+        "35·p^3 model",
+        "relative gap",
+    ]);
     for p in [3e-3, 1e-3, 3e-4, 1e-4] {
         let (p_acc, p_out) = exact_round(p);
         let model = output_error(p, 1);

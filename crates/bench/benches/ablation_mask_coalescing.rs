@@ -12,7 +12,13 @@ fn main() {
         "Ablation: mask-table storage, per-qubit vs. d^2-coalesced",
         "coalescing shrinks mask storage from N bits to N/d^2 bits",
     );
-    row(&["qubits", "distance", "per-qubit bits", "coalesced bits", "saving"]);
+    row(&[
+        "qubits",
+        "distance",
+        "per-qubit bits",
+        "coalesced bits",
+        "saving",
+    ]);
     for (n, d) in [
         (10_000usize, 5usize),
         (100_000, 7),

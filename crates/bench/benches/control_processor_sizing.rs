@@ -40,7 +40,11 @@ fn main() {
             &format!("{:.2} mW", plan.total_power_w * 1e3),
         ]);
         assert!(plan.mces as f64 * plan.qubits_per_mce as f64 >= plan.physical_qubits);
-        assert!(plan.total_power_w < 0.2, "{}: power blew up", e.workload.name);
+        assert!(
+            plan.total_power_w < 0.2,
+            "{}: power blew up",
+            e.workload.name
+        );
     }
     println!();
     println!(

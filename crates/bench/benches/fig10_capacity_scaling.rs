@@ -15,7 +15,13 @@ fn main() {
     );
     let steane = SyndromeDesign::STEANE;
     let opcode_bits = 4.0;
-    row(&["qubits", "RAM (bits)", "FIFO (bits)", "unit-cell (bits)", "RAM/FIFO"]);
+    row(&[
+        "qubits",
+        "RAM (bits)",
+        "FIFO (bits)",
+        "unit-cell (bits)",
+        "RAM/FIFO",
+    ]);
     for n in [16usize, 64, 256, 1024, 4096, 16384, 65536] {
         let ram = MicrocodeDesign::Ram.capacity_bits(n, &steane, opcode_bits);
         let fifo = MicrocodeDesign::Fifo.capacity_bits(n, &steane, opcode_bits);

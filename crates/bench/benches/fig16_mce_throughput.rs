@@ -19,7 +19,14 @@ fn main() {
     );
     // Also print Table 1 (the input technology parameters) for reference.
     println!("Table 1 (inputs):");
-    row(&["parameter set", "t_prep", "t_single", "t_meas", "t_cnot", "T_ecc"]);
+    row(&[
+        "parameter set",
+        "t_prep",
+        "t_single",
+        "t_meas",
+        "t_cnot",
+        "T_ecc",
+    ]);
     for t in TechnologyParams::ALL {
         row(&[
             t.name,

@@ -1,0 +1,31 @@
+//! Throughput scaling of the concurrent sharded runtime.
+//!
+//! Runs the same fixed-seed memory workload (8 tiles at d = 5) at shard
+//! counts 1, 2 and 4. Because each shard simulates its tiles in a
+//! tableau spanning only that shard — and CHP cost grows quadratically
+//! with tableau width — sharding cuts total simulation work as well as
+//! parallelising it, so throughput should rise well beyond 1.5× at four
+//! shards even on modest hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quest_runtime::{Runtime, WorkloadSpec};
+
+fn bench_runtime_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_scaling");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let spec = WorkloadSpec::memory(5, 8, shards, 1e-3, 11, 30);
+                let runtime = Runtime::new();
+                b.iter(|| runtime.run(&spec));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime_scaling);
+criterion_main!(benches);

@@ -20,7 +20,13 @@ fn main() {
     let distances = [3usize, 5, 7];
     let rates = [2e-3, 5e-3, 1e-2, 2e-2, 5e-2];
     let shots = 300;
-    let sweep = ThresholdSweep::run(&distances, &rates, shots, &UnionFindDecoder::new(), &mut rng);
+    let sweep = ThresholdSweep::run(
+        &distances,
+        &rates,
+        shots,
+        &UnionFindDecoder::new(),
+        &mut rng,
+    );
 
     let mut head = vec!["p \\ d".to_string()];
     head.extend(distances.iter().map(|d| d.to_string()));

@@ -21,7 +21,13 @@ fn main() {
     // Algorithmic stream from the workload model plus the real 15-to-1
     // distillation kernel (the cacheable part, §5.3).
     let program = quest_estimate::kernels::workload_with_kernel(&Workload::QLS, 200);
-    row(&["cycles", "baseline bytes", "QuEST bytes", "QuEST+cache bytes", "savings"]);
+    row(&[
+        "cycles",
+        "baseline bytes",
+        "QuEST bytes",
+        "QuEST+cache bytes",
+        "savings",
+    ]);
     let mut last = (0u64, 0u64);
     for cycles in [100u64, 200, 400] {
         // Identical seeds per mode: the noise history (and hence syndrome
@@ -57,7 +63,10 @@ fn main() {
             &c.bus_bytes.to_string(),
             &sci(b.bus_bytes as f64 / c.bus_bytes as f64),
         ]);
-        assert!(b.bus_bytes > 2 * q.bus_bytes, "baseline must beat QuEST-MCE");
+        assert!(
+            b.bus_bytes > 2 * q.bus_bytes,
+            "baseline must beat QuEST-MCE"
+        );
         assert!(
             b.bus_bytes > 30 * c.bus_bytes,
             "baseline must dwarf QuEST+cache"

@@ -37,9 +37,7 @@ fn main() {
     println!();
     let channels: Vec<usize> = rows.iter().map(|r| r.config.channels()).collect();
     let jjs: Vec<u64> = rows.iter().map(|r| r.jj_count).collect();
-    println!(
-        "check: channel assignment {channels:?} (paper: [4, 2, 8, 4]); JJ counts {jjs:?}"
-    );
+    println!("check: channel assignment {channels:?} (paper: [4, 2, 8, 4]); JJ counts {jjs:?}");
     assert_eq!(channels, vec![4, 2, 8, 4]);
     assert_eq!(jjs, vec![170_048, 168_264, 163_472, 170_048]);
 }

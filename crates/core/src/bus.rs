@@ -92,9 +92,7 @@ impl BusCounters {
     /// Total excluding the baseline-only classes — the bytes a QuEST bus
     /// actually carries.
     pub fn quest_total(&self) -> u64 {
-        self.total()
-            - self.bytes(Traffic::QeccInstructions)
-            - self.bytes(Traffic::PhysicalLogical)
+        self.total() - self.bytes(Traffic::QeccInstructions) - self.bytes(Traffic::PhysicalLogical)
     }
 }
 

@@ -258,7 +258,10 @@ mod tests {
         t.x(anc);
         let mut w = VliwWord::nop(eu.num_qubits());
         w.set(anc, MicroOp::cnot_half(PhysOpcode::CnotCtrl, dir));
-        w.set(data, MicroOp::cnot_half(PhysOpcode::CnotTgt, dir.opposite()));
+        w.set(
+            data,
+            MicroOp::cnot_half(PhysOpcode::CnotTgt, dir.opposite()),
+        );
         eu.execute(&w, &mut t, &mut rng);
         assert!(t.measure(data, &mut rng).value, "target was flipped");
         assert!(t.measure(anc, &mut rng).value, "control unchanged");
@@ -285,10 +288,7 @@ mod tests {
         for q in 0..eu.num_qubits() {
             t.x(q);
         }
-        let w = VliwWord::from_uops(vec![
-            MicroOp::simple(PhysOpcode::PrepZ);
-            eu.num_qubits()
-        ]);
+        let w = VliwWord::from_uops(vec![MicroOp::simple(PhysOpcode::PrepZ); eu.num_qubits()]);
         eu.execute(&w, &mut t, &mut rng);
         for q in 0..eu.num_qubits() {
             assert!(!t.measure(q, &mut rng).value);

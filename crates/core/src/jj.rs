@@ -88,8 +88,7 @@ impl MemoryConfig {
     /// Aggregate read bandwidth in bits/second: every channel streams one
     /// word per `read_latency` cycles.
     pub fn bandwidth_bits_per_s(&self) -> f64 {
-        self.channels as f64 * WORD_BITS as f64 * JJ_CLOCK_HZ
-            / self.read_latency_cycles() as f64
+        self.channels as f64 * WORD_BITS as f64 * JJ_CLOCK_HZ / self.read_latency_cycles() as f64
     }
 
     /// JJ count for the configuration. The four paper configurations use
@@ -131,7 +130,11 @@ impl fmt::Display for MemoryConfig {
         } else {
             format!("{}b", self.bank_bits)
         };
-        write!(f, "{} Channel = {} x {}", self.channels, bank, self.channels)
+        write!(
+            f,
+            "{} Channel = {} x {}",
+            self.channels, bank, self.channels
+        )
     }
 }
 
@@ -185,7 +188,13 @@ mod tests {
 
     #[test]
     fn display_matches_table2_style() {
-        assert_eq!(MemoryConfig::new(4, 1024).to_string(), "4 Channel = 1Kb x 4");
-        assert_eq!(MemoryConfig::new(8, 512).to_string(), "8 Channel = 512b x 8");
+        assert_eq!(
+            MemoryConfig::new(4, 1024).to_string(),
+            "4 Channel = 1Kb x 4"
+        );
+        assert_eq!(
+            MemoryConfig::new(8, 512).to_string(),
+            "8 Channel = 512b x 8"
+        );
     }
 }

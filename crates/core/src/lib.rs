@@ -55,6 +55,7 @@ pub mod program_gen;
 pub mod system;
 pub mod tech;
 pub mod throughput;
+pub mod tile;
 pub mod timing;
 
 pub use bus::{BusCounters, Traffic};
@@ -72,5 +73,5 @@ pub use network::{Network, Packet, PacketKind};
 pub use primeline::PrimelineResources;
 pub use system::{DeliveryMode, QuestSystem, SystemRun};
 pub use tech::TechnologyParams;
-pub use timing::SlotTiming;
 pub use throughput::{optimal_config, table2, Table2Row};
+pub use timing::SlotTiming;

@@ -109,9 +109,31 @@ impl MasterController {
     }
 
     /// Issues a synchronization token to an MCE.
-    pub fn sync(&mut self, _mce: &mut Mce, _token: u8) {
+    pub fn sync(&mut self, _mce: &mut Mce, token: u8) {
+        self.sync_remote(token);
+    }
+
+    /// Accounts a synchronization token sent to an MCE the master does not
+    /// hold a reference to (message-driven use: the concurrent runtime's
+    /// master thread owns channels to its shards, not the MCEs
+    /// themselves). Identical bus accounting to
+    /// [`MasterController::sync`].
+    pub fn sync_remote(&mut self, _token: u8) {
         self.bus.record(Traffic::Sync, SYNC_TOKEN_BYTES);
         self.stats.sync_tokens += 1;
+    }
+
+    /// Accounts one escalation arriving over the bus (`event_count`
+    /// detection events upstream) and its global decode, without
+    /// performing the decode. The message-driven runtime uses this: the
+    /// decode itself happens in a worker pool against the batching API
+    /// (`quest_surface::decoder::batch`), while the traffic and decode
+    /// counts stay on the master's ledger exactly as in
+    /// [`MasterController::service_escalations`].
+    pub fn note_escalation(&mut self, event_count: u64) {
+        self.bus
+            .record(Traffic::Syndrome, event_count * SYNDROME_EVENT_BYTES);
+        self.stats.global_decodes += 1;
     }
 
     /// Collects an MCE's escalated syndromes (upstream traffic), resolves
@@ -169,11 +191,7 @@ impl MasterController {
     }
 
     fn resolve_escalation(&mut self, mce: &mut Mce, kind: StabKind, esc: &Escalation) {
-        self.bus.record(
-            Traffic::Syndrome,
-            esc.events.len() as u64 * SYNDROME_EVENT_BYTES,
-        );
-        self.stats.global_decodes += 1;
+        self.note_escalation(esc.events.len() as u64);
         // Single-round graph: the MCE escalates per round. The global
         // decoder sees the same node numbering the escalation used.
         let graph = DecodingGraph::new(mce.lattice(), kind, 1);
@@ -232,15 +250,18 @@ mod tests {
         // 100 replays of a 150-instruction kernel cost 200 bytes of
         // commands instead of 30 000 bytes of instructions.
         assert_eq!(master.bus().bytes(Traffic::Sync), 200);
-        assert_eq!(mce.instruction_pipeline().stats().cached_instructions, 15_000);
+        assert_eq!(
+            mce.instruction_pipeline().stats().cached_instructions,
+            15_000
+        );
     }
 
     #[test]
     fn escalations_reach_global_decoder_and_fix_frame() {
         let (mut master, mut mce, mut t, mut rng) = setup();
         mce.run_qecc_cycle(&mut t, &mut rng); // project
-        // Inject a two-qubit X chain: adjacent data qubits sharing a Z
-        // check produce a pattern the LUT may escalate.
+                                              // Inject a two-qubit X chain: adjacent data qubits sharing a Z
+                                              // check produce a pattern the LUT may escalate.
         let a = mce.lattice().data_index(1, 1);
         let b = mce.lattice().data_index(1, 2);
         t.x(a);

@@ -15,9 +15,9 @@ use crate::instruction_pipeline::InstructionPipeline;
 use crate::mask::MaskTable;
 use crate::microcode::QeccMicrocode;
 use crate::program_gen;
-use quest_isa::{LogicalInstr, MicroOp, VliwWord};
 #[cfg(test)]
 use quest_isa::PhysOpcode;
+use quest_isa::{LogicalInstr, MicroOp, VliwWord};
 use quest_stabilizer::Tableau;
 use quest_surface::{RotatedLattice, StabKind};
 use rand::Rng;
@@ -247,12 +247,7 @@ impl Mce {
             // regions produce no valid syndrome).
             let bits: Option<Vec<bool>> = ancillas
                 .iter()
-                .map(|&a| {
-                    measurements
-                        .iter()
-                        .find(|(q, _)| *q == a)
-                        .map(|(_, v)| *v)
-                })
+                .map(|&a| measurements.iter().find(|(q, _)| *q == a).map(|(_, v)| *v))
                 .collect();
             if let Some(bits) = bits {
                 if ancillas.iter().all(|&a| !self.mask.is_masked(a)) {

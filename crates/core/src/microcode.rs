@@ -174,7 +174,10 @@ impl QeccMicrocode {
     ///
     /// Panics if `words` is empty or the words have differing widths.
     pub fn new(words: Vec<VliwWord>) -> QeccMicrocode {
-        assert!(!words.is_empty(), "QECC cycle must contain at least one word");
+        assert!(
+            !words.is_empty(),
+            "QECC cycle must contain at least one word"
+        );
         let width = words[0].len();
         assert!(
             words.iter().all(|w| w.len() == width),
@@ -251,10 +254,7 @@ impl QeccMicrocode {
     /// Builds the idle program (all-NOP single word) for a tile, used when
     /// a tile boots before its QECC program is installed.
     pub fn idle(tile_width: usize) -> QeccMicrocode {
-        QeccMicrocode::new(vec![VliwWord::from_uops(vec![
-            MicroOp::nop();
-            tile_width
-        ])])
+        QeccMicrocode::new(vec![VliwWord::from_uops(vec![MicroOp::nop(); tile_width])])
     }
 }
 
@@ -300,9 +300,11 @@ mod tests {
         let ram = MicrocodeDesign::Ram.capacity_limited_qubits(4096, &steane, OPCODE_BITS);
         let fifo = MicrocodeDesign::Fifo.capacity_limited_qubits(4096, &steane, OPCODE_BITS);
         assert!((40..=55).contains(&ram), "RAM limit {ram} (paper: 48)");
-        assert!((105..=125).contains(&fifo), "FIFO limit {fifo} (paper: 120)");
-        let uc =
-            MicrocodeDesign::UnitCell.capacity_limited_qubits(4096, &steane, OPCODE_BITS);
+        assert!(
+            (105..=125).contains(&fifo),
+            "FIFO limit {fifo} (paper: 120)"
+        );
+        let uc = MicrocodeDesign::UnitCell.capacity_limited_qubits(4096, &steane, OPCODE_BITS);
         assert_eq!(uc, usize::MAX);
     }
 

@@ -13,18 +13,12 @@
 
 use crate::master::MasterController;
 use crate::mce::Mce;
-use quest_stabilizer::{NoiseChannel, PauliChannel, Tableau};
-use quest_surface::{RotatedLattice, StabKind};
+use crate::tile;
+use quest_stabilizer::{PauliChannel, Tableau};
+use quest_surface::RotatedLattice;
 use rand::Rng;
 
-/// Logical basis for tile preparation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LogicalBasis {
-    /// `|0_L⟩` (all data qubits `|0⟩`).
-    Zero,
-    /// `|+_L⟩` (all data qubits `|+⟩`).
-    Plus,
-}
+pub use crate::tile::LogicalBasis;
 
 /// An array of MCE-driven tiles over one simulated substrate.
 ///
@@ -106,30 +100,35 @@ impl MultiTileSystem {
     ///
     /// Panics if `i` is out of range.
     pub fn prep_logical<R: Rng + ?Sized>(&mut self, i: usize, basis: LogicalBasis, rng: &mut R) {
-        let off = self.mces[i].substrate_index(0);
-        for q in 0..self.lattice.num_data() {
-            self.substrate.reset(off + q, rng);
-            if basis == LogicalBasis::Plus {
-                self.substrate.h(off + q);
-            }
-        }
-        self.mces[i].notify_prepared(match basis {
-            LogicalBasis::Zero => StabKind::Z,
-            LogicalBasis::Plus => StabKind::X,
-        });
+        tile::prep_logical(&mut self.mces[i], basis, &mut self.substrate, rng);
     }
 
     /// Runs one noisy QECC cycle on every tile and services escalations.
     pub fn run_noisy_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        for mce in &mut self.mces {
-            for q in 0..self.lattice.num_data() {
-                let e = self.noise.sample(rng);
-                self.substrate.pauli(mce.substrate_index(q), e);
-            }
+        for mce in &self.mces {
+            tile::noise_layer(mce, &self.noise, &mut self.substrate, rng);
         }
         for mce in &mut self.mces {
-            mce.run_qecc_cycle(&mut self.substrate, rng);
-            self.master.service_escalations(mce);
+            tile::qecc_cycle_serviced(mce, &mut self.master, &mut self.substrate, rng);
+        }
+    }
+
+    /// Like [`MultiTileSystem::run_noisy_cycle`], but with one independent
+    /// RNG stream per tile (`rngs[i]` drives tile `i`'s noise layer and
+    /// QECC cycle). This is the reference semantics for the concurrent
+    /// runtime: because each tile consumes only its own stream, the
+    /// outcome is invariant under any grouping of tiles onto threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rngs.len()` differs from the tile count.
+    pub fn run_noisy_cycle_streams<R: Rng>(&mut self, rngs: &mut [R]) {
+        assert_eq!(rngs.len(), self.mces.len(), "one RNG stream per tile");
+        for (mce, rng) in self.mces.iter().zip(rngs.iter_mut()) {
+            tile::noise_layer(mce, &self.noise, &mut self.substrate, rng);
+        }
+        for (mce, rng) in self.mces.iter_mut().zip(rngs.iter_mut()) {
+            tile::qecc_cycle_serviced(mce, &mut self.master, &mut self.substrate, rng);
         }
     }
 
@@ -149,77 +148,11 @@ impl MultiTileSystem {
         target: usize,
         _rng: &mut R,
     ) {
-        assert_ne!(control, target, "control and target tiles must differ");
-        let c_off = self.mces[control].substrate_index(0);
-        let t_off = self.mces[target].substrate_index(0);
-        for q in 0..self.lattice.num_data() {
-            self.substrate.cnot(c_off + q, t_off + q);
-        }
+        tile::transversal_cnot_physics(&mut self.mces, &mut self.substrate, control, target);
 
-        // Propagate the syndrome references: the CNOT conjugates the
-        // target's Z checks into (control Z check) x (target Z check) and
-        // the control's X checks into the product of both X checks, so the
-        // expected syndromes shift by the partner's current values.
-        let c_z_ref: Vec<bool> = self.mces[control]
-            .decoder(StabKind::Z)
-            .reference_bits()
-            .expect("run at least one QECC cycle before a transversal CNOT")
-            .to_vec();
-        self.mces[target]
-            .decoder_mut(StabKind::Z)
-            .xor_reference(&c_z_ref);
-        let t_x_ref: Vec<bool> = self.mces[target]
-            .decoder(StabKind::X)
-            .reference_bits()
-            .expect("run at least one QECC cycle before a transversal CNOT")
-            .to_vec();
-        self.mces[control]
-            .decoder_mut(StabKind::X)
-            .xor_reference(&t_x_ref);
-
-        // Propagate the error-decoder Pauli frames: CNOT maps X_c -> X_c X_t
-        // and Z_t -> Z_c Z_t. The Z-decoder frame holds pending X
-        // corrections; the X-decoder frame holds pending Z corrections.
-        let x_frame: Vec<usize> = self.mces[control]
-            .decoder(StabKind::Z)
-            .frame()
-            .iter()
-            .copied()
-            .collect();
-        self.mces[target]
-            .decoder_mut(StabKind::Z)
-            .apply_global_correction(x_frame);
-        let z_frame: Vec<usize> = self.mces[target]
-            .decoder(StabKind::X)
-            .frame()
-            .iter()
-            .copied()
-            .collect();
-        self.mces[control]
-            .decoder_mut(StabKind::X)
-            .apply_global_correction(z_frame);
-
-        // Propagate logical frames the same way.
-        let (cx, _cz) = self.mces[control].logical_frame();
-        let (_tx, tz) = self.mces[target].logical_frame();
-        if cx {
-            self.mces[target].execute_logical(quest_isa::LogicalInstr::X(
-                quest_isa::LogicalQubit(0),
-            ));
-        }
-        if tz {
-            self.mces[control].execute_logical(quest_isa::LogicalInstr::Z(
-                quest_isa::LogicalQubit(0),
-            ));
-        }
-
-        // Master-controller coordination.
-        let [c_mce, t_mce] = self
-            .mces
-            .get_disjoint_mut([control, target])
-            .expect("distinct indices");
-        self.master.sync(c_mce, 0);
-        self.master.sync(t_mce, 0);
+        // Master-controller coordination: one sync token per involved MCE.
+        self.master.sync_remote(0);
+        self.master.sync_remote(0);
     }
 
     /// Applies a logical X to tile `i` through its MCE's instruction path.
@@ -245,6 +178,7 @@ impl MultiTileSystem {
 mod tests {
     use super::*;
     use quest_stabilizer::{SeedableRng, StdRng};
+    use quest_surface::StabKind;
 
     #[test]
     fn zero_zero_cnot_stays_zero() {
@@ -329,7 +263,10 @@ mod tests {
             let b = sys.measure_logical_z(1, &mut rng);
             mismatches += (a != b) as u32;
         }
-        assert!(mismatches <= 2, "{mismatches}/{shots} Bell mismatches at p=1e-3");
+        assert!(
+            mismatches <= 2,
+            "{mismatches}/{shots} Bell mismatches at p=1e-3"
+        );
     }
 
     #[test]

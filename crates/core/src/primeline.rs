@@ -39,9 +39,8 @@ impl PrimelineResources {
     pub fn for_qubits(qubits: usize) -> PrimelineResources {
         assert!(qubits > 0, "unit must serve at least one qubit");
         let alphabet = waveform_alphabet();
-        let select_bits_per_qubit = usize::BITS as usize
-            - (alphabet + 1).next_power_of_two().leading_zeros() as usize
-            - 1;
+        let select_bits_per_qubit =
+            usize::BITS as usize - (alphabet + 1).next_power_of_two().leading_zeros() as usize - 1;
         PrimelineResources {
             qubits,
             awgs: alphabet,

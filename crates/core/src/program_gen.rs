@@ -52,11 +52,17 @@ pub fn qecc_cycle_words(lattice: &RotatedLattice, geometry: &TileGeometry) -> Ve
                 // X syndrome: ancilla is the control.
                 StabKind::X => {
                     word.set(p.ancilla, MicroOp::cnot_half(PhysOpcode::CnotCtrl, dir));
-                    word.set(data, MicroOp::cnot_half(PhysOpcode::CnotTgt, dir.opposite()));
+                    word.set(
+                        data,
+                        MicroOp::cnot_half(PhysOpcode::CnotTgt, dir.opposite()),
+                    );
                 }
                 // Z syndrome: data is the control.
                 StabKind::Z => {
-                    word.set(data, MicroOp::cnot_half(PhysOpcode::CnotCtrl, dir.opposite()));
+                    word.set(
+                        data,
+                        MicroOp::cnot_half(PhysOpcode::CnotCtrl, dir.opposite()),
+                    );
                     word.set(p.ancilla, MicroOp::cnot_half(PhysOpcode::CnotTgt, dir));
                 }
             }

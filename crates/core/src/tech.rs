@@ -64,7 +64,10 @@ impl TechnologyParams {
     /// The shortest instruction slot in the QECC cycle — the window within
     /// which the microcode pipeline must re-latch every qubit's µop (§4.5).
     pub fn min_slot(&self) -> f64 {
-        self.t_single.min(self.t_cnot).min(self.t_prep).min(self.t_meas)
+        self.t_single
+            .min(self.t_cnot)
+            .min(self.t_prep)
+            .min(self.t_meas)
     }
 }
 

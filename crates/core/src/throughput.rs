@@ -149,7 +149,11 @@ mod tests {
         let one = figure11_point(MicrocodeDesign::UnitCell, 1, &tech);
         let two = figure11_point(MicrocodeDesign::UnitCell, 2, &tech);
         let four = figure11_point(MicrocodeDesign::UnitCell, 4, &tech);
-        assert!(two as f64 / one as f64 > 2.0, "2ch/1ch = {}", two as f64 / one as f64);
+        assert!(
+            two as f64 / one as f64 > 2.0,
+            "2ch/1ch = {}",
+            two as f64 / one as f64
+        );
         assert!((four as f64 / one as f64 - 6.0).abs() < 0.2, "4ch/1ch");
     }
 

@@ -50,8 +50,7 @@ impl SlotTiming {
         // paper's unpipelined latency, matching its 6x-at-4-channels
         // arithmetic).
         let rounds_of_reads = reads.div_ceil(config.channels());
-        let latch_s =
-            rounds_of_reads as f64 * config.read_latency_cycles() as f64 / JJ_CLOCK_HZ;
+        let latch_s = rounds_of_reads as f64 * config.read_latency_cycles() as f64 / JJ_CLOCK_HZ;
         SlotTiming {
             slot_s: tech.min_slot(),
             latch_s,

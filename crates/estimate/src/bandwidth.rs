@@ -63,7 +63,8 @@ impl BandwidthEstimate {
     ) -> BandwidthEstimate {
         // --- Footprint -----------------------------------------------------
         let d = qure_distance(p);
-        let distillation = DistillationPlan::size(p, workload.t_count(), workload.t_rate_per_step());
+        let distillation =
+            DistillationPlan::size(p, workload.t_count(), workload.t_rate_per_step());
         let total_logical = workload.logical_qubits + distillation.total_factory_qubits();
         let physical_qubits = total_logical * 12.5 * (d * d) as f64;
 
@@ -117,7 +118,8 @@ impl BandwidthEstimate {
     /// Ratio of T-factory logical instructions to algorithmic logical
     /// instructions (Figure 13).
     pub fn t_factory_ratio(&self) -> f64 {
-        self.distillation.instruction_ratio(self.workload.t_fraction)
+        self.distillation
+            .instruction_ratio(self.workload.t_fraction)
     }
 }
 
@@ -192,7 +194,10 @@ mod tests {
         // §7: "the QuEST architecture reduces the instruction bandwidth by
         // almost eight orders of magnitude."
         let suite = analyze_suite(1e-4);
-        let log_mean: f64 = suite.iter().map(|e| e.cached_savings().log10()).sum::<f64>()
+        let log_mean: f64 = suite
+            .iter()
+            .map(|e| e.cached_savings().log10())
+            .sum::<f64>()
             / suite.len() as f64;
         assert!(
             (7.0..10.0).contains(&log_mean),

@@ -137,7 +137,10 @@ mod tests {
         let p = 1e-3;
         let (_, exact) = exact_round(p);
         let model = output_error(p, 1);
-        assert!((exact / model - 1.0).abs() < 0.05, "exact {exact} model {model}");
+        assert!(
+            (exact / model - 1.0).abs() < 0.05,
+            "exact {exact} model {model}"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl Footprint {
     /// Derives the footprint from a bandwidth analysis: footprint =
     /// stream rate × execution time for each delivery model, with the
     /// QECC microcode image charged separately (it is state, not stream).
-    pub fn from_estimate(e: &BandwidthEstimate, syndrome: &quest_surface::SyndromeDesign) -> Footprint {
+    pub fn from_estimate(
+        e: &BandwidthEstimate,
+        syndrome: &quest_surface::SyndromeDesign,
+    ) -> Footprint {
         // Execution time: logical gates issued at the algorithmic rate.
         let exec_time = e.workload.logical_gates / e.algo_rate;
         let baseline_bytes = e.baseline * exec_time * PHYS_INSTR_BYTES;

@@ -25,7 +25,9 @@ fn encoding_pairs() -> Vec<(u8, u8)> {
     // in generator g iff bit g of (j+1) is set. Encode by fanning each
     // generator's first member out to the rest.
     for g in 0..4u8 {
-        let members: Vec<u8> = (0..INPUTS as u8).filter(|j| (j + 1) >> g & 1 == 1).collect();
+        let members: Vec<u8> = (0..INPUTS as u8)
+            .filter(|j| (j + 1) >> g & 1 == 1)
+            .collect();
         let head = members[0];
         for &m in &members[1..] {
             pairs.push((head, m));
@@ -121,7 +123,10 @@ pub fn distillation_kernel() -> LogicalProgram {
 /// algorithmic instructions from the workload's gate mix plus one
 /// resident kernel (replayed by the system according to its
 /// `distillation_replays` argument).
-pub fn workload_with_kernel(workload: &crate::workloads::Workload, algo_len: usize) -> LogicalProgram {
+pub fn workload_with_kernel(
+    workload: &crate::workloads::Workload,
+    algo_len: usize,
+) -> LogicalProgram {
     let mut p = workload.generate_program(algo_len);
     p.extend(distillation_kernel().iter().copied());
     p

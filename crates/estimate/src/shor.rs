@@ -94,12 +94,10 @@ impl ShorEstimate {
         let levels = levels_needed(p_in, 0.5 / t_count).max(1);
         let t_rate = (t_count / logical_gates) * constants::parallelism(n_bits);
         let factories = (t_rate * 10.0 * levels as f64).max(1.0);
-        let factory_logical =
-            factories * constants::FACTORY_QUBITS_PER_LEVEL * levels as f64;
+        let factory_logical = factories * constants::FACTORY_QUBITS_PER_LEVEL * levels as f64;
 
         let total_logical = logical_qubits + factory_logical;
-        let physical_qubits =
-            total_logical * constants::PHYS_PER_LOGICAL * (d * d) as f64;
+        let physical_qubits = total_logical * constants::PHYS_PER_LOGICAL * (d * d) as f64;
 
         ShorEstimate {
             n_bits,

@@ -163,8 +163,7 @@ mod tests {
 
     #[test]
     fn seven_workloads_with_unique_names() {
-        let names: std::collections::HashSet<_> =
-            Workload::ALL.iter().map(|w| w.name).collect();
+        let names: std::collections::HashSet<_> = Workload::ALL.iter().map(|w| w.name).collect();
         assert_eq!(names.len(), 7);
     }
 

@@ -253,10 +253,7 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert_eq!(
-            LogicalInstr::Sync(0).intrinsic_class(),
-            InstrClass::Sync
-        );
+        assert_eq!(LogicalInstr::Sync(0).intrinsic_class(), InstrClass::Sync);
         assert_eq!(
             LogicalInstr::CacheReplay(0).intrinsic_class(),
             InstrClass::CacheControl

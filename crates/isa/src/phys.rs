@@ -124,12 +124,7 @@ pub enum Direction {
 
 impl Direction {
     /// All four directions in encoding order.
-    pub const ALL: [Direction; 4] = [
-        Direction::Nw,
-        Direction::Ne,
-        Direction::Sw,
-        Direction::Se,
-    ];
+    pub const ALL: [Direction; 4] = [Direction::Nw, Direction::Ne, Direction::Sw, Direction::Se];
 
     /// Decodes a 2-bit value.
     pub fn from_bits(b: u8) -> Option<Direction> {

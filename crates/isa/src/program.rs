@@ -149,7 +149,10 @@ mod tests {
 
     fn sample() -> LogicalProgram {
         let mut p = LogicalProgram::new();
-        p.push(LogicalInstr::PrepZ(LogicalQubit(0)), InstrClass::Algorithmic);
+        p.push(
+            LogicalInstr::PrepZ(LogicalQubit(0)),
+            InstrClass::Algorithmic,
+        );
         p.push(LogicalInstr::H(LogicalQubit(0)), InstrClass::Algorithmic);
         p.push(LogicalInstr::T(LogicalQubit(0)), InstrClass::Algorithmic);
         p.push(

@@ -1,0 +1,415 @@
+//! `quest-runtime`: a concurrent, sharded simulation runtime for
+//! multi-tile QuEST systems.
+//!
+//! The single-threaded [`MultiTileSystem`](quest_core::MultiTileSystem)
+//! drives every tile from one loop over one tableau. This crate executes
+//! the same physics as a concurrent engine shaped like the paper's
+//! control processor (§4.2):
+//!
+//! * **Shard workers** — one thread per shard, each owning a contiguous
+//!   group of tiles, their MCEs, a tableau spanning only those tiles,
+//!   and one RNG stream per tile derived from the master seed.
+//! * **Master thread** — the caller's thread; dispatches workload
+//!   operations downstream and collects syndromes upstream over bounded
+//!   MPSC channels whose messages are
+//!   [`Packet`](quest_core::network::Packet)-shaped, so bus and packet
+//!   accounting fall out of real message flow.
+//! * **Global-decode pool** — a shared worker pool resolving each
+//!   cycle's escalations as one batch through
+//!   [`quest_surface::decoder::batch`].
+//! * **Cycle barriers** — every QECC cycle is a barrier round
+//!   (dispatch → shard compute → syndrome flush → batch decode →
+//!   correction delivery), so transversal cross-tile CNOTs always see
+//!   settled frames, exactly like the single-threaded loop.
+//!
+//! # Determinism
+//!
+//! For a fixed master seed, a run's logical outcomes and bus-byte totals
+//! are identical for every shard count, and identical to the
+//! single-threaded reference ([`run_reference`]): each tile consumes
+//! only its own RNG stream in a fixed order, corrections always land
+//! before the next cycle, and bus tallies are order-invariant sums.
+//!
+//! # Example
+//!
+//! ```
+//! use quest_runtime::{Runtime, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::memory(3, 4, 2, 1e-3, 7, 10);
+//! let report = Runtime::new().run(&spec);
+//! assert_eq!(report.outcomes.len(), 4);
+//! // Same seed, different sharding: identical physics.
+//! let spec1 = WorkloadSpec { shards: 1, ..spec };
+//! assert_eq!(Runtime::new().run(&spec1).outcomes, report.outcomes);
+//! ```
+
+mod message;
+mod pool;
+pub mod reference;
+pub mod spec;
+pub mod stats;
+
+mod shard;
+
+pub use pool::PoolStats;
+pub use quest_core::tile::LogicalBasis;
+pub use reference::{run_reference, ReferenceReport};
+pub use spec::{SpecError, WorkloadOp, WorkloadSpec};
+pub use stats::{PhaseTimings, RunReport, RuntimeStats, ShardStats};
+
+use message::{channel, DepthGauge, Envelope, Payload, Rx, Tx};
+use pool::DecodePool;
+use quest_core::network::{Network, PacketKind};
+use quest_core::MasterController;
+use quest_surface::decoder::batch::DecodeJob;
+use quest_surface::RotatedLattice;
+use shard::ShardWorker;
+use std::time::Instant;
+
+/// Per-direction bound of each master ↔ shard channel. Deep enough that
+/// neither side blocks in the steady state (a shard enqueues at most two
+/// escalations per tile per cycle); shallow enough to be a real
+/// backpressure bound.
+const CHANNEL_BOUND: usize = 1024;
+
+/// The concurrent runtime. Construction is cheap; threads live only for
+/// the duration of [`Runtime::run`].
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    decode_workers: usize,
+    fanout: usize,
+}
+
+impl Default for Runtime {
+    fn default() -> Runtime {
+        Runtime::new()
+    }
+}
+
+impl Runtime {
+    /// A runtime with a decode pool sized to the machine (capped at 4 —
+    /// global decoding is a small fraction of cycle work).
+    pub fn new() -> Runtime {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(1, 4);
+        Runtime {
+            decode_workers: workers,
+            fanout: 4,
+        }
+    }
+
+    /// Overrides the decode-pool size (results are identical for any
+    /// size; only throughput changes).
+    pub fn with_decode_workers(mut self, workers: usize) -> Runtime {
+        assert!(workers > 0, "decode pool needs at least one worker");
+        self.decode_workers = workers;
+        self
+    }
+
+    /// Overrides the modelled interconnect tree fan-out.
+    pub fn with_fanout(mut self, fanout: usize) -> Runtime {
+        assert!(fanout >= 2, "tree fan-out must be at least 2");
+        self.fanout = fanout;
+        self
+    }
+
+    /// Executes a workload and returns its outcomes, bus ledger and
+    /// runtime statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`].
+    pub fn run(&self, spec: &WorkloadSpec) -> RunReport {
+        spec.validate().expect("invalid workload spec");
+        let lattice = RotatedLattice::new(spec.distance);
+
+        std::thread::scope(|scope| {
+            // Wire one bounded channel pair per shard and spawn workers.
+            let mut down_txs: Vec<Tx<Envelope>> = Vec::with_capacity(spec.shards);
+            let mut up_rxs: Vec<Rx<Envelope>> = Vec::with_capacity(spec.shards);
+            let mut down_gauges: Vec<DepthGauge> = Vec::with_capacity(spec.shards);
+            let mut up_gauges: Vec<DepthGauge> = Vec::with_capacity(spec.shards);
+            for s in 0..spec.shards {
+                let (down_tx, down_rx, down_gauge) = channel(CHANNEL_BOUND);
+                let (up_tx, up_rx, up_gauge) = channel(CHANNEL_BOUND);
+                let worker = ShardWorker::new(
+                    s,
+                    spec.tile_range(s),
+                    &lattice,
+                    spec.error_rate,
+                    spec.seed,
+                    down_rx,
+                    up_tx,
+                );
+                scope.spawn(move || worker.run());
+                down_txs.push(down_tx);
+                up_rxs.push(up_rx);
+                down_gauges.push(down_gauge);
+                up_gauges.push(up_gauge);
+            }
+            let pool = DecodePool::spawn(scope, &lattice, self.decode_workers);
+
+            let mut master = Master {
+                spec,
+                controller: MasterController::new(),
+                network: Network::new(spec.tiles, self.fanout),
+                pool,
+                down_txs,
+                up_rxs,
+                shard_stats: (0..spec.shards)
+                    .map(|s| {
+                        let range = spec.tile_range(s);
+                        ShardStats {
+                            shard: s,
+                            first_tile: range.start,
+                            tiles: range.len(),
+                            ..ShardStats::default()
+                        }
+                    })
+                    .collect(),
+                outcomes: Vec::new(),
+                phases: PhaseTimings::default(),
+            };
+            master.execute();
+            master.report(&down_gauges, &up_gauges)
+        })
+    }
+}
+
+/// Master-thread state for one run.
+struct Master<'a> {
+    spec: &'a WorkloadSpec,
+    controller: MasterController,
+    network: Network,
+    pool: DecodePool,
+    down_txs: Vec<Tx<Envelope>>,
+    up_rxs: Vec<Rx<Envelope>>,
+    shard_stats: Vec<ShardStats>,
+    outcomes: Vec<(usize, bool)>,
+    phases: PhaseTimings,
+}
+
+impl Master<'_> {
+    /// Sends one downstream envelope, minting interconnect packets for
+    /// its wire bytes against the destination tile.
+    fn send_down(&mut self, shard: usize, tile: usize, env: Envelope) {
+        if env.wire_bytes > 0 {
+            self.network.send(tile, env.wire_bytes, env.kind);
+        }
+        self.down_txs[shard].send(env);
+    }
+
+    fn execute(&mut self) {
+        for op in &self.spec.ops {
+            match *op {
+                WorkloadOp::Prep { tile, basis } => {
+                    let start = Instant::now();
+                    let shard = self.spec.shard_of(tile);
+                    self.send_down(
+                        shard,
+                        tile,
+                        Envelope::control(PacketKind::Downstream, Payload::Prep { tile, basis }),
+                    );
+                    self.phases.logical += start.elapsed();
+                }
+                WorkloadOp::Cnot { control, target } => {
+                    let start = Instant::now();
+                    let shard = self.spec.shard_of(control);
+                    // Two sync tokens coordinate the gate — the only bus
+                    // cost of a transversal CNOT, exactly as in the
+                    // single-threaded master.
+                    self.controller.sync_remote(0);
+                    self.controller.sync_remote(0);
+                    self.network.send(
+                        control,
+                        quest_core::master::SYNC_TOKEN_BYTES,
+                        PacketKind::Downstream,
+                    );
+                    self.network.send(
+                        target,
+                        quest_core::master::SYNC_TOKEN_BYTES,
+                        PacketKind::Downstream,
+                    );
+                    self.down_txs[shard].send(Envelope::control(
+                        PacketKind::Downstream,
+                        Payload::Cnot { control, target },
+                    ));
+                    self.phases.logical += start.elapsed();
+                }
+                WorkloadOp::Cycles(n) => {
+                    for _ in 0..n {
+                        self.run_cycle();
+                    }
+                }
+                WorkloadOp::MeasureZ { tile } => {
+                    let start = Instant::now();
+                    let shard = self.spec.shard_of(tile);
+                    self.send_down(
+                        shard,
+                        tile,
+                        Envelope::control(PacketKind::Downstream, Payload::MeasureZ { tile }),
+                    );
+                    // The upstream channel is drained to its barrier
+                    // between cycles, so the next message is the outcome.
+                    let env = self.up_rxs[shard].recv();
+                    self.shard_stats[shard].upstream_messages += 1;
+                    match env.payload {
+                        Payload::Outcome { tile, value } => self.outcomes.push((tile, value)),
+                        other => unreachable!("unexpected payload awaiting outcome: {other:?}"),
+                    }
+                    self.phases.readout += start.elapsed();
+                }
+            }
+        }
+        for shard in 0..self.spec.shards {
+            self.down_txs[shard].send(Envelope::control(PacketKind::Downstream, Payload::Shutdown));
+        }
+    }
+
+    /// One barrier round: broadcast the cycle, collect every shard's
+    /// syndromes up to its barrier, decode the batch in the pool, push
+    /// corrections back down.
+    fn run_cycle(&mut self) {
+        let start = Instant::now();
+        for shard in 0..self.spec.shards {
+            self.down_txs[shard].send(Envelope::control(PacketKind::Downstream, Payload::Cycle));
+        }
+
+        let mut batch: Vec<(usize, quest_surface::StabKind, DecodeJob)> = Vec::new();
+        for shard in 0..self.spec.shards {
+            loop {
+                let env = self.up_rxs[shard].recv();
+                self.shard_stats[shard].upstream_messages += 1;
+                match env.payload {
+                    Payload::Syndrome {
+                        tile,
+                        kind,
+                        escalation,
+                    } => {
+                        // Real message flow drives the ledgers: upstream
+                        // packets on the interconnect, syndrome bytes and
+                        // a global decode on the master's bus counters.
+                        self.network.send(tile, env.wire_bytes, env.kind);
+                        self.controller
+                            .note_escalation(escalation.events.len() as u64);
+                        self.shard_stats[shard].escalations += 1;
+                        batch.push((
+                            tile,
+                            kind,
+                            DecodeJob {
+                                kind,
+                                events: escalation.events,
+                            },
+                        ));
+                    }
+                    Payload::CycleDone { shard: s } => {
+                        debug_assert_eq!(s, shard);
+                        self.shard_stats[shard].cycles += 1;
+                        break;
+                    }
+                    other => unreachable!("unexpected payload in cycle barrier: {other:?}"),
+                }
+            }
+        }
+        self.phases.cycles += start.elapsed();
+
+        let start = Instant::now();
+        let corrections = self.pool.decode(batch);
+        for (tile, kind, flips) in corrections {
+            let shard = self.spec.shard_of(tile);
+            let env = Envelope::correction(tile, kind, flips.into_iter().collect());
+            self.send_down(shard, tile, env);
+        }
+        self.phases.decode += start.elapsed();
+    }
+
+    fn report(mut self, down_gauges: &[DepthGauge], up_gauges: &[DepthGauge]) -> RunReport {
+        for (s, stats) in self.shard_stats.iter_mut().enumerate() {
+            stats.max_downstream_depth = down_gauges[s].high_water();
+            stats.max_upstream_depth = up_gauges[s].high_water();
+        }
+        RunReport {
+            outcomes: self.outcomes,
+            bus_bytes: self.controller.bus().total(),
+            stats: RuntimeStats {
+                shards: self.shard_stats,
+                decode: self.pool.stats(),
+                master: self.controller.stats(),
+                packets_sent: self.network.packets_sent(),
+                wire_bytes: self.network.total_bytes(),
+                phases: self.phases,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_memory_reads_all_zero() {
+        let spec = WorkloadSpec::memory(3, 4, 2, 0.0, 11, 5);
+        let report = Runtime::new().run(&spec);
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(report.outcomes.iter().all(|&(_, v)| !v));
+        assert_eq!(report.bus_bytes, 0, "noiseless memory moves no bus bytes");
+        assert_eq!(report.stats.shards.len(), 2);
+        assert!(report.stats.shards.iter().all(|s| s.cycles == 5));
+    }
+
+    #[test]
+    fn bell_pairs_correlate_within_pairs() {
+        let spec = WorkloadSpec::bell_pairs(3, 4, 2, 0.0, 3, 2);
+        let report = Runtime::new().run(&spec);
+        assert_eq!(report.outcomes.len(), 4);
+        for pair in 0..2 {
+            let a = report
+                .outcomes
+                .iter()
+                .find(|(t, _)| *t == 2 * pair)
+                .unwrap()
+                .1;
+            let b = report
+                .outcomes
+                .iter()
+                .find(|(t, _)| *t == 2 * pair + 1)
+                .unwrap()
+                .1;
+            assert_eq!(a, b, "Bell pair {pair} decorrelated");
+        }
+        // Each CNOT costs exactly two 2-byte sync tokens on the bus.
+        assert_eq!(report.bus_bytes, 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "co-sharded")]
+    fn cross_shard_cnot_panics() {
+        let mut spec = WorkloadSpec::memory(3, 4, 4, 0.0, 1, 1);
+        spec.ops.insert(
+            1,
+            WorkloadOp::Cnot {
+                control: 0,
+                target: 3,
+            },
+        );
+        Runtime::new().run(&spec);
+    }
+
+    #[test]
+    fn noisy_run_reports_consistent_stats() {
+        let spec = WorkloadSpec::memory(3, 6, 3, 5e-3, 23, 30);
+        let report = Runtime::new().run(&spec);
+        let escalations: u64 = report.stats.shards.iter().map(|s| s.escalations).sum();
+        assert_eq!(report.stats.decode.jobs, escalations);
+        assert_eq!(report.stats.master.global_decodes, escalations);
+        if escalations > 0 {
+            assert!(report.bus_bytes > 0);
+            assert!(report.stats.packets_sent > 0);
+            assert!(report.stats.escalation_rate() > 0.0);
+        }
+        assert!(report.stats.phases.total().as_nanos() > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Channel messages between the master thread and shard workers.
+//!
+//! Messages are shaped like the single-threaded model's
+//! [`quest_core::network::Packet`]s: every envelope carries a transfer
+//! direction and the number of bytes it would occupy on the global bus.
+//! The master mints real [`Network`](quest_core::network::Network)
+//! packets from envelopes as they flow, so packet and byte accounting
+//! fall out of actual message traffic instead of a side calculation.
+//! Control-plane envelopes (cycle barriers, readout outcomes) carry zero
+//! wire bytes — they model what the single-threaded loop does implicitly
+//! — keeping the bus ledger identical to the reference systems.
+
+use quest_core::decoder_pipeline::Escalation;
+use quest_core::master::SYNDROME_EVENT_BYTES;
+use quest_core::network::PacketKind;
+use quest_core::tile::LogicalBasis;
+use quest_surface::StabKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+
+/// Bytes per data-qubit flip in a downstream correction message (qubit
+/// id, same width as an upstream syndrome event).
+pub(crate) const CORRECTION_FLIP_BYTES: u64 = 2;
+
+/// Message body.
+#[derive(Debug, Clone)]
+pub(crate) enum Payload {
+    // Downstream (master → shard).
+    /// Run one noisy QECC cycle on every owned tile, then report.
+    Cycle,
+    /// Prepare a tile's logical qubit.
+    Prep { tile: usize, basis: LogicalBasis },
+    /// Transversal CNOT between two co-sharded tiles.
+    Cnot { control: usize, target: usize },
+    /// Apply a global-decode correction to a tile's decoder frame.
+    Correction {
+        tile: usize,
+        kind: StabKind,
+        flips: Vec<usize>,
+    },
+    /// Destructively read a tile out in the logical-Z basis.
+    MeasureZ { tile: usize },
+    /// Terminate the worker.
+    Shutdown,
+
+    // Upstream (shard → master).
+    /// An escalation the tile's local decoder could not resolve.
+    Syndrome {
+        tile: usize,
+        kind: StabKind,
+        escalation: Escalation,
+    },
+    /// Cycle barrier: the shard finished its cycle and flushed all
+    /// syndromes above.
+    CycleDone { shard: usize },
+    /// Readout result.
+    Outcome { tile: usize, value: bool },
+}
+
+/// A packet-shaped message: direction + wire bytes + body.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    pub kind: PacketKind,
+    /// Bytes this message occupies on the modelled global bus (zero for
+    /// control-plane traffic).
+    pub wire_bytes: u64,
+    pub payload: Payload,
+}
+
+impl Envelope {
+    /// A zero-byte control-plane envelope.
+    pub(crate) fn control(kind: PacketKind, payload: Payload) -> Envelope {
+        Envelope {
+            kind,
+            wire_bytes: 0,
+            payload,
+        }
+    }
+
+    /// An upstream syndrome envelope ([`SYNDROME_EVENT_BYTES`] per
+    /// detection event, matching the master controller's escalation
+    /// accounting).
+    pub(crate) fn syndrome(tile: usize, kind: StabKind, escalation: Escalation) -> Envelope {
+        Envelope {
+            kind: PacketKind::Upstream,
+            wire_bytes: escalation.events.len() as u64 * SYNDROME_EVENT_BYTES,
+            payload: Payload::Syndrome {
+                tile,
+                kind,
+                escalation,
+            },
+        }
+    }
+
+    /// A downstream correction envelope.
+    pub(crate) fn correction(tile: usize, kind: StabKind, flips: Vec<usize>) -> Envelope {
+        Envelope {
+            kind: PacketKind::Downstream,
+            wire_bytes: flips.len() as u64 * CORRECTION_FLIP_BYTES,
+            payload: Payload::Correction { tile, kind, flips },
+        }
+    }
+}
+
+/// Sender half of a depth-tracked bounded channel.
+pub(crate) struct Tx<T> {
+    inner: SyncSender<T>,
+    depth: Arc<AtomicUsize>,
+    high_water: Arc<AtomicUsize>,
+}
+
+impl<T> Clone for Tx<T> {
+    fn clone(&self) -> Tx<T> {
+        Tx {
+            inner: self.inner.clone(),
+            depth: Arc::clone(&self.depth),
+            high_water: Arc::clone(&self.high_water),
+        }
+    }
+}
+
+impl<T> Tx<T> {
+    /// Sends, blocking when the channel is full. Panics if the receiver
+    /// is gone — inside the runtime that means a worker died, which is a
+    /// bug, not a recoverable condition.
+    pub(crate) fn send(&self, value: T) {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+        self.inner
+            .send(value)
+            .expect("runtime channel closed early");
+    }
+}
+
+/// Receiver half of a depth-tracked bounded channel.
+pub(crate) struct Rx<T> {
+    inner: Receiver<T>,
+    depth: Arc<AtomicUsize>,
+}
+
+impl<T> Rx<T> {
+    /// Blocking receive. Panics if all senders are gone early.
+    pub(crate) fn recv(&self) -> T {
+        let value = self.inner.recv().expect("runtime channel closed early");
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        value
+    }
+}
+
+/// Observer for a channel's high-water depth (master-side statistics).
+#[derive(Clone)]
+pub(crate) struct DepthGauge {
+    high_water: Arc<AtomicUsize>,
+}
+
+impl DepthGauge {
+    /// Deepest the channel ever got.
+    pub(crate) fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Creates a bounded channel whose occupancy is tracked, returning the
+/// two halves plus a gauge for the high-water mark.
+pub(crate) fn channel<T>(bound: usize) -> (Tx<T>, Rx<T>, DepthGauge) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(bound);
+    let depth = Arc::new(AtomicUsize::new(0));
+    let high_water = Arc::new(AtomicUsize::new(0));
+    (
+        Tx {
+            inner: tx,
+            depth: Arc::clone(&depth),
+            high_water: Arc::clone(&high_water),
+        },
+        Rx { inner: rx, depth },
+        DepthGauge { high_water },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_gauge_tracks_high_water() {
+        let (tx, rx, gauge) = channel::<u32>(8);
+        tx.send(1);
+        tx.send(2);
+        tx.send(3);
+        assert_eq!(gauge.high_water(), 3);
+        assert_eq!(rx.recv(), 1);
+        tx.send(4); // depth back to 3: watermark unchanged
+        assert_eq!(gauge.high_water(), 3);
+        assert_eq!(rx.recv(), 2);
+        assert_eq!(rx.recv(), 3);
+        assert_eq!(rx.recv(), 4);
+    }
+
+    #[test]
+    fn syndrome_envelope_prices_events() {
+        let esc = Escalation {
+            round: 7,
+            events: vec![1, 4, 5],
+        };
+        let env = Envelope::syndrome(2, StabKind::Z, esc);
+        assert_eq!(env.wire_bytes, 3 * SYNDROME_EVENT_BYTES);
+        assert_eq!(env.kind, PacketKind::Upstream);
+    }
+
+    #[test]
+    fn control_envelopes_are_free() {
+        let env = Envelope::control(PacketKind::Downstream, Payload::Cycle);
+        assert_eq!(env.wire_bytes, 0);
+    }
+}

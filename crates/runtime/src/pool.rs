@@ -1,0 +1,234 @@
+//! Shared global-decode worker pool.
+//!
+//! Escalations from all shards converge at the master, which packages
+//! them into per-cycle batches and fans the batch out to this pool. Each
+//! worker owns a [`UnionFindDecoder`] and prebuilt single-round
+//! [`BatchGraphs`], decoding its chunk with
+//! [`decode_batch`](quest_surface::decoder::batch::decode_batch) — the
+//! same graph and decoder the single-threaded master uses, so pooled
+//! decoding changes throughput, never corrections.
+
+use quest_surface::decoder::batch::{decode_batch, BatchGraphs, DecodeJob};
+use quest_surface::{RotatedLattice, StabKind, UnionFindDecoder};
+use std::collections::BTreeSet;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+/// One unit of pool work: a chunk of jobs with tags identifying where
+/// each correction must return to.
+struct Chunk {
+    /// `(tile, kind)` per job, parallel to `jobs`.
+    tags: Vec<(usize, StabKind)>,
+    jobs: Vec<DecodeJob>,
+}
+
+/// One decoded chunk.
+struct ChunkResult {
+    tags: Vec<(usize, StabKind)>,
+    /// Data-qubit flips per job.
+    flips: Vec<BTreeSet<usize>>,
+}
+
+/// Aggregate pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Batches submitted (one per cycle with at least one escalation).
+    pub batches: u64,
+    /// Total decode jobs across all batches.
+    pub jobs: u64,
+    /// Largest single batch.
+    pub max_batch_jobs: u64,
+}
+
+impl PoolStats {
+    /// Mean jobs per batch.
+    pub fn mean_batch_jobs(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Handle to the pool, owned by the master thread.
+pub(crate) struct DecodePool {
+    chunk_tx: Sender<Chunk>,
+    result_rx: Receiver<ChunkResult>,
+    stats: PoolStats,
+}
+
+impl DecodePool {
+    /// Spawns `workers` decode threads inside `scope`.
+    pub(crate) fn spawn<'scope, 'env>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        lattice: &RotatedLattice,
+        workers: usize,
+    ) -> DecodePool {
+        assert!(workers > 0, "decode pool needs at least one worker");
+        let (chunk_tx, chunk_rx) = channel::<Chunk>();
+        let (result_tx, result_rx) = channel::<ChunkResult>();
+        let chunk_rx = Arc::new(Mutex::new(chunk_rx));
+        for _ in 0..workers {
+            let chunk_rx = Arc::clone(&chunk_rx);
+            let result_tx = result_tx.clone();
+            let lattice = lattice.clone();
+            scope.spawn(move || {
+                let graphs = BatchGraphs::new(&lattice);
+                let decoder = UnionFindDecoder::new();
+                loop {
+                    // Holding the lock only for the recv keeps workers
+                    // pulling chunks as they free up.
+                    let chunk = match chunk_rx.lock().expect("pool queue poisoned").recv() {
+                        Ok(chunk) => chunk,
+                        Err(_) => return, // pool dropped: shut down
+                    };
+                    let corrections = decode_batch(&decoder, &graphs, &chunk.jobs);
+                    let result = ChunkResult {
+                        tags: chunk.tags,
+                        flips: corrections.into_iter().map(|c| c.data_flips).collect(),
+                    };
+                    if result_tx.send(result).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        DecodePool {
+            chunk_tx,
+            result_rx,
+            stats: PoolStats {
+                workers,
+                ..PoolStats::default()
+            },
+        }
+    }
+
+    /// Decodes one batch, blocking until every job is resolved. Returns
+    /// `(tile, kind, data_flips)` per job, in arbitrary order (each
+    /// correction targets a distinct decoder pipeline, and frame updates
+    /// commute).
+    pub(crate) fn decode(
+        &mut self,
+        batch: Vec<(usize, StabKind, DecodeJob)>,
+    ) -> Vec<(usize, StabKind, BTreeSet<usize>)> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        self.stats.batches += 1;
+        self.stats.jobs += batch.len() as u64;
+        self.stats.max_batch_jobs = self.stats.max_batch_jobs.max(batch.len() as u64);
+
+        let chunk_size = batch.len().div_ceil(self.stats.workers);
+        let mut chunks_sent = 0usize;
+        let mut iter = batch.into_iter().peekable();
+        while iter.peek().is_some() {
+            let mut tags = Vec::with_capacity(chunk_size);
+            let mut jobs = Vec::with_capacity(chunk_size);
+            for (tile, kind, job) in iter.by_ref().take(chunk_size) {
+                tags.push((tile, kind));
+                jobs.push(job);
+            }
+            self.chunk_tx
+                .send(Chunk { tags, jobs })
+                .expect("decode pool worker died");
+            chunks_sent += 1;
+        }
+
+        let mut out = Vec::new();
+        for _ in 0..chunks_sent {
+            let result = self.result_rx.recv().expect("decode pool worker died");
+            for ((tile, kind), flips) in result.tags.into_iter().zip(result.flips) {
+                out.push((tile, kind, flips));
+            }
+        }
+        out
+    }
+
+    /// Statistics so far.
+    pub(crate) fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quest_surface::decoder::Decoder;
+    use quest_surface::DecodingGraph;
+
+    #[test]
+    fn pool_matches_direct_decoding() {
+        let lattice = RotatedLattice::new(5);
+        std::thread::scope(|scope| {
+            let mut pool = DecodePool::spawn(scope, &lattice, 3);
+            let batch: Vec<(usize, StabKind, DecodeJob)> = vec![
+                (
+                    0,
+                    StabKind::Z,
+                    DecodeJob {
+                        kind: StabKind::Z,
+                        events: vec![0, 1],
+                    },
+                ),
+                (
+                    1,
+                    StabKind::X,
+                    DecodeJob {
+                        kind: StabKind::X,
+                        events: vec![2],
+                    },
+                ),
+                (
+                    2,
+                    StabKind::Z,
+                    DecodeJob {
+                        kind: StabKind::Z,
+                        events: vec![4],
+                    },
+                ),
+                (
+                    3,
+                    StabKind::Z,
+                    DecodeJob {
+                        kind: StabKind::Z,
+                        events: vec![],
+                    },
+                ),
+                (
+                    4,
+                    StabKind::X,
+                    DecodeJob {
+                        kind: StabKind::X,
+                        events: vec![1, 3],
+                    },
+                ),
+            ];
+            let mut got = pool.decode(batch.clone());
+            got.sort_by_key(|&(tile, _, _)| tile);
+            let uf = UnionFindDecoder::new();
+            for ((tile, kind, job), (gt, gk, flips)) in batch.into_iter().zip(got) {
+                assert_eq!((tile, kind), (gt, gk));
+                let graph = DecodingGraph::new(&lattice, job.kind, 1);
+                assert_eq!(flips, uf.decode(&graph, &job.events).data_flips);
+            }
+            assert_eq!(pool.stats().batches, 1);
+            assert_eq!(pool.stats().jobs, 5);
+            assert_eq!(pool.stats().max_batch_jobs, 5);
+            drop(pool); // closes the queue so workers exit the scope
+        });
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let lattice = RotatedLattice::new(3);
+        std::thread::scope(|scope| {
+            let mut pool = DecodePool::spawn(scope, &lattice, 2);
+            assert!(pool.decode(Vec::new()).is_empty());
+            assert_eq!(pool.stats().batches, 0);
+            drop(pool);
+        });
+    }
+}

@@ -1,0 +1,63 @@
+//! Single-threaded reference execution of a [`WorkloadSpec`].
+//!
+//! Runs the same workload on
+//! [`MultiTileSystem`](quest_core::MultiTileSystem) — one tableau
+//! spanning every tile, escalations serviced inline by the master
+//! controller — using the same per-tile RNG streams as the concurrent
+//! runtime. The determinism tests and the scaling benchmark compare
+//! [`Runtime::run`](crate::Runtime::run) against this.
+
+use crate::spec::{WorkloadOp, WorkloadSpec};
+use quest_core::tile::tile_seed;
+use quest_core::MultiTileSystem;
+use quest_stabilizer::{SeedableRng, StdRng};
+
+/// Outcome of a reference run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReferenceReport {
+    /// Logical readout outcomes, in program order, as `(tile, value)`.
+    pub outcomes: Vec<(usize, bool)>,
+    /// Total bytes on the master controller's bus ledger.
+    pub bus_bytes: u64,
+}
+
+/// Executes the spec single-threaded.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`WorkloadSpec::validate`] (the shard count
+/// is irrelevant here but is still checked, so a spec accepted by the
+/// runtime and the reference is the same set).
+pub fn run_reference(spec: &WorkloadSpec) -> ReferenceReport {
+    spec.validate().expect("invalid workload spec");
+    let mut sys = MultiTileSystem::new(spec.distance, spec.tiles, spec.error_rate);
+    let mut rngs: Vec<StdRng> = (0..spec.tiles)
+        .map(|t| StdRng::seed_from_u64(tile_seed(spec.seed, t as u64)))
+        .collect();
+    let mut outcomes = Vec::new();
+    for op in &spec.ops {
+        match *op {
+            WorkloadOp::Prep { tile, basis } => {
+                sys.prep_logical(tile, basis, &mut rngs[tile]);
+            }
+            WorkloadOp::Cycles(n) => {
+                for _ in 0..n {
+                    sys.run_noisy_cycle_streams(&mut rngs);
+                }
+            }
+            WorkloadOp::Cnot { control, target } => {
+                // The transversal CNOT consumes no randomness; any
+                // stream works.
+                sys.transversal_cnot(control, target, &mut rngs[control]);
+            }
+            WorkloadOp::MeasureZ { tile } => {
+                let value = sys.measure_logical_z(tile, &mut rngs[tile]);
+                outcomes.push((tile, value));
+            }
+        }
+    }
+    ReferenceReport {
+        outcomes,
+        bus_bytes: sys.master().bus().total(),
+    }
+}

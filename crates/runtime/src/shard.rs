@@ -1,0 +1,136 @@
+//! Shard worker: one thread owning a contiguous group of tiles.
+//!
+//! Each shard holds its own MCEs and its own stabilizer tableau spanning
+//! only its tiles. That is physically exact as long as entanglement never
+//! crosses a shard boundary — tiles start in product states and the spec
+//! validator rejects cross-shard CNOTs — and it is also where the
+//! runtime's speedup comes from: stabilizer simulation cost grows
+//! quadratically with tableau width, so four shards do sixteen times less
+//! tableau work than one.
+//!
+//! Every tile draws from its own RNG stream
+//! ([`tile_seed`](quest_core::tile::tile_seed)), in the same fixed order
+//! the single-threaded reference uses (noise layer, then the microcode
+//! cycle), so a shard's outcomes do not depend on which thread runs it.
+
+use crate::message::{Envelope, Payload, Rx, Tx};
+use quest_core::network::PacketKind;
+use quest_core::tile;
+use quest_core::Mce;
+use quest_stabilizer::{PauliChannel, SeedableRng, StdRng, Tableau};
+use quest_surface::RotatedLattice;
+use std::ops::Range;
+
+/// Owned state of one shard worker.
+pub(crate) struct ShardWorker {
+    shard: usize,
+    /// Global tile ids owned by this shard.
+    tiles: Range<usize>,
+    mces: Vec<Mce>,
+    substrate: Tableau,
+    noise: PauliChannel,
+    rngs: Vec<StdRng>,
+    rx: Rx<Envelope>,
+    tx: Tx<Envelope>,
+}
+
+impl ShardWorker {
+    /// Builds a shard over `tiles` (global ids), with per-tile RNG
+    /// streams derived from `master_seed`.
+    pub(crate) fn new(
+        shard: usize,
+        tiles: Range<usize>,
+        lattice: &RotatedLattice,
+        error_rate: f64,
+        master_seed: u64,
+        rx: Rx<Envelope>,
+        tx: Tx<Envelope>,
+    ) -> ShardWorker {
+        let tile_width = lattice.num_qubits();
+        let mces: Vec<Mce> = (0..tiles.len())
+            .map(|local| Mce::with_offset(lattice, 65_536, local * tile_width))
+            .collect();
+        let rngs = tiles
+            .clone()
+            .map(|t| StdRng::seed_from_u64(tile::tile_seed(master_seed, t as u64)))
+            .collect();
+        ShardWorker {
+            shard,
+            substrate: Tableau::new(tiles.len() * tile_width),
+            tiles,
+            mces,
+            noise: PauliChannel::depolarizing(error_rate),
+            rngs,
+            rx,
+            tx,
+        }
+    }
+
+    fn local(&self, tile: usize) -> usize {
+        debug_assert!(self.tiles.contains(&tile), "tile {tile} not on this shard");
+        tile - self.tiles.start
+    }
+
+    /// Message loop; returns when the master sends `Shutdown`.
+    pub(crate) fn run(mut self) {
+        loop {
+            let env = self.rx.recv();
+            match env.payload {
+                Payload::Cycle => self.run_cycle(),
+                Payload::Prep { tile, basis } => {
+                    let l = self.local(tile);
+                    tile::prep_logical(
+                        &mut self.mces[l],
+                        basis,
+                        &mut self.substrate,
+                        &mut self.rngs[l],
+                    );
+                }
+                Payload::Cnot { control, target } => {
+                    let (lc, lt) = (self.local(control), self.local(target));
+                    tile::transversal_cnot_physics(&mut self.mces, &mut self.substrate, lc, lt);
+                }
+                Payload::Correction { tile, kind, flips } => {
+                    let l = self.local(tile);
+                    self.mces[l]
+                        .decoder_mut(kind)
+                        .apply_global_correction(flips);
+                }
+                Payload::MeasureZ { tile } => {
+                    let l = self.local(tile);
+                    let value =
+                        self.mces[l].measure_logical_z(&mut self.substrate, &mut self.rngs[l]);
+                    self.tx.send(Envelope::control(
+                        PacketKind::Upstream,
+                        Payload::Outcome { tile, value },
+                    ));
+                }
+                Payload::Shutdown => return,
+                Payload::Syndrome { .. } | Payload::CycleDone { .. } | Payload::Outcome { .. } => {
+                    unreachable!("upstream payload arrived at a shard worker")
+                }
+            }
+        }
+    }
+
+    /// One noisy QECC cycle over every owned tile: the noise layer and
+    /// microcode cycle consume each tile's own stream in reference order;
+    /// escalations the local decoders could not resolve ship upstream,
+    /// then the cycle barrier.
+    fn run_cycle(&mut self) {
+        for (mce, rng) in self.mces.iter().zip(self.rngs.iter_mut()) {
+            tile::noise_layer(mce, &self.noise, &mut self.substrate, rng);
+        }
+        for local in 0..self.mces.len() {
+            self.mces[local].run_qecc_cycle(&mut self.substrate, &mut self.rngs[local]);
+            for (kind, escalation) in self.mces[local].take_escalations() {
+                let tile = self.tiles.start + local;
+                self.tx.send(Envelope::syndrome(tile, kind, escalation));
+            }
+        }
+        self.tx.send(Envelope::control(
+            PacketKind::Upstream,
+            Payload::CycleDone { shard: self.shard },
+        ));
+    }
+}

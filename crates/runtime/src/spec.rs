@@ -1,0 +1,286 @@
+//! Workload description and shard planning.
+
+use quest_core::tile::LogicalBasis;
+use std::fmt;
+use std::ops::Range;
+
+/// One step of a runtime workload, executed in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Prepare a tile's logical qubit.
+    Prep {
+        /// Target tile.
+        tile: usize,
+        /// Preparation basis.
+        basis: LogicalBasis,
+    },
+    /// Run this many noisy QECC cycles on every tile (barrier per cycle).
+    Cycles(u64),
+    /// Transversal logical CNOT between two tiles. Both tiles must live
+    /// on the same shard (the runtime keeps entangled tiles co-sharded so
+    /// their joint stabilizer state stays inside one worker's tableau).
+    Cnot {
+        /// Control tile.
+        control: usize,
+        /// Target tile.
+        target: usize,
+    },
+    /// Destructive logical-Z readout of a tile; the outcome is appended
+    /// to the run report.
+    MeasureZ {
+        /// Tile to read out.
+        tile: usize,
+    },
+}
+
+/// A complete workload for [`Runtime::run`](crate::Runtime::run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Surface-code distance of every tile.
+    pub distance: usize,
+    /// Number of tiles.
+    pub tiles: usize,
+    /// Number of shards (worker threads); each owns a contiguous group
+    /// of tiles.
+    pub shards: usize,
+    /// Per-round depolarizing data-noise probability.
+    pub error_rate: f64,
+    /// Master seed; per-tile streams derive from it via
+    /// [`quest_core::tile::tile_seed`], so outcomes are independent of
+    /// the shard count.
+    pub seed: u64,
+    /// The program.
+    pub ops: Vec<WorkloadOp>,
+}
+
+/// A spec that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl WorkloadSpec {
+    /// A memory workload: prepare every tile in `|0_L⟩`, error-correct
+    /// for `cycles` rounds, read every tile out.
+    pub fn memory(
+        distance: usize,
+        tiles: usize,
+        shards: usize,
+        error_rate: f64,
+        seed: u64,
+        cycles: u64,
+    ) -> WorkloadSpec {
+        let mut ops: Vec<WorkloadOp> = (0..tiles)
+            .map(|tile| WorkloadOp::Prep {
+                tile,
+                basis: LogicalBasis::Zero,
+            })
+            .collect();
+        ops.push(WorkloadOp::Cycles(cycles));
+        ops.extend((0..tiles).map(|tile| WorkloadOp::MeasureZ { tile }));
+        WorkloadSpec {
+            distance,
+            tiles,
+            shards,
+            error_rate,
+            seed,
+            ops,
+        }
+    }
+
+    /// A Bell-pair workload over adjacent tile pairs: `|+_L⟩|0_L⟩` per
+    /// pair, one projection cycle, transversal CNOT, `cycles` noisy
+    /// rounds, then readout of every tile. Pairs `(2k, 2k+1)` stay
+    /// co-sharded for every shard count dividing `tiles / 2`.
+    pub fn bell_pairs(
+        distance: usize,
+        tiles: usize,
+        shards: usize,
+        error_rate: f64,
+        seed: u64,
+        cycles: u64,
+    ) -> WorkloadSpec {
+        assert!(
+            tiles.is_multiple_of(2),
+            "Bell-pair workload needs an even tile count"
+        );
+        let mut ops = Vec::new();
+        for pair in 0..tiles / 2 {
+            ops.push(WorkloadOp::Prep {
+                tile: 2 * pair,
+                basis: LogicalBasis::Plus,
+            });
+            ops.push(WorkloadOp::Prep {
+                tile: 2 * pair + 1,
+                basis: LogicalBasis::Zero,
+            });
+        }
+        ops.push(WorkloadOp::Cycles(1));
+        for pair in 0..tiles / 2 {
+            ops.push(WorkloadOp::Cnot {
+                control: 2 * pair,
+                target: 2 * pair + 1,
+            });
+        }
+        ops.push(WorkloadOp::Cycles(cycles));
+        ops.extend((0..tiles).map(|tile| WorkloadOp::MeasureZ { tile }));
+        WorkloadSpec {
+            distance,
+            tiles,
+            shards,
+            error_rate,
+            seed,
+            ops,
+        }
+    }
+
+    /// The contiguous tile range owned by one shard (tiles are split as
+    /// evenly as possible; the first `tiles % shards` shards hold one
+    /// extra tile).
+    pub fn tile_range(&self, shard: usize) -> Range<usize> {
+        let base = self.tiles / self.shards;
+        let rem = self.tiles % self.shards;
+        let start = shard * base + shard.min(rem);
+        let len = base + usize::from(shard < rem);
+        start..start + len
+    }
+
+    /// The shard owning a tile.
+    pub fn shard_of(&self, tile: usize) -> usize {
+        (0..self.shards)
+            .find(|&s| self.tile_range(s).contains(&tile))
+            .expect("tile out of range")
+    }
+
+    /// Checks the spec's structural invariants: valid distance and
+    /// probability, at least one tile, `1 ≤ shards ≤ tiles`, all op tile
+    /// indices in range, CNOT endpoints distinct and co-sharded.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.distance < 3 || self.distance.is_multiple_of(2) {
+            return Err(SpecError(format!(
+                "distance must be an odd number ≥ 3, got {}",
+                self.distance
+            )));
+        }
+        if self.tiles == 0 {
+            return Err(SpecError("need at least one tile".into()));
+        }
+        if self.shards == 0 || self.shards > self.tiles {
+            return Err(SpecError(format!(
+                "shards must be in 1..={}, got {}",
+                self.tiles, self.shards
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.error_rate) {
+            return Err(SpecError(format!(
+                "error rate {} outside [0, 1]",
+                self.error_rate
+            )));
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            let check = |tile: usize| {
+                if tile >= self.tiles {
+                    Err(SpecError(format!(
+                        "op {i} ({op:?}) references tile {tile}, but there are {} tiles",
+                        self.tiles
+                    )))
+                } else {
+                    Ok(())
+                }
+            };
+            match *op {
+                WorkloadOp::Prep { tile, .. } | WorkloadOp::MeasureZ { tile } => check(tile)?,
+                WorkloadOp::Cycles(_) => {}
+                WorkloadOp::Cnot { control, target } => {
+                    check(control)?;
+                    check(target)?;
+                    if control == target {
+                        return Err(SpecError(format!(
+                            "op {i}: CNOT control and target tiles coincide ({control})"
+                        )));
+                    }
+                    if self.shard_of(control) != self.shard_of(target) {
+                        return Err(SpecError(format!(
+                            "op {i}: CNOT({control}, {target}) crosses shards {} and {}; \
+                             entangled tiles must be co-sharded (lower the shard count \
+                             or regroup the tiles)",
+                            self.shard_of(control),
+                            self.shard_of(target)
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total QECC cycles the spec runs on each tile.
+    pub fn total_cycles(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                WorkloadOp::Cycles(n) => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_and_remainders() {
+        let spec = WorkloadSpec::memory(3, 10, 4, 0.0, 1, 5);
+        let ranges: Vec<_> = (0..4).map(|s| spec.tile_range(s)).collect();
+        assert_eq!(ranges, vec![0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(spec.shard_of(0), 0);
+        assert_eq!(spec.shard_of(5), 1);
+        assert_eq!(spec.shard_of(9), 3);
+    }
+
+    #[test]
+    fn memory_spec_validates() {
+        assert!(WorkloadSpec::memory(3, 8, 4, 1e-3, 7, 20)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn bell_pairs_co_sharded_at_power_of_two_shards() {
+        for shards in [1, 2, 4] {
+            let spec = WorkloadSpec::bell_pairs(3, 8, shards, 0.0, 7, 3);
+            assert!(spec.validate().is_ok(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn cross_shard_cnot_rejected() {
+        let mut spec = WorkloadSpec::memory(3, 4, 4, 0.0, 1, 1);
+        spec.ops.push(WorkloadOp::Cnot {
+            control: 0,
+            target: 1,
+        });
+        let err = spec.validate().unwrap_err();
+        assert!(err.0.contains("co-sharded"), "{err}");
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        assert!(WorkloadSpec::memory(4, 2, 1, 0.0, 1, 1).validate().is_err());
+        assert!(WorkloadSpec::memory(3, 2, 3, 0.0, 1, 1).validate().is_err());
+        let mut spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
+        spec.error_rate = 1.5;
+        assert!(spec.validate().is_err());
+        spec.error_rate = 0.0;
+        spec.ops.push(WorkloadOp::MeasureZ { tile: 2 });
+        assert!(spec.validate().is_err());
+    }
+}

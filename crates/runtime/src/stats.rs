@@ -1,0 +1,176 @@
+//! Runtime observability: per-shard counters, pool statistics, phase
+//! wall-clock, and the run report.
+
+use crate::pool::PoolStats;
+use quest_core::MasterStats;
+use std::fmt;
+use std::time::Duration;
+
+/// Counters for one shard worker, collected by the master.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// First tile (global id) owned by the shard.
+    pub first_tile: usize,
+    /// Number of tiles owned.
+    pub tiles: usize,
+    /// QECC cycles executed per tile on this shard.
+    pub cycles: u64,
+    /// Escalations this shard sent to the global decoder.
+    pub escalations: u64,
+    /// Upstream envelopes the shard sent (syndromes, barriers, outcomes).
+    pub upstream_messages: u64,
+    /// High-water occupancy of the shard → master channel.
+    pub max_upstream_depth: usize,
+    /// High-water occupancy of the master → shard channel.
+    pub max_downstream_depth: usize,
+}
+
+impl ShardStats {
+    /// Escalations per tile-cycle on this shard.
+    pub fn escalation_rate(&self) -> f64 {
+        let tile_cycles = self.cycles * self.tiles as u64;
+        if tile_cycles == 0 {
+            0.0
+        } else {
+            self.escalations as f64 / tile_cycles as f64
+        }
+    }
+}
+
+/// Wall-clock spent in each master-side phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// QECC cycles: barrier rounds including shard compute and syndrome
+    /// collection.
+    pub cycles: Duration,
+    /// Global decoding: batch fan-out, pool decode, correction delivery.
+    pub decode: Duration,
+    /// Logical operations (preparations, CNOTs).
+    pub logical: Duration,
+    /// Destructive readout.
+    pub readout: Duration,
+}
+
+impl PhaseTimings {
+    /// Total accounted wall-clock.
+    pub fn total(&self) -> Duration {
+        self.cycles + self.decode + self.logical + self.readout
+    }
+}
+
+/// Everything the runtime observed during one run.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Per-shard counters.
+    pub shards: Vec<ShardStats>,
+    /// Global-decode pool counters.
+    pub decode: PoolStats,
+    /// Master-controller counters (dispatches, global decodes, syncs).
+    pub master: MasterStats,
+    /// Packets minted on the modelled interconnect.
+    pub packets_sent: u64,
+    /// Wire bytes (payload + headers) on the modelled interconnect.
+    pub wire_bytes: u64,
+    /// Wall-clock per phase.
+    pub phases: PhaseTimings,
+}
+
+impl RuntimeStats {
+    /// Escalations per tile-cycle across all shards.
+    pub fn escalation_rate(&self) -> f64 {
+        let tile_cycles: u64 = self.shards.iter().map(|s| s.cycles * s.tiles as u64).sum();
+        if tile_cycles == 0 {
+            0.0
+        } else {
+            let escalations: u64 = self.shards.iter().map(|s| s.escalations).sum();
+            escalations as f64 / tile_cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for RuntimeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "shards: {}", self.shards.len())?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: tiles {}..{}, {} cycles, {} escalations \
+                 ({:.4}/tile-cycle), depth up {} / down {}",
+                s.shard,
+                s.first_tile,
+                s.first_tile + s.tiles,
+                s.cycles,
+                s.escalations,
+                s.escalation_rate(),
+                s.max_upstream_depth,
+                s.max_downstream_depth,
+            )?;
+        }
+        writeln!(
+            f,
+            "decode pool: {} workers, {} batches, {} jobs (max {}, mean {:.2})",
+            self.decode.workers,
+            self.decode.batches,
+            self.decode.jobs,
+            self.decode.max_batch_jobs,
+            self.decode.mean_batch_jobs(),
+        )?;
+        writeln!(
+            f,
+            "master: {} global decodes, {} sync tokens; network: {} packets, {} wire bytes",
+            self.master.global_decodes, self.master.sync_tokens, self.packets_sent, self.wire_bytes,
+        )?;
+        write!(
+            f,
+            "phases: cycles {:?}, decode {:?}, logical {:?}, readout {:?}",
+            self.phases.cycles, self.phases.decode, self.phases.logical, self.phases.readout,
+        )
+    }
+}
+
+/// Result of [`Runtime::run`](crate::Runtime::run).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Logical readout outcomes, in program order, as `(tile, value)`.
+    pub outcomes: Vec<(usize, bool)>,
+    /// Total bytes that crossed the modelled global bus (identical to
+    /// the single-threaded systems' `master().bus().total()` ledger).
+    pub bus_bytes: u64,
+    /// Observability counters.
+    pub stats: RuntimeStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalation_rate_handles_zero_cycles() {
+        let stats = RuntimeStats::default();
+        assert_eq!(stats.escalation_rate(), 0.0);
+        let shard = ShardStats::default();
+        assert_eq!(shard.escalation_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_is_total_and_readable() {
+        let stats = RuntimeStats {
+            shards: vec![ShardStats {
+                shard: 0,
+                first_tile: 0,
+                tiles: 4,
+                cycles: 10,
+                escalations: 2,
+                upstream_messages: 12,
+                max_upstream_depth: 3,
+                max_downstream_depth: 1,
+            }],
+            ..RuntimeStats::default()
+        };
+        let s = stats.to_string();
+        assert!(s.contains("shard 0"));
+        assert!(s.contains("decode pool"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Acceptance: for a fixed master seed, the concurrent runtime produces
+//! identical logical outcomes and bus-byte totals at shard counts 1, 2
+//! and 4, all matching the single-threaded `MultiTileSystem` reference.
+
+use quest_runtime::{run_reference, Runtime, WorkloadSpec};
+
+fn assert_matches_reference(mut spec: WorkloadSpec) {
+    let reference = run_reference(&spec);
+    for shards in [1, 2, 4] {
+        spec.shards = shards;
+        let report = Runtime::new().run(&spec);
+        assert_eq!(
+            report.outcomes, reference.outcomes,
+            "logical outcomes diverged at {shards} shards (seed {})",
+            spec.seed
+        );
+        assert_eq!(
+            report.bus_bytes, reference.bus_bytes,
+            "bus-byte totals diverged at {shards} shards (seed {})",
+            spec.seed
+        );
+    }
+}
+
+#[test]
+fn noisy_memory_matches_reference_at_1_2_4_shards() {
+    for seed in [1, 7, 42] {
+        assert_matches_reference(WorkloadSpec::memory(3, 8, 1, 4e-3, seed, 25));
+    }
+}
+
+#[test]
+fn bell_pair_workload_matches_reference_at_1_2_4_shards() {
+    for seed in [3, 19] {
+        assert_matches_reference(WorkloadSpec::bell_pairs(3, 8, 1, 2e-3, seed, 10));
+    }
+}
+
+#[test]
+fn runtime_is_deterministic_across_repeats() {
+    let spec = WorkloadSpec::memory(3, 8, 4, 4e-3, 99, 25);
+    let a = Runtime::new().run(&spec);
+    let b = Runtime::new().with_decode_workers(1).run(&spec);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.bus_bytes, b.bus_bytes);
+}
+
+#[test]
+fn escalations_survive_the_message_path() {
+    // At a heavy error rate the workload must actually exercise the
+    // escalation → batch decode → correction path, otherwise the parity
+    // assertions above prove nothing. Distance 5: the d=3 lookup table
+    // resolves essentially every single-round pattern locally.
+    let spec = WorkloadSpec::memory(5, 8, 4, 2e-2, 5, 25);
+    let report = Runtime::new().run(&spec);
+    assert!(
+        report.stats.decode.jobs > 0,
+        "workload produced no escalations; raise the error rate"
+    );
+    assert_matches_reference(spec);
+}

@@ -280,14 +280,9 @@ mod tests {
 
     #[test]
     fn run_bell_is_correlated() {
-        let c: Circuit = [
-            Gate::H(0),
-            Gate::Cnot(0, 1),
-            Gate::MeasZ(0),
-            Gate::MeasZ(1),
-        ]
-        .into_iter()
-        .collect();
+        let c: Circuit = [Gate::H(0), Gate::Cnot(0, 1), Gate::MeasZ(0), Gate::MeasZ(1)]
+            .into_iter()
+            .collect();
         for seed in 0..16 {
             let mut rng = StdRng::seed_from_u64(seed);
             let m = c.run_stabilizer(2, &mut rng);

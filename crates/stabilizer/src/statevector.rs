@@ -131,7 +131,10 @@ impl StateVector {
     /// Panics if `n` is zero or greater than [`MAX_QUBITS`].
     pub fn new(n: usize) -> StateVector {
         assert!(n > 0, "state vector needs at least one qubit");
-        assert!(n <= MAX_QUBITS, "state vector limited to {MAX_QUBITS} qubits");
+        assert!(
+            n <= MAX_QUBITS,
+            "state vector limited to {MAX_QUBITS} qubits"
+        );
         let mut amps = vec![Complex::ZERO; 1 << n];
         amps[0] = Complex::ONE;
         StateVector { n, amps }
@@ -504,8 +507,8 @@ mod tests {
         let a1 = sv.amplitude(1);
         assert!((a0.norm_sqr() - 0.5).abs() < EPS);
         assert!((a1.norm_sqr() - 0.5).abs() < EPS);
-        let expected = Complex::from_polar_unit(std::f64::consts::FRAC_PI_4)
-            * std::f64::consts::FRAC_1_SQRT_2;
+        let expected =
+            Complex::from_polar_unit(std::f64::consts::FRAC_PI_4) * std::f64::consts::FRAC_1_SQRT_2;
         assert!((a1 - expected).norm_sqr() < EPS);
     }
 

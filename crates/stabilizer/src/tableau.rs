@@ -516,8 +516,7 @@ impl Tableau {
             self.x[dst * self.words + w] = x1 ^ x2;
             self.z[dst * self.words + w] = z1 ^ z2;
         }
-        let phase = (2 * self.r[dst] as i64 + 2 * self.r[src] as i64 + plus as i64
-            - minus as i64)
+        let phase = (2 * self.r[dst] as i64 + 2 * self.r[src] as i64 + plus as i64 - minus as i64)
             .rem_euclid(4);
         // Stabilizer and scratch rows always yield an even exponent (their
         // products are Hermitian); destabilizer rows may pick up an
@@ -644,10 +643,7 @@ mod tests {
         t.cnot(0, 1);
         t.cnot(1, 2);
         // XXX stabilizes GHZ.
-        let xxx = PauliString::from_sparse(
-            3,
-            &[(0, Pauli::X), (1, Pauli::X), (2, Pauli::X)],
-        );
+        let xxx = PauliString::from_sparse(3, &[(0, Pauli::X), (1, Pauli::X), (2, Pauli::X)]);
         assert!(t.is_stabilized_by(&xxx));
         // ZZI stabilizes GHZ.
         let zzi = PauliString::from_sparse(3, &[(0, Pauli::Z), (1, Pauli::Z)]);

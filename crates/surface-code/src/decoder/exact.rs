@@ -192,10 +192,7 @@ mod tests {
         let dec = ExactMatchingDecoder::new();
         let cost = dec.matching_cost(&g, &events);
         // All-boundary pairing is an upper bound.
-        let all_boundary: usize = events
-            .iter()
-            .map(|&e| g.distance(e, g.boundary()))
-            .sum();
+        let all_boundary: usize = events.iter().map(|&e| g.distance(e, g.boundary())).sum();
         assert!(cost <= all_boundary);
         let c = dec.decode(&g, &events);
         assert!(correction_explains_events(&g, &c, &events));

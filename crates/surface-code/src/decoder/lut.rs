@@ -158,7 +158,9 @@ mod tests {
         // Ensure disjoint node sets.
         assert!(e1.a != e2.a && e1.a != e2.b && e1.b != e2.a && e1.b != e2.b);
         let events = vec![e1.a, e1.b, e2.a, e2.b];
-        let c = lut.try_correction(&g, &events).expect("two isolated faults");
+        let c = lut
+            .try_correction(&g, &events)
+            .expect("two isolated faults");
         assert!(correction_explains_events(&g, &c, &events));
         assert_eq!(c.weight(), 2);
     }

@@ -14,11 +14,13 @@
 //!   (exponential in the number of detection events), used as ground truth
 //!   in tests and small benchmarks.
 
+pub mod batch;
 mod exact;
 mod lut;
 mod table;
 mod union_find;
 
+pub use batch::{decode_batch, BatchGraphs, DecodeJob};
 pub use exact::ExactMatchingDecoder;
 pub use lut::LutDecoder;
 pub use table::TableDecoder;

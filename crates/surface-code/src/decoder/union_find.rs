@@ -192,9 +192,9 @@ impl Decoder for UnionFindDecoder {
             adj[edge.b].push(e);
         }
         let bfs = |start: NodeId,
-                       visited: &mut Vec<bool>,
-                       parent_edge: &mut Vec<Option<EdgeId>>,
-                       order: &mut Vec<NodeId>| {
+                   visited: &mut Vec<bool>,
+                   parent_edge: &mut Vec<Option<EdgeId>>,
+                   order: &mut Vec<NodeId>| {
             let mut q = VecDeque::new();
             visited[start] = true;
             q.push_back(start);
@@ -251,8 +251,8 @@ mod tests {
     use super::*;
     use crate::decoder::{correction_explains_events, ExactMatchingDecoder};
     use crate::lattice::{RotatedLattice, StabKind};
-    use rand::seq::SliceRandom;
     use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
     use rand::SeedableRng;
 
     #[test]
@@ -270,10 +270,7 @@ mod tests {
         for c_idx in 0..g.num_checks() {
             let events = [g.node(0, c_idx)];
             let c = UnionFindDecoder::new().decode(&g, &events);
-            assert!(
-                correction_explains_events(&g, &c, &events),
-                "check {c_idx}"
-            );
+            assert!(correction_explains_events(&g, &c, &events), "check {c_idx}");
         }
     }
 
@@ -312,10 +309,7 @@ mod tests {
         let uf = UnionFindDecoder::new();
         for k in [1usize, 2, 3, 5, 8, 12] {
             for _ in 0..20 {
-                let events: Vec<NodeId> = all_nodes
-                    .choose_multiple(&mut rng, k)
-                    .copied()
-                    .collect();
+                let events: Vec<NodeId> = all_nodes.choose_multiple(&mut rng, k).copied().collect();
                 let c = uf.decode(&g, &events);
                 assert!(
                     correction_explains_events(&g, &c, &events),

@@ -115,9 +115,7 @@ mod tests {
     #[test]
     fn cycle_time_scales_with_depth() {
         let t = 10e-9;
-        assert!(
-            SyndromeDesign::SHOR.cycle_time_s(t) > SyndromeDesign::STEANE.cycle_time_s(t)
-        );
+        assert!(SyndromeDesign::SHOR.cycle_time_s(t) > SyndromeDesign::STEANE.cycle_time_s(t));
         assert_eq!(SyndromeDesign::SC17.cycle_time_s(t), 8.0 * t);
     }
 

@@ -95,7 +95,11 @@ impl DecodingGraph {
     /// # Panics
     ///
     /// Panics if `rounds` is zero.
-    pub fn with_diagonals(lattice: &RotatedLattice, kind: StabKind, rounds: usize) -> DecodingGraph {
+    pub fn with_diagonals(
+        lattice: &RotatedLattice,
+        kind: StabKind,
+        rounds: usize,
+    ) -> DecodingGraph {
         DecodingGraph::build(lattice, kind, rounds, true)
     }
 
@@ -133,10 +137,9 @@ impl DecodingGraph {
                         b: t * num_checks + check_of(p2.ancilla),
                         fault: Fault::Data(q),
                     }),
-                    other => unreachable!(
-                        "data qubit {q} is in {} {kind} stabilizers",
-                        other.len()
-                    ),
+                    other => {
+                        unreachable!("data qubit {q} is in {} {kind} stabilizers", other.len())
+                    }
                 }
             }
             // Temporal edges.
@@ -277,8 +280,7 @@ impl DecodingGraph {
     /// Unweighted shortest-path distance between two nodes (BFS), used by
     /// the exact matcher. Returns `usize::MAX` if disconnected.
     pub fn distance(&self, from: NodeId, to: NodeId) -> usize {
-        self.shortest_path(from, to)
-            .map_or(usize::MAX, |p| p.len())
+        self.shortest_path(from, to).map_or(usize::MAX, |p| p.len())
     }
 
     /// Unweighted shortest path between two nodes as a list of edge ids, or

@@ -223,7 +223,13 @@ impl MemoryExperiment {
             .map(|p| p.data.iter().fold(false, |acc, &q| acc ^ data_bits[q]))
             .collect();
 
-        self.decode_and_judge(&records, &final_checks, data_bits, decoder, &self.decoding_graph())
+        self.decode_and_judge(
+            &records,
+            &final_checks,
+            data_bits,
+            decoder,
+            &self.decoding_graph(),
+        )
     }
 
     /// Shared back half of every shot: difference the syndrome records
@@ -307,7 +313,9 @@ impl MemoryExperiment {
 
         let mut records: Vec<Vec<bool>> = Vec::with_capacity(self.rounds);
         for _ in 0..self.rounds {
-            let syn = self.circuit.run_round_with_circuit_noise(&mut t, noise, rng);
+            let syn = self
+                .circuit
+                .run_round_with_circuit_noise(&mut t, noise, rng);
             records.push(syn.of(kind).to_vec());
         }
 
@@ -322,11 +330,8 @@ impl MemoryExperiment {
             .map(|p| p.data.iter().fold(false, |acc, &q| acc ^ data_bits[q]))
             .collect();
 
-        let graph = DecodingGraph::with_diagonals(
-            &self.lattice,
-            self.basis.check_kind(),
-            self.rounds + 1,
-        );
+        let graph =
+            DecodingGraph::with_diagonals(&self.lattice, self.basis.check_kind(), self.rounds + 1);
         self.decode_and_judge(&records, &final_checks, data_bits, decoder, &graph)
     }
 
@@ -357,7 +362,11 @@ mod tests {
         for basis in [MemoryBasis::Z, MemoryBasis::X] {
             let exp = MemoryExperiment::new(3, 3, basis);
             for _ in 0..10 {
-                let out = exp.run(&MemoryNoise::noiseless(), &UnionFindDecoder::new(), &mut rng);
+                let out = exp.run(
+                    &MemoryNoise::noiseless(),
+                    &UnionFindDecoder::new(),
+                    &mut rng,
+                );
                 assert!(!out.logical_error, "{basis:?}");
                 assert_eq!(out.detection_events, 0);
                 assert_eq!(out.correction_weight, 0);
@@ -423,10 +432,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(33);
         let noise = MemoryNoise::code_capacity(0.04);
         let uf = UnionFindDecoder::new();
-        let rate3 =
-            MemoryExperiment::new(3, 2, MemoryBasis::Z).logical_error_rate(&noise, &uf, 400, &mut rng);
-        let rate5 =
-            MemoryExperiment::new(5, 2, MemoryBasis::Z).logical_error_rate(&noise, &uf, 400, &mut rng);
+        let rate3 = MemoryExperiment::new(3, 2, MemoryBasis::Z)
+            .logical_error_rate(&noise, &uf, 400, &mut rng);
+        let rate5 = MemoryExperiment::new(5, 2, MemoryBasis::Z)
+            .logical_error_rate(&noise, &uf, 400, &mut rng);
         assert!(
             rate5 <= rate3 + 0.02,
             "d=5 rate {rate5} should not exceed d=3 rate {rate3}"

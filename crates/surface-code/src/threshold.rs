@@ -79,7 +79,9 @@ impl ThresholdSweep {
             .zip(&large)
             .filter(|(s, l)| l.logical_rate <= s.logical_rate)
             .map(|(s, _)| s.p)
-            .fold(None, |acc: Option<f64>, p| Some(acc.map_or(p, |a| a.max(p))))
+            .fold(None, |acc: Option<f64>, p| {
+                Some(acc.map_or(p, |a| a.max(p)))
+            })
     }
 }
 
@@ -108,13 +110,8 @@ mod tests {
     #[test]
     fn logical_rate_increases_with_p() {
         let mut rng = StdRng::seed_from_u64(9);
-        let sweep = ThresholdSweep::run(
-            &[3],
-            &[2e-3, 5e-2],
-            300,
-            &UnionFindDecoder::new(),
-            &mut rng,
-        );
+        let sweep =
+            ThresholdSweep::run(&[3], &[2e-3, 5e-2], 300, &UnionFindDecoder::new(), &mut rng);
         let s = sweep.series(3);
         assert!(
             s[0].logical_rate <= s[1].logical_rate,
@@ -127,13 +124,7 @@ mod tests {
     #[test]
     fn d5_beats_d3_well_below_threshold() {
         let mut rng = StdRng::seed_from_u64(10);
-        let sweep = ThresholdSweep::run(
-            &[3, 5],
-            &[4e-3],
-            400,
-            &UnionFindDecoder::new(),
-            &mut rng,
-        );
+        let sweep = ThresholdSweep::run(&[3, 5], &[4e-3], 400, &UnionFindDecoder::new(), &mut rng);
         let crossing = sweep.crossing_below(3, 5);
         assert_eq!(crossing, Some(4e-3), "d=5 must win at p=4e-3");
     }

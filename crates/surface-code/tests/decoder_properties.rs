@@ -10,11 +10,43 @@ use proptest::prelude::*;
 use quest_stabilizer::{Pauli, PauliString};
 use quest_surface::decoder::{correction_explains_events, Decoder};
 use quest_surface::{
-    DecodingGraph, ExactMatchingDecoder, LutDecoder, MemoryBasis, MemoryExperiment, MemoryNoise,
-    NodeId, RotatedLattice, StabKind, UnionFindDecoder,
+    DecodingGraph, ExactMatchingDecoder, Fault, LutDecoder, MemoryBasis, MemoryExperiment,
+    MemoryNoise, NodeId, RotatedLattice, StabKind, UnionFindDecoder,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Homology class of an X-type flip set: whether it anticommutes with
+/// logical Z, i.e. crosses the lattice. Two corrections for the same
+/// syndrome are equivalent (differ by stabilizers) iff their classes
+/// match; a class flip is exactly a logical error.
+fn crosses_logical(lat: &RotatedLattice, flips: &BTreeSet<usize>) -> bool {
+    let logical = lat.logical_z();
+    flips
+        .iter()
+        .filter(|&&q| logical.get(q) != Pauli::I)
+        .count()
+        % 2
+        == 1
+}
+
+/// Detection events produced by a set of single-round data-qubit errors.
+fn events_of_data_error(g: &DecodingGraph, error: &BTreeSet<usize>) -> Vec<NodeId> {
+    let mut parity = vec![false; g.num_nodes()];
+    for &q in error {
+        let edge = g
+            .edges()
+            .iter()
+            .find(|e| e.fault == Fault::Data(q))
+            .expect("every data qubit has a decoding edge");
+        parity[edge.a] = !parity[edge.a];
+        parity[edge.b] = !parity[edge.b];
+    }
+    (0..g.num_nodes())
+        .filter(|&n| !g.is_boundary(n) && parity[n])
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -104,6 +136,94 @@ proptest! {
         let events: Vec<NodeId> = nodes.choose_multiple(&mut rng, k.min(nodes.len())).copied().collect();
         if let Some(c) = lut.try_correction(&g, &events) {
             prop_assert!(correction_explains_events(&g, &c, &events));
+        }
+    }
+
+    /// On every correctable error (weight ≤ ⌊(d−1)/2⌋) the union-find
+    /// decoder lands in the same homology class as the exact matcher —
+    /// i.e. it is never *worse*: whenever minimum-weight matching
+    /// recovers the state, so does union-find.
+    #[test]
+    fn union_find_class_never_worse_than_exact_on_correctable_errors(
+        d_idx in 0usize..2,
+        qubit_seed in any::<u64>(),
+    ) {
+        let d = [3usize, 5][d_idx];
+        let lat = RotatedLattice::new(d);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 1);
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(qubit_seed);
+        let qubits: Vec<usize> = (0..lat.num_data()).collect();
+        let error: BTreeSet<usize> = qubits
+            .choose_multiple(&mut rng, (d - 1) / 2)
+            .copied()
+            .collect();
+        let events = events_of_data_error(&g, &error);
+        let exact = ExactMatchingDecoder::new().decode(&g, &events);
+        let uf = UnionFindDecoder::new().decode(&g, &events);
+        // The exact matcher corrects every error within the code radius…
+        prop_assert_eq!(
+            crosses_logical(&lat, &exact.data_flips),
+            crosses_logical(&lat, &error),
+            "exact matcher missed a correctable error {error:?}"
+        );
+        // …and union-find must land in the same class.
+        prop_assert_eq!(
+            crosses_logical(&lat, &uf.data_flips),
+            crosses_logical(&lat, &exact.data_flips),
+            "union-find chose a worse class than exact on {error:?}"
+        );
+    }
+
+    /// At d = 3 the local lookup table agrees with the exact matcher on
+    /// every single-fault pattern: same matching cost, same class.
+    #[test]
+    fn lut_agrees_with_exact_on_every_single_fault_at_d3(
+        edge_raw in any::<u64>(),
+        rounds in 1usize..4,
+    ) {
+        let lat = RotatedLattice::new(3);
+        let g = DecodingGraph::new(&lat, StabKind::Z, rounds);
+        let lut = LutDecoder::new(&g);
+        let edge = &g.edges()[edge_raw as usize % g.edges().len()];
+        let events: Vec<NodeId> = [edge.a, edge.b]
+            .into_iter()
+            .filter(|&n| !g.is_boundary(n))
+            .collect();
+        let c = lut.try_correction(&g, &events);
+        prop_assert!(c.is_some(), "LUT escalated a single-fault pattern {events:?}");
+        let c = c.unwrap();
+        let exact = ExactMatchingDecoder::new();
+        prop_assert_eq!(c.edges.len(), exact.matching_cost(&g, &events));
+        let ec = exact.decode(&g, &events);
+        prop_assert_eq!(
+            crosses_logical(&lat, &c.data_flips),
+            crosses_logical(&lat, &ec.data_flips)
+        );
+    }
+
+    /// When the LUT answers on an arbitrary d = 3 event set, its answer is
+    /// syndrome-consistent and never beats the exact minimum matching cost
+    /// (class agreement is only guaranteed on its designed single-fault
+    /// domain — a greedy tiling of an ambiguous multi-event pattern may
+    /// legitimately pick boundary singles where the matcher chains).
+    #[test]
+    fn lut_never_beats_exact_cost_when_it_answers_at_d3(
+        event_seed in any::<u64>(),
+        k in 0usize..5,
+    ) {
+        let lat = RotatedLattice::new(3);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 2);
+        let lut = LutDecoder::new(&g);
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(event_seed);
+        let nodes: Vec<NodeId> = (0..g.boundary()).collect();
+        let events: Vec<NodeId> =
+            nodes.choose_multiple(&mut rng, k.min(nodes.len())).copied().collect();
+        if let Some(c) = lut.try_correction(&g, &events) {
+            prop_assert!(correction_explains_events(&g, &c, &events));
+            let cost = ExactMatchingDecoder::new().matching_cost(&g, &events);
+            prop_assert!(c.edges.len() >= cost);
         }
     }
 

@@ -21,10 +21,7 @@ use quest_surface::{
 fn faults_for(gate: quest_stabilizer::Gate) -> Vec<Vec<(usize, Pauli)>> {
     let (a, b) = gate.qubits();
     match b {
-        None => vec![
-            vec![(a, Pauli::X)],
-            vec![(a, Pauli::Y)],
-        ],
+        None => vec![vec![(a, Pauli::X)], vec![(a, Pauli::Y)]],
         Some(b) => {
             let mut out = Vec::new();
             for pa in [Pauli::I, Pauli::X, Pauli::Y] {
@@ -81,7 +78,11 @@ fn logical_error_with_fault(
     let mut events = Vec::new();
     for (t_idx, rec) in records.iter().enumerate() {
         for c in 0..graph.num_checks() {
-            let prev = if t_idx == 0 { false } else { records[t_idx - 1][c] };
+            let prev = if t_idx == 0 {
+                false
+            } else {
+                records[t_idx - 1][c]
+            };
             if rec[c] != prev {
                 events.push(graph.node(t_idx, c));
             }

@@ -41,8 +41,14 @@ fn main() {
 
     println!("logical Bell pair over two MCE tiles (d=3, p={p}, 5 QECC cycles of storage)");
     println!("  Z ⊗ Z agreement : {agree}/{shots} shots");
-    println!("  P(outcome = 1)  : {:.2} (expect ~0.5)", ones as f64 / shots as f64);
-    println!("  mean bus bytes  : {:.0} per shot (sync + escalations only)", bus_total as f64 / shots as f64);
+    println!(
+        "  P(outcome = 1)  : {:.2} (expect ~0.5)",
+        ones as f64 / shots as f64
+    );
+    println!(
+        "  mean bus bytes  : {:.0} per shot (sync + escalations only)",
+        bus_total as f64 / shots as f64
+    );
     assert!(agree as f64 / shots as f64 > 0.9);
     println!("\nEntanglement held across tiles with zero QECC instruction traffic.");
 }

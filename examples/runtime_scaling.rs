@@ -1,0 +1,48 @@
+//! Shard-count scaling of the concurrent multi-tile runtime.
+//!
+//! Runs the same fixed-seed memory workload (8 tiles at d = 5) at shard
+//! counts 1, 2 and 4 and prints each run's `RuntimeStats`. The logical
+//! outcomes and bus-byte totals are identical at every shard count —
+//! that is the runtime's determinism guarantee — while wall-clock drops
+//! because each shard's tableau spans only its own tiles and CHP cost
+//! grows quadratically with tableau width.
+//!
+//! ```sh
+//! cargo run --release --example runtime_scaling
+//! ```
+
+use quest::runtime::{Runtime, WorkloadSpec};
+use std::time::Instant;
+
+fn main() {
+    let mut spec = WorkloadSpec::memory(5, 8, 1, 1e-2, 11, 40);
+    println!(
+        "memory workload: {} tiles at d={}, p={:.0e}, {} cycles, seed {}\n",
+        spec.tiles, spec.distance, spec.error_rate, 40, spec.seed
+    );
+
+    let mut baseline = None;
+    for shards in [1usize, 2, 4] {
+        spec.shards = shards;
+        let start = Instant::now();
+        let report = Runtime::new().run(&spec);
+        let elapsed = start.elapsed();
+
+        println!("=== {shards} shard(s): {elapsed:.2?} ===");
+        println!("{}", report.stats);
+        println!("bus bytes: {}\n", report.bus_bytes);
+
+        match baseline {
+            None => baseline = Some((report.outcomes, report.bus_bytes, elapsed)),
+            Some((ref outcomes, bus_bytes, single)) => {
+                assert_eq!(&report.outcomes, outcomes, "outcomes diverged");
+                assert_eq!(report.bus_bytes, bus_bytes, "bus bytes diverged");
+                println!(
+                    "speedup vs 1 shard: {:.2}x\n",
+                    single.as_secs_f64() / elapsed.as_secs_f64()
+                );
+            }
+        }
+    }
+    println!("identical outcomes and bus bytes at every shard count.");
+}

@@ -7,6 +7,8 @@
 //! * `table2` — the optimal microcode configurations (paper Table 2);
 //! * `simulate <d> <p> <cycles>` — run the cycle-level system simulation
 //!   and print the global-bus accounting;
+//! * `run --shards N [options]` — run a multi-tile workload on the
+//!   concurrent sharded runtime and print its statistics;
 //! * `asm <file>` — assemble a logical program from text and print its
 //!   statistics (use `-` for stdin).
 
@@ -14,6 +16,7 @@ use quest::arch::throughput::table2;
 use quest::arch::{DeliveryMode, QuestSystem, TechnologyParams};
 use quest::estimate::kernels::workload_with_kernel;
 use quest::estimate::{analyze_suite, ShorEstimate, Workload};
+use quest::runtime::{Runtime, WorkloadSpec};
 use quest::stabilizer::{SeedableRng, StdRng};
 use std::io::Read;
 use std::process::ExitCode;
@@ -25,10 +28,11 @@ fn main() -> ExitCode {
         Some("shor") => cmd_shor(&args[1..]),
         Some("table2") => cmd_table2(),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         _ => {
             eprintln!(
-                "usage: quest-cli <report [p] | shor <bits> [p] | table2 | simulate <d> <p> <cycles> | asm <file>>"
+                "usage: quest-cli <report [p] | shor <bits> [p] | table2 | simulate <d> <p> <cycles> | run --shards N [options] | asm <file>>"
             );
             return ExitCode::FAILURE;
         }
@@ -147,6 +151,64 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut shards = 1usize;
+    let mut tiles = 8usize;
+    let mut distance = 3usize;
+    let mut error_rate = 1e-3;
+    let mut cycles = 50u64;
+    let mut seed = 1u64;
+    let mut workload = "memory".to_owned();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--shards" => shards = parse_u64(value("--shards")?, "shard count")? as usize,
+            "--tiles" => tiles = parse_u64(value("--tiles")?, "tile count")? as usize,
+            "--distance" => distance = parse_u64(value("--distance")?, "distance")? as usize,
+            "--error-rate" => error_rate = parse_f64(value("--error-rate")?, "error rate")?,
+            "--cycles" => cycles = parse_u64(value("--cycles")?, "cycle count")?,
+            "--seed" => seed = parse_u64(value("--seed")?, "seed")?,
+            "--workload" => workload = value("--workload")?.clone(),
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (expected --shards/--tiles/--distance/--error-rate/--cycles/--seed/--workload)"
+                ))
+            }
+        }
+    }
+    let spec = match workload.as_str() {
+        "memory" => WorkloadSpec::memory(distance, tiles, shards, error_rate, seed, cycles),
+        "bell" => {
+            if !tiles.is_multiple_of(2) {
+                return Err(format!(
+                    "the bell workload pairs adjacent tiles and needs an even tile count, got {tiles}"
+                ));
+            }
+            WorkloadSpec::bell_pairs(distance, tiles, shards, error_rate, seed, cycles)
+        }
+        other => return Err(format!("unknown workload `{other}` (memory | bell)")),
+    };
+    spec.validate().map_err(|e| e.to_string())?;
+    println!(
+        "{workload} workload: {tiles} tiles at d={distance}, p={error_rate:.0e}, \
+         {cycles} cycles, seed {seed}, {shards} shard(s)\n"
+    );
+    let report = Runtime::new().run(&spec);
+    println!("{}", report.stats);
+    println!("\nbus bytes: {}", report.bus_bytes);
+    let ones = report.outcomes.iter().filter(|&&(_, v)| v).count();
+    println!(
+        "outcomes: {} tiles read out, {} ones ({} zeros)",
+        report.outcomes.len(),
+        ones,
+        report.outcomes.len() - ones
+    );
+    Ok(())
+}
+
 fn cmd_asm(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("asm needs a file path (or `-`)")?;
     let source = if path == "-" {
@@ -159,7 +221,11 @@ fn cmd_asm(args: &[String]) -> Result<(), String> {
         std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
     };
     let program = quest::isa::asm::parse(&source).map_err(|e| e.to_string())?;
-    println!("assembled {} instructions ({} bytes):", program.len(), program.encoded_bytes());
+    println!(
+        "assembled {} instructions ({} bytes):",
+        program.len(),
+        program.encoded_bytes()
+    );
     println!(
         "  algorithmic  : {}",
         program.count_class(quest::isa::InstrClass::Algorithmic)

@@ -9,7 +9,10 @@
 //! * [`isa`] — physical µop and logical instruction sets;
 //! * [`arch`] — the QuEST control processor (MCEs, master controller,
 //!   microcode models, end-to-end system simulation);
-//! * [`estimate`] — the QuRE-style resource/bandwidth estimator.
+//! * [`estimate`] — the QuRE-style resource/bandwidth estimator;
+//! * [`runtime`] — the concurrent, sharded multi-tile simulation
+//!   runtime (one worker thread per MCE shard, a shared global-decode
+//!   pool, packet-shaped channel messages).
 //!
 //! # Quickstart
 //!
@@ -33,5 +36,6 @@
 pub use quest_core as arch;
 pub use quest_estimate as estimate;
 pub use quest_isa as isa;
+pub use quest_runtime as runtime;
 pub use quest_stabilizer as stabilizer;
 pub use quest_surface as surface;

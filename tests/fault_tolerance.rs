@@ -28,7 +28,10 @@ fn system_preserves_logical_zero() {
         );
         failures += (!run.logical_ok) as u32;
     }
-    assert!(failures <= 2, "{failures}/{shots} logical failures at p=1e-3");
+    assert!(
+        failures <= 2,
+        "{failures}/{shots} logical failures at p=1e-3"
+    );
 }
 
 /// The system-level logical failure rate tracks the standalone memory
