@@ -33,7 +33,7 @@ fn main() {
         (1e-2, 5), // high enough that multi-error rounds escalate
     ] {
         let cycles = 400u64;
-        let mut sys = QuestSystem::new(d, p);
+        let mut sys = QuestSystem::new(d, p).expect("valid parameters");
         let run = sys.run_memory_workload(
             cycles,
             &LogicalProgram::new(),

@@ -1,26 +1,49 @@
 //! Simulation cross-check of Figure 14 — the bandwidth asymmetry measured
 //! from the cycle-level system simulation, not the analytical model.
 //!
-//! A QuestSystem runs the same noisy error-corrected memory workload in
-//! all three delivery modes; every byte on the global bus is counted. On
-//! a single small tile the absolute savings are bounded by the tile size
-//! (a d=5 tile has 49 qubits, not millions), but the *structure* of the
-//! paper's claim is visible directly: the baseline traffic scales with
-//! (qubits × cycles) while QuEST traffic stays constant in cycle count.
+//! The same noisy error-corrected memory workload runs in all three
+//! delivery modes through the unified execution layer: a
+//! [`WorkloadSpec`] carrying the logical program and its distillation
+//! kernel, executed *sharded* on the concurrent runtime (4 tiles on
+//! 2 shards) and cross-checked byte-for-byte against the
+//! single-threaded reference executor. Every byte on the global bus is
+//! counted. On small tiles the absolute savings are bounded by the tile
+//! size (a d=5 tile has 49 qubits, not millions), but the *structure* of
+//! the paper's claim is visible directly: the baseline traffic scales
+//! with (qubits × cycles × tiles) while QuEST traffic stays constant in
+//! cycle count.
 
 use quest_bench::{header, row, sci};
-use quest_core::{DeliveryMode, QuestSystem};
+use quest_core::DeliveryMode;
 use quest_estimate::Workload;
-use quest_stabilizer::{SeedableRng, StdRng};
+use quest_runtime::{run_reference, Runtime, WorkloadSpec};
+
+const DISTANCE: usize = 5;
+const TILES: usize = 4;
+const SHARDS: usize = 2;
+
+fn bus_bytes(cycles: u64, mode: DeliveryMode) -> u64 {
+    // Algorithmic stream from the workload model plus the real 15-to-1
+    // distillation kernel (the cacheable part, §5.3), replayed 50x on
+    // every tile. Identical seed per mode: the noise history (and hence
+    // syndrome traffic) is the same in all three runs.
+    let program = quest_estimate::kernels::workload_with_kernel(&Workload::QLS, 200);
+    let spec =
+        WorkloadSpec::delivery_memory(DISTANCE, TILES, SHARDS, 1e-3, 7, cycles, &program, 50, mode);
+    let report = Runtime::new().run(&spec).expect("valid delivery workload");
+    let reference = run_reference(&spec).expect("valid delivery workload");
+    assert_eq!(
+        report.report, reference,
+        "sharded runtime diverged from the reference executor"
+    );
+    report.bus_bytes()
+}
 
 fn main() {
     header(
-        "Simulation: measured global-bus bytes per delivery mode (d=5 tile)",
+        "Simulation: measured global-bus bytes per delivery mode (4 d=5 tiles, 2 shards)",
         "baseline grows with cycles; QuEST bus traffic is cycle-independent",
     );
-    // Algorithmic stream from the workload model plus the real 15-to-1
-    // distillation kernel (the cacheable part, §5.3).
-    let program = quest_estimate::kernels::workload_with_kernel(&Workload::QLS, 200);
     row(&[
         "cycles",
         "baseline bytes",
@@ -30,57 +53,26 @@ fn main() {
     ]);
     let mut last = (0u64, 0u64);
     for cycles in [100u64, 200, 400] {
-        // Identical seeds per mode: the noise history (and hence syndrome
-        // traffic) is the same in all three runs.
-        let mut base = QuestSystem::new(5, 1e-3);
-        let b = base.run_memory_workload(
-            cycles,
-            &program,
-            50,
-            DeliveryMode::SoftwareBaseline,
-            &mut StdRng::seed_from_u64(7),
-        );
-        let mut quest = QuestSystem::new(5, 1e-3);
-        let q = quest.run_memory_workload(
-            cycles,
-            &program,
-            50,
-            DeliveryMode::QuestMce,
-            &mut StdRng::seed_from_u64(7),
-        );
-        let mut cached = QuestSystem::new(5, 1e-3);
-        let c = cached.run_memory_workload(
-            cycles,
-            &program,
-            50,
-            DeliveryMode::QuestMceCache,
-            &mut StdRng::seed_from_u64(7),
-        );
+        let b = bus_bytes(cycles, DeliveryMode::SoftwareBaseline);
+        let q = bus_bytes(cycles, DeliveryMode::QuestMce);
+        let c = bus_bytes(cycles, DeliveryMode::QuestMceCache);
         row(&[
             &cycles.to_string(),
-            &b.bus_bytes.to_string(),
-            &q.bus_bytes.to_string(),
-            &c.bus_bytes.to_string(),
-            &sci(b.bus_bytes as f64 / c.bus_bytes as f64),
+            &b.to_string(),
+            &q.to_string(),
+            &c.to_string(),
+            &sci(b as f64 / c as f64),
         ]);
-        assert!(
-            b.bus_bytes > 2 * q.bus_bytes,
-            "baseline must beat QuEST-MCE"
-        );
-        assert!(
-            b.bus_bytes > 30 * c.bus_bytes,
-            "baseline must dwarf QuEST+cache"
-        );
-        assert!(
-            q.bus_bytes > 10 * c.bus_bytes,
-            "cache must cut distillation traffic"
-        );
-        last = (b.bus_bytes, c.bus_bytes);
+        assert!(b > 2 * q, "baseline must beat QuEST-MCE");
+        assert!(b > 30 * c, "baseline must dwarf QuEST+cache");
+        assert!(q > 10 * c, "cache must cut distillation traffic");
+        last = (b, c);
     }
     println!();
     println!(
         "check: at 400 cycles the simulated baseline moved {}x more bytes than QuEST+cache \
-         (per-tile, 49 qubits; the analytical model extrapolates the per-qubit asymmetry to millions of qubits)",
+         (4 tiles of 49 qubits; the analytical model extrapolates the per-qubit asymmetry to \
+         millions of qubits), sharded runtime bit-identical to the reference",
         sci(last.0 as f64 / last.1 as f64)
     );
 }

@@ -1,0 +1,337 @@
+//! Mode-parameterized instruction delivery: the one engine behind all
+//! three Figure-14 architectures.
+//!
+//! [`DeliveryMode`] selects which bytes cross the global bus for the same
+//! logical workload; [`DeliveryEngine`] applies that policy per tile. The
+//! single-tile [`QuestSystem`](crate::QuestSystem), the multi-tile
+//! reference ([`MultiTileSystem`](crate::MultiTileSystem)) and the
+//! concurrent `quest-runtime` shards all account instruction delivery
+//! through this module, so the three execution paths cannot drift apart.
+//!
+//! The engine splits each operation into two halves that the concurrent
+//! runtime performs on different threads:
+//!
+//! * **accounting** — bus-byte and dispatch-counter updates on a
+//!   [`MasterController`] (`*_remote` methods; the master thread's side);
+//! * **local execution** — instruction-pipeline delivery, cache fills and
+//!   replays on an [`Mce`] (`*_local` methods; the shard's side).
+//!
+//! The single-threaded systems call the combined methods, which perform
+//! both halves back to back. Totals are identical either way.
+
+use crate::instruction_pipeline::traffic_class;
+use crate::master::MasterController;
+use crate::mce::Mce;
+use quest_isa::{InstrClass, LogicalInstr};
+
+/// Instruction-delivery architecture being accounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryMode {
+    /// Software-managed QECC: all µops cross the global bus (§3.3).
+    SoftwareBaseline,
+    /// QuEST with hardware-managed QECC (§4).
+    QuestMce,
+    /// QuEST plus the software-managed logical instruction cache (§5.3).
+    QuestMceCache,
+}
+
+impl DeliveryMode {
+    /// All modes, Figure-14 order.
+    pub const ALL: [DeliveryMode; 3] = [
+        DeliveryMode::SoftwareBaseline,
+        DeliveryMode::QuestMce,
+        DeliveryMode::QuestMceCache,
+    ];
+}
+
+/// The cache block id used for distillation kernels.
+const KERNEL_BLOCK: u8 = 0;
+
+/// Applies one [`DeliveryMode`]'s bus-accounting policy to a tile.
+///
+/// # Example
+///
+/// ```
+/// use quest_core::{DeliveryEngine, DeliveryMode, MasterController, Mce, Traffic};
+/// use quest_isa::{InstrClass, LogicalInstr, LogicalQubit};
+/// use quest_surface::RotatedLattice;
+///
+/// let lattice = RotatedLattice::new(3);
+/// let mut master = MasterController::new();
+/// let mut mce = Mce::new(&lattice, 4096);
+/// let engine = DeliveryEngine::new(DeliveryMode::QuestMceCache);
+/// // A 10-instruction kernel replayed 100 times: one fill, 100 commands.
+/// let kernel = vec![LogicalInstr::H(LogicalQubit(0)); 10];
+/// engine.kernel(&mut master, &mut mce, &kernel, 100);
+/// assert_eq!(master.bus().bytes(Traffic::CacheFill), 20);
+/// assert_eq!(master.bus().bytes(Traffic::Sync), 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryEngine {
+    mode: DeliveryMode,
+}
+
+impl DeliveryEngine {
+    /// An engine accounting in `mode`.
+    pub fn new(mode: DeliveryMode) -> DeliveryEngine {
+        DeliveryEngine { mode }
+    }
+
+    /// The mode being accounted.
+    pub fn mode(&self) -> DeliveryMode {
+        self.mode
+    }
+
+    /// Dispatches one logical instruction to a tile: bus accounting plus
+    /// instruction-pipeline delivery. Identical in every mode — single
+    /// logical instructions always cross the bus.
+    pub fn dispatch(
+        &self,
+        master: &mut MasterController,
+        mce: &mut Mce,
+        i: LogicalInstr,
+        class: InstrClass,
+    ) {
+        master.dispatch(mce, i, class);
+    }
+
+    /// Master-side half of [`DeliveryEngine::dispatch`] for a remote tile
+    /// (the concurrent runtime ships the instruction to the owning shard,
+    /// which performs [`DeliveryEngine::dispatch_local`]).
+    pub fn dispatch_remote(&self, master: &mut MasterController, class: InstrClass) {
+        master.dispatch_remote(class);
+    }
+
+    /// Tile-side half of [`DeliveryEngine::dispatch`]: pipeline delivery
+    /// with no bus accounting (the master already accounted it).
+    pub fn dispatch_local(&self, mce: &mut Mce, i: LogicalInstr) {
+        mce.instruction_pipeline_mut().deliver(i);
+    }
+
+    /// Runs a distillation kernel `replays` times on a tile under this
+    /// mode's policy:
+    ///
+    /// * `SoftwareBaseline` / `QuestMce` — every instruction of every
+    ///   replay crosses the bus individually;
+    /// * `QuestMceCache` — the kernel crosses the bus once (cache fill,
+    ///   skipped if the block is already resident) and each replay costs
+    ///   one two-byte command.
+    ///
+    /// An empty kernel or a zero replay count is a no-op (nothing is
+    /// filled, nothing crosses the bus).
+    pub fn kernel(
+        &self,
+        master: &mut MasterController,
+        mce: &mut Mce,
+        kernel: &[LogicalInstr],
+        replays: u64,
+    ) {
+        if kernel.is_empty() || replays == 0 {
+            return;
+        }
+        match self.mode {
+            DeliveryMode::SoftwareBaseline | DeliveryMode::QuestMce => {
+                for _ in 0..replays {
+                    for &i in kernel {
+                        master.dispatch(mce, i, InstrClass::Distillation);
+                    }
+                }
+            }
+            DeliveryMode::QuestMceCache => {
+                if !mce.instruction_pipeline().cache_contains(KERNEL_BLOCK) {
+                    master.dispatch_cache_fill(mce, KERNEL_BLOCK, kernel);
+                }
+                for _ in 0..replays {
+                    master.dispatch_cache_replay(mce, KERNEL_BLOCK);
+                }
+            }
+        }
+    }
+
+    /// Master-side half of [`DeliveryEngine::kernel`] for a remote tile.
+    /// `filled` says whether the tile's kernel block is already resident
+    /// (the caller tracks this per tile); returns `true` when a cache fill
+    /// was accounted, so the caller can mark the block resident.
+    pub fn kernel_remote(
+        &self,
+        master: &mut MasterController,
+        kernel_len: usize,
+        replays: u64,
+        filled: bool,
+    ) -> bool {
+        if kernel_len == 0 || replays == 0 {
+            return false;
+        }
+        match self.mode {
+            DeliveryMode::SoftwareBaseline | DeliveryMode::QuestMce => {
+                for _ in 0..replays * kernel_len as u64 {
+                    master.dispatch_remote(InstrClass::Distillation);
+                }
+                false
+            }
+            DeliveryMode::QuestMceCache => {
+                if !filled {
+                    master.cache_fill_remote(kernel_len as u64);
+                }
+                for _ in 0..replays {
+                    master.cache_replay_remote(kernel_len as u64);
+                }
+                !filled
+            }
+        }
+    }
+
+    /// Tile-side half of [`DeliveryEngine::kernel`]: pipeline delivery /
+    /// cache fill and replay with no bus accounting.
+    pub fn kernel_local(&self, mce: &mut Mce, kernel: &[LogicalInstr], replays: u64) {
+        if kernel.is_empty() || replays == 0 {
+            return;
+        }
+        match self.mode {
+            DeliveryMode::SoftwareBaseline | DeliveryMode::QuestMce => {
+                for _ in 0..replays {
+                    for &i in kernel {
+                        mce.instruction_pipeline_mut().deliver(i);
+                    }
+                }
+            }
+            DeliveryMode::QuestMceCache => {
+                let pipeline = mce.instruction_pipeline_mut();
+                if !pipeline.cache_contains(KERNEL_BLOCK) {
+                    pipeline.cache_fill(KERNEL_BLOCK, kernel);
+                }
+                for _ in 0..replays {
+                    pipeline
+                        .cache_replay(KERNEL_BLOCK)
+                        .expect("kernel block resident after fill");
+                }
+            }
+        }
+    }
+
+    /// Accounts one QECC cycle on a tile of `num_qubits` qubits whose
+    /// microcode cycle is `cycle_len` words: under the software baseline
+    /// the whole cycle crosses the bus (one byte per qubit per word,
+    /// §3.3); under QuEST the MCE replays it locally for free.
+    pub fn account_cycle(
+        &self,
+        master: &mut MasterController,
+        num_qubits: usize,
+        cycle_len: usize,
+    ) {
+        if self.mode == DeliveryMode::SoftwareBaseline {
+            master.record_traffic(
+                crate::bus::Traffic::QeccInstructions,
+                (num_qubits * cycle_len) as u64,
+            );
+        }
+    }
+
+    /// Bytes one dispatched instruction adds to the bus in this mode
+    /// (mode-independent today; kept on the engine so callers never
+    /// hard-code it).
+    pub fn instr_bytes(&self) -> u64 {
+        LogicalInstr::ENCODED_BYTES as u64
+    }
+
+    /// The bus [`Traffic`](crate::bus::Traffic) class of a dispatched
+    /// instruction class.
+    pub fn traffic_of(&self, class: InstrClass) -> crate::bus::Traffic {
+        traffic_class(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Traffic;
+    use quest_isa::LogicalQubit;
+    use quest_surface::RotatedLattice;
+
+    fn setup() -> (MasterController, Mce) {
+        let lat = RotatedLattice::new(3);
+        (MasterController::new(), Mce::new(&lat, 65_536))
+    }
+
+    fn kernel(n: usize) -> Vec<LogicalInstr> {
+        vec![LogicalInstr::H(LogicalQubit(0)); n]
+    }
+
+    #[test]
+    fn uncached_kernel_pays_per_replay() {
+        let (mut master, mut mce) = setup();
+        let engine = DeliveryEngine::new(DeliveryMode::QuestMce);
+        engine.kernel(&mut master, &mut mce, &kernel(10), 5);
+        assert_eq!(master.bus().bytes(Traffic::Distillation), 10 * 5 * 2);
+        assert_eq!(master.stats().dispatched, 50);
+        assert_eq!(mce.instruction_pipeline().stats().issued, 50);
+    }
+
+    #[test]
+    fn cached_kernel_pays_fill_once_plus_commands() {
+        let (mut master, mut mce) = setup();
+        let engine = DeliveryEngine::new(DeliveryMode::QuestMceCache);
+        engine.kernel(&mut master, &mut mce, &kernel(10), 5);
+        assert_eq!(master.bus().bytes(Traffic::CacheFill), 20);
+        assert_eq!(master.bus().bytes(Traffic::Sync), 10);
+        assert_eq!(master.bus().bytes(Traffic::Distillation), 0);
+        assert_eq!(mce.instruction_pipeline().stats().issued, 50);
+        // A second batch of replays reuses the resident block: no refill.
+        engine.kernel(&mut master, &mut mce, &kernel(10), 2);
+        assert_eq!(master.bus().bytes(Traffic::CacheFill), 20);
+    }
+
+    #[test]
+    fn empty_kernel_and_zero_replays_are_free() {
+        for mode in DeliveryMode::ALL {
+            let (mut master, mut mce) = setup();
+            let engine = DeliveryEngine::new(mode);
+            engine.kernel(&mut master, &mut mce, &[], 100);
+            engine.kernel(&mut master, &mut mce, &kernel(10), 0);
+            assert_eq!(master.bus().total(), 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn remote_halves_match_combined_accounting() {
+        for mode in DeliveryMode::ALL {
+            let engine = DeliveryEngine::new(mode);
+            let (mut combined, mut mce_combined) = setup();
+            engine.dispatch(
+                &mut combined,
+                &mut mce_combined,
+                LogicalInstr::H(LogicalQubit(0)),
+                InstrClass::Algorithmic,
+            );
+            engine.kernel(&mut combined, &mut mce_combined, &kernel(7), 3);
+
+            let (mut remote, mut mce_remote) = setup();
+            engine.dispatch_remote(&mut remote, InstrClass::Algorithmic);
+            engine.dispatch_local(&mut mce_remote, LogicalInstr::H(LogicalQubit(0)));
+            let filled = engine.kernel_remote(&mut remote, 7, 3, false);
+            engine.kernel_local(&mut mce_remote, &kernel(7), 3);
+            if mode == DeliveryMode::QuestMceCache {
+                assert!(filled, "first cache use must fill");
+            }
+
+            assert_eq!(combined.bus(), remote.bus(), "{mode:?}");
+            assert_eq!(combined.stats(), remote.stats(), "{mode:?}");
+            assert_eq!(
+                mce_combined.instruction_pipeline().stats(),
+                mce_remote.instruction_pipeline().stats(),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn only_the_baseline_pays_for_cycles() {
+        let (mut master, _) = setup();
+        DeliveryEngine::new(DeliveryMode::SoftwareBaseline).account_cycle(&mut master, 17, 6);
+        assert_eq!(master.bus().bytes(Traffic::QeccInstructions), 17 * 6);
+        let (mut master, _) = setup();
+        DeliveryEngine::new(DeliveryMode::QuestMce).account_cycle(&mut master, 17, 6);
+        DeliveryEngine::new(DeliveryMode::QuestMceCache).account_cycle(&mut master, 17, 6);
+        assert_eq!(master.bus().total(), 0);
+    }
+}

@@ -27,7 +27,7 @@
 //! use quest_stabilizer::{SeedableRng, StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
-//! let mut system = QuestSystem::new(3, 1e-3);
+//! let mut system = QuestSystem::new(3, 1e-3)?;
 //! let run = system.run_memory_workload(
 //!     20,
 //!     &LogicalProgram::new(),
@@ -36,10 +36,14 @@
 //!     &mut rng,
 //! );
 //! assert_eq!(run.qecc_cycles, 20);
+//! assert!(run.logical_ok());
+//! # Ok::<(), quest_core::BuildError>(())
 //! ```
 
 pub mod bus;
 pub mod decoder_pipeline;
+pub mod delivery;
+pub mod error;
 pub mod execution_unit;
 pub mod geometry;
 pub mod instruction_pipeline;
@@ -52,6 +56,7 @@ pub mod multi_tile;
 pub mod network;
 pub mod primeline;
 pub mod program_gen;
+pub mod report;
 pub mod system;
 pub mod tech;
 pub mod throughput;
@@ -60,18 +65,21 @@ pub mod timing;
 
 pub use bus::{BusCounters, Traffic};
 pub use decoder_pipeline::{DecodeStats, DecoderPipeline, Escalation};
+pub use delivery::{DeliveryEngine, DeliveryMode};
+pub use error::BuildError;
 pub use execution_unit::{ExecutionStats, ExecutionUnit, FireResult};
 pub use geometry::TileGeometry;
 pub use instruction_pipeline::{FetchOutcome, InstructionPipeline, PipelineStats};
 pub use jj::MemoryConfig;
 pub use mask::MaskTable;
 pub use master::{MasterController, MasterStats};
-pub use mce::Mce;
+pub use mce::{Mce, Readout};
 pub use microcode::{MicrocodeDesign, QeccMicrocode};
 pub use multi_tile::{LogicalBasis, MultiTileSystem};
 pub use network::{Network, Packet, PacketKind};
 pub use primeline::PrimelineResources;
-pub use system::{DeliveryMode, QuestSystem, SystemRun};
+pub use report::{decode_totals, RunReport};
+pub use system::{QuestSystem, MCE_IBUF_BYTES};
 pub use tech::TechnologyParams;
 pub use throughput::{optimal_config, table2, Table2Row};
 pub use timing::SlotTiming;

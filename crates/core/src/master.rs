@@ -68,10 +68,19 @@ impl MasterController {
     /// Dispatches one logical instruction to an MCE (downstream bus
     /// traffic + instruction-pipeline delivery).
     pub fn dispatch(&mut self, mce: &mut Mce, i: LogicalInstr, class: InstrClass) {
+        self.dispatch_remote(class);
+        mce.instruction_pipeline_mut().deliver(i);
+    }
+
+    /// Accounts the dispatch of one logical instruction to an MCE the
+    /// master does not hold a reference to (message-driven use: the
+    /// concurrent runtime ships the instruction to the owning shard,
+    /// which delivers it to the tile's pipeline). Identical bus
+    /// accounting to [`MasterController::dispatch`].
+    pub fn dispatch_remote(&mut self, class: InstrClass) {
         self.bus
             .record(traffic_class(class), LogicalInstr::ENCODED_BYTES as u64);
         self.stats.dispatched += 1;
-        mce.instruction_pipeline_mut().deliver(i);
     }
 
     /// Dispatches one logical instruction *and executes it* on the tile:
@@ -89,6 +98,27 @@ impl MasterController {
         let bytes = mce.instruction_pipeline_mut().cache_fill(block, instrs);
         self.bus.record(Traffic::CacheFill, bytes);
         self.stats.dispatched += instrs.len() as u64;
+    }
+
+    /// Accounts a cache fill of `instr_count` instructions on a remote
+    /// MCE (the owning shard performs the fill itself). Identical bus
+    /// accounting to [`MasterController::dispatch_cache_fill`].
+    pub fn cache_fill_remote(&mut self, instr_count: u64) {
+        self.bus.record(
+            Traffic::CacheFill,
+            instr_count * LogicalInstr::ENCODED_BYTES as u64,
+        );
+        self.stats.dispatched += instr_count;
+    }
+
+    /// Accounts a replay command for a remote cached block of
+    /// `instr_count` instructions (one two-byte command downstream; the
+    /// shard replays the block locally). Identical bus accounting to
+    /// [`MasterController::dispatch_cache_replay`].
+    pub fn cache_replay_remote(&mut self, instr_count: u64) {
+        self.bus
+            .record(Traffic::Sync, LogicalInstr::ENCODED_BYTES as u64);
+        self.stats.dispatched += instr_count;
     }
 
     /// Requests a cached-block replay (one two-byte command downstream;
@@ -134,6 +164,16 @@ impl MasterController {
         self.bus
             .record(Traffic::Syndrome, event_count * SYNDROME_EVENT_BYTES);
         self.stats.global_decodes += 1;
+    }
+
+    /// Accounts the residual syndrome of a destructive logical readout
+    /// (`event_count` detection events upstream). Unlike
+    /// [`MasterController::note_escalation`] this is not a global decode
+    /// — the final perfect round is resolved at readout, the master only
+    /// carries its bytes.
+    pub fn note_readout_syndrome(&mut self, event_count: u64) {
+        self.bus
+            .record(Traffic::Syndrome, event_count * SYNDROME_EVENT_BYTES);
     }
 
     /// Collects an MCE's escalated syndromes (upstream traffic), resolves

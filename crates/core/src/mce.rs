@@ -22,6 +22,17 @@ use quest_stabilizer::Tableau;
 use quest_surface::{RotatedLattice, StabKind};
 use rand::Rng;
 
+/// Result of a destructive logical-Z readout
+/// ([`Mce::measure_logical_z_details`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Readout {
+    /// The decoded logical value.
+    pub value: bool,
+    /// Residual detection events resolved by the final perfect round
+    /// (upstream syndrome traffic at readout).
+    pub final_events: u64,
+}
+
 /// One Micro-coded Control Engine driving a surface-code tile.
 ///
 /// # Example
@@ -349,6 +360,18 @@ impl Mce {
         substrate: &mut Tableau,
         rng: &mut R,
     ) -> bool {
+        self.measure_logical_z_details(substrate, rng).value
+    }
+
+    /// Like [`Mce::measure_logical_z`], additionally reporting how many
+    /// residual detection events the final perfect decoding round saw —
+    /// the master controller accounts those as upstream syndrome bytes
+    /// ([`MasterController::note_readout_syndrome`](crate::MasterController::note_readout_syndrome)).
+    pub fn measure_logical_z_details<R: Rng + ?Sized>(
+        &mut self,
+        substrate: &mut Tableau,
+        rng: &mut R,
+    ) -> Readout {
         use quest_surface::decoder::Decoder;
         let mut bits: Vec<bool> = (0..self.lattice.num_data())
             .map(|q| substrate.measure(self.substrate_index(q), rng).value)
@@ -377,7 +400,10 @@ impl Mce {
         let parity = (0..self.lattice.distance())
             .map(|col| bits[self.lattice.data_index(0, col)])
             .fold(false, |acc, b| acc ^ b);
-        parity ^ self.logical_frame_x
+        Readout {
+            value: parity ^ self.logical_frame_x,
+            final_events: events.len() as u64,
+        }
     }
 
     /// Drains pending escalations from both decoder pipelines as

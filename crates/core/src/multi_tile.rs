@@ -10,10 +10,20 @@
 //! master coordinating via sync tokens and the MCEs' Pauli frames
 //! propagating through the gate as they must (`X` frames copy
 //! control→target, `Z` frames copy target→control).
+//!
+//! Instruction delivery and bus accounting go through the shared
+//! [`DeliveryEngine`], so a multi-tile system can
+//! be driven in any [`DeliveryMode`] — per-tile logical dispatch, cached
+//! distillation-kernel replay, and (in the software baseline) per-cycle
+//! QECC instruction traffic for every tile.
 
+use crate::delivery::{DeliveryEngine, DeliveryMode};
+use crate::error::{check_distance, check_probability, BuildError};
 use crate::master::MasterController;
 use crate::mce::Mce;
+use crate::system::MCE_IBUF_BYTES;
 use crate::tile;
+use quest_isa::{InstrClass, LogicalInstr};
 use quest_stabilizer::{PauliChannel, Tableau};
 use quest_surface::RotatedLattice;
 use rand::Rng;
@@ -29,13 +39,14 @@ pub use crate::tile::LogicalBasis;
 /// use quest_stabilizer::{SeedableRng, StdRng};
 ///
 /// let mut rng = StdRng::seed_from_u64(5);
-/// let mut sys = MultiTileSystem::new(3, 2, 0.0);
+/// let mut sys = MultiTileSystem::new(3, 2, 0.0)?;
 /// sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
 /// sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
 /// sys.run_noisy_cycle(&mut rng);
 /// sys.transversal_cnot(0, 1, &mut rng);
 /// assert!(!sys.measure_logical_z(0, &mut rng));
 /// assert!(!sys.measure_logical_z(1, &mut rng));
+/// # Ok::<(), quest_core::BuildError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct MultiTileSystem {
@@ -44,34 +55,63 @@ pub struct MultiTileSystem {
     master: MasterController,
     substrate: Tableau,
     noise: PauliChannel,
+    engine: DeliveryEngine,
 }
 
 impl MultiTileSystem {
     /// Builds `tiles` distance-`d` tiles with per-round depolarizing data
-    /// noise of total probability `p`.
+    /// noise of total probability `p`, delivering instructions in
+    /// [`DeliveryMode::QuestMce`] (hardware-managed QECC, uncached
+    /// logical instructions).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `tiles` is zero, `d` is invalid, or `p` is out of range.
-    pub fn new(d: usize, tiles: usize, p: f64) -> MultiTileSystem {
-        assert!(tiles > 0, "need at least one tile");
+    /// Returns [`BuildError`] if `tiles` is zero, `d` is not an odd
+    /// number ≥ 3, or `p` is outside `[0, 1]`.
+    pub fn new(d: usize, tiles: usize, p: f64) -> Result<MultiTileSystem, BuildError> {
+        MultiTileSystem::with_delivery(d, tiles, p, DeliveryMode::QuestMce)
+    }
+
+    /// Like [`MultiTileSystem::new`] with an explicit delivery mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on the same invalid parameters as
+    /// [`MultiTileSystem::new`].
+    pub fn with_delivery(
+        d: usize,
+        tiles: usize,
+        p: f64,
+        mode: DeliveryMode,
+    ) -> Result<MultiTileSystem, BuildError> {
+        check_distance(d)?;
+        check_probability("error rate", p)?;
+        if tiles == 0 {
+            return Err(BuildError::NoTiles);
+        }
         let lattice = RotatedLattice::new(d);
         let tile_width = lattice.num_qubits();
         let mces = (0..tiles)
-            .map(|i| Mce::with_offset(&lattice, 65_536, i * tile_width))
+            .map(|i| Mce::with_offset(&lattice, MCE_IBUF_BYTES, i * tile_width))
             .collect();
-        MultiTileSystem {
+        Ok(MultiTileSystem {
             substrate: Tableau::new(tiles * tile_width),
             lattice,
             mces,
             master: MasterController::new(),
             noise: PauliChannel::depolarizing(p),
-        }
+            engine: DeliveryEngine::new(mode),
+        })
     }
 
     /// Number of tiles.
     pub fn num_tiles(&self) -> usize {
         self.mces.len()
+    }
+
+    /// The delivery mode this system accounts under.
+    pub fn delivery(&self) -> DeliveryMode {
+        self.engine.mode()
     }
 
     /// The shared tile lattice.
@@ -86,6 +126,11 @@ impl MultiTileSystem {
     /// Panics if `i` is out of range.
     pub fn mce(&self, i: usize) -> &Mce {
         &self.mces[i]
+    }
+
+    /// The MCEs of all tiles, in tile order.
+    pub fn mces(&self) -> &[Mce] {
+        &self.mces
     }
 
     /// The master controller (bus counters live here).
@@ -103,7 +148,41 @@ impl MultiTileSystem {
         tile::prep_logical(&mut self.mces[i], basis, &mut self.substrate, rng);
     }
 
+    /// Delivers one logical instruction to tile `i` through the engine
+    /// (bus-accounted under this system's delivery mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn dispatch_logical(&mut self, i: usize, instr: LogicalInstr, class: InstrClass) {
+        self.engine
+            .dispatch(&mut self.master, &mut self.mces[i], instr, class);
+    }
+
+    /// Runs a distillation kernel `replays` times on tile `i` through the
+    /// engine: per-replay dispatch in the uncached modes, fill-once +
+    /// replay commands under [`DeliveryMode::QuestMceCache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn run_kernel(&mut self, i: usize, kernel: &[LogicalInstr], replays: u64) {
+        self.engine
+            .kernel(&mut self.master, &mut self.mces[i], kernel, replays);
+    }
+
+    /// Issues a master→MCE sync token to tile `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sync_tile(&mut self, i: usize) {
+        self.master.sync(&mut self.mces[i], 0);
+    }
+
     /// Runs one noisy QECC cycle on every tile and services escalations.
+    /// Under [`DeliveryMode::SoftwareBaseline`] the cycle's physical
+    /// instruction stream is bus-accounted for every tile.
     pub fn run_noisy_cycle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         for mce in &self.mces {
             tile::noise_layer(mce, &self.noise, &mut self.substrate, rng);
@@ -111,6 +190,7 @@ impl MultiTileSystem {
         for mce in &mut self.mces {
             tile::qecc_cycle_serviced(mce, &mut self.master, &mut self.substrate, rng);
         }
+        self.account_cycle_all_tiles();
     }
 
     /// Like [`MultiTileSystem::run_noisy_cycle`], but with one independent
@@ -129,6 +209,15 @@ impl MultiTileSystem {
         }
         for (mce, rng) in self.mces.iter_mut().zip(rngs.iter_mut()) {
             tile::qecc_cycle_serviced(mce, &mut self.master, &mut self.substrate, rng);
+        }
+        self.account_cycle_all_tiles();
+    }
+
+    fn account_cycle_all_tiles(&mut self) {
+        let cycle_len = self.mces[0].microcode().cycle_len();
+        for _ in 0..self.mces.len() {
+            self.engine
+                .account_cycle(&mut self.master, self.lattice.num_qubits(), cycle_len);
         }
     }
 
@@ -165,25 +254,47 @@ impl MultiTileSystem {
     }
 
     /// Reads out tile `i`'s logical qubit in the Z basis (destructive).
+    /// The final decoding round's residual detection events cross the bus
+    /// upstream and are accounted as syndrome traffic.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn measure_logical_z<R: Rng + ?Sized>(&mut self, i: usize, rng: &mut R) -> bool {
-        self.mces[i].measure_logical_z(&mut self.substrate, rng)
+        let readout = self.mces[i].measure_logical_z_details(&mut self.substrate, rng);
+        self.master.note_readout_syndrome(readout.final_events);
+        readout.value
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bus::Traffic;
     use quest_stabilizer::{SeedableRng, StdRng};
     use quest_surface::StabKind;
 
     #[test]
+    fn invalid_parameters_are_typed_errors() {
+        assert_eq!(
+            MultiTileSystem::new(3, 0, 0.0).unwrap_err(),
+            BuildError::NoTiles
+        );
+        assert_eq!(
+            MultiTileSystem::new(6, 2, 0.0).unwrap_err(),
+            BuildError::InvalidDistance(6)
+        );
+        assert!(matches!(
+            MultiTileSystem::new(3, 2, f64::NAN).unwrap_err(),
+            BuildError::InvalidProbability { .. }
+        ));
+        assert!(MultiTileSystem::new(3, 2, 0.5).is_ok());
+    }
+
+    #[test]
     fn zero_zero_cnot_stays_zero() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
         sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
         sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
         sys.run_noisy_cycle(&mut rng);
@@ -198,7 +309,7 @@ mod tests {
         // Flip the control's logical value *physically* (X along the
         // logical-X column); the CNOT must flip the target.
         let mut rng = StdRng::seed_from_u64(2);
-        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
         sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
         sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
         sys.run_noisy_cycle(&mut rng);
@@ -219,7 +330,7 @@ mod tests {
         // Flip the control's logical value in the *Pauli frame* only; the
         // frame must ride through the CNOT.
         let mut rng = StdRng::seed_from_u64(3);
-        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
         sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
         sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
         sys.run_noisy_cycle(&mut rng);
@@ -233,7 +344,7 @@ mod tests {
     fn logical_bell_pair_is_correlated() {
         for seed in 0..12 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut sys = MultiTileSystem::new(3, 2, 0.0);
+            let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
             sys.prep_logical(0, LogicalBasis::Plus, &mut rng);
             sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
             sys.run_noisy_cycle(&mut rng);
@@ -251,7 +362,7 @@ mod tests {
         let shots = 20;
         for seed in 0..shots {
             let mut rng = StdRng::seed_from_u64(100 + seed);
-            let mut sys = MultiTileSystem::new(3, 2, 1e-3);
+            let mut sys = MultiTileSystem::new(3, 2, 1e-3).unwrap();
             sys.prep_logical(0, LogicalBasis::Plus, &mut rng);
             sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
             sys.run_noisy_cycle(&mut rng);
@@ -274,7 +385,7 @@ mod tests {
         // An error injected in one tile must not produce decoder activity
         // in the other.
         let mut rng = StdRng::seed_from_u64(5);
-        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
         sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
         sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
         sys.run_noisy_cycle(&mut rng);
@@ -290,7 +401,7 @@ mod tests {
     #[test]
     fn cnot_costs_only_sync_tokens() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
         sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
         sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
         sys.run_noisy_cycle(&mut rng);
@@ -298,6 +409,62 @@ mod tests {
         sys.transversal_cnot(0, 1, &mut rng);
         let after = sys.master().bus().total();
         assert_eq!(after - before, 4, "two 2-byte sync tokens");
+    }
+
+    #[test]
+    fn baseline_delivery_pays_per_cycle_per_tile() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sys =
+            MultiTileSystem::with_delivery(3, 3, 0.0, DeliveryMode::SoftwareBaseline).unwrap();
+        let per_tile =
+            (sys.lattice().num_qubits() as u64) * (sys.mce(0).microcode().cycle_len() as u64);
+        sys.run_noisy_cycle(&mut rng);
+        sys.run_noisy_cycle(&mut rng);
+        assert_eq!(
+            sys.master().bus().bytes(Traffic::QeccInstructions),
+            2 * 3 * per_tile,
+            "2 cycles x 3 tiles of streamed QECC instructions"
+        );
+        // The hardware-managed modes pay nothing for the same cycles.
+        let mut hw = MultiTileSystem::new(3, 3, 0.0).unwrap();
+        hw.run_noisy_cycle(&mut rng);
+        assert_eq!(hw.master().bus().bytes(Traffic::QeccInstructions), 0);
+    }
+
+    #[test]
+    fn per_tile_dispatch_and_kernel_account_like_single_tile() {
+        use quest_isa::LogicalQubit;
+        let kernel = vec![
+            quest_isa::LogicalInstr::H(LogicalQubit(0)),
+            quest_isa::LogicalInstr::T(LogicalQubit(0)),
+        ];
+        for mode in DeliveryMode::ALL {
+            let mut sys = MultiTileSystem::with_delivery(3, 2, 0.0, mode).unwrap();
+            sys.dispatch_logical(
+                1,
+                quest_isa::LogicalInstr::X(LogicalQubit(0)),
+                InstrClass::Algorithmic,
+            );
+            sys.run_kernel(0, &kernel, 5);
+            sys.sync_tile(1);
+
+            let mut single = crate::QuestSystem::new(3, 0.0).unwrap();
+            let mut program = quest_isa::LogicalProgram::new();
+            program.push(
+                quest_isa::LogicalInstr::X(LogicalQubit(0)),
+                InstrClass::Algorithmic,
+            );
+            for &k in &kernel {
+                program.push(k, InstrClass::Distillation);
+            }
+            let run =
+                single.run_memory_workload(0, &program, 5, mode, &mut StdRng::seed_from_u64(9));
+            assert_eq!(
+                *sys.master().bus(),
+                run.bus,
+                "{mode:?}: multi-tile delivery diverged from single-tile"
+            );
+        }
     }
 
     #[test]
@@ -309,7 +476,7 @@ mod tests {
         let shots = 16;
         for seed in 0..shots {
             let mut rng = StdRng::seed_from_u64(600 + seed);
-            let mut sys = MultiTileSystem::new(3, 3, 0.0);
+            let mut sys = MultiTileSystem::new(3, 3, 0.0).unwrap();
             sys.prep_logical(0, LogicalBasis::Plus, &mut rng);
             sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
             sys.prep_logical(2, LogicalBasis::Zero, &mut rng);
@@ -332,7 +499,7 @@ mod tests {
     #[should_panic(expected = "must differ")]
     fn same_tile_cnot_panics() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut sys = MultiTileSystem::new(3, 2, 0.0);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
         sys.transversal_cnot(1, 1, &mut rng);
     }
 }

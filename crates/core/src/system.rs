@@ -1,4 +1,4 @@
-//! End-to-end QuEST system simulation.
+//! End-to-end QuEST system simulation (single tile).
 //!
 //! [`QuestSystem`] wires a master controller, one MCE, and a noisy
 //! stabilizer-simulated surface-code tile into the full loop of the paper:
@@ -7,9 +7,13 @@
 //! master's global decoder, and logical instructions arrive over the
 //! global bus (optionally through the software-managed instruction cache).
 //!
-//! The same workload can be accounted in three delivery modes, reproducing
-//! the architecture comparison of Figure 14 *from simulation* rather than
-//! from the analytical model:
+//! Since the engine unification, `QuestSystem` is a thin `tiles = 1`
+//! convenience wrapper: instruction delivery and bus accounting live in
+//! [`DeliveryEngine`], shared with
+//! [`MultiTileSystem`](crate::MultiTileSystem) and the concurrent
+//! `quest-runtime`. The same workload can be accounted in three delivery
+//! modes, reproducing the architecture comparison of Figure 14 *from
+//! simulation* rather than from the analytical model:
 //!
 //! * [`DeliveryMode::SoftwareBaseline`] — every physical µop of every QECC
 //!   cycle crosses the global bus.
@@ -18,44 +22,44 @@
 //! * [`DeliveryMode::QuestMceCache`] — distillation kernels additionally
 //!   replay from the MCE instruction cache.
 
-use crate::bus::Traffic;
+use crate::delivery::DeliveryEngine;
+use crate::error::{check_distance, check_probability, BuildError};
 use crate::master::MasterController;
 use crate::mce::Mce;
+use crate::report::{decode_totals, RunReport};
 use quest_isa::{InstrClass, LogicalInstr, LogicalProgram};
 use quest_stabilizer::{PauliChannel, Tableau};
-use quest_surface::{RotatedLattice, StabKind};
+use quest_surface::RotatedLattice;
 use rand::Rng;
 
-/// Instruction-delivery architecture being accounted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum DeliveryMode {
-    /// Software-managed QECC: all µops cross the global bus (§3.3).
-    SoftwareBaseline,
-    /// QuEST with hardware-managed QECC (§4).
-    QuestMce,
-    /// QuEST plus the software-managed logical instruction cache (§5.3).
-    QuestMceCache,
-}
+pub use crate::delivery::DeliveryMode;
 
-/// Result of running a workload on the system.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SystemRun {
-    /// Delivery mode accounted.
-    pub mode: DeliveryMode,
-    /// QECC cycles executed.
-    pub qecc_cycles: u64,
-    /// Total bytes that crossed the global bus.
-    pub bus_bytes: u64,
-    /// `true` when the final logical readout was error free.
-    pub logical_ok: bool,
-    /// Detection events handled locally by MCE lookup decoders.
-    pub local_decodes: u64,
-    /// Detection events escalated to the global decoder.
-    pub escalations: u64,
-}
+/// Instruction-buffer bytes per MCE (the §5.3 cache capacity used by
+/// every system in this crate and by the runtime's shard workers).
+pub const MCE_IBUF_BYTES: usize = 65_536;
 
 /// A complete single-tile QuEST control processor with its quantum
 /// substrate.
+///
+/// # Example
+///
+/// ```
+/// use quest_core::{DeliveryMode, QuestSystem};
+/// use quest_isa::LogicalProgram;
+/// use quest_stabilizer::{SeedableRng, StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut system = QuestSystem::new(3, 1e-3)?;
+/// let run = system.run_memory_workload(
+///     20,
+///     &LogicalProgram::new(),
+///     0,
+///     DeliveryMode::QuestMce,
+///     &mut rng,
+/// );
+/// assert_eq!(run.qecc_cycles, 20);
+/// # Ok::<(), quest_core::BuildError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct QuestSystem {
     lattice: RotatedLattice,
@@ -69,31 +73,36 @@ impl QuestSystem {
     /// Builds a system over a distance-`d` tile with per-round
     /// depolarizing noise of total probability `p` on data qubits.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `d` is invalid or `p` is outside `[0, 1]`.
-    pub fn new(d: usize, p: f64) -> QuestSystem {
+    /// Returns [`BuildError`] if `d` is not an odd number ≥ 3 or `p` is
+    /// outside `[0, 1]`.
+    pub fn new(d: usize, p: f64) -> Result<QuestSystem, BuildError> {
+        check_distance(d)?;
+        check_probability("error rate", p)?;
         let lattice = RotatedLattice::new(d);
         let substrate = Tableau::new(lattice.num_qubits());
-        QuestSystem {
-            mce: Mce::new(&lattice, 65_536),
+        Ok(QuestSystem {
+            mce: Mce::new(&lattice, MCE_IBUF_BYTES),
             lattice,
             master: MasterController::new(),
             substrate,
             noise: PauliChannel::depolarizing(p),
-        }
+        })
     }
 
     /// Like [`QuestSystem::new`], additionally corrupting syndrome
     /// measurements with probability `q` in the MCE readout chain.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `d` is invalid or either probability is out of range.
-    pub fn with_measurement_noise(d: usize, p: f64, q: f64) -> QuestSystem {
-        let mut sys = QuestSystem::new(d, p);
+    /// Returns [`BuildError`] if `d` is invalid or either probability is
+    /// out of range.
+    pub fn with_measurement_noise(d: usize, p: f64, q: f64) -> Result<QuestSystem, BuildError> {
+        check_probability("measurement flip probability", q)?;
+        let mut sys = QuestSystem::new(d, p)?;
         sys.mce.set_measurement_flip(q);
-        sys
+        Ok(sys)
     }
 
     /// The tile lattice.
@@ -119,12 +128,17 @@ impl QuestSystem {
     }
 
     /// Runs a logical-Z memory workload of `cycles` QECC cycles under the
-    /// given delivery mode. The program's algorithmic instructions are
-    /// dispatched once; its distillation-class instructions form one
+    /// given delivery mode. The program's non-distillation instructions
+    /// are dispatched once; its distillation-class instructions form one
     /// T-factory kernel that executes `distillation_replays` times over
     /// the workload (§5.2: distillation runs continuously). Under
     /// [`DeliveryMode::QuestMceCache`] the kernel crosses the bus once and
     /// replays from the MCE instruction cache thereafter.
+    ///
+    /// This is the `tiles = 1` convenience form of the unified engine:
+    /// delivery accounting goes through [`DeliveryEngine`] and the result
+    /// is the same [`RunReport`] the multi-tile reference and the
+    /// concurrent runtime produce.
     pub fn run_memory_workload<R: Rng + ?Sized>(
         &mut self,
         cycles: u64,
@@ -132,129 +146,59 @@ impl QuestSystem {
         distillation_replays: u64,
         mode: DeliveryMode,
         rng: &mut R,
-    ) -> SystemRun {
+    ) -> RunReport {
+        let engine = DeliveryEngine::new(mode);
         let kernel: Vec<LogicalInstr> = program
             .iter()
             .filter(|(_, c)| *c == InstrClass::Distillation)
             .map(|(i, _)| *i)
             .collect();
-        // Dispatch the logical program according to the mode.
-        match mode {
-            DeliveryMode::SoftwareBaseline | DeliveryMode::QuestMce => {
-                for &(i, class) in program {
-                    if class != InstrClass::Distillation {
-                        self.master.dispatch(&mut self.mce, i, class);
-                    }
-                }
-                for _ in 0..distillation_replays {
-                    for &i in &kernel {
-                        self.master
-                            .dispatch(&mut self.mce, i, InstrClass::Distillation);
-                    }
-                }
-            }
-            DeliveryMode::QuestMceCache => {
-                if !kernel.is_empty() && distillation_replays > 0 {
-                    self.master.dispatch_cache_fill(&mut self.mce, 0, &kernel);
-                    for _ in 0..distillation_replays {
-                        self.master.dispatch_cache_replay(&mut self.mce, 0);
-                    }
-                }
-                for &(i, class) in program {
-                    if class != InstrClass::Distillation {
-                        self.master.dispatch(&mut self.mce, i, class);
-                    }
-                }
+        // Dispatch the logical program through the shared engine.
+        for &(i, class) in program {
+            if class != InstrClass::Distillation {
+                engine.dispatch(&mut self.master, &mut self.mce, i, class);
             }
         }
+        engine.kernel(
+            &mut self.master,
+            &mut self.mce,
+            &kernel,
+            distillation_replays,
+        );
 
-        // Error-corrected idle (memory) for `cycles` rounds.
+        // Error-corrected idle (memory) for `cycles` rounds; only the
+        // software baseline pays per-cycle QECC bus traffic.
+        let cycle_len = self.mce.microcode().cycle_len();
         for _ in 0..cycles {
             self.run_noisy_cycle(rng);
-            if mode == DeliveryMode::SoftwareBaseline {
-                // In the baseline, this cycle's µops all crossed the bus:
-                // one byte per qubit per microcode word (§3.3).
-                let bytes = (self.lattice.num_qubits() * self.mce.microcode().cycle_len()) as u64;
-                self.master_mut_bus_record(Traffic::QeccInstructions, bytes);
-            }
+            engine.account_cycle(&mut self.master, self.lattice.num_qubits(), cycle_len);
         }
         // Periodic sync token (cache management + logical movement, §7).
         self.master.sync(&mut self.mce, 0);
 
         // Final readout: measure data in Z, apply the accumulated Pauli
-        // frames (local + global corrections), check logical Z.
-        let frame: Vec<usize> = self
-            .mce
-            .decoder(StabKind::Z)
-            .frame()
-            .iter()
-            .copied()
-            .collect();
-        let mut bits: Vec<bool> = (0..self.lattice.num_data())
-            .map(|q| self.substrate.measure(q, rng).value)
-            .collect();
-        for q in frame {
-            bits[q] = !bits[q];
-        }
-        // Residual single-shot cleanup from the final perfect readout:
-        // derive final-round events and decode them too (standard final
-        // round of a memory experiment).
-        let final_correction = self.final_round_correction(&bits);
-        for q in final_correction {
-            bits[q] = !bits[q];
-        }
-        let logical_error = (0..self.lattice.distance())
-            .map(|col| bits[self.lattice.data_index(0, col)])
-            .fold(false, |acc, b| acc ^ b);
+        // frames (local + global corrections) plus one final perfect
+        // decoding round; its residual events cross the bus upstream.
+        let readout = self.mce.measure_logical_z_details(&mut self.substrate, rng);
+        self.master.note_readout_syndrome(readout.final_events);
 
-        let z = self.mce.decode_stats(StabKind::Z);
-        SystemRun {
-            mode,
+        let (local_decodes, escalations) = decode_totals([&self.mce]);
+        RunReport {
+            delivery: mode,
+            outcomes: vec![(0, readout.value)],
+            bus: *self.master.bus(),
             qecc_cycles: self.mce.microcode().completed_cycles(),
-            bus_bytes: self.master.bus().total(),
-            logical_ok: !logical_error,
-            local_decodes: z.local_hits,
-            escalations: z.escalations,
+            local_decodes,
+            escalations,
+            master: self.master.stats(),
         }
-    }
-
-    /// Decodes the mismatch between the corrected final readout and the
-    /// last in-loop syndrome record, as a final perfect round.
-    fn final_round_correction(&mut self, bits: &[bool]) -> Vec<usize> {
-        use quest_surface::decoder::Decoder;
-        let graph = quest_surface::DecodingGraph::new(&self.lattice, StabKind::Z, 1);
-        let events: Vec<usize> = self
-            .lattice
-            .plaquettes_of(StabKind::Z)
-            .enumerate()
-            .filter_map(|(c, p)| {
-                let parity = p.data.iter().fold(false, |acc, &q| acc ^ bits[q]);
-                if parity {
-                    Some(graph.node(0, c))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        if events.is_empty() {
-            return Vec::new();
-        }
-        self.master_mut_bus_record(
-            Traffic::Syndrome,
-            events.len() as u64 * crate::master::SYNDROME_EVENT_BYTES,
-        );
-        let correction = quest_surface::UnionFindDecoder::new().decode(&graph, &events);
-        correction.data_flips.into_iter().collect()
-    }
-
-    fn master_mut_bus_record(&mut self, class: Traffic, bytes: u64) {
-        self.master.record_traffic(class, bytes);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bus::Traffic;
     use quest_isa::LogicalQubit;
     use quest_stabilizer::{SeedableRng, StdRng};
 
@@ -279,6 +223,27 @@ mod tests {
     }
 
     #[test]
+    fn invalid_parameters_are_typed_errors() {
+        assert_eq!(
+            QuestSystem::new(4, 0.0).unwrap_err(),
+            BuildError::InvalidDistance(4)
+        );
+        assert_eq!(
+            QuestSystem::new(2, 0.0).unwrap_err(),
+            BuildError::InvalidDistance(2)
+        );
+        assert!(matches!(
+            QuestSystem::new(3, 1.5).unwrap_err(),
+            BuildError::InvalidProbability { .. }
+        ));
+        assert!(matches!(
+            QuestSystem::with_measurement_noise(3, 0.0, -0.1).unwrap_err(),
+            BuildError::InvalidProbability { .. }
+        ));
+        assert!(QuestSystem::new(3, 0.0).is_ok());
+    }
+
+    #[test]
     fn baseline_moves_orders_of_magnitude_more_bytes() {
         // Per-cycle QECC traffic dwarfs the one-shot logical program. Use
         // a modest replay count so the distillation stream stays below the
@@ -286,7 +251,7 @@ mod tests {
         // five orders — see the analytical model).
         let mut rng = StdRng::seed_from_u64(3);
         let cycles = 200;
-        let mut base = QuestSystem::new(3, 1e-3);
+        let mut base = QuestSystem::new(3, 1e-3).unwrap();
         let b = base.run_memory_workload(
             cycles,
             &program(),
@@ -294,20 +259,20 @@ mod tests {
             DeliveryMode::SoftwareBaseline,
             &mut rng,
         );
-        let mut quest = QuestSystem::new(3, 1e-3);
+        let mut quest = QuestSystem::new(3, 1e-3).unwrap();
         let q = quest.run_memory_workload(cycles, &program(), 1, DeliveryMode::QuestMce, &mut rng);
         assert!(
-            b.bus_bytes > 50 * q.bus_bytes,
+            b.bus_bytes() > 50 * q.bus_bytes(),
             "baseline {} vs QuEST {}",
-            b.bus_bytes,
-            q.bus_bytes
+            b.bus_bytes(),
+            q.bus_bytes()
         );
     }
 
     #[test]
     fn cached_distillation_traffic_is_replay_count_independent() {
         // The cache decouples bus traffic from how often the kernel runs.
-        let mut few = QuestSystem::new(3, 0.0);
+        let mut few = QuestSystem::new(3, 0.0).unwrap();
         let f = few.run_memory_workload(
             5,
             &program(),
@@ -315,7 +280,7 @@ mod tests {
             DeliveryMode::QuestMceCache,
             &mut StdRng::seed_from_u64(4),
         );
-        let mut many = QuestSystem::new(3, 0.0);
+        let mut many = QuestSystem::new(3, 0.0).unwrap();
         let m = many.run_memory_workload(
             5,
             &program(),
@@ -324,9 +289,9 @@ mod tests {
             &mut StdRng::seed_from_u64(4),
         );
         // 990 extra replays cost only 2 bytes each (the replay command).
-        assert_eq!(m.bus_bytes - f.bus_bytes, 990 * 2);
+        assert_eq!(m.bus_bytes() - f.bus_bytes(), 990 * 2);
         // While the uncached mode pays the full kernel every time.
-        let mut plain = QuestSystem::new(3, 0.0);
+        let mut plain = QuestSystem::new(3, 0.0).unwrap();
         let p = plain.run_memory_workload(
             5,
             &program(),
@@ -335,35 +300,35 @@ mod tests {
             &mut StdRng::seed_from_u64(4),
         );
         assert!(
-            p.bus_bytes > 40 * m.bus_bytes,
+            p.bus_bytes() > 40 * m.bus_bytes(),
             "{} vs {}",
-            p.bus_bytes,
-            m.bus_bytes
+            p.bus_bytes(),
+            m.bus_bytes()
         );
     }
 
     #[test]
     fn cache_mode_cuts_distillation_traffic() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut plain = QuestSystem::new(3, 0.0);
+        let mut plain = QuestSystem::new(3, 0.0).unwrap();
         let p = plain.run_memory_workload(10, &program(), 10, DeliveryMode::QuestMce, &mut rng);
-        let mut cached = QuestSystem::new(3, 0.0);
+        let mut cached = QuestSystem::new(3, 0.0).unwrap();
         let c =
             cached.run_memory_workload(10, &program(), 10, DeliveryMode::QuestMceCache, &mut rng);
         // With one kernel occurrence, fill ≈ dispatch; the win shows in
         // the distillation class being replaced by one-time cache fill.
         assert_eq!(
-            cached.master().bus().bytes(Traffic::Distillation),
+            c.bus_bytes_of(Traffic::Distillation),
             0,
             "cached mode sends no per-instance distillation instructions"
         );
-        assert!(c.bus_bytes <= p.bus_bytes + 4);
+        assert!(c.bus_bytes() <= p.bus_bytes() + 4);
     }
 
     #[test]
     fn noiseless_run_is_logically_clean_and_quiet() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut sys = QuestSystem::new(3, 0.0);
+        let mut sys = QuestSystem::new(3, 0.0).unwrap();
         let r = sys.run_memory_workload(
             50,
             &LogicalProgram::new(),
@@ -371,10 +336,11 @@ mod tests {
             DeliveryMode::QuestMce,
             &mut rng,
         );
-        assert!(r.logical_ok);
+        assert!(r.logical_ok());
         assert_eq!(r.local_decodes, 0);
         assert_eq!(r.escalations, 0);
         assert_eq!(r.qecc_cycles, 50);
+        assert_eq!(r.outcomes, vec![(0, false)]);
     }
 
     #[test]
@@ -382,7 +348,7 @@ mod tests {
         let mut failures = 0;
         for seed in 0..20 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut sys = QuestSystem::new(3, 2e-3);
+            let mut sys = QuestSystem::new(3, 2e-3).unwrap();
             let r = sys.run_memory_workload(
                 20,
                 &LogicalProgram::new(),
@@ -390,7 +356,7 @@ mod tests {
                 DeliveryMode::QuestMce,
                 &mut rng,
             );
-            if !r.logical_ok {
+            if !r.logical_ok() {
                 failures += 1;
             }
         }
@@ -411,7 +377,7 @@ mod tests {
         let shots = 25;
         for seed in 0..shots {
             let mut rng = StdRng::seed_from_u64(400 + seed);
-            let mut sys = QuestSystem::with_measurement_noise(3, 0.0, 0.02);
+            let mut sys = QuestSystem::with_measurement_noise(3, 0.0, 0.02).unwrap();
             let r = sys.run_memory_workload(
                 40,
                 &LogicalProgram::new(),
@@ -419,7 +385,7 @@ mod tests {
                 DeliveryMode::QuestMce,
                 &mut rng,
             );
-            failures += (!r.logical_ok) as u32;
+            failures += (!r.logical_ok()) as u32;
         }
         assert!(
             failures <= 7,
@@ -432,7 +398,7 @@ mod tests {
         // At a moderate error rate over many cycles, the local decoder
         // must resolve most rounds and escalations must be rare.
         let mut rng = StdRng::seed_from_u64(6);
-        let mut sys = QuestSystem::new(5, 3e-3);
+        let mut sys = QuestSystem::new(5, 3e-3).unwrap();
         let r = sys.run_memory_workload(
             300,
             &LogicalProgram::new(),

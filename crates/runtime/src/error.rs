@@ -1,0 +1,68 @@
+//! Typed errors for fallible workload execution.
+
+use crate::spec::SpecError;
+use quest_core::BuildError;
+use std::fmt;
+
+/// Why [`Runtime::run`](crate::Runtime::run) or
+/// [`run_reference`](crate::run_reference) refused a workload.
+///
+/// Both executors validate the spec up front and build their systems
+/// fallibly, so no invalid user input reaches a panicking constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The spec failed [`WorkloadSpec::validate`](crate::WorkloadSpec::validate).
+    Spec(SpecError),
+    /// System construction rejected the spec's physical parameters.
+    Build(BuildError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Spec(e) => e.fmt(f),
+            RuntimeError::Build(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Spec(e) => Some(e),
+            RuntimeError::Build(e) => Some(e),
+        }
+    }
+}
+
+impl From<SpecError> for RuntimeError {
+    fn from(e: SpecError) -> RuntimeError {
+        RuntimeError::Spec(e)
+    }
+}
+
+impl From<BuildError> for RuntimeError {
+    fn from(e: BuildError) -> RuntimeError {
+        RuntimeError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_are_one_line_and_sourced() {
+        let e = RuntimeError::from(SpecError::NoTiles);
+        assert_eq!(
+            e.to_string(),
+            "invalid workload spec: need at least one tile"
+        );
+        assert!(!e.to_string().contains('\n'));
+        assert!(e.source().is_some());
+        let e = RuntimeError::from(BuildError::InvalidDistance(4));
+        assert!(e.to_string().contains("odd number"));
+        assert!(e.source().is_some());
+    }
+}

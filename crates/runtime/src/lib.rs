@@ -22,13 +22,21 @@
 //!   correction delivery), so transversal cross-tile CNOTs always see
 //!   settled frames, exactly like the single-threaded loop.
 //!
+//! Instruction delivery goes through the shared
+//! [`quest_core::DeliveryEngine`]: the master thread
+//! performs the bus-accounting half and the owning shard the
+//! pipeline-execution half, so all three Figure-14
+//! [`DeliveryMode`]s run sharded with the exact ledger of the
+//! single-threaded systems.
+//!
 //! # Determinism
 //!
-//! For a fixed master seed, a run's logical outcomes and bus-byte totals
-//! are identical for every shard count, and identical to the
-//! single-threaded reference ([`run_reference`]): each tile consumes
-//! only its own RNG stream in a fixed order, corrections always land
-//! before the next cycle, and bus tallies are order-invariant sums.
+//! For a fixed master seed, a run's [`RunReport`] — logical outcomes,
+//! per-class bus ledger, decode counters — is bit-identical for every
+//! shard count, and identical to the single-threaded reference
+//! ([`run_reference`]): each tile consumes only its own RNG stream in a
+//! fixed order, corrections always land before the next cycle, and bus
+//! tallies are order-invariant sums.
 //!
 //! # Example
 //!
@@ -36,13 +44,15 @@
 //! use quest_runtime::{Runtime, WorkloadSpec};
 //!
 //! let spec = WorkloadSpec::memory(3, 4, 2, 1e-3, 7, 10);
-//! let report = Runtime::new().run(&spec);
+//! let report = Runtime::new().run(&spec)?;
 //! assert_eq!(report.outcomes.len(), 4);
-//! // Same seed, different sharding: identical physics.
+//! // Same seed, different sharding: identical physics and accounting.
 //! let spec1 = WorkloadSpec { shards: 1, ..spec };
-//! assert_eq!(Runtime::new().run(&spec1).outcomes, report.outcomes);
+//! assert_eq!(Runtime::new().run(&spec1)?.report, report.report);
+//! # Ok::<(), quest_runtime::RuntimeError>(())
 //! ```
 
+pub mod error;
 mod message;
 mod pool;
 pub mod reference;
@@ -51,19 +61,23 @@ pub mod stats;
 
 mod shard;
 
+pub use error::RuntimeError;
 pub use pool::PoolStats;
 pub use quest_core::tile::LogicalBasis;
-pub use reference::{run_reference, ReferenceReport};
+pub use quest_core::{DeliveryMode, RunReport};
+pub use reference::run_reference;
 pub use spec::{SpecError, WorkloadOp, WorkloadSpec};
-pub use stats::{PhaseTimings, RunReport, RuntimeStats, ShardStats};
+pub use stats::{PhaseTimings, RuntimeReport, RuntimeStats, ShardStats};
 
 use message::{channel, DepthGauge, Envelope, Payload, Rx, Tx};
 use pool::DecodePool;
 use quest_core::network::{Network, PacketKind};
-use quest_core::MasterController;
+use quest_core::{DeliveryEngine, MasterController, Mce, MCE_IBUF_BYTES};
+use quest_isa::LogicalInstr;
 use quest_surface::decoder::batch::DecodeJob;
 use quest_surface::RotatedLattice;
 use shard::ShardWorker;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Per-direction bound of each master ↔ shard channel. Deep enough that
@@ -100,32 +114,36 @@ impl Runtime {
         }
     }
 
-    /// Overrides the decode-pool size (results are identical for any
-    /// size; only throughput changes).
+    /// Overrides the decode-pool size, clamped to at least one worker
+    /// (results are identical for any size; only throughput changes).
     pub fn with_decode_workers(mut self, workers: usize) -> Runtime {
-        assert!(workers > 0, "decode pool needs at least one worker");
-        self.decode_workers = workers;
+        self.decode_workers = workers.max(1);
         self
     }
 
-    /// Overrides the modelled interconnect tree fan-out.
+    /// Overrides the modelled interconnect tree fan-out, clamped to at
+    /// least 2.
     pub fn with_fanout(mut self, fanout: usize) -> Runtime {
-        assert!(fanout >= 2, "tree fan-out must be at least 2");
-        self.fanout = fanout;
+        self.fanout = fanout.max(2);
         self
     }
 
-    /// Executes a workload and returns its outcomes, bus ledger and
+    /// Executes a workload and returns the unified [`RunReport`] plus
     /// runtime statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the spec fails [`WorkloadSpec::validate`].
-    pub fn run(&self, spec: &WorkloadSpec) -> RunReport {
-        spec.validate().expect("invalid workload spec");
+    /// Returns [`RuntimeError`] if the spec fails
+    /// [`WorkloadSpec::validate`]; a validated spec never panics the
+    /// engine.
+    pub fn run(&self, spec: &WorkloadSpec) -> Result<RuntimeReport, RuntimeError> {
+        spec.validate()?;
         let lattice = RotatedLattice::new(spec.distance);
+        // One template MCE yields the microcode cycle length for the
+        // software baseline's per-cycle bus accounting.
+        let cycle_len = Mce::new(&lattice, MCE_IBUF_BYTES).microcode().cycle_len();
 
-        std::thread::scope(|scope| {
+        Ok(std::thread::scope(|scope| {
             // Wire one bounded channel pair per shard and spawn workers.
             let mut down_txs: Vec<Tx<Envelope>> = Vec::with_capacity(spec.shards);
             let mut up_rxs: Vec<Rx<Envelope>> = Vec::with_capacity(spec.shards);
@@ -139,6 +157,7 @@ impl Runtime {
                     spec.tile_range(s),
                     &lattice,
                     spec.error_rate,
+                    spec.delivery,
                     spec.seed,
                     down_rx,
                     up_tx,
@@ -153,6 +172,11 @@ impl Runtime {
 
             let mut master = Master {
                 spec,
+                engine: DeliveryEngine::new(spec.delivery),
+                kernel: spec.kernel.clone().into(),
+                filled: vec![false; spec.tiles],
+                num_qubits: lattice.num_qubits(),
+                cycle_len,
                 controller: MasterController::new(),
                 network: Network::new(spec.tiles, self.fanout),
                 pool,
@@ -170,17 +194,26 @@ impl Runtime {
                     })
                     .collect(),
                 outcomes: Vec::new(),
+                qecc_cycles: 0,
+                local_decodes: 0,
                 phases: PhaseTimings::default(),
             };
             master.execute();
             master.report(&down_gauges, &up_gauges)
-        })
+        }))
     }
 }
 
 /// Master-thread state for one run.
 struct Master<'a> {
     spec: &'a WorkloadSpec,
+    engine: DeliveryEngine,
+    /// The shared distillation kernel, shipped to shards by reference.
+    kernel: Arc<[LogicalInstr]>,
+    /// Per-tile "kernel block resident in the tile's cache" flags.
+    filled: Vec<bool>,
+    num_qubits: usize,
+    cycle_len: usize,
     controller: MasterController,
     network: Network,
     pool: DecodePool,
@@ -188,6 +221,8 @@ struct Master<'a> {
     up_rxs: Vec<Rx<Envelope>>,
     shard_stats: Vec<ShardStats>,
     outcomes: Vec<(usize, bool)>,
+    qecc_cycles: u64,
+    local_decodes: u64,
     phases: PhaseTimings,
 }
 
@@ -238,6 +273,62 @@ impl Master<'_> {
                     ));
                     self.phases.logical += start.elapsed();
                 }
+                WorkloadOp::Logical { tile, instr, class } => {
+                    let start = Instant::now();
+                    let shard = self.spec.shard_of(tile);
+                    // Master half: bus accounting; shard half: delivery.
+                    self.engine.dispatch_remote(&mut self.controller, class);
+                    self.send_down(
+                        shard,
+                        tile,
+                        Envelope::instructions(
+                            self.engine.instr_bytes(),
+                            Payload::Logical { tile, instr },
+                        ),
+                    );
+                    self.phases.logical += start.elapsed();
+                }
+                WorkloadOp::KernelReplay { tile, replays } => {
+                    let start = Instant::now();
+                    let shard = self.spec.shard_of(tile);
+                    // Master half: fill-once / per-replay accounting. The
+                    // envelope's wire bytes are exactly the bytes this op
+                    // put on the bus ledger.
+                    let before = self.controller.bus().total();
+                    let newly_filled = self.engine.kernel_remote(
+                        &mut self.controller,
+                        self.kernel.len(),
+                        replays,
+                        self.filled[tile],
+                    );
+                    self.filled[tile] |= newly_filled;
+                    let wire_bytes = self.controller.bus().total() - before;
+                    self.send_down(
+                        shard,
+                        tile,
+                        Envelope::instructions(
+                            wire_bytes,
+                            Payload::Kernel {
+                                tile,
+                                kernel: Arc::clone(&self.kernel),
+                                replays,
+                            },
+                        ),
+                    );
+                    self.phases.logical += start.elapsed();
+                }
+                WorkloadOp::Sync { tile } => {
+                    let start = Instant::now();
+                    // A sync token has no shard-side effect; it is pure
+                    // master-side bus traffic.
+                    self.controller.sync_remote(0);
+                    self.network.send(
+                        tile,
+                        quest_core::master::SYNC_TOKEN_BYTES,
+                        PacketKind::Downstream,
+                    );
+                    self.phases.logical += start.elapsed();
+                }
                 WorkloadOp::Cycles(n) => {
                     for _ in 0..n {
                         self.run_cycle();
@@ -256,7 +347,19 @@ impl Master<'_> {
                     let env = self.up_rxs[shard].recv();
                     self.shard_stats[shard].upstream_messages += 1;
                     match env.payload {
-                        Payload::Outcome { tile, value } => self.outcomes.push((tile, value)),
+                        Payload::Outcome {
+                            tile,
+                            value,
+                            final_events,
+                        } => {
+                            // Residual final-round events cross the bus
+                            // upstream, like any other syndrome traffic.
+                            if env.wire_bytes > 0 {
+                                self.network.send(tile, env.wire_bytes, env.kind);
+                            }
+                            self.controller.note_readout_syndrome(final_events);
+                            self.outcomes.push((tile, value));
+                        }
                         other => unreachable!("unexpected payload awaiting outcome: {other:?}"),
                     }
                     self.phases.readout += start.elapsed();
@@ -265,6 +368,22 @@ impl Master<'_> {
         }
         for shard in 0..self.spec.shards {
             self.down_txs[shard].send(Envelope::control(PacketKind::Downstream, Payload::Shutdown));
+        }
+        // Collect each worker's sign-off: the local-decode counters only
+        // the shard threads could observe.
+        for shard in 0..self.spec.shards {
+            let env = self.up_rxs[shard].recv();
+            self.shard_stats[shard].upstream_messages += 1;
+            match env.payload {
+                Payload::Closing {
+                    shard: s,
+                    local_decodes,
+                } => {
+                    debug_assert_eq!(s, shard);
+                    self.local_decodes += local_decodes;
+                }
+                other => unreachable!("unexpected payload awaiting sign-off: {other:?}"),
+            }
         }
     }
 
@@ -313,6 +432,12 @@ impl Master<'_> {
                 }
             }
         }
+        // Under the software baseline every tile's cycle crosses the bus.
+        for _ in 0..self.spec.tiles {
+            self.engine
+                .account_cycle(&mut self.controller, self.num_qubits, self.cycle_len);
+        }
+        self.qecc_cycles += 1;
         self.phases.cycles += start.elapsed();
 
         let start = Instant::now();
@@ -325,14 +450,22 @@ impl Master<'_> {
         self.phases.decode += start.elapsed();
     }
 
-    fn report(mut self, down_gauges: &[DepthGauge], up_gauges: &[DepthGauge]) -> RunReport {
+    fn report(mut self, down_gauges: &[DepthGauge], up_gauges: &[DepthGauge]) -> RuntimeReport {
         for (s, stats) in self.shard_stats.iter_mut().enumerate() {
             stats.max_downstream_depth = down_gauges[s].high_water();
             stats.max_upstream_depth = up_gauges[s].high_water();
         }
-        RunReport {
-            outcomes: self.outcomes,
-            bus_bytes: self.controller.bus().total(),
+        let escalations = self.shard_stats.iter().map(|s| s.escalations).sum();
+        RuntimeReport {
+            report: RunReport {
+                delivery: self.spec.delivery,
+                outcomes: self.outcomes,
+                bus: *self.controller.bus(),
+                qecc_cycles: self.qecc_cycles,
+                local_decodes: self.local_decodes,
+                escalations,
+                master: self.controller.stats(),
+            },
             stats: RuntimeStats {
                 shards: self.shard_stats,
                 decode: self.pool.stats(),
@@ -352,41 +485,40 @@ mod tests {
     #[test]
     fn noiseless_memory_reads_all_zero() {
         let spec = WorkloadSpec::memory(3, 4, 2, 0.0, 11, 5);
-        let report = Runtime::new().run(&spec);
+        let report = Runtime::new().run(&spec).unwrap();
         assert_eq!(report.outcomes.len(), 4);
-        assert!(report.outcomes.iter().all(|&(_, v)| !v));
-        assert_eq!(report.bus_bytes, 0, "noiseless memory moves no bus bytes");
+        assert!(report.logical_ok());
+        assert_eq!(report.bus_bytes(), 0, "noiseless memory moves no bus bytes");
+        assert_eq!(report.qecc_cycles, 5);
+        assert_eq!(report.local_decodes, 0);
+        assert_eq!(report.escalations, 0);
         assert_eq!(report.stats.shards.len(), 2);
         assert!(report.stats.shards.iter().all(|s| s.cycles == 5));
     }
 
     #[test]
     fn bell_pairs_correlate_within_pairs() {
-        let spec = WorkloadSpec::bell_pairs(3, 4, 2, 0.0, 3, 2);
-        let report = Runtime::new().run(&spec);
+        let spec = WorkloadSpec::bell_pairs(3, 4, 2, 0.0, 3, 2).unwrap();
+        let report = Runtime::new().run(&spec).unwrap();
         assert_eq!(report.outcomes.len(), 4);
         for pair in 0..2 {
-            let a = report
-                .outcomes
-                .iter()
-                .find(|(t, _)| *t == 2 * pair)
-                .unwrap()
-                .1;
-            let b = report
-                .outcomes
-                .iter()
-                .find(|(t, _)| *t == 2 * pair + 1)
-                .unwrap()
-                .1;
+            let a = report.outcome(2 * pair).unwrap();
+            let b = report.outcome(2 * pair + 1).unwrap();
             assert_eq!(a, b, "Bell pair {pair} decorrelated");
         }
-        // Each CNOT costs exactly two 2-byte sync tokens on the bus.
-        assert_eq!(report.bus_bytes, 2 * 4);
+        // Each CNOT costs exactly two 2-byte sync tokens on the bus; the
+        // only other traffic is the readout itself (the |+_L⟩ tiles'
+        // frozen projection syndrome ships upstream with the outcome).
+        use quest_core::Traffic;
+        assert_eq!(report.bus_bytes_of(Traffic::Sync), 2 * 4);
+        assert_eq!(
+            report.bus_bytes(),
+            2 * 4 + report.bus_bytes_of(Traffic::Syndrome)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "co-sharded")]
-    fn cross_shard_cnot_panics() {
+    fn cross_shard_cnot_is_a_typed_error() {
         let mut spec = WorkloadSpec::memory(3, 4, 4, 0.0, 1, 1);
         spec.ops.insert(
             1,
@@ -395,21 +527,38 @@ mod tests {
                 target: 3,
             },
         );
-        Runtime::new().run(&spec);
+        let err = Runtime::new().run(&spec).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Spec(SpecError::CnotCrossShard { .. })),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("co-sharded"), "{err}");
     }
 
     #[test]
     fn noisy_run_reports_consistent_stats() {
         let spec = WorkloadSpec::memory(3, 6, 3, 5e-3, 23, 30);
-        let report = Runtime::new().run(&spec);
+        let report = Runtime::new().run(&spec).unwrap();
         let escalations: u64 = report.stats.shards.iter().map(|s| s.escalations).sum();
+        assert_eq!(report.escalations, escalations);
         assert_eq!(report.stats.decode.jobs, escalations);
-        assert_eq!(report.stats.master.global_decodes, escalations);
+        assert_eq!(report.master.global_decodes, escalations);
         if escalations > 0 {
-            assert!(report.bus_bytes > 0);
+            assert!(report.bus_bytes() > 0);
             assert!(report.stats.packets_sent > 0);
             assert!(report.stats.escalation_rate() > 0.0);
         }
         assert!(report.stats.phases.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn invalid_runtime_knobs_are_clamped() {
+        let spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
+        let report = Runtime::new()
+            .with_decode_workers(0)
+            .with_fanout(0)
+            .run(&spec)
+            .unwrap();
+        assert!(report.logical_ok());
     }
 }

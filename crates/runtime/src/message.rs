@@ -14,6 +14,7 @@ use quest_core::decoder_pipeline::Escalation;
 use quest_core::master::SYNDROME_EVENT_BYTES;
 use quest_core::network::PacketKind;
 use quest_core::tile::LogicalBasis;
+use quest_isa::LogicalInstr;
 use quest_surface::StabKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -33,6 +34,17 @@ pub(crate) enum Payload {
     Prep { tile: usize, basis: LogicalBasis },
     /// Transversal CNOT between two co-sharded tiles.
     Cnot { control: usize, target: usize },
+    /// Deliver one logical instruction to a tile's pipeline (the master
+    /// already bus-accounted it).
+    Logical { tile: usize, instr: LogicalInstr },
+    /// Execute the distillation kernel `replays` times on a tile
+    /// (pipeline delivery, or cache fill + replay under the cached
+    /// delivery mode; the master already bus-accounted it).
+    Kernel {
+        tile: usize,
+        kernel: Arc<[LogicalInstr]>,
+        replays: u64,
+    },
     /// Apply a global-decode correction to a tile's decoder frame.
     Correction {
         tile: usize,
@@ -54,8 +66,17 @@ pub(crate) enum Payload {
     /// Cycle barrier: the shard finished its cycle and flushed all
     /// syndromes above.
     CycleDone { shard: usize },
-    /// Readout result.
-    Outcome { tile: usize, value: bool },
+    /// Readout result; `final_events` is the number of residual
+    /// detection events in the final perfect decoding round, which cross
+    /// the bus upstream as syndrome traffic.
+    Outcome {
+        tile: usize,
+        value: bool,
+        final_events: u64,
+    },
+    /// Worker sign-off after `Shutdown`, carrying the counters only the
+    /// shard could see.
+    Closing { shard: usize, local_decodes: u64 },
 }
 
 /// A packet-shaped message: direction + wire bytes + body.
@@ -99,6 +120,31 @@ impl Envelope {
             kind: PacketKind::Downstream,
             wire_bytes: flips.len() as u64 * CORRECTION_FLIP_BYTES,
             payload: Payload::Correction { tile, kind, flips },
+        }
+    }
+
+    /// A downstream instruction-delivery envelope carrying `wire_bytes`
+    /// of bus traffic (the master accounts the bus ledger separately;
+    /// this prices the interconnect packet).
+    pub(crate) fn instructions(wire_bytes: u64, payload: Payload) -> Envelope {
+        Envelope {
+            kind: PacketKind::Downstream,
+            wire_bytes,
+            payload,
+        }
+    }
+
+    /// An upstream readout-outcome envelope
+    /// ([`SYNDROME_EVENT_BYTES`] per residual final-round event).
+    pub(crate) fn outcome(tile: usize, value: bool, final_events: u64) -> Envelope {
+        Envelope {
+            kind: PacketKind::Upstream,
+            wire_bytes: final_events * SYNDROME_EVENT_BYTES,
+            payload: Payload::Outcome {
+                tile,
+                value,
+                final_events,
+            },
         }
     }
 }

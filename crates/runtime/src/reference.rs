@@ -1,40 +1,39 @@
 //! Single-threaded reference execution of a [`WorkloadSpec`].
 //!
 //! Runs the same workload on
-//! [`MultiTileSystem`](quest_core::MultiTileSystem) — one tableau
+//! [`quest_core::MultiTileSystem`] — one tableau
 //! spanning every tile, escalations serviced inline by the master
-//! controller — using the same per-tile RNG streams as the concurrent
-//! runtime. The determinism tests and the scaling benchmark compare
+//! controller, instruction delivery through the shared
+//! [`quest_core::DeliveryEngine`] — using the same
+//! per-tile RNG streams as the concurrent runtime. The determinism tests
+//! and the scaling benchmark compare
 //! [`Runtime::run`](crate::Runtime::run) against this.
 
+use crate::error::RuntimeError;
 use crate::spec::{WorkloadOp, WorkloadSpec};
 use quest_core::tile::tile_seed;
-use quest_core::MultiTileSystem;
+use quest_core::{decode_totals, MultiTileSystem, RunReport};
 use quest_stabilizer::{SeedableRng, StdRng};
 
-/// Outcome of a reference run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ReferenceReport {
-    /// Logical readout outcomes, in program order, as `(tile, value)`.
-    pub outcomes: Vec<(usize, bool)>,
-    /// Total bytes on the master controller's bus ledger.
-    pub bus_bytes: u64,
-}
-
-/// Executes the spec single-threaded.
+/// Executes the spec single-threaded, producing the same unified
+/// [`RunReport`] as the concurrent runtime — bit-identical for any shard
+/// count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the spec fails [`WorkloadSpec::validate`] (the shard count
-/// is irrelevant here but is still checked, so a spec accepted by the
-/// runtime and the reference is the same set).
-pub fn run_reference(spec: &WorkloadSpec) -> ReferenceReport {
-    spec.validate().expect("invalid workload spec");
-    let mut sys = MultiTileSystem::new(spec.distance, spec.tiles, spec.error_rate);
+/// Returns [`RuntimeError`] if the spec fails [`WorkloadSpec::validate`]
+/// (the shard count is irrelevant here but is still checked, so a spec
+/// accepted by the runtime and the reference is the same set) or system
+/// construction rejects its parameters.
+pub fn run_reference(spec: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
+    spec.validate()?;
+    let mut sys =
+        MultiTileSystem::with_delivery(spec.distance, spec.tiles, spec.error_rate, spec.delivery)?;
     let mut rngs: Vec<StdRng> = (0..spec.tiles)
         .map(|t| StdRng::seed_from_u64(tile_seed(spec.seed, t as u64)))
         .collect();
     let mut outcomes = Vec::new();
+    let mut qecc_cycles = 0;
     for op in &spec.ops {
         match *op {
             WorkloadOp::Prep { tile, basis } => {
@@ -44,11 +43,21 @@ pub fn run_reference(spec: &WorkloadSpec) -> ReferenceReport {
                 for _ in 0..n {
                     sys.run_noisy_cycle_streams(&mut rngs);
                 }
+                qecc_cycles += n;
             }
             WorkloadOp::Cnot { control, target } => {
                 // The transversal CNOT consumes no randomness; any
                 // stream works.
                 sys.transversal_cnot(control, target, &mut rngs[control]);
+            }
+            WorkloadOp::Logical { tile, instr, class } => {
+                sys.dispatch_logical(tile, instr, class);
+            }
+            WorkloadOp::KernelReplay { tile, replays } => {
+                sys.run_kernel(tile, &spec.kernel, replays);
+            }
+            WorkloadOp::Sync { tile } => {
+                sys.sync_tile(tile);
             }
             WorkloadOp::MeasureZ { tile } => {
                 let value = sys.measure_logical_z(tile, &mut rngs[tile]);
@@ -56,8 +65,14 @@ pub fn run_reference(spec: &WorkloadSpec) -> ReferenceReport {
             }
         }
     }
-    ReferenceReport {
+    let (local_decodes, escalations) = decode_totals(sys.mces());
+    Ok(RunReport {
+        delivery: spec.delivery,
         outcomes,
-        bus_bytes: sys.master().bus().total(),
-    }
+        bus: *sys.master().bus(),
+        qecc_cycles,
+        local_decodes,
+        escalations,
+        master: sys.master().stats(),
+    })
 }

@@ -16,7 +16,7 @@
 use crate::message::{Envelope, Payload, Rx, Tx};
 use quest_core::network::PacketKind;
 use quest_core::tile;
-use quest_core::Mce;
+use quest_core::{decode_totals, DeliveryEngine, DeliveryMode, Mce, MCE_IBUF_BYTES};
 use quest_stabilizer::{PauliChannel, SeedableRng, StdRng, Tableau};
 use quest_surface::RotatedLattice;
 use std::ops::Range;
@@ -29,6 +29,7 @@ pub(crate) struct ShardWorker {
     mces: Vec<Mce>,
     substrate: Tableau,
     noise: PauliChannel,
+    engine: DeliveryEngine,
     rngs: Vec<StdRng>,
     rx: Rx<Envelope>,
     tx: Tx<Envelope>,
@@ -37,18 +38,20 @@ pub(crate) struct ShardWorker {
 impl ShardWorker {
     /// Builds a shard over `tiles` (global ids), with per-tile RNG
     /// streams derived from `master_seed`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         shard: usize,
         tiles: Range<usize>,
         lattice: &RotatedLattice,
         error_rate: f64,
+        delivery: DeliveryMode,
         master_seed: u64,
         rx: Rx<Envelope>,
         tx: Tx<Envelope>,
     ) -> ShardWorker {
         let tile_width = lattice.num_qubits();
         let mces: Vec<Mce> = (0..tiles.len())
-            .map(|local| Mce::with_offset(lattice, 65_536, local * tile_width))
+            .map(|local| Mce::with_offset(lattice, MCE_IBUF_BYTES, local * tile_width))
             .collect();
         let rngs = tiles
             .clone()
@@ -60,6 +63,7 @@ impl ShardWorker {
             tiles,
             mces,
             noise: PauliChannel::depolarizing(error_rate),
+            engine: DeliveryEngine::new(delivery),
             rngs,
             rx,
             tx,
@@ -90,6 +94,19 @@ impl ShardWorker {
                     let (lc, lt) = (self.local(control), self.local(target));
                     tile::transversal_cnot_physics(&mut self.mces, &mut self.substrate, lc, lt);
                 }
+                Payload::Logical { tile, instr } => {
+                    let l = self.local(tile);
+                    self.engine.dispatch_local(&mut self.mces[l], instr);
+                }
+                Payload::Kernel {
+                    tile,
+                    kernel,
+                    replays,
+                } => {
+                    let l = self.local(tile);
+                    self.engine
+                        .kernel_local(&mut self.mces[l], &kernel, replays);
+                }
                 Payload::Correction { tile, kind, flips } => {
                     let l = self.local(tile);
                     self.mces[l]
@@ -98,15 +115,27 @@ impl ShardWorker {
                 }
                 Payload::MeasureZ { tile } => {
                     let l = self.local(tile);
-                    let value =
-                        self.mces[l].measure_logical_z(&mut self.substrate, &mut self.rngs[l]);
+                    let readout = self.mces[l]
+                        .measure_logical_z_details(&mut self.substrate, &mut self.rngs[l]);
+                    self.tx
+                        .send(Envelope::outcome(tile, readout.value, readout.final_events));
+                }
+                Payload::Shutdown => {
+                    // Sign off with the counters only this thread saw.
+                    let (local_decodes, _) = decode_totals(&self.mces);
                     self.tx.send(Envelope::control(
                         PacketKind::Upstream,
-                        Payload::Outcome { tile, value },
+                        Payload::Closing {
+                            shard: self.shard,
+                            local_decodes,
+                        },
                     ));
+                    return;
                 }
-                Payload::Shutdown => return,
-                Payload::Syndrome { .. } | Payload::CycleDone { .. } | Payload::Outcome { .. } => {
+                Payload::Syndrome { .. }
+                | Payload::CycleDone { .. }
+                | Payload::Outcome { .. }
+                | Payload::Closing { .. } => {
                     unreachable!("upstream payload arrived at a shard worker")
                 }
             }

@@ -1,6 +1,8 @@
 //! Workload description and shard planning.
 
 use quest_core::tile::LogicalBasis;
+use quest_core::{DeliveryMode, MCE_IBUF_BYTES};
+use quest_isa::{InstrClass, LogicalInstr, LogicalProgram};
 use std::fmt;
 use std::ops::Range;
 
@@ -24,6 +26,32 @@ pub enum WorkloadOp {
         control: usize,
         /// Target tile.
         target: usize,
+    },
+    /// Deliver one logical instruction to a tile through the engine's
+    /// delivery policy (bus-accounted under the spec's [`DeliveryMode`]).
+    Logical {
+        /// Target tile.
+        tile: usize,
+        /// The instruction.
+        instr: LogicalInstr,
+        /// Its instruction class (selects the bus traffic class).
+        class: InstrClass,
+    },
+    /// Replay the spec's distillation kernel ([`WorkloadSpec::kernel`])
+    /// this many times on a tile. Under
+    /// [`DeliveryMode::QuestMceCache`] the kernel crosses the bus once
+    /// and replays from the tile's instruction cache thereafter.
+    KernelReplay {
+        /// Target tile.
+        tile: usize,
+        /// Number of kernel executions.
+        replays: u64,
+    },
+    /// Issue a master → MCE sync token to a tile (cache management and
+    /// logical-qubit movement, §7).
+    Sync {
+        /// Target tile.
+        tile: usize,
     },
     /// Destructive logical-Z readout of a tile; the outcome is appended
     /// to the run report.
@@ -49,17 +77,137 @@ pub struct WorkloadSpec {
     /// [`quest_core::tile::tile_seed`], so outcomes are independent of
     /// the shard count.
     pub seed: u64,
+    /// Instruction-delivery architecture to account
+    /// ([`DeliveryMode::QuestMce`] in the stock constructors).
+    pub delivery: DeliveryMode,
+    /// The shared distillation kernel replayed by
+    /// [`WorkloadOp::KernelReplay`] (empty when unused).
+    pub kernel: Vec<LogicalInstr>,
     /// The program.
     pub ops: Vec<WorkloadOp>,
 }
 
-/// A spec that failed validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpecError(pub String);
+/// Why a [`WorkloadSpec`] failed [`WorkloadSpec::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The code distance is even or below 3.
+    InvalidDistance(usize),
+    /// The spec has no tiles.
+    NoTiles,
+    /// The shard count is zero or exceeds the tile count.
+    BadShardCount {
+        /// Tiles in the spec.
+        tiles: usize,
+        /// Offending shard count.
+        shards: usize,
+    },
+    /// The error rate is outside `[0, 1]`.
+    InvalidErrorRate(f64),
+    /// An op references a tile the spec does not have.
+    TileOutOfRange {
+        /// Index of the offending op.
+        op: usize,
+        /// The referenced tile.
+        tile: usize,
+        /// Tiles in the spec.
+        tiles: usize,
+    },
+    /// A CNOT's control and target coincide.
+    CnotSameTile {
+        /// Index of the offending op.
+        op: usize,
+        /// The repeated tile.
+        tile: usize,
+    },
+    /// A CNOT's endpoints live on different shards.
+    CnotCrossShard {
+        /// Index of the offending op.
+        op: usize,
+        /// Control tile.
+        control: usize,
+        /// Target tile.
+        target: usize,
+        /// Shard owning the control.
+        control_shard: usize,
+        /// Shard owning the target.
+        target_shard: usize,
+    },
+    /// A CNOT acts on a tile before both of its decoder references are
+    /// established (a preparation changes basis and the references
+    /// re-form on the next QECC cycle; a CNOT before that cycle would
+    /// read an undefined syndrome reference).
+    CnotBeforeReference {
+        /// Index of the offending op.
+        op: usize,
+        /// The unreferenced tile.
+        tile: usize,
+    },
+    /// The distillation kernel does not fit the MCE instruction buffer,
+    /// so the cache fill demanded by [`DeliveryMode::QuestMceCache`]
+    /// would overflow.
+    KernelTooLarge {
+        /// Encoded kernel size.
+        bytes: usize,
+        /// Instruction-buffer capacity.
+        capacity: usize,
+    },
+    /// [`WorkloadSpec::bell_pairs`] needs an even tile count.
+    OddBellTiles(usize),
+}
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid workload spec: {}", self.0)
+        write!(f, "invalid workload spec: ")?;
+        match *self {
+            SpecError::InvalidDistance(d) => {
+                write!(f, "distance must be an odd number >= 3, got {d}")
+            }
+            SpecError::NoTiles => write!(f, "need at least one tile"),
+            SpecError::BadShardCount { tiles, shards } => {
+                write!(f, "shards must be in 1..={tiles}, got {shards}")
+            }
+            SpecError::InvalidErrorRate(p) => write!(f, "error rate {p} outside [0, 1]"),
+            SpecError::TileOutOfRange { op, tile, tiles } => {
+                write!(
+                    f,
+                    "op {op} references tile {tile}, but there are {tiles} tiles"
+                )
+            }
+            SpecError::CnotSameTile { op, tile } => {
+                write!(
+                    f,
+                    "op {op}: CNOT control and target tiles coincide ({tile})"
+                )
+            }
+            SpecError::CnotCrossShard {
+                op,
+                control,
+                target,
+                control_shard,
+                target_shard,
+            } => write!(
+                f,
+                "op {op}: CNOT({control}, {target}) crosses shards {control_shard} and \
+                 {target_shard}; entangled tiles must be co-sharded (lower the shard \
+                 count or regroup the tiles)"
+            ),
+            SpecError::CnotBeforeReference { op, tile } => write!(
+                f,
+                "op {op}: CNOT uses tile {tile} before its decoder references settle; \
+                 run at least one QECC cycle after preparation"
+            ),
+            SpecError::KernelTooLarge { bytes, capacity } => write!(
+                f,
+                "distillation kernel is {bytes} bytes encoded, larger than the \
+                 {capacity}-byte MCE instruction buffer"
+            ),
+            SpecError::OddBellTiles(tiles) => {
+                write!(
+                    f,
+                    "Bell-pair workload needs an even tile count, got {tiles}"
+                )
+            }
+        }
     }
 }
 
@@ -90,6 +238,8 @@ impl WorkloadSpec {
             shards,
             error_rate,
             seed,
+            delivery: DeliveryMode::QuestMce,
+            kernel: Vec::new(),
             ops,
         }
     }
@@ -98,6 +248,10 @@ impl WorkloadSpec {
     /// pair, one projection cycle, transversal CNOT, `cycles` noisy
     /// rounds, then readout of every tile. Pairs `(2k, 2k+1)` stay
     /// co-sharded for every shard count dividing `tiles / 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::OddBellTiles`] when `tiles` is odd.
     pub fn bell_pairs(
         distance: usize,
         tiles: usize,
@@ -105,11 +259,10 @@ impl WorkloadSpec {
         error_rate: f64,
         seed: u64,
         cycles: u64,
-    ) -> WorkloadSpec {
-        assert!(
-            tiles.is_multiple_of(2),
-            "Bell-pair workload needs an even tile count"
-        );
+    ) -> Result<WorkloadSpec, SpecError> {
+        if !tiles.is_multiple_of(2) {
+            return Err(SpecError::OddBellTiles(tiles));
+        }
         let mut ops = Vec::new();
         for pair in 0..tiles / 2 {
             ops.push(WorkloadOp::Prep {
@@ -130,12 +283,66 @@ impl WorkloadSpec {
         }
         ops.push(WorkloadOp::Cycles(cycles));
         ops.extend((0..tiles).map(|tile| WorkloadOp::MeasureZ { tile }));
+        Ok(WorkloadSpec {
+            distance,
+            tiles,
+            shards,
+            error_rate,
+            seed,
+            delivery: DeliveryMode::QuestMce,
+            kernel: Vec::new(),
+            ops,
+        })
+    }
+
+    /// A delivery-mode memory workload mirroring
+    /// [`QuestSystem::run_memory_workload`](quest_core::QuestSystem::run_memory_workload)
+    /// on every tile: the program's non-distillation instructions are
+    /// delivered per tile, its distillation-class instructions form the
+    /// shared kernel replayed `replays` times per tile, then `cycles`
+    /// noisy rounds, one sync token per tile, and readout of every tile.
+    ///
+    /// With `tiles = 1` this reproduces the single-tile system's run —
+    /// bus ledger, decode counters and outcome — under every
+    /// [`DeliveryMode`]; sharded, it runs the same Figure-14 experiment
+    /// concurrently.
+    #[allow(clippy::too_many_arguments)]
+    pub fn delivery_memory(
+        distance: usize,
+        tiles: usize,
+        shards: usize,
+        error_rate: f64,
+        seed: u64,
+        cycles: u64,
+        program: &LogicalProgram,
+        replays: u64,
+        delivery: DeliveryMode,
+    ) -> WorkloadSpec {
+        let kernel: Vec<LogicalInstr> = program
+            .iter()
+            .filter(|(_, c)| *c == InstrClass::Distillation)
+            .map(|(i, _)| *i)
+            .collect();
+        let mut ops = Vec::new();
+        for tile in 0..tiles {
+            for &(instr, class) in program {
+                if class != InstrClass::Distillation {
+                    ops.push(WorkloadOp::Logical { tile, instr, class });
+                }
+            }
+            ops.push(WorkloadOp::KernelReplay { tile, replays });
+        }
+        ops.push(WorkloadOp::Cycles(cycles));
+        ops.extend((0..tiles).map(|tile| WorkloadOp::Sync { tile }));
+        ops.extend((0..tiles).map(|tile| WorkloadOp::MeasureZ { tile }));
         WorkloadSpec {
             distance,
             tiles,
             shards,
             error_rate,
             seed,
+            delivery,
+            kernel,
             ops,
         }
     }
@@ -158,64 +365,108 @@ impl WorkloadSpec {
             .expect("tile out of range")
     }
 
+    /// Encoded size of the distillation kernel on the bus / in the cache.
+    pub fn kernel_bytes(&self) -> usize {
+        self.kernel.len() * LogicalInstr::ENCODED_BYTES
+    }
+
     /// Checks the spec's structural invariants: valid distance and
     /// probability, at least one tile, `1 ≤ shards ≤ tiles`, all op tile
-    /// indices in range, CNOT endpoints distinct and co-sharded.
+    /// indices in range, CNOT endpoints distinct, co-sharded and
+    /// reference-settled, and (under [`DeliveryMode::QuestMceCache`]) a
+    /// kernel that fits the instruction cache.
+    ///
+    /// Everything that would make the engine panic at run time is
+    /// rejected here, so a validated spec runs on both the reference
+    /// executor and the concurrent runtime without panicking.
     pub fn validate(&self) -> Result<(), SpecError> {
         if self.distance < 3 || self.distance.is_multiple_of(2) {
-            return Err(SpecError(format!(
-                "distance must be an odd number ≥ 3, got {}",
-                self.distance
-            )));
+            return Err(SpecError::InvalidDistance(self.distance));
         }
         if self.tiles == 0 {
-            return Err(SpecError("need at least one tile".into()));
+            return Err(SpecError::NoTiles);
         }
         if self.shards == 0 || self.shards > self.tiles {
-            return Err(SpecError(format!(
-                "shards must be in 1..={}, got {}",
-                self.tiles, self.shards
-            )));
+            return Err(SpecError::BadShardCount {
+                tiles: self.tiles,
+                shards: self.shards,
+            });
         }
         if !(0.0..=1.0).contains(&self.error_rate) {
-            return Err(SpecError(format!(
-                "error rate {} outside [0, 1]",
-                self.error_rate
-            )));
+            return Err(SpecError::InvalidErrorRate(self.error_rate));
         }
+        // Decoder-reference tracking: at boot a tile's Z pipeline has a
+        // deterministic reference and its X pipeline forms one on the
+        // first QECC cycle; a preparation re-forms the non-prepared
+        // basis's reference on the next cycle. A transversal CNOT reads
+        // and cross-propagates both references of both tiles.
+        let mut refs: Vec<(bool, bool)> = vec![(true, false); self.tiles];
+        let mut kernel_fills = false;
         for (i, op) in self.ops.iter().enumerate() {
             let check = |tile: usize| {
                 if tile >= self.tiles {
-                    Err(SpecError(format!(
-                        "op {i} ({op:?}) references tile {tile}, but there are {} tiles",
-                        self.tiles
-                    )))
+                    Err(SpecError::TileOutOfRange {
+                        op: i,
+                        tile,
+                        tiles: self.tiles,
+                    })
                 } else {
                     Ok(())
                 }
             };
             match *op {
-                WorkloadOp::Prep { tile, .. } | WorkloadOp::MeasureZ { tile } => check(tile)?,
-                WorkloadOp::Cycles(_) => {}
+                WorkloadOp::Prep { tile, basis } => {
+                    check(tile)?;
+                    refs[tile] = match basis {
+                        LogicalBasis::Zero => (true, false),
+                        LogicalBasis::Plus => (false, true),
+                    };
+                }
+                WorkloadOp::MeasureZ { tile } | WorkloadOp::Sync { tile } => check(tile)?,
+                WorkloadOp::Logical { tile, .. } => check(tile)?,
+                WorkloadOp::KernelReplay { tile, replays } => {
+                    check(tile)?;
+                    kernel_fills |= replays > 0 && !self.kernel.is_empty();
+                }
+                WorkloadOp::Cycles(n) => {
+                    if n > 0 {
+                        refs.iter_mut().for_each(|r| *r = (true, true));
+                    }
+                }
                 WorkloadOp::Cnot { control, target } => {
                     check(control)?;
                     check(target)?;
                     if control == target {
-                        return Err(SpecError(format!(
-                            "op {i}: CNOT control and target tiles coincide ({control})"
-                        )));
+                        return Err(SpecError::CnotSameTile {
+                            op: i,
+                            tile: control,
+                        });
                     }
                     if self.shard_of(control) != self.shard_of(target) {
-                        return Err(SpecError(format!(
-                            "op {i}: CNOT({control}, {target}) crosses shards {} and {}; \
-                             entangled tiles must be co-sharded (lower the shard count \
-                             or regroup the tiles)",
-                            self.shard_of(control),
-                            self.shard_of(target)
-                        )));
+                        return Err(SpecError::CnotCrossShard {
+                            op: i,
+                            control,
+                            target,
+                            control_shard: self.shard_of(control),
+                            target_shard: self.shard_of(target),
+                        });
+                    }
+                    for tile in [control, target] {
+                        if refs[tile] != (true, true) {
+                            return Err(SpecError::CnotBeforeReference { op: i, tile });
+                        }
                     }
                 }
             }
+        }
+        if self.delivery == DeliveryMode::QuestMceCache
+            && kernel_fills
+            && self.kernel_bytes() > MCE_IBUF_BYTES
+        {
+            return Err(SpecError::KernelTooLarge {
+                bytes: self.kernel_bytes(),
+                capacity: MCE_IBUF_BYTES,
+            });
         }
         Ok(())
     }
@@ -235,6 +486,7 @@ impl WorkloadSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quest_isa::LogicalQubit;
 
     #[test]
     fn even_split_and_remainders() {
@@ -256,9 +508,13 @@ mod tests {
     #[test]
     fn bell_pairs_co_sharded_at_power_of_two_shards() {
         for shards in [1, 2, 4] {
-            let spec = WorkloadSpec::bell_pairs(3, 8, shards, 0.0, 7, 3);
+            let spec = WorkloadSpec::bell_pairs(3, 8, shards, 0.0, 7, 3).unwrap();
             assert!(spec.validate().is_ok(), "shards={shards}");
         }
+        assert_eq!(
+            WorkloadSpec::bell_pairs(3, 5, 1, 0.0, 7, 3).unwrap_err(),
+            SpecError::OddBellTiles(5)
+        );
     }
 
     #[test]
@@ -269,18 +525,147 @@ mod tests {
             target: 1,
         });
         let err = spec.validate().unwrap_err();
-        assert!(err.0.contains("co-sharded"), "{err}");
+        assert!(matches!(err, SpecError::CnotCrossShard { .. }), "{err}");
+        assert!(err.to_string().contains("co-sharded"), "{err}");
+    }
+
+    #[test]
+    fn cnot_before_reference_rejected() {
+        // Straight after boot the X references have not formed yet.
+        let mut spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
+        spec.ops.insert(
+            0,
+            WorkloadOp::Cnot {
+                control: 0,
+                target: 1,
+            },
+        );
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            SpecError::CnotBeforeReference { op: 0, .. }
+        ));
+        // A preparation invalidates the reference until the next cycle.
+        let mut spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
+        spec.ops.push(WorkloadOp::Prep {
+            tile: 0,
+            basis: LogicalBasis::Plus,
+        });
+        spec.ops.push(WorkloadOp::Cnot {
+            control: 0,
+            target: 1,
+        });
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            SpecError::CnotBeforeReference { tile: 0, .. }
+        ));
+        // One cycle in between settles it.
+        let mut spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
+        spec.ops.push(WorkloadOp::Cnot {
+            control: 0,
+            target: 1,
+        });
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn oversized_kernel_rejected_only_when_it_would_fill() {
+        let program = {
+            let mut p = LogicalProgram::new();
+            for _ in 0..(MCE_IBUF_BYTES / LogicalInstr::ENCODED_BYTES + 1) {
+                p.push(LogicalInstr::T(LogicalQubit(0)), InstrClass::Distillation);
+            }
+            p
+        };
+        let cached = WorkloadSpec::delivery_memory(
+            3,
+            1,
+            1,
+            0.0,
+            1,
+            1,
+            &program,
+            2,
+            DeliveryMode::QuestMceCache,
+        );
+        assert!(matches!(
+            cached.validate().unwrap_err(),
+            SpecError::KernelTooLarge { .. }
+        ));
+        // The uncached modes never fill, so the same kernel is fine.
+        let uncached = WorkloadSpec {
+            delivery: DeliveryMode::QuestMce,
+            ..cached.clone()
+        };
+        assert!(uncached.validate().is_ok());
+        // And a cached spec that never replays never fills either.
+        let unreplayed = WorkloadSpec {
+            ops: cached
+                .ops
+                .iter()
+                .map(|op| match *op {
+                    WorkloadOp::KernelReplay { tile, .. } => {
+                        WorkloadOp::KernelReplay { tile, replays: 0 }
+                    }
+                    other => other,
+                })
+                .collect(),
+            ..cached
+        };
+        assert!(unreplayed.validate().is_ok());
+    }
+
+    #[test]
+    fn delivery_memory_spec_shape() {
+        let mut program = LogicalProgram::new();
+        program.push(LogicalInstr::H(LogicalQubit(0)), InstrClass::Algorithmic);
+        program.push(LogicalInstr::T(LogicalQubit(0)), InstrClass::Distillation);
+        let spec = WorkloadSpec::delivery_memory(
+            3,
+            2,
+            2,
+            0.0,
+            1,
+            5,
+            &program,
+            7,
+            DeliveryMode::QuestMceCache,
+        );
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.kernel.len(), 1);
+        assert_eq!(spec.total_cycles(), 5);
+        let replays: Vec<_> = spec
+            .ops
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::KernelReplay { .. }))
+            .collect();
+        assert_eq!(replays.len(), 2, "one kernel replay op per tile");
     }
 
     #[test]
     fn bad_parameters_rejected() {
-        assert!(WorkloadSpec::memory(4, 2, 1, 0.0, 1, 1).validate().is_err());
-        assert!(WorkloadSpec::memory(3, 2, 3, 0.0, 1, 1).validate().is_err());
+        assert_eq!(
+            WorkloadSpec::memory(4, 2, 1, 0.0, 1, 1).validate(),
+            Err(SpecError::InvalidDistance(4))
+        );
+        assert_eq!(
+            WorkloadSpec::memory(3, 2, 3, 0.0, 1, 1).validate(),
+            Err(SpecError::BadShardCount {
+                tiles: 2,
+                shards: 3
+            })
+        );
         let mut spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
         spec.error_rate = 1.5;
-        assert!(spec.validate().is_err());
+        assert_eq!(spec.validate(), Err(SpecError::InvalidErrorRate(1.5)));
         spec.error_rate = 0.0;
         spec.ops.push(WorkloadOp::MeasureZ { tile: 2 });
-        assert!(spec.validate().is_err());
+        assert!(matches!(
+            spec.validate().unwrap_err(),
+            SpecError::TileOutOfRange { tile: 2, .. }
+        ));
+        spec.ops.clear();
+        spec.tiles = 0;
+        spec.shards = 0;
+        assert_eq!(spec.validate(), Err(SpecError::NoTiles));
     }
 }

@@ -130,16 +130,29 @@ impl fmt::Display for RuntimeStats {
     }
 }
 
-/// Result of [`Runtime::run`](crate::Runtime::run).
+/// Result of [`Runtime::run`](crate::Runtime::run): the unified
+/// [`RunReport`](quest_core::RunReport) every execution path produces —
+/// bit-identical to the single-threaded reference for any shard count —
+/// plus the concurrent runtime's own observability counters.
+///
+/// Dereferences to the inner report, so `report.bus_bytes()`,
+/// `report.outcomes`, `report.logical_ok()` etc. work directly.
 #[derive(Debug, Clone)]
-pub struct RunReport {
-    /// Logical readout outcomes, in program order, as `(tile, value)`.
-    pub outcomes: Vec<(usize, bool)>,
-    /// Total bytes that crossed the modelled global bus (identical to
-    /// the single-threaded systems' `master().bus().total()` ledger).
-    pub bus_bytes: u64,
-    /// Observability counters.
+pub struct RuntimeReport {
+    /// The unified physics/accounting report (what determinism
+    /// guarantees cover).
+    pub report: quest_core::RunReport,
+    /// Concurrency observability (thread/channel/pool counters; varies
+    /// with sharding and machine, excluded from determinism guarantees).
     pub stats: RuntimeStats,
+}
+
+impl std::ops::Deref for RuntimeReport {
+    type Target = quest_core::RunReport;
+
+    fn deref(&self) -> &quest_core::RunReport {
+        &self.report
+    }
 }
 
 #[cfg(test)]

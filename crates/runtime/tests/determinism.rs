@@ -1,48 +1,115 @@
 //! Acceptance: for a fixed master seed, the concurrent runtime produces
-//! identical logical outcomes and bus-byte totals at shard counts 1, 2
-//! and 4, all matching the single-threaded `MultiTileSystem` reference.
+//! a bit-identical unified [`RunReport`] — logical outcomes, per-class
+//! bus ledger, decode counters, master stats — at shard counts 1, 2 and
+//! 4, all matching the single-threaded `MultiTileSystem` reference; and
+//! with one tile, the unified engine reproduces `QuestSystem`'s run
+//! exactly in every delivery mode.
 
-use quest_runtime::{run_reference, Runtime, WorkloadSpec};
+use quest_core::tile::tile_seed;
+use quest_core::{DeliveryMode, QuestSystem, Traffic};
+use quest_isa::{InstrClass, LogicalInstr, LogicalProgram, LogicalQubit};
+use quest_runtime::{run_reference, Runtime, RuntimeReport, WorkloadSpec};
+use quest_stabilizer::{SeedableRng, StdRng};
 
-fn assert_matches_reference(mut spec: WorkloadSpec) {
-    let reference = run_reference(&spec);
+fn run_at(spec: &WorkloadSpec, shards: usize) -> RuntimeReport {
+    let spec = WorkloadSpec {
+        shards,
+        ..spec.clone()
+    };
+    Runtime::new().run(&spec).unwrap()
+}
+
+fn assert_matches_reference(spec: &WorkloadSpec) {
+    let reference = run_reference(spec).unwrap();
     for shards in [1, 2, 4] {
-        spec.shards = shards;
-        let report = Runtime::new().run(&spec);
+        let report = run_at(spec, shards);
+        // The whole unified report must match bit-for-bit: outcomes,
+        // per-class bus bytes, cycle and decode counters, master stats.
         assert_eq!(
-            report.outcomes, reference.outcomes,
-            "logical outcomes diverged at {shards} shards (seed {})",
+            report.report, reference,
+            "unified report diverged at {shards} shards (seed {})",
             spec.seed
         );
-        assert_eq!(
-            report.bus_bytes, reference.bus_bytes,
-            "bus-byte totals diverged at {shards} shards (seed {})",
-            spec.seed
+        for class in Traffic::ALL {
+            assert_eq!(
+                report.bus_bytes_of(class),
+                reference.bus_bytes_of(class),
+                "traffic class {class} diverged at {shards} shards"
+            );
+        }
+    }
+}
+
+fn distillation_program() -> LogicalProgram {
+    let mut p = LogicalProgram::new();
+    for i in 0..6u8 {
+        p.push(
+            LogicalInstr::H(LogicalQubit(i % 4)),
+            InstrClass::Algorithmic,
         );
     }
+    for _ in 0..40 {
+        p.push(LogicalInstr::T(LogicalQubit(0)), InstrClass::Distillation);
+    }
+    p
 }
 
 #[test]
 fn noisy_memory_matches_reference_at_1_2_4_shards() {
     for seed in [1, 7, 42] {
-        assert_matches_reference(WorkloadSpec::memory(3, 8, 1, 4e-3, seed, 25));
+        assert_matches_reference(&WorkloadSpec::memory(3, 8, 1, 4e-3, seed, 25));
     }
 }
 
 #[test]
 fn bell_pair_workload_matches_reference_at_1_2_4_shards() {
     for seed in [3, 19] {
-        assert_matches_reference(WorkloadSpec::bell_pairs(3, 8, 1, 2e-3, seed, 10));
+        assert_matches_reference(&WorkloadSpec::bell_pairs(3, 8, 1, 2e-3, seed, 10).unwrap());
+    }
+}
+
+#[test]
+fn delivery_workloads_match_reference_at_1_2_4_shards() {
+    // The Figure-14 experiment, sharded: every delivery mode's full bus
+    // ledger survives the message path bit-identically.
+    let program = distillation_program();
+    for mode in DeliveryMode::ALL {
+        let spec = WorkloadSpec::delivery_memory(3, 8, 1, 3e-3, 13, 15, &program, 25, mode);
+        assert_matches_reference(&spec);
+    }
+}
+
+#[test]
+fn unified_engine_reproduces_quest_system_with_one_tile() {
+    // Delivery-mode parity (tentpole acceptance): the tiles = 1 unified
+    // engine reproduces the single-tile `QuestSystem::run_memory_workload`
+    // result — bus bytes per class, qecc cycles, logical outcome, decode
+    // counters — for all three delivery modes, through both the reference
+    // executor and the sharded runtime.
+    let program = distillation_program();
+    let (cycles, replays, seed) = (40, 30, 21);
+    for mode in DeliveryMode::ALL {
+        let mut single = QuestSystem::new(3, 2e-3).unwrap();
+        // The runtime seeds tile 0's stream via tile_seed; drive the
+        // single-tile system with the identical stream.
+        let mut rng = StdRng::seed_from_u64(tile_seed(seed, 0));
+        let expected = single.run_memory_workload(cycles, &program, replays, mode, &mut rng);
+
+        let spec =
+            WorkloadSpec::delivery_memory(3, 1, 1, 2e-3, seed, cycles, &program, replays, mode);
+        let reference = run_reference(&spec).unwrap();
+        assert_eq!(reference, expected, "{mode:?}: reference != QuestSystem");
+        let runtime = Runtime::new().run(&spec).unwrap();
+        assert_eq!(runtime.report, expected, "{mode:?}: runtime != QuestSystem");
     }
 }
 
 #[test]
 fn runtime_is_deterministic_across_repeats() {
     let spec = WorkloadSpec::memory(3, 8, 4, 4e-3, 99, 25);
-    let a = Runtime::new().run(&spec);
-    let b = Runtime::new().with_decode_workers(1).run(&spec);
-    assert_eq!(a.outcomes, b.outcomes);
-    assert_eq!(a.bus_bytes, b.bus_bytes);
+    let a = Runtime::new().run(&spec).unwrap();
+    let b = Runtime::new().with_decode_workers(1).run(&spec).unwrap();
+    assert_eq!(a.report, b.report);
 }
 
 #[test]
@@ -52,10 +119,11 @@ fn escalations_survive_the_message_path() {
     // assertions above prove nothing. Distance 5: the d=3 lookup table
     // resolves essentially every single-round pattern locally.
     let spec = WorkloadSpec::memory(5, 8, 4, 2e-2, 5, 25);
-    let report = Runtime::new().run(&spec);
+    let report = Runtime::new().run(&spec).unwrap();
     assert!(
         report.stats.decode.jobs > 0,
         "workload produced no escalations; raise the error rate"
     );
-    assert_matches_reference(spec);
+    assert!(report.escalations > 0 && report.local_decodes > 0);
+    assert_matches_reference(&spec);
 }

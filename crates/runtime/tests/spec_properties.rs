@@ -1,0 +1,134 @@
+//! Property: the reference executor and the concurrent runtime agree on
+//! every spec — any spec accepted by [`WorkloadSpec::validate`] runs on
+//! both and produces the identical unified report; any rejected spec is
+//! rejected by both with the same typed error. No spec, valid or not,
+//! panics either path.
+
+use proptest::prelude::*;
+use quest_core::tile::LogicalBasis;
+use quest_core::DeliveryMode;
+use quest_isa::{InstrClass, LogicalInstr, LogicalQubit};
+use quest_runtime::{run_reference, Runtime, RuntimeError, WorkloadOp, WorkloadSpec};
+
+/// Decodes one op from a random word. `tile_span` bounds the tile
+/// indices drawn: the spec's tile count for mostly-valid programs, or
+/// something larger to exercise out-of-range rejection.
+fn decode_op(v: u32, tile_span: usize) -> WorkloadOp {
+    let sel = v % 7;
+    let a = ((v / 7) as usize) % tile_span;
+    let b = ((v / 91) as usize) % tile_span;
+    let n = u64::from((v / 1183) % 4);
+    match sel {
+        0 => WorkloadOp::Prep {
+            tile: a,
+            basis: if v & 1 == 0 {
+                LogicalBasis::Zero
+            } else {
+                LogicalBasis::Plus
+            },
+        },
+        1 => WorkloadOp::Cycles(n),
+        2 => WorkloadOp::Cnot {
+            control: a,
+            target: b,
+        },
+        3 => WorkloadOp::Logical {
+            tile: a,
+            instr: LogicalInstr::H(LogicalQubit((v % 4) as u8)),
+            class: if v & 2 == 0 {
+                InstrClass::Algorithmic
+            } else {
+                InstrClass::Sync
+            },
+        },
+        4 => WorkloadOp::KernelReplay {
+            tile: a,
+            replays: n,
+        },
+        5 => WorkloadOp::Sync { tile: a },
+        _ => WorkloadOp::MeasureZ { tile: a },
+    }
+}
+
+/// The property itself: both execution paths accept or reject the spec
+/// in lockstep, and on acceptance their unified reports are identical.
+fn both_paths_agree(spec: &WorkloadSpec) -> Result<(), TestCaseError> {
+    match spec.validate() {
+        Ok(()) => {
+            let reference = run_reference(spec).expect("validated spec must run (reference)");
+            let report = Runtime::new()
+                .run(spec)
+                .expect("validated spec must run (runtime)");
+            prop_assert_eq!(&report.report, &reference, "reports diverged: {:?}", spec);
+        }
+        Err(e) => {
+            prop_assert_eq!(
+                run_reference(spec).unwrap_err(),
+                RuntimeError::Spec(e.clone()),
+                "reference rejection disagrees with validate()"
+            );
+            prop_assert_eq!(
+                Runtime::new().run(spec).unwrap_err(),
+                RuntimeError::Spec(e),
+                "runtime rejection disagrees with validate()"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Mostly-valid specs: tile indices are drawn in range, so the bulk
+    /// of cases exercise the accepted-spec half of the property (with
+    /// residual rejections from CNOT structure rules).
+    #[test]
+    fn mostly_valid_specs_agree(
+        seed in any::<u64>(),
+        tiles in 1usize..4,
+        shards in 1usize..4,
+        mode_sel in 0usize..3,
+        raw_ops in prop::collection::vec(any::<u32>(), 0..10),
+        kernel_len in 0usize..5,
+        noisy in any::<bool>(),
+    ) {
+        let spec = WorkloadSpec {
+            distance: 3,
+            tiles,
+            shards,
+            error_rate: if noisy { 5e-3 } else { 0.0 },
+            seed,
+            delivery: DeliveryMode::ALL[mode_sel],
+            kernel: vec![LogicalInstr::T(LogicalQubit(0)); kernel_len],
+            ops: raw_ops.into_iter().map(|v| decode_op(v, tiles)).collect(),
+        };
+        both_paths_agree(&spec)?;
+    }
+
+    /// Unconstrained specs: parameters and tile indices range over
+    /// invalid territory, so the bulk of cases exercise the
+    /// rejected-by-both half of the property.
+    #[test]
+    fn arbitrary_specs_agree(
+        seed in any::<u64>(),
+        distance in 0usize..7,
+        tiles in 0usize..4,
+        shards in 0usize..5,
+        rate_sel in 0usize..3,
+        mode_sel in 0usize..3,
+        raw_ops in prop::collection::vec(any::<u32>(), 0..8),
+    ) {
+        let spec = WorkloadSpec {
+            distance,
+            tiles,
+            shards,
+            error_rate: [0.0, 1e-3, 1.5][rate_sel],
+            seed,
+            delivery: DeliveryMode::ALL[mode_sel],
+            kernel: Vec::new(),
+            ops: raw_ops.into_iter().map(|v| decode_op(v, 6)).collect(),
+        };
+        both_paths_agree(&spec)?;
+    }
+}

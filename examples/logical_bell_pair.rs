@@ -24,7 +24,7 @@ fn main() {
 
     for seed in 0..shots {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut sys = MultiTileSystem::new(3, 2, p);
+        let mut sys = MultiTileSystem::new(3, 2, p).unwrap();
         sys.prep_logical(0, LogicalBasis::Plus, &mut rng);
         sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
         sys.run_noisy_cycle(&mut rng); // project both tiles

@@ -29,11 +29,11 @@ fn main() {
         DeliveryMode::QuestMceCache,
     ] {
         let mut rng = StdRng::seed_from_u64(42);
-        let mut system = QuestSystem::new(distance, p);
+        let mut system = QuestSystem::new(distance, p).expect("valid parameters");
         let run = system.run_memory_workload(cycles, &program, 40, mode, &mut rng);
         println!("{mode:?}");
-        println!("  bus bytes        : {}", run.bus_bytes);
-        println!("  logical intact   : {}", run.logical_ok);
+        println!("  bus bytes        : {}", run.bus_bytes());
+        println!("  logical intact   : {}", run.logical_ok());
         println!(
             "  decoding         : {} local, {} escalated",
             run.local_decodes, run.escalations

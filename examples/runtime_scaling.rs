@@ -25,18 +25,18 @@ fn main() {
     for shards in [1usize, 2, 4] {
         spec.shards = shards;
         let start = Instant::now();
-        let report = Runtime::new().run(&spec);
+        let report = Runtime::new().run(&spec).expect("valid spec");
         let elapsed = start.elapsed();
 
         println!("=== {shards} shard(s): {elapsed:.2?} ===");
         println!("{}", report.stats);
-        println!("bus bytes: {}\n", report.bus_bytes);
+        println!("bus bytes: {}\n", report.bus_bytes());
 
         match baseline {
-            None => baseline = Some((report.outcomes, report.bus_bytes, elapsed)),
+            None => baseline = Some((report.outcomes.clone(), report.bus_bytes(), elapsed)),
             Some((ref outcomes, bus_bytes, single)) => {
                 assert_eq!(&report.outcomes, outcomes, "outcomes diverged");
-                assert_eq!(report.bus_bytes, bus_bytes, "bus bytes diverged");
+                assert_eq!(report.bus_bytes(), bus_bytes, "bus bytes diverged");
                 println!(
                     "speedup vs 1 shard: {:.2}x\n",
                     single.as_secs_f64() / elapsed.as_secs_f64()

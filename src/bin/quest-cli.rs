@@ -138,12 +138,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         DeliveryMode::QuestMceCache,
     ] {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut sys = QuestSystem::new(d, p);
+        let mut sys = QuestSystem::new(d, p).map_err(|e| e.to_string())?;
         let run = sys.run_memory_workload(cycles, &program, 20, mode, &mut rng);
         println!(
             "{mode:?}: {} bus bytes, logical {} ({} local / {} escalated decodes)",
-            run.bus_bytes,
-            if run.logical_ok { "OK" } else { "CORRUPTED" },
+            run.bus_bytes(),
+            if run.logical_ok() { "OK" } else { "CORRUPTED" },
             run.local_decodes,
             run.escalations
         );
@@ -181,14 +181,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let spec = match workload.as_str() {
         "memory" => WorkloadSpec::memory(distance, tiles, shards, error_rate, seed, cycles),
-        "bell" => {
-            if !tiles.is_multiple_of(2) {
-                return Err(format!(
-                    "the bell workload pairs adjacent tiles and needs an even tile count, got {tiles}"
-                ));
-            }
-            WorkloadSpec::bell_pairs(distance, tiles, shards, error_rate, seed, cycles)
-        }
+        "bell" => WorkloadSpec::bell_pairs(distance, tiles, shards, error_rate, seed, cycles)
+            .map_err(|e| e.to_string())?,
         other => return Err(format!("unknown workload `{other}` (memory | bell)")),
     };
     spec.validate().map_err(|e| e.to_string())?;
@@ -196,9 +190,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "{workload} workload: {tiles} tiles at d={distance}, p={error_rate:.0e}, \
          {cycles} cycles, seed {seed}, {shards} shard(s)\n"
     );
-    let report = Runtime::new().run(&spec);
+    let report = Runtime::new().run(&spec).map_err(|e| e.to_string())?;
     println!("{}", report.stats);
-    println!("\nbus bytes: {}", report.bus_bytes);
+    println!("\nbus bytes: {}", report.bus_bytes());
     let ones = report.outcomes.iter().filter(|&&(_, v)| v).count();
     println!(
         "outcomes: {} tiles read out, {} ones ({} zeros)",

@@ -22,7 +22,7 @@
 //! use quest::stabilizer::{SeedableRng, StdRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
-//! let mut system = QuestSystem::new(3, 1e-3);
+//! let mut system = QuestSystem::new(3, 1e-3)?;
 //! let run = system.run_memory_workload(
 //!     50,
 //!     &LogicalProgram::new(),
@@ -30,7 +30,8 @@
 //!     DeliveryMode::QuestMce,
 //!     &mut rng,
 //! );
-//! assert!(run.logical_ok);
+//! assert!(run.logical_ok());
+//! # Ok::<(), quest::arch::BuildError>(())
 //! ```
 
 pub use quest_core as arch;

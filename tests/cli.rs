@@ -87,6 +87,53 @@ fn unknown_subcommand_fails_with_usage() {
 }
 
 #[test]
+fn invalid_spec_exits_with_one_line_diagnostic() {
+    // An invalid workload spec must produce a single-line typed
+    // diagnostic on stderr and a failure exit code — never a panic
+    // backtrace.
+    let cases: [&[&str]; 5] = [
+        &["run", "--distance", "2"],
+        &["run", "--tiles", "0"],
+        &["run", "--error-rate", "1.5"],
+        &["run", "--tiles", "2", "--shards", "3"],
+        &["simulate", "2", "1e-3", "10"],
+    ];
+    for args in cases {
+        let out = cli().args(args).output().expect("binary runs");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.starts_with("error: "), "{args:?}: {err}");
+        assert_eq!(err.trim_end().lines().count(), 1, "{args:?}: {err}");
+        assert!(
+            !err.contains("panicked") && !err.contains("RUST_BACKTRACE"),
+            "{args:?} panicked: {err}"
+        );
+    }
+}
+
+#[test]
+fn run_executes_bell_workload_sharded() {
+    let out = cli()
+        .args([
+            "run",
+            "--workload",
+            "bell",
+            "--tiles",
+            "4",
+            "--shards",
+            "2",
+            "--cycles",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("bus bytes"), "{text}");
+    assert!(text.contains("4 tiles read out"), "{text}");
+}
+
+#[test]
 fn simulate_runs_all_three_modes() {
     let out = cli()
         .args(["simulate", "3", "1e-3", "30"])

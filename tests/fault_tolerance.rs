@@ -18,7 +18,7 @@ fn system_preserves_logical_zero() {
     let shots = 30;
     for seed in 0..shots {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut sys = QuestSystem::new(3, 1e-3);
+        let mut sys = QuestSystem::new(3, 1e-3).unwrap();
         let run = sys.run_memory_workload(
             30,
             &LogicalProgram::new(),
@@ -26,7 +26,7 @@ fn system_preserves_logical_zero() {
             DeliveryMode::QuestMce,
             &mut rng,
         );
-        failures += (!run.logical_ok) as u32;
+        failures += (!run.logical_ok()) as u32;
     }
     assert!(
         failures <= 2,
@@ -45,7 +45,7 @@ fn system_failure_rate_matches_memory_experiment() {
     let mut sys_failures = 0;
     for seed in 0..shots {
         let mut rng = StdRng::seed_from_u64(1000 + seed);
-        let mut sys = QuestSystem::new(3, p);
+        let mut sys = QuestSystem::new(3, p).unwrap();
         let run = sys.run_memory_workload(
             cycles,
             &LogicalProgram::new(),
@@ -53,7 +53,7 @@ fn system_failure_rate_matches_memory_experiment() {
             DeliveryMode::QuestMce,
             &mut rng,
         );
-        sys_failures += (!run.logical_ok) as u32;
+        sys_failures += (!run.logical_ok()) as u32;
     }
     let sys_rate = sys_failures as f64 / shots as f64;
 
