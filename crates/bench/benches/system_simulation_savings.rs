@@ -16,7 +16,7 @@
 use quest_bench::{header, row, sci};
 use quest_core::DeliveryMode;
 use quest_estimate::Workload;
-use quest_runtime::{run_reference, Runtime, WorkloadSpec};
+use quest_runtime::{run_reference, FaultPlan, Runtime, WorkloadSpec};
 
 const DISTANCE: usize = 5;
 const TILES: usize = 4;
@@ -75,4 +75,60 @@ fn main() {
          millions of qubits), sharded runtime bit-identical to the reference",
         sci(last.0 as f64 / last.1 as f64)
     );
+
+    // One degraded configuration: the same 400-cycle QuEST+cache
+    // workload under injected bus faults and MCE stalls. Recovery costs
+    // real bytes (retransmissions, quarantined tiles streaming the
+    // software baseline) but stays far from the baseline's firehose —
+    // and the faulty run is still bit-identical across shard counts.
+    let faulty = faulty_bus_bytes(400, SHARDS);
+    assert_eq!(
+        faulty,
+        faulty_bus_bytes(400, 1),
+        "faulty run diverged across shard counts"
+    );
+    assert!(
+        faulty > last.1,
+        "recovery must cost bytes over the clean cached run"
+    );
+    assert!(
+        faulty < last.0 / 4,
+        "a degraded QuEST system must still beat the baseline"
+    );
+    println!(
+        "check: with faults injected (2% drop, 1% corrupt, 0.5% stall) the cached run pays \
+         {faulty} B for recovery — {}x over clean, still {}x under the baseline",
+        sci(faulty as f64 / last.1 as f64),
+        sci(last.0 as f64 / faulty as f64)
+    );
+}
+
+/// The 400-cycle cached workload with every fault class injected,
+/// returning total bus bytes (recovery overhead included).
+fn faulty_bus_bytes(cycles: u64, shards: usize) -> u64 {
+    let program = quest_estimate::kernels::workload_with_kernel(&Workload::QLS, 200);
+    let mut spec = WorkloadSpec::delivery_memory(
+        DISTANCE,
+        TILES,
+        shards,
+        1e-3,
+        7,
+        cycles,
+        &program,
+        50,
+        DeliveryMode::QuestMceCache,
+    );
+    spec.faults = FaultPlan {
+        drop_rate: 0.02,
+        corrupt_rate: 0.01,
+        stall_rate: 0.005,
+        quarantine_cycles: 5,
+        ..FaultPlan::none()
+    };
+    let report = Runtime::new().run(&spec).expect("valid faulty workload");
+    assert!(
+        !report.recovery.is_quiet(),
+        "fault profile must actually fire"
+    );
+    report.bus_bytes()
 }

@@ -25,11 +25,13 @@ pub enum Traffic {
     Sync,
     /// Instruction-cache fill traffic.
     CacheFill,
+    /// Bytes resent after a packet was dropped or failed its CRC check.
+    Retransmit,
 }
 
 impl Traffic {
     /// All classes, display order.
-    pub const ALL: [Traffic; 7] = [
+    pub const ALL: [Traffic; 8] = [
         Traffic::QeccInstructions,
         Traffic::PhysicalLogical,
         Traffic::LogicalInstructions,
@@ -37,6 +39,7 @@ impl Traffic {
         Traffic::Syndrome,
         Traffic::Sync,
         Traffic::CacheFill,
+        Traffic::Retransmit,
     ];
 }
 
@@ -50,6 +53,7 @@ impl fmt::Display for Traffic {
             Traffic::Syndrome => "syndrome",
             Traffic::Sync => "sync",
             Traffic::CacheFill => "cache-fill",
+            Traffic::Retransmit => "retransmit",
         };
         write!(f, "{s}")
     }
@@ -58,7 +62,7 @@ impl fmt::Display for Traffic {
 /// Byte counters per traffic class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BusCounters {
-    counts: [u64; 7],
+    counts: [u64; 8],
 }
 
 impl BusCounters {

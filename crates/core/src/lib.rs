@@ -45,6 +45,7 @@ pub mod decoder_pipeline;
 pub mod delivery;
 pub mod error;
 pub mod execution_unit;
+pub mod fault;
 pub mod geometry;
 pub mod instruction_pipeline;
 pub mod jj;
@@ -68,6 +69,7 @@ pub use decoder_pipeline::{DecodeStats, DecoderPipeline, Escalation};
 pub use delivery::{DeliveryEngine, DeliveryMode};
 pub use error::BuildError;
 pub use execution_unit::{ExecutionStats, ExecutionUnit, FireResult};
+pub use fault::{Delivery, FaultPlan, FaultSession, LinkFailure, RecoveryStats, ShardPanicPlan};
 pub use geometry::TileGeometry;
 pub use instruction_pipeline::{FetchOutcome, InstructionPipeline, PipelineStats};
 pub use jj::MemoryConfig;

@@ -60,6 +60,14 @@ impl MasterController {
         self.bus.record(class, bytes);
     }
 
+    /// Accounts `bytes` resent on the bus after a drop or CRC failure.
+    /// Retransmissions are the one traffic class a fault-recovery layer
+    /// outside this crate legitimately generates, so this hook is public
+    /// where the general `record_traffic` hook is not.
+    pub fn note_retransmission(&mut self, bytes: u64) {
+        self.bus.record(Traffic::Retransmit, bytes);
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> MasterStats {
         self.stats

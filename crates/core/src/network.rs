@@ -13,7 +13,10 @@
 
 use std::fmt;
 
-/// Bytes of routing/flow-control header per packet.
+/// Bytes of routing/flow-control header per packet. The header carries
+/// the route plus a CRC-16 over the packet's fields; the CRC is part of
+/// these two bytes, so enabling integrity checking does not change the
+/// wire byte accounting.
 pub const HEADER_BYTES: u64 = 2;
 
 /// Maximum payload per packet (two-byte instructions pack 32 per packet).
@@ -37,6 +40,74 @@ pub struct Packet {
     pub payload_bytes: u64,
     /// Transfer direction.
     pub kind: PacketKind,
+    /// CRC-16/CCITT over the routing fields, sealed at the sender.
+    pub crc: u16,
+}
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over `data`.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= u16::from(byte) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+impl Packet {
+    /// Byte image of the checked fields (what the CRC covers).
+    fn checked_bytes(&self) -> [u8; 17] {
+        let mut buf = [0u8; 17];
+        buf[..8].copy_from_slice(&(self.mce as u64).to_le_bytes());
+        buf[8..16].copy_from_slice(&self.payload_bytes.to_le_bytes());
+        buf[16] = match self.kind {
+            PacketKind::Downstream => 0,
+            PacketKind::Upstream => 1,
+        };
+        buf
+    }
+
+    /// Builds a packet with its CRC sealed by the sender.
+    pub fn sealed(mce: usize, payload_bytes: u64, kind: PacketKind) -> Packet {
+        let mut p = Packet {
+            mce,
+            payload_bytes,
+            kind,
+            crc: 0,
+        };
+        p.crc = crc16(&p.checked_bytes());
+        p
+    }
+
+    /// Receiver-side integrity check: recompute the CRC over the fields
+    /// as received and compare to the sealed value.
+    pub fn verify(&self) -> bool {
+        crc16(&self.checked_bytes()) == self.crc
+    }
+
+    /// A copy of this packet with one bit of its checked fields flipped
+    /// in transit (`bit` is taken modulo the two 64-bit routing fields).
+    /// Models wire corruption: the CRC still holds the sender's value,
+    /// so [`verify`](Packet::verify) fails.
+    pub fn with_bit_error(mut self, bit: u32) -> Packet {
+        let bit = bit % (16 * 8);
+        let mut buf = self.checked_bytes();
+        buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+        self.mce = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")) as usize;
+        self.payload_bytes = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        self.kind = if buf[16] & 1 == 0 {
+            PacketKind::Downstream
+        } else {
+            PacketKind::Upstream
+        };
+        self
+    }
 }
 
 /// A `fanout`-ary tree interconnect over `mces` leaves.
@@ -226,5 +297,23 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_mce_panics() {
         Network::new(2, 2).send(2, 1, PacketKind::Downstream);
+    }
+
+    #[test]
+    fn crc16_matches_check_value() {
+        // CRC-16/CCITT-FALSE check value for "123456789".
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+        assert_eq!(crc16(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn sealed_packets_verify_until_corrupted() {
+        let p = Packet::sealed(5, 48, PacketKind::Upstream);
+        assert!(p.verify());
+        for bit in 0..128 {
+            assert!(!p.with_bit_error(bit).verify(), "bit {bit} undetected");
+        }
+        // A second flip of the same bit restores the packet.
+        assert!(p.with_bit_error(3).with_bit_error(3).verify());
     }
 }

@@ -10,6 +10,7 @@
 
 use crate::bus::{BusCounters, Traffic};
 use crate::delivery::DeliveryMode;
+use crate::fault::RecoveryStats;
 use crate::master::MasterStats;
 use crate::mce::Mce;
 
@@ -33,6 +34,9 @@ pub struct RunReport {
     pub escalations: u64,
     /// Master-controller counters (dispatches, global decodes, syncs).
     pub master: MasterStats,
+    /// Classical-fault injection and recovery counters. All-zero for a
+    /// fault-free run (and always for the non-injecting reference path).
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {
@@ -90,6 +94,7 @@ mod tests {
             local_decodes: 0,
             escalations: 0,
             master: MasterStats::default(),
+            recovery: RecoveryStats::default(),
         }
     }
 

@@ -191,6 +191,7 @@ impl QuestSystem {
             local_decodes,
             escalations,
             master: self.master.stats(),
+            recovery: crate::fault::RecoveryStats::default(),
         }
     }
 }

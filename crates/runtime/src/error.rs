@@ -1,20 +1,44 @@
 //! Typed errors for fallible workload execution.
 
 use crate::spec::SpecError;
+use quest_core::fault::LinkFailure;
 use quest_core::BuildError;
 use std::fmt;
 
 /// Why [`Runtime::run`](crate::Runtime::run) or
-/// [`run_reference`](crate::run_reference) refused a workload.
+/// [`run_reference`](crate::run_reference) refused a workload, or why a
+/// run shut down early.
 ///
 /// Both executors validate the spec up front and build their systems
-/// fallibly, so no invalid user input reaches a panicking constructor.
+/// fallibly, so no invalid user input reaches a panicking constructor;
+/// and every mid-run failure — a bus link out of retries, a shard
+/// thread panicking, the decode pool dying — is contained and surfaces
+/// here with a one-line display, never as a process abort.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// The spec failed [`WorkloadSpec::validate`](crate::WorkloadSpec::validate).
     Spec(SpecError),
     /// System construction rejected the spec's physical parameters.
     Build(BuildError),
+    /// A bus transfer exhausted its retransmission budget.
+    Link(LinkFailure),
+    /// A shard worker thread panicked; the panic was caught and the run
+    /// shut down cleanly.
+    ShardFailed {
+        /// Which shard's thread failed.
+        shard: usize,
+        /// The panic message (or a disconnect description).
+        detail: String,
+    },
+    /// The global-decode pool could not complete a batch (all workers
+    /// dead and the supervisor out of respawns).
+    DecodePoolFailed {
+        /// What the supervisor observed.
+        detail: String,
+    },
+    /// The single-threaded reference executor was asked to run a spec
+    /// with fault injection; only the concurrent runtime injects faults.
+    ReferenceFaults,
 }
 
 impl fmt::Display for RuntimeError {
@@ -22,6 +46,18 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Spec(e) => e.fmt(f),
             RuntimeError::Build(e) => e.fmt(f),
+            RuntimeError::Link(e) => e.fmt(f),
+            RuntimeError::ShardFailed { shard, detail } => {
+                write!(f, "shard {shard} worker failed: {detail}")
+            }
+            RuntimeError::DecodePoolFailed { detail } => {
+                write!(f, "global-decode pool failed: {detail}")
+            }
+            RuntimeError::ReferenceFaults => write!(
+                f,
+                "the reference executor does not inject faults: run fault plans \
+                 on the concurrent runtime, or clear the spec's fault plan"
+            ),
         }
     }
 }
@@ -31,7 +67,17 @@ impl std::error::Error for RuntimeError {
         match self {
             RuntimeError::Spec(e) => Some(e),
             RuntimeError::Build(e) => Some(e),
+            RuntimeError::Link(e) => Some(e),
+            RuntimeError::ShardFailed { .. }
+            | RuntimeError::DecodePoolFailed { .. }
+            | RuntimeError::ReferenceFaults => None,
         }
+    }
+}
+
+impl From<LinkFailure> for RuntimeError {
+    fn from(e: LinkFailure) -> RuntimeError {
+        RuntimeError::Link(e)
     }
 }
 
@@ -64,5 +110,25 @@ mod tests {
         let e = RuntimeError::from(BuildError::InvalidDistance(4));
         assert!(e.to_string().contains("odd number"));
         assert!(e.source().is_some());
+        let e = RuntimeError::from(LinkFailure {
+            tile: 3,
+            attempts: 9,
+        });
+        assert!(e.to_string().contains("MCE 3"));
+        assert!(!e.to_string().contains('\n'));
+        assert!(e.source().is_some());
+        for e in [
+            RuntimeError::ShardFailed {
+                shard: 1,
+                detail: "tile 2 panicked".into(),
+            },
+            RuntimeError::DecodePoolFailed {
+                detail: "all workers dead".into(),
+            },
+            RuntimeError::ReferenceFaults,
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(!e.to_string().contains('\n'), "one-line display: {e}");
+        }
     }
 }

@@ -38,6 +38,20 @@
 //! fixed order, corrections always land before the next cycle, and bus
 //! tallies are order-invariant sums.
 //!
+//! # Fault injection and recovery
+//!
+//! A spec may carry a [`FaultPlan`]: dropped/corrupted bus packets
+//! (CRC-checked, repaired by bounded retransmission accounted under
+//! [`Traffic::Retransmit`](quest_core::Traffic)), MCE stalls that
+//! degrade a tile to software-managed delivery for a quarantine window,
+//! and scheduled decode-worker/shard-thread deaths the runtime contains
+//! (supervisor respawn, or a clean typed [`RuntimeError`]). Fault
+//! decisions are pure functions of the master seed and per-tile
+//! counters, so the determinism guarantee extends to faulty runs: same
+//! seed + same plan ⇒ bit-identical [`RunReport`] (including its
+//! [`RecoveryStats`]) at every shard count. An empty plan is a strict
+//! no-op.
+//!
 //! # Example
 //!
 //! ```
@@ -64,7 +78,9 @@ mod shard;
 pub use error::RuntimeError;
 pub use pool::PoolStats;
 pub use quest_core::tile::LogicalBasis;
-pub use quest_core::{DeliveryMode, RunReport};
+pub use quest_core::{
+    DeliveryMode, FaultPlan, LinkFailure, RecoveryStats, RunReport, ShardPanicPlan,
+};
 pub use reference::run_reference;
 pub use spec::{SpecError, WorkloadOp, WorkloadSpec};
 pub use stats::{PhaseTimings, RuntimeReport, RuntimeStats, ShardStats};
@@ -72,10 +88,10 @@ pub use stats::{PhaseTimings, RuntimeReport, RuntimeStats, ShardStats};
 use message::{channel, DepthGauge, Envelope, Payload, Rx, Tx};
 use pool::DecodePool;
 use quest_core::network::{Network, PacketKind};
-use quest_core::{DeliveryEngine, MasterController, Mce, MCE_IBUF_BYTES};
+use quest_core::{DeliveryEngine, FaultSession, MasterController, Mce, MCE_IBUF_BYTES};
 use quest_isa::LogicalInstr;
 use quest_surface::decoder::batch::DecodeJob;
-use quest_surface::RotatedLattice;
+use quest_surface::{RotatedLattice, StabKind};
 use shard::ShardWorker;
 use std::sync::Arc;
 use std::time::Instant;
@@ -134,8 +150,13 @@ impl Runtime {
     /// # Errors
     ///
     /// Returns [`RuntimeError`] if the spec fails
-    /// [`WorkloadSpec::validate`]; a validated spec never panics the
-    /// engine.
+    /// [`WorkloadSpec::validate`], or when the spec's [`FaultPlan`]
+    /// injects an unrecoverable failure mid-run — a bus link out of
+    /// retries ([`RuntimeError::Link`]), a shard thread panicking
+    /// ([`RuntimeError::ShardFailed`]) or the decode pool dying
+    /// ([`RuntimeError::DecodePoolFailed`]). A validated spec never
+    /// panics the engine; every failure is a typed error and all threads
+    /// are joined before this returns.
     pub fn run(&self, spec: &WorkloadSpec) -> Result<RuntimeReport, RuntimeError> {
         spec.validate()?;
         let lattice = RotatedLattice::new(spec.distance);
@@ -143,7 +164,7 @@ impl Runtime {
         // software baseline's per-cycle bus accounting.
         let cycle_len = Mce::new(&lattice, MCE_IBUF_BYTES).microcode().cycle_len();
 
-        Ok(std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             // Wire one bounded channel pair per shard and spawn workers.
             let mut down_txs: Vec<Tx<Envelope>> = Vec::with_capacity(spec.shards);
             let mut up_rxs: Vec<Rx<Envelope>> = Vec::with_capacity(spec.shards);
@@ -152,6 +173,10 @@ impl Runtime {
             for s in 0..spec.shards {
                 let (down_tx, down_rx, down_gauge) = channel(CHANNEL_BOUND);
                 let (up_tx, up_rx, up_gauge) = channel(CHANNEL_BOUND);
+                let panic_after = spec
+                    .faults
+                    .shard_panic
+                    .and_then(|p| (p.shard == s).then_some(p.after_cycles));
                 let worker = ShardWorker::new(
                     s,
                     spec.tile_range(s),
@@ -161,6 +186,7 @@ impl Runtime {
                     spec.seed,
                     down_rx,
                     up_tx,
+                    panic_after,
                 );
                 scope.spawn(move || worker.run());
                 down_txs.push(down_tx);
@@ -173,6 +199,10 @@ impl Runtime {
             let mut master = Master {
                 spec,
                 engine: DeliveryEngine::new(spec.delivery),
+                // Degraded tiles fall back to software-managed delivery:
+                // their QECC stream crosses the bus like the baseline's.
+                degraded_engine: DeliveryEngine::new(DeliveryMode::SoftwareBaseline),
+                faults: FaultSession::new(spec.faults, spec.seed, spec.tiles),
                 kernel: spec.kernel.clone().into(),
                 filled: vec![false; spec.tiles],
                 num_qubits: lattice.num_qubits(),
@@ -198,16 +228,25 @@ impl Runtime {
                 local_decodes: 0,
                 phases: PhaseTimings::default(),
             };
-            master.execute();
-            master.report(&down_gauges, &up_gauges)
-        }))
+            // On error, dropping the master closes every channel: shard
+            // workers see the disconnect and exit cleanly (they never
+            // unwind), the pool drains and stops, and the scope joins
+            // everything — a typed error, never a hang or abort.
+            master.execute()?;
+            Ok(master.report(&down_gauges, &up_gauges))
+        })
     }
 }
 
 /// Master-thread state for one run.
-struct Master<'a> {
+struct Master<'a, 'scope, 'env> {
     spec: &'a WorkloadSpec,
     engine: DeliveryEngine,
+    /// Software-baseline engine accounting quarantined tiles' cycles.
+    degraded_engine: DeliveryEngine,
+    /// Fault injection and recovery state (master-owned, so fault
+    /// decisions are independent of sharding and thread scheduling).
+    faults: FaultSession,
     /// The shared distillation kernel, shipped to shards by reference.
     kernel: Arc<[LogicalInstr]>,
     /// Per-tile "kernel block resident in the tile's cache" flags.
@@ -216,7 +255,7 @@ struct Master<'a> {
     cycle_len: usize,
     controller: MasterController,
     network: Network,
-    pool: DecodePool,
+    pool: DecodePool<'scope, 'env>,
     down_txs: Vec<Tx<Envelope>>,
     up_rxs: Vec<Rx<Envelope>>,
     shard_stats: Vec<ShardStats>,
@@ -226,17 +265,80 @@ struct Master<'a> {
     phases: PhaseTimings,
 }
 
-impl Master<'_> {
-    /// Sends one downstream envelope, minting interconnect packets for
-    /// its wire bytes against the destination tile.
-    fn send_down(&mut self, shard: usize, tile: usize, env: Envelope) {
-        if env.wire_bytes > 0 {
-            self.network.send(tile, env.wire_bytes, env.kind);
+impl Master<'_, '_, '_> {
+    /// One reliable transfer of `bytes` to or from `tile`: mints the
+    /// interconnect packets, rolls the fault layer, and accounts any
+    /// retransmissions on both the interconnect and the bus ledger
+    /// ([`Traffic::Retransmit`](quest_core::Traffic)).
+    ///
+    /// With an empty fault plan this is exactly the pre-fault-layer
+    /// `network.send` — a strict no-op on every counter.
+    fn deliver(&mut self, tile: usize, bytes: u64, kind: PacketKind) -> Result<(), RuntimeError> {
+        if bytes == 0 {
+            return Ok(());
         }
-        self.down_txs[shard].send(env);
+        self.network.send(tile, bytes, kind);
+        let delivery = self.faults.transfer(tile, bytes, kind)?;
+        if delivery.retransmissions > 0 {
+            self.controller
+                .note_retransmission(delivery.retransmitted_bytes);
+            for _ in 0..delivery.retransmissions {
+                self.network.send(tile, bytes, kind);
+            }
+        }
+        Ok(())
     }
 
-    fn execute(&mut self) {
+    /// The typed error for a dead shard worker, harvesting the worker's
+    /// dying `Failed` report for a precise detail when one is in flight.
+    fn shard_failed(&mut self, shard: usize) -> RuntimeError {
+        loop {
+            match self.up_rxs[shard].recv() {
+                Ok(env) => {
+                    if let Payload::Failed { shard: s, detail } = env.payload {
+                        return RuntimeError::ShardFailed { shard: s, detail };
+                    }
+                    // Drain whatever else was in flight ahead of it.
+                }
+                Err(_) => {
+                    return RuntimeError::ShardFailed {
+                        shard,
+                        detail: "worker exited without a failure report".into(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Receives one upstream envelope, converting a worker death — a
+    /// `Failed` report or a bare disconnect — into the typed error.
+    fn recv_up(&mut self, shard: usize) -> Result<Envelope, RuntimeError> {
+        match self.up_rxs[shard].recv() {
+            Ok(env) => {
+                self.shard_stats[shard].upstream_messages += 1;
+                if let Payload::Failed { shard: s, detail } = env.payload {
+                    return Err(RuntimeError::ShardFailed { shard: s, detail });
+                }
+                Ok(env)
+            }
+            Err(_) => Err(RuntimeError::ShardFailed {
+                shard,
+                detail: "worker exited without a failure report".into(),
+            }),
+        }
+    }
+
+    /// Sends one downstream envelope, minting interconnect packets for
+    /// its wire bytes against the destination tile and rolling the fault
+    /// layer for the transfer.
+    fn send_down(&mut self, shard: usize, tile: usize, env: Envelope) -> Result<(), RuntimeError> {
+        self.deliver(tile, env.wire_bytes, env.kind)?;
+        self.down_txs[shard]
+            .send(env)
+            .map_err(|_| self.shard_failed(shard))
+    }
+
+    fn execute(&mut self) -> Result<(), RuntimeError> {
         for op in &self.spec.ops {
             match *op {
                 WorkloadOp::Prep { tile, basis } => {
@@ -246,7 +348,7 @@ impl Master<'_> {
                         shard,
                         tile,
                         Envelope::control(PacketKind::Downstream, Payload::Prep { tile, basis }),
-                    );
+                    )?;
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::Cnot { control, target } => {
@@ -257,20 +359,22 @@ impl Master<'_> {
                     // single-threaded master.
                     self.controller.sync_remote(0);
                     self.controller.sync_remote(0);
-                    self.network.send(
+                    self.deliver(
                         control,
                         quest_core::master::SYNC_TOKEN_BYTES,
                         PacketKind::Downstream,
-                    );
-                    self.network.send(
+                    )?;
+                    self.deliver(
                         target,
                         quest_core::master::SYNC_TOKEN_BYTES,
                         PacketKind::Downstream,
-                    );
-                    self.down_txs[shard].send(Envelope::control(
-                        PacketKind::Downstream,
-                        Payload::Cnot { control, target },
-                    ));
+                    )?;
+                    self.down_txs[shard]
+                        .send(Envelope::control(
+                            PacketKind::Downstream,
+                            Payload::Cnot { control, target },
+                        ))
+                        .map_err(|_| self.shard_failed(shard))?;
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::Logical { tile, instr, class } => {
@@ -285,7 +389,7 @@ impl Master<'_> {
                             self.engine.instr_bytes(),
                             Payload::Logical { tile, instr },
                         ),
-                    );
+                    )?;
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::KernelReplay { tile, replays } => {
@@ -314,7 +418,7 @@ impl Master<'_> {
                                 replays,
                             },
                         ),
-                    );
+                    )?;
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::Sync { tile } => {
@@ -322,16 +426,16 @@ impl Master<'_> {
                     // A sync token has no shard-side effect; it is pure
                     // master-side bus traffic.
                     self.controller.sync_remote(0);
-                    self.network.send(
+                    self.deliver(
                         tile,
                         quest_core::master::SYNC_TOKEN_BYTES,
                         PacketKind::Downstream,
-                    );
+                    )?;
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::Cycles(n) => {
                     for _ in 0..n {
-                        self.run_cycle();
+                        self.run_cycle()?;
                     }
                 }
                 WorkloadOp::MeasureZ { tile } => {
@@ -341,11 +445,10 @@ impl Master<'_> {
                         shard,
                         tile,
                         Envelope::control(PacketKind::Downstream, Payload::MeasureZ { tile }),
-                    );
+                    )?;
                     // The upstream channel is drained to its barrier
                     // between cycles, so the next message is the outcome.
-                    let env = self.up_rxs[shard].recv();
-                    self.shard_stats[shard].upstream_messages += 1;
+                    let env = self.recv_up(shard)?;
                     match env.payload {
                         Payload::Outcome {
                             tile,
@@ -354,9 +457,7 @@ impl Master<'_> {
                         } => {
                             // Residual final-round events cross the bus
                             // upstream, like any other syndrome traffic.
-                            if env.wire_bytes > 0 {
-                                self.network.send(tile, env.wire_bytes, env.kind);
-                            }
+                            self.deliver(tile, env.wire_bytes, env.kind)?;
                             self.controller.note_readout_syndrome(final_events);
                             self.outcomes.push((tile, value));
                         }
@@ -367,13 +468,14 @@ impl Master<'_> {
             }
         }
         for shard in 0..self.spec.shards {
-            self.down_txs[shard].send(Envelope::control(PacketKind::Downstream, Payload::Shutdown));
+            self.down_txs[shard]
+                .send(Envelope::control(PacketKind::Downstream, Payload::Shutdown))
+                .map_err(|_| self.shard_failed(shard))?;
         }
         // Collect each worker's sign-off: the local-decode counters only
         // the shard threads could observe.
         for shard in 0..self.spec.shards {
-            let env = self.up_rxs[shard].recv();
-            self.shard_stats[shard].upstream_messages += 1;
+            let env = self.recv_up(shard)?;
             match env.payload {
                 Payload::Closing {
                     shard: s,
@@ -385,22 +487,25 @@ impl Master<'_> {
                 other => unreachable!("unexpected payload awaiting sign-off: {other:?}"),
             }
         }
+        Ok(())
     }
 
     /// One barrier round: broadcast the cycle, collect every shard's
     /// syndromes up to its barrier, decode the batch in the pool, push
     /// corrections back down.
-    fn run_cycle(&mut self) {
+    fn run_cycle(&mut self) -> Result<(), RuntimeError> {
         let start = Instant::now();
+        self.faults.begin_cycle(self.qecc_cycles);
         for shard in 0..self.spec.shards {
-            self.down_txs[shard].send(Envelope::control(PacketKind::Downstream, Payload::Cycle));
+            self.down_txs[shard]
+                .send(Envelope::control(PacketKind::Downstream, Payload::Cycle))
+                .map_err(|_| self.shard_failed(shard))?;
         }
 
-        let mut batch: Vec<(usize, quest_surface::StabKind, DecodeJob)> = Vec::new();
+        let mut batch: Vec<(usize, StabKind, DecodeJob)> = Vec::new();
         for shard in 0..self.spec.shards {
             loop {
-                let env = self.up_rxs[shard].recv();
-                self.shard_stats[shard].upstream_messages += 1;
+                let env = self.recv_up(shard)?;
                 match env.payload {
                     Payload::Syndrome {
                         tile,
@@ -410,7 +515,7 @@ impl Master<'_> {
                         // Real message flow drives the ledgers: upstream
                         // packets on the interconnect, syndrome bytes and
                         // a global decode on the master's bus counters.
-                        self.network.send(tile, env.wire_bytes, env.kind);
+                        self.deliver(tile, env.wire_bytes, env.kind)?;
                         self.controller
                             .note_escalation(escalation.events.len() as u64);
                         self.shard_stats[shard].escalations += 1;
@@ -432,22 +537,49 @@ impl Master<'_> {
                 }
             }
         }
-        // Under the software baseline every tile's cycle crosses the bus.
-        for _ in 0..self.spec.tiles {
-            self.engine
-                .account_cycle(&mut self.controller, self.num_qubits, self.cycle_len);
+        // Under the software baseline every tile's cycle crosses the
+        // bus; a quarantined tile is accounted the same way — the
+        // watchdog degraded it to software-managed delivery, so its
+        // QECC stream is back on the bus for the quarantine window.
+        for tile in 0..self.spec.tiles {
+            let engine = if self.faults.tile_degraded(tile) {
+                &self.degraded_engine
+            } else {
+                &self.engine
+            };
+            engine.account_cycle(&mut self.controller, self.num_qubits, self.cycle_len);
         }
         self.qecc_cycles += 1;
         self.phases.cycles += start.elapsed();
 
         let start = Instant::now();
-        let corrections = self.pool.decode(batch);
+        // The scheduled decode-worker kill fires on the batch that
+        // crosses the job threshold — a pure function of the (shard-count
+        // invariant) escalation totals, so faulty runs stay reproducible.
+        let kill_one = !batch.is_empty()
+            && self
+                .faults
+                .take_decode_kill(self.pool.stats().jobs + batch.len() as u64);
+        let mut corrections = self.pool.decode(batch, kill_one)?;
+        // Workers finish chunks in arbitrary order; fix a canonical
+        // (tile, kind) order so the fault layer's per-lane rolls — and
+        // with them the whole faulty run — never depend on pool timing.
+        corrections.sort_by_key(|&(tile, kind, _)| {
+            (
+                tile,
+                match kind {
+                    StabKind::Z => 0u8,
+                    StabKind::X => 1u8,
+                },
+            )
+        });
         for (tile, kind, flips) in corrections {
             let shard = self.spec.shard_of(tile);
             let env = Envelope::correction(tile, kind, flips.into_iter().collect());
-            self.send_down(shard, tile, env);
+            self.send_down(shard, tile, env)?;
         }
         self.phases.decode += start.elapsed();
+        Ok(())
     }
 
     fn report(mut self, down_gauges: &[DepthGauge], up_gauges: &[DepthGauge]) -> RuntimeReport {
@@ -456,6 +588,9 @@ impl Master<'_> {
             stats.max_upstream_depth = up_gauges[s].high_water();
         }
         let escalations = self.shard_stats.iter().map(|s| s.escalations).sum();
+        let pool_stats = self.pool.shutdown();
+        self.faults
+            .note_pool_recoveries(pool_stats.deaths, pool_stats.respawns);
         RuntimeReport {
             report: RunReport {
                 delivery: self.spec.delivery,
@@ -465,10 +600,11 @@ impl Master<'_> {
                 local_decodes: self.local_decodes,
                 escalations,
                 master: self.controller.stats(),
+                recovery: self.faults.stats(),
             },
             stats: RuntimeStats {
                 shards: self.shard_stats,
-                decode: self.pool.stats(),
+                decode: pool_stats,
                 master: self.controller.stats(),
                 packets_sent: self.network.packets_sent(),
                 wire_bytes: self.network.total_bytes(),

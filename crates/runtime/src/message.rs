@@ -77,6 +77,10 @@ pub(crate) enum Payload {
     /// Worker sign-off after `Shutdown`, carrying the counters only the
     /// shard could see.
     Closing { shard: usize, local_decodes: u64 },
+    /// The shard's serve loop panicked; the worker caught it and is
+    /// exiting. `detail` is the panic message, forwarded so the master
+    /// can surface a typed error instead of aborting the process.
+    Failed { shard: usize, detail: String },
 }
 
 /// A packet-shaped message: direction + wire bytes + body.
@@ -166,16 +170,28 @@ impl<T> Clone for Tx<T> {
     }
 }
 
+/// The other half of a runtime channel hung up early — its thread died
+/// or shut down. Callers translate this into a typed
+/// [`RuntimeError`](crate::RuntimeError) (master side) or a clean worker
+/// exit (shard side); nothing in the runtime panics on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Disconnected;
+
 impl<T> Tx<T> {
-    /// Sends, blocking when the channel is full. Panics if the receiver
-    /// is gone — inside the runtime that means a worker died, which is a
-    /// bug, not a recoverable condition.
-    pub(crate) fn send(&self, value: T) {
+    /// Sends, blocking when the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] when the receiver is gone (mpsc
+    /// guarantees the error even on a full channel, so a dead peer can
+    /// never deadlock the sender).
+    pub(crate) fn send(&self, value: T) -> Result<(), Disconnected> {
         let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.high_water.fetch_max(depth, Ordering::Relaxed);
-        self.inner
-            .send(value)
-            .expect("runtime channel closed early");
+        self.inner.send(value).map_err(|_| {
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Disconnected
+        })
     }
 }
 
@@ -186,11 +202,15 @@ pub(crate) struct Rx<T> {
 }
 
 impl<T> Rx<T> {
-    /// Blocking receive. Panics if all senders are gone early.
-    pub(crate) fn recv(&self) -> T {
-        let value = self.inner.recv().expect("runtime channel closed early");
+    /// Blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] when every sender is gone.
+    pub(crate) fn recv(&self) -> Result<T, Disconnected> {
+        let value = self.inner.recv().map_err(|_| Disconnected)?;
         self.depth.fetch_sub(1, Ordering::Relaxed);
-        value
+        Ok(value)
     }
 }
 
@@ -231,16 +251,36 @@ mod tests {
     #[test]
     fn depth_gauge_tracks_high_water() {
         let (tx, rx, gauge) = channel::<u32>(8);
-        tx.send(1);
-        tx.send(2);
-        tx.send(3);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        tx.send(3).unwrap();
         assert_eq!(gauge.high_water(), 3);
-        assert_eq!(rx.recv(), 1);
-        tx.send(4); // depth back to 3: watermark unchanged
+        assert_eq!(rx.recv(), Ok(1));
+        tx.send(4).unwrap(); // depth back to 3: watermark unchanged
         assert_eq!(gauge.high_water(), 3);
-        assert_eq!(rx.recv(), 2);
-        assert_eq!(rx.recv(), 3);
-        assert_eq!(rx.recv(), 4);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.recv(), Ok(4));
+    }
+
+    #[test]
+    fn hangups_surface_as_disconnected_not_panics() {
+        let (tx, rx, _) = channel::<u32>(2);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(Disconnected));
+        let (tx, rx, _) = channel::<u32>(2);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(Disconnected));
+    }
+
+    #[test]
+    fn dead_receiver_cannot_deadlock_a_full_channel() {
+        let (tx, rx, _) = channel::<u32>(1);
+        tx.send(1).unwrap(); // channel now full
+        drop(rx);
+        // A blocking send on a full channel with no receiver must error,
+        // not block forever.
+        assert_eq!(tx.send(2), Err(Disconnected));
     }
 
     #[test]

@@ -7,10 +7,21 @@
 //! [`decode_batch`](quest_surface::decoder::batch::decode_batch) — the
 //! same graph and decoder the single-threaded master uses, so pooled
 //! decoding changes throughput, never corrections.
+//!
+//! The pool is supervised: a worker that panics mid-chunk (including the
+//! fault layer's injected kill) is caught by `catch_unwind` inside the
+//! worker thread, reports the undecoded chunk back, and the supervisor
+//! respawns a replacement and requeues the chunk — no correction is
+//! lost, no mutex is poisoned, and the run's output is bit-identical to
+//! a run without the death. When the respawn budget is exhausted the
+//! batch fails with a typed [`RuntimeError::DecodePoolFailed`] instead
+//! of hanging or aborting.
 
+use crate::error::RuntimeError;
 use quest_surface::decoder::batch::{decode_batch, BatchGraphs, DecodeJob};
 use quest_surface::{RotatedLattice, StabKind, UnionFindDecoder};
 use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
@@ -20,6 +31,10 @@ struct Chunk {
     /// `(tile, kind)` per job, parallel to `jobs`.
     tags: Vec<(usize, StabKind)>,
     jobs: Vec<DecodeJob>,
+    /// Fault-injection flag: the worker that picks this chunk up
+    /// panics instead of decoding it (exercising the containment and
+    /// respawn path end to end).
+    die: bool,
 }
 
 /// One decoded chunk.
@@ -27,6 +42,15 @@ struct ChunkResult {
     tags: Vec<(usize, StabKind)>,
     /// Data-qubit flips per job.
     flips: Vec<BTreeSet<usize>>,
+}
+
+/// What a worker thread reports upstream.
+enum WorkerMessage {
+    /// A chunk decoded successfully.
+    Done(ChunkResult),
+    /// The worker died (panicked) holding this still-undecoded chunk;
+    /// the supervisor must requeue it and replace the worker.
+    Died { chunk: Chunk },
 }
 
 /// Aggregate pool statistics.
@@ -40,6 +64,10 @@ pub struct PoolStats {
     pub jobs: u64,
     /// Largest single batch.
     pub max_batch_jobs: u64,
+    /// Worker threads that died mid-chunk.
+    pub deaths: u64,
+    /// Replacement workers the supervisor spawned.
+    pub respawns: u64,
 }
 
 impl PoolStats {
@@ -53,69 +81,118 @@ impl PoolStats {
     }
 }
 
-/// Handle to the pool, owned by the master thread.
-pub(crate) struct DecodePool {
+/// Handle to the pool, owned by the master thread. The lifetimes tie the
+/// pool to the thread scope its workers run in, letting the supervisor
+/// respawn replacements into the same scope mid-run.
+pub(crate) struct DecodePool<'scope, 'env> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    lattice: &'env RotatedLattice,
     chunk_tx: Sender<Chunk>,
-    result_rx: Receiver<ChunkResult>,
+    chunk_rx: Arc<Mutex<Receiver<Chunk>>>,
+    result_tx: Sender<WorkerMessage>,
+    result_rx: Receiver<WorkerMessage>,
+    handles: Vec<std::thread::ScopedJoinHandle<'scope, ()>>,
     stats: PoolStats,
 }
 
-impl DecodePool {
+impl<'scope, 'env> DecodePool<'scope, 'env> {
     /// Spawns `workers` decode threads inside `scope`.
-    pub(crate) fn spawn<'scope, 'env>(
+    pub(crate) fn spawn(
         scope: &'scope std::thread::Scope<'scope, 'env>,
-        lattice: &RotatedLattice,
+        lattice: &'env RotatedLattice,
         workers: usize,
-    ) -> DecodePool {
+    ) -> DecodePool<'scope, 'env> {
         assert!(workers > 0, "decode pool needs at least one worker");
         let (chunk_tx, chunk_rx) = channel::<Chunk>();
-        let (result_tx, result_rx) = channel::<ChunkResult>();
-        let chunk_rx = Arc::new(Mutex::new(chunk_rx));
-        for _ in 0..workers {
-            let chunk_rx = Arc::clone(&chunk_rx);
-            let result_tx = result_tx.clone();
-            let lattice = lattice.clone();
-            scope.spawn(move || {
-                let graphs = BatchGraphs::new(&lattice);
-                let decoder = UnionFindDecoder::new();
-                loop {
-                    // Holding the lock only for the recv keeps workers
-                    // pulling chunks as they free up.
-                    let chunk = match chunk_rx.lock().expect("pool queue poisoned").recv() {
-                        Ok(chunk) => chunk,
-                        Err(_) => return, // pool dropped: shut down
-                    };
-                    let corrections = decode_batch(&decoder, &graphs, &chunk.jobs);
-                    let result = ChunkResult {
-                        tags: chunk.tags,
-                        flips: corrections.into_iter().map(|c| c.data_flips).collect(),
-                    };
-                    if result_tx.send(result).is_err() {
-                        return;
-                    }
-                }
-            });
-        }
-        DecodePool {
+        let (result_tx, result_rx) = channel::<WorkerMessage>();
+        let mut pool = DecodePool {
+            scope,
+            lattice,
             chunk_tx,
+            chunk_rx: Arc::new(Mutex::new(chunk_rx)),
+            result_tx,
             result_rx,
+            handles: Vec::with_capacity(workers),
             stats: PoolStats {
                 workers,
                 ..PoolStats::default()
             },
+        };
+        for _ in 0..workers {
+            pool.spawn_worker();
         }
+        pool
+    }
+
+    /// Spawns one worker thread pulling from the shared chunk queue.
+    fn spawn_worker(&mut self) {
+        let chunk_rx = Arc::clone(&self.chunk_rx);
+        let result_tx = self.result_tx.clone();
+        let lattice = self.lattice;
+        self.handles.push(self.scope.spawn(move || {
+            let graphs = BatchGraphs::new(lattice);
+            let decoder = UnionFindDecoder::new();
+            loop {
+                // Holding the lock only for the recv keeps workers
+                // pulling chunks as they free up. A poisoned lock (a
+                // sibling died between lock and unlock) is recovered,
+                // not propagated: the queue itself is always valid.
+                let next = {
+                    let rx = chunk_rx.lock().unwrap_or_else(|p| p.into_inner());
+                    rx.recv()
+                };
+                let mut chunk = match next {
+                    Ok(chunk) => chunk,
+                    Err(_) => return, // pool shut down: queue closed
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if chunk.die {
+                        panic!("injected decode-worker death");
+                    }
+                    decode_batch(&decoder, &graphs, &chunk.jobs)
+                }));
+                match outcome {
+                    Ok(corrections) => {
+                        let result = ChunkResult {
+                            tags: std::mem::take(&mut chunk.tags),
+                            flips: corrections.into_iter().map(|c| c.data_flips).collect(),
+                        };
+                        if result_tx.send(WorkerMessage::Done(result)).is_err() {
+                            return; // pool gone: nobody wants the result
+                        }
+                    }
+                    Err(_) => {
+                        // Dying breath: hand the chunk back so the
+                        // supervisor can requeue it, then exit without
+                        // unwinding (the scope must never see a panic).
+                        chunk.die = false;
+                        let _ = result_tx.send(WorkerMessage::Died { chunk });
+                        return;
+                    }
+                }
+            }
+        }));
     }
 
     /// Decodes one batch, blocking until every job is resolved. Returns
-    /// `(tile, kind, data_flips)` per job, in arbitrary order (each
-    /// correction targets a distinct decoder pipeline, and frame updates
-    /// commute).
+    /// `(tile, kind, data_flips)` per job, in arbitrary order (the
+    /// caller orders them before anything order-sensitive).
+    ///
+    /// With `kill_one` set, the worker picking up the batch's first
+    /// chunk dies instead of decoding it — the supervisor requeues the
+    /// chunk on a respawned worker, so the corrections are still exact.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DecodePoolFailed`] when the queue is closed or
+    /// the respawn budget (one per original worker) is exhausted.
     pub(crate) fn decode(
         &mut self,
         batch: Vec<(usize, StabKind, DecodeJob)>,
-    ) -> Vec<(usize, StabKind, BTreeSet<usize>)> {
+        kill_one: bool,
+    ) -> Result<Vec<(usize, StabKind, BTreeSet<usize>)>, RuntimeError> {
         if batch.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         self.stats.batches += 1;
         self.stats.jobs += batch.len() as u64;
@@ -131,25 +208,78 @@ impl DecodePool {
                 tags.push((tile, kind));
                 jobs.push(job);
             }
-            self.chunk_tx
-                .send(Chunk { tags, jobs })
-                .expect("decode pool worker died");
+            self.submit(Chunk {
+                tags,
+                jobs,
+                die: kill_one && chunks_sent == 0,
+            })?;
             chunks_sent += 1;
         }
 
         let mut out = Vec::new();
-        for _ in 0..chunks_sent {
-            let result = self.result_rx.recv().expect("decode pool worker died");
-            for ((tile, kind), flips) in result.tags.into_iter().zip(result.flips) {
-                out.push((tile, kind, flips));
+        let mut chunks_done = 0usize;
+        while chunks_done < chunks_sent {
+            match self.result_rx.recv() {
+                Ok(WorkerMessage::Done(result)) => {
+                    for ((tile, kind), flips) in result.tags.into_iter().zip(result.flips) {
+                        out.push((tile, kind, flips));
+                    }
+                    chunks_done += 1;
+                }
+                Ok(WorkerMessage::Died { chunk }) => {
+                    self.stats.deaths += 1;
+                    if self.stats.respawns >= self.stats.workers as u64 {
+                        return Err(RuntimeError::DecodePoolFailed {
+                            detail: format!(
+                                "respawn budget exhausted after {} worker deaths",
+                                self.stats.deaths
+                            ),
+                        });
+                    }
+                    self.stats.respawns += 1;
+                    self.spawn_worker();
+                    self.submit(chunk)?;
+                }
+                Err(_) => {
+                    return Err(RuntimeError::DecodePoolFailed {
+                        detail: "all decode workers disconnected mid-batch".into(),
+                    });
+                }
             }
         }
-        out
+        Ok(out)
+    }
+
+    fn submit(&self, chunk: Chunk) -> Result<(), RuntimeError> {
+        self.chunk_tx
+            .send(chunk)
+            .map_err(|_| RuntimeError::DecodePoolFailed {
+                detail: "job queue closed: no decode workers left".into(),
+            })
     }
 
     /// Statistics so far.
     pub(crate) fn stats(&self) -> PoolStats {
         self.stats
+    }
+
+    /// Orderly teardown: closes the job queue first (so idle workers
+    /// exit their `recv`), then joins every worker handle — consuming
+    /// any panic result so the enclosing thread scope never re-panics.
+    /// Safe with jobs still queued: workers drain the closed queue and
+    /// exit when it empties.
+    pub(crate) fn shutdown(self) -> PoolStats {
+        let DecodePool {
+            chunk_tx,
+            handles,
+            stats,
+            ..
+        } = self;
+        drop(chunk_tx);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        stats
     }
 }
 
@@ -159,65 +289,75 @@ mod tests {
     use quest_surface::decoder::Decoder;
     use quest_surface::DecodingGraph;
 
+    fn demo_batch() -> Vec<(usize, StabKind, DecodeJob)> {
+        vec![
+            (
+                0,
+                StabKind::Z,
+                DecodeJob {
+                    kind: StabKind::Z,
+                    events: vec![0, 1],
+                },
+            ),
+            (
+                1,
+                StabKind::X,
+                DecodeJob {
+                    kind: StabKind::X,
+                    events: vec![2],
+                },
+            ),
+            (
+                2,
+                StabKind::Z,
+                DecodeJob {
+                    kind: StabKind::Z,
+                    events: vec![4],
+                },
+            ),
+            (
+                3,
+                StabKind::Z,
+                DecodeJob {
+                    kind: StabKind::Z,
+                    events: vec![],
+                },
+            ),
+            (
+                4,
+                StabKind::X,
+                DecodeJob {
+                    kind: StabKind::X,
+                    events: vec![1, 3],
+                },
+            ),
+        ]
+    }
+
+    fn assert_exact(lattice: &RotatedLattice, got: Vec<(usize, StabKind, BTreeSet<usize>)>) {
+        let mut got = got;
+        got.sort_by_key(|&(tile, _, _)| tile);
+        let uf = UnionFindDecoder::new();
+        for ((tile, kind, job), (gt, gk, flips)) in demo_batch().into_iter().zip(got) {
+            assert_eq!((tile, kind), (gt, gk));
+            let graph = DecodingGraph::new(lattice, job.kind, 1);
+            assert_eq!(flips, uf.decode(&graph, &job.events).data_flips);
+        }
+    }
+
     #[test]
     fn pool_matches_direct_decoding() {
         let lattice = RotatedLattice::new(5);
         std::thread::scope(|scope| {
             let mut pool = DecodePool::spawn(scope, &lattice, 3);
-            let batch: Vec<(usize, StabKind, DecodeJob)> = vec![
-                (
-                    0,
-                    StabKind::Z,
-                    DecodeJob {
-                        kind: StabKind::Z,
-                        events: vec![0, 1],
-                    },
-                ),
-                (
-                    1,
-                    StabKind::X,
-                    DecodeJob {
-                        kind: StabKind::X,
-                        events: vec![2],
-                    },
-                ),
-                (
-                    2,
-                    StabKind::Z,
-                    DecodeJob {
-                        kind: StabKind::Z,
-                        events: vec![4],
-                    },
-                ),
-                (
-                    3,
-                    StabKind::Z,
-                    DecodeJob {
-                        kind: StabKind::Z,
-                        events: vec![],
-                    },
-                ),
-                (
-                    4,
-                    StabKind::X,
-                    DecodeJob {
-                        kind: StabKind::X,
-                        events: vec![1, 3],
-                    },
-                ),
-            ];
-            let mut got = pool.decode(batch.clone());
-            got.sort_by_key(|&(tile, _, _)| tile);
-            let uf = UnionFindDecoder::new();
-            for ((tile, kind, job), (gt, gk, flips)) in batch.into_iter().zip(got) {
-                assert_eq!((tile, kind), (gt, gk));
-                let graph = DecodingGraph::new(&lattice, job.kind, 1);
-                assert_eq!(flips, uf.decode(&graph, &job.events).data_flips);
-            }
-            assert_eq!(pool.stats().batches, 1);
-            assert_eq!(pool.stats().jobs, 5);
-            assert_eq!(pool.stats().max_batch_jobs, 5);
-            drop(pool); // closes the queue so workers exit the scope
+            let got = pool.decode(demo_batch(), false).unwrap();
+            assert_exact(&lattice, got);
+            let stats = pool.stats();
+            assert_eq!(stats.batches, 1);
+            assert_eq!(stats.jobs, 5);
+            assert_eq!(stats.max_batch_jobs, 5);
+            assert_eq!(stats.deaths, 0);
+            pool.shutdown();
         });
     }
 
@@ -226,9 +366,67 @@ mod tests {
         let lattice = RotatedLattice::new(3);
         std::thread::scope(|scope| {
             let mut pool = DecodePool::spawn(scope, &lattice, 2);
-            assert!(pool.decode(Vec::new()).is_empty());
+            assert!(pool.decode(Vec::new(), false).unwrap().is_empty());
             assert_eq!(pool.stats().batches, 0);
-            drop(pool);
+            pool.shutdown();
+        });
+    }
+
+    #[test]
+    fn killed_worker_is_respawned_and_loses_no_corrections() {
+        let lattice = RotatedLattice::new(5);
+        std::thread::scope(|scope| {
+            let mut pool = DecodePool::spawn(scope, &lattice, 2);
+            let got = pool.decode(demo_batch(), true).unwrap();
+            assert_exact(&lattice, got);
+            let stats = pool.stats();
+            assert_eq!(stats.deaths, 1);
+            assert_eq!(stats.respawns, 1);
+            // The respawned pool keeps decoding exactly.
+            let again = pool.decode(demo_batch(), false).unwrap();
+            assert_exact(&lattice, again);
+            let stats = pool.shutdown();
+            assert_eq!(stats.batches, 2);
+        });
+    }
+
+    #[test]
+    fn respawn_budget_exhaustion_is_a_typed_error() {
+        let lattice = RotatedLattice::new(5);
+        std::thread::scope(|scope| {
+            let mut pool = DecodePool::spawn(scope, &lattice, 1);
+            // One worker, one respawn in the budget: the second kill
+            // must fail the batch instead of hanging.
+            assert!(pool.decode(demo_batch(), true).is_ok());
+            let err = pool.decode(demo_batch(), true).unwrap_err();
+            assert!(matches!(err, RuntimeError::DecodePoolFailed { .. }));
+            assert!(err.to_string().contains("respawn budget"));
+            pool.shutdown();
+        });
+    }
+
+    #[test]
+    fn dropping_a_loaded_pool_neither_hangs_nor_aborts() {
+        let lattice = RotatedLattice::new(5);
+        std::thread::scope(|scope| {
+            let pool = DecodePool::spawn(scope, &lattice, 2);
+            // Queue work the pool will never be asked to collect, then
+            // tear down while it is still in flight.
+            for _ in 0..16 {
+                let mut tags = Vec::new();
+                let mut jobs = Vec::new();
+                for (tile, kind, job) in demo_batch() {
+                    tags.push((tile, kind));
+                    jobs.push(job);
+                }
+                pool.submit(Chunk {
+                    tags,
+                    jobs,
+                    die: false,
+                })
+                .unwrap();
+            }
+            pool.shutdown();
         });
     }
 }

@@ -11,6 +11,7 @@
 
 use crate::error::RuntimeError;
 use crate::spec::{WorkloadOp, WorkloadSpec};
+use quest_core::fault::RecoveryStats;
 use quest_core::tile::tile_seed;
 use quest_core::{decode_totals, MultiTileSystem, RunReport};
 use quest_stabilizer::{SeedableRng, StdRng};
@@ -24,9 +25,15 @@ use quest_stabilizer::{SeedableRng, StdRng};
 /// Returns [`RuntimeError`] if the spec fails [`WorkloadSpec::validate`]
 /// (the shard count is irrelevant here but is still checked, so a spec
 /// accepted by the runtime and the reference is the same set) or system
-/// construction rejects its parameters.
+/// construction rejects its parameters, and
+/// [`RuntimeError::ReferenceFaults`] when the spec carries a non-empty
+/// fault plan — only the concurrent runtime injects and recovers from
+/// classical faults.
 pub fn run_reference(spec: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
     spec.validate()?;
+    if !spec.faults.is_none() {
+        return Err(RuntimeError::ReferenceFaults);
+    }
     let mut sys =
         MultiTileSystem::with_delivery(spec.distance, spec.tiles, spec.error_rate, spec.delivery)?;
     let mut rngs: Vec<StdRng> = (0..spec.tiles)
@@ -74,5 +81,6 @@ pub fn run_reference(spec: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
         local_decodes,
         escalations,
         master: sys.master().stats(),
+        recovery: RecoveryStats::default(),
     })
 }

@@ -12,6 +12,13 @@
 //! ([`tile_seed`](quest_core::tile::tile_seed)), in the same fixed order
 //! the single-threaded reference uses (noise layer, then the microcode
 //! cycle), so a shard's outcomes do not depend on which thread runs it.
+//!
+//! The worker is panic-contained: its serve loop runs under
+//! `catch_unwind`, and any panic (including the fault layer's scheduled
+//! one) is converted into an upstream [`Payload::Failed`] report so the
+//! master can shut the run down with a typed error instead of the
+//! process aborting. A disconnected channel — the master bailed out
+//! early — is a clean exit, never a panic.
 
 use crate::message::{Envelope, Payload, Rx, Tx};
 use quest_core::network::PacketKind;
@@ -20,6 +27,18 @@ use quest_core::{decode_totals, DeliveryEngine, DeliveryMode, Mce, MCE_IBUF_BYTE
 use quest_stabilizer::{PauliChannel, SeedableRng, StdRng, Tableau};
 use quest_surface::RotatedLattice;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Best-effort panic message for a `Failed` report.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
 
 /// Owned state of one shard worker.
 pub(crate) struct ShardWorker {
@@ -33,11 +52,15 @@ pub(crate) struct ShardWorker {
     rngs: Vec<StdRng>,
     rx: Rx<Envelope>,
     tx: Tx<Envelope>,
+    /// Fault injection: panic once this many QECC cycles completed.
+    panic_after_cycles: Option<u64>,
+    cycles_done: u64,
 }
 
 impl ShardWorker {
     /// Builds a shard over `tiles` (global ids), with per-tile RNG
-    /// streams derived from `master_seed`.
+    /// streams derived from `master_seed`. A `panic_after_cycles`
+    /// schedule makes the worker panic mid-run (containment drill).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         shard: usize,
@@ -48,6 +71,7 @@ impl ShardWorker {
         master_seed: u64,
         rx: Rx<Envelope>,
         tx: Tx<Envelope>,
+        panic_after_cycles: Option<u64>,
     ) -> ShardWorker {
         let tile_width = lattice.num_qubits();
         let mces: Vec<Mce> = (0..tiles.len())
@@ -67,6 +91,8 @@ impl ShardWorker {
             rngs,
             rx,
             tx,
+            panic_after_cycles,
+            cycles_done: 0,
         }
     }
 
@@ -75,12 +101,39 @@ impl ShardWorker {
         tile - self.tiles.start
     }
 
-    /// Message loop; returns when the master sends `Shutdown`.
-    pub(crate) fn run(mut self) {
+    /// Thread entry point: the serve loop under panic containment. A
+    /// caught panic is reported upstream as [`Payload::Failed`]; the
+    /// thread itself always returns normally, so the enclosing scope
+    /// never re-panics.
+    pub(crate) fn run(self) {
+        let shard = self.shard;
+        let tx = self.tx.clone();
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(move || self.serve())) {
+            let _ = tx.send(Envelope::control(
+                PacketKind::Upstream,
+                Payload::Failed {
+                    shard,
+                    detail: panic_detail(payload.as_ref()),
+                },
+            ));
+        }
+    }
+
+    /// Message loop; returns when the master sends `Shutdown` or hangs
+    /// up (a disconnect means the master already shut down, possibly on
+    /// an error of its own — exiting quietly is the right response).
+    fn serve(mut self) {
         loop {
-            let env = self.rx.recv();
+            let env = match self.rx.recv() {
+                Ok(env) => env,
+                Err(_) => return,
+            };
             match env.payload {
-                Payload::Cycle => self.run_cycle(),
+                Payload::Cycle => {
+                    if self.run_cycle().is_err() {
+                        return;
+                    }
+                }
                 Payload::Prep { tile, basis } => {
                     let l = self.local(tile);
                     tile::prep_logical(
@@ -117,13 +170,18 @@ impl ShardWorker {
                     let l = self.local(tile);
                     let readout = self.mces[l]
                         .measure_logical_z_details(&mut self.substrate, &mut self.rngs[l]);
-                    self.tx
-                        .send(Envelope::outcome(tile, readout.value, readout.final_events));
+                    if self
+                        .tx
+                        .send(Envelope::outcome(tile, readout.value, readout.final_events))
+                        .is_err()
+                    {
+                        return;
+                    }
                 }
                 Payload::Shutdown => {
                     // Sign off with the counters only this thread saw.
                     let (local_decodes, _) = decode_totals(&self.mces);
-                    self.tx.send(Envelope::control(
+                    let _ = self.tx.send(Envelope::control(
                         PacketKind::Upstream,
                         Payload::Closing {
                             shard: self.shard,
@@ -135,7 +193,8 @@ impl ShardWorker {
                 Payload::Syndrome { .. }
                 | Payload::CycleDone { .. }
                 | Payload::Outcome { .. }
-                | Payload::Closing { .. } => {
+                | Payload::Closing { .. }
+                | Payload::Failed { .. } => {
                     unreachable!("upstream payload arrived at a shard worker")
                 }
             }
@@ -145,8 +204,14 @@ impl ShardWorker {
     /// One noisy QECC cycle over every owned tile: the noise layer and
     /// microcode cycle consume each tile's own stream in reference order;
     /// escalations the local decoders could not resolve ship upstream,
-    /// then the cycle barrier.
-    fn run_cycle(&mut self) {
+    /// then the cycle barrier. `Err` means the master hung up.
+    fn run_cycle(&mut self) -> Result<(), ()> {
+        if self.panic_after_cycles == Some(self.cycles_done) {
+            panic!(
+                "injected shard-worker panic after {} cycles",
+                self.cycles_done
+            );
+        }
         for (mce, rng) in self.mces.iter().zip(self.rngs.iter_mut()) {
             tile::noise_layer(mce, &self.noise, &mut self.substrate, rng);
         }
@@ -154,12 +219,17 @@ impl ShardWorker {
             self.mces[local].run_qecc_cycle(&mut self.substrate, &mut self.rngs[local]);
             for (kind, escalation) in self.mces[local].take_escalations() {
                 let tile = self.tiles.start + local;
-                self.tx.send(Envelope::syndrome(tile, kind, escalation));
+                self.tx
+                    .send(Envelope::syndrome(tile, kind, escalation))
+                    .map_err(|_| ())?;
             }
         }
-        self.tx.send(Envelope::control(
-            PacketKind::Upstream,
-            Payload::CycleDone { shard: self.shard },
-        ));
+        self.cycles_done += 1;
+        self.tx
+            .send(Envelope::control(
+                PacketKind::Upstream,
+                Payload::CycleDone { shard: self.shard },
+            ))
+            .map_err(|_| ())
     }
 }

@@ -1,7 +1,7 @@
 //! Workload description and shard planning.
 
 use quest_core::tile::LogicalBasis;
-use quest_core::{DeliveryMode, MCE_IBUF_BYTES};
+use quest_core::{DeliveryMode, FaultPlan, MCE_IBUF_BYTES};
 use quest_isa::{InstrClass, LogicalInstr, LogicalProgram};
 use std::fmt;
 use std::ops::Range;
@@ -83,6 +83,11 @@ pub struct WorkloadSpec {
     /// The shared distillation kernel replayed by
     /// [`WorkloadOp::KernelReplay`] (empty when unused).
     pub kernel: Vec<LogicalInstr>,
+    /// Classical-fault injection plan ([`FaultPlan::none`] by default —
+    /// a strict no-op). Faulty plans run only on the concurrent runtime;
+    /// fault decisions are seeded from [`WorkloadSpec::seed`], so a
+    /// faulty run is as reproducible as a clean one.
+    pub faults: FaultPlan,
     /// The program.
     pub ops: Vec<WorkloadOp>,
 }
@@ -153,6 +158,13 @@ pub enum SpecError {
     },
     /// [`WorkloadSpec::bell_pairs`] needs an even tile count.
     OddBellTiles(usize),
+    /// A fault-plan rate is outside `[0, 1]`.
+    InvalidFaultRate {
+        /// Which rate (`"drop"`, `"corrupt"` or `"stall"`).
+        which: &'static str,
+        /// The offending value.
+        rate: f64,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -207,6 +219,9 @@ impl fmt::Display for SpecError {
                     "Bell-pair workload needs an even tile count, got {tiles}"
                 )
             }
+            SpecError::InvalidFaultRate { which, rate } => {
+                write!(f, "fault {which} rate {rate} outside [0, 1]")
+            }
         }
     }
 }
@@ -240,6 +255,7 @@ impl WorkloadSpec {
             seed,
             delivery: DeliveryMode::QuestMce,
             kernel: Vec::new(),
+            faults: FaultPlan::none(),
             ops,
         }
     }
@@ -291,6 +307,7 @@ impl WorkloadSpec {
             seed,
             delivery: DeliveryMode::QuestMce,
             kernel: Vec::new(),
+            faults: FaultPlan::none(),
             ops,
         })
     }
@@ -343,6 +360,7 @@ impl WorkloadSpec {
             seed,
             delivery,
             kernel,
+            faults: FaultPlan::none(),
             ops,
         }
     }
@@ -394,6 +412,9 @@ impl WorkloadSpec {
         }
         if !(0.0..=1.0).contains(&self.error_rate) {
             return Err(SpecError::InvalidErrorRate(self.error_rate));
+        }
+        if let Err((which, rate)) = self.faults.check_rates() {
+            return Err(SpecError::InvalidFaultRate { which, rate });
         }
         // Decoder-reference tracking: at boot a tile's Z pipeline has a
         // deterministic reference and its X pipeline forms one on the
@@ -667,5 +688,22 @@ mod tests {
         spec.tiles = 0;
         spec.shards = 0;
         assert_eq!(spec.validate(), Err(SpecError::NoTiles));
+    }
+
+    #[test]
+    fn bad_fault_rates_rejected() {
+        let mut spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
+        assert!(spec.faults.is_none(), "stock constructors inject nothing");
+        spec.faults.stall_rate = -0.1;
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::InvalidFaultRate {
+                which: "stall",
+                rate: -0.1
+            })
+        );
+        spec.faults.stall_rate = 0.5;
+        spec.faults.quarantine_cycles = 10;
+        assert!(spec.validate().is_ok(), "in-range rates are fine");
     }
 }

@@ -117,6 +117,13 @@ impl fmt::Display for RuntimeStats {
             self.decode.max_batch_jobs,
             self.decode.mean_batch_jobs(),
         )?;
+        if self.decode.deaths > 0 {
+            writeln!(
+                f,
+                "  pool supervision: {} worker deaths, {} respawned",
+                self.decode.deaths, self.decode.respawns,
+            )?;
+        }
         writeln!(
             f,
             "master: {} global decodes, {} sync tokens; network: {} packets, {} wire bytes",

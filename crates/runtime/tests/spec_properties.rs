@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use quest_core::tile::LogicalBasis;
-use quest_core::DeliveryMode;
+use quest_core::{DeliveryMode, FaultPlan};
 use quest_isa::{InstrClass, LogicalInstr, LogicalQubit};
 use quest_runtime::{run_reference, Runtime, RuntimeError, WorkloadOp, WorkloadSpec};
 
@@ -101,6 +101,7 @@ proptest! {
             seed,
             delivery: DeliveryMode::ALL[mode_sel],
             kernel: vec![LogicalInstr::T(LogicalQubit(0)); kernel_len],
+            faults: FaultPlan::none(),
             ops: raw_ops.into_iter().map(|v| decode_op(v, tiles)).collect(),
         };
         both_paths_agree(&spec)?;
@@ -127,6 +128,7 @@ proptest! {
             seed,
             delivery: DeliveryMode::ALL[mode_sel],
             kernel: Vec::new(),
+            faults: FaultPlan::none(),
             ops: raw_ops.into_iter().map(|v| decode_op(v, 6)).collect(),
         };
         both_paths_agree(&spec)?;

@@ -8,7 +8,10 @@
 //! * `simulate <d> <p> <cycles>` — run the cycle-level system simulation
 //!   and print the global-bus accounting;
 //! * `run --shards N [options]` — run a multi-tile workload on the
-//!   concurrent sharded runtime and print its statistics;
+//!   concurrent sharded runtime and print its statistics; `--fault-*`
+//!   flags inject deterministic classical faults (packet drop/corrupt
+//!   rates, MCE stalls, decode-worker kills) and the report then carries
+//!   a recovery summary;
 //! * `asm <file>` — assemble a logical program from text and print its
 //!   statistics (use `-` for stdin).
 
@@ -16,7 +19,7 @@ use quest::arch::throughput::table2;
 use quest::arch::{DeliveryMode, QuestSystem, TechnologyParams};
 use quest::estimate::kernels::workload_with_kernel;
 use quest::estimate::{analyze_suite, ShorEstimate, Workload};
-use quest::runtime::{Runtime, WorkloadSpec};
+use quest::runtime::{FaultPlan, Runtime, WorkloadSpec};
 use quest::stabilizer::{SeedableRng, StdRng};
 use std::io::Read;
 use std::process::ExitCode;
@@ -159,6 +162,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut cycles = 50u64;
     let mut seed = 1u64;
     let mut workload = "memory".to_owned();
+    let mut faults = FaultPlan::none();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| -> Result<&String, String> {
@@ -172,19 +176,42 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--cycles" => cycles = parse_u64(value("--cycles")?, "cycle count")?,
             "--seed" => seed = parse_u64(value("--seed")?, "seed")?,
             "--workload" => workload = value("--workload")?.clone(),
+            "--fault-drop-rate" => {
+                faults.drop_rate = parse_f64(value("--fault-drop-rate")?, "drop rate")?
+            }
+            "--fault-corrupt-rate" => {
+                faults.corrupt_rate = parse_f64(value("--fault-corrupt-rate")?, "corrupt rate")?
+            }
+            "--fault-stall-rate" => {
+                faults.stall_rate = parse_f64(value("--fault-stall-rate")?, "stall rate")?
+            }
+            "--fault-quarantine" => {
+                faults.quarantine_cycles =
+                    parse_u64(value("--fault-quarantine")?, "quarantine length")?
+            }
+            "--fault-retries" => {
+                faults.max_retries = parse_u64(value("--fault-retries")?, "retry budget")? as u32
+            }
+            "--fault-kill-decoder" => {
+                faults.kill_decode_worker_after_jobs =
+                    Some(parse_u64(value("--fault-kill-decoder")?, "job threshold")?)
+            }
             other => {
                 return Err(format!(
-                    "unknown flag `{other}` (expected --shards/--tiles/--distance/--error-rate/--cycles/--seed/--workload)"
+                    "unknown flag `{other}` (expected --shards/--tiles/--distance/--error-rate/\
+                     --cycles/--seed/--workload/--fault-drop-rate/--fault-corrupt-rate/\
+                     --fault-stall-rate/--fault-quarantine/--fault-retries/--fault-kill-decoder)"
                 ))
             }
         }
     }
-    let spec = match workload.as_str() {
+    let mut spec = match workload.as_str() {
         "memory" => WorkloadSpec::memory(distance, tiles, shards, error_rate, seed, cycles),
         "bell" => WorkloadSpec::bell_pairs(distance, tiles, shards, error_rate, seed, cycles)
             .map_err(|e| e.to_string())?,
         other => return Err(format!("unknown workload `{other}` (memory | bell)")),
     };
+    spec.faults = faults;
     spec.validate().map_err(|e| e.to_string())?;
     println!(
         "{workload} workload: {tiles} tiles at d={distance}, p={error_rate:.0e}, \
@@ -192,6 +219,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     let report = Runtime::new().run(&spec).map_err(|e| e.to_string())?;
     println!("{}", report.stats);
+    if !report.recovery.is_quiet() {
+        println!("\nfault recovery:");
+        for line in report.recovery.to_string().lines() {
+            println!("  {line}");
+        }
+    }
     println!("\nbus bytes: {}", report.bus_bytes());
     let ones = report.outcomes.iter().filter(|&&(_, v)| v).count();
     println!(
