@@ -35,11 +35,11 @@ fn main() {
     let suite = analyze_suite(1e-4);
     let max = suite
         .iter()
-        .map(|e| e.t_factory_ratio())
+        .map(quest_estimate::BandwidthEstimate::t_factory_ratio)
         .fold(0.0f64, f64::max);
     let min = suite
         .iter()
-        .map(|e| e.t_factory_ratio())
+        .map(quest_estimate::BandwidthEstimate::t_factory_ratio)
         .fold(f64::INFINITY, f64::min);
     println!(
         "check: every workload's logical stream is dominated by distillation \

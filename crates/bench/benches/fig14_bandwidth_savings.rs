@@ -36,7 +36,7 @@ fn main() {
     println!();
     let min_mce = suite
         .iter()
-        .map(|e| e.mce_savings())
+        .map(quest_estimate::BandwidthEstimate::mce_savings)
         .fold(f64::INFINITY, f64::min);
     let mean_total = suite
         .iter()

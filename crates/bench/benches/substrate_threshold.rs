@@ -29,8 +29,11 @@ fn main() {
     );
 
     let mut head = vec!["p \\ d".to_string()];
-    head.extend(distances.iter().map(|d| d.to_string()));
-    row(&head.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    head.extend(distances.iter().map(std::string::ToString::to_string));
+    row(&head
+        .iter()
+        .map(std::string::String::as_str)
+        .collect::<Vec<_>>());
     for &p in &rates {
         let mut cols = vec![format!("{p:.0e}")];
         for &d in &distances {
@@ -41,7 +44,10 @@ fn main() {
                 .expect("grid point");
             cols.push(format!("{:.4}", pt.logical_rate));
         }
-        row(&cols.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        row(&cols
+            .iter()
+            .map(std::string::String::as_str)
+            .collect::<Vec<_>>());
     }
     println!();
     let c35 = sweep.crossing_below(3, 5);

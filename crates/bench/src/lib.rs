@@ -4,6 +4,8 @@
 //! the paper and prints the rows/series in a uniform format so
 //! `cargo bench --workspace` produces a complete reproduction report.
 
+#![forbid(unsafe_code)]
+
 /// Formats a value in scientific notation (`1.23e6`).
 pub fn sci(v: f64) -> String {
     format!("{v:.2e}")

@@ -72,10 +72,16 @@ impl BusCounters {
     }
 
     fn idx(class: Traffic) -> usize {
-        Traffic::ALL
-            .iter()
-            .position(|&t| t == class)
-            .expect("class is in ALL")
+        match class {
+            Traffic::QeccInstructions => 0,
+            Traffic::PhysicalLogical => 1,
+            Traffic::LogicalInstructions => 2,
+            Traffic::Distillation => 3,
+            Traffic::Syndrome => 4,
+            Traffic::Sync => 5,
+            Traffic::CacheFill => 6,
+            Traffic::Retransmit => 7,
+        }
     }
 
     /// Records `bytes` of traffic in `class`.
@@ -115,6 +121,13 @@ impl fmt::Display for BusCounters {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn idx_matches_display_order() {
+        for (i, &class) in Traffic::ALL.iter().enumerate() {
+            assert_eq!(BusCounters::idx(class), i, "{class}");
+        }
+    }
 
     #[test]
     fn record_and_read_back() {

@@ -27,6 +27,36 @@ pub struct DecodeStats {
     pub local_corrections: u64,
 }
 
+/// Why a syndrome-reference update was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReferenceError {
+    /// The reference is not yet established (no projective round has run
+    /// since the last reset).
+    NotSettled,
+    /// The partner's bits have a different width than this reference.
+    WidthMismatch {
+        /// Checks in this pipeline's reference.
+        expected: usize,
+        /// Checks in the partner's bits.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ReferenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReferenceError::NotSettled => {
+                write!(f, "syndrome reference not settled (run a QECC cycle first)")
+            }
+            ReferenceError::WidthMismatch { expected, got } => {
+                write!(f, "syndrome reference width mismatch: {expected} vs {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReferenceError {}
+
 /// A round of detection events escalated to the master controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Escalation {
@@ -117,19 +147,22 @@ impl DecoderPipeline {
     /// update every subsequent round would appear to be full of detection
     /// events.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either reference is not yet established or the widths
-    /// differ.
-    pub fn xor_reference(&mut self, partner_bits: &[bool]) {
-        let prev = self
-            .previous
-            .as_mut()
-            .expect("reference must be established before a transversal CNOT");
-        assert_eq!(prev.len(), partner_bits.len(), "check-count mismatch");
+    /// [`ReferenceError`] if this reference is not yet established or the
+    /// widths differ; the reference is untouched on error.
+    pub fn xor_reference(&mut self, partner_bits: &[bool]) -> Result<(), ReferenceError> {
+        let prev = self.previous.as_mut().ok_or(ReferenceError::NotSettled)?;
+        if prev.len() != partner_bits.len() {
+            return Err(ReferenceError::WidthMismatch {
+                expected: prev.len(),
+                got: partner_bits.len(),
+            });
+        }
         for (a, &b) in prev.iter_mut().zip(partner_bits) {
             *a ^= b;
         }
+        Ok(())
     }
 
     /// Re-arms the pipeline after a logical (re)preparation: clears the

@@ -142,7 +142,13 @@ impl DeliveryEngine {
                     master.dispatch_cache_fill(mce, KERNEL_BLOCK, kernel);
                 }
                 for _ in 0..replays {
-                    master.dispatch_cache_replay(mce, KERNEL_BLOCK);
+                    if master.dispatch_cache_replay(mce, KERNEL_BLOCK).is_err() {
+                        // The fill above makes a miss unreachable; refill
+                        // so a schedule bug degrades to extra fill
+                        // traffic instead of a lost replay.
+                        master.dispatch_cache_fill(mce, KERNEL_BLOCK, kernel);
+                        let _ = master.dispatch_cache_replay(mce, KERNEL_BLOCK);
+                    }
                 }
             }
         }
@@ -201,9 +207,12 @@ impl DeliveryEngine {
                     pipeline.cache_fill(KERNEL_BLOCK, kernel);
                 }
                 for _ in 0..replays {
-                    pipeline
-                        .cache_replay(KERNEL_BLOCK)
-                        .expect("kernel block resident after fill");
+                    if pipeline.cache_replay(KERNEL_BLOCK).is_none() {
+                        // Unreachable after the fill above; refill rather
+                        // than lose the replay.
+                        pipeline.cache_fill(KERNEL_BLOCK, kernel);
+                        let _ = pipeline.cache_replay(KERNEL_BLOCK);
+                    }
                 }
             }
         }

@@ -41,6 +41,85 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// A transversal logical CNOT between tiles was rejected.
+///
+/// Raised before any state is touched: a rejected CNOT leaves the
+/// substrate, the Pauli frames, and the syndrome references exactly as
+/// they were.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CnotError {
+    /// A tile index is out of range for the system.
+    TileOutOfRange {
+        /// The offending index.
+        tile: usize,
+        /// How many tiles the system has.
+        tiles: usize,
+    },
+    /// Control and target name the same tile.
+    SameTile {
+        /// The coinciding index.
+        tile: usize,
+    },
+    /// A tile has not yet run a QECC cycle, so it has no syndrome
+    /// reference to propagate through the gate.
+    ReferenceNotSettled {
+        /// The unsettled tile.
+        tile: usize,
+    },
+    /// The two tiles' syndrome references have different widths (the
+    /// tiles are not the same code distance).
+    ReferenceWidthMismatch {
+        /// Checks in the reference being updated.
+        expected: usize,
+        /// Checks in the partner's reference.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CnotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CnotError::TileOutOfRange { tile, tiles } => {
+                write!(f, "tile {tile} out of range for a {tiles}-tile system")
+            }
+            CnotError::SameTile { tile } => {
+                write!(f, "control and target tiles must differ (both {tile})")
+            }
+            CnotError::ReferenceNotSettled { tile } => {
+                write!(
+                    f,
+                    "tile {tile} must run at least one QECC cycle before a transversal CNOT"
+                )
+            }
+            CnotError::ReferenceWidthMismatch { expected, got } => {
+                write!(f, "syndrome reference width mismatch: {expected} vs {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CnotError {}
+
+/// A cache-replay command named a block that is not resident in the
+/// MCE's logical instruction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayError {
+    /// The missing block id.
+    pub block: u8,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay of non-resident cache block {} (fill it first)",
+            self.block
+        )
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// Validates a surface-code distance.
 pub(crate) fn check_distance(d: usize) -> Result<(), BuildError> {
     if d < 3 || d.is_multiple_of(2) {

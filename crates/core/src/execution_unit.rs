@@ -160,11 +160,18 @@ impl ExecutionUnit {
         for q in 0..self.latches.len() {
             let u = self.latches[q];
             if u.opcode() == PhysOpcode::CnotCtrl {
-                let dir = u.direction().expect("ctrl µop carries a direction");
-                let target = self
-                    .geometry
-                    .neighbor(q, dir)
-                    .unwrap_or_else(|| panic!("qubit {q}: no neighbour to the {dir}"));
+                // The microcode generator always emits directed ctrl
+                // halves with an in-lattice partner; a malformed word is
+                // dropped (debug builds still assert) rather than
+                // panicking the control plane.
+                let Some(dir) = u.direction() else {
+                    debug_assert!(false, "ctrl µop at qubit {q} carries no direction");
+                    continue;
+                };
+                let Some(target) = self.geometry.neighbor(q, dir) else {
+                    debug_assert!(false, "qubit {q}: no neighbour to the {dir}");
+                    continue;
+                };
                 let partner = self.latches[target];
                 assert_eq!(
                     partner.opcode(),

@@ -10,7 +10,7 @@
 //! bandwidth by orders of magnitude (§5.3).
 
 use quest_isa::{InstrClass, LogicalInstr};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Outcome of offering one instruction to the pipeline's cache stage.
@@ -65,7 +65,7 @@ struct CacheBlock {
 pub struct InstructionPipeline {
     /// Cache capacity in bytes (the instruction buffer size).
     capacity_bytes: usize,
-    blocks: HashMap<u8, CacheBlock>,
+    blocks: BTreeMap<u8, CacheBlock>,
     issued_log: Vec<LogicalInstr>,
     stats: PipelineStats,
 }
@@ -80,7 +80,7 @@ impl InstructionPipeline {
         assert!(capacity_bytes > 0, "instruction buffer needs capacity");
         InstructionPipeline {
             capacity_bytes,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             issued_log: Vec::new(),
             stats: PipelineStats::default(),
         }

@@ -40,6 +40,12 @@
 //! # Ok::<(), quest_core::BuildError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+// The panic-free contract (PR 2/3), enforced three ways: quest-lint's
+// QL01 rule, this clippy deny, and the runtime's catch_unwind
+// containment as a last resort. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bus;
 pub mod decoder_pipeline;
 pub mod delivery;
@@ -67,7 +73,7 @@ pub mod timing;
 pub use bus::{BusCounters, Traffic};
 pub use decoder_pipeline::{DecodeStats, DecoderPipeline, Escalation};
 pub use delivery::{DeliveryEngine, DeliveryMode};
-pub use error::BuildError;
+pub use error::{BuildError, CnotError, ReplayError};
 pub use execution_unit::{ExecutionStats, ExecutionUnit, FireResult};
 pub use fault::{Delivery, FaultPlan, FaultSession, LinkFailure, RecoveryStats, ShardPanicPlan};
 pub use geometry::TileGeometry;

@@ -9,6 +9,7 @@
 
 use crate::bus::{BusCounters, Traffic};
 use crate::decoder_pipeline::Escalation;
+use crate::error::ReplayError;
 use crate::instruction_pipeline::traffic_class;
 use crate::mce::Mce;
 use quest_isa::{InstrClass, LogicalInstr};
@@ -130,20 +131,24 @@ impl MasterController {
     }
 
     /// Requests a cached-block replay (one two-byte command downstream;
-    /// the block's instructions issue locally at the MCE).
+    /// the block's instructions issue locally at the MCE). Returns the
+    /// number of instructions replayed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block is not resident — replaying an unfilled block
-    /// is a programming error in the workload schedule.
-    pub fn dispatch_cache_replay(&mut self, mce: &mut Mce, block: u8) {
-        self.bus
-            .record(Traffic::Sync, LogicalInstr::ENCODED_BYTES as u64);
+    /// [`ReplayError`] if the block is not resident — replaying an
+    /// unfilled block is a schedule bug, and nothing (including bus
+    /// accounting) happens for the rejected command.
+    pub fn dispatch_cache_replay(&mut self, mce: &mut Mce, block: u8) -> Result<u64, ReplayError> {
         let replayed = mce
             .instruction_pipeline_mut()
             .cache_replay(block)
-            .expect("replay of a non-resident cache block");
-        self.stats.dispatched += replayed.len() as u64;
+            .ok_or(ReplayError { block })?;
+        self.bus
+            .record(Traffic::Sync, LogicalInstr::ENCODED_BYTES as u64);
+        let count = replayed.len() as u64;
+        self.stats.dispatched += count;
+        Ok(count)
     }
 
     /// Issues a synchronization token to an MCE.
@@ -205,18 +210,30 @@ impl MasterController {
     /// Call this at window boundaries (the MCE keeps buffering escalations
     /// in between).
     pub fn service_escalations_windowed(&mut self, mce: &mut Mce) {
-        use std::collections::HashMap;
         let escalations = mce.take_escalations();
         if escalations.is_empty() {
             return;
         }
-        let mut by_kind: HashMap<StabKind, Vec<Escalation>> = HashMap::new();
+        // Bucket by stabilizer kind in a fixed order (X then Z) so the
+        // decode order — and with it every downstream counter — is
+        // independent of arrival order and of any hash state.
+        let mut x_escs: Vec<Escalation> = Vec::new();
+        let mut z_escs: Vec<Escalation> = Vec::new();
         for (kind, esc) in escalations {
-            by_kind.entry(kind).or_default().push(esc);
+            match kind {
+                StabKind::X => x_escs.push(esc),
+                StabKind::Z => z_escs.push(esc),
+            }
         }
-        for (kind, escs) in by_kind {
-            let first = escs.iter().map(|e| e.round).min().expect("nonempty");
-            let last = escs.iter().map(|e| e.round).max().expect("nonempty");
+        for (kind, escs) in [(StabKind::X, x_escs), (StabKind::Z, z_escs)] {
+            if escs.is_empty() {
+                continue;
+            }
+            let (mut first, mut last) = (usize::MAX, 0);
+            for e in &escs {
+                first = first.min(e.round);
+                last = last.max(e.round);
+            }
             let rounds = last - first + 1;
             let graph = DecodingGraph::new(mce.lattice(), kind, rounds);
             let mut events = Vec::new();
@@ -293,7 +310,7 @@ mod tests {
         let fill_bytes = master.bus().bytes(Traffic::CacheFill);
         assert_eq!(fill_bytes, 300);
         for _ in 0..100 {
-            master.dispatch_cache_replay(&mut mce, 0);
+            assert_eq!(master.dispatch_cache_replay(&mut mce, 0), Ok(150));
         }
         // 100 replays of a 150-instruction kernel cost 200 bytes of
         // commands instead of 30 000 bytes of instructions.
@@ -302,6 +319,17 @@ mod tests {
             mce.instruction_pipeline().stats().cached_instructions,
             15_000
         );
+    }
+
+    #[test]
+    fn replay_of_non_resident_block_is_rejected_without_accounting() {
+        let (mut master, mut mce, _, _) = setup();
+        assert_eq!(
+            master.dispatch_cache_replay(&mut mce, 3),
+            Err(ReplayError { block: 3 })
+        );
+        assert_eq!(master.bus().bytes(Traffic::Sync), 0);
+        assert_eq!(master.stats().dispatched, 0);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! QECC instruction traffic for every tile.
 
 use crate::delivery::{DeliveryEngine, DeliveryMode};
-use crate::error::{check_distance, check_probability, BuildError};
+use crate::error::{check_distance, check_probability, BuildError, CnotError};
 use crate::master::MasterController;
 use crate::mce::Mce;
 use crate::system::MCE_IBUF_BYTES;
@@ -43,10 +43,10 @@ pub use crate::tile::LogicalBasis;
 /// sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
 /// sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
 /// sys.run_noisy_cycle(&mut rng);
-/// sys.transversal_cnot(0, 1, &mut rng);
+/// sys.transversal_cnot(0, 1, &mut rng)?;
 /// assert!(!sys.measure_logical_z(0, &mut rng));
 /// assert!(!sys.measure_logical_z(1, &mut rng));
-/// # Ok::<(), quest_core::BuildError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct MultiTileSystem {
@@ -228,20 +228,23 @@ impl MultiTileSystem {
     /// target copy onto the control), and the master issues a sync token
     /// to both MCEs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tile indices coincide or are out of range.
+    /// [`CnotError`] if the tile indices coincide or are out of range, or
+    /// if either tile has not yet run a QECC cycle. A rejected CNOT
+    /// leaves the system (including bus accounting) unchanged.
     pub fn transversal_cnot<R: Rng + ?Sized>(
         &mut self,
         control: usize,
         target: usize,
         _rng: &mut R,
-    ) {
-        tile::transversal_cnot_physics(&mut self.mces, &mut self.substrate, control, target);
+    ) -> Result<(), CnotError> {
+        tile::transversal_cnot_physics(&mut self.mces, &mut self.substrate, control, target)?;
 
         // Master-controller coordination: one sync token per involved MCE.
         self.master.sync_remote(0);
         self.master.sync_remote(0);
+        Ok(())
     }
 
     /// Applies a logical X to tile `i` through its MCE's instruction path.
@@ -298,7 +301,7 @@ mod tests {
         sys.prep_logical(0, LogicalBasis::Zero, &mut rng);
         sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
         sys.run_noisy_cycle(&mut rng);
-        sys.transversal_cnot(0, 1, &mut rng);
+        sys.transversal_cnot(0, 1, &mut rng).unwrap();
         sys.run_noisy_cycle(&mut rng);
         assert!(!sys.measure_logical_z(0, &mut rng));
         assert!(!sys.measure_logical_z(1, &mut rng));
@@ -319,7 +322,7 @@ mod tests {
         for row in 0..lat.distance() {
             sys.substrate.x(off + lat.data_index(row, 0));
         }
-        sys.transversal_cnot(0, 1, &mut rng);
+        sys.transversal_cnot(0, 1, &mut rng).unwrap();
         sys.run_noisy_cycle(&mut rng);
         assert!(sys.measure_logical_z(0, &mut rng));
         assert!(sys.measure_logical_z(1, &mut rng));
@@ -335,7 +338,7 @@ mod tests {
         sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
         sys.run_noisy_cycle(&mut rng);
         sys.logical_x(0);
-        sys.transversal_cnot(0, 1, &mut rng);
+        sys.transversal_cnot(0, 1, &mut rng).unwrap();
         assert!(sys.measure_logical_z(0, &mut rng));
         assert!(sys.measure_logical_z(1, &mut rng));
     }
@@ -348,7 +351,7 @@ mod tests {
             sys.prep_logical(0, LogicalBasis::Plus, &mut rng);
             sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
             sys.run_noisy_cycle(&mut rng);
-            sys.transversal_cnot(0, 1, &mut rng);
+            sys.transversal_cnot(0, 1, &mut rng).unwrap();
             sys.run_noisy_cycle(&mut rng);
             let a = sys.measure_logical_z(0, &mut rng);
             let b = sys.measure_logical_z(1, &mut rng);
@@ -366,7 +369,7 @@ mod tests {
             sys.prep_logical(0, LogicalBasis::Plus, &mut rng);
             sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
             sys.run_noisy_cycle(&mut rng);
-            sys.transversal_cnot(0, 1, &mut rng);
+            sys.transversal_cnot(0, 1, &mut rng).unwrap();
             for _ in 0..5 {
                 sys.run_noisy_cycle(&mut rng);
             }
@@ -406,7 +409,7 @@ mod tests {
         sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
         sys.run_noisy_cycle(&mut rng);
         let before = sys.master().bus().total();
-        sys.transversal_cnot(0, 1, &mut rng);
+        sys.transversal_cnot(0, 1, &mut rng).unwrap();
         let after = sys.master().bus().total();
         assert_eq!(after - before, 4, "two 2-byte sync tokens");
     }
@@ -481,9 +484,9 @@ mod tests {
             sys.prep_logical(1, LogicalBasis::Zero, &mut rng);
             sys.prep_logical(2, LogicalBasis::Zero, &mut rng);
             sys.run_noisy_cycle(&mut rng);
-            sys.transversal_cnot(0, 1, &mut rng);
+            sys.transversal_cnot(0, 1, &mut rng).unwrap();
             sys.run_noisy_cycle(&mut rng);
-            sys.transversal_cnot(1, 2, &mut rng);
+            sys.transversal_cnot(1, 2, &mut rng).unwrap();
             sys.run_noisy_cycle(&mut rng);
             let a = sys.measure_logical_z(0, &mut rng);
             let b = sys.measure_logical_z(1, &mut rng);
@@ -496,10 +499,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must differ")]
-    fn same_tile_cnot_panics() {
+    fn same_tile_cnot_is_rejected() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
-        sys.transversal_cnot(1, 1, &mut rng);
+        assert_eq!(
+            sys.transversal_cnot(1, 1, &mut rng),
+            Err(CnotError::SameTile { tile: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_cnot_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
+        assert_eq!(
+            sys.transversal_cnot(0, 2, &mut rng),
+            Err(CnotError::TileOutOfRange { tile: 2, tiles: 2 })
+        );
+    }
+
+    #[test]
+    fn cnot_before_any_cycle_is_rejected_and_mutates_nothing() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sys = MultiTileSystem::new(3, 2, 0.0).unwrap();
+        // X references are FirstRound: unsettled until a cycle runs.
+        let before_sync = sys.master().bus().bytes(crate::bus::Traffic::Sync);
+        assert_eq!(
+            sys.transversal_cnot(0, 1, &mut rng),
+            Err(CnotError::ReferenceNotSettled { tile: 1 })
+        );
+        assert_eq!(
+            sys.master().bus().bytes(crate::bus::Traffic::Sync),
+            before_sync,
+            "a rejected CNOT must not account sync traffic"
+        );
     }
 }

@@ -99,8 +99,11 @@ impl Packet {
         let bit = bit % (16 * 8);
         let mut buf = self.checked_bytes();
         buf[(bit / 8) as usize] ^= 1 << (bit % 8);
-        self.mce = u64::from_le_bytes(buf[..8].try_into().expect("8 bytes")) as usize;
-        self.payload_bytes = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        // Little-endian reassembly, written out so no slice-length proof
+        // (and hence no expect) is needed.
+        let word = |at: usize| (0..8).fold(0u64, |w, i| w | u64::from(buf[at + i]) << (8 * i));
+        self.mce = word(0) as usize;
+        self.payload_bytes = word(8);
         self.kind = if buf[16] & 1 == 0 {
             PacketKind::Downstream
         } else {

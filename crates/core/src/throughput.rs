@@ -56,10 +56,18 @@ pub fn unit_cell_throughput(
 /// The optimal 4 Kb configuration for a design/technology (Table 2):
 /// the feasible configuration maximizing throughput.
 pub fn optimal_config(design: &SyndromeDesign, tech: &TechnologyParams) -> MemoryConfig {
-    MemoryConfig::four_kb_sweep()
-        .into_iter()
-        .max_by_key(|c| unit_cell_throughput(design, c, tech))
-        .expect("sweep is nonempty")
+    // Fold instead of max_by_key so the nonempty sweep needs no expect;
+    // `>=` keeps max_by_key's last-max-wins tie behavior (Table 2
+    // depends on which tied configuration is reported).
+    let sweep = MemoryConfig::four_kb_sweep();
+    let first = sweep[0];
+    sweep.into_iter().skip(1).fold(first, |best, c| {
+        if unit_cell_throughput(design, &c, tech) >= unit_cell_throughput(design, &best, tech) {
+            c
+        } else {
+            best
+        }
+    })
 }
 
 /// One row of the regenerated Table 2.

@@ -15,6 +15,7 @@
 //! simulation's outcome depends only on the master seed and the per-tile
 //! operation sequence — not on how tiles are grouped onto threads.
 
+use crate::error::CnotError;
 use crate::master::MasterController;
 use crate::mce::Mce;
 use quest_isa::{LogicalInstr, LogicalQubit};
@@ -101,17 +102,42 @@ pub fn qecc_cycle_serviced<R: Rng + ?Sized>(
 /// Master-controller coordination (the two sync tokens) is *not* included
 /// — callers account it on their own bus path. Consumes no randomness.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the tile indices coincide or are out of range, or if either
-/// tile has not yet run a QECC cycle (no syndrome reference exists).
+/// [`CnotError`] if the tile indices coincide or are out of range, or if
+/// either tile has not yet run a QECC cycle (no syndrome reference
+/// exists). Every precondition is checked before the substrate or any
+/// frame is touched, so a rejected CNOT leaves the system unchanged.
 pub fn transversal_cnot_physics(
     mces: &mut [Mce],
     substrate: &mut Tableau,
     control: usize,
     target: usize,
-) {
-    assert_ne!(control, target, "control and target tiles must differ");
+) -> Result<(), CnotError> {
+    let tiles = mces.len();
+    for tile in [control, target] {
+        if tile >= tiles {
+            return Err(CnotError::TileOutOfRange { tile, tiles });
+        }
+    }
+    if control == target {
+        return Err(CnotError::SameTile { tile: control });
+    }
+    let ref_width = |tile: usize, kind: StabKind| {
+        mces[tile]
+            .decoder(kind)
+            .reference_bits()
+            .map(<[bool]>::len)
+            .ok_or(CnotError::ReferenceNotSettled { tile })
+    };
+    for kind in [StabKind::Z, StabKind::X] {
+        let expected = ref_width(target, kind)?;
+        let got = ref_width(control, kind)?;
+        if expected != got {
+            return Err(CnotError::ReferenceWidthMismatch { expected, got });
+        }
+    }
+
     let c_off = mces[control].substrate_index(0);
     let t_off = mces[target].substrate_index(0);
     for q in 0..mces[control].lattice().num_data() {
@@ -121,23 +147,27 @@ pub fn transversal_cnot_physics(
     // Propagate the syndrome references: the CNOT conjugates the
     // target's Z checks into (control Z check) x (target Z check) and
     // the control's X checks into the product of both X checks, so the
-    // expected syndromes shift by the partner's current values.
+    // expected syndromes shift by the partner's current values. The
+    // preconditions above guarantee these updates cannot fail.
+    let settled = |tile: usize| CnotError::ReferenceNotSettled { tile };
     let c_z_ref: Vec<bool> = mces[control]
         .decoder(StabKind::Z)
         .reference_bits()
-        .expect("run at least one QECC cycle before a transversal CNOT")
+        .ok_or(settled(control))?
         .to_vec();
     mces[target]
         .decoder_mut(StabKind::Z)
-        .xor_reference(&c_z_ref);
+        .xor_reference(&c_z_ref)
+        .map_err(|_| settled(target))?;
     let t_x_ref: Vec<bool> = mces[target]
         .decoder(StabKind::X)
         .reference_bits()
-        .expect("run at least one QECC cycle before a transversal CNOT")
+        .ok_or(settled(target))?
         .to_vec();
     mces[control]
         .decoder_mut(StabKind::X)
-        .xor_reference(&t_x_ref);
+        .xor_reference(&t_x_ref)
+        .map_err(|_| settled(control))?;
 
     // Propagate the error-decoder Pauli frames: CNOT maps X_c -> X_c X_t
     // and Z_t -> Z_c Z_t. The Z-decoder frame holds pending X
@@ -170,6 +200,7 @@ pub fn transversal_cnot_physics(
     if tz {
         mces[control].execute_logical(LogicalInstr::Z(LogicalQubit(0)));
     }
+    Ok(())
 }
 
 #[cfg(test)]

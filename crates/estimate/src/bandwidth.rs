@@ -221,7 +221,10 @@ mod tests {
             );
         }
         // The suite must span at least an order of magnitude.
-        let ratios: Vec<f64> = suite.iter().map(|e| e.qecc_to_logical_ratio()).collect();
+        let ratios: Vec<f64> = suite
+            .iter()
+            .map(super::BandwidthEstimate::qecc_to_logical_ratio)
+            .collect();
         let max = ratios.iter().cloned().fold(0.0, f64::max);
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(max / min > 10.0, "spread {max:.2e}/{min:.2e}");

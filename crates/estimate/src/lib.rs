@@ -24,6 +24,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod array;
 pub mod bandwidth;
 pub mod distance;

@@ -29,6 +29,8 @@
 //! assert_eq!(LogicalInstr::decode(bytes), Some(li));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod asm;
 pub mod logical;
 pub mod phys;

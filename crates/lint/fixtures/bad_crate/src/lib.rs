@@ -1,0 +1,3 @@
+//! QL04 fixture: crate root with no `#![forbid(unsafe_code)]`.
+
+pub fn nothing() {}

@@ -1,0 +1,8 @@
+//! QL00 fixture: an allow comment with no `-- reason` justification on
+//! line 5, which therefore also fails to suppress the QL01 on line 7.
+
+pub fn no_reason() {
+    // quest-lint: allow(QL01)
+    let v: Option<u32> = None;
+    v.unwrap();
+}

@@ -1,0 +1,10 @@
+//! QL01 fixture: a non-test `unwrap()` on line 5 and a bare `panic!`
+//! on line 9. The integration test pins both lines.
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn second() {
+    panic!("no justification comment");
+}

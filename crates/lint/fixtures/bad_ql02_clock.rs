@@ -1,0 +1,7 @@
+//! QL02 fixture: wall-clock reads outside the stats module, line 6.
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,11 @@
+//! QL02 fixture: a `HashMap` on the decode path, line 6.
+
+use std::collections::HashMap;
+
+pub fn tally(events: &[u32]) -> usize {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &e in events {
+        *counts.entry(e).or_insert(0) += 1;
+    }
+    counts.len()
+}

@@ -1,0 +1,5 @@
+//! QL03 fixture: a narrowing `as u8` cast in wire-format code, line 4.
+
+pub fn encode_len(len: usize) -> u8 {
+    len as u8
+}

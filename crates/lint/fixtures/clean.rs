@@ -1,0 +1,38 @@
+//! A fixture that satisfies every quest-lint rule, including the
+//! lookalikes a naive substring scan would flag: `unwrap` in a doc
+//! comment, an identifier containing `expect`, a `HashMap` in a string
+//! literal, and unwraps confined to `#[cfg(test)]` code.
+
+use std::collections::BTreeMap;
+
+/// Returns the value for `key`; callers must not `unwrap()` blindly.
+pub fn lookup(map: &BTreeMap<u32, u64>, key: u32) -> Option<u64> {
+    let expected_len = map.len(); // `expected_len` is not `.expect(`
+    let _ = expected_len;
+    map.get(&key).copied()
+}
+
+pub fn describe() -> &'static str {
+    "uses no HashMap at runtime"
+}
+
+pub fn widen(x: u8) -> u32 {
+    u32::from(x) // widening conversions are fine under QL03
+}
+
+pub fn deliberate() {
+    // quest-lint: allow(QL01) -- fixture demonstrating a justified allow
+    panic!("covered by the allow comment above");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_works() {
+        let mut map = BTreeMap::new();
+        map.insert(1, 10);
+        assert_eq!(lookup(&map, 1).unwrap(), 10);
+    }
+}

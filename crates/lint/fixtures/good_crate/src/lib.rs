@@ -1,0 +1,5 @@
+//! QL04 fixture: a compliant crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn nothing() {}

@@ -1,0 +1,79 @@
+//! Diagnostics: stable rule identifiers and `file:line` reports.
+
+use std::fmt;
+
+/// Stable rule identifiers. New rules append; numbers are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Malformed `quest-lint:` control comment (an allow without its
+    /// mandatory `-- reason` justification, or an unknown rule name).
+    QL00,
+    /// Panic-freedom: no `unwrap()`/`expect(`/`panic!`/`unreachable!`/
+    /// `todo!` in the policy-scoped non-test code.
+    QL01,
+    /// Determinism hygiene: no `HashMap`/`HashSet` on the report/decode/
+    /// fault path; no wall-clock or ambient randomness outside the stats
+    /// module.
+    QL02,
+    /// Wire-format cast safety: no bare `as u8`/`as u16`/`as u32`
+    /// narrowing casts in the packet-codec files.
+    QL03,
+    /// Lint-table hygiene: every first-party crate inherits
+    /// `[workspace.lints]` and carries `#![forbid(unsafe_code)]`.
+    QL04,
+}
+
+impl RuleId {
+    /// The identifier as written in allow comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::QL00 => "QL00",
+            RuleId::QL01 => "QL01",
+            RuleId::QL02 => "QL02",
+            RuleId::QL03 => "QL03",
+            RuleId::QL04 => "QL04",
+        }
+    }
+
+    /// Parses an identifier from an allow comment.
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        match name {
+            "QL00" => Some(RuleId::QL00),
+            "QL01" => Some(RuleId::QL01),
+            "QL02" => Some(RuleId::QL02),
+            "QL03" => Some(RuleId::QL03),
+            "QL04" => Some(RuleId::QL04),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: rule, location, and what was seen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// 1-indexed line (0 for file-level findings like a missing
+    /// `[lints]` table).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}

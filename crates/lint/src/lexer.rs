@@ -1,0 +1,540 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The build is offline, so the checker cannot lean on `syn` or `proc
+//! macro2`; instead this module tokenizes just enough Rust to make the
+//! rules sound: comments (line, doc, and *nested* block comments),
+//! string/char/byte literals, raw strings with arbitrary hash fences,
+//! raw identifiers, and the lifetime-versus-char-literal ambiguity.
+//! Everything a rule matches on is therefore real code — a `panic!`
+//! inside a string or a doc comment never trips QL01.
+
+/// What a token is. Only the shapes the rules need are distinguished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `as`, `HashMap`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) or loop label.
+    Lifetime,
+    /// String/char/byte/numeric literal. Content is opaque to the rules.
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+    /// Line or block comment, text retained (allow-comments live here).
+    Comment,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (kept for identifiers and comments; literals keep
+    /// their text too, purely for diagnostics).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    /// Consumes `//…` to end of line (the newline itself stays).
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    /// Consumes `/* … */` honouring nesting.
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '/' && self.peek(0) == Some('*') {
+                text.push('*');
+                self.bump();
+                depth += 1;
+            } else if c == '*' && self.peek(0) == Some('/') {
+                text.push('/');
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    /// Consumes a `"…"` string body (opening quote already consumed).
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string `r##"…"##` (the `r` is consumed; `hashes`
+    /// and the opening quote are not).
+    fn raw_string_body(&mut self, hashes: usize) {
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Consumes an identifier run, returning its text.
+    fn ident_run(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    /// `'` was just consumed: decide lifetime vs. char literal.
+    fn quote(&mut self) {
+        let line = self.line;
+        match self.peek(0) {
+            // Escaped char literal: '\n', '\'', '\u{…}'.
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped char (or the u of \u)
+                while let Some(c) = self.peek(0) {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Literal, "'…'".to_string(), line);
+            }
+            // Non-identifier char: '(' ' ' '.' — always a char literal.
+            Some(c) if !is_ident_continue(c) => {
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Literal, format!("'{c}'"), line);
+            }
+            Some(_) => {
+                let run = self.ident_run();
+                if self.peek(0) == Some('\'') {
+                    // 'a' or '_' — a char literal.
+                    self.bump();
+                    self.push(TokenKind::Literal, format!("'{run}'"), line);
+                } else {
+                    self.push(TokenKind::Lifetime, format!("'{run}"), line);
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Number literal: digits with `_`, radix prefixes, suffixes, and a
+    /// fractional part only when a digit follows the dot (so `0..n`
+    /// leaves `..` alone).
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = self.ident_run(); // digits, 0x…, suffixes
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.pos += 1;
+            text.push_str(&self.ident_run());
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                '\n' | ' ' | '\t' | '\r' => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Literal, "\"…\"".to_string(), line);
+                }
+                '\'' => {
+                    self.bump();
+                    self.quote();
+                }
+                'r' | 'b' if self.looks_like_raw_or_byte() => self.raw_or_byte(),
+                c if is_ident_start(c) => {
+                    let text = self.ident_run();
+                    self.push(TokenKind::Ident, text, line);
+                }
+                c if c.is_ascii_digit() => self.number(),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// At `r` or `b`: is this a raw string, byte string, byte char, or
+    /// raw identifier rather than a plain identifier?
+    fn looks_like_raw_or_byte(&self) -> bool {
+        match (self.peek(0), self.peek(1)) {
+            (Some('r'), Some('"' | '#')) => true,
+            (Some('b'), Some('"' | '\'')) => true,
+            (Some('b'), Some('r')) => matches!(self.peek(2), Some('"' | '#')),
+            _ => false,
+        }
+    }
+
+    fn raw_or_byte(&mut self) {
+        let line = self.line;
+        let first = self.peek(0);
+        if first == Some('b') {
+            match self.peek(1) {
+                Some('\'') => {
+                    // Byte char b'x'.
+                    self.bump();
+                    self.bump();
+                    self.quote();
+                    // quote() pushed a Literal/Lifetime; either way the
+                    // bytes are consumed.
+                    return;
+                }
+                Some('"') => {
+                    self.bump();
+                    self.bump();
+                    self.string_body();
+                    self.push(TokenKind::Literal, "b\"…\"".to_string(), line);
+                    return;
+                }
+                Some('r') => {
+                    self.bump(); // b; fall through to the raw-string path
+                }
+                _ => {}
+            }
+        }
+        // At `r`: raw string r"…", r#"…"#, or raw identifier r#ident.
+        self.bump(); // r
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) == Some('"') {
+            self.raw_string_body(hashes);
+            self.push(TokenKind::Literal, "r\"…\"".to_string(), line);
+        } else if hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+            // Raw identifier r#fn.
+            self.bump(); // #
+            let text = self.ident_run();
+            self.push(TokenKind::Ident, text, line);
+        } else {
+            self.push(TokenKind::Ident, "r".to_string(), line);
+        }
+    }
+}
+
+/// Tokenizes Rust source. Never fails: unknown shapes degrade to
+/// punctuation tokens, which the rules simply ignore.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+/// Returns the tokens with test-only code removed: any item annotated
+/// `#[cfg(test)]`, `#[test]`, or any attribute mentioning the identifier
+/// `test` is dropped together with its body (brace-matched), so QL01–QL03
+/// never fire on test code. Comments are preserved.
+pub fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+            if is_test {
+                i = skip_item(tokens, attr_end);
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// From the `[` at `open`, returns (index past the matching `]`, whether
+/// the attribute marks test-only code). An attribute is test-marking when
+/// it mentions the identifier `test` or `should_panic` — except under a
+/// `not(…)`, so `#[cfg(not(test))]` production code stays checked.
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut negated = false;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (i + 1, is_test && !negated);
+                }
+            }
+            TokenKind::Ident if tokens[i].text == "test" || tokens[i].text == "should_panic" => {
+                is_test = true;
+            }
+            TokenKind::Ident if tokens[i].text == "not" => negated = true,
+            _ => {}
+        }
+        i += 1;
+    }
+    (i, is_test && !negated)
+}
+
+/// From just past a test attribute, skips any further attributes and the
+/// annotated item (to its matching `}` or a top-level `;`). Returns the
+/// index of the first token after the item.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Further attributes on the same item.
+    while i < tokens.len()
+        && tokens[i].is_punct('#')
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        let (end, _) = scan_attribute(tokens, i + 1);
+        i = end;
+    }
+    // The item itself: everything to the first top-level `{…}` or `;`.
+    let mut brace_depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct('{') => brace_depth += 1,
+            TokenKind::Punct('}') => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if brace_depth == 0 {
+                    return i + 1;
+                }
+            }
+            TokenKind::Punct(';') if brace_depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_comment_tokens() {
+        let toks = lex("let x = 1; // call unwrap() later\nlet y = 2;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Comment && t.text.contains("unwrap")));
+        // The unwrap inside the comment is not an identifier token.
+        assert!(!idents("// unwrap()\n").contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn doc_comments_do_not_leak_identifiers() {
+        let src = "/// ip.cache_replay(0).unwrap();\nfn f() {}\n";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let src = "/* outer /* inner panic!() */ still comment */ fn g() {}";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::Comment);
+        assert!(toks[0].text.contains("inner"));
+        assert!(toks[0].text.contains("still comment"));
+        assert_eq!(idents(src), vec!["fn", "g"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "don't unwrap() or panic!";"#;
+        assert_eq!(idents(src), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences() {
+        let src = r###"let s = r#"quote " and unwrap() inside"#; let t = 1;"###;
+        assert_eq!(idents(src), vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { loop {} }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn char_literals_are_literals_not_lifetimes() {
+        for src in ["'x'", "'_'", "'\\n'", "'\\''", "'('"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].kind, TokenKind::Literal, "{src}");
+        }
+    }
+
+    #[test]
+    fn byte_and_raw_identifier_shapes() {
+        assert_eq!(
+            idents("let b = b\"bytes\"; let c = b'x';"),
+            vec!["let", "b", "let", "c"]
+        );
+        assert_eq!(idents("let r#fn = 1;"), vec!["let", "fn"]);
+        // A bare `r` variable stays an identifier.
+        assert_eq!(idents("let r = 1;"), vec!["let", "r"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("for i in 0..n { let f = 1.5; }");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the two dots of `..`");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "1.5"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* one\ntwo */\nfn f() {\n    panic!()\n}\n";
+        let toks = lex(src);
+        let panic_tok = toks
+            .iter()
+            .find(|t| t.is_ident("panic"))
+            .expect("panic token");
+        assert_eq!(panic_tok.line, 4);
+    }
+
+    #[test]
+    fn strip_removes_cfg_test_modules() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let stripped = strip_test_code(&lex(src));
+        let names: Vec<&str> = stripped
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(names.contains(&"live"));
+        assert!(names.contains(&"live2"));
+        assert!(!names.contains(&"tests"));
+        assert!(!names.contains(&"t"));
+        // Exactly one unwrap survives (the live one).
+        assert_eq!(names.iter().filter(|n| **n == "unwrap").count(), 1);
+    }
+
+    #[test]
+    fn strip_removes_test_fns_with_extra_attributes() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() { panic!(\"boom\") }\nfn keep() {}\n";
+        let stripped = strip_test_code(&lex(src));
+        assert!(!stripped.iter().any(|t| t.is_ident("panic")));
+        assert!(stripped.iter().any(|t| t.is_ident("keep")));
+    }
+
+    #[test]
+    fn strip_keeps_non_test_attributes() {
+        let src = "#[derive(Debug)]\nstruct S;\n#[inline]\nfn f() {}\n";
+        let stripped = strip_test_code(&lex(src));
+        assert!(stripped.iter().any(|t| t.is_ident("S")));
+        assert!(stripped.iter().any(|t| t.is_ident("f")));
+    }
+}

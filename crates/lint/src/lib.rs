@@ -1,0 +1,111 @@
+//! `quest-lint`: the workspace's in-tree invariant checker.
+//!
+//! PRs 2–3 made two structural promises — the control plane is
+//! *panic-free* (every failure is a typed error) and every run is
+//! *bit-identical* at every shard count, including faulty runs. This
+//! crate turns those promises, plus the CRC-sealed wire format, into
+//! machine-checked rules:
+//!
+//! * **QL01 panic-freedom** — no `unwrap()`/`expect(`/`panic!`/
+//!   `unreachable!`/`todo!` in the non-test code of the policy-scoped
+//!   crates.
+//! * **QL02 determinism hygiene** — no `HashMap`/`HashSet` on the
+//!   report/decode/fault path (iteration order leaks into results), and
+//!   no `Instant::now`/`SystemTime`/`thread_rng` outside the allow-listed
+//!   wall-clock stats module.
+//! * **QL03 wire-format cast safety** — no bare `as u8`/`as u16`/`as u32`
+//!   narrowing casts in the packet-codec files.
+//! * **QL04 lint-table hygiene** — every first-party crate inherits
+//!   `[workspace.lints]` and carries `#![forbid(unsafe_code)]`.
+//!
+//! Scopes come from `lint.toml` at the workspace root. A site opts out
+//! with `// quest-lint: allow(<rule>) -- <reason>`; the reason is
+//! mandatory (QL00 otherwise). The analysis is a hand-rolled lexer pass
+//! ([`lexer`]) — the build is offline, so no `syn`/`proc-macro2` — which
+//! also leaves a reusable frame for future rules (e.g. a
+//! no-alloc-in-decode-loop pass over the same token stream).
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+pub use diag::{Diagnostic, RuleId};
+pub use policy::{Policy, PolicyError};
+
+use std::path::{Path, PathBuf};
+
+/// Runs every rule over the workspace at `root` under `policy`.
+/// Diagnostics come back sorted by path, then line, then rule.
+pub fn run(root: &Path, policy: &Policy) -> Result<Vec<Diagnostic>, PolicyError> {
+    let mut diags = Vec::new();
+    for rel in rust_files(root, &policy.exclude) {
+        let ql01 = Policy::in_scope(&rel, &policy.ql01_paths);
+        let ql02_containers = Policy::in_scope(&rel, &policy.ql02_container_paths);
+        let ql02_clocks = Policy::in_scope(&rel, &policy.ql02_clock_paths)
+            && !Policy::in_scope(&rel, &policy.ql02_clock_allow);
+        let ql03 = Policy::in_scope(&rel, &policy.ql03_paths);
+        if !(ql01 || ql02_containers || ql02_clocks || ql03) {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(&rel)).map_err(|e| PolicyError {
+            line: 0,
+            message: format!("cannot read {rel}: {e}"),
+        })?;
+        let tokens = lexer::lex(&src);
+        diags.extend(rules::check_tokens(
+            &tokens,
+            &rel,
+            ql01,
+            ql02_containers,
+            ql02_clocks,
+            ql03,
+        ));
+    }
+    for crate_rel in &policy.ql04_crates {
+        diags.extend(rules::check_crate_hygiene(root, crate_rel));
+    }
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(diags)
+}
+
+/// All `.rs` files under `root`, as `/`-separated paths relative to it,
+/// sorted. Directories named in `exclude` (plus `target` and dot-dirs)
+/// are never entered.
+pub fn rust_files(root: &Path, exclude: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel_dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(root.join(&rel_dir)) else {
+            continue;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            let rel = if rel_dir.as_os_str().is_empty() {
+                PathBuf::from(&name)
+            } else {
+                rel_dir.join(&name)
+            };
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            let Ok(kind) = entry.file_type() else {
+                continue;
+            };
+            if kind.is_dir() {
+                let skip = name.starts_with('.')
+                    || name == "target"
+                    || exclude.iter().any(|x| *x == rel_str || *x == name);
+                if !skip {
+                    stack.push(rel);
+                }
+            } else if name.ends_with(".rs") && !Policy::in_scope(&rel_str, exclude) {
+                out.push(rel_str);
+            }
+        }
+    }
+    out.sort();
+    out
+}

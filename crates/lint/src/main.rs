@@ -1,0 +1,73 @@
+//! The `quest-lint` binary: `cargo run --release -p quest-lint`.
+//!
+//! Walks the workspace (the current directory, or `--root <path>`)
+//! under the policy in `lint.toml` (or `--policy <path>`) and prints
+//! one `file:line: RULE: message` diagnostic per finding. Exit code 0
+//! means clean, 1 means findings, 2 means the tool itself could not run.
+
+#![forbid(unsafe_code)]
+
+use quest_lint::{run, Policy};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    policy: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut policy: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(argv.next().ok_or("--root needs a path")?);
+            }
+            "--policy" => {
+                policy = Some(PathBuf::from(argv.next().ok_or("--policy needs a path")?));
+            }
+            "--help" | "-h" => {
+                return Err("usage: quest-lint [--root <dir>] [--policy <lint.toml>]".to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let policy = policy.unwrap_or_else(|| root.join("lint.toml"));
+    Ok(Args { root, policy })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let policy = match Policy::load(&args.policy) {
+        Ok(policy) => policy,
+        Err(e) => {
+            eprintln!("quest-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args.root, &policy) {
+        Ok(diags) if diags.is_empty() => {
+            println!("quest-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("quest-lint: {} diagnostic(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("quest-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The `lint.toml` policy: which rules apply where.
+//!
+//! The build is offline, so the file is parsed with a hand-rolled reader
+//! covering the TOML subset the policy needs: `[section]` headers,
+//! `key = "string"`, `key = true|false`, and single- or multi-line
+//! string arrays. Unknown sections or keys are an error — a typo in the
+//! policy must not silently widen or narrow a rule's scope.
+
+use std::fmt;
+use std::path::Path;
+
+/// Scope configuration for every rule, with paths relative to the
+/// workspace root (forward slashes).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Policy {
+    /// QL01 (panic-freedom): path prefixes whose non-test code must be
+    /// free of `unwrap()`/`expect(`/`panic!`/`unreachable!`/`todo!`.
+    pub ql01_paths: Vec<String>,
+    /// QL02 (determinism): path prefixes on the report/decode/fault path
+    /// where `HashMap`/`HashSet` are banned.
+    pub ql02_container_paths: Vec<String>,
+    /// QL02 (determinism): path prefixes where wall-clock and ambient
+    /// randomness (`Instant`, `SystemTime`, `thread_rng`) are banned…
+    pub ql02_clock_paths: Vec<String>,
+    /// …except in these allow-listed files (the wall-clock stats module).
+    pub ql02_clock_allow: Vec<String>,
+    /// QL03 (cast safety): files forming the wire format, where bare
+    /// `as u8`/`as u16`/`as u32` narrowing casts are banned.
+    pub ql03_paths: Vec<String>,
+    /// QL04 (lint-table hygiene): crate directories that must inherit
+    /// `[workspace.lints]` and carry `#![forbid(unsafe_code)]`.
+    pub ql04_crates: Vec<String>,
+    /// Directories never walked (vendored stand-ins, build output, the
+    /// checker's own bad-code fixtures).
+    pub exclude: Vec<String>,
+}
+
+/// A policy-file problem (I/O or syntax).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyError {
+    /// 1-indexed line of `lint.toml`, or 0 for file-level problems.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+fn err(line: u32, message: impl Into<String>) -> PolicyError {
+    PolicyError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Policy {
+    /// Reads and parses a policy file.
+    pub fn load(path: &Path) -> Result<Policy, PolicyError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+        Policy::parse(&text)
+    }
+
+    /// Parses policy text.
+    pub fn parse(text: &str) -> Result<Policy, PolicyError> {
+        let mut policy = Policy::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let lineno = idx as u32 + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let name = name
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(lineno, "unterminated section header"))?;
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+            // Multi-line arrays: keep consuming until the bracket closes.
+            if value.starts_with('[') {
+                while !value.trim_end().ends_with(']') {
+                    let (_, next) = lines
+                        .next()
+                        .ok_or_else(|| err(lineno, "unterminated array"))?;
+                    value.push(' ');
+                    value.push_str(strip_comment(next).trim());
+                }
+            }
+            policy.assign(&section, &key, &value, lineno)?;
+        }
+        Ok(policy)
+    }
+
+    fn assign(
+        &mut self,
+        section: &str,
+        key: &str,
+        value: &str,
+        line: u32,
+    ) -> Result<(), PolicyError> {
+        let slot = match (section, key) {
+            ("ql01", "paths") => &mut self.ql01_paths,
+            ("ql02", "container_paths") => &mut self.ql02_container_paths,
+            ("ql02", "clock_paths") => &mut self.ql02_clock_paths,
+            ("ql02", "clock_allow") => &mut self.ql02_clock_allow,
+            ("ql03", "paths") => &mut self.ql03_paths,
+            ("ql04", "crates") => &mut self.ql04_crates,
+            ("global", "exclude") => &mut self.exclude,
+            _ => return Err(err(line, format!("unknown policy key `[{section}] {key}`"))),
+        };
+        *slot = parse_string_array(value, line)?;
+        Ok(())
+    }
+
+    /// True when `rel` (a `/`-separated path relative to the workspace
+    /// root) falls under any prefix in `scopes`. Prefixes match whole
+    /// path components: `crates/core/src` covers `crates/core/src/bus.rs`
+    /// but not `crates/core/src-other`.
+    pub fn in_scope(rel: &str, scopes: &[String]) -> bool {
+        scopes.iter().any(|s| {
+            rel == s
+                || rel
+                    .strip_prefix(s.as_str())
+                    .is_some_and(|r| r.starts_with('/'))
+        })
+    }
+}
+
+/// Drops a `#` comment, respecting (double-quoted) strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => escaped = !escaped,
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn parse_string_array(value: &str, line: u32) -> Result<Vec<String>, PolicyError> {
+    let inner = value
+        .trim()
+        .strip_prefix('[')
+        .and_then(|v| v.trim_end().strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected a string array, got `{value}`")))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        let unquoted = item
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| err(line, format!("expected a quoted string, got `{item}`")))?;
+        out.push(unquoted.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let text = r#"
+# top comment
+[ql01]
+paths = ["crates/core/src", "crates/runtime/src"] # trailing comment
+
+[ql03]
+paths = [
+    "crates/core/src/bus.rs",
+    "crates/core/src/network.rs",
+]
+"#;
+        let p = Policy::parse(text).expect("parses");
+        assert_eq!(p.ql01_paths, vec!["crates/core/src", "crates/runtime/src"]);
+        assert_eq!(
+            p.ql03_paths,
+            vec!["crates/core/src/bus.rs", "crates/core/src/network.rs"]
+        );
+        assert!(p.ql02_container_paths.is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let e = Policy::parse("[ql01]\npathz = []\n").expect_err("typo must fail");
+        assert!(e.message.contains("pathz"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let p = Policy::parse("[global]\nexclude = [\"weird#dir\"]\n").expect("parses");
+        assert_eq!(p.exclude, vec!["weird#dir"]);
+    }
+
+    #[test]
+    fn scope_matching_respects_component_boundaries() {
+        let scopes = vec!["crates/core/src".to_string()];
+        assert!(Policy::in_scope("crates/core/src/bus.rs", &scopes));
+        assert!(Policy::in_scope("crates/core/src", &scopes));
+        assert!(!Policy::in_scope("crates/core/src-other/bus.rs", &scopes));
+        assert!(!Policy::in_scope("crates/runtime/src/lib.rs", &scopes));
+    }
+}

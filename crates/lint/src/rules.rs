@@ -1,0 +1,461 @@
+//! The rule implementations, plus the allow-comment escape hatch.
+//!
+//! Every rule works on the token stream of [`crate::lexer`], with test
+//! code stripped (`#[cfg(test)]` items and `#[test]` functions are out
+//! of scope by definition — the invariants protect the *production*
+//! control plane). A site can opt out with
+//!
+//! ```text
+//! // quest-lint: allow(QL01) -- deliberate fault injection drill
+//! ```
+//!
+//! on the offending line or the comment line(s) directly above it. The
+//! `-- reason` is mandatory; an allow without a justification is itself
+//! a diagnostic (QL00).
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::{strip_test_code, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifiers whose macro invocation QL01 bans (`name!`).
+const QL01_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+/// Method names QL01 bans (`.name(`).
+const QL01_METHODS: [&str; 2] = ["unwrap", "expect"];
+/// Container type names QL02 bans on the report/decode/fault path.
+const QL02_CONTAINERS: [&str; 2] = ["HashMap", "HashSet"];
+/// Wall-clock / ambient-randomness identifiers QL02 bans outside the
+/// allow-listed stats module.
+const QL02_CLOCKS: [&str; 5] = [
+    "Instant",
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "ThreadRng",
+];
+/// Narrowing cast targets QL03 bans in wire-format files (`as u8` …).
+const QL03_NARROW: [&str; 3] = ["u8", "u16", "u32"];
+
+/// Allow-comments parsed out of one file.
+#[derive(Debug, Default)]
+pub struct Allows {
+    /// line → rules allowed on that line (and on the line below, through
+    /// a contiguous run of allow comments).
+    by_line: BTreeMap<u32, BTreeSet<RuleId>>,
+    /// Lines that are allow comments (for the contiguous-run walk).
+    comment_lines: BTreeSet<u32>,
+}
+
+impl Allows {
+    /// True when `rule` is allowed at `line`: an allow on the same line
+    /// (trailing comment) or in the unbroken run of allow-comment lines
+    /// directly above.
+    pub fn covers(&self, rule: RuleId, line: u32) -> bool {
+        if self.by_line.get(&line).is_some_and(|r| r.contains(&rule)) {
+            return true;
+        }
+        let mut l = line;
+        while l > 1 && self.comment_lines.contains(&(l - 1)) {
+            l -= 1;
+            if self.by_line.get(&l).is_some_and(|r| r.contains(&rule)) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Scans comment tokens for `quest-lint:` control comments. Returns the
+/// parsed allows and a QL00 diagnostic for every malformed one.
+pub fn parse_allows(tokens: &[Token], path: &str) -> (Allows, Vec<Diagnostic>) {
+    let mut allows = Allows::default();
+    let mut diags = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        let Some(rest) = tok.text.split("quest-lint:").nth(1) else {
+            continue;
+        };
+        match parse_allow_body(rest) {
+            Ok(rule) => {
+                allows.by_line.entry(tok.line).or_default().insert(rule);
+                allows.comment_lines.insert(tok.line);
+            }
+            Err(msg) => diags.push(Diagnostic {
+                rule: RuleId::QL00,
+                path: path.to_string(),
+                line: tok.line,
+                message: msg,
+            }),
+        }
+    }
+    (allows, diags)
+}
+
+/// Parses `allow(QLxx) -- reason` (the text after `quest-lint:`).
+fn parse_allow_body(rest: &str) -> Result<RuleId, String> {
+    let rest = rest.trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Err(format!(
+            "unrecognized quest-lint control comment `{}` (expected `allow(<rule>) -- <reason>`)",
+            rest.trim()
+        ));
+    };
+    let Some((name, tail)) = args.split_once(')') else {
+        return Err("unterminated allow(…)".to_string());
+    };
+    let Some(rule) = RuleId::from_name(name.trim()) else {
+        return Err(format!("unknown rule `{}` in allow(…)", name.trim()));
+    };
+    let tail = tail.trim_start();
+    let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "allow({rule}) requires a justification: `allow({rule}) -- <reason>`"
+        ));
+    }
+    Ok(rule)
+}
+
+fn diag(rule: RuleId, path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: path.to_string(),
+        line,
+        message,
+    }
+}
+
+/// Next non-comment token at or after `i`.
+fn next_code(tokens: &[Token], mut i: usize) -> Option<&Token> {
+    while let Some(t) = tokens.get(i) {
+        if t.kind != TokenKind::Comment {
+            return Some(t);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Previous non-comment token at or before `i` (or `None`).
+fn prev_code(tokens: &[Token], i: usize) -> Option<&Token> {
+    tokens[..i]
+        .iter()
+        .rev()
+        .find(|t| t.kind != TokenKind::Comment)
+}
+
+/// Checks one file's token stream against the token-level rules the
+/// policy puts it in scope for. `tokens` must be the *full* stream
+/// (comments included); test code is stripped here.
+pub fn check_tokens(
+    tokens: &[Token],
+    path: &str,
+    ql01: bool,
+    ql02_containers: bool,
+    ql02_clocks: bool,
+    ql03: bool,
+) -> Vec<Diagnostic> {
+    let (allows, mut diags) = parse_allows(tokens, path);
+    let code = strip_test_code(tokens);
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        let mut report = |rule: RuleId, message: String| {
+            if !allows.covers(rule, tok.line) {
+                diags.push(diag(rule, path, tok.line, message));
+            }
+        };
+        if ql01 {
+            if QL01_METHODS.contains(&name)
+                && prev_code(&code, i).is_some_and(|t| t.is_punct('.'))
+                && next_code(&code, i + 1).is_some_and(|t| t.is_punct('('))
+            {
+                report(
+                    RuleId::QL01,
+                    format!(".{name}( in panic-free code — return a typed error instead"),
+                );
+            }
+            if QL01_MACROS.contains(&name)
+                && next_code(&code, i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                report(
+                    RuleId::QL01,
+                    format!("{name}! in panic-free code — return a typed error instead"),
+                );
+            }
+        }
+        if ql02_containers && QL02_CONTAINERS.contains(&name) {
+            report(
+                RuleId::QL02,
+                format!(
+                    "{name} on the report/decode/fault path leaks iteration order — \
+                     use BTreeMap/BTreeSet or sort before draining"
+                ),
+            );
+        }
+        if ql02_clocks && QL02_CLOCKS.contains(&name) {
+            report(
+                RuleId::QL02,
+                format!(
+                    "{name} outside the wall-clock stats module breaks run \
+                     reproducibility — route timing through quest_runtime::stats"
+                ),
+            );
+        }
+        if ql03
+            && name == "as"
+            && next_code(&code, i + 1).is_some_and(|t| {
+                t.kind == TokenKind::Ident && QL03_NARROW.contains(&t.text.as_str())
+            })
+        {
+            let target = next_code(&code, i + 1).map_or("?", |t| t.text.as_str());
+            report(
+                RuleId::QL03,
+                format!(
+                    "bare `as {target}` narrowing cast in a wire-format file can \
+                     silently truncate a CRC-sealed field — use try_from with a typed error"
+                ),
+            );
+        }
+    }
+    diags
+}
+
+/// QL04 for one crate directory: the manifest must opt into
+/// `[workspace.lints]` and every crate root must `#![forbid(unsafe_code)]`.
+pub fn check_crate_hygiene(root: &std::path::Path, crate_rel: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let dir = root.join(crate_rel);
+    let manifest_rel = join_rel(crate_rel, "Cargo.toml");
+    match std::fs::read_to_string(dir.join("Cargo.toml")) {
+        Ok(manifest) => {
+            if !manifest_inherits_workspace_lints(&manifest) {
+                diags.push(diag(
+                    RuleId::QL04,
+                    &manifest_rel,
+                    0,
+                    "crate does not inherit [workspace.lints] (add `[lints]\\nworkspace = true`)"
+                        .to_string(),
+                ));
+            }
+        }
+        Err(e) => diags.push(diag(
+            RuleId::QL04,
+            &manifest_rel,
+            0,
+            format!("cannot read manifest: {e}"),
+        )),
+    }
+    for crate_root in crate_roots(&dir) {
+        let rel = join_rel(crate_rel, &crate_root);
+        match std::fs::read_to_string(dir.join(&crate_root)) {
+            Ok(src) => {
+                if !has_forbid_unsafe(&crate::lexer::lex(&src)) {
+                    diags.push(diag(
+                        RuleId::QL04,
+                        &rel,
+                        1,
+                        "crate root lacks #![forbid(unsafe_code)]".to_string(),
+                    ));
+                }
+            }
+            Err(e) => diags.push(diag(RuleId::QL04, &rel, 0, format!("cannot read: {e}"))),
+        }
+    }
+    diags
+}
+
+fn join_rel(base: &str, tail: &str) -> String {
+    if base == "." {
+        tail.to_string()
+    } else {
+        format!("{base}/{tail}")
+    }
+}
+
+/// The crate-root source files of a crate directory (relative to it).
+fn crate_roots(dir: &std::path::Path) -> Vec<String> {
+    let mut roots = Vec::new();
+    for candidate in ["src/lib.rs", "src/main.rs"] {
+        if dir.join(candidate).is_file() {
+            roots.push(candidate.to_string());
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(dir.join("src/bin")) {
+        let mut bins: Vec<String> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.ends_with(".rs"))
+            .map(|n| format!("src/bin/{n}"))
+            .collect();
+        bins.sort();
+        roots.append(&mut bins);
+    }
+    roots
+}
+
+/// Minimal manifest check: a `[lints]` section containing
+/// `workspace = true` before the next section header.
+fn manifest_inherits_workspace_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for raw in manifest.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints {
+            let mut parts = line.splitn(2, '=');
+            let key = parts.next().unwrap_or("").trim();
+            let value = parts.next().unwrap_or("").trim();
+            if key == "workspace" && value == "true" {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Looks for the inner attribute `#![forbid(… unsafe_code …)]`.
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    for i in 0..code.len().saturating_sub(4) {
+        if code[i].is_punct('#')
+            && code[i + 1].is_punct('!')
+            && code[i + 2].is_punct('[')
+            && code[i + 3].is_ident("forbid")
+            && code[i + 4].is_punct('(')
+        {
+            // Scan the forbid(…) argument list for unsafe_code.
+            for t in &code[i + 4..] {
+                if t.is_ident("unsafe_code") {
+                    return true;
+                }
+                if t.is_punct(']') {
+                    break;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn check_ql01(src: &str) -> Vec<Diagnostic> {
+        check_tokens(&lex(src), "f.rs", true, false, false, false)
+    }
+
+    #[test]
+    fn ql01_flags_unwrap_expect_and_panic_macros() {
+        let diags = check_ql01("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"b\"); }");
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| d.rule == RuleId::QL01));
+    }
+
+    #[test]
+    fn ql01_ignores_lookalikes() {
+        // unwrap_or / attribute expect / panic path / assert are fine.
+        let src = "fn f() { x.unwrap_or(0); std::panic::catch_unwind(g); assert!(true); }\n\
+                   #[expect(dead_code)]\nfn g() {}";
+        assert!(check_ql01(src).is_empty());
+    }
+
+    #[test]
+    fn ql01_skips_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); panic!(); }\n}";
+        assert!(check_ql01(src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f() {\n // quest-lint: allow(QL01) -- drill\n panic!(\"injected\");\n}";
+        assert!(check_ql01(src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let src = "fn f() { panic!(); } // quest-lint: allow(QL01) -- drill";
+        assert!(check_ql01(src).is_empty());
+    }
+
+    #[test]
+    fn stacked_allows_reach_through_each_other() {
+        let src = "fn f() {\n\
+                   // quest-lint: allow(QL01) -- drill\n\
+                   // quest-lint: allow(QL02) -- order-independent\n\
+                   panic!();\n}";
+        assert!(check_ql01(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_ql00_and_does_not_suppress() {
+        let src = "fn f() {\n // quest-lint: allow(QL01)\n panic!();\n}";
+        let diags = check_ql01(src);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == RuleId::QL00));
+        assert!(diags.iter().any(|d| d.rule == RuleId::QL01));
+    }
+
+    #[test]
+    fn allow_for_the_wrong_rule_does_not_suppress() {
+        let src = "fn f() {\n // quest-lint: allow(QL02) -- wrong rule\n panic!();\n}";
+        let diags = check_ql01(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::QL01);
+    }
+
+    #[test]
+    fn ql02_flags_containers_and_clocks() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }";
+        let diags = check_tokens(&lex(src), "f.rs", false, true, true, false);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == RuleId::QL02));
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 2);
+    }
+
+    #[test]
+    fn ql03_flags_only_narrowing_casts() {
+        let src = "fn f(x: u64) { let a = x as u16; let b = x as u64; let c = x as usize; }";
+        let diags = check_tokens(&lex(src), "f.rs", false, false, false, true);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::QL03);
+        assert!(diags[0].message.contains("as u16"));
+    }
+
+    #[test]
+    fn manifest_lints_detection() {
+        assert!(manifest_inherits_workspace_lints(
+            "[package]\nname = \"x\"\n\n[lints]\nworkspace = true\n"
+        ));
+        assert!(!manifest_inherits_workspace_lints(
+            "[package]\nname = \"x\"\n"
+        ));
+        assert!(!manifest_inherits_workspace_lints(
+            "[lints]\n# workspace = true\n"
+        ));
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        assert!(has_forbid_unsafe(&lex(
+            "#![forbid(unsafe_code)]\nfn f() {}"
+        )));
+        assert!(has_forbid_unsafe(&lex(
+            "//! Docs.\n#![forbid(missing_docs, unsafe_code)]"
+        )));
+        assert!(!has_forbid_unsafe(&lex("#![deny(unsafe_code)]")));
+        assert!(!has_forbid_unsafe(&lex("#![forbid(missing_docs)]")));
+        assert!(!has_forbid_unsafe(&lex("// #![forbid(unsafe_code)]")));
+    }
+}

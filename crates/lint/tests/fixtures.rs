@@ -1,0 +1,113 @@
+//! Fixture-driven end-to-end tests: each bad fixture must trip exactly
+//! its rule at the pinned line, and the clean fixture (full of
+//! lookalikes) must pass every rule it is scoped into.
+
+use quest_lint::{run, Diagnostic, Policy, RuleId};
+use std::path::Path;
+
+fn fixtures_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures"))
+}
+
+/// A policy that scopes `file` into every token-level rule.
+fn policy_for(file: &str) -> Policy {
+    Policy {
+        ql01_paths: vec![file.to_string()],
+        ql02_container_paths: vec![file.to_string()],
+        ql02_clock_paths: vec![file.to_string()],
+        ql02_clock_allow: Vec::new(),
+        ql03_paths: vec![file.to_string()],
+        ql04_crates: Vec::new(),
+        exclude: Vec::new(),
+    }
+}
+
+fn diags_for(file: &str) -> Vec<Diagnostic> {
+    run(fixtures_root(), &policy_for(file)).expect("fixture run succeeds")
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let diags = diags_for("clean.rs");
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:?}");
+}
+
+#[test]
+fn ql01_fixture_flags_unwrap_and_panic_at_pinned_lines() {
+    let diags = diags_for("bad_ql01.rs");
+    assert!(diags.iter().all(|d| d.rule == RuleId::QL01), "{diags:?}");
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![5, 9], "{diags:?}");
+}
+
+#[test]
+fn ql00_fixture_flags_missing_reason_and_still_reports_ql01() {
+    let diags = diags_for("bad_ql00.rs");
+    assert!(
+        diags.iter().any(|d| d.rule == RuleId::QL00 && d.line == 5),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == RuleId::QL01 && d.line == 7),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn ql02_container_fixture_flags_hashmap() {
+    let diags = diags_for("bad_ql02_container.rs");
+    assert!(diags.iter().all(|d| d.rule == RuleId::QL02), "{diags:?}");
+    assert!(diags.iter().any(|d| d.line == 6), "{diags:?}");
+}
+
+#[test]
+fn ql02_clock_fixture_flags_instant() {
+    let diags = diags_for("bad_ql02_clock.rs");
+    assert!(diags.iter().all(|d| d.rule == RuleId::QL02), "{diags:?}");
+    assert!(diags.iter().any(|d| d.line == 6), "{diags:?}");
+}
+
+#[test]
+fn ql02_clock_allow_list_suppresses() {
+    let mut policy = policy_for("bad_ql02_clock.rs");
+    policy.ql02_container_paths.clear();
+    policy.ql02_clock_allow = vec!["bad_ql02_clock.rs".to_string()];
+    let diags = run(fixtures_root(), &policy).expect("fixture run succeeds");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn ql03_fixture_flags_narrowing_cast_at_pinned_line() {
+    let diags = diags_for("bad_ql03.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RuleId::QL03);
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn ql04_flags_missing_lints_table_and_missing_forbid() {
+    let policy = Policy {
+        ql04_crates: vec!["bad_crate".to_string()],
+        ..Policy::default()
+    };
+    let diags = run(fixtures_root(), &policy).expect("fixture run succeeds");
+    assert!(diags.iter().all(|d| d.rule == RuleId::QL04), "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.path == "bad_crate/Cargo.toml"),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.path == "bad_crate/src/lib.rs"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn ql04_passes_a_compliant_crate() {
+    let policy = Policy {
+        ql04_crates: vec!["good_crate".to_string()],
+        ..Policy::default()
+    };
+    let diags = run(fixtures_root(), &policy).expect("fixture run succeeds");
+    assert!(diags.is_empty(), "{diags:?}");
+}

@@ -1,0 +1,24 @@
+//! The teeth: `cargo test` fails if the real workspace regresses against
+//! the real `lint.toml` policy. This is the same check CI's
+//! static-analysis job runs via `cargo run -p quest-lint`, wired into
+//! the ordinary test suite so a violation cannot land unnoticed.
+
+use quest_lint::{run, Policy};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_the_shipped_policy() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let policy = Policy::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let diags = run(root, &policy).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "quest-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

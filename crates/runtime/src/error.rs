@@ -2,7 +2,7 @@
 
 use crate::spec::SpecError;
 use quest_core::fault::LinkFailure;
-use quest_core::BuildError;
+use quest_core::{BuildError, CnotError};
 use std::fmt;
 
 /// Why [`Runtime::run`](crate::Runtime::run) or
@@ -39,6 +39,18 @@ pub enum RuntimeError {
     /// The single-threaded reference executor was asked to run a spec
     /// with fault injection; only the concurrent runtime injects faults.
     ReferenceFaults,
+    /// A transversal CNOT was rejected by the tile physics (validated
+    /// specs make this unreachable; it is typed rather than panicking).
+    Cnot(CnotError),
+    /// A master ↔ shard message violated the runtime protocol: a payload
+    /// arrived in a state that cannot accept it. Indicates a runtime bug,
+    /// reported as an error instead of aborting the process.
+    Protocol {
+        /// Which protocol state was violated (e.g. `"cycle barrier"`).
+        context: &'static str,
+        /// Debug rendering of the offending payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -58,6 +70,10 @@ impl fmt::Display for RuntimeError {
                 "the reference executor does not inject faults: run fault plans \
                  on the concurrent runtime, or clear the spec's fault plan"
             ),
+            RuntimeError::Cnot(e) => e.fmt(f),
+            RuntimeError::Protocol { context, payload } => {
+                write!(f, "protocol violation in {context}: unexpected {payload}")
+            }
         }
     }
 }
@@ -68,10 +84,18 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Spec(e) => Some(e),
             RuntimeError::Build(e) => Some(e),
             RuntimeError::Link(e) => Some(e),
+            RuntimeError::Cnot(e) => Some(e),
             RuntimeError::ShardFailed { .. }
             | RuntimeError::DecodePoolFailed { .. }
-            | RuntimeError::ReferenceFaults => None,
+            | RuntimeError::ReferenceFaults
+            | RuntimeError::Protocol { .. } => None,
         }
+    }
+}
+
+impl From<CnotError> for RuntimeError {
+    fn from(e: CnotError) -> RuntimeError {
+        RuntimeError::Cnot(e)
     }
 }
 

@@ -66,6 +66,12 @@
 //! # Ok::<(), quest_runtime::RuntimeError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+// The panic-free contract (PR 2/3), enforced three ways: quest-lint's
+// QL01 rule, this clippy deny, and the runtime's catch_unwind
+// containment as a last resort. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod error;
 mod message;
 mod pool;
@@ -93,8 +99,8 @@ use quest_isa::LogicalInstr;
 use quest_surface::decoder::batch::DecodeJob;
 use quest_surface::{RotatedLattice, StabKind};
 use shard::ShardWorker;
+use stats::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Per-direction bound of each master ↔ shard channel. Deep enough that
 /// neither side blocks in the steady state (a shard enqueues at most two
@@ -121,7 +127,7 @@ impl Runtime {
     /// global decoding is a small fraction of cycle work).
     pub fn new() -> Runtime {
         let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
+            .map(std::num::NonZero::get)
             .unwrap_or(2)
             .clamp(1, 4);
         Runtime {
@@ -342,7 +348,7 @@ impl Master<'_, '_, '_> {
         for op in &self.spec.ops {
             match *op {
                 WorkloadOp::Prep { tile, basis } => {
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let shard = self.spec.shard_of(tile);
                     self.send_down(
                         shard,
@@ -352,7 +358,7 @@ impl Master<'_, '_, '_> {
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::Cnot { control, target } => {
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let shard = self.spec.shard_of(control);
                     // Two sync tokens coordinate the gate — the only bus
                     // cost of a transversal CNOT, exactly as in the
@@ -378,7 +384,7 @@ impl Master<'_, '_, '_> {
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::Logical { tile, instr, class } => {
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let shard = self.spec.shard_of(tile);
                     // Master half: bus accounting; shard half: delivery.
                     self.engine.dispatch_remote(&mut self.controller, class);
@@ -393,7 +399,7 @@ impl Master<'_, '_, '_> {
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::KernelReplay { tile, replays } => {
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let shard = self.spec.shard_of(tile);
                     // Master half: fill-once / per-replay accounting. The
                     // envelope's wire bytes are exactly the bytes this op
@@ -422,7 +428,7 @@ impl Master<'_, '_, '_> {
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::Sync { tile } => {
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     // A sync token has no shard-side effect; it is pure
                     // master-side bus traffic.
                     self.controller.sync_remote(0);
@@ -439,7 +445,7 @@ impl Master<'_, '_, '_> {
                     }
                 }
                 WorkloadOp::MeasureZ { tile } => {
-                    let start = Instant::now();
+                    let start = Stopwatch::start();
                     let shard = self.spec.shard_of(tile);
                     self.send_down(
                         shard,
@@ -461,7 +467,12 @@ impl Master<'_, '_, '_> {
                             self.controller.note_readout_syndrome(final_events);
                             self.outcomes.push((tile, value));
                         }
-                        other => unreachable!("unexpected payload awaiting outcome: {other:?}"),
+                        other => {
+                            return Err(RuntimeError::Protocol {
+                                context: "readout (awaiting outcome)",
+                                payload: format!("{other:?}"),
+                            })
+                        }
                     }
                     self.phases.readout += start.elapsed();
                 }
@@ -484,7 +495,12 @@ impl Master<'_, '_, '_> {
                     debug_assert_eq!(s, shard);
                     self.local_decodes += local_decodes;
                 }
-                other => unreachable!("unexpected payload awaiting sign-off: {other:?}"),
+                other => {
+                    return Err(RuntimeError::Protocol {
+                        context: "shutdown (awaiting sign-off)",
+                        payload: format!("{other:?}"),
+                    })
+                }
             }
         }
         Ok(())
@@ -494,7 +510,7 @@ impl Master<'_, '_, '_> {
     /// syndromes up to its barrier, decode the batch in the pool, push
     /// corrections back down.
     fn run_cycle(&mut self) -> Result<(), RuntimeError> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         self.faults.begin_cycle(self.qecc_cycles);
         for shard in 0..self.spec.shards {
             self.down_txs[shard]
@@ -533,7 +549,12 @@ impl Master<'_, '_, '_> {
                         self.shard_stats[shard].cycles += 1;
                         break;
                     }
-                    other => unreachable!("unexpected payload in cycle barrier: {other:?}"),
+                    other => {
+                        return Err(RuntimeError::Protocol {
+                            context: "cycle barrier",
+                            payload: format!("{other:?}"),
+                        })
+                    }
                 }
             }
         }
@@ -552,7 +573,7 @@ impl Master<'_, '_, '_> {
         self.qecc_cycles += 1;
         self.phases.cycles += start.elapsed();
 
-        let start = Instant::now();
+        let start = Stopwatch::start();
         // The scheduled decode-worker kill fires on the batch that
         // crosses the job threshold — a pure function of the (shard-count
         // invariant) escalation totals, so faulty runs stay reproducible.

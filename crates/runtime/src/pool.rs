@@ -138,7 +138,9 @@ impl<'scope, 'env> DecodePool<'scope, 'env> {
                 // sibling died between lock and unlock) is recovered,
                 // not propagated: the queue itself is always valid.
                 let next = {
-                    let rx = chunk_rx.lock().unwrap_or_else(|p| p.into_inner());
+                    let rx = chunk_rx
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     rx.recv()
                 };
                 let mut chunk = match next {
@@ -147,6 +149,7 @@ impl<'scope, 'env> DecodePool<'scope, 'env> {
                 };
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
                     if chunk.die {
+                        // quest-lint: allow(QL01) -- deliberate fault injection: exercises the supervisor's requeue-and-respawn path
                         panic!("injected decode-worker death");
                     }
                     decode_batch(&decoder, &graphs, &chunk.jobs)

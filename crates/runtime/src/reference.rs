@@ -55,7 +55,7 @@ pub fn run_reference(spec: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
             WorkloadOp::Cnot { control, target } => {
                 // The transversal CNOT consumes no randomness; any
                 // stream works.
-                sys.transversal_cnot(control, target, &mut rngs[control]);
+                sys.transversal_cnot(control, target, &mut rngs[control])?;
             }
             WorkloadOp::Logical { tile, instr, class } => {
                 sys.dispatch_logical(tile, instr, class);

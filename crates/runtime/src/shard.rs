@@ -145,7 +145,20 @@ impl ShardWorker {
                 }
                 Payload::Cnot { control, target } => {
                     let (lc, lt) = (self.local(control), self.local(target));
-                    tile::transversal_cnot_physics(&mut self.mces, &mut self.substrate, lc, lt);
+                    if let Err(e) =
+                        tile::transversal_cnot_physics(&mut self.mces, &mut self.substrate, lc, lt)
+                    {
+                        // Validated specs make this unreachable; report it
+                        // like a caught panic and stop serving.
+                        let _ = self.tx.send(Envelope::control(
+                            PacketKind::Upstream,
+                            Payload::Failed {
+                                shard: self.shard,
+                                detail: format!("transversal CNOT rejected: {e}"),
+                            },
+                        ));
+                        return;
+                    }
                 }
                 Payload::Logical { tile, instr } => {
                     let l = self.local(tile);
@@ -195,7 +208,17 @@ impl ShardWorker {
                 | Payload::Outcome { .. }
                 | Payload::Closing { .. }
                 | Payload::Failed { .. } => {
-                    unreachable!("upstream payload arrived at a shard worker")
+                    // An upstream payload reaching a shard is a protocol
+                    // bug in the master; report it and stop serving
+                    // instead of panicking the worker thread.
+                    let _ = self.tx.send(Envelope::control(
+                        PacketKind::Upstream,
+                        Payload::Failed {
+                            shard: self.shard,
+                            detail: format!("upstream payload at a shard worker: {:?}", env.kind),
+                        },
+                    ));
+                    return;
                 }
             }
         }
@@ -207,6 +230,7 @@ impl ShardWorker {
     /// then the cycle barrier. `Err` means the master hung up.
     fn run_cycle(&mut self) -> Result<(), ()> {
         if self.panic_after_cycles == Some(self.cycles_done) {
+            // quest-lint: allow(QL01) -- deliberate fault injection: this drill exercises the catch_unwind containment in run()
             panic!(
                 "injected shard-worker panic after {} cycles",
                 self.cycles_done

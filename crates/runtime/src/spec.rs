@@ -376,11 +376,27 @@ impl WorkloadSpec {
         start..start + len
     }
 
-    /// The shard owning a tile.
+    /// The shard owning a tile: the arithmetic inverse of
+    /// [`WorkloadSpec::tile_range`]'s block distribution, O(1) and total.
+    /// The first `rem` shards hold `base + 1` tiles (ending at `cut`);
+    /// the rest hold `base`. An out-of-range tile (rejected by
+    /// [`WorkloadSpec::validate`] before any executor calls this) clamps
+    /// to the last shard.
     pub fn shard_of(&self, tile: usize) -> usize {
-        (0..self.shards)
-            .find(|&s| self.tile_range(s).contains(&tile))
-            .expect("tile out of range")
+        let base = self.tiles / self.shards;
+        let rem = self.tiles % self.shards;
+        let cut = rem * (base + 1);
+        let shard = if tile < cut {
+            tile / (base + 1)
+        } else {
+            // base == 0 (more shards than tiles) means every tile sits
+            // in the first (base + 1)-sized region, so only out-of-range
+            // input lands on the fallback.
+            (tile - cut)
+                .checked_div(base)
+                .map_or(self.shards.saturating_sub(1), |q| rem + q)
+        };
+        shard.min(self.shards.saturating_sub(1))
     }
 
     /// Encoded size of the distillation kernel on the bus / in the cache.
@@ -517,6 +533,26 @@ mod tests {
         assert_eq!(spec.shard_of(0), 0);
         assert_eq!(spec.shard_of(5), 1);
         assert_eq!(spec.shard_of(9), 3);
+    }
+
+    #[test]
+    fn shard_of_inverts_tile_range_exhaustively() {
+        for tiles in 1..=12 {
+            for shards in 1..=tiles {
+                let spec = WorkloadSpec::memory(3, tiles, shards, 0.0, 1, 1);
+                for shard in 0..shards {
+                    for tile in spec.tile_range(shard) {
+                        assert_eq!(
+                            spec.shard_of(tile),
+                            shard,
+                            "tiles={tiles} shards={shards} tile={tile}"
+                        );
+                    }
+                }
+                // Out-of-range input clamps instead of panicking.
+                assert_eq!(spec.shard_of(tiles + 5), shards - 1);
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,35 @@ use crate::pool::PoolStats;
 use quest_core::MasterStats;
 use std::fmt;
 use std::time::Duration;
+// This module is the workspace's only sanctioned home for wall-clock
+// reads (lint.toml `[ql02] clock_allow`): timings measured here are
+// *reported*, never fed back into the simulation, so they cannot break
+// run-for-run determinism.
+use std::time::Instant;
+
+/// A phase timer: the only way runtime code reads the wall clock.
+///
+/// Observability-only by construction — a [`Stopwatch`] can do nothing
+/// but measure the time since [`Stopwatch::start`], and the result lands
+/// in [`PhaseTimings`], which no simulation path reads.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
 
 /// Counters for one shard worker, collected by the master.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -30,6 +30,8 @@
 //! assert_eq!(a, b);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod circuit;
 pub mod noise;
 pub mod pauli;

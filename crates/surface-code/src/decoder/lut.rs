@@ -14,7 +14,7 @@
 
 use super::Correction;
 use crate::graph::{DecodingGraph, EdgeId, NodeId};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Lookup-table decoder for isolated single faults.
 ///
@@ -36,9 +36,9 @@ use std::collections::{BTreeSet, HashMap};
 pub struct LutDecoder {
     /// Sorted event pattern → edge producing it. Single-fault patterns have
     /// one or two events.
-    table: HashMap<Vec<NodeId>, EdgeId>,
+    table: BTreeMap<Vec<NodeId>, EdgeId>,
     /// For each node, the single-fault patterns containing it.
-    patterns_at: HashMap<NodeId, Vec<Vec<NodeId>>>,
+    patterns_at: BTreeMap<NodeId, Vec<Vec<NodeId>>>,
     num_nodes: usize,
     boundary: NodeId,
     /// Table capacity statistics: number of entries (for the paper's
@@ -50,8 +50,8 @@ impl LutDecoder {
     /// Builds the table for a decoding graph by enumerating all single
     /// faults.
     pub fn new(graph: &DecodingGraph) -> LutDecoder {
-        let mut table = HashMap::new();
-        let mut patterns_at: HashMap<NodeId, Vec<Vec<NodeId>>> = HashMap::new();
+        let mut table = BTreeMap::new();
+        let mut patterns_at: BTreeMap<NodeId, Vec<Vec<NodeId>>> = BTreeMap::new();
         for (i, e) in graph.edges().iter().enumerate() {
             let mut pattern: Vec<NodeId> = [e.a, e.b]
                 .into_iter()

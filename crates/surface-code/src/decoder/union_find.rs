@@ -126,8 +126,13 @@ impl Decoder for UnionFindDecoder {
         loop {
             // Group member nodes by active cluster root. (The index is
             // the node id itself, so a range loop is the clear form.)
-            let mut members_of_active: std::collections::HashMap<usize, Vec<NodeId>> =
-                std::collections::HashMap::new();
+            // BTreeMap, not HashMap: the growth loop below iterates this
+            // map, and edge supports saturate at 2 — so the *order*
+            // clusters claim shared edges decides which chains complete
+            // first. A hashed map would make the matching depend on the
+            // process's RandomState; root order must be the node order.
+            let mut members_of_active: std::collections::BTreeMap<usize, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
             #[allow(clippy::needless_range_loop)]
             for node in 0..n {
                 if node == boundary || !in_cluster[node] {
@@ -317,6 +322,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn decode_is_deterministic_across_runs_and_threads() {
+        // Regression test for the growth-stage grouping map: with a
+        // HashMap, cluster processing order followed the per-process (and
+        // per-thread) RandomState, so two decodes of the same syndrome
+        // could pick different valid matchings. The grouping map is now
+        // ordered; the matching must be bit-identical however often and
+        // wherever it is computed.
+        let mut rng = StdRng::seed_from_u64(2024);
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 4);
+        let all_nodes: Vec<NodeId> = (0..g.boundary()).collect();
+        let event_sets: Vec<Vec<NodeId>> = (0..40)
+            .map(|_| all_nodes.choose_multiple(&mut rng, 6).copied().collect())
+            .collect();
+
+        let decode_all = |sets: &[Vec<NodeId>]| -> Vec<Correction> {
+            let lat = RotatedLattice::new(5);
+            let g = DecodingGraph::new(&lat, StabKind::Z, 4);
+            let uf = UnionFindDecoder::new();
+            sets.iter().map(|ev| uf.decode(&g, ev)).collect()
+        };
+
+        let first = decode_all(&event_sets);
+        let second = decode_all(&event_sets);
+        assert_eq!(first, second, "same-thread decode must be reproducible");
+
+        // A spawned thread gets a freshly seeded RandomState for any
+        // hashed collections it creates — decode there too.
+        let sets = event_sets.clone();
+        let third = std::thread::spawn(move || decode_all(&sets))
+            .join()
+            .expect("decode thread must not panic");
+        assert_eq!(first, third, "cross-thread decode must be reproducible");
     }
 
     #[test]

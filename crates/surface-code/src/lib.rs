@@ -25,6 +25,8 @@
 //! assert!(!outcome.logical_error);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod decoder;
 pub mod designs;
 pub mod graph;

@@ -162,7 +162,7 @@ impl SyndromeCircuit {
         rng: &mut R,
     ) -> SyndromeRound {
         let mut outcomes = Vec::new();
-        for &g in self.round.iter() {
+        for &g in &self.round {
             let mut results = Vec::new();
             Circuit::apply_gate(t, g, rng, &mut results);
             noise.corrupt_after(t, g, rng);

@@ -15,6 +15,8 @@
 //! * `asm <file>` — assemble a logical program from text and print its
 //!   statistics (use `-` for stdin).
 
+#![forbid(unsafe_code)]
+
 use quest::arch::throughput::table2;
 use quest::arch::{DeliveryMode, QuestSystem, TechnologyParams};
 use quest::estimate::kernels::workload_with_kernel;
@@ -177,24 +179,24 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--seed" => seed = parse_u64(value("--seed")?, "seed")?,
             "--workload" => workload = value("--workload")?.clone(),
             "--fault-drop-rate" => {
-                faults.drop_rate = parse_f64(value("--fault-drop-rate")?, "drop rate")?
+                faults.drop_rate = parse_f64(value("--fault-drop-rate")?, "drop rate")?;
             }
             "--fault-corrupt-rate" => {
-                faults.corrupt_rate = parse_f64(value("--fault-corrupt-rate")?, "corrupt rate")?
+                faults.corrupt_rate = parse_f64(value("--fault-corrupt-rate")?, "corrupt rate")?;
             }
             "--fault-stall-rate" => {
-                faults.stall_rate = parse_f64(value("--fault-stall-rate")?, "stall rate")?
+                faults.stall_rate = parse_f64(value("--fault-stall-rate")?, "stall rate")?;
             }
             "--fault-quarantine" => {
                 faults.quarantine_cycles =
-                    parse_u64(value("--fault-quarantine")?, "quarantine length")?
+                    parse_u64(value("--fault-quarantine")?, "quarantine length")?;
             }
             "--fault-retries" => {
-                faults.max_retries = parse_u64(value("--fault-retries")?, "retry budget")? as u32
+                faults.max_retries = parse_u64(value("--fault-retries")?, "retry budget")? as u32;
             }
             "--fault-kill-decoder" => {
                 faults.kill_decode_worker_after_jobs =
-                    Some(parse_u64(value("--fault-kill-decoder")?, "job threshold")?)
+                    Some(parse_u64(value("--fault-kill-decoder")?, "job threshold")?);
             }
             other => {
                 return Err(format!(

@@ -34,6 +34,8 @@
 //! # Ok::<(), quest::arch::BuildError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use quest_core as arch;
 pub use quest_estimate as estimate;
 pub use quest_isa as isa;

@@ -54,7 +54,7 @@ fn claim_headline_savings() {
     }
     let best_total = suite
         .iter()
-        .map(|e| e.cached_savings())
+        .map(quest::estimate::BandwidthEstimate::cached_savings)
         .fold(0.0f64, f64::max);
     assert!(best_total >= 1e8, "best total savings {best_total:.2e}");
 }
