@@ -10,7 +10,7 @@
 use quest_bench::{header, orders, row, sci};
 use quest_core::TechnologyParams;
 use quest_estimate::{BandwidthEstimate, Workload};
-use quest_surface::SyndromeDesign;
+use quest_surface::{MemoryBasis, MemoryExperiment, MemoryNoise, SyndromeDesign, UnionFindDecoder};
 
 fn main() {
     header(
@@ -55,4 +55,41 @@ fn main() {
             w.name
         );
     }
+
+    // Monte-Carlo grounding for the error-rate sensitivity: the analytic
+    // distance formula above rests on logical rates falling with distance
+    // below threshold. Re-measure that on the frame fast path (20k shots
+    // per point — feasible only because of bit-parallel sampling).
+    println!();
+    println!(
+        "Monte-Carlo check (frame-sampled, 20k shots/point): p_L falls with d below threshold"
+    );
+    row(&["distance", "p = 4e-3", "p_L (measured)"]);
+    let p = 4e-3;
+    let noise = MemoryNoise::code_capacity(p);
+    let dec = UnionFindDecoder::new();
+    let shots = 20_000;
+    let mut measured = Vec::new();
+    for d in [3usize, 5, 7] {
+        let exp = MemoryExperiment::new(d, d, MemoryBasis::Z);
+        let rate = exp.logical_error_rate_batch(&noise, &dec, shots, 15 + d as u64);
+        row(&[&d.to_string(), &sci(p), &format!("{rate:.5}")]);
+        measured.push(rate);
+    }
+    // Monotone within sampling noise: rates this far below threshold sit
+    // at a handful of failures per 20k shots, so allow a 3-sigma Poisson
+    // slack per step — but the largest code must strictly beat the
+    // smallest.
+    let shots_f = shots as f64;
+    for win in measured.windows(2) {
+        let slack = 3.0 * (win[0].max(1.0 / shots_f) / shots_f).sqrt();
+        assert!(
+            win[1] <= win[0] + slack,
+            "logical rate rose with distance beyond sampling noise: {measured:?}"
+        );
+    }
+    assert!(
+        measured[2] < measured[0],
+        "d=7 must strictly beat d=3 below threshold: {measured:?}"
+    );
 }

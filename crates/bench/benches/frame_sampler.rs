@@ -1,0 +1,106 @@
+//! Perf-smoke for the bit-parallel frame sampler: a small code-capacity
+//! threshold sweep that must finish fast and reproduce the physics.
+//!
+//! Run by the CI `perf-smoke` job on every push: sweeps d ∈ {3, 5} over a
+//! rate grid bracketing the code-capacity threshold at 5000 shots/point,
+//! asserts the whole sweep completes in under 60 seconds, asserts the
+//! crossing between d=3 and d=5 lands inside the bracket, and emits the
+//! measurements as `BENCH_frame_sampler.json` for trend tracking.
+
+use quest_bench::{header, row};
+use quest_surface::{ThresholdSweep, UnionFindDecoder};
+use std::io::Write as _;
+use std::time::Instant;
+
+const SHOTS: usize = 5000;
+const SEED: u64 = 0xF7A3;
+const WORKERS: usize = 4;
+const TIME_BUDGET_SECS: f64 = 60.0;
+
+fn main() {
+    header(
+        "Perf-smoke: frame-sampled threshold sweep (d in {3,5}, 5000 shots/point)",
+        "the fast path stays fast and the crossing stays inside the bracket",
+    );
+    let distances = [3usize, 5];
+    // Bracket the code-capacity threshold (~1e-2 for this noise model):
+    // d=5 must win at the low end and lose at the high end.
+    let rates = [2e-3, 5e-3, 1e-2, 3e-2, 8e-2];
+    let started = Instant::now();
+    let sweep = ThresholdSweep::run_batch(
+        &distances,
+        &rates,
+        SHOTS,
+        &UnionFindDecoder::new(),
+        SEED,
+        WORKERS,
+    );
+    let elapsed = started.elapsed().as_secs_f64();
+
+    row(&["p", "d=3 p_L", "d=5 p_L"]);
+    for &p in &rates {
+        let find = |d: usize| {
+            sweep
+                .series(d)
+                .into_iter()
+                .find(|pt| pt.p == p)
+                .map_or(f64::NAN, |pt| pt.logical_rate)
+        };
+        row(&[
+            &format!("{p:.0e}"),
+            &format!("{:.4}", find(3)),
+            &format!("{:.4}", find(5)),
+        ]);
+    }
+    println!();
+    let total_shots = distances.len() * rates.len() * SHOTS;
+    println!(
+        "swept {total_shots} shots in {elapsed:.2}s ({:.0} shots/s)",
+        total_shots as f64 / elapsed
+    );
+
+    let crossing = sweep.crossing_below(3, 5);
+    println!("empirical d3/d5 crossing lower bound: {crossing:?}");
+
+    // The crossing must sit strictly inside the bracket: d=5 wins at the
+    // grid's low end, d=3 wins at its high end.
+    let lo = rates[0];
+    let hi = *rates.last().unwrap_or(&lo);
+    let c = crossing.unwrap_or(0.0);
+    assert!(
+        c >= lo && c < hi,
+        "crossing {c:?} escaped the bracket [{lo:e}, {hi:e}) — physics or sampler regression"
+    );
+    assert!(
+        elapsed < TIME_BUDGET_SECS,
+        "perf-smoke blew its {TIME_BUDGET_SECS}s budget: {elapsed:.2}s — frame path regressed"
+    );
+
+    write_report(&sweep, elapsed, c);
+}
+
+/// Emits the sweep as a small JSON report for CI trend tracking. Written
+/// by hand (no serde in the workspace): the shape is a flat object with
+/// one array of points.
+fn write_report(sweep: &ThresholdSweep, elapsed: f64, crossing: f64) {
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"shots_per_point\": {SHOTS},\n"));
+    json.push_str(&format!("  \"seed\": {SEED},\n"));
+    json.push_str(&format!("  \"elapsed_secs\": {elapsed:.3},\n"));
+    json.push_str(&format!("  \"crossing_lower_bound\": {crossing:e},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, pt) in sweep.points.iter().enumerate() {
+        let sep = if i + 1 == sweep.points.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"distance\": {}, \"p\": {:e}, \"logical_rate\": {:e}}}{sep}\n",
+            pt.distance, pt.p, pt.logical_rate
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::File::create("BENCH_frame_sampler.json")
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        Ok(()) => println!("wrote BENCH_frame_sampler.json"),
+        Err(e) => println!("could not write BENCH_frame_sampler.json: {e}"),
+    }
+}

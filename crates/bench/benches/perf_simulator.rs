@@ -92,12 +92,66 @@ fn bench_memory_shot(c: &mut Criterion) {
     });
 }
 
+fn bench_frame_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_batch_1k_shots");
+    for d in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let exp = MemoryExperiment::new(d, d, MemoryBasis::Z);
+            let noise = MemoryNoise::code_capacity(1e-2);
+            let dec = UnionFindDecoder::new();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                exp.run_batch(&noise, &dec, 1024, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Head-to-head throughput: d=7 code-capacity memory, per-shot tableau
+/// loop vs. the bit-parallel frame batch. The frame path must deliver at
+/// least a 20x speedup — the headline number of the fast path.
+fn frame_throughput_comparison(_c: &mut Criterion) {
+    use std::time::Instant;
+    let exp = MemoryExperiment::new(7, 7, MemoryBasis::Z);
+    let noise = MemoryNoise::code_capacity(1e-2);
+    let dec = UnionFindDecoder::new();
+
+    let legacy_shots = 200usize;
+    let mut rng = StdRng::seed_from_u64(5);
+    let t0 = Instant::now();
+    let legacy_rate = exp.logical_error_rate(&noise, &dec, legacy_shots, &mut rng);
+    let legacy_elapsed = t0.elapsed().as_secs_f64();
+    let legacy_per_sec = legacy_shots as f64 / legacy_elapsed;
+
+    let batch_shots = 20_000usize;
+    let t1 = Instant::now();
+    let batch = exp.run_batch(&noise, &dec, batch_shots, 5);
+    let batch_elapsed = t1.elapsed().as_secs_f64();
+    let batch_per_sec = batch_shots as f64 / batch_elapsed;
+
+    let speedup = batch_per_sec / legacy_per_sec;
+    println!(
+        "frame_vs_tableau_throughput_d7: tableau {legacy_per_sec:.0} shots/s \
+         ({legacy_shots} shots, p_L={legacy_rate:.4}), frame {batch_per_sec:.0} shots/s \
+         ({batch_shots} shots, p_L={:.4}), speedup {speedup:.1}x",
+        batch.logical_error_rate()
+    );
+    assert!(
+        speedup >= 20.0,
+        "frame fast path must be at least 20x the per-shot tableau loop at d=7, got {speedup:.1}x"
+    );
+}
+
 criterion_group!(
     benches,
     bench_tableau,
     bench_syndrome_round,
     bench_union_find,
     bench_mce_cycle,
-    bench_memory_shot
+    bench_memory_shot,
+    bench_frame_batch,
+    frame_throughput_comparison
 );
 criterion_main!(benches);

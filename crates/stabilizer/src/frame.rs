@@ -1,0 +1,644 @@
+//! Bit-parallel Pauli-frame Monte-Carlo engine.
+//!
+//! For Clifford circuits with Pauli noise, per-shot state simulation is
+//! unnecessary: the *difference* between a noisy shot and a noiseless
+//! reference run is itself a Pauli operator (the "frame"), and frames
+//! propagate through Clifford gates by simple bit rules — no tableau, no
+//! O(n²) measurements. Packing the frames of 64 independent shots into one
+//! `u64` word per qubit (the construction behind Stim-class samplers) turns
+//! every gate into a handful of word XOR/swap operations over all shots at
+//! once.
+//!
+//! Semantics: [`FrameSimulator`] tracks, per qubit and per shot, the X and
+//! Z components of the Pauli error separating that shot's state from the
+//! reference state. Signs are not tracked — they cannot influence
+//! measurement outcomes, only global phase. A shot's measurement record is
+//! the reference record XOR the flip bits this engine reports.
+//!
+//! Determinism: all randomness is drawn from caller-provided
+//! [`BlockRngs`], one independent `StdRng` per 64-shot word *block*,
+//! seeded from `(master seed, global block index)`. Because each block
+//! consumes its own stream in circuit order, results are bit-identical
+//! regardless of how many blocks a batch holds or how blocks are spread
+//! over worker threads.
+//!
+//! # Example
+//!
+//! ```
+//! use quest_stabilizer::frame::{BlockRngs, FrameSimulator};
+//! use quest_stabilizer::PauliChannel;
+//!
+//! // 128 shots of a 2-qubit circuit: X noise on qubit 0, CNOT 0→1.
+//! let mut sim = FrameSimulator::new(2, 128);
+//! let mut rngs = BlockRngs::new(42, 0, sim.words());
+//! sim.inject_pauli_channel(&PauliChannel::bit_flip(0.5), 0, &mut rngs);
+//! sim.cnot(0, 1);
+//! // The error copies onto the target: flip planes agree bit-for-bit.
+//! assert_eq!(sim.x_plane(0), sim.x_plane(1));
+//! ```
+
+use crate::circuit::Gate;
+use crate::noise::PauliChannel;
+use crate::pauli::Pauli;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shots per packed word (one bit per shot).
+pub const SHOTS_PER_WORD: usize = 64;
+
+/// SplitMix64 finalizer used to derive independent per-block seeds from a
+/// master seed. Deterministic, allocation-free, and stable across
+/// platforms — the whole seeding scheme of the batch samplers rests on it.
+#[must_use]
+pub fn block_seed(master: u64, block: u64) -> u64 {
+    let mut z = master
+        ^ block
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x243F_6A88_85A3_08D3);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One deterministic RNG per 64-shot block.
+///
+/// Block `w` of a batch starting at global block `base` is seeded with
+/// [`block_seed`]`(master, base + w)`, so the stream a block consumes is a
+/// pure function of `(master, global block index)` — independent of batch
+/// size and thread placement.
+#[derive(Debug, Clone)]
+pub struct BlockRngs {
+    rngs: Vec<StdRng>,
+}
+
+impl BlockRngs {
+    /// RNGs for `words` consecutive blocks starting at global block
+    /// index `base`.
+    #[must_use]
+    pub fn new(master: u64, base: u64, words: usize) -> BlockRngs {
+        BlockRngs {
+            rngs: (0..words)
+                .map(|w| StdRng::seed_from_u64(block_seed(master, base + w as u64)))
+                .collect(),
+        }
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rngs.len()
+    }
+
+    /// `true` when no blocks are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rngs.is_empty()
+    }
+
+    #[inline]
+    fn rng(&mut self, word: usize) -> &mut StdRng {
+        &mut self.rngs[word]
+    }
+}
+
+/// Bit-packed Pauli-frame simulator over `n` qubits × `B` shots.
+///
+/// X and Z frame bits are stored as `ceil(B/64)` words per qubit
+/// (qubit-major layout). All gate updates are word-wise, i.e. they act on
+/// 64 shots per machine operation.
+#[derive(Debug, Clone)]
+pub struct FrameSimulator {
+    n: usize,
+    words: usize,
+    /// X frame planes, `x[q * words + w]`.
+    x: Vec<u64>,
+    /// Z frame planes, same layout.
+    z: Vec<u64>,
+}
+
+impl FrameSimulator {
+    /// Creates an all-identity frame batch for `n` qubits and at least
+    /// `shots` shots (rounded up to a whole number of 64-shot words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `shots` is zero.
+    #[must_use]
+    pub fn new(n: usize, shots: usize) -> FrameSimulator {
+        assert!(n > 0, "frame simulator needs at least one qubit");
+        assert!(shots > 0, "frame simulator needs at least one shot");
+        let words = shots.div_ceil(SHOTS_PER_WORD);
+        FrameSimulator {
+            n,
+            words,
+            x: vec![0; n * words],
+            z: vec![0; n * words],
+        }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of 64-shot words per plane.
+    #[must_use]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Shot capacity (a multiple of 64).
+    #[must_use]
+    pub fn num_shots(&self) -> usize {
+        self.words * SHOTS_PER_WORD
+    }
+
+    /// Clears every frame back to identity, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.x.iter_mut().for_each(|w| *w = 0);
+        self.z.iter_mut().for_each(|w| *w = 0);
+    }
+
+    #[inline]
+    fn check_qubit(&self, q: usize) {
+        assert!(q < self.n, "qubit index {q} out of range (n = {})", self.n);
+    }
+
+    #[inline]
+    fn span(&self, q: usize) -> core::ops::Range<usize> {
+        q * self.words..(q + 1) * self.words
+    }
+
+    /// X-component plane of qubit `q` (one bit per shot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    #[must_use]
+    pub fn x_plane(&self, q: usize) -> &[u64] {
+        self.check_qubit(q);
+        &self.x[self.span(q)]
+    }
+
+    /// Z-component plane of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    #[must_use]
+    pub fn z_plane(&self, q: usize) -> &[u64] {
+        self.check_qubit(q);
+        &self.z[self.span(q)]
+    }
+
+    /// Sets the frame of `shot` on qubit `q` to the given Pauli (used by
+    /// deterministic fault injection and the equivalence tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `shot` is out of bounds.
+    pub fn set_frame(&mut self, q: usize, shot: usize, p: Pauli) {
+        self.check_qubit(q);
+        assert!(shot < self.num_shots(), "shot index out of range");
+        let idx = q * self.words + shot / SHOTS_PER_WORD;
+        let mask = 1u64 << (shot % SHOTS_PER_WORD);
+        let (xb, zb) = match p {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        };
+        self.x[idx] = (self.x[idx] & !mask) | if xb { mask } else { 0 };
+        self.z[idx] = (self.z[idx] & !mask) | if zb { mask } else { 0 };
+    }
+
+    /// XORs the given Pauli into the frame of one shot on qubit `q`
+    /// (mid-circuit deterministic fault injection: errors compose with
+    /// whatever frame has already accumulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or `shot` is out of bounds.
+    pub fn xor_frame(&mut self, q: usize, shot: usize, p: Pauli) {
+        self.check_qubit(q);
+        assert!(shot < self.num_shots(), "shot index out of range");
+        let idx = q * self.words + shot / SHOTS_PER_WORD;
+        let mask = 1u64 << (shot % SHOTS_PER_WORD);
+        let (xb, zb) = match p {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        };
+        if xb {
+            self.x[idx] ^= mask;
+        }
+        if zb {
+            self.z[idx] ^= mask;
+        }
+    }
+
+    /// XORs a Pauli into the frame of every shot on qubit `q` at once
+    /// (word-broadcast error injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn broadcast_pauli(&mut self, q: usize, p: Pauli) {
+        self.check_qubit(q);
+        let span = self.span(q);
+        match p {
+            Pauli::I => {}
+            Pauli::X => self.x[span].iter_mut().for_each(|w| *w = !*w),
+            Pauli::Z => self.z[span].iter_mut().for_each(|w| *w = !*w),
+            Pauli::Y => {
+                self.x[span.clone()].iter_mut().for_each(|w| *w = !*w);
+                self.z[span].iter_mut().for_each(|w| *w = !*w);
+            }
+        }
+    }
+
+    /// Hadamard on `q`: conjugation swaps the X and Z frame components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn h(&mut self, q: usize) {
+        self.check_qubit(q);
+        for i in self.span(q) {
+            core::mem::swap(&mut self.x[i], &mut self.z[i]);
+        }
+    }
+
+    /// Phase gate on `q`: `S X S† = Y`, so the X component gains a Z
+    /// component (`z ^= x`). Identical rule for `S†` (signs untracked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn s(&mut self, q: usize) {
+        self.check_qubit(q);
+        for i in self.span(q) {
+            self.z[i] ^= self.x[i];
+        }
+    }
+
+    /// CNOT: X copies control→target, Z copies target→control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or `c == t`.
+    pub fn cnot(&mut self, c: usize, t: usize) {
+        self.check_qubit(c);
+        self.check_qubit(t);
+        assert_ne!(c, t, "CNOT control and target must differ");
+        for w in 0..self.words {
+            self.x[t * self.words + w] ^= self.x[c * self.words + w];
+            self.z[c * self.words + w] ^= self.z[t * self.words + w];
+        }
+    }
+
+    /// Controlled-Z: the X component of each side adds a Z on the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or `a == b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.check_qubit(a);
+        self.check_qubit(b);
+        assert_ne!(a, b, "CZ qubits must differ");
+        for w in 0..self.words {
+            let xa = self.x[a * self.words + w];
+            let xb = self.x[b * self.words + w];
+            self.z[a * self.words + w] ^= xb;
+            self.z[b * self.words + w] ^= xa;
+        }
+    }
+
+    /// Swap: exchanges both frame planes of `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds or `a == b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.check_qubit(a);
+        self.check_qubit(b);
+        assert_ne!(a, b, "SWAP qubits must differ");
+        for w in 0..self.words {
+            self.x.swap(a * self.words + w, b * self.words + w);
+            self.z.swap(a * self.words + w, b * self.words + w);
+        }
+    }
+
+    /// Preparation in either basis: both the reference and the shot
+    /// collapse to the same prepared state, so the frame resets to
+    /// identity on `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn prep(&mut self, q: usize) {
+        self.check_qubit(q);
+        let span = self.span(q);
+        self.x[span.clone()].iter_mut().for_each(|w| *w = 0);
+        self.z[span].iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Z-basis measurement of `q`: appends one flip word per block to
+    /// `flips_out` (bit set ⇔ that shot's outcome differs from the
+    /// reference outcome). The unobservable Z component is cleared; the X
+    /// component persists (the shot's post-measurement state still differs
+    /// from the reference by X).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn meas_z(&mut self, q: usize, flips_out: &mut Vec<u64>) {
+        self.check_qubit(q);
+        let span = self.span(q);
+        flips_out.extend_from_slice(&self.x[span.clone()]);
+        self.z[span].iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// X-basis measurement of `q`: flip bits are the Z component; the
+    /// unobservable X component is cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn meas_x(&mut self, q: usize, flips_out: &mut Vec<u64>) {
+        self.check_qubit(q);
+        let span = self.span(q);
+        flips_out.extend_from_slice(&self.z[span.clone()]);
+        self.x[span].iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Applies one circuit gate to the whole batch. Pauli gates are
+    /// frame-level no-ops (they commute with any frame up to sign).
+    /// Measurement gates append their flip words to `meas_out` in program
+    /// order, exactly mirroring [`crate::Circuit::apply_gate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references an out-of-bounds qubit.
+    pub fn apply_gate(&mut self, g: Gate, meas_out: &mut Vec<u64>) {
+        match g {
+            Gate::I(_) | Gate::X(_) | Gate::Y(_) | Gate::Z(_) => {}
+            Gate::H(q) => self.h(q),
+            Gate::S(q) | Gate::Sdg(q) => self.s(q),
+            Gate::Cnot(c, t) => self.cnot(c, t),
+            Gate::Cz(a, b) => self.cz(a, b),
+            Gate::Swap(a, b) => self.swap(a, b),
+            Gate::PrepZ(q) | Gate::PrepX(q) => self.prep(q),
+            Gate::MeasZ(q) => self.meas_z(q, meas_out),
+            Gate::MeasX(q) => self.meas_x(q, meas_out),
+        }
+    }
+
+    /// Samples one layer of a Pauli channel onto qubit `q`, drawing each
+    /// shot's error from its block's RNG. Two bit-planes (X and Z
+    /// components) are built per call; Y errors set both. Only the first
+    /// `rngs.len()` words are touched — a short final batch may drive a
+    /// simulator sized for a full one, and its dead trailing words stay
+    /// clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds or `rngs` holds more blocks than
+    /// the simulator has words.
+    pub fn inject_pauli_channel(&mut self, channel: &PauliChannel, q: usize, rngs: &mut BlockRngs) {
+        self.check_qubit(q);
+        assert!(rngs.len() <= self.words, "more RNG blocks than shot words");
+        let (px, py) = (channel.px(), channel.py());
+        let total = channel.total_error_probability();
+        if total == 0.0 {
+            return;
+        }
+        for w in 0..rngs.len() {
+            let rng = rngs.rng(w);
+            let mut xbits = 0u64;
+            let mut zbits = 0u64;
+            for bit in 0..SHOTS_PER_WORD {
+                let u: f64 = rng.gen();
+                let mask = 1u64 << bit;
+                if u < px {
+                    xbits |= mask;
+                } else if u < px + py {
+                    xbits |= mask;
+                    zbits |= mask;
+                } else if u < total {
+                    zbits |= mask;
+                }
+            }
+            self.x[q * self.words + w] ^= xbits;
+            self.z[q * self.words + w] ^= zbits;
+        }
+    }
+
+    /// Samples an independent flip plane (one bit per shot, set with
+    /// probability `p`) and XORs it into `plane` — classical
+    /// measurement-flip injection. Consumes 64 draws per block when
+    /// `p > 0`, keeping block streams aligned regardless of how many bits
+    /// land set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]` or `plane.len() != rngs.len()`.
+    pub fn xor_flip_plane(p: f64, rngs: &mut BlockRngs, plane: &mut [u64]) {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        assert_eq!(plane.len(), rngs.len(), "one plane word per RNG block");
+        if p == 0.0 {
+            return;
+        }
+        for (w, word) in plane.iter_mut().enumerate() {
+            let rng = rngs.rng(w);
+            let mut bits = 0u64;
+            for bit in 0..SHOTS_PER_WORD {
+                let u: f64 = rng.gen();
+                if u < p {
+                    bits |= 1u64 << bit;
+                }
+            }
+            *word ^= bits;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::tableau::Tableau;
+    use crate::PauliString;
+
+    #[test]
+    fn cnot_copies_x_to_target_and_z_to_control() {
+        let mut sim = FrameSimulator::new(2, 64);
+        sim.set_frame(0, 3, Pauli::X);
+        sim.set_frame(1, 5, Pauli::Z);
+        sim.cnot(0, 1);
+        assert_eq!(sim.x_plane(0)[0], 1 << 3);
+        assert_eq!(sim.x_plane(1)[0], 1 << 3);
+        assert_eq!(sim.z_plane(0)[0], 1 << 5);
+        assert_eq!(sim.z_plane(1)[0], 1 << 5);
+    }
+
+    #[test]
+    fn h_swaps_components_and_s_makes_y() {
+        let mut sim = FrameSimulator::new(1, 64);
+        sim.set_frame(0, 0, Pauli::X);
+        sim.h(0);
+        assert_eq!(sim.x_plane(0)[0], 0);
+        assert_eq!(sim.z_plane(0)[0], 1);
+        sim.h(0);
+        sim.s(0);
+        // X -> Y: both components set.
+        assert_eq!(sim.x_plane(0)[0], 1);
+        assert_eq!(sim.z_plane(0)[0], 1);
+    }
+
+    #[test]
+    fn measurement_flip_bits_match_tableau_outcomes() {
+        // For every single-qubit Pauli error injected ahead of a circuit
+        // whose reference measurements are all deterministic, the
+        // frame-predicted flip bits must equal the difference between the
+        // errored and error-free tableau runs. (Bit-exactness is only
+        // guaranteed for measurements deterministic in the reference —
+        // exactly the regime the surface-code sampler operates in.)
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut circuit = Circuit::new();
+        // HSSH ≅ X: exercises H and S while keeping q0 computational.
+        circuit.push(Gate::H(0));
+        circuit.push(Gate::S(0));
+        circuit.push(Gate::S(0));
+        circuit.push(Gate::H(0));
+        circuit.push(Gate::Cnot(0, 1));
+        circuit.push(Gate::Swap(1, 2));
+        circuit.push(Gate::Cz(0, 2));
+        circuit.push(Gate::H(3));
+        for q in 0..3 {
+            circuit.push(Gate::MeasZ(q));
+        }
+        circuit.push(Gate::MeasX(3));
+        for victim in 0..4usize {
+            for p in Pauli::ERRORS {
+                let mut rng_a = StdRng::seed_from_u64(11);
+                let mut rng_b = StdRng::seed_from_u64(11);
+                let reference = circuit.run_stabilizer(4, &mut rng_a);
+                assert!(reference.iter().all(|m| m.deterministic));
+                let mut t = Tableau::new(4);
+                t.pauli_string(&PauliString::from_sparse(4, &[(victim, p)]));
+                let noisy = circuit.run_on(&mut t, &mut rng_b);
+
+                let mut sim = FrameSimulator::new(4, 64);
+                sim.set_frame(victim, 0, p);
+                let mut flips = Vec::new();
+                for &g in &circuit {
+                    sim.apply_gate(g, &mut flips);
+                }
+                assert_eq!(flips.len(), 4);
+                for (m, (r, f)) in reference.iter().zip(noisy.iter().zip(&flips)) {
+                    let flipped = f & 1 == 1;
+                    assert_eq!(m.value != r.value, flipped, "victim {victim}, error {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prep_clears_and_meas_clears_unobservable_component() {
+        let mut sim = FrameSimulator::new(1, 64);
+        sim.set_frame(0, 0, Pauli::Y);
+        let mut flips = Vec::new();
+        sim.meas_z(0, &mut flips);
+        assert_eq!(flips, vec![1]);
+        assert_eq!(sim.z_plane(0)[0], 0, "Z is a phase on a Z eigenstate");
+        assert_eq!(sim.x_plane(0)[0], 1, "X survives measurement");
+        sim.prep(0);
+        assert_eq!(sim.x_plane(0)[0], 0);
+    }
+
+    #[test]
+    fn channel_injection_rate_is_approximately_p() {
+        let mut sim = FrameSimulator::new(1, 64 * 256);
+        let mut rngs = BlockRngs::new(7, 0, sim.words());
+        sim.inject_pauli_channel(&PauliChannel::depolarizing(0.3), 0, &mut rngs);
+        let errors: u32 = (0..sim.words())
+            .map(|w| (sim.x_plane(0)[w] | sim.z_plane(0)[w]).count_ones())
+            .sum();
+        let rate = f64::from(errors) / (64.0 * 256.0);
+        assert!((rate - 0.3).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn block_streams_are_independent_of_batch_layout() {
+        // Sampling blocks [0,4) in one batch must equal sampling [0,2)
+        // and [2,4) in two batches.
+        let channel = PauliChannel::depolarizing(0.2);
+        let mut whole = FrameSimulator::new(2, 4 * 64);
+        let mut rngs = BlockRngs::new(99, 0, 4);
+        for q in 0..2 {
+            whole.inject_pauli_channel(&channel, q, &mut rngs);
+        }
+        let mut lo = FrameSimulator::new(2, 2 * 64);
+        let mut rngs_lo = BlockRngs::new(99, 0, 2);
+        let mut hi = FrameSimulator::new(2, 2 * 64);
+        let mut rngs_hi = BlockRngs::new(99, 2, 2);
+        for q in 0..2 {
+            lo.inject_pauli_channel(&channel, q, &mut rngs_lo);
+            hi.inject_pauli_channel(&channel, q, &mut rngs_hi);
+        }
+        for q in 0..2 {
+            assert_eq!(&whole.x_plane(q)[..2], lo.x_plane(q));
+            assert_eq!(&whole.x_plane(q)[2..], hi.x_plane(q));
+            assert_eq!(&whole.z_plane(q)[..2], lo.z_plane(q));
+            assert_eq!(&whole.z_plane(q)[2..], hi.z_plane(q));
+        }
+    }
+
+    #[test]
+    fn flip_plane_tracks_probability() {
+        let mut rngs = BlockRngs::new(3, 0, 128);
+        let mut plane = vec![0u64; 128];
+        FrameSimulator::xor_flip_plane(0.1, &mut rngs, &mut plane);
+        let ones: u32 = plane.iter().map(|w| w.count_ones()).sum();
+        let rate = f64::from(ones) / (128.0 * 64.0);
+        assert!((rate - 0.1).abs() < 0.02, "rate = {rate}");
+        let mut none = vec![0u64; 4];
+        FrameSimulator::xor_flip_plane(0.0, &mut BlockRngs::new(3, 0, 4), &mut none);
+        assert!(none.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn xor_frame_composes_with_existing_frame() {
+        let mut sim = FrameSimulator::new(1, 64);
+        sim.xor_frame(0, 2, Pauli::X);
+        sim.xor_frame(0, 2, Pauli::Z); // X then Z = Y (mod sign)
+        assert_eq!(sim.x_plane(0)[0], 1 << 2);
+        assert_eq!(sim.z_plane(0)[0], 1 << 2);
+        sim.xor_frame(0, 2, Pauli::Y); // cancels
+        assert_eq!(sim.x_plane(0)[0], 0);
+        assert_eq!(sim.z_plane(0)[0], 0);
+    }
+
+    #[test]
+    fn broadcast_and_clear() {
+        let mut sim = FrameSimulator::new(2, 128);
+        sim.broadcast_pauli(1, Pauli::Y);
+        assert!(sim.x_plane(1).iter().all(|&w| w == u64::MAX));
+        assert!(sim.z_plane(1).iter().all(|&w| w == u64::MAX));
+        assert!(sim.x_plane(0).iter().all(|&w| w == 0));
+        sim.clear();
+        assert!(sim.x_plane(1).iter().all(|&w| w == 0));
+        assert!(sim.z_plane(1).iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut sim = FrameSimulator::new(2, 64);
+        sim.h(2);
+    }
+}

@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 
 pub mod circuit;
+pub mod frame;
 pub mod noise;
 pub mod pauli;
 pub mod statevector;
 pub mod tableau;
 
 pub use circuit::{Circuit, Gate};
+pub use frame::{block_seed, BlockRngs, FrameSimulator, SHOTS_PER_WORD};
 pub use noise::{NoiseChannel, PauliChannel};
 pub use pauli::{Pauli, PauliString};
 pub use statevector::{Complex, StateVector};

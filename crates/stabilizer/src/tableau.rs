@@ -82,6 +82,21 @@ impl Tableau {
         self.n
     }
 
+    /// Reinitialises the tableau to the `|0…0⟩` state in place, keeping
+    /// its allocations. Running many shots through one tableau via
+    /// `reset_all` avoids reallocating the `O(n²)` bit-matrices per shot.
+    /// (Named `reset_all` because [`Tableau::reset`] is the single-qubit
+    /// reset operation.)
+    pub fn reset_all(&mut self) {
+        self.x.iter_mut().for_each(|w| *w = 0);
+        self.z.iter_mut().for_each(|w| *w = 0);
+        self.r.iter_mut().for_each(|s| *s = false);
+        for i in 0..self.n {
+            self.set_x(i, i, true);
+            self.set_z(self.n + i, i, true);
+        }
+    }
+
     #[inline]
     fn xw(&self, row: usize) -> &[u64] {
         &self.x[row * self.words..(row + 1) * self.words]
@@ -799,5 +814,21 @@ mod tests {
     fn cnot_same_qubit_panics() {
         let mut t = Tableau::new(2);
         t.cnot(1, 1);
+    }
+
+    #[test]
+    fn reset_all_restores_the_fresh_state() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut t = Tableau::new(3);
+        t.h(0);
+        t.cnot(0, 1);
+        t.s(2);
+        let _ = t.measure(0, &mut rng);
+        t.reset_all();
+        assert_eq!(t, Tableau::new(3));
+        // A reused tableau behaves exactly like a fresh one.
+        t.x(1);
+        assert!(t.measure(1, &mut rng).value);
+        assert!(!t.measure(0, &mut rng).value);
     }
 }

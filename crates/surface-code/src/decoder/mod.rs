@@ -24,7 +24,7 @@ pub use batch::{decode_batch, BatchGraphs, DecodeJob};
 pub use exact::ExactMatchingDecoder;
 pub use lut::LutDecoder;
 pub use table::TableDecoder;
-pub use union_find::UnionFindDecoder;
+pub use union_find::{UfScratch, UnionFindDecoder};
 
 use crate::graph::{DecodingGraph, EdgeId, Fault, NodeId};
 use std::collections::BTreeSet;
@@ -72,6 +72,15 @@ pub trait Decoder {
     /// Implementations may panic if `events` contains the boundary node or
     /// out-of-range ids.
     fn decode(&self, graph: &DecodingGraph, events: &[NodeId]) -> Correction;
+
+    /// Decodes many shots against one graph, returning one correction per
+    /// event set in order. Semantically identical to mapping
+    /// [`Decoder::decode`]; implementations override it to reuse working
+    /// memory across shots (the batch samplers call this once per
+    /// shot-block).
+    fn decode_many(&self, graph: &DecodingGraph, event_sets: &[Vec<NodeId>]) -> Vec<Correction> {
+        event_sets.iter().map(|ev| self.decode(graph, ev)).collect()
+    }
 }
 
 /// Validates that a correction's edges reproduce exactly the given

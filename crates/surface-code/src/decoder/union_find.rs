@@ -9,6 +9,11 @@
 //!
 //! This plays the role of the paper's global MWPM decoder in the master
 //! controller; its output is validated against the exact matcher in tests.
+//!
+//! Decoding state lives in a [`UfScratch`] workspace so batch callers
+//! (thousands of shots against one decoding graph) pay for the ~dozen
+//! working vectors once instead of once per shot; [`Decoder::decode`]
+//! remains the convenient single-shot entry point.
 
 use super::{Correction, Decoder};
 use crate::graph::{DecodingGraph, EdgeId, NodeId};
@@ -40,23 +45,80 @@ impl UnionFindDecoder {
     }
 }
 
-struct Dsu {
+/// Reusable working memory for [`UnionFindDecoder`].
+///
+/// All vectors are sized for the decoding graph on first use and reused on
+/// every subsequent [`UnionFindDecoder::decode_with`] call, so decoding a
+/// batch of shots allocates nothing per shot (beyond the returned
+/// [`Correction`]).
+#[derive(Debug, Clone, Default)]
+pub struct UfScratch {
+    // Node-indexed.
+    is_event: Vec<bool>,
+    in_cluster: Vec<bool>,
     parent: Vec<usize>,
     rank: Vec<u8>,
-    /// Odd number of unpaired detection events in the cluster (root-indexed).
     odd: Vec<bool>,
-    /// Cluster touches the boundary (root-indexed).
-    boundary: Vec<bool>,
+    touches_boundary: Vec<bool>,
+    visited: Vec<bool>,
+    parent_edge: Vec<Option<EdgeId>>,
+    order: Vec<NodeId>,
+    adj: Vec<Vec<EdgeId>>,
+    queue: VecDeque<NodeId>,
+    // Edge-indexed.
+    support: Vec<u8>,
+    delta: Vec<u8>,
+    edge_stamp: Vec<usize>,
+    erased: Vec<EdgeId>,
+    /// `(root, node)` pairs of the current growth round, sorted so cluster
+    /// processing order is the deterministic node order (see the growth
+    /// loop: edge supports saturate, so claim order decides the matching).
+    active_members: Vec<(usize, NodeId)>,
 }
 
-impl Dsu {
-    fn new(n: usize, events: &[bool]) -> Dsu {
-        Dsu {
-            parent: (0..n).collect(),
-            rank: vec![0; n],
-            odd: events.to_vec(),
-            boundary: vec![false; n],
+impl UfScratch {
+    /// Creates an empty workspace; it sizes itself lazily on first decode.
+    pub fn new() -> UfScratch {
+        UfScratch::default()
+    }
+
+    /// Resets the workspace for a fresh decode over `graph`, resizing if
+    /// the graph changed since the previous use.
+    fn reset_for(&mut self, graph: &DecodingGraph) {
+        let n = graph.num_nodes();
+        let m = graph.edges().len();
+        self.is_event.clear();
+        self.is_event.resize(n, false);
+        self.in_cluster.clear();
+        self.in_cluster.resize(n, false);
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.odd.clear();
+        self.odd.resize(n, false);
+        self.touches_boundary.clear();
+        self.touches_boundary.resize(n, false);
+        self.visited.clear();
+        self.visited.resize(n, false);
+        self.parent_edge.clear();
+        self.parent_edge.resize(n, None);
+        self.order.clear();
+        // Adjacency lists keep their inner allocations; only shrink the
+        // outer vec if the graph shrank.
+        for a in &mut self.adj {
+            a.clear();
         }
+        self.adj.resize(n, Vec::new());
+        self.queue.clear();
+        self.support.clear();
+        self.support.resize(m, 0);
+        self.delta.clear();
+        self.delta.resize(m, 0);
+        self.edge_stamp.clear();
+        self.edge_stamp.resize(m, usize::MAX);
+        self.erased.clear();
+        self.active_members.clear();
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -82,99 +144,96 @@ impl Dsu {
             self.rank[big] += 1;
         }
         self.odd[big] ^= self.odd[small];
-        self.boundary[big] |= self.boundary[small];
+        self.touches_boundary[big] |= self.touches_boundary[small];
     }
 
     /// A cluster is *active* (must keep growing) when it holds odd parity
     /// and does not touch the boundary.
     fn is_active_root(&self, root: usize) -> bool {
-        self.odd[root] && !self.boundary[root]
+        self.odd[root] && !self.touches_boundary[root]
     }
 }
 
-impl Decoder for UnionFindDecoder {
-    fn decode(&self, graph: &DecodingGraph, events: &[NodeId]) -> Correction {
+impl UnionFindDecoder {
+    /// Decodes using caller-provided working memory. Identical output to
+    /// [`Decoder::decode`]; use this (or [`Decoder::decode_many`]) when
+    /// decoding many shots against the same graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` contains the boundary node.
+    pub fn decode_with(
+        &self,
+        graph: &DecodingGraph,
+        events: &[NodeId],
+        scratch: &mut UfScratch,
+    ) -> Correction {
         if events.is_empty() {
             return Correction::default();
         }
         let n = graph.num_nodes();
         let boundary = graph.boundary();
-        let mut is_event = vec![false; n];
+        scratch.reset_for(graph);
         for &e in events {
             assert!(!graph.is_boundary(e), "boundary node cannot be an event");
-            is_event[e] = true;
+            scratch.is_event[e] = true;
+            scratch.odd[e] = true;
+            scratch.in_cluster[e] = true;
         }
 
         // --- Growth stage -------------------------------------------------
-        let mut dsu = Dsu::new(n, &is_event);
-        // support[e] ∈ {0, 1, 2}: number of half-steps grown on edge e.
-        let mut support = vec![0u8; graph.edges().len()];
-        // Node membership in a growing cluster (false = untouched so far).
-        let mut in_cluster = vec![false; n];
-        for &e in events {
-            in_cluster[e] = true;
-        }
-
-        // Scratch vectors reused across growth rounds: per-edge growth
-        // increment this round, and a stamp marking edges already counted
-        // for the current cluster (an edge grows once per incident *active
-        // cluster*, so an edge between two active clusters gains two halves
-        // per round and completes before cluster-to-boundary edges do —
-        // this is what makes union-find respect error homology).
-        let mut delta = vec![0u8; graph.edges().len()];
-        let mut edge_stamp = vec![usize::MAX; graph.edges().len()];
         loop {
-            // Group member nodes by active cluster root. (The index is
-            // the node id itself, so a range loop is the clear form.)
-            // BTreeMap, not HashMap: the growth loop below iterates this
-            // map, and edge supports saturate at 2 — so the *order*
+            // Collect member nodes of active clusters as (root, node)
+            // pairs and sort them. The sort is what makes the matching
+            // deterministic: the growth loop below iterates cluster by
+            // cluster, and edge supports saturate at 2 — so the *order*
             // clusters claim shared edges decides which chains complete
-            // first. A hashed map would make the matching depend on the
-            // process's RandomState; root order must be the node order.
-            let mut members_of_active: std::collections::BTreeMap<usize, Vec<NodeId>> =
-                std::collections::BTreeMap::new();
-            #[allow(clippy::needless_range_loop)]
+            // first. Sorted (root, node) order equals the old ordered-map
+            // iteration (roots ascending, members in node order) without
+            // allocating a map per round.
+            scratch.active_members.clear();
             for node in 0..n {
-                if node == boundary || !in_cluster[node] {
+                if node == boundary || !scratch.in_cluster[node] {
                     continue;
                 }
-                let root = dsu.find(node);
-                if dsu.is_active_root(root) {
-                    members_of_active.entry(root).or_default().push(node);
+                let root = scratch.find(node);
+                if scratch.is_active_root(root) {
+                    scratch.active_members.push((root, node));
                 }
             }
-            if members_of_active.is_empty() {
+            if scratch.active_members.is_empty() {
                 break;
             }
-            delta.iter_mut().for_each(|d| *d = 0);
-            for (&root, members) in &members_of_active {
-                for &node in members {
-                    for &e in graph.incident(node) {
-                        if support[e] < 2 && edge_stamp[e] != root {
-                            edge_stamp[e] = root;
-                            delta[e] += 1;
-                        }
+            scratch.active_members.sort_unstable();
+            scratch.delta.iter_mut().for_each(|d| *d = 0);
+            for i in 0..scratch.active_members.len() {
+                let (root, node) = scratch.active_members[i];
+                for &e in graph.incident(node) {
+                    if scratch.support[e] < 2 && scratch.edge_stamp[e] != root {
+                        scratch.edge_stamp[e] = root;
+                        scratch.delta[e] += 1;
                     }
                 }
             }
-            edge_stamp.iter_mut().for_each(|s| *s = usize::MAX);
-            for (e, &d) in delta.iter().enumerate() {
+            scratch.edge_stamp.iter_mut().for_each(|s| *s = usize::MAX);
+            for e in 0..scratch.delta.len() {
+                let d = scratch.delta[e];
                 if d == 0 {
                     continue;
                 }
-                support[e] = (support[e] + d).min(2);
-                if support[e] == 2 {
+                scratch.support[e] = (scratch.support[e] + d).min(2);
+                if scratch.support[e] == 2 {
                     let edge = &graph.edges()[e];
                     let (a, b) = (edge.a, edge.b);
                     if a == boundary || b == boundary {
                         let inner = if a == boundary { b } else { a };
-                        in_cluster[inner] = true;
-                        let root = dsu.find(inner);
-                        dsu.boundary[root] = true;
+                        scratch.in_cluster[inner] = true;
+                        let root = scratch.find(inner);
+                        scratch.touches_boundary[root] = true;
                     } else {
-                        in_cluster[a] = true;
-                        in_cluster[b] = true;
-                        dsu.union(a, b);
+                        scratch.in_cluster[a] = true;
+                        scratch.in_cluster[b] = true;
+                        scratch.union(a, b);
                     }
                 }
             }
@@ -184,43 +243,23 @@ impl Decoder for UnionFindDecoder {
         // Erasure = fully grown edges. Build a spanning forest with BFS,
         // seeding from the boundary first so boundary-touching trees are
         // rooted at the boundary (which absorbs leftover parity).
-        let erased: Vec<EdgeId> = (0..graph.edges().len())
-            .filter(|&e| support[e] == 2)
-            .collect();
-        let mut visited = vec![false; n];
-        let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
-        let mut order: Vec<NodeId> = Vec::new(); // BFS order, roots first
-        let mut adj: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
-        for &e in &erased {
-            let edge = &graph.edges()[e];
-            adj[edge.a].push(e);
-            adj[edge.b].push(e);
-        }
-        let bfs = |start: NodeId,
-                   visited: &mut Vec<bool>,
-                   parent_edge: &mut Vec<Option<EdgeId>>,
-                   order: &mut Vec<NodeId>| {
-            let mut q = VecDeque::new();
-            visited[start] = true;
-            q.push_back(start);
-            while let Some(u) = q.pop_front() {
-                order.push(u);
-                for &e in &adj[u] {
-                    let v = graph.other_end(e, u);
-                    if !visited[v] {
-                        visited[v] = true;
-                        parent_edge[v] = Some(e);
-                        q.push_back(v);
-                    }
-                }
+        for e in 0..scratch.support.len() {
+            if scratch.support[e] == 2 {
+                scratch.erased.push(e);
             }
-        };
-        if !adj[boundary].is_empty() {
-            bfs(boundary, &mut visited, &mut parent_edge, &mut order);
+        }
+        for i in 0..scratch.erased.len() {
+            let e = scratch.erased[i];
+            let edge = &graph.edges()[e];
+            scratch.adj[edge.a].push(e);
+            scratch.adj[edge.b].push(e);
+        }
+        if !scratch.adj[boundary].is_empty() {
+            Self::bfs(graph, scratch, boundary);
         }
         for node in 0..n {
-            if !visited[node] && !adj[node].is_empty() {
-                bfs(node, &mut visited, &mut parent_edge, &mut order);
+            if !scratch.visited[node] && !scratch.adj[node].is_empty() {
+                Self::bfs(graph, scratch, node);
             }
         }
 
@@ -228,26 +267,57 @@ impl Decoder for UnionFindDecoder {
         // (except roots) has a parent edge. If the node still carries an
         // event, the parent edge joins the correction and the event moves to
         // the parent.
-        let mut pending = is_event;
         let mut correction_edges = Vec::new();
-        for &node in order.iter().rev() {
-            if let Some(pe) = parent_edge[node] {
-                if pending[node] {
-                    pending[node] = false;
+        for i in (0..scratch.order.len()).rev() {
+            let node = scratch.order[i];
+            if let Some(pe) = scratch.parent_edge[node] {
+                if scratch.is_event[node] {
+                    scratch.is_event[node] = false;
                     let parent = graph.other_end(pe, node);
                     if parent != boundary {
-                        pending[parent] = !pending[parent];
+                        scratch.is_event[parent] = !scratch.is_event[parent];
                     }
                     correction_edges.push(pe);
                 }
             }
         }
         debug_assert!(
-            pending.iter().all(|&p| !p),
+            scratch.is_event.iter().all(|&p| !p),
             "union-find left unpaired events: growth stage incomplete"
         );
 
         Correction::from_edges(graph, correction_edges)
+    }
+
+    fn bfs(graph: &DecodingGraph, scratch: &mut UfScratch, start: NodeId) {
+        scratch.visited[start] = true;
+        scratch.queue.push_back(start);
+        while let Some(u) = scratch.queue.pop_front() {
+            scratch.order.push(u);
+            for i in 0..scratch.adj[u].len() {
+                let e = scratch.adj[u][i];
+                let v = graph.other_end(e, u);
+                if !scratch.visited[v] {
+                    scratch.visited[v] = true;
+                    scratch.parent_edge[v] = Some(e);
+                    scratch.queue.push_back(v);
+                }
+            }
+        }
+    }
+}
+
+impl Decoder for UnionFindDecoder {
+    fn decode(&self, graph: &DecodingGraph, events: &[NodeId]) -> Correction {
+        self.decode_with(graph, events, &mut UfScratch::new())
+    }
+
+    fn decode_many(&self, graph: &DecodingGraph, event_sets: &[Vec<NodeId>]) -> Vec<Correction> {
+        let mut scratch = UfScratch::new();
+        event_sets
+            .iter()
+            .map(|ev| self.decode_with(graph, ev, &mut scratch))
+            .collect()
     }
 }
 
@@ -326,12 +396,11 @@ mod tests {
 
     #[test]
     fn decode_is_deterministic_across_runs_and_threads() {
-        // Regression test for the growth-stage grouping map: with a
-        // HashMap, cluster processing order followed the per-process (and
-        // per-thread) RandomState, so two decodes of the same syndrome
-        // could pick different valid matchings. The grouping map is now
-        // ordered; the matching must be bit-identical however often and
-        // wherever it is computed.
+        // Regression test for the growth-stage grouping: cluster processing
+        // order must be the deterministic (root, node) order, never a
+        // hashed-map order that follows the per-process RandomState. The
+        // matching must be bit-identical however often and wherever it is
+        // computed.
         let mut rng = StdRng::seed_from_u64(2024);
         let lat = RotatedLattice::new(5);
         let g = DecodingGraph::new(&lat, StabKind::Z, 4);
@@ -358,6 +427,45 @@ mod tests {
             .join()
             .expect("decode thread must not panic");
         assert_eq!(first, third, "cross-thread decode must be reproducible");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_decodes() {
+        // decode_many (one reused workspace) must be bit-identical to
+        // per-shot decode (fresh workspace each time), including when the
+        // reused scratch has seen larger event sets first.
+        let mut rng = StdRng::seed_from_u64(77);
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 5);
+        let all_nodes: Vec<NodeId> = (0..g.boundary()).collect();
+        let mut event_sets: Vec<Vec<NodeId>> = (0..30)
+            .map(|i| {
+                let k = [12usize, 6, 1, 0, 8, 3][i % 6];
+                all_nodes.choose_multiple(&mut rng, k).copied().collect()
+            })
+            .collect();
+        event_sets.push(Vec::new());
+        let uf = UnionFindDecoder::new();
+        let batch = uf.decode_many(&g, &event_sets);
+        let fresh: Vec<Correction> = event_sets.iter().map(|ev| uf.decode(&g, ev)).collect();
+        assert_eq!(batch, fresh);
+    }
+
+    #[test]
+    fn scratch_survives_graph_size_changes() {
+        // One workspace used across graphs of different sizes must resize
+        // correctly in both directions.
+        let uf = UnionFindDecoder::new();
+        let mut scratch = UfScratch::new();
+        for rounds in [4usize, 1, 3] {
+            let lat = RotatedLattice::new(5);
+            let g = DecodingGraph::new(&lat, StabKind::Z, rounds);
+            let events = [g.node(0, 2)];
+            let with_scratch = uf.decode_with(&g, &events, &mut scratch);
+            let fresh = uf.decode(&g, &events);
+            assert_eq!(with_scratch, fresh, "rounds = {rounds}");
+            assert!(correction_explains_events(&g, &with_scratch, &events));
+        }
     }
 
     #[test]

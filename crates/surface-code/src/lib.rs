@@ -32,15 +32,18 @@ pub mod designs;
 pub mod graph;
 pub mod lattice;
 pub mod memory;
+pub mod sampler;
 pub mod schedule;
 pub mod threshold;
 
 pub use decoder::{
-    Correction, Decoder, ExactMatchingDecoder, LutDecoder, TableDecoder, UnionFindDecoder,
+    Correction, Decoder, ExactMatchingDecoder, LutDecoder, TableDecoder, UfScratch,
+    UnionFindDecoder,
 };
 pub use designs::SyndromeDesign;
 pub use graph::{DecodingEdge, DecodingGraph, EdgeId, Fault, NodeId};
 pub use lattice::{Plaquette, RotatedLattice, StabKind};
 pub use memory::{MemoryBasis, MemoryExperiment, MemoryNoise, MemoryOutcome};
+pub use sampler::{BatchOutcome, FrameSampler};
 pub use schedule::{SyndromeCircuit, SyndromeRound};
 pub use threshold::{ThresholdPoint, ThresholdSweep};

@@ -8,10 +8,11 @@
 //! whole QuEST architecture exists to sustain.
 
 use crate::decoder::Decoder;
-use crate::graph::DecodingGraph;
+use crate::graph::{DecodingGraph, NodeId};
 use crate::lattice::{RotatedLattice, StabKind};
+use crate::sampler::{BatchOutcome, FrameSampler};
 use crate::schedule::SyndromeCircuit;
-use quest_stabilizer::{NoiseChannel, PauliChannel, Tableau};
+use quest_stabilizer::{NoiseChannel, Pauli, PauliChannel, Tableau};
 use rand::Rng;
 
 /// Which logical basis state the experiment protects.
@@ -140,6 +141,16 @@ impl MemoryExperiment {
         self.rounds
     }
 
+    /// The protected logical basis.
+    pub fn basis(&self) -> MemoryBasis {
+        self.basis
+    }
+
+    /// The compiled per-round syndrome-extraction circuit.
+    pub fn syndrome_circuit(&self) -> &SyndromeCircuit {
+        &self.circuit
+    }
+
     /// The decoding graph this experiment decodes over (`rounds + 1`
     /// detection rounds: the noisy rounds plus the final perfect readout).
     pub fn decoding_graph(&self) -> DecodingGraph {
@@ -172,10 +183,39 @@ impl MemoryExperiment {
         decoder: &D,
         rng: &mut R,
     ) -> MemoryOutcome {
+        let mut t = Tableau::new(self.lattice.num_qubits());
+        let mut records = Vec::new();
+        self.run_core(
+            &mut t,
+            &mut records,
+            noise,
+            inject,
+            decoder,
+            &self.decoding_graph(),
+            rng,
+        )
+    }
+
+    /// One shot against caller-provided scratch: `t` must hold `|0…0⟩`
+    /// (fresh or [`Tableau::reset_all`]), `records` is reused round
+    /// storage, `graph` the experiment's decoding graph. This is the body
+    /// of [`MemoryExperiment::run_with_injection`], split out so the
+    /// multi-shot loops reuse one tableau, one graph and one record buffer
+    /// across shots instead of reallocating them per shot.
+    #[allow(clippy::too_many_arguments)]
+    fn run_core<D: Decoder, R: Rng + ?Sized>(
+        &self,
+        t: &mut Tableau,
+        records: &mut Vec<Vec<bool>>,
+        noise: &MemoryNoise,
+        inject: Option<&quest_stabilizer::PauliString>,
+        decoder: &D,
+        graph: &DecodingGraph,
+        rng: &mut R,
+    ) -> MemoryOutcome {
         let lat = &self.lattice;
         let kind = self.basis.check_kind();
         let num_data = lat.num_data();
-        let mut t = Tableau::new(lat.num_qubits());
 
         // Logical state preparation. |0…0⟩ is logical |0⟩; transversal H
         // does not map the rotated code onto itself, so prepare |+…+⟩ for
@@ -191,23 +231,24 @@ impl MemoryExperiment {
             t.pauli_string(p);
         }
 
-        // Noisy syndrome rounds.
-        let mut records: Vec<Vec<bool>> = Vec::with_capacity(self.rounds);
-        for _ in 0..self.rounds {
+        // Noisy syndrome rounds. The outer record buffer (and each round's
+        // inner vector) is reused across shots.
+        records.resize(self.rounds, Vec::new());
+        for round in records.iter_mut() {
             // Data noise layer.
             for q in 0..num_data {
                 let e = noise.data.sample(rng);
                 t.pauli(q, e);
             }
-            let syn = self.circuit.run_round(&mut t, rng);
-            let mut bits = syn.of(kind).to_vec();
+            let syn = self.circuit.run_round(t, rng);
+            round.clear();
+            round.extend_from_slice(syn.of(kind));
             // Classical measurement flips.
-            for b in &mut bits {
+            for b in round.iter_mut() {
                 if noise.measurement_flip > 0.0 && rng.gen::<f64>() < noise.measurement_flip {
                     *b = !*b;
                 }
             }
-            records.push(bits);
         }
 
         // Final perfect readout of all data qubits in the memory basis.
@@ -223,28 +264,22 @@ impl MemoryExperiment {
             .map(|p| p.data.iter().fold(false, |acc, &q| acc ^ data_bits[q]))
             .collect();
 
-        self.decode_and_judge(
-            &records,
-            &final_checks,
-            data_bits,
-            decoder,
-            &self.decoding_graph(),
-        )
+        self.decode_and_judge(records, &final_checks, data_bits, decoder, graph)
     }
 
     /// Shared back half of every shot: difference the syndrome records
     /// into detection events (all-zero reference), decode over `graph`,
     /// apply the correction to the transversal readout, and judge the
     /// logical observable.
-    fn decode_and_judge<D: Decoder>(
+    /// Differences syndrome records against the all-zero reference into
+    /// detection-event nodes, in ascending `(round, check)` order — the
+    /// same order the frame sampler emits.
+    fn events_from_records(
         &self,
         records: &[Vec<bool>],
         final_checks: &[bool],
-        data_bits: Vec<bool>,
-        decoder: &D,
         graph: &DecodingGraph,
-    ) -> MemoryOutcome {
-        let lat = &self.lattice;
+    ) -> Vec<NodeId> {
         let num_checks = graph.num_checks();
         debug_assert_eq!(num_checks, records[0].len());
         let mut events = Vec::new();
@@ -265,6 +300,19 @@ impl MemoryExperiment {
                 events.push(graph.node(self.rounds, c));
             }
         }
+        events
+    }
+
+    fn decode_and_judge<D: Decoder>(
+        &self,
+        records: &[Vec<bool>],
+        final_checks: &[bool],
+        data_bits: Vec<bool>,
+        decoder: &D,
+        graph: &DecodingGraph,
+    ) -> MemoryOutcome {
+        let lat = &self.lattice;
+        let events = self.events_from_records(records, final_checks, graph);
 
         // Decode and apply the correction to the classical readout.
         let correction = decoder.decode(graph, &events);
@@ -336,6 +384,10 @@ impl MemoryExperiment {
     }
 
     /// Logical error rate over `shots` runs.
+    ///
+    /// One tableau, one decoding graph and one record buffer are shared
+    /// across all shots ([`Tableau::reset_all`] between shots) — the
+    /// per-shot cost is simulation and decoding, not allocation.
     pub fn logical_error_rate<D: Decoder, R: Rng + ?Sized>(
         &self,
         noise: &MemoryNoise,
@@ -343,10 +395,128 @@ impl MemoryExperiment {
         shots: usize,
         rng: &mut R,
     ) -> f64 {
-        let failures = (0..shots)
-            .filter(|_| self.run(noise, decoder, rng).logical_error)
-            .count();
+        let graph = self.decoding_graph();
+        let mut t = Tableau::new(self.lattice.num_qubits());
+        let mut records: Vec<Vec<bool>> = Vec::new();
+        let mut failures = 0usize;
+        for shot in 0..shots {
+            if shot > 0 {
+                t.reset_all();
+            }
+            let out = self.run_core(&mut t, &mut records, noise, None, decoder, &graph, rng);
+            if out.logical_error {
+                failures += 1;
+            }
+        }
         failures as f64 / shots as f64
+    }
+
+    /// Runs `shots` shots through the bit-parallel Pauli-frame fast path
+    /// (see [`FrameSampler`]): the syndrome circuit is compiled once, 64
+    /// shots propagate per machine word, and only the decoder runs
+    /// per-shot. Statistically identical to looping [`MemoryExperiment::run`]
+    /// — and *bit-identical* in its detection events for any fixed error
+    /// pattern (see the frame-equivalence tests) — but orders of magnitude
+    /// faster. Deterministic in `seed` alone.
+    pub fn run_batch<D: Decoder>(
+        &self,
+        noise: &MemoryNoise,
+        decoder: &D,
+        shots: usize,
+        seed: u64,
+    ) -> BatchOutcome {
+        FrameSampler::new(self).run_batch(noise, decoder, shots, seed)
+    }
+
+    /// Logical error rate over `shots` frame-sampled shots (the batch
+    /// counterpart of [`MemoryExperiment::logical_error_rate`]).
+    pub fn logical_error_rate_batch<D: Decoder>(
+        &self,
+        noise: &MemoryNoise,
+        decoder: &D,
+        shots: usize,
+        seed: u64,
+    ) -> f64 {
+        self.run_batch(noise, decoder, shots, seed)
+            .logical_error_rate()
+    }
+
+    /// Runs one shot on the tableau path with an **explicit** fault
+    /// pattern — `errors_per_round[t][q]` is XORed onto data qubit `q`
+    /// before round `t`, and `meas_flips_per_round[t][c]` flips monitored
+    /// check `c`'s record in round `t` — and returns the raw detection
+    /// events plus the uncorrected logical readout parity. This is the
+    /// ground-truth side of the frame-equivalence tests: for the same
+    /// fault pattern, [`FrameSampler::faulted_shot_events`] must return
+    /// bit-for-bit identical output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault pattern's shape does not match
+    /// (`rounds` × `num_data` errors, `rounds` × `num_checks` flips).
+    pub fn faulted_shot_events<R: Rng + ?Sized>(
+        &self,
+        errors_per_round: &[Vec<Pauli>],
+        meas_flips_per_round: &[Vec<bool>],
+        rng: &mut R,
+    ) -> (Vec<NodeId>, bool) {
+        let lat = &self.lattice;
+        let kind = self.basis.check_kind();
+        let num_data = lat.num_data();
+        assert_eq!(
+            errors_per_round.len(),
+            self.rounds,
+            "one error layer per round"
+        );
+        assert_eq!(
+            meas_flips_per_round.len(),
+            self.rounds,
+            "one flip layer per round"
+        );
+
+        let mut t = Tableau::new(lat.num_qubits());
+        if self.basis == MemoryBasis::X {
+            for q in 0..num_data {
+                t.h(q);
+            }
+        }
+        let mut records: Vec<Vec<bool>> = Vec::with_capacity(self.rounds);
+        for (errors, flips) in errors_per_round.iter().zip(meas_flips_per_round) {
+            assert_eq!(errors.len(), num_data, "one Pauli per data qubit");
+            for (q, &e) in errors.iter().enumerate() {
+                t.pauli(q, e);
+            }
+            let syn = self.circuit.run_round(&mut t, rng);
+            let mut bits = syn.of(kind).to_vec();
+            assert_eq!(flips.len(), bits.len(), "one flip bit per check");
+            for (b, &f) in bits.iter_mut().zip(flips) {
+                *b ^= f;
+            }
+            records.push(bits);
+        }
+
+        let data_bits: Vec<bool> = (0..num_data)
+            .map(|q| match self.basis {
+                MemoryBasis::Z => t.measure(q, rng).value,
+                MemoryBasis::X => t.measure_x(q, rng).value,
+            })
+            .collect();
+        let final_checks: Vec<bool> = lat
+            .plaquettes_of(kind)
+            .map(|p| p.data.iter().fold(false, |acc, &q| acc ^ data_bits[q]))
+            .collect();
+
+        let graph = self.decoding_graph();
+        let events = self.events_from_records(&records, &final_checks, &graph);
+        let logical_parity = match self.basis {
+            MemoryBasis::Z => (0..lat.distance())
+                .map(|col| data_bits[lat.data_index(0, col)])
+                .fold(false, |acc, b| acc ^ b),
+            MemoryBasis::X => (0..lat.distance())
+                .map(|row| data_bits[lat.data_index(row, 0)])
+                .fold(false, |acc, b| acc ^ b),
+        };
+        (events, logical_parity)
     }
 }
 

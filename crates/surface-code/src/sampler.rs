@@ -1,0 +1,566 @@
+//! Frame-based batched sampling of memory experiments.
+//!
+//! [`FrameSampler`] is the fast path behind
+//! [`MemoryExperiment::run_batch`]: instead of re-running the O(n²)
+//! tableau once per shot, it compiles the syndrome circuit once, derives
+//! the noiseless reference record from a single tableau run, then
+//! propagates bit-packed Pauli frames (64 shots per word, see
+//! [`quest_stabilizer::frame`]) through the circuit. Per shot, only the
+//! decoder runs.
+//!
+//! # Why this is exact
+//!
+//! Both memory bases prepare a state whose *monitored* check record is
+//! deterministically zero in the noiseless reference (`|0…0⟩` satisfies
+//! every Z check; `|+…+⟩` every X check), and the final readout enters
+//! the decoder only through check/logical *parities*, which are likewise
+//! deterministic. Pauli frames predict flips of deterministic-in-reference
+//! observables exactly, so the frame path's detection events and logical
+//! flip are bit-for-bit those of a tableau run with the same physical
+//! fault pattern — the property the `frame_equivalence` integration tests
+//! pin down. (Random *unmonitored* measurements — the other-kind checks
+//! of round 1 — perturb the effective frame only by operators of the
+//! prepared state's stabilizer group, which carry no monitored-flip
+//! component.) The constructor re-derives the reference from one tableau
+//! run and asserts it is all-zero rather than assuming it.
+//!
+//! # Determinism
+//!
+//! All randomness comes from one `StdRng` per 64-shot word, seeded from
+//! `(seed, global word index)` via [`quest_stabilizer::frame::block_seed`].
+//! Each word consumes a fixed draw schedule (per round: data-channel draws
+//! in qubit order, then measurement-flip draws in check order), so results
+//! are invariant under the internal chunk size and under any distribution
+//! of chunks over threads — `run_batch` is a pure function of
+//! `(experiment, noise, decoder, shots, seed)`.
+
+use crate::decoder::Decoder;
+use crate::graph::{DecodingGraph, NodeId};
+use crate::memory::{MemoryBasis, MemoryExperiment, MemoryNoise};
+use quest_stabilizer::frame::{BlockRngs, FrameSimulator, SHOTS_PER_WORD};
+use quest_stabilizer::{Gate, Pauli, SeedableRng, StdRng, Tableau};
+
+/// Default shots per internal chunk (64 words): bounds plane memory while
+/// keeping word-level parallelism saturated.
+const DEFAULT_CHUNK_SHOTS: usize = 4096;
+
+/// Aggregate result of a batched memory run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Shots simulated.
+    pub shots: usize,
+    /// Shots whose decoded logical observable was flipped.
+    pub failures: usize,
+    /// Total detection events over all shots.
+    pub detection_events: usize,
+    /// Total data-qubit flips applied by the decoder over all shots.
+    pub correction_weight: usize,
+}
+
+impl BatchOutcome {
+    /// Fraction of failed shots.
+    pub fn logical_error_rate(&self) -> f64 {
+        self.failures as f64 / self.shots as f64
+    }
+}
+
+/// A memory experiment compiled for bit-parallel frame sampling.
+///
+/// # Example
+///
+/// ```
+/// use quest_surface::{FrameSampler, MemoryBasis, MemoryExperiment, MemoryNoise, UnionFindDecoder};
+///
+/// let exp = MemoryExperiment::new(3, 3, MemoryBasis::Z);
+/// let sampler = FrameSampler::new(&exp);
+/// let out = sampler.run_batch(
+///     &MemoryNoise::code_capacity(1e-2),
+///     &UnionFindDecoder::new(),
+///     1024,
+///     7,
+/// );
+/// assert_eq!(out.shots, 1024);
+/// assert!(out.logical_error_rate() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameSampler {
+    /// The compiled per-round gate sequence.
+    round_gates: Vec<Gate>,
+    /// Space-time decoding graph (`rounds + 1` detection rounds).
+    graph: DecodingGraph,
+    /// For monitored check `c`: its index into the per-round measurement
+    /// planes (ancilla measurements come out in plaquette order).
+    monitored_slots: Vec<usize>,
+    /// Data support of monitored check `c` (for final readout parities).
+    check_support: Vec<Vec<usize>>,
+    /// Data support of the judged logical operator.
+    logical_support: Vec<usize>,
+    num_data: usize,
+    num_qubits: usize,
+    num_checks: usize,
+    rounds: usize,
+    basis: MemoryBasis,
+}
+
+impl FrameSampler {
+    /// Compiles `exp` for frame sampling and verifies, via one noiseless
+    /// tableau run, that the monitored reference record is all-zero (the
+    /// precondition for frame flips *being* the record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference-record derivation fails — that would mean
+    /// the experiment's preparation does not satisfy its monitored checks
+    /// deterministically, and frame sampling would be silently wrong.
+    pub fn new(exp: &MemoryExperiment) -> FrameSampler {
+        let lat = exp.lattice();
+        let basis = exp.basis();
+        let kind = basis.check_kind();
+        let rounds = exp.rounds();
+        let circuit = exp.syndrome_circuit();
+
+        let monitored_slots: Vec<usize> = lat
+            .plaquettes()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.kind == kind)
+            .map(|(slot, _)| slot)
+            .collect();
+        let check_support: Vec<Vec<usize>> =
+            lat.plaquettes_of(kind).map(|p| p.data.clone()).collect();
+        let logical_support: Vec<usize> = match basis {
+            MemoryBasis::Z => (0..lat.distance())
+                .map(|col| lat.data_index(0, col))
+                .collect(),
+            MemoryBasis::X => (0..lat.distance())
+                .map(|row| lat.data_index(row, 0))
+                .collect(),
+        };
+
+        let sampler = FrameSampler {
+            round_gates: circuit.round_circuit().iter().copied().collect(),
+            graph: exp.decoding_graph(),
+            monitored_slots,
+            check_support,
+            logical_support,
+            num_data: lat.num_data(),
+            num_qubits: lat.num_qubits(),
+            num_checks: lat.plaquettes_of(kind).count(),
+            rounds,
+            basis,
+        };
+        sampler.verify_reference(exp);
+        sampler
+    }
+
+    /// One noiseless tableau run asserting the all-zero reference record:
+    /// every monitored check must read 0 in every round, and the final
+    /// check/logical readout parities must be 0.
+    fn verify_reference(&self, exp: &MemoryExperiment) {
+        // The seed only steers which branch unmonitored (other-kind)
+        // measurements collapse into; monitored outcomes are deterministic.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t = Tableau::new(self.num_qubits);
+        if self.basis == MemoryBasis::X {
+            for q in 0..self.num_data {
+                t.h(q);
+            }
+        }
+        let kind = self.basis.check_kind();
+        for round in 0..self.rounds {
+            let syn = exp.syndrome_circuit().run_round(&mut t, &mut rng);
+            assert!(
+                syn.of(kind).iter().all(|&b| !b),
+                "monitored reference record must be zero (round {round})"
+            );
+        }
+        let data_bits: Vec<bool> = (0..self.num_data)
+            .map(|q| match self.basis {
+                MemoryBasis::Z => t.measure(q, &mut rng).value,
+                MemoryBasis::X => t.measure_x(q, &mut rng).value,
+            })
+            .collect();
+        for (c, support) in self.check_support.iter().enumerate() {
+            let parity = support.iter().fold(false, |acc, &q| acc ^ data_bits[q]);
+            assert!(!parity, "reference final check {c} must have even parity");
+        }
+        let logical = self
+            .logical_support
+            .iter()
+            .fold(false, |acc, &q| acc ^ data_bits[q]);
+        assert!(!logical, "reference logical readout must have even parity");
+    }
+
+    /// The decoding graph shots are decoded over.
+    pub fn graph(&self) -> &DecodingGraph {
+        &self.graph
+    }
+
+    /// Whether readout flips live in the X or Z frame plane: a Z-basis
+    /// readout is flipped by the frame's X component and vice versa.
+    fn readout_plane<'a>(&self, sim: &'a FrameSimulator, q: usize) -> &'a [u64] {
+        match self.basis {
+            MemoryBasis::Z => sim.x_plane(q),
+            MemoryBasis::X => sim.z_plane(q),
+        }
+    }
+
+    /// Runs `shots` shots. Equivalent to
+    /// [`FrameSampler::run_batch_chunked`] with the default chunk size —
+    /// the result is independent of chunking by construction.
+    pub fn run_batch<D: Decoder>(
+        &self,
+        noise: &MemoryNoise,
+        decoder: &D,
+        shots: usize,
+        seed: u64,
+    ) -> BatchOutcome {
+        self.run_batch_chunked(noise, decoder, shots, seed, DEFAULT_CHUNK_SHOTS)
+    }
+
+    /// Runs `shots` shots, processing at most `chunk_shots` per internal
+    /// frame batch. Exposed so the determinism tests can assert chunking
+    /// invariance; callers should prefer [`FrameSampler::run_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots` or `chunk_shots` is zero.
+    pub fn run_batch_chunked<D: Decoder>(
+        &self,
+        noise: &MemoryNoise,
+        decoder: &D,
+        shots: usize,
+        seed: u64,
+        chunk_shots: usize,
+    ) -> BatchOutcome {
+        assert!(shots > 0, "need at least one shot");
+        assert!(chunk_shots > 0, "need a positive chunk size");
+        let total_words = shots.div_ceil(SHOTS_PER_WORD);
+        let chunk_words = chunk_shots.div_ceil(SHOTS_PER_WORD).min(total_words);
+
+        let mut sim = FrameSimulator::new(self.num_qubits, chunk_words * SHOTS_PER_WORD);
+        // Record planes: rec[(t * num_checks + c) * chunk_words + w].
+        let mut rec = vec![0u64; self.rounds * self.num_checks * chunk_words];
+        // Per-measurement-slot planes of the current round.
+        let mut meas: Vec<u64> = Vec::new();
+        // Per-shot sparse events, reused across chunks.
+        let mut event_sets: Vec<Vec<NodeId>> = vec![Vec::new(); chunk_words * SHOTS_PER_WORD];
+        let mut logical_flip = vec![0u64; chunk_words];
+        let mut node_plane = vec![0u64; chunk_words];
+
+        let mut is_logical = vec![false; self.num_data];
+        for &q in &self.logical_support {
+            is_logical[q] = true;
+        }
+
+        let mut outcome = BatchOutcome {
+            shots,
+            failures: 0,
+            detection_events: 0,
+            correction_weight: 0,
+        };
+
+        let mut base_word = 0usize;
+        while base_word < total_words {
+            let words = chunk_words.min(total_words - base_word);
+            let mut rngs = BlockRngs::new(seed, base_word as u64, words);
+            self.simulate_chunk(noise, &mut sim, &mut rngs, words, &mut rec, &mut meas);
+
+            // Shots beyond `shots` in the trailing word are dead lanes.
+            let live_shots = (shots - base_word * SHOTS_PER_WORD).min(words * SHOTS_PER_WORD);
+            self.extract_events(
+                &sim,
+                &rec,
+                words,
+                live_shots,
+                &mut event_sets,
+                &mut logical_flip,
+                &mut node_plane,
+            );
+
+            let corrections = decoder.decode_many(&self.graph, &event_sets[..live_shots]);
+            for (shot, (events, correction)) in event_sets[..live_shots]
+                .iter()
+                .zip(&corrections)
+                .enumerate()
+            {
+                outcome.detection_events += events.len();
+                outcome.correction_weight += correction.weight();
+                let mut fail =
+                    logical_flip[shot / SHOTS_PER_WORD] >> (shot % SHOTS_PER_WORD) & 1 == 1;
+                for &q in &correction.data_flips {
+                    if is_logical[q] {
+                        fail = !fail;
+                    }
+                }
+                if fail {
+                    outcome.failures += 1;
+                }
+            }
+            base_word += words;
+        }
+        outcome
+    }
+
+    /// Simulates one chunk of shot-words: noise injection, gate
+    /// propagation and measurement-flip sampling, filling `rec` with the
+    /// monitored record planes.
+    fn simulate_chunk(
+        &self,
+        noise: &MemoryNoise,
+        sim: &mut FrameSimulator,
+        rngs: &mut BlockRngs,
+        words: usize,
+        rec: &mut [u64],
+        meas: &mut Vec<u64>,
+    ) {
+        let sim_words = sim.words();
+        sim.clear();
+        for t_idx in 0..self.rounds {
+            // Fixed draw schedule, part 1: data channel in qubit order.
+            for q in 0..self.num_data {
+                sim.inject_pauli_channel(&noise.data, q, rngs);
+            }
+            meas.clear();
+            for &g in &self.round_gates {
+                sim.apply_gate(g, meas);
+            }
+            // Fixed draw schedule, part 2: measurement flips in check
+            // order. Only the first `words` of each slot plane are live
+            // when the final chunk is short.
+            for c in 0..self.num_checks {
+                let slot = self.monitored_slots[c];
+                let dest = &mut rec[(t_idx * self.num_checks + c) * words..][..words];
+                dest.copy_from_slice(&meas[slot * sim_words..][..words]);
+                FrameSimulator::xor_flip_plane(noise.measurement_flip, rngs, dest);
+            }
+        }
+    }
+
+    /// Derives detection-event planes from the record planes and scatters
+    /// them into per-shot sparse event lists (ascending node order, the
+    /// order [`MemoryExperiment`]'s tableau path produces). Also fills the
+    /// uncorrected logical-flip plane.
+    #[allow(clippy::too_many_arguments)]
+    fn extract_events(
+        &self,
+        sim: &FrameSimulator,
+        rec: &[u64],
+        words: usize,
+        live_shots: usize,
+        event_sets: &mut [Vec<NodeId>],
+        logical_flip: &mut [u64],
+        node_plane: &mut [u64],
+    ) {
+        for ev in &mut event_sets[..live_shots] {
+            ev.clear();
+        }
+        // Mask for the partially-filled trailing word.
+        let tail_bits = live_shots - (live_shots - 1) / SHOTS_PER_WORD * SHOTS_PER_WORD;
+        let tail_mask = if tail_bits == SHOTS_PER_WORD {
+            u64::MAX
+        } else {
+            (1u64 << tail_bits) - 1
+        };
+        let live_words = live_shots.div_ceil(SHOTS_PER_WORD);
+
+        let scatter = |plane: &[u64], node: NodeId, event_sets: &mut [Vec<NodeId>]| {
+            for (w, &word) in plane.iter().enumerate().take(live_words) {
+                let mut bits = word;
+                if w == live_words - 1 {
+                    bits &= tail_mask;
+                }
+                while bits != 0 {
+                    let shot = w * SHOTS_PER_WORD + bits.trailing_zeros() as usize;
+                    event_sets[shot].push(node);
+                    bits &= bits - 1;
+                }
+            }
+        };
+
+        // Temporal differences: round 0 against the all-zero reference,
+        // later rounds against their predecessor.
+        for t_idx in 0..self.rounds {
+            for c in 0..self.num_checks {
+                let cur = &rec[(t_idx * self.num_checks + c) * words..][..words];
+                if t_idx == 0 {
+                    node_plane[..words].copy_from_slice(cur);
+                } else {
+                    let prev = &rec[((t_idx - 1) * self.num_checks + c) * words..][..words];
+                    for w in 0..words {
+                        node_plane[w] = cur[w] ^ prev[w];
+                    }
+                }
+                scatter(&node_plane[..words], self.graph.node(t_idx, c), event_sets);
+            }
+        }
+        // Final round: perfect readout parities against the last record.
+        for c in 0..self.num_checks {
+            let last = &rec[((self.rounds - 1) * self.num_checks + c) * words..][..words];
+            for w in 0..words {
+                let mut parity = 0u64;
+                for &q in &self.check_support[c] {
+                    parity ^= self.readout_plane(sim, q)[w];
+                }
+                node_plane[w] = parity ^ last[w];
+            }
+            scatter(
+                &node_plane[..words],
+                self.graph.node(self.rounds, c),
+                event_sets,
+            );
+        }
+        // Uncorrected logical readout flips.
+        for (w, flip) in logical_flip.iter_mut().enumerate().take(words) {
+            let mut parity = 0u64;
+            for &q in &self.logical_support {
+                parity ^= self.readout_plane(sim, q)[w];
+            }
+            *flip = parity;
+        }
+    }
+
+    /// Frame-path counterpart of
+    /// [`MemoryExperiment::faulted_shot_events`]: propagates one explicit
+    /// fault pattern (`errors_per_round[t][q]` XORed before round `t`,
+    /// `meas_flips_per_round[t][c]` flipping monitored records) and
+    /// returns the detection events plus the uncorrected logical readout
+    /// parity. Consumes no randomness at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault pattern's shape does not match the experiment.
+    pub fn faulted_shot_events(
+        &self,
+        errors_per_round: &[Vec<Pauli>],
+        meas_flips_per_round: &[Vec<bool>],
+    ) -> (Vec<NodeId>, bool) {
+        assert_eq!(
+            errors_per_round.len(),
+            self.rounds,
+            "one error layer per round"
+        );
+        assert_eq!(
+            meas_flips_per_round.len(),
+            self.rounds,
+            "one flip layer per round"
+        );
+        let mut sim = FrameSimulator::new(self.num_qubits, SHOTS_PER_WORD);
+        let words = sim.words();
+        let mut rec = vec![0u64; self.rounds * self.num_checks * words];
+        let mut meas: Vec<u64> = Vec::new();
+        for (t_idx, (errors, flips)) in errors_per_round
+            .iter()
+            .zip(meas_flips_per_round)
+            .enumerate()
+        {
+            assert_eq!(errors.len(), self.num_data, "one Pauli per data qubit");
+            assert_eq!(flips.len(), self.num_checks, "one flip bit per check");
+            for (q, &e) in errors.iter().enumerate() {
+                sim.xor_frame(q, 0, e);
+            }
+            meas.clear();
+            for &g in &self.round_gates {
+                sim.apply_gate(g, &mut meas);
+            }
+            for c in 0..self.num_checks {
+                let slot = self.monitored_slots[c];
+                rec[(t_idx * self.num_checks + c) * words..][..words]
+                    .copy_from_slice(&meas[slot * words..][..words]);
+                if flips[c] {
+                    rec[(t_idx * self.num_checks + c) * words] ^= 1;
+                }
+            }
+        }
+        let mut event_sets: Vec<Vec<NodeId>> = vec![Vec::new(); SHOTS_PER_WORD];
+        let mut logical_flip = vec![0u64; words];
+        let mut node_plane = vec![0u64; words];
+        self.extract_events(
+            &sim,
+            &rec,
+            words,
+            1,
+            &mut event_sets,
+            &mut logical_flip,
+            &mut node_plane,
+        );
+        let events = std::mem::take(&mut event_sets[0]);
+        (events, logical_flip[0] & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::UnionFindDecoder;
+
+    #[test]
+    fn noiseless_batch_never_fails() {
+        for basis in [MemoryBasis::Z, MemoryBasis::X] {
+            let exp = MemoryExperiment::new(3, 3, basis);
+            let out = exp.run_batch(&MemoryNoise::noiseless(), &UnionFindDecoder::new(), 200, 1);
+            assert_eq!(out.shots, 200);
+            assert_eq!(out.failures, 0, "{basis:?}");
+            assert_eq!(out.detection_events, 0);
+            assert_eq!(out.correction_weight, 0);
+        }
+    }
+
+    #[test]
+    fn batch_rate_tracks_legacy_rate() {
+        use quest_stabilizer::{SeedableRng, StdRng};
+        let exp = MemoryExperiment::new(3, 3, MemoryBasis::Z);
+        let noise = MemoryNoise::phenomenological(0.02);
+        let uf = UnionFindDecoder::new();
+        let batch = exp.logical_error_rate_batch(&noise, &uf, 4000, 11);
+        let mut rng = StdRng::seed_from_u64(11);
+        let legacy = exp.logical_error_rate(&noise, &uf, 1000, &mut rng);
+        // Same distribution, independent sampling: compare loosely.
+        assert!(
+            (batch - legacy).abs() < 0.03,
+            "batch {batch} vs legacy {legacy}"
+        );
+    }
+
+    #[test]
+    fn non_word_aligned_shot_counts_are_exact() {
+        // 100 shots = 1 word + 36 live bits of a second word; dead lanes
+        // must not contribute failures or events.
+        let exp = MemoryExperiment::new(3, 2, MemoryBasis::Z);
+        let noise = MemoryNoise::code_capacity(0.05);
+        let uf = UnionFindDecoder::new();
+        let out = exp.run_batch(&noise, &uf, 100, 5);
+        assert_eq!(out.shots, 100);
+        assert!(out.failures <= 100);
+        // The same seed with a word-aligned count shares its first 64
+        // lanes; rates must be in the same ballpark, not wildly off from
+        // lane pollution.
+        let aligned = exp.run_batch(&noise, &uf, 128, 5);
+        assert!(aligned.detection_events > 0);
+    }
+
+    #[test]
+    fn x_basis_batch_detects_z_noise() {
+        let exp = MemoryExperiment::new(3, 2, MemoryBasis::X);
+        let noise = MemoryNoise {
+            data: quest_stabilizer::PauliChannel::phase_flip(0.05),
+            measurement_flip: 0.0,
+        };
+        let out = exp.run_batch(&noise, &UnionFindDecoder::new(), 640, 9);
+        assert!(out.detection_events > 0, "Z errors must trigger X checks");
+    }
+
+    #[test]
+    fn x_basis_batch_ignores_x_noise() {
+        // X errors act trivially on |+…+⟩ memory: no X-check events, no
+        // logical-X flips.
+        let exp = MemoryExperiment::new(3, 2, MemoryBasis::X);
+        let noise = MemoryNoise {
+            data: quest_stabilizer::PauliChannel::bit_flip(0.2),
+            measurement_flip: 0.0,
+        };
+        let out = exp.run_batch(&noise, &UnionFindDecoder::new(), 640, 9);
+        assert_eq!(out.detection_events, 0);
+        assert_eq!(out.failures, 0);
+    }
+}

@@ -9,7 +9,10 @@
 
 use crate::decoder::Decoder;
 use crate::memory::{MemoryBasis, MemoryExperiment, MemoryNoise};
+use quest_stabilizer::frame::block_seed;
 use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One grid point of a threshold sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +59,78 @@ impl ThresholdSweep {
             }
         }
         ThresholdSweep { points }
+    }
+
+    /// Runs a code-capacity sweep on the bit-parallel frame fast path
+    /// (see [`crate::FrameSampler`]), optionally fanning grid points out
+    /// over `workers` OS threads with `std::thread::scope` — no thread
+    /// pool, no extra dependencies, mirroring the runtime's sharding
+    /// style.
+    ///
+    /// Deterministic by construction: every grid point draws from its own
+    /// RNG stream derived from `(seed, canonical point index)`, work is
+    /// claimed from an atomic counter, and results are written into their
+    /// canonical `(distance, p)` slot — so the output is bit-identical
+    /// for any `workers ≥ 1` and equals the single-threaded run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn run_batch<D: Decoder + Sync>(
+        distances: &[usize],
+        error_rates: &[f64],
+        shots: usize,
+        decoder: &D,
+        seed: u64,
+        workers: usize,
+    ) -> ThresholdSweep {
+        assert!(workers > 0, "need at least one worker");
+        // Canonical grid in (distance, p) order; each point gets an
+        // independent master seed from its canonical index.
+        let grid: Vec<(usize, f64)> = distances
+            .iter()
+            .flat_map(|&d| error_rates.iter().map(move |&p| (d, p)))
+            .collect();
+        let run_point = |i: usize| -> ThresholdPoint {
+            let (d, p) = grid[i];
+            let exp = MemoryExperiment::new(d, d, MemoryBasis::Z);
+            let noise = MemoryNoise::code_capacity(p);
+            let rate =
+                exp.logical_error_rate_batch(&noise, decoder, shots, block_seed(seed, i as u64));
+            ThresholdPoint {
+                distance: d,
+                p,
+                logical_rate: rate,
+                shots,
+            }
+        };
+
+        let mut points: Vec<Option<ThresholdPoint>> = vec![None; grid.len()];
+        if workers == 1 {
+            for (i, slot) in points.iter_mut().enumerate() {
+                *slot = Some(run_point(i));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let results = Mutex::new(&mut points);
+            std::thread::scope(|scope| {
+                for _ in 0..workers.min(grid.len()) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= grid.len() {
+                            break;
+                        }
+                        let pt = run_point(i);
+                        if let Ok(mut slots) = results.lock() {
+                            slots[i] = Some(pt);
+                        }
+                    });
+                }
+            });
+        }
+        ThresholdSweep {
+            points: points.into_iter().flatten().collect(),
+        }
     }
 
     /// Points for one distance, ordered by error rate.

@@ -1,0 +1,183 @@
+//! Exactness and determinism of the bit-parallel frame sampler.
+//!
+//! The frame fast path is only admissible because it is *exactly*
+//! equivalent to the tableau path, not an approximation: for any fixed
+//! physical fault pattern (per-round data Paulis + measurement flips),
+//! both paths must produce bit-for-bit identical detection events and the
+//! same uncorrected logical readout parity. These tests pin that down over
+//! randomized fault patterns at d ∈ {3, 5} in both bases, under
+//! code-capacity (data errors only) and phenomenological (data +
+//! measurement-flip) fault shapes — and additionally pin the batch
+//! sampler's determinism: invariance under internal batch size and under
+//! the threshold sweep's worker count.
+
+use quest_stabilizer::{Pauli, Rng, SeedableRng, StdRng};
+use quest_surface::{
+    FrameSampler, MemoryBasis, MemoryExperiment, MemoryNoise, ThresholdSweep, UnionFindDecoder,
+};
+
+/// Draws a random fault pattern: per-round per-data-qubit Paulis (density
+/// `p_err`) and per-round per-check measurement flips (density `p_flip`).
+fn random_faults(
+    exp: &MemoryExperiment,
+    num_checks: usize,
+    p_err: f64,
+    p_flip: f64,
+    rng: &mut StdRng,
+) -> (Vec<Vec<Pauli>>, Vec<Vec<bool>>) {
+    let errors = (0..exp.rounds())
+        .map(|_| {
+            (0..exp.lattice().num_data())
+                .map(|_| {
+                    if rng.gen::<f64>() < p_err {
+                        Pauli::ERRORS[rng.gen_range(0..3)]
+                    } else {
+                        Pauli::I
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let flips = (0..exp.rounds())
+        .map(|_| (0..num_checks).map(|_| rng.gen::<f64>() < p_flip).collect())
+        .collect();
+    (errors, flips)
+}
+
+fn assert_paths_agree(d: usize, basis: MemoryBasis, p_err: f64, p_flip: f64, trials: usize) {
+    let exp = MemoryExperiment::new(d, d, basis);
+    let sampler = FrameSampler::new(&exp);
+    let num_checks = sampler.graph().num_checks();
+    let mut rng = StdRng::seed_from_u64(0xD1CE + d as u64 + (p_flip.to_bits() >> 50));
+    for trial in 0..trials {
+        let (errors, flips) = random_faults(&exp, num_checks, p_err, p_flip, &mut rng);
+        let (frame_events, frame_logical) = sampler.faulted_shot_events(&errors, &flips);
+        let (tab_events, tab_logical) = exp.faulted_shot_events(&errors, &flips, &mut rng);
+        assert_eq!(
+            frame_events, tab_events,
+            "detection events diverged: d={d}, {basis:?}, trial {trial}"
+        );
+        assert_eq!(
+            frame_logical, tab_logical,
+            "logical parity diverged: d={d}, {basis:?}, trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn frame_matches_tableau_code_capacity() {
+    for d in [3usize, 5] {
+        for basis in [MemoryBasis::Z, MemoryBasis::X] {
+            assert_paths_agree(d, basis, 0.08, 0.0, 40);
+        }
+    }
+}
+
+#[test]
+fn frame_matches_tableau_phenomenological() {
+    for d in [3usize, 5] {
+        for basis in [MemoryBasis::Z, MemoryBasis::X] {
+            assert_paths_agree(d, basis, 0.05, 0.05, 40);
+        }
+    }
+}
+
+#[test]
+fn frame_matches_tableau_at_high_error_density() {
+    // Dense faults exercise frame composition across rounds (errors
+    // stacking on the same qubit, Y components, flip cancellation).
+    assert_paths_agree(3, MemoryBasis::Z, 0.35, 0.25, 30);
+    assert_paths_agree(3, MemoryBasis::X, 0.35, 0.25, 30);
+}
+
+#[test]
+fn single_faults_agree_exhaustively() {
+    // Every single-qubit Pauli in every round, and every single
+    // measurement flip, one at a time — the minimal generators of any
+    // fault pattern.
+    for basis in [MemoryBasis::Z, MemoryBasis::X] {
+        let exp = MemoryExperiment::new(3, 3, basis);
+        let sampler = FrameSampler::new(&exp);
+        let num_checks = sampler.graph().num_checks();
+        let num_data = exp.lattice().num_data();
+        let mut rng = StdRng::seed_from_u64(17);
+        for round in 0..exp.rounds() {
+            for q in 0..num_data {
+                for p in Pauli::ERRORS {
+                    let mut errors = vec![vec![Pauli::I; num_data]; exp.rounds()];
+                    errors[round][q] = p;
+                    let flips = vec![vec![false; num_checks]; exp.rounds()];
+                    let (fe, fl) = sampler.faulted_shot_events(&errors, &flips);
+                    let (te, tl) = exp.faulted_shot_events(&errors, &flips, &mut rng);
+                    assert_eq!(fe, te, "{basis:?}: {p} on qubit {q}, round {round}");
+                    assert_eq!(fl, tl, "{basis:?}: {p} on qubit {q}, round {round}");
+                }
+            }
+            for c in 0..num_checks {
+                let errors = vec![vec![Pauli::I; num_data]; exp.rounds()];
+                let mut flips = vec![vec![false; num_checks]; exp.rounds()];
+                flips[round][c] = true;
+                let (fe, fl) = sampler.faulted_shot_events(&errors, &flips);
+                let (te, tl) = exp.faulted_shot_events(&errors, &flips, &mut rng);
+                assert_eq!(fe, te, "{basis:?}: flip on check {c}, round {round}");
+                assert_eq!(fl, tl, "{basis:?}: flip on check {c}, round {round}");
+            }
+        }
+    }
+}
+
+#[test]
+fn run_batch_is_invariant_under_batch_size() {
+    let exp = MemoryExperiment::new(3, 3, MemoryBasis::Z);
+    let sampler = FrameSampler::new(&exp);
+    let noise = MemoryNoise::phenomenological(0.02);
+    let uf = UnionFindDecoder::new();
+    // 1000 shots spans multiple 64-chunks and 256-chunks with a ragged
+    // tail in both splits.
+    let small = sampler.run_batch_chunked(&noise, &uf, 1000, 42, 64);
+    let large = sampler.run_batch_chunked(&noise, &uf, 1000, 42, 256);
+    let whole = sampler.run_batch_chunked(&noise, &uf, 1000, 42, 1000);
+    assert_eq!(small, large, "chunk 64 vs 256 must be bit-identical");
+    assert_eq!(
+        small, whole,
+        "chunked vs single-batch must be bit-identical"
+    );
+    // And a different seed must actually change the sample.
+    let other = sampler.run_batch_chunked(&noise, &uf, 1000, 43, 256);
+    assert_ne!(
+        small.detection_events, other.detection_events,
+        "different seeds should differ"
+    );
+}
+
+#[test]
+fn threshold_run_batch_is_invariant_under_worker_count() {
+    let uf = UnionFindDecoder::new();
+    let distances = [3usize, 5];
+    let rates = [5e-3, 2e-2, 5e-2];
+    let one = ThresholdSweep::run_batch(&distances, &rates, 1500, &uf, 0xBEEF, 1);
+    let four = ThresholdSweep::run_batch(&distances, &rates, 1500, &uf, 0xBEEF, 4);
+    assert_eq!(one, four, "worker count must not change the sweep");
+    assert_eq!(one.points.len(), distances.len() * rates.len());
+    // Canonical (distance, p) order regardless of completion order.
+    for (i, pt) in one.points.iter().enumerate() {
+        assert_eq!(pt.distance, distances[i / rates.len()]);
+        assert_eq!(pt.p, rates[i % rates.len()]);
+    }
+}
+
+#[test]
+fn batch_and_legacy_sample_the_same_distribution() {
+    // Not bit-identical (different RNG streams) but the same physics:
+    // compare logical rates at a point where both are well-resolved.
+    let exp = MemoryExperiment::new(3, 3, MemoryBasis::Z);
+    let noise = MemoryNoise::code_capacity(0.05);
+    let uf = UnionFindDecoder::new();
+    let batch = exp.logical_error_rate_batch(&noise, &uf, 8000, 3);
+    let mut rng = StdRng::seed_from_u64(3);
+    let legacy = exp.logical_error_rate(&noise, &uf, 2000, &mut rng);
+    assert!(
+        (batch - legacy).abs() < 0.025,
+        "batch rate {batch} vs legacy rate {legacy}"
+    );
+}
