@@ -1,11 +1,13 @@
 //! Perf-smoke for the bit-parallel frame sampler: a small code-capacity
 //! threshold sweep that must finish fast and reproduce the physics.
 //!
-//! Run by the CI `perf-smoke` job on every push: sweeps d ∈ {3, 5} over a
-//! rate grid bracketing the code-capacity threshold at 5000 shots/point,
-//! asserts the whole sweep completes in under 60 seconds, asserts the
-//! crossing between d=3 and d=5 lands inside the bracket, and emits the
-//! measurements as `BENCH_frame_sampler.json` for trend tracking.
+//! Run by the CI `perf-smoke` job on every push: sweeps d ∈ {3, 5, 7}
+//! over a rate grid bracketing the code-capacity threshold (5000
+//! shots/point at d ∈ {3, 5}; 2000 at d = 7, whose lattice is ~5× the
+//! work per shot), asserts the whole sweep completes in under 60
+//! seconds, asserts both the d3/d5 and the d5/d7 crossings land inside
+//! the bracket, and emits the measurements as
+//! `BENCH_frame_sampler.json` at the repo root for trend tracking.
 
 use quest_bench::{header, row};
 use quest_surface::{ThresholdSweep, UnionFindDecoder};
@@ -13,31 +15,34 @@ use std::io::Write as _;
 use std::time::Instant;
 
 const SHOTS: usize = 5000;
+const SHOTS_D7: usize = 2000;
 const SEED: u64 = 0xF7A3;
 const WORKERS: usize = 4;
 const TIME_BUDGET_SECS: f64 = 60.0;
 
+/// Committed snapshot lives at the repo root (two levels above this
+/// package), so the path is the same wherever cargo sets the CWD.
+const REPORT_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../BENCH_frame_sampler.json"
+);
+
 fn main() {
     header(
-        "Perf-smoke: frame-sampled threshold sweep (d in {3,5}, 5000 shots/point)",
-        "the fast path stays fast and the crossing stays inside the bracket",
+        "Perf-smoke: frame-sampled threshold sweep (d in {3,5,7})",
+        "the fast path stays fast and both crossings stay inside the bracket",
     );
-    let distances = [3usize, 5];
     // Bracket the code-capacity threshold (~1e-2 for this noise model):
-    // d=5 must win at the low end and lose at the high end.
+    // each larger code must win at the low end and lose at the high end.
     let rates = [2e-3, 5e-3, 1e-2, 3e-2, 8e-2];
+    let decoder = UnionFindDecoder::new();
     let started = Instant::now();
-    let sweep = ThresholdSweep::run_batch(
-        &distances,
-        &rates,
-        SHOTS,
-        &UnionFindDecoder::new(),
-        SEED,
-        WORKERS,
-    );
+    let mut sweep = ThresholdSweep::run_batch(&[3, 5], &rates, SHOTS, &decoder, SEED, WORKERS);
+    let d7 = ThresholdSweep::run_batch(&[7], &rates, SHOTS_D7, &decoder, SEED, WORKERS);
+    sweep.points.extend(d7.points);
     let elapsed = started.elapsed().as_secs_f64();
 
-    row(&["p", "d=3 p_L", "d=5 p_L"]);
+    row(&["p", "d=3 p_L", "d=5 p_L", "d=7 p_L"]);
     for &p in &rates {
         let find = |d: usize| {
             sweep
@@ -50,56 +55,66 @@ fn main() {
             &format!("{p:.0e}"),
             &format!("{:.4}", find(3)),
             &format!("{:.4}", find(5)),
+            &format!("{:.4}", find(7)),
         ]);
     }
     println!();
-    let total_shots = distances.len() * rates.len() * SHOTS;
+    let total_shots: usize = sweep.points.iter().map(|pt| pt.shots).sum();
     println!(
         "swept {total_shots} shots in {elapsed:.2}s ({:.0} shots/s)",
         total_shots as f64 / elapsed
     );
 
-    let crossing = sweep.crossing_below(3, 5);
-    println!("empirical d3/d5 crossing lower bound: {crossing:?}");
-
-    // The crossing must sit strictly inside the bracket: d=5 wins at the
-    // grid's low end, d=3 wins at its high end.
+    // Both crossings must sit strictly inside the bracket: the larger
+    // code wins at the grid's low end, the smaller at its high end.
     let lo = rates[0];
     let hi = *rates.last().unwrap_or(&lo);
-    let c = crossing.unwrap_or(0.0);
-    assert!(
-        c >= lo && c < hi,
-        "crossing {c:?} escaped the bracket [{lo:e}, {hi:e}) — physics or sampler regression"
-    );
+    let mut crossings = Vec::new();
+    for (d_small, d_large) in [(3usize, 5usize), (5, 7)] {
+        let crossing = sweep.crossing_below(d_small, d_large);
+        println!("empirical d{d_small}/d{d_large} crossing lower bound: {crossing:?}");
+        let c = crossing.unwrap_or(0.0);
+        assert!(
+            c >= lo && c < hi,
+            "d{d_small}/d{d_large} crossing {c:?} escaped the bracket [{lo:e}, {hi:e}) \
+             — physics or sampler regression"
+        );
+        crossings.push((d_small, d_large, c));
+    }
     assert!(
         elapsed < TIME_BUDGET_SECS,
         "perf-smoke blew its {TIME_BUDGET_SECS}s budget: {elapsed:.2}s — frame path regressed"
     );
 
-    write_report(&sweep, elapsed, c);
+    write_report(&sweep, elapsed, &crossings);
 }
 
 /// Emits the sweep as a small JSON report for CI trend tracking. Written
-/// by hand (no serde in the workspace): the shape is a flat object with
-/// one array of points.
-fn write_report(sweep: &ThresholdSweep, elapsed: f64, crossing: f64) {
+/// by hand (no serde in the workspace): a flat object with one array of
+/// crossings and one array of points (each carrying its own shot count,
+/// since d = 7 runs lighter than the rest).
+fn write_report(sweep: &ThresholdSweep, elapsed: f64, crossings: &[(usize, usize, f64)]) {
     let mut json = String::from("{\n");
-    json.push_str(&format!("  \"shots_per_point\": {SHOTS},\n"));
     json.push_str(&format!("  \"seed\": {SEED},\n"));
     json.push_str(&format!("  \"elapsed_secs\": {elapsed:.3},\n"));
-    json.push_str(&format!("  \"crossing_lower_bound\": {crossing:e},\n"));
+    json.push_str("  \"crossings\": [\n");
+    for (i, (d_small, d_large, c)) in crossings.iter().enumerate() {
+        let sep = if i + 1 == crossings.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"d_small\": {d_small}, \"d_large\": {d_large}, \"lower_bound\": {c:e}}}{sep}\n"
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"points\": [\n");
     for (i, pt) in sweep.points.iter().enumerate() {
         let sep = if i + 1 == sweep.points.len() { "" } else { "," };
         json.push_str(&format!(
-            "    {{\"distance\": {}, \"p\": {:e}, \"logical_rate\": {:e}}}{sep}\n",
-            pt.distance, pt.p, pt.logical_rate
+            "    {{\"distance\": {}, \"p\": {:e}, \"logical_rate\": {:e}, \"shots\": {}}}{sep}\n",
+            pt.distance, pt.p, pt.logical_rate, pt.shots
         ));
     }
     json.push_str("  ]\n}\n");
-    match std::fs::File::create("BENCH_frame_sampler.json")
-        .and_then(|mut f| f.write_all(json.as_bytes()))
-    {
+    match std::fs::File::create(REPORT_PATH).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("wrote BENCH_frame_sampler.json"),
         Err(e) => println!("could not write BENCH_frame_sampler.json: {e}"),
     }

@@ -64,6 +64,7 @@ pub mod network;
 pub mod primeline;
 pub mod program_gen;
 pub mod report;
+pub mod serve;
 pub mod system;
 pub mod tech;
 pub mod throughput;
@@ -87,6 +88,7 @@ pub use multi_tile::{LogicalBasis, MultiTileSystem};
 pub use network::{Network, Packet, PacketKind};
 pub use primeline::PrimelineResources;
 pub use report::{decode_totals, RunReport};
+pub use serve::{JobId, LatencySummary, ServeReport, TenantId, TenantServeStats};
 pub use system::{QuestSystem, MCE_IBUF_BYTES};
 pub use tech::TechnologyParams;
 pub use throughput::{optimal_config, table2, Table2Row};

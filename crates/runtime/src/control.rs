@@ -1,0 +1,168 @@
+//! Cooperative run control: cancellation tokens and progress reporting.
+//!
+//! [`Runtime::run_controlled`](crate::Runtime::run_controlled) threads a
+//! [`RunControl`] through the master loop. The master checks the cancel
+//! token at every operation boundary and every QECC cycle — the
+//! checkpoints that bound how much work a cancellation can strand — and
+//! reports progress after each cycle. Both hooks are pure observers: a
+//! run that completes produces a bit-identical
+//! [`RunReport`](quest_core::RunReport) whether or not anyone is
+//! watching, because neither hook feeds anything back into the physics
+//! or the accounting.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable cancellation flag.
+///
+/// Cloning yields another handle to the same flag, so a server (or a
+/// client on another thread) can trip it while the runtime polls it at
+/// its checkpoints. Cancellation is cooperative and one-way: once
+/// tripped it stays tripped, and the in-flight run winds down cleanly
+/// with [`RuntimeError::Cancelled`](crate::RuntimeError::Cancelled) —
+/// every shard thread joined, no partial report.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trips the token. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A progress checkpoint, reported after every QECC cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// QECC cycles completed so far.
+    pub cycles_done: u64,
+    /// Total QECC cycles the spec will run
+    /// ([`WorkloadSpec::total_cycles`](crate::WorkloadSpec::total_cycles)).
+    pub cycles_total: u64,
+}
+
+impl RunProgress {
+    /// Completed fraction in `[0, 1]` (1 for a zero-cycle spec).
+    pub fn fraction(&self) -> f64 {
+        if self.cycles_total == 0 {
+            1.0
+        } else {
+            self.cycles_done as f64 / self.cycles_total as f64
+        }
+    }
+}
+
+/// Observer hooks for one run: an optional cancel token and an optional
+/// progress callback. [`RunControl::default`] observes nothing —
+/// [`Runtime::run`](crate::Runtime::run) is exactly
+/// `run_controlled(spec, &RunControl::default())`.
+#[derive(Default)]
+pub struct RunControl<'a> {
+    pub(crate) cancel: Option<&'a CancelToken>,
+    pub(crate) progress: Option<&'a (dyn Fn(RunProgress) + Sync)>,
+}
+
+impl<'a> RunControl<'a> {
+    /// An empty control block (no cancellation, no progress).
+    pub fn new() -> RunControl<'a> {
+        RunControl::default()
+    }
+
+    /// Polls `token` at every checkpoint; a tripped token ends the run
+    /// with [`RuntimeError::Cancelled`](crate::RuntimeError::Cancelled).
+    pub fn with_cancel(mut self, token: &'a CancelToken) -> RunControl<'a> {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Calls `callback` after every QECC cycle with the run's progress.
+    pub fn with_progress(mut self, callback: &'a (dyn Fn(RunProgress) + Sync)) -> RunControl<'a> {
+        self.progress = Some(callback);
+        self
+    }
+
+    /// True when the attached token (if any) has been tripped.
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Reports one progress checkpoint to the attached callback, if any.
+    pub(crate) fn report(&self, cycles_done: u64, cycles_total: u64) {
+        if let Some(callback) = self.progress {
+            callback(RunProgress {
+                cycles_done,
+                cycles_total,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for RunControl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunControl")
+            .field("cancel", &self.cancel.map(CancelToken::is_cancelled))
+            .field("progress", &self.progress.map(|_| "fn"))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_trips_once_and_stays() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        token.cancel(); // idempotent
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn progress_fraction_handles_zero_cycles() {
+        let p = RunProgress {
+            cycles_done: 0,
+            cycles_total: 0,
+        };
+        assert_eq!(p.fraction(), 1.0);
+        let p = RunProgress {
+            cycles_done: 3,
+            cycles_total: 12,
+        };
+        assert!((p.fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_reports_through_callback() {
+        let seen = std::sync::Mutex::new(Vec::new());
+        let callback = |p: RunProgress| {
+            if let Ok(mut v) = seen.lock() {
+                v.push(p.cycles_done);
+            }
+        };
+        let control = RunControl::new().with_progress(&callback);
+        control.report(1, 4);
+        control.report(2, 4);
+        assert_eq!(*seen.lock().unwrap(), vec![1, 2]);
+        assert!(!control.cancelled(), "no token attached");
+        let token = CancelToken::new();
+        let control = RunControl::new().with_cancel(&token);
+        token.cancel();
+        assert!(control.cancelled());
+    }
+}

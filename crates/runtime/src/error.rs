@@ -42,6 +42,14 @@ pub enum RuntimeError {
     /// A transversal CNOT was rejected by the tile physics (validated
     /// specs make this unreachable; it is typed rather than panicking).
     Cnot(CnotError),
+    /// The run's [`CancelToken`](crate::CancelToken) tripped and the
+    /// runtime wound the run down at the next cooperative checkpoint
+    /// (operation boundary or QECC cycle). Every thread was joined; no
+    /// partial report escapes.
+    Cancelled {
+        /// QECC cycles completed before the cancellation was observed.
+        cycles_done: u64,
+    },
     /// A master ↔ shard message violated the runtime protocol: a payload
     /// arrived in a state that cannot accept it. Indicates a runtime bug,
     /// reported as an error instead of aborting the process.
@@ -71,6 +79,9 @@ impl fmt::Display for RuntimeError {
                  on the concurrent runtime, or clear the spec's fault plan"
             ),
             RuntimeError::Cnot(e) => e.fmt(f),
+            RuntimeError::Cancelled { cycles_done } => {
+                write!(f, "run cancelled after {cycles_done} QECC cycles")
+            }
             RuntimeError::Protocol { context, payload } => {
                 write!(f, "protocol violation in {context}: unexpected {payload}")
             }
@@ -88,6 +99,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::ShardFailed { .. }
             | RuntimeError::DecodePoolFailed { .. }
             | RuntimeError::ReferenceFaults
+            | RuntimeError::Cancelled { .. }
             | RuntimeError::Protocol { .. } => None,
         }
     }

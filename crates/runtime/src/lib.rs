@@ -72,6 +72,7 @@
 // containment as a last resort. Test code is exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod control;
 pub mod error;
 mod message;
 mod pool;
@@ -81,6 +82,7 @@ pub mod stats;
 
 mod shard;
 
+pub use control::{CancelToken, RunControl, RunProgress};
 pub use error::RuntimeError;
 pub use pool::PoolStats;
 pub use quest_core::tile::LogicalBasis;
@@ -153,6 +155,9 @@ impl Runtime {
     /// Executes a workload and returns the unified [`RunReport`] plus
     /// runtime statistics.
     ///
+    /// Equivalent to [`Runtime::run_controlled`] with an empty
+    /// [`RunControl`] — no cancellation, no progress reporting.
+    ///
     /// # Errors
     ///
     /// Returns [`RuntimeError`] if the spec fails
@@ -164,6 +169,37 @@ impl Runtime {
     /// panics the engine; every failure is a typed error and all threads
     /// are joined before this returns.
     pub fn run(&self, spec: &WorkloadSpec) -> Result<RuntimeReport, RuntimeError> {
+        self.run_controlled(spec, &RunControl::new())
+    }
+
+    /// Executes a workload under a [`RunControl`]: an optional
+    /// [`CancelToken`] polled at every operation and QECC-cycle
+    /// checkpoint, and an optional progress callback invoked after every
+    /// cycle.
+    ///
+    /// `run_controlled` is re-entrant: a `Runtime` holds only
+    /// configuration, so one value (or clones of it) can run many
+    /// workloads concurrently from different threads — each run spawns,
+    /// owns and joins its own shard workers and decode pool. The serving
+    /// layer (`quest-serve`) leans on exactly this to execute many
+    /// tenants' jobs on one fixed worker pool.
+    ///
+    /// The hooks are observers only: a run that completes returns a
+    /// [`RunReport`] bit-identical to [`Runtime::run`]'s, regardless of
+    /// how often the callback fires or how late an un-tripped token is
+    /// checked.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Runtime::run`] returns, plus
+    /// [`RuntimeError::Cancelled`] when the token trips mid-run: the
+    /// run winds down at the next checkpoint with every thread joined
+    /// and reports how many cycles had completed.
+    pub fn run_controlled(
+        &self,
+        spec: &WorkloadSpec,
+        control: &RunControl<'_>,
+    ) -> Result<RuntimeReport, RuntimeError> {
         spec.validate()?;
         let lattice = RotatedLattice::new(spec.distance);
         // One template MCE yields the microcode cycle length for the
@@ -204,6 +240,8 @@ impl Runtime {
 
             let mut master = Master {
                 spec,
+                control,
+                cycles_total: spec.total_cycles(),
                 engine: DeliveryEngine::new(spec.delivery),
                 // Degraded tiles fall back to software-managed delivery:
                 // their QECC stream crosses the bus like the baseline's.
@@ -247,6 +285,10 @@ impl Runtime {
 /// Master-thread state for one run.
 struct Master<'a, 'scope, 'env> {
     spec: &'a WorkloadSpec,
+    /// Cooperative cancellation and progress hooks for this run.
+    control: &'a RunControl<'a>,
+    /// Total QECC cycles the spec runs (progress denominator).
+    cycles_total: u64,
     engine: DeliveryEngine,
     /// Software-baseline engine accounting quarantined tiles' cycles.
     degraded_engine: DeliveryEngine,
@@ -344,8 +386,22 @@ impl Master<'_, '_, '_> {
             .map_err(|_| self.shard_failed(shard))
     }
 
+    /// The typed error for a cooperative cancellation observed at a
+    /// checkpoint. Dropping the master afterwards closes every channel,
+    /// so shards and the pool wind down exactly as on any other error.
+    fn cancelled(&self) -> RuntimeError {
+        RuntimeError::Cancelled {
+            cycles_done: self.qecc_cycles,
+        }
+    }
+
     fn execute(&mut self) -> Result<(), RuntimeError> {
         for op in &self.spec.ops {
+            // Operation-boundary checkpoint: a tripped token strands at
+            // most one op (cycles have their own per-cycle checkpoint).
+            if self.control.cancelled() {
+                return Err(self.cancelled());
+            }
             match *op {
                 WorkloadOp::Prep { tile, basis } => {
                     let start = Stopwatch::start();
@@ -441,7 +497,11 @@ impl Master<'_, '_, '_> {
                 }
                 WorkloadOp::Cycles(n) => {
                     for _ in 0..n {
+                        if self.control.cancelled() {
+                            return Err(self.cancelled());
+                        }
                         self.run_cycle()?;
+                        self.control.report(self.qecc_cycles, self.cycles_total);
                     }
                 }
                 WorkloadOp::MeasureZ { tile } => {
@@ -706,6 +766,56 @@ mod tests {
             assert!(report.stats.escalation_rate() > 0.0);
         }
         assert!(report.stats.phases.total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn progress_reports_every_cycle_and_results_are_unchanged() {
+        let spec = WorkloadSpec::memory(3, 4, 2, 1e-3, 7, 10);
+        let seen = std::sync::Mutex::new(Vec::new());
+        let callback = |p: RunProgress| {
+            if let Ok(mut v) = seen.lock() {
+                v.push((p.cycles_done, p.cycles_total));
+            }
+        };
+        let control = RunControl::new().with_progress(&callback);
+        let observed = Runtime::new().run_controlled(&spec, &control).unwrap();
+        let plain = Runtime::new().run(&spec).unwrap();
+        assert_eq!(
+            observed.report, plain.report,
+            "progress observation must not perturb the run"
+        );
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen, (1..=10).map(|c| (c, 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_before_any_cycle() {
+        let spec = WorkloadSpec::memory(3, 4, 2, 1e-3, 7, 10);
+        let token = CancelToken::new();
+        token.cancel();
+        let control = RunControl::new().with_cancel(&token);
+        let err = Runtime::new().run_controlled(&spec, &control).unwrap_err();
+        assert_eq!(err, RuntimeError::Cancelled { cycles_done: 0 });
+        assert!(err.to_string().contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_at_a_cycle_checkpoint() {
+        let spec = WorkloadSpec::memory(3, 4, 2, 1e-3, 7, 50);
+        let token = CancelToken::new();
+        let trip = token.clone();
+        // Trip the token from inside the progress callback: cycle 5's
+        // report fires it, so the checkpoint before cycle 6 observes it.
+        let callback = move |p: RunProgress| {
+            if p.cycles_done == 5 {
+                trip.cancel();
+            }
+        };
+        let control = RunControl::new()
+            .with_cancel(&token)
+            .with_progress(&callback);
+        let err = Runtime::new().run_controlled(&spec, &control).unwrap_err();
+        assert_eq!(err, RuntimeError::Cancelled { cycles_done: 5 });
     }
 
     #[test]

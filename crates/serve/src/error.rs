@@ -1,0 +1,150 @@
+//! Typed errors for job submission and admission control.
+
+use quest_core::TenantId;
+use quest_runtime::SpecError;
+use std::fmt;
+
+/// Why the server refused a job at submission time.
+///
+/// Admission is all-or-nothing: a rejected job reserves nothing, queues
+/// nothing and spawns nothing — the error is the whole effect (plus a
+/// `jobs_rejected` tick in the tenant's ledger section).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The workload failed
+    /// [`WorkloadSpec::validate`](quest_runtime::WorkloadSpec::validate).
+    Spec(SpecError),
+    /// The server is draining: `shutdown` was called and no new work is
+    /// admitted.
+    ShuttingDown,
+    /// The shared job queue is at capacity (global backpressure,
+    /// independent of any tenant's quota).
+    QueueFull {
+        /// The queue's bound.
+        capacity: usize,
+    },
+    /// The tenant already has its maximum number of jobs waiting in the
+    /// queue.
+    QuotaQueuedJobs {
+        /// The rejected tenant.
+        tenant: TenantId,
+        /// The tenant's `max_queued_jobs` limit.
+        limit: u64,
+    },
+    /// Admitting the job would push the tenant's in-flight shard-cycles
+    /// (summed over its queued and running jobs) past its quota.
+    QuotaShardCycles {
+        /// The rejected tenant.
+        tenant: TenantId,
+        /// The tenant's `max_inflight_shard_cycles` limit.
+        limit: u64,
+        /// Shard-cycles already reserved by the tenant's live jobs.
+        in_flight: u64,
+        /// Shard-cycles the rejected job asked for.
+        requested: u64,
+    },
+    /// Admitting the job would exhaust the tenant's lifetime shot
+    /// budget.
+    QuotaShots {
+        /// The rejected tenant.
+        tenant: TenantId,
+        /// The tenant's `max_total_shots` limit.
+        limit: u64,
+        /// Shots already admitted for the tenant.
+        used: u64,
+        /// Shots the rejected job asked for.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Spec(e) => e.fmt(f),
+            ServeError::ShuttingDown => write!(f, "server is draining; no new jobs admitted"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "job queue is at capacity ({capacity}); retry later")
+            }
+            ServeError::QuotaQueuedJobs { tenant, limit } => write!(
+                f,
+                "{tenant} is at its queued-job quota ({limit} queued jobs)"
+            ),
+            ServeError::QuotaShardCycles {
+                tenant,
+                limit,
+                in_flight,
+                requested,
+            } => write!(
+                f,
+                "{tenant} would exceed its in-flight shard-cycle quota: \
+                 {in_flight} reserved + {requested} requested > {limit}"
+            ),
+            ServeError::QuotaShots {
+                tenant,
+                limit,
+                used,
+                requested,
+            } => write!(
+                f,
+                "{tenant} would exceed its total-shot quota: \
+                 {used} used + {requested} requested > {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Spec(e) => Some(e),
+            ServeError::ShuttingDown
+            | ServeError::QueueFull { .. }
+            | ServeError::QuotaQueuedJobs { .. }
+            | ServeError::QuotaShardCycles { .. }
+            | ServeError::QuotaShots { .. } => None,
+        }
+    }
+}
+
+impl From<SpecError> for ServeError {
+    fn from(e: SpecError) -> ServeError {
+        ServeError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_one_line_and_sourced() {
+        let errors = [
+            ServeError::Spec(SpecError::NoTiles),
+            ServeError::ShuttingDown,
+            ServeError::QueueFull { capacity: 8 },
+            ServeError::QuotaQueuedJobs {
+                tenant: TenantId(1),
+                limit: 2,
+            },
+            ServeError::QuotaShardCycles {
+                tenant: TenantId(1),
+                limit: 100,
+                in_flight: 90,
+                requested: 20,
+            },
+            ServeError::QuotaShots {
+                tenant: TenantId(1),
+                limit: 50,
+                used: 48,
+                requested: 8,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            assert!(!e.to_string().contains('\n'), "one-line display: {e}");
+        }
+        use std::error::Error;
+        assert!(ServeError::from(SpecError::NoTiles).source().is_some());
+        assert!(ServeError::ShuttingDown.source().is_none());
+    }
+}

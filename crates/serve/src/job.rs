@@ -1,0 +1,339 @@
+//! The job state machine and the client's view of a submitted job.
+//!
+//! Every job walks one path through
+//!
+//! ```text
+//! queued ──► admitted ──► running(pct) ──► done
+//!    │            │            ├─────────► failed
+//!    └────────────┴────────────┴─────────► cancelled
+//! ```
+//!
+//! The transitions live in one place (`JobCell::advance`) so an
+//! illegal hop is structurally impossible: a terminal state is final,
+//! and progress can only move forward. Each transition is mirrored to
+//! the client as a [`JobEvent`] on the handle's channel — the streaming
+//! interface the ISSUE calls "incremental `RunReport` progress events".
+
+use crate::quota::JobCost;
+use quest_core::{JobId, TenantId};
+use quest_runtime::stats::Stopwatch;
+use quest_runtime::{CancelToken, RuntimeError, RuntimeReport, WorkloadSpec};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Where a job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobState {
+    /// Admitted and waiting in the queue.
+    Queued,
+    /// Picked up by a worker, about to run.
+    Admitted,
+    /// Executing; `fraction` is the completed share of QECC cycles.
+    Running {
+        /// Completed fraction in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Ran to completion.
+    Done,
+    /// Cancelled before or during execution.
+    Cancelled,
+    /// The runtime returned an error.
+    Failed,
+}
+
+impl JobState {
+    /// Whether the state is final.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+
+    /// Rank in the lifecycle order (terminal states share the top rank).
+    fn rank(&self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Admitted => 1,
+            JobState::Running { .. } => 2,
+            JobState::Done | JobState::Cancelled | JobState::Failed => 3,
+        }
+    }
+}
+
+/// The shared, transition-checked state cell of one job.
+#[derive(Debug)]
+pub(crate) struct JobCell {
+    state: Mutex<JobState>,
+}
+
+impl JobCell {
+    pub(crate) fn new() -> Arc<JobCell> {
+        Arc::new(JobCell {
+            state: Mutex::new(JobState::Queued),
+        })
+    }
+
+    /// Snapshot of the current state.
+    pub(crate) fn get(&self) -> JobState {
+        *self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Applies a transition if it is legal (forward through the
+    /// lifecycle; running may update in place; terminal states are
+    /// final). Returns whether the transition was applied — callers use
+    /// this to decide whether to emit the matching event, so state and
+    /// event stream cannot diverge.
+    pub(crate) fn advance(&self, next: JobState) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let legal = if state.is_terminal() {
+            false
+        } else if matches!(
+            (*state, next),
+            (JobState::Running { .. }, JobState::Running { .. })
+        ) {
+            true
+        } else {
+            next.rank() > state.rank()
+        };
+        if legal {
+            *state = next;
+        }
+        legal
+    }
+}
+
+/// One progress event streamed to the submitting client.
+#[derive(Debug, Clone)]
+pub enum JobEvent {
+    /// The job passed validation and admission control and sits in the
+    /// queue.
+    Queued {
+        /// The job.
+        id: JobId,
+    },
+    /// A worker picked the job up.
+    Admitted {
+        /// The job.
+        id: JobId,
+    },
+    /// The job is executing; emitted at pickup (fraction 0) and on every
+    /// whole-percent step thereafter.
+    Running {
+        /// The job.
+        id: JobId,
+        /// Completed fraction of the job's QECC cycles, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// The job completed; the full report rides along.
+    Done {
+        /// The job.
+        id: JobId,
+        /// The run's report (physics + runtime statistics).
+        report: Box<RuntimeReport>,
+    },
+    /// The job was cancelled (before or during execution).
+    Cancelled {
+        /// The job.
+        id: JobId,
+    },
+    /// The runtime refused or aborted the job.
+    Failed {
+        /// The job.
+        id: JobId,
+        /// What went wrong.
+        error: RuntimeError,
+    },
+}
+
+/// How a job ended, as returned by [`JobHandle::wait`].
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// Completed; here is the report.
+    Done(Box<RuntimeReport>),
+    /// Cancelled before or during execution.
+    Cancelled,
+    /// The runtime returned an error.
+    Failed(RuntimeError),
+    /// The server went away without delivering a terminal event (it was
+    /// dropped rather than drained).
+    Lost,
+}
+
+/// The client's handle to one submitted job: an event stream, a cancel
+/// button, and a state snapshot.
+#[derive(Debug)]
+pub struct JobHandle {
+    id: JobId,
+    tenant: TenantId,
+    events: Receiver<JobEvent>,
+    cancel: CancelToken,
+    cell: Arc<JobCell>,
+}
+
+impl JobHandle {
+    /// The job's id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The submitting tenant.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Requests cancellation: a queued job is dropped when a worker
+    /// reaches it, a running job stops at its next cooperative
+    /// checkpoint. Idempotent; a no-op once the job is terminal.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Snapshot of the job's current state.
+    pub fn state(&self) -> JobState {
+        self.cell.get()
+    }
+
+    /// Blocking receive of the next event. `None` once the stream ends
+    /// (after a terminal event, or if the server was dropped).
+    pub fn next_event(&self) -> Option<JobEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Non-blocking receive of the next event, if one is pending.
+    pub fn try_next_event(&self) -> Option<JobEvent> {
+        self.events.try_recv().ok()
+    }
+
+    /// Blocks until the job reaches a terminal state and returns how it
+    /// ended, draining (and discarding) the progress events in between.
+    pub fn wait(self) -> JobOutcome {
+        while let Some(event) = self.next_event() {
+            match event {
+                JobEvent::Done { report, .. } => return JobOutcome::Done(report),
+                JobEvent::Cancelled { .. } => return JobOutcome::Cancelled,
+                JobEvent::Failed { error, .. } => return JobOutcome::Failed(error),
+                JobEvent::Queued { .. } | JobEvent::Admitted { .. } | JobEvent::Running { .. } => {}
+            }
+        }
+        JobOutcome::Lost
+    }
+}
+
+/// The server's side of one job: everything a worker needs to run it.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) id: JobId,
+    pub(crate) tenant: TenantId,
+    pub(crate) spec: WorkloadSpec,
+    pub(crate) cost: JobCost,
+    pub(crate) events: Sender<JobEvent>,
+    pub(crate) cancel: CancelToken,
+    pub(crate) cell: Arc<JobCell>,
+    /// Started at submission; read once at worker pickup for the queue
+    /// latency sample.
+    pub(crate) queued_at: Stopwatch,
+}
+
+impl Job {
+    /// Builds the server/client pair for one admitted job.
+    pub(crate) fn channel(
+        id: JobId,
+        tenant: TenantId,
+        spec: WorkloadSpec,
+        cost: JobCost,
+    ) -> (Job, JobHandle) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let cancel = CancelToken::new();
+        let cell = JobCell::new();
+        (
+            Job {
+                id,
+                tenant,
+                spec,
+                cost,
+                events: tx,
+                cancel: cancel.clone(),
+                cell: Arc::clone(&cell),
+                queued_at: Stopwatch::start(),
+            },
+            JobHandle {
+                id,
+                tenant,
+                events: rx,
+                cancel,
+                cell,
+            },
+        )
+    }
+
+    /// Emits one event to the client, ignoring a hung-up handle (the
+    /// job runs to completion either way; only the observer is gone).
+    pub(crate) fn emit(&self, event: JobEvent) {
+        let _ = self.events.send(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_moves_forward_only() {
+        let cell = JobCell::new();
+        assert_eq!(cell.get(), JobState::Queued);
+        assert!(cell.advance(JobState::Admitted));
+        assert!(!cell.advance(JobState::Queued), "no going back");
+        assert!(cell.advance(JobState::Running { fraction: 0.0 }));
+        assert!(
+            cell.advance(JobState::Running { fraction: 0.5 }),
+            "running may update in place"
+        );
+        assert!(cell.advance(JobState::Done));
+        assert!(!cell.advance(JobState::Cancelled), "terminal is final");
+        assert_eq!(cell.get(), JobState::Done);
+    }
+
+    #[test]
+    fn queued_job_can_cancel_straight_to_terminal() {
+        let cell = JobCell::new();
+        assert!(cell.advance(JobState::Cancelled));
+        assert!(cell.get().is_terminal());
+        assert!(!cell.advance(JobState::Running { fraction: 0.0 }));
+    }
+
+    #[test]
+    fn handle_streams_events_and_waits_for_terminal() {
+        let spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
+        let cost = JobCost::of(&spec);
+        let (job, handle) = Job::channel(JobId(4), TenantId(2), spec, cost);
+        assert_eq!(handle.id(), JobId(4));
+        assert_eq!(handle.tenant(), TenantId(2));
+        job.emit(JobEvent::Queued { id: job.id });
+        job.emit(JobEvent::Admitted { id: job.id });
+        job.emit(JobEvent::Cancelled { id: job.id });
+        assert!(matches!(handle.next_event(), Some(JobEvent::Queued { .. })));
+        assert!(matches!(handle.wait(), JobOutcome::Cancelled));
+    }
+
+    #[test]
+    fn dropped_server_side_yields_lost() {
+        let spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
+        let cost = JobCost::of(&spec);
+        let (job, handle) = Job::channel(JobId(1), TenantId(0), spec, cost);
+        job.emit(JobEvent::Queued { id: job.id });
+        drop(job);
+        assert!(matches!(handle.wait(), JobOutcome::Lost));
+    }
+
+    #[test]
+    fn cancel_trips_the_shared_token() {
+        let spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
+        let cost = JobCost::of(&spec);
+        let (job, handle) = Job::channel(JobId(1), TenantId(0), spec, cost);
+        assert!(!job.cancel.is_cancelled());
+        handle.cancel();
+        assert!(job.cancel.is_cancelled());
+        assert!(handle.try_next_event().is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! The server ledger: per-tenant counters and latency samples.
+//!
+//! Workers record into the ledger as jobs move through the pipeline;
+//! `ServerLedger::report` snapshots it into the plain-data
+//! [`ServeReport`] defined in `quest-core`. Sections are keyed through a
+//! [`BTreeMap`], so a report's tenant order is the tenant-id order — no
+//! iteration-order nondeterminism reaches the report (QL02).
+//!
+//! Latencies are wall-clock observability, measured by the callers with
+//! the runtime's `Stopwatch` (the workspace's one sanctioned clock
+//! boundary) and handed in as plain [`Duration`]s. Nothing in the
+//! ledger feeds back into job execution.
+
+use quest_core::{LatencySummary, ServeReport, TenantId, TenantServeStats};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// One tenant's accumulating section.
+#[derive(Debug, Default)]
+struct TenantEntry {
+    jobs_admitted: u64,
+    jobs_rejected: u64,
+    jobs_done: u64,
+    jobs_cancelled: u64,
+    jobs_failed: u64,
+    shots_done: u64,
+    queue_samples: Vec<Duration>,
+    run_samples: Vec<Duration>,
+}
+
+/// The live, lock-guarded ledger.
+#[derive(Debug, Default)]
+pub(crate) struct ServerLedger {
+    tenants: Mutex<BTreeMap<TenantId, TenantEntry>>,
+}
+
+impl ServerLedger {
+    fn with<R>(&self, tenant: TenantId, f: impl FnOnce(&mut TenantEntry) -> R) -> R {
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        f(tenants.entry(tenant).or_default())
+    }
+
+    /// A job passed admission and was enqueued.
+    pub(crate) fn admitted(&self, tenant: TenantId) {
+        self.with(tenant, |t| t.jobs_admitted += 1);
+    }
+
+    /// A job was rejected at admission (quota, validation or
+    /// backpressure).
+    pub(crate) fn rejected(&self, tenant: TenantId) {
+        self.with(tenant, |t| t.jobs_rejected += 1);
+    }
+
+    /// A worker picked a job up `queue_latency` after submission.
+    pub(crate) fn started(&self, tenant: TenantId, queue_latency: Duration) {
+        self.with(tenant, |t| t.queue_samples.push(queue_latency));
+    }
+
+    /// A job ran to completion in `run_latency`, producing `shots`
+    /// logical readouts.
+    pub(crate) fn done(&self, tenant: TenantId, run_latency: Duration, shots: u64) {
+        self.with(tenant, |t| {
+            t.jobs_done += 1;
+            t.shots_done += shots;
+            t.run_samples.push(run_latency);
+        });
+    }
+
+    /// A job was cancelled. `run_latency` is `Some` when the job had
+    /// started (cancelled mid-run), `None` when it died in the queue.
+    pub(crate) fn cancelled(&self, tenant: TenantId, run_latency: Option<Duration>) {
+        self.with(tenant, |t| {
+            t.jobs_cancelled += 1;
+            if let Some(latency) = run_latency {
+                t.run_samples.push(latency);
+            }
+        });
+    }
+
+    /// A job failed after running for `run_latency`.
+    pub(crate) fn failed(&self, tenant: TenantId, run_latency: Duration) {
+        self.with(tenant, |t| {
+            t.jobs_failed += 1;
+            t.run_samples.push(run_latency);
+        });
+    }
+
+    /// Snapshots the ledger into a report (sorted by tenant id).
+    pub(crate) fn report(&self, workers: usize, uptime: Duration) -> ServeReport {
+        let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
+        let sections = tenants
+            .iter_mut()
+            .map(|(&id, entry)| {
+                (
+                    id,
+                    TenantServeStats {
+                        jobs_admitted: entry.jobs_admitted,
+                        jobs_rejected: entry.jobs_rejected,
+                        jobs_done: entry.jobs_done,
+                        jobs_cancelled: entry.jobs_cancelled,
+                        jobs_failed: entry.jobs_failed,
+                        shots_done: entry.shots_done,
+                        queue_latency: LatencySummary::from_samples(&mut entry.queue_samples),
+                        run_latency: LatencySummary::from_samples(&mut entry.run_samples),
+                    },
+                )
+            })
+            .collect();
+        ServeReport {
+            tenants: sections,
+            workers,
+            uptime,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn ledger_accumulates_per_tenant() {
+        let ledger = ServerLedger::default();
+        let (a, b) = (TenantId(0), TenantId(1));
+        ledger.admitted(a);
+        ledger.admitted(a);
+        ledger.admitted(b);
+        ledger.rejected(b);
+        ledger.started(a, ms(5));
+        ledger.done(a, ms(50), 4);
+        ledger.started(a, ms(15));
+        ledger.cancelled(a, Some(ms(20)));
+        ledger.cancelled(b, None);
+        let report = ledger.report(2, Duration::from_secs(1));
+        assert_eq!(report.workers, 2);
+        let ta = report.tenant(a).unwrap();
+        assert_eq!(ta.jobs_admitted, 2);
+        assert_eq!(ta.jobs_done, 1);
+        assert_eq!(ta.jobs_cancelled, 1);
+        assert_eq!(ta.shots_done, 4);
+        assert_eq!(ta.queue_latency.samples, 2);
+        assert_eq!(ta.queue_latency.max, ms(15));
+        assert_eq!(ta.run_latency.samples, 2);
+        let tb = report.tenant(b).unwrap();
+        assert_eq!(tb.jobs_rejected, 1);
+        assert_eq!(tb.jobs_cancelled, 1);
+        assert_eq!(
+            tb.run_latency.samples, 0,
+            "queued cancellation has no run sample"
+        );
+        // Tenant order is id order.
+        assert_eq!(report.tenants[0].0, a);
+        assert_eq!(report.tenants[1].0, b);
+    }
+
+    #[test]
+    fn report_is_a_snapshot_not_a_drain() {
+        let ledger = ServerLedger::default();
+        ledger.admitted(TenantId(3));
+        ledger.started(TenantId(3), ms(1));
+        ledger.done(TenantId(3), ms(2), 1);
+        let first = ledger.report(1, ms(10));
+        let second = ledger.report(1, ms(10));
+        assert_eq!(first, second);
+    }
+}

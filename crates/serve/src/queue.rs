@@ -1,0 +1,234 @@
+//! The bounded multi-producer / multi-consumer job queue.
+//!
+//! Shaped like a bounded MPMC ring: producers (client threads inside
+//! [`Server::submit`](crate::Server::submit)) never block — a full queue
+//! is an admission failure, not a stall — and consumers (the fixed
+//! worker pool) block until work arrives or the queue closes. Built on
+//! `Mutex<VecDeque> + Condvar` because the workspace forbids `unsafe`
+//! outright; the *interface* is the lock-free ring's (bounded, non-
+//! blocking push, closable), so a lock-free core could be swapped in
+//! behind it without touching callers.
+//!
+//! Poisoned locks are recovered with [`PoisonError::into_inner`]: the
+//! queue state is a plain deque whose invariants hold between every
+//! operation, so a panicking peer (contained elsewhere by the runtime's
+//! supervision) never wedges the queue.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Why a push was refused. Carries the item back so the caller can roll
+/// its admission back without cloning.
+#[derive(Debug)]
+pub(crate) enum PushRefused<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// One end of the shared queue (clone freely; all clones are the same
+/// queue).
+#[derive(Debug)]
+pub(crate) struct JobQueue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for JobQueue<T> {
+    fn clone(&self) -> JobQueue<T> {
+        JobQueue {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A bounded queue holding at most `capacity` items (clamped ≥ 1).
+    pub(crate) fn bounded(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(Inner {
+                    items: VecDeque::new(),
+                    closed: false,
+                }),
+                ready: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// The queue's bound.
+    pub(crate) fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Items currently waiting.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Non-blocking push: refuses instead of waiting when the queue is
+    /// full or closed.
+    pub(crate) fn push(&self, item: T) -> Result<(), PushRefused<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushRefused::Closed(item));
+        }
+        if inner.items.len() >= self.shared.capacity {
+            return Err(PushRefused::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: waits until an item arrives or the queue is closed
+    /// *and* drained. `None` means "no more work, ever" — the consumer's
+    /// signal to exit.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .shared
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pushes start refusing, pops drain what remains
+    /// and then return `None`. Idempotent.
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.shared.ready.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_in_fifo_order() {
+        let q = JobQueue::bounded(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_refuses_without_blocking() {
+        let q = JobQueue::bounded(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        match q.push(3) {
+            Err(PushRefused::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = JobQueue::bounded(4);
+        q.push(7).unwrap();
+        q.close();
+        match q.push(8) {
+            Err(PushRefused::Closed(item)) => assert_eq!(item, 8),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(7), "queued work survives the close");
+        assert_eq!(q.pop(), None, "then the queue ends");
+        assert_eq!(q.pop(), None, "and stays ended");
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let q: JobQueue<u32> = JobQueue::bounded(1);
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the consumer a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_everything_once() {
+        let q: JobQueue<u64> = JobQueue::bounded(8);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25u64 {
+                        let v = p * 100 + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(PushRefused::Full(_)) => std::thread::yield_now(),
+                                Err(PushRefused::Closed(_)) => panic!("closed early"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..25u64).map(move |i| p * 100 + i))
+            .collect();
+        assert_eq!(all, expected, "every item delivered exactly once");
+    }
+}

@@ -1,0 +1,294 @@
+//! Per-tenant quotas and the admission book.
+//!
+//! Admission control is the server's first line of fairness: a tenant
+//! can never occupy more than its configured share of the queue, the
+//! worker pool's cycle budget, or the service's lifetime shot budget.
+//! The book is plain deterministic bookkeeping over [`BTreeMap`]s —
+//! admission decisions depend only on the sequence of submissions, never
+//! on timing.
+
+use crate::error::ServeError;
+use quest_core::TenantId;
+use quest_runtime::{WorkloadOp, WorkloadSpec};
+use std::collections::BTreeMap;
+
+/// Resource ceilings for one tenant. The default is unlimited; servers
+/// configure a real quota per tenant (or a default for all tenants) at
+/// construction or via `Server::set_quota`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Jobs the tenant may have waiting in the queue at once (running
+    /// jobs do not count).
+    pub max_queued_jobs: u64,
+    /// Shard-cycles (worker-thread × QECC-cycle products, summed over
+    /// the tenant's queued and running jobs) the tenant may hold in
+    /// flight at once. This is the knob that keeps one tenant's giant
+    /// workloads from monopolizing the pool.
+    pub max_inflight_shard_cycles: u64,
+    /// Logical readouts ("shots") the tenant may admit over the server's
+    /// lifetime. Unlike the other two, this budget never replenishes.
+    pub max_total_shots: u64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota::UNLIMITED
+    }
+}
+
+impl TenantQuota {
+    /// No limits at all.
+    pub const UNLIMITED: TenantQuota = TenantQuota {
+        max_queued_jobs: u64::MAX,
+        max_inflight_shard_cycles: u64::MAX,
+        max_total_shots: u64::MAX,
+    };
+}
+
+/// What one job costs against its tenant's quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCost {
+    /// `shards × total QECC cycles`: the job's parallel cycle footprint.
+    pub shard_cycles: u64,
+    /// Logical readouts the job performs.
+    pub shots: u64,
+}
+
+impl JobCost {
+    /// Prices a workload. Pure arithmetic over the spec.
+    pub fn of(spec: &WorkloadSpec) -> JobCost {
+        let shots = spec
+            .ops
+            .iter()
+            .filter(|op| matches!(op, WorkloadOp::MeasureZ { .. }))
+            .count() as u64;
+        JobCost {
+            shard_cycles: (spec.shards as u64).saturating_mul(spec.total_cycles()),
+            shots,
+        }
+    }
+}
+
+/// One tenant's live reservations.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantUsage {
+    /// Jobs admitted but not yet picked up by a worker.
+    queued_jobs: u64,
+    /// Shard-cycles reserved by queued + running jobs.
+    inflight_shard_cycles: u64,
+    /// Lifetime shots admitted (never released).
+    admitted_shots: u64,
+}
+
+/// The admission book: quotas and live usage for every tenant.
+#[derive(Debug, Default)]
+pub(crate) struct QuotaBook {
+    default_quota: TenantQuota,
+    quotas: BTreeMap<TenantId, TenantQuota>,
+    usage: BTreeMap<TenantId, TenantUsage>,
+}
+
+impl QuotaBook {
+    pub(crate) fn new(default_quota: TenantQuota) -> QuotaBook {
+        QuotaBook {
+            default_quota,
+            ..QuotaBook::default()
+        }
+    }
+
+    /// The quota governing `tenant`.
+    pub(crate) fn quota(&self, tenant: TenantId) -> TenantQuota {
+        self.quotas
+            .get(&tenant)
+            .copied()
+            .unwrap_or(self.default_quota)
+    }
+
+    /// Installs a per-tenant override of the default quota. Applies to
+    /// future admissions; live reservations are untouched.
+    pub(crate) fn set_quota(&mut self, tenant: TenantId, quota: TenantQuota) {
+        self.quotas.insert(tenant, quota);
+    }
+
+    /// Admits a job, reserving its cost, or rejects it with the first
+    /// violated limit (checked in order: queued jobs, shard-cycles,
+    /// shots). Rejection reserves nothing.
+    pub(crate) fn admit(&mut self, tenant: TenantId, cost: JobCost) -> Result<(), ServeError> {
+        let quota = self.quota(tenant);
+        let usage = self.usage.entry(tenant).or_default();
+        if usage.queued_jobs >= quota.max_queued_jobs {
+            return Err(ServeError::QuotaQueuedJobs {
+                tenant,
+                limit: quota.max_queued_jobs,
+            });
+        }
+        if usage
+            .inflight_shard_cycles
+            .saturating_add(cost.shard_cycles)
+            > quota.max_inflight_shard_cycles
+        {
+            return Err(ServeError::QuotaShardCycles {
+                tenant,
+                limit: quota.max_inflight_shard_cycles,
+                in_flight: usage.inflight_shard_cycles,
+                requested: cost.shard_cycles,
+            });
+        }
+        if usage.admitted_shots.saturating_add(cost.shots) > quota.max_total_shots {
+            return Err(ServeError::QuotaShots {
+                tenant,
+                limit: quota.max_total_shots,
+                used: usage.admitted_shots,
+                requested: cost.shots,
+            });
+        }
+        usage.queued_jobs += 1;
+        usage.inflight_shard_cycles += cost.shard_cycles;
+        usage.admitted_shots += cost.shots;
+        Ok(())
+    }
+
+    /// Rolls an admission back as if it never happened (the job could
+    /// not be enqueued). Unlike [`QuotaBook::finish`], this also refunds
+    /// the lifetime shot budget.
+    pub(crate) fn rollback(&mut self, tenant: TenantId, cost: JobCost) {
+        if let Some(usage) = self.usage.get_mut(&tenant) {
+            usage.queued_jobs = usage.queued_jobs.saturating_sub(1);
+            usage.inflight_shard_cycles = usage
+                .inflight_shard_cycles
+                .saturating_sub(cost.shard_cycles);
+            usage.admitted_shots = usage.admitted_shots.saturating_sub(cost.shots);
+        }
+    }
+
+    /// A worker picked the job up: it no longer occupies a queue slot
+    /// (its shard-cycles stay reserved until [`QuotaBook::finish`]).
+    pub(crate) fn start(&mut self, tenant: TenantId) {
+        if let Some(usage) = self.usage.get_mut(&tenant) {
+            usage.queued_jobs = usage.queued_jobs.saturating_sub(1);
+        }
+    }
+
+    /// The job reached a terminal state: its shard-cycle reservation is
+    /// released. Shots are a lifetime budget and stay spent.
+    pub(crate) fn finish(&mut self, tenant: TenantId, cost: JobCost) {
+        if let Some(usage) = self.usage.get_mut(&tenant) {
+            usage.inflight_shard_cycles = usage
+                .inflight_shard_cycles
+                .saturating_sub(cost.shard_cycles);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(shard_cycles: u64, shots: u64) -> JobCost {
+        JobCost {
+            shard_cycles,
+            shots,
+        }
+    }
+
+    #[test]
+    fn job_cost_prices_the_spec() {
+        let spec = WorkloadSpec::memory(3, 4, 2, 0.0, 1, 25);
+        let c = JobCost::of(&spec);
+        assert_eq!(c.shard_cycles, 2 * 25);
+        assert_eq!(c.shots, 4, "one MeasureZ per tile");
+    }
+
+    #[test]
+    fn queued_job_quota_counts_only_queued_jobs() {
+        let mut book = QuotaBook::new(TenantQuota {
+            max_queued_jobs: 1,
+            ..TenantQuota::UNLIMITED
+        });
+        let t = TenantId(0);
+        book.admit(t, cost(10, 1)).unwrap();
+        assert!(matches!(
+            book.admit(t, cost(10, 1)),
+            Err(ServeError::QuotaQueuedJobs { limit: 1, .. })
+        ));
+        // Once a worker picks the first job up, a queue slot frees.
+        book.start(t);
+        book.admit(t, cost(10, 1)).unwrap();
+        // Other tenants are unaffected throughout.
+        book.admit(TenantId(1), cost(10, 1)).unwrap();
+    }
+
+    #[test]
+    fn shard_cycle_quota_releases_on_finish() {
+        let mut book = QuotaBook::new(TenantQuota {
+            max_inflight_shard_cycles: 100,
+            ..TenantQuota::UNLIMITED
+        });
+        let t = TenantId(3);
+        book.admit(t, cost(80, 0)).unwrap();
+        let err = book.admit(t, cost(30, 0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::QuotaShardCycles {
+                    in_flight: 80,
+                    requested: 30,
+                    limit: 100,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        book.start(t);
+        book.finish(t, cost(80, 0));
+        book.admit(t, cost(30, 0)).unwrap();
+    }
+
+    #[test]
+    fn shot_quota_is_a_lifetime_budget() {
+        let mut book = QuotaBook::new(TenantQuota {
+            max_total_shots: 10,
+            ..TenantQuota::UNLIMITED
+        });
+        let t = TenantId(9);
+        book.admit(t, cost(1, 6)).unwrap();
+        book.start(t);
+        book.finish(t, cost(1, 6));
+        // The job finished, but its shots stay spent.
+        let err = book.admit(t, cost(1, 6)).unwrap_err();
+        assert!(
+            matches!(err, ServeError::QuotaShots { used: 6, .. }),
+            "{err:?}"
+        );
+        book.admit(t, cost(1, 4)).unwrap();
+    }
+
+    #[test]
+    fn rollback_refunds_everything() {
+        let mut book = QuotaBook::new(TenantQuota {
+            max_queued_jobs: 1,
+            max_inflight_shard_cycles: 10,
+            max_total_shots: 5,
+        });
+        let t = TenantId(2);
+        book.admit(t, cost(10, 5)).unwrap();
+        book.rollback(t, cost(10, 5));
+        book.admit(t, cost(10, 5)).unwrap();
+    }
+
+    #[test]
+    fn per_tenant_overrides_take_effect() {
+        let mut book = QuotaBook::new(TenantQuota::UNLIMITED);
+        let t = TenantId(7);
+        book.set_quota(
+            t,
+            TenantQuota {
+                max_queued_jobs: 0,
+                ..TenantQuota::UNLIMITED
+            },
+        );
+        assert!(book.admit(t, cost(1, 1)).is_err());
+        assert!(book.admit(TenantId(8), cost(1, 1)).is_ok());
+        assert_eq!(book.quota(t).max_queued_jobs, 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Integration tests for the multi-tenant job server: interleaving
+//! determinism, quota enforcement, and mid-run cancellation.
+
+use quest_runtime::{Runtime, RuntimeReport, WorkloadSpec};
+use quest_serve::{
+    JobEvent, JobOutcome, JobState, ServeError, Server, ServerConfig, TenantId, TenantQuota,
+};
+use std::time::Duration;
+
+/// One tenant's job list: distinct seeds, mixed shapes, real noise.
+fn tenant_specs(tenant: u32, jobs: u64) -> Vec<WorkloadSpec> {
+    (0..jobs)
+        .map(|j| {
+            WorkloadSpec::memory(
+                3,
+                2 + (j as usize % 3),
+                1 + (j as usize % 2),
+                1e-3,
+                u64::from(tenant) * 1000 + j,
+                20 + 5 * j,
+            )
+        })
+        .collect()
+}
+
+fn wait_done(outcome: JobOutcome) -> Box<RuntimeReport> {
+    match outcome {
+        JobOutcome::Done(report) => report,
+        other => panic!("expected Done, got {other:?}"),
+    }
+}
+
+/// The tentpole guarantee: a job's `RunReport` depends only on its own
+/// spec (seed included) — never on the worker that ran it, the pool
+/// size, or what other tenants' jobs interleaved with it. Three tenants
+/// submit four jobs each, concurrently, at pool sizes 1, 2 and 4; every
+/// report must be bit-identical to a solo `Runtime::run` of the same
+/// spec.
+#[test]
+fn interleaved_jobs_match_solo_runs_bit_for_bit() {
+    const TENANTS: u32 = 3;
+    const JOBS: u64 = 4;
+    let runtime = Runtime::new();
+    let solo: Vec<Vec<_>> = (0..TENANTS)
+        .map(|t| {
+            tenant_specs(t, JOBS)
+                .iter()
+                .map(|spec| runtime.run(spec).expect("solo run").report)
+                .collect()
+        })
+        .collect();
+    for workers in [1, 2, 4] {
+        let server = Server::start(ServerConfig::default().with_workers(workers));
+        // Each tenant submits from its own thread so submissions race.
+        let reports: Vec<Vec<_>> = std::thread::scope(|scope| {
+            let submitters: Vec<_> = (0..TENANTS)
+                .map(|t| {
+                    let server = &server;
+                    scope.spawn(move || {
+                        let handles: Vec<_> = tenant_specs(t, JOBS)
+                            .into_iter()
+                            .map(|spec| server.submit(TenantId(t), spec).expect("admit"))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| wait_done(h.wait()).report.clone())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            submitters
+                .into_iter()
+                .map(|s| s.join().expect("submitter thread"))
+                .collect()
+        });
+        let ledger = server.shutdown();
+        assert_eq!(ledger.jobs_done(), u64::from(TENANTS) * JOBS);
+        for (t, tenant_reports) in reports.iter().enumerate() {
+            for (j, report) in tenant_reports.iter().enumerate() {
+                assert_eq!(
+                    *report, solo[t][j],
+                    "tenant {t} job {j} diverged from its solo run at {workers} workers"
+                );
+            }
+        }
+    }
+}
+
+/// Quotas bite per tenant and rejections are typed, panic-free, and
+/// ledger-visible; other tenants are unaffected.
+#[test]
+fn quotas_reject_typed_and_per_tenant() {
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let limited = TenantId(0);
+    let free = TenantId(1);
+    server.set_quota(
+        limited,
+        TenantQuota {
+            max_total_shots: 5,
+            ..TenantQuota::UNLIMITED
+        },
+    );
+    // 4 tiles = 4 shots per job: the first fits the budget of 5, the
+    // second does not.
+    let spec = WorkloadSpec::memory(3, 4, 1, 1e-3, 1, 10);
+    let first = server.submit(limited, spec.clone()).expect("within quota");
+    let err = server
+        .submit(limited, spec.clone())
+        .expect_err("over quota");
+    assert!(
+        matches!(
+            err,
+            ServeError::QuotaShots {
+                limit: 5,
+                used: 4,
+                requested: 4,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    // The other tenant is untouched by tenant 0's budget.
+    let other = server.submit(free, spec).expect("other tenant unaffected");
+    assert!(matches!(first.wait(), JobOutcome::Done(_)));
+    assert!(matches!(other.wait(), JobOutcome::Done(_)));
+    let ledger = server.shutdown();
+    let section = ledger.tenant(limited).expect("limited tenant section");
+    assert_eq!(section.jobs_rejected, 1);
+    assert_eq!(section.jobs_done, 1);
+    assert_eq!(section.shots_done, 4);
+    assert_eq!(ledger.tenant(free).expect("free tenant").jobs_rejected, 0);
+}
+
+/// A queued-job quota frees its slot when a worker picks the job up.
+#[test]
+fn queued_job_quota_tracks_the_queue_not_the_run() {
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let tenant = TenantId(3);
+    server.set_quota(
+        tenant,
+        TenantQuota {
+            max_queued_jobs: 1,
+            ..TenantQuota::UNLIMITED
+        },
+    );
+    let spec = WorkloadSpec::memory(3, 2, 1, 1e-3, 9, 200);
+    let first = server.submit(tenant, spec.clone()).expect("first job");
+    // Either the second submission is refused (first still queued) or it
+    // is admitted because the worker already picked the first job up;
+    // both are legal — what is not legal is a panic or a wedged pool.
+    let second = server.submit(tenant, spec.clone());
+    if let Err(e) = &second {
+        assert!(
+            matches!(e, ServeError::QuotaQueuedJobs { limit: 1, .. }),
+            "{e:?}"
+        );
+    }
+    assert!(matches!(first.wait(), JobOutcome::Done(_)));
+    if let Ok(handle) = second {
+        assert!(matches!(handle.wait(), JobOutcome::Done(_)));
+    }
+    server.shutdown();
+}
+
+/// Mid-run cancellation: the job stops at a cooperative checkpoint, the
+/// worker pool survives to run later jobs, and the ledger records the
+/// cancellation with a run-latency sample.
+#[test]
+fn mid_run_cancellation_leaves_the_pool_healthy() {
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let tenant = TenantId(0);
+    // Long enough that cancellation lands mid-run.
+    let long = WorkloadSpec::memory(3, 2, 1, 1e-3, 42, 50_000);
+    let victim = server.submit(tenant, long).expect("admit victim");
+    // Cancel once the job is demonstrably running.
+    let mut saw_running = false;
+    while let Some(event) = victim.next_event() {
+        match event {
+            JobEvent::Running { .. } => {
+                saw_running = true;
+                victim.cancel();
+                break;
+            }
+            JobEvent::Queued { .. } | JobEvent::Admitted { .. } => {}
+            other => panic!("unexpected event before running: {other:?}"),
+        }
+    }
+    assert!(saw_running, "victim never reported running");
+    assert!(matches!(victim.wait(), JobOutcome::Cancelled));
+    // The pool survives: a fresh job on the same worker completes.
+    let after = server
+        .submit(tenant, WorkloadSpec::memory(3, 2, 1, 1e-3, 43, 20))
+        .expect("admit follow-up");
+    let report = wait_done(after.wait());
+    assert_eq!(report.report.qecc_cycles, 20);
+    let ledger = server.shutdown();
+    let section = ledger.tenant(tenant).expect("tenant section");
+    assert_eq!(section.jobs_cancelled, 1);
+    assert_eq!(section.jobs_done, 1);
+    assert_eq!(
+        section.run_latency.samples, 2,
+        "a mid-run cancellation contributes a run-latency sample"
+    );
+}
+
+/// Cancelling a job that is still queued drops it at pickup without
+/// running a cycle, and the event stream ends with `Cancelled`.
+#[test]
+fn queued_cancellation_never_runs() {
+    // Single worker pinned on a long job; the second job waits.
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let tenant = TenantId(5);
+    let blocker = server
+        .submit(tenant, WorkloadSpec::memory(3, 2, 1, 1e-3, 1, 20_000))
+        .expect("admit blocker");
+    let queued = server
+        .submit(tenant, WorkloadSpec::memory(3, 2, 1, 1e-3, 2, 20))
+        .expect("admit queued");
+    queued.cancel();
+    blocker.cancel();
+    assert!(matches!(queued.wait(), JobOutcome::Cancelled));
+    let ledger = server.shutdown();
+    let section = ledger.tenant(tenant).expect("tenant section");
+    assert_eq!(section.jobs_cancelled, 2);
+    assert_eq!(section.jobs_done, 0);
+}
+
+/// The progress stream is ordered and complete: queued, admitted, a
+/// monotone ramp of running fractions reaching 1, then done.
+#[test]
+fn event_stream_is_ordered_and_monotone() {
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let handle = server
+        .submit(TenantId(0), WorkloadSpec::memory(3, 2, 1, 1e-3, 11, 400))
+        .expect("admit");
+    let mut events = Vec::new();
+    while let Some(event) = handle.next_event() {
+        let terminal = matches!(
+            event,
+            JobEvent::Done { .. } | JobEvent::Cancelled { .. } | JobEvent::Failed { .. }
+        );
+        events.push(event);
+        if terminal {
+            break;
+        }
+    }
+    assert!(matches!(events.first(), Some(JobEvent::Queued { .. })));
+    assert!(matches!(events.get(1), Some(JobEvent::Admitted { .. })));
+    let fractions: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e {
+            JobEvent::Running { fraction, .. } => Some(*fraction),
+            _ => None,
+        })
+        .collect();
+    assert!(!fractions.is_empty(), "no running progress seen");
+    assert!(
+        fractions.windows(2).all(|w| w[0] <= w[1]),
+        "progress must be monotone: {fractions:?}"
+    );
+    assert_eq!(*fractions.last().expect("nonempty"), 1.0);
+    assert!(matches!(events.last(), Some(JobEvent::Done { .. })));
+    assert_eq!(handle.state(), JobState::Done);
+    server.shutdown();
+}
+
+/// Drain-on-shutdown finishes every admitted job and the final ledger's
+/// throughput figures are populated.
+#[test]
+fn shutdown_reports_throughput_over_uptime() {
+    let server = Server::start(ServerConfig::default().with_workers(2));
+    for i in 0..6u64 {
+        server
+            .submit(
+                TenantId(i as u32 % 2),
+                WorkloadSpec::memory(3, 2, 1, 1e-3, 100 + i, 20),
+            )
+            .expect("admit");
+    }
+    let ledger = server.shutdown();
+    assert_eq!(ledger.jobs_done(), 6);
+    assert_eq!(ledger.shots_done(), 12);
+    assert!(ledger.uptime > Duration::ZERO);
+    assert!(ledger.jobs_per_sec() > 0.0);
+    assert!(ledger.shots_per_sec() > 0.0);
+    assert_eq!(ledger.workers, 2);
+}

@@ -13,7 +13,13 @@
 //!   rates, MCE stalls, decode-worker kills) and the report then carries
 //!   a recovery summary;
 //! * `asm <file>` — assemble a logical program from text and print its
-//!   statistics (use `-` for stdin).
+//!   statistics (use `-` for stdin);
+//! * `submit [options]` — batch driver for the multi-tenant job server:
+//!   submit `--jobs N` memory workloads round-robin across `--tenants T`
+//!   onto a `--workers W` pool and print per-job results plus the final
+//!   server ledger;
+//! * `serve [options]` — interactive job server driven by stdin commands
+//!   (`submit`, `cancel`, `status`, `quota`, `drain`).
 
 #![forbid(unsafe_code)]
 
@@ -22,7 +28,10 @@ use quest::arch::{DeliveryMode, QuestSystem, TechnologyParams};
 use quest::estimate::kernels::workload_with_kernel;
 use quest::estimate::{analyze_suite, ShorEstimate, Workload};
 use quest::runtime::{FaultPlan, Runtime, WorkloadSpec};
+use quest::serve::{JobHandle, JobOutcome, Server, ServerConfig, TenantId, TenantQuota};
 use quest::stabilizer::{SeedableRng, StdRng};
+use std::collections::BTreeMap;
+use std::io::BufRead;
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -35,9 +44,11 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: quest-cli <report [p] | shor <bits> [p] | table2 | simulate <d> <p> <cycles> | run --shards N [options] | asm <file>>"
+                "usage: quest-cli <report [p] | shor <bits> [p] | table2 | simulate <d> <p> <cycles> | run --shards N [options] | asm <file> | submit [options] | serve [options]>"
             );
             return ExitCode::FAILURE;
         }
@@ -235,6 +246,246 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         ones,
         report.outcomes.len() - ones
     );
+    Ok(())
+}
+
+/// Batch driver for the job server: `--jobs N` memory workloads spread
+/// round-robin over `--tenants T`, run on `--workers W`, with per-job
+/// seeds `--seed + job index`. `--cancel-every K` cancels every Kth job
+/// right after submission to exercise the cancellation path. Exits
+/// nonzero if any job ends in an unexpected state.
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let mut workers = 2usize;
+    let mut jobs = 4u64;
+    let mut tenants = 1u32;
+    let mut tiles = 4usize;
+    let mut distance = 3usize;
+    let mut error_rate = 1e-3;
+    let mut cycles = 30u64;
+    let mut seed = 1u64;
+    let mut queue_depth = 64usize;
+    let mut cancel_every = 0u64;
+    let mut max_shots = u64::MAX;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--workers" => workers = parse_u64(value("--workers")?, "worker count")? as usize,
+            "--jobs" => jobs = parse_u64(value("--jobs")?, "job count")?,
+            "--tenants" => tenants = parse_u64(value("--tenants")?, "tenant count")? as u32,
+            "--tiles" => tiles = parse_u64(value("--tiles")?, "tile count")? as usize,
+            "--distance" => distance = parse_u64(value("--distance")?, "distance")? as usize,
+            "--error-rate" => error_rate = parse_f64(value("--error-rate")?, "error rate")?,
+            "--cycles" => cycles = parse_u64(value("--cycles")?, "cycle count")?,
+            "--seed" => seed = parse_u64(value("--seed")?, "seed")?,
+            "--queue-depth" => {
+                queue_depth = parse_u64(value("--queue-depth")?, "queue depth")? as usize;
+            }
+            "--cancel-every" => {
+                cancel_every = parse_u64(value("--cancel-every")?, "cancel stride")?;
+            }
+            "--max-shots" => max_shots = parse_u64(value("--max-shots")?, "shot quota")?,
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (expected --workers/--jobs/--tenants/--tiles/\
+                     --distance/--error-rate/--cycles/--seed/--queue-depth/--cancel-every/\
+                     --max-shots)"
+                ))
+            }
+        }
+    }
+    let tenants = tenants.max(1);
+    let quota = TenantQuota {
+        max_total_shots: max_shots,
+        ..TenantQuota::UNLIMITED
+    };
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(workers)
+            .with_queue_depth(queue_depth)
+            .with_default_quota(quota),
+    );
+    println!(
+        "submitting {jobs} jobs across {tenants} tenant(s) to {workers} worker(s) \
+         ({tiles} tiles at d={distance}, {cycles} cycles each)\n"
+    );
+    let mut handles: Vec<(u64, Option<JobHandle>)> = Vec::new();
+    for i in 0..jobs {
+        let tenant = TenantId(i as u32 % tenants);
+        let spec = WorkloadSpec::memory(distance, tiles, 1, error_rate, seed + i, cycles);
+        match server.submit(tenant, spec) {
+            Ok(handle) => {
+                if cancel_every > 0 && i % cancel_every == 0 {
+                    handle.cancel();
+                }
+                handles.push((i, Some(handle)));
+            }
+            Err(e) => {
+                println!("job {i} ({tenant}): rejected — {e}");
+                handles.push((i, None));
+            }
+        }
+    }
+    let mut unexpected = 0u64;
+    for (i, handle) in handles {
+        let Some(handle) = handle else {
+            if cancel_every == 0 && max_shots == u64::MAX {
+                unexpected += 1;
+            }
+            continue;
+        };
+        let tenant = handle.tenant();
+        let expect_cancel = cancel_every > 0 && i % cancel_every == 0;
+        match handle.wait() {
+            JobOutcome::Done(report) => {
+                println!(
+                    "job {i} ({tenant}): done — {} outcomes, logical {}",
+                    report.outcomes.len(),
+                    if report.logical_ok() {
+                        "OK"
+                    } else {
+                        "CORRUPTED"
+                    },
+                );
+            }
+            JobOutcome::Cancelled => {
+                println!("job {i} ({tenant}): cancelled");
+                if !expect_cancel {
+                    unexpected += 1;
+                }
+            }
+            JobOutcome::Failed(e) => {
+                println!("job {i} ({tenant}): failed — {e}");
+                unexpected += 1;
+            }
+            JobOutcome::Lost => {
+                println!("job {i} ({tenant}): lost");
+                unexpected += 1;
+            }
+        }
+    }
+    let ledger = server.shutdown();
+    println!("\n{ledger}");
+    if unexpected > 0 {
+        return Err(format!("{unexpected} job(s) ended in an unexpected state"));
+    }
+    Ok(())
+}
+
+/// Interactive job server: reads line commands from stdin until EOF or
+/// `drain`, then drains the pool and prints the final ledger.
+///
+/// Commands:
+///
+/// ```text
+/// submit <tenant> <cycles> [seed]            — memory workload (d=3, 4 tiles)
+/// cancel <job>                               — request cancellation
+/// status                                     — queue depth + every job's state
+/// quota <tenant> <queued> <cycles> <shots>   — set a tenant quota
+/// drain                                      — stop intake, finish, report
+/// ```
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut workers = 2usize;
+    let mut queue_depth = 64usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--workers" => workers = parse_u64(value("--workers")?, "worker count")? as usize,
+            "--queue-depth" => {
+                queue_depth = parse_u64(value("--queue-depth")?, "queue depth")? as usize;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (expected --workers/--queue-depth)"
+                ))
+            }
+        }
+    }
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(workers)
+            .with_queue_depth(queue_depth),
+    );
+    println!("serving on {workers} worker(s); commands: submit/cancel/status/quota/drain");
+    let mut handles: BTreeMap<u64, JobHandle> = BTreeMap::new();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            [] => {}
+            ["submit", tenant, cycles, rest @ ..] => {
+                let tenant = TenantId(parse_u64(tenant, "tenant")? as u32);
+                let cycles = parse_u64(cycles, "cycle count")?;
+                let seed = match rest {
+                    [] => 1,
+                    [s, ..] => parse_u64(s, "seed")?,
+                };
+                let spec = WorkloadSpec::memory(3, 4, 1, 1e-3, seed, cycles);
+                match server.submit(tenant, spec) {
+                    Ok(handle) => {
+                        println!("{} queued for {tenant}", handle.id());
+                        handles.insert(handle.id().0, handle);
+                    }
+                    Err(e) => println!("rejected: {e}"),
+                }
+            }
+            ["cancel", job] => {
+                let id = parse_u64(job, "job id")?;
+                match handles.get(&id) {
+                    Some(handle) => {
+                        handle.cancel();
+                        println!("job-{id} cancellation requested");
+                    }
+                    None => println!("no such job: {id}"),
+                }
+            }
+            ["status"] => {
+                println!("{} job(s) queued", server.queued_jobs());
+                for (id, handle) in &handles {
+                    println!("  job-{id} ({}): {:?}", handle.tenant(), handle.state());
+                }
+            }
+            ["quota", tenant, queued, cycles, shots] => {
+                let tenant = TenantId(parse_u64(tenant, "tenant")? as u32);
+                server.set_quota(
+                    tenant,
+                    TenantQuota {
+                        max_queued_jobs: parse_u64(queued, "queued-job quota")?,
+                        max_inflight_shard_cycles: parse_u64(cycles, "shard-cycle quota")?,
+                        max_total_shots: parse_u64(shots, "shot quota")?,
+                    },
+                );
+                println!("quota set for {tenant}");
+            }
+            ["drain"] => break,
+            other => println!("unknown command: {}", other.join(" ")),
+        }
+    }
+    let ledger = server.shutdown();
+    for (id, handle) in handles {
+        let outcome = match handle.wait() {
+            JobOutcome::Done(report) => format!(
+                "done ({} outcomes, logical {})",
+                report.outcomes.len(),
+                if report.logical_ok() {
+                    "OK"
+                } else {
+                    "CORRUPTED"
+                },
+            ),
+            JobOutcome::Cancelled => "cancelled".to_owned(),
+            JobOutcome::Failed(e) => format!("failed: {e}"),
+            JobOutcome::Lost => "lost".to_owned(),
+        };
+        println!("job-{id}: {outcome}");
+    }
+    println!("\n{ledger}");
     Ok(())
 }
 

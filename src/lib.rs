@@ -12,7 +12,10 @@
 //! * [`estimate`] — the QuRE-style resource/bandwidth estimator;
 //! * [`runtime`] — the concurrent, sharded multi-tile simulation
 //!   runtime (one worker thread per MCE shard, a shared global-decode
-//!   pool, packet-shaped channel messages).
+//!   pool, packet-shaped channel messages);
+//! * [`serve`] — the multi-tenant job server over the runtime
+//!   (admission control, bounded queue, worker pool, streaming job
+//!   events, server ledger).
 //!
 //! # Quickstart
 //!
@@ -40,5 +43,6 @@ pub use quest_core as arch;
 pub use quest_estimate as estimate;
 pub use quest_isa as isa;
 pub use quest_runtime as runtime;
+pub use quest_serve as serve;
 pub use quest_stabilizer as stabilizer;
 pub use quest_surface as surface;
