@@ -10,8 +10,8 @@
 //! escalated to the master controller's global decoder, costing upstream
 //! syndrome bandwidth.
 
-use quest_surface::decoder::Correction;
-use quest_surface::{DecodingGraph, LutDecoder, NodeId, RotatedLattice, StabKind};
+use quest_surface::decoder::{Correction, CostReport, DecoderBackend, LutBackend};
+use quest_surface::{DecodingGraph, NodeId, RotatedLattice, StabKind};
 use std::collections::BTreeSet;
 
 /// Statistics for the local decode stage.
@@ -83,9 +83,13 @@ pub enum Reference {
 #[derive(Debug, Clone)]
 pub struct DecoderPipeline {
     kind: StabKind,
-    /// Single-round decoding graph driving the LUT.
+    /// Single-round decoding graph driving the local backend.
     graph: DecodingGraph,
-    lut: LutDecoder,
+    /// The local decode engine, dispatched through the pluggable
+    /// [`DecoderBackend`] trait (a [`LutBackend`]; its
+    /// [`DecoderBackend::try_decode`] escalates on patterns outside the
+    /// table, which is exactly the MCE-local contract).
+    local: Box<dyn DecoderBackend>,
     /// Previous round's syndrome bits (for detection-event differencing);
     /// `None` while waiting for a first-round reference.
     previous: Option<Vec<bool>>,
@@ -115,7 +119,7 @@ impl DecoderPipeline {
         reference: Reference,
     ) -> DecoderPipeline {
         let graph = DecodingGraph::new(lattice, kind, 1);
-        let lut = LutDecoder::new(&graph);
+        let local: Box<dyn DecoderBackend> = Box::new(LutBackend::new(&graph));
         let previous = match reference {
             Reference::Deterministic => Some(vec![false; graph.num_checks()]),
             Reference::FirstRound => None,
@@ -123,7 +127,7 @@ impl DecoderPipeline {
         DecoderPipeline {
             kind,
             graph,
-            lut,
+            local,
             previous,
             frame: BTreeSet::new(),
             round: 0,
@@ -186,6 +190,13 @@ impl DecoderPipeline {
         self.stats
     }
 
+    /// Accumulated cost counters of the local decode backend: one
+    /// primary decode per LUT lookup, one fallback count per escalated
+    /// miss, and the LUT bank's modeled JJ footprint.
+    pub fn local_cost(&self) -> CostReport {
+        self.local.cost()
+    }
+
     /// The accumulated Pauli frame: data qubits whose readout must be
     /// flipped before interpretation.
     pub fn frame(&self) -> &BTreeSet<usize> {
@@ -239,7 +250,7 @@ impl DecoderPipeline {
         if events.is_empty() {
             self.stats.quiet_rounds += 1;
         } else {
-            match self.lut.try_correction(&self.graph, &events) {
+            match self.local.try_decode(&self.graph, &events) {
                 Some(Correction { data_flips, .. }) => {
                     self.stats.local_hits += 1;
                     self.stats.local_corrections += data_flips.len() as u64;
@@ -342,6 +353,85 @@ mod tests {
             assert_eq!(esc[0].events.len(), 3);
             assert!(p.pending_escalations().is_empty());
         }
+    }
+
+    #[test]
+    fn counters_sum_to_rounds_fed() {
+        // ISSUE 7 satellite: local_hits + escalations + quiet_rounds must
+        // account for every round the pipeline processed, for both
+        // first-round interpretations.
+        for reference in [Reference::Deterministic, Reference::FirstRound] {
+            let lat = RotatedLattice::new(5);
+            let mut p = DecoderPipeline::with_reference(&lat, StabKind::Z, reference);
+            let zc = lat.plaquettes_of(StabKind::Z).count();
+            let mut fed = 0u64;
+            for round in 0..12 {
+                let mut bits = vec![false; zc];
+                match round % 3 {
+                    0 => {}                       // quiet
+                    1 => bits[round % zc] = true, // isolated-ish
+                    _ => {
+                        // Scattered pattern likely outside the LUT.
+                        bits[0] = true;
+                        bits[zc / 2] = true;
+                        bits[zc - 1] = true;
+                    }
+                }
+                p.feed_round(&bits);
+                fed += 1;
+            }
+            let s = p.stats();
+            assert_eq!(
+                s.local_hits + s.escalations + s.quiet_rounds,
+                fed,
+                "round accounting leaked ({reference:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn escalation_accounting_matches_local_backend_cost() {
+        // Every non-quiet round is exactly one lookup on the local
+        // backend, and every escalation is exactly one recorded miss.
+        let lat = RotatedLattice::new(5);
+        let mut p = DecoderPipeline::new(&lat, StabKind::Z);
+        let zc = lat.plaquettes_of(StabKind::Z).count();
+        for round in 0..10 {
+            let mut bits = vec![false; zc];
+            if round % 2 == 0 {
+                bits[0] = true;
+                bits[zc / 2] = true;
+                bits[zc - 1] = true;
+            }
+            p.feed_round(&bits);
+        }
+        let s = p.stats();
+        let cost = p.local_cost();
+        assert_eq!(cost.decodes, s.local_hits + s.escalations);
+        assert_eq!(cost.fallback_decodes, s.escalations);
+        assert!(cost.jj_count > 0, "the LUT bank has a JJ footprint");
+    }
+
+    #[test]
+    fn escalated_corrections_merge_idempotently() {
+        // Merging the global decoder's correction for an escalated round
+        // is XOR-folding: an empty correction is a no-op, and re-merging
+        // the same flips restores the prior frame (so a retransmitted
+        // pair of identical corrections nets out instead of compounding).
+        let (lat, mut p) = z_pipeline(5);
+        let zc = lat.plaquettes_of(StabKind::Z).count();
+        let mut bits = vec![false; zc];
+        bits[0] = true;
+        bits[zc / 2] = true;
+        bits[zc - 1] = true;
+        p.feed_round(&bits);
+        let flips: Vec<usize> = vec![lat.data_index(0, 0), lat.data_index(2, 2)];
+        let before = p.frame().clone();
+        p.apply_global_correction([]);
+        assert_eq!(*p.frame(), before, "empty correction must be a no-op");
+        p.apply_global_correction(flips.iter().copied());
+        p.apply_global_correction(flips.iter().copied());
+        assert_eq!(*p.frame(), before, "double merge must cancel exactly");
     }
 
     #[test]

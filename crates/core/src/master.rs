@@ -13,8 +13,8 @@ use crate::error::ReplayError;
 use crate::instruction_pipeline::traffic_class;
 use crate::mce::Mce;
 use quest_isa::{InstrClass, LogicalInstr};
-use quest_surface::decoder::Decoder;
-use quest_surface::{DecodingGraph, StabKind, UnionFindDecoder};
+use quest_surface::decoder::{CostReport, DecoderBackend, DecoderChoice};
+use quest_surface::{DecodingGraph, StabKind};
 
 /// Bytes of syndrome data per escalated detection event (check id + round
 /// tag in the upstream packet format).
@@ -35,17 +35,44 @@ pub struct MasterStats {
 }
 
 /// The master controller of a QuEST control processor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MasterController {
     bus: BusCounters,
     stats: MasterStats,
-    decoder: UnionFindDecoder,
+    decoder: Box<dyn DecoderBackend>,
+}
+
+impl Default for MasterController {
+    fn default() -> MasterController {
+        MasterController::with_decoder(DecoderChoice::default())
+    }
 }
 
 impl MasterController {
-    /// Creates a master controller with zeroed counters.
+    /// Creates a master controller with zeroed counters and the default
+    /// (software union-find) global decoder backend.
     pub fn new() -> MasterController {
         MasterController::default()
+    }
+
+    /// Creates a master controller whose global decoder is the backend
+    /// selected by `choice`.
+    pub fn with_decoder(choice: DecoderChoice) -> MasterController {
+        MasterController {
+            bus: BusCounters::default(),
+            stats: MasterStats::default(),
+            decoder: choice.backend(),
+        }
+    }
+
+    /// Name of the global decoder backend in use.
+    pub fn decoder_name(&self) -> &'static str {
+        self.decoder.name()
+    }
+
+    /// Accumulated decode-cost counters of the global decoder backend.
+    pub fn decoder_cost(&self) -> CostReport {
+        self.decoder.cost()
     }
 
     /// Global-bus traffic counters.

@@ -25,7 +25,7 @@ use crate::system::MCE_IBUF_BYTES;
 use crate::tile;
 use quest_isa::{InstrClass, LogicalInstr};
 use quest_stabilizer::{PauliChannel, Tableau};
-use quest_surface::RotatedLattice;
+use quest_surface::{DecoderChoice, RotatedLattice};
 use rand::Rng;
 
 pub use crate::tile::LogicalBasis;
@@ -84,6 +84,23 @@ impl MultiTileSystem {
         p: f64,
         mode: DeliveryMode,
     ) -> Result<MultiTileSystem, BuildError> {
+        MultiTileSystem::with_delivery_decoder(d, tiles, p, mode, DecoderChoice::default())
+    }
+
+    /// Like [`MultiTileSystem::with_delivery`] with an explicit global
+    /// decoder backend for the master controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on the same invalid parameters as
+    /// [`MultiTileSystem::new`].
+    pub fn with_delivery_decoder(
+        d: usize,
+        tiles: usize,
+        p: f64,
+        mode: DeliveryMode,
+        decoder: DecoderChoice,
+    ) -> Result<MultiTileSystem, BuildError> {
         check_distance(d)?;
         check_probability("error rate", p)?;
         if tiles == 0 {
@@ -98,7 +115,7 @@ impl MultiTileSystem {
             substrate: Tableau::new(tiles * tile_width),
             lattice,
             mces,
-            master: MasterController::new(),
+            master: MasterController::with_decoder(decoder),
             noise: PauliChannel::depolarizing(p),
             engine: DeliveryEngine::new(mode),
         })

@@ -13,6 +13,7 @@ use crate::delivery::DeliveryMode;
 use crate::fault::RecoveryStats;
 use crate::master::MasterStats;
 use crate::mce::Mce;
+use quest_surface::decoder::CostReport;
 
 /// Result of running a workload, identical in shape for the single-tile
 /// system, the multi-tile reference and the sharded runtime.
@@ -34,6 +35,10 @@ pub struct RunReport {
     pub escalations: u64,
     /// Master-controller counters (dispatches, global decodes, syncs).
     pub master: MasterStats,
+    /// Accumulated cost of the global decoder backend (cycles, JJ
+    /// footprint, fallback counts). Pure functions of the decoded
+    /// `(graph, events)` multiset, so bit-identical across shard counts.
+    pub decode_cost: CostReport,
     /// Classical-fault injection and recovery counters. All-zero for a
     /// fault-free run (and always for the non-injecting reference path).
     pub recovery: RecoveryStats,
@@ -94,6 +99,7 @@ mod tests {
             local_decodes: 0,
             escalations: 0,
             master: MasterStats::default(),
+            decode_cost: CostReport::default(),
             recovery: RecoveryStats::default(),
         }
     }

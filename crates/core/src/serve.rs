@@ -111,6 +111,9 @@ pub struct TenantServeStats {
     pub queue_latency: LatencySummary,
     /// Run latency (worker pickup → terminal state) of finished jobs.
     pub run_latency: LatencySummary,
+    /// Completed jobs by decoder-backend name, sorted by name. Empty
+    /// until a job completes.
+    pub jobs_by_decoder: Vec<(String, u64)>,
 }
 
 impl TenantServeStats {
@@ -220,6 +223,13 @@ impl fmt::Display for ServeReport {
             )?;
             writeln!(f, "    queue latency: {}", t.queue_latency)?;
             writeln!(f, "    run latency  : {}", t.run_latency)?;
+            if !t.jobs_by_decoder.is_empty() {
+                write!(f, "    decoders     :")?;
+                for (name, n) in &t.jobs_by_decoder {
+                    write!(f, " {name}={n}")?;
+                }
+                writeln!(f)?;
+            }
         }
         Ok(())
     }
@@ -267,6 +277,7 @@ mod tests {
         let a = TenantServeStats {
             jobs_done: 3,
             shots_done: 12,
+            jobs_by_decoder: vec![("union-find".to_string(), 3)],
             ..TenantServeStats::default()
         };
         let b = TenantServeStats {
@@ -294,6 +305,7 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("tenant-1"));
         assert!(text.contains("jobs/s"));
+        assert!(text.contains("union-find=3"));
     }
 
     #[test]

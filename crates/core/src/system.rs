@@ -191,6 +191,7 @@ impl QuestSystem {
             local_decodes,
             escalations,
             master: self.master.stats(),
+            decode_cost: self.master.decoder_cost(),
             recovery: crate::fault::RecoveryStats::default(),
         }
     }

@@ -87,10 +87,11 @@ pub use error::RuntimeError;
 pub use pool::PoolStats;
 pub use quest_core::tile::LogicalBasis;
 pub use quest_core::{
-    DeliveryMode, FaultPlan, LinkFailure, RecoveryStats, RunReport, ShardPanicPlan,
+    CostReport, DecoderChoice, DeliveryMode, FaultPlan, LinkFailure, RecoveryStats, RunReport,
+    ShardPanicPlan,
 };
 pub use reference::run_reference;
-pub use spec::{SpecError, WorkloadOp, WorkloadSpec};
+pub use spec::{SpecError, WorkloadOp, WorkloadSpec, TABLE_DECODER_MAX_DISTANCE};
 pub use stats::{PhaseTimings, RuntimeReport, RuntimeStats, ShardStats};
 
 use message::{channel, DepthGauge, Envelope, Payload, Rx, Tx};
@@ -236,7 +237,7 @@ impl Runtime {
                 down_gauges.push(down_gauge);
                 up_gauges.push(up_gauge);
             }
-            let pool = DecodePool::spawn(scope, &lattice, self.decode_workers);
+            let pool = DecodePool::spawn(scope, &lattice, spec.decoder, self.decode_workers);
 
             let mut master = Master {
                 spec,
@@ -251,7 +252,7 @@ impl Runtime {
                 filled: vec![false; spec.tiles],
                 num_qubits: lattice.num_qubits(),
                 cycle_len,
-                controller: MasterController::new(),
+                controller: MasterController::with_decoder(spec.decoder),
                 network: Network::new(spec.tiles, self.fanout),
                 pool,
                 down_txs,
@@ -669,6 +670,11 @@ impl Master<'_, '_, '_> {
             stats.max_upstream_depth = up_gauges[s].high_water();
         }
         let escalations = self.shard_stats.iter().map(|s| s.escalations).sum();
+        // The pool's merged decode-cost ledger must be read before the
+        // shutdown consumes the pool. The master's own backend never ran
+        // a decode (escalations all go through the pool), so the pool
+        // ledger IS the run's global decode cost.
+        let decode_cost = self.pool.cost();
         let pool_stats = self.pool.shutdown();
         self.faults
             .note_pool_recoveries(pool_stats.deaths, pool_stats.respawns);
@@ -681,6 +687,7 @@ impl Master<'_, '_, '_> {
                 local_decodes: self.local_decodes,
                 escalations,
                 master: self.controller.stats(),
+                decode_cost,
                 recovery: self.faults.stats(),
             },
             stats: RuntimeStats {

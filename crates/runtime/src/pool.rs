@@ -2,11 +2,13 @@
 //!
 //! Escalations from all shards converge at the master, which packages
 //! them into per-cycle batches and fans the batch out to this pool. Each
-//! worker owns a [`UnionFindDecoder`] and prebuilt single-round
-//! [`BatchGraphs`], decoding its chunk with
-//! [`decode_batch`](quest_surface::decoder::batch::decode_batch) — the
-//! same graph and decoder the single-threaded master uses, so pooled
-//! decoding changes throughput, never corrections.
+//! worker owns a backend built from the spec's [`DecoderChoice`] and
+//! prebuilt single-round [`BatchGraphs`], decoding its chunk with
+//! [`decode_batch_backend`] — the same graphs and backend kind the
+//! single-threaded master uses, so pooled decoding changes throughput,
+//! never corrections. Per-chunk [`CostReport`]s ride back with the
+//! corrections and merge (order-invariantly) into one pool-level cost,
+//! which therefore matches the reference executor's bit for bit.
 //!
 //! The pool is supervised: a worker that panics mid-chunk (including the
 //! fault layer's injected kill) is caught by `catch_unwind` inside the
@@ -18,8 +20,9 @@
 //! of hanging or aborting.
 
 use crate::error::RuntimeError;
-use quest_surface::decoder::batch::{decode_batch, BatchGraphs, DecodeJob};
-use quest_surface::{RotatedLattice, StabKind, UnionFindDecoder};
+use quest_surface::decoder::batch::{BatchGraphs, DecodeJob};
+use quest_surface::decoder::{decode_batch_backend, CostReport, DecoderChoice};
+use quest_surface::{RotatedLattice, StabKind};
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -42,6 +45,8 @@ struct ChunkResult {
     tags: Vec<(usize, StabKind)>,
     /// Data-qubit flips per job.
     flips: Vec<BTreeSet<usize>>,
+    /// Decode cost of exactly this chunk's jobs.
+    cost: CostReport,
 }
 
 /// What a worker thread reports upstream.
@@ -87,19 +92,23 @@ impl PoolStats {
 pub(crate) struct DecodePool<'scope, 'env> {
     scope: &'scope std::thread::Scope<'scope, 'env>,
     lattice: &'env RotatedLattice,
+    choice: DecoderChoice,
     chunk_tx: Sender<Chunk>,
     chunk_rx: Arc<Mutex<Receiver<Chunk>>>,
     result_tx: Sender<WorkerMessage>,
     result_rx: Receiver<WorkerMessage>,
     handles: Vec<std::thread::ScopedJoinHandle<'scope, ()>>,
     stats: PoolStats,
+    cost: CostReport,
 }
 
 impl<'scope, 'env> DecodePool<'scope, 'env> {
-    /// Spawns `workers` decode threads inside `scope`.
+    /// Spawns `workers` decode threads inside `scope`, each owning one
+    /// backend built from `choice`.
     pub(crate) fn spawn(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         lattice: &'env RotatedLattice,
+        choice: DecoderChoice,
         workers: usize,
     ) -> DecodePool<'scope, 'env> {
         assert!(workers > 0, "decode pool needs at least one worker");
@@ -108,6 +117,7 @@ impl<'scope, 'env> DecodePool<'scope, 'env> {
         let mut pool = DecodePool {
             scope,
             lattice,
+            choice,
             chunk_tx,
             chunk_rx: Arc::new(Mutex::new(chunk_rx)),
             result_tx,
@@ -117,6 +127,7 @@ impl<'scope, 'env> DecodePool<'scope, 'env> {
                 workers,
                 ..PoolStats::default()
             },
+            cost: CostReport::default(),
         };
         for _ in 0..workers {
             pool.spawn_worker();
@@ -129,9 +140,10 @@ impl<'scope, 'env> DecodePool<'scope, 'env> {
         let chunk_rx = Arc::clone(&self.chunk_rx);
         let result_tx = self.result_tx.clone();
         let lattice = self.lattice;
+        let choice = self.choice;
         self.handles.push(self.scope.spawn(move || {
             let graphs = BatchGraphs::new(lattice);
-            let decoder = UnionFindDecoder::new();
+            let mut backend = choice.backend();
             loop {
                 // Holding the lock only for the recv keeps workers
                 // pulling chunks as they free up. A poisoned lock (a
@@ -152,13 +164,20 @@ impl<'scope, 'env> DecodePool<'scope, 'env> {
                         // quest-lint: allow(QL01) -- deliberate fault injection: exercises the supervisor's requeue-and-respawn path
                         panic!("injected decode-worker death");
                     }
-                    decode_batch(&decoder, &graphs, &chunk.jobs)
+                    // Scope the cost accumulator to this chunk so the
+                    // result carries exactly these jobs' cost (a dead
+                    // chunk's partial cost is discarded with the worker,
+                    // so the requeued decode is counted exactly once).
+                    backend.reset_cost();
+                    let corrections = decode_batch_backend(backend.as_mut(), &graphs, &chunk.jobs);
+                    (corrections, backend.cost())
                 }));
                 match outcome {
-                    Ok(corrections) => {
+                    Ok((corrections, cost)) => {
                         let result = ChunkResult {
                             tags: std::mem::take(&mut chunk.tags),
                             flips: corrections.into_iter().map(|c| c.data_flips).collect(),
+                            cost,
                         };
                         if result_tx.send(WorkerMessage::Done(result)).is_err() {
                             return; // pool gone: nobody wants the result
@@ -224,6 +243,7 @@ impl<'scope, 'env> DecodePool<'scope, 'env> {
         while chunks_done < chunks_sent {
             match self.result_rx.recv() {
                 Ok(WorkerMessage::Done(result)) => {
+                    self.cost.merge(&result.cost);
                     for ((tile, kind), flips) in result.tags.into_iter().zip(result.flips) {
                         out.push((tile, kind, flips));
                     }
@@ -266,6 +286,14 @@ impl<'scope, 'env> DecodePool<'scope, 'env> {
         self.stats
     }
 
+    /// Decode cost merged across every completed chunk. Per-decode
+    /// cycles are pure functions of `(graph, events)` and the merge is
+    /// order-invariant, so this matches the single-threaded reference
+    /// for any worker count.
+    pub(crate) fn cost(&self) -> CostReport {
+        self.cost
+    }
+
     /// Orderly teardown: closes the job queue first (so idle workers
     /// exit their `recv`), then joins every worker handle — consuming
     /// any panic result so the enclosing thread scope never re-panics.
@@ -290,7 +318,7 @@ impl<'scope, 'env> DecodePool<'scope, 'env> {
 mod tests {
     use super::*;
     use quest_surface::decoder::Decoder;
-    use quest_surface::DecodingGraph;
+    use quest_surface::{DecodingGraph, UnionFindDecoder};
 
     fn demo_batch() -> Vec<(usize, StabKind, DecodeJob)> {
         vec![
@@ -352,7 +380,7 @@ mod tests {
     fn pool_matches_direct_decoding() {
         let lattice = RotatedLattice::new(5);
         std::thread::scope(|scope| {
-            let mut pool = DecodePool::spawn(scope, &lattice, 3);
+            let mut pool = DecodePool::spawn(scope, &lattice, DecoderChoice::default(), 3);
             let got = pool.decode(demo_batch(), false).unwrap();
             assert_exact(&lattice, got);
             let stats = pool.stats();
@@ -368,7 +396,7 @@ mod tests {
     fn empty_batch_is_free() {
         let lattice = RotatedLattice::new(3);
         std::thread::scope(|scope| {
-            let mut pool = DecodePool::spawn(scope, &lattice, 2);
+            let mut pool = DecodePool::spawn(scope, &lattice, DecoderChoice::default(), 2);
             assert!(pool.decode(Vec::new(), false).unwrap().is_empty());
             assert_eq!(pool.stats().batches, 0);
             pool.shutdown();
@@ -379,7 +407,7 @@ mod tests {
     fn killed_worker_is_respawned_and_loses_no_corrections() {
         let lattice = RotatedLattice::new(5);
         std::thread::scope(|scope| {
-            let mut pool = DecodePool::spawn(scope, &lattice, 2);
+            let mut pool = DecodePool::spawn(scope, &lattice, DecoderChoice::default(), 2);
             let got = pool.decode(demo_batch(), true).unwrap();
             assert_exact(&lattice, got);
             let stats = pool.stats();
@@ -394,10 +422,37 @@ mod tests {
     }
 
     #[test]
+    fn pool_cost_matches_sequential_for_every_backend() {
+        // The decode pool's merged CostReport must equal a sequential
+        // decode of the same jobs on one backend — for every selectable
+        // backend, and even when a worker death forces a requeue.
+        let lattice = RotatedLattice::new(5);
+        for choice in DecoderChoice::ALL {
+            let graphs = BatchGraphs::new(&lattice);
+            let mut reference = choice.backend();
+            let jobs: Vec<DecodeJob> = demo_batch().into_iter().map(|(_, _, j)| j).collect();
+            decode_batch_backend(reference.as_mut(), &graphs, &jobs);
+            for kill_one in [false, true] {
+                std::thread::scope(|scope| {
+                    let mut pool = DecodePool::spawn(scope, &lattice, choice, 3);
+                    let got = pool.decode(demo_batch(), kill_one).unwrap();
+                    assert_eq!(got.len(), jobs.len());
+                    assert_eq!(
+                        pool.cost(),
+                        reference.cost(),
+                        "{choice} kill={kill_one}: pool cost diverged"
+                    );
+                    pool.shutdown();
+                });
+            }
+        }
+    }
+
+    #[test]
     fn respawn_budget_exhaustion_is_a_typed_error() {
         let lattice = RotatedLattice::new(5);
         std::thread::scope(|scope| {
-            let mut pool = DecodePool::spawn(scope, &lattice, 1);
+            let mut pool = DecodePool::spawn(scope, &lattice, DecoderChoice::default(), 1);
             // One worker, one respawn in the budget: the second kill
             // must fail the batch instead of hanging.
             assert!(pool.decode(demo_batch(), true).is_ok());
@@ -412,7 +467,7 @@ mod tests {
     fn dropping_a_loaded_pool_neither_hangs_nor_aborts() {
         let lattice = RotatedLattice::new(5);
         std::thread::scope(|scope| {
-            let pool = DecodePool::spawn(scope, &lattice, 2);
+            let pool = DecodePool::spawn(scope, &lattice, DecoderChoice::default(), 2);
             // Queue work the pool will never be asked to collect, then
             // tear down while it is still in flight.
             for _ in 0..16 {

@@ -34,8 +34,13 @@ pub fn run_reference(spec: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
     if !spec.faults.is_none() {
         return Err(RuntimeError::ReferenceFaults);
     }
-    let mut sys =
-        MultiTileSystem::with_delivery(spec.distance, spec.tiles, spec.error_rate, spec.delivery)?;
+    let mut sys = MultiTileSystem::with_delivery_decoder(
+        spec.distance,
+        spec.tiles,
+        spec.error_rate,
+        spec.delivery,
+        spec.decoder,
+    )?;
     let mut rngs: Vec<StdRng> = (0..spec.tiles)
         .map(|t| StdRng::seed_from_u64(tile_seed(spec.seed, t as u64)))
         .collect();
@@ -81,6 +86,7 @@ pub fn run_reference(spec: &WorkloadSpec) -> Result<RunReport, RuntimeError> {
         local_decodes,
         escalations,
         master: sys.master().stats(),
+        decode_cost: sys.master().decoder_cost(),
         recovery: RecoveryStats::default(),
     })
 }

@@ -1,10 +1,17 @@
 //! Workload description and shard planning.
 
 use quest_core::tile::LogicalBasis;
-use quest_core::{DeliveryMode, FaultPlan, MCE_IBUF_BYTES};
+use quest_core::{DecoderChoice, DeliveryMode, FaultPlan, MCE_IBUF_BYTES};
 use quest_isa::{InstrClass, LogicalInstr, LogicalProgram};
+use quest_surface::TableDecoder;
 use std::fmt;
 use std::ops::Range;
+
+/// Largest distance at which [`DecoderChoice::Table`]'s complete lookup
+/// memory is feasible: a rotated distance-`d` code has `(d² - 1) / 2`
+/// checks per stabilizer kind, and the table enumerates `2^checks`
+/// syndromes, capped at [`TableDecoder::MAX_CHECKS`].
+pub const TABLE_DECODER_MAX_DISTANCE: usize = 5;
 
 /// One step of a runtime workload, executed in program order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +95,11 @@ pub struct WorkloadSpec {
     /// fault decisions are seeded from [`WorkloadSpec::seed`], so a
     /// faulty run is as reproducible as a clean one.
     pub faults: FaultPlan,
+    /// Global decoder backend for the master controller and the decode
+    /// pool ([`DecoderChoice::UnionFind`] in the stock constructors).
+    /// Validated: [`DecoderChoice::Table`] is rejected above
+    /// [`TABLE_DECODER_MAX_DISTANCE`].
+    pub decoder: DecoderChoice,
     /// The program.
     pub ops: Vec<WorkloadOp>,
 }
@@ -165,6 +177,12 @@ pub enum SpecError {
         /// The offending value.
         rate: f64,
     },
+    /// [`DecoderChoice::Table`] was requested at a distance whose check
+    /// count overflows the complete lookup memory.
+    TableDecoderInfeasible {
+        /// The requested distance.
+        distance: usize,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -222,6 +240,13 @@ impl fmt::Display for SpecError {
             SpecError::InvalidFaultRate { which, rate } => {
                 write!(f, "fault {which} rate {rate} outside [0, 1]")
             }
+            SpecError::TableDecoderInfeasible { distance } => write!(
+                f,
+                "the table decoder enumerates 2^checks syndromes and is only \
+                 feasible up to distance {TABLE_DECODER_MAX_DISTANCE} \
+                 ({} checks); got distance {distance}",
+                TableDecoder::MAX_CHECKS
+            ),
         }
     }
 }
@@ -256,6 +281,7 @@ impl WorkloadSpec {
             delivery: DeliveryMode::QuestMce,
             kernel: Vec::new(),
             faults: FaultPlan::none(),
+            decoder: DecoderChoice::default(),
             ops,
         }
     }
@@ -308,6 +334,7 @@ impl WorkloadSpec {
             delivery: DeliveryMode::QuestMce,
             kernel: Vec::new(),
             faults: FaultPlan::none(),
+            decoder: DecoderChoice::default(),
             ops,
         })
     }
@@ -361,6 +388,7 @@ impl WorkloadSpec {
             delivery,
             kernel,
             faults: FaultPlan::none(),
+            decoder: DecoderChoice::default(),
             ops,
         }
     }
@@ -431,6 +459,11 @@ impl WorkloadSpec {
         }
         if let Err((which, rate)) = self.faults.check_rates() {
             return Err(SpecError::InvalidFaultRate { which, rate });
+        }
+        if self.decoder == DecoderChoice::Table && self.distance > TABLE_DECODER_MAX_DISTANCE {
+            return Err(SpecError::TableDecoderInfeasible {
+                distance: self.distance,
+            });
         }
         // Decoder-reference tracking: at boot a tile's Z pipeline has a
         // deterministic reference and its X pipeline forms one on the
@@ -724,6 +757,25 @@ mod tests {
         spec.tiles = 0;
         spec.shards = 0;
         assert_eq!(spec.validate(), Err(SpecError::NoTiles));
+    }
+
+    #[test]
+    fn table_decoder_rejected_above_its_feasible_distance() {
+        let mut spec = WorkloadSpec::memory(7, 2, 1, 0.0, 1, 1);
+        assert!(spec.validate().is_ok(), "default decoder works at d=7");
+        spec.decoder = DecoderChoice::Table;
+        assert_eq!(
+            spec.validate(),
+            Err(SpecError::TableDecoderInfeasible { distance: 7 })
+        );
+        // Every backend validates at the table's feasible distances.
+        for distance in [3, 5] {
+            for decoder in DecoderChoice::ALL {
+                let mut spec = WorkloadSpec::memory(distance, 2, 1, 0.0, 1, 1);
+                spec.decoder = decoder;
+                assert!(spec.validate().is_ok(), "d={distance} {decoder}");
+            }
+        }
     }
 
     #[test]

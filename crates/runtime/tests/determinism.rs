@@ -8,7 +8,9 @@
 use quest_core::tile::tile_seed;
 use quest_core::{DeliveryMode, QuestSystem, Traffic};
 use quest_isa::{InstrClass, LogicalInstr, LogicalProgram, LogicalQubit};
-use quest_runtime::{run_reference, Runtime, RuntimeReport, WorkloadSpec};
+use quest_runtime::{
+    run_reference, DecoderChoice, Runtime, RuntimeReport, WorkloadSpec, TABLE_DECODER_MAX_DISTANCE,
+};
 use quest_stabilizer::{SeedableRng, StdRng};
 
 fn run_at(spec: &WorkloadSpec, shards: usize) -> RuntimeReport {
@@ -101,6 +103,26 @@ fn unified_engine_reproduces_quest_system_with_one_tile() {
         assert_eq!(reference, expected, "{mode:?}: reference != QuestSystem");
         let runtime = Runtime::new().run(&spec).unwrap();
         assert_eq!(runtime.report, expected, "{mode:?}: runtime != QuestSystem");
+    }
+}
+
+#[test]
+fn every_decoder_backend_matches_reference_at_1_2_4_shards() {
+    // Tentpole acceptance: the determinism guarantee holds per backend.
+    // Each backend's unified report — including its decode-cost ledger —
+    // must be bit-identical across shard counts and match the reference.
+    // d=5 at a heavy rate so global decodes actually happen; the table
+    // backend is infeasible above d=5 and is exercised right at its cap.
+    for decoder in DecoderChoice::ALL {
+        let mut spec = WorkloadSpec::memory(5, 4, 1, 2e-2, 11, 20);
+        spec.decoder = decoder;
+        assert!(spec.distance <= TABLE_DECODER_MAX_DISTANCE);
+        let reference = run_reference(&spec).unwrap();
+        assert!(
+            reference.escalations > 0,
+            "{decoder}: no escalations; the backend never decoded"
+        );
+        assert_matches_reference(&spec);
     }
 }
 

@@ -8,7 +8,9 @@ use proptest::prelude::*;
 use quest_core::tile::LogicalBasis;
 use quest_core::{DeliveryMode, FaultPlan};
 use quest_isa::{InstrClass, LogicalInstr, LogicalQubit};
-use quest_runtime::{run_reference, Runtime, RuntimeError, WorkloadOp, WorkloadSpec};
+use quest_runtime::{
+    run_reference, DecoderChoice, Runtime, RuntimeError, WorkloadOp, WorkloadSpec,
+};
 
 /// Decodes one op from a random word. `tile_span` bounds the tile
 /// indices drawn: the spec's tile count for mostly-valid programs, or
@@ -92,6 +94,7 @@ proptest! {
         raw_ops in prop::collection::vec(any::<u32>(), 0..10),
         kernel_len in 0usize..5,
         noisy in any::<bool>(),
+        decoder_sel in 0usize..4,
     ) {
         let spec = WorkloadSpec {
             distance: 3,
@@ -102,6 +105,7 @@ proptest! {
             delivery: DeliveryMode::ALL[mode_sel],
             kernel: vec![LogicalInstr::T(LogicalQubit(0)); kernel_len],
             faults: FaultPlan::none(),
+            decoder: DecoderChoice::ALL[decoder_sel],
             ops: raw_ops.into_iter().map(|v| decode_op(v, tiles)).collect(),
         };
         both_paths_agree(&spec)?;
@@ -119,6 +123,7 @@ proptest! {
         rate_sel in 0usize..3,
         mode_sel in 0usize..3,
         raw_ops in prop::collection::vec(any::<u32>(), 0..8),
+        decoder_sel in 0usize..4,
     ) {
         let spec = WorkloadSpec {
             distance,
@@ -129,6 +134,7 @@ proptest! {
             delivery: DeliveryMode::ALL[mode_sel],
             kernel: Vec::new(),
             faults: FaultPlan::none(),
+            decoder: DecoderChoice::ALL[decoder_sel],
             ops: raw_ops.into_iter().map(|v| decode_op(v, 6)).collect(),
         };
         both_paths_agree(&spec)?;

@@ -27,6 +27,9 @@ struct TenantEntry {
     shots_done: u64,
     queue_samples: Vec<Duration>,
     run_samples: Vec<Duration>,
+    /// Completed jobs keyed by decoder-backend name (BTreeMap: the
+    /// report's per-decoder order is the name order, QL02).
+    jobs_by_decoder: BTreeMap<&'static str, u64>,
 }
 
 /// The live, lock-guarded ledger.
@@ -58,12 +61,19 @@ impl ServerLedger {
     }
 
     /// A job ran to completion in `run_latency`, producing `shots`
-    /// logical readouts.
-    pub(crate) fn done(&self, tenant: TenantId, run_latency: Duration, shots: u64) {
+    /// logical readouts through the `decoder` backend.
+    pub(crate) fn done(
+        &self,
+        tenant: TenantId,
+        run_latency: Duration,
+        shots: u64,
+        decoder: &'static str,
+    ) {
         self.with(tenant, |t| {
             t.jobs_done += 1;
             t.shots_done += shots;
             t.run_samples.push(run_latency);
+            *t.jobs_by_decoder.entry(decoder).or_default() += 1;
         });
     }
 
@@ -103,6 +113,11 @@ impl ServerLedger {
                         shots_done: entry.shots_done,
                         queue_latency: LatencySummary::from_samples(&mut entry.queue_samples),
                         run_latency: LatencySummary::from_samples(&mut entry.run_samples),
+                        jobs_by_decoder: entry
+                            .jobs_by_decoder
+                            .iter()
+                            .map(|(&name, &n)| (name.to_string(), n))
+                            .collect(),
                     },
                 )
             })
@@ -132,7 +147,7 @@ mod tests {
         ledger.admitted(b);
         ledger.rejected(b);
         ledger.started(a, ms(5));
-        ledger.done(a, ms(50), 4);
+        ledger.done(a, ms(50), 4, "union-find");
         ledger.started(a, ms(15));
         ledger.cancelled(a, Some(ms(20)));
         ledger.cancelled(b, None);
@@ -146,6 +161,7 @@ mod tests {
         assert_eq!(ta.queue_latency.samples, 2);
         assert_eq!(ta.queue_latency.max, ms(15));
         assert_eq!(ta.run_latency.samples, 2);
+        assert_eq!(ta.jobs_by_decoder, vec![("union-find".to_string(), 1)]);
         let tb = report.tenant(b).unwrap();
         assert_eq!(tb.jobs_rejected, 1);
         assert_eq!(tb.jobs_cancelled, 1);
@@ -163,7 +179,7 @@ mod tests {
         let ledger = ServerLedger::default();
         ledger.admitted(TenantId(3));
         ledger.started(TenantId(3), ms(1));
-        ledger.done(TenantId(3), ms(2), 1);
+        ledger.done(TenantId(3), ms(2), 1, "pipelined-uf");
         let first = ledger.report(1, ms(10));
         let second = ledger.report(1, ms(10));
         assert_eq!(first, second);

@@ -371,7 +371,9 @@ fn worker_loop(shared: &ServerShared, queue: &JobQueue<Job>) {
                         report: Box::new(report),
                     });
                 }
-                shared.ledger.done(job.tenant, run_latency, shots);
+                shared
+                    .ledger
+                    .done(job.tenant, run_latency, shots, job.spec.decoder.name());
             }
             Err(RuntimeError::Cancelled { .. }) => {
                 if job.cell.advance(JobState::Cancelled) {

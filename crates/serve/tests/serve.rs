@@ -1,7 +1,7 @@
 //! Integration tests for the multi-tenant job server: interleaving
 //! determinism, quota enforcement, and mid-run cancellation.
 
-use quest_runtime::{Runtime, RuntimeReport, WorkloadSpec};
+use quest_runtime::{DecoderChoice, Runtime, RuntimeReport, WorkloadSpec};
 use quest_serve::{
     JobEvent, JobOutcome, JobState, ServeError, Server, ServerConfig, TenantId, TenantQuota,
 };
@@ -284,4 +284,35 @@ fn shutdown_reports_throughput_over_uptime() {
     assert!(ledger.jobs_per_sec() > 0.0);
     assert!(ledger.shots_per_sec() > 0.0);
     assert_eq!(ledger.workers, 2);
+}
+
+/// The ledger attributes completed jobs to the decoder backend each job
+/// selected, per tenant and sorted by backend name.
+#[test]
+fn ledger_reports_jobs_by_decoder_backend() {
+    let server = Server::start(ServerConfig::default().with_workers(2));
+    let tenant = TenantId(0);
+    for (i, decoder) in [
+        DecoderChoice::UnionFind,
+        DecoderChoice::PipelinedUf,
+        DecoderChoice::PipelinedUf,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut spec = WorkloadSpec::memory(3, 2, 1, 1e-3, 300 + i as u64, 15);
+        spec.decoder = decoder;
+        server.submit(tenant, spec).expect("admit");
+    }
+    let ledger = server.shutdown();
+    let section = ledger.tenant(tenant).expect("tenant section");
+    assert_eq!(
+        section.jobs_by_decoder,
+        vec![
+            ("pipelined-uf".to_string(), 2),
+            ("union-find".to_string(), 1),
+        ]
+    );
+    let text = ledger.to_string();
+    assert!(text.contains("pipelined-uf=2"), "{text}");
 }

@@ -1,0 +1,720 @@
+//! The pluggable decode-engine layer: [`DecoderBackend`] and its cost
+//! accounting.
+//!
+//! Everything in the workspace that decodes — the master controller's
+//! global decoder, the runtime's shared decode pool, the MCE-local
+//! [`LutDecoder`] pipeline — dispatches through this trait, so a decode
+//! engine can be swapped per run (the runtime's `DecoderChoice`, the
+//! CLI's `--decoder` flag) without touching any of those layers. Unlike
+//! the read-only [`Decoder`] trait used by the samplers,
+//! a backend takes `&mut self`: it owns its scratch memory (zero
+//! per-shot allocation) and accumulates a [`CostReport`] across decodes.
+//!
+//! # Cost model
+//!
+//! Each backend prices its decodes in cycles of the 10 GHz SFQ clock and
+//! a Josephson-junction footprint, using the same constants as the
+//! microcode-memory model in `quest-core`'s `jj` module (duplicated here
+//! because the dependency points the other way: core builds on
+//! surface-code). Cycle counts are pure functions of `(graph, events)`
+//! and [`CostReport::merge`] is order-invariant, so the runtime's decode
+//! pool — which splits a batch across workers in nondeterministic order
+//! — reports bit-identical costs to the single-threaded reference.
+
+use super::batch::{BatchGraphs, DecodeJob};
+use super::lut::LutDecoder;
+use super::pipelined::PipelinedUfDecoder;
+use super::table::TableDecoder;
+use super::union_find::{UfScratch, UfTrace, UnionFindDecoder};
+use super::{Correction, Decoder, ExactMatchingDecoder};
+use crate::graph::{DecodingGraph, Fault, NodeId};
+use crate::lattice::StabKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JJs per bit of decode-pipeline memory (ERSFQ non-destructive-readout
+/// cell; mirrors `quest_core::jj::JJ_PER_BIT`).
+pub(crate) const JJ_PER_BIT: u64 = 41;
+
+/// Fixed JJ overhead per pipeline stage or memory channel — address
+/// decoder, sense amps, sequencing (mirrors `quest_core::jj`'s per-
+/// channel overhead).
+pub(crate) const JJ_PER_CHANNEL: u64 = 500;
+
+/// SFQ read latency of a memory bank, in clock cycles, as a function of
+/// the bank's size in bits (mirrors
+/// `quest_core::jj::read_latency_cycles`: larger banks need deeper
+/// address decoding).
+pub(crate) fn read_latency_cycles(bank_bits: u64) -> u64 {
+    if bank_bits <= 512 {
+        1
+    } else if bank_bits <= 2048 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Accumulated decode-cost counters for one backend.
+///
+/// All fields are integers and [`CostReport::merge`] only sums and
+/// maxes, so merging per-worker reports in any order yields the same
+/// total — the property that lets the sharded runtime report the same
+/// `decode_cost` as the single-threaded reference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Decodes performed by the backend's primary engine.
+    pub decodes: u64,
+    /// Decodes the backend handed to its union-find fallback (graphs or
+    /// event sets outside the primary engine's domain).
+    pub fallback_decodes: u64,
+    /// Total modeled decode cycles at the 10 GHz SFQ clock.
+    pub cycles: u64,
+    /// Most expensive single decode, in cycles (the decode-latency
+    /// worst case, which bounds the syndrome backlog).
+    pub max_decode_cycles: u64,
+    /// Modeled JJ footprint of the decode hardware. A capacity, not a
+    /// rate: merging takes the max, and software backends report 0.
+    pub jj_count: u64,
+}
+
+impl CostReport {
+    /// Folds another report in: counters and cycles add, capacities max.
+    pub fn merge(&mut self, other: &CostReport) {
+        self.decodes += other.decodes;
+        self.fallback_decodes += other.fallback_decodes;
+        self.cycles += other.cycles;
+        self.max_decode_cycles = self.max_decode_cycles.max(other.max_decode_cycles);
+        self.jj_count = self.jj_count.max(other.jj_count);
+    }
+
+    /// Records one decode that cost `cycles`, attributing it to the
+    /// primary engine or the fallback.
+    pub(crate) fn record(&mut self, cycles: u64, fallback: bool) {
+        if fallback {
+            self.fallback_decodes += 1;
+        } else {
+            self.decodes += 1;
+        }
+        self.cycles += cycles;
+        self.max_decode_cycles = self.max_decode_cycles.max(cycles);
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} decodes (+{} fallback), {} cycles ({} max/decode), {} JJs",
+            self.decodes, self.fallback_decodes, self.cycles, self.max_decode_cycles, self.jj_count
+        )
+    }
+}
+
+/// A decode engine the master controller, decode pool and MCE pipeline
+/// can dispatch through.
+///
+/// Implementations own their scratch memory and cost accumulator;
+/// [`DecoderBackend::decode`] must be total (any graph, any event set)
+/// and deterministic in `(graph, events)` alone.
+pub trait DecoderBackend: std::fmt::Debug + Send {
+    /// Stable machine-readable backend name (what `--decoder` parses and
+    /// the serve ledger reports).
+    fn name(&self) -> &'static str;
+
+    /// Decodes one event set over `graph` into a correction, accruing
+    /// the decode's modeled cost.
+    fn decode(&mut self, graph: &DecodingGraph, events: &[NodeId]) -> Correction;
+
+    /// Decodes a batch of event sets against one graph (scratch reuse
+    /// is the implementation's concern; the default just loops).
+    fn decode_many(
+        &mut self,
+        graph: &DecodingGraph,
+        event_sets: &[Vec<NodeId>],
+    ) -> Vec<Correction> {
+        event_sets.iter().map(|ev| self.decode(graph, ev)).collect()
+    }
+
+    /// Attempts a decode that is allowed to *escalate* (return `None`)
+    /// instead of falling back — the MCE-local contract, where a miss is
+    /// forwarded to the global decoder rather than solved locally. The
+    /// default never escalates.
+    fn try_decode(&mut self, graph: &DecodingGraph, events: &[NodeId]) -> Option<Correction> {
+        Some(self.decode(graph, events))
+    }
+
+    /// The cost accumulated since construction or the last
+    /// [`DecoderBackend::reset_cost`].
+    fn cost(&self) -> CostReport;
+
+    /// Clears the cost accumulator (the decode pool scopes costs to one
+    /// chunk this way).
+    fn reset_cost(&mut self);
+
+    /// Clones the backend behind the object (costs included), so systems
+    /// holding a boxed backend stay `Clone`.
+    fn clone_box(&self) -> Box<dyn DecoderBackend>;
+}
+
+impl Clone for Box<dyn DecoderBackend> {
+    fn clone(&self) -> Box<dyn DecoderBackend> {
+        self.clone_box()
+    }
+}
+
+/// Decodes a tagged job batch through a backend against prebuilt
+/// single-round graphs — the trait-dispatching counterpart of
+/// [`decode_batch`](super::batch::decode_batch), used by the runtime's
+/// decode pool.
+pub fn decode_batch_backend(
+    backend: &mut dyn DecoderBackend,
+    graphs: &BatchGraphs,
+    jobs: &[DecodeJob],
+) -> Vec<Correction> {
+    jobs.iter()
+        .map(|job| backend.decode(graphs.graph(job.kind), &job.events))
+        .collect()
+}
+
+/// The total work counted by a [`UfTrace`], in unit-work cycles: one
+/// cycle per member visit, edge touch, merge, erased-edge insertion,
+/// forest visit and peeled edge. The software backends price decodes
+/// with this flat model; the pipelined backend prices the same trace
+/// against its staged hardware model instead.
+fn trace_work_cycles(t: &UfTrace) -> u64 {
+    t.member_visits + t.edge_touches + t.merges + t.erased_edges + t.forest_visits + t.peeled_edges
+}
+
+/// [`UnionFindDecoder`] as a backend: the workspace's default global
+/// decoder, with persistent scratch and trace-derived work accounting.
+/// A software engine, so its JJ footprint is 0.
+#[derive(Debug, Clone, Default)]
+pub struct UfBackend {
+    decoder: UnionFindDecoder,
+    scratch: UfScratch,
+    cost: CostReport,
+}
+
+impl UfBackend {
+    /// Creates the backend with empty scratch (sized on first decode).
+    pub fn new() -> UfBackend {
+        UfBackend::default()
+    }
+}
+
+impl DecoderBackend for UfBackend {
+    fn name(&self) -> &'static str {
+        "union-find"
+    }
+
+    fn decode(&mut self, graph: &DecodingGraph, events: &[NodeId]) -> Correction {
+        let mut trace = UfTrace::default();
+        let correction = self
+            .decoder
+            .decode_traced(graph, events, &mut self.scratch, &mut trace);
+        self.cost.record(trace_work_cycles(&trace), false);
+        correction
+    }
+
+    fn cost(&self) -> CostReport {
+        self.cost
+    }
+
+    fn reset_cost(&mut self) {
+        self.cost = CostReport::default();
+    }
+
+    fn clone_box(&self) -> Box<dyn DecoderBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// Largest event set the exact matcher enumerates; beyond it the
+/// backend falls back to union-find (the DP is over `2^k` subsets, and
+/// the underlying solver rejects `k > 20` outright).
+pub const EXACT_MAX_EVENTS: usize = 16;
+
+/// [`ExactMatchingDecoder`] as a backend: exact minimum-weight matching
+/// for event sets up to [`EXACT_MAX_EVENTS`], union-find beyond. Cycles
+/// model the subset-DP enumeration (`k · 2^k` for `k` events); software,
+/// so 0 JJs.
+#[derive(Debug, Clone, Default)]
+pub struct ExactBackend {
+    exact: ExactMatchingDecoder,
+    fallback: UfBackend,
+    cost: CostReport,
+}
+
+impl ExactBackend {
+    /// Creates the backend.
+    pub fn new() -> ExactBackend {
+        ExactBackend::default()
+    }
+}
+
+impl DecoderBackend for ExactBackend {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn decode(&mut self, graph: &DecodingGraph, events: &[NodeId]) -> Correction {
+        let k = events.len();
+        if k > EXACT_MAX_EVENTS {
+            let correction = self.fallback.decode(graph, events);
+            let fb = self.fallback.cost();
+            self.fallback.reset_cost();
+            self.cost.record(fb.cycles, true);
+            return correction;
+        }
+        let correction = self.exact.decode(graph, events);
+        self.cost.record((k as u64) << k, false);
+        correction
+    }
+
+    fn cost(&self) -> CostReport {
+        self.cost
+    }
+
+    fn reset_cost(&mut self) {
+        self.cost = CostReport::default();
+    }
+
+    fn clone_box(&self) -> Box<dyn DecoderBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// [`TableDecoder`] as a backend: a complete precomputed lookup memory
+/// per decoding-graph shape, built lazily on first sight of a feasible
+/// graph (single round, at most [`TableDecoder::MAX_CHECKS`] checks) and
+/// union-find fallback for everything else — the multi-round windows of
+/// the master's escalation service, or distances whose check count
+/// overflows the table (the runtime rejects those up front via
+/// `DecoderChoice` validation, so in practice the fallback only sees
+/// multi-round graphs).
+///
+/// Cost model: a table decode is one read of a bank holding
+/// `2^checks × data_qubits` bits, priced at that bank's
+/// `read_latency_cycles`; the JJ footprint is the bank plus one
+/// channel of overhead.
+#[derive(Debug, Clone, Default)]
+pub struct TableBackend {
+    /// Tables keyed by graph shape `(kind, rounds, num_checks)` — every
+    /// tile of a run shares one lattice, so in practice this holds at
+    /// most one table per stabilizer kind.
+    tables: BTreeMap<(u8, usize, usize), TableDecoder>,
+    fallback: UfBackend,
+    cost: CostReport,
+}
+
+impl TableBackend {
+    /// Creates the backend with no tables built yet.
+    pub fn new() -> TableBackend {
+        TableBackend::default()
+    }
+
+    fn shape_key(graph: &DecodingGraph) -> (u8, usize, usize) {
+        let kind = match graph.kind() {
+            StabKind::Z => 0u8,
+            StabKind::X => 1u8,
+        };
+        (kind, graph.rounds(), graph.num_checks())
+    }
+}
+
+/// Distinct data qubits a graph's edges can fault — the per-entry width
+/// of a complete correction table over that graph.
+pub(crate) fn graph_data_qubits(graph: &DecodingGraph) -> usize {
+    let mut qubits: Vec<usize> = graph
+        .edges()
+        .iter()
+        .filter_map(|e| match e.fault {
+            Fault::Data(q) => Some(q),
+            Fault::Measurement { .. } => None,
+        })
+        .collect();
+    qubits.sort_unstable();
+    qubits.dedup();
+    qubits.len()
+}
+
+impl DecoderBackend for TableBackend {
+    fn name(&self) -> &'static str {
+        "table"
+    }
+
+    fn decode(&mut self, graph: &DecodingGraph, events: &[NodeId]) -> Correction {
+        if graph.rounds() != 1 || graph.num_checks() > TableDecoder::MAX_CHECKS {
+            let correction = self.fallback.decode(graph, events);
+            let fb = self.fallback.cost();
+            self.fallback.reset_cost();
+            self.cost.record(fb.cycles, true);
+            return correction;
+        }
+        let table = self
+            .tables
+            .entry(Self::shape_key(graph))
+            .or_insert_with(|| TableDecoder::build(graph));
+        let bank_bits = table.storage_bits(graph_data_qubits(graph)) as u64;
+        let correction = table.decode(graph, events);
+        self.cost.record(read_latency_cycles(bank_bits), false);
+        self.cost.jj_count = self
+            .cost
+            .jj_count
+            .max(bank_bits * JJ_PER_BIT + JJ_PER_CHANNEL);
+        correction
+    }
+
+    fn cost(&self) -> CostReport {
+        self.cost
+    }
+
+    fn reset_cost(&mut self) {
+        self.cost = CostReport::default();
+    }
+
+    fn clone_box(&self) -> Box<dyn DecoderBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// [`LutDecoder`] as a backend: the MCE-local engine of the paper's
+/// two-level scheme, wrapping one prebuilt table for one single-round
+/// graph. [`DecoderBackend::try_decode`] escalates (returns `None`) on
+/// patterns outside the table — the decoder-pipeline contract — while
+/// the total [`DecoderBackend::decode`] entry point falls back to
+/// union-find so the backend stays usable anywhere.
+///
+/// Cost model: every lookup is one read of the LUT bank (entries ×
+/// one tabulated edge id of `read_latency_cycles`-deep memory); the
+/// bank plus a channel of overhead is the JJ footprint.
+#[derive(Debug, Clone)]
+pub struct LutBackend {
+    lut: LutDecoder,
+    /// LUT bank size in bits: one 32-bit word per entry (mirrors
+    /// `quest_core::jj::WORD_BITS`).
+    bank_bits: u64,
+    fallback: UfBackend,
+    cost: CostReport,
+}
+
+impl LutBackend {
+    /// Builds the LUT for `graph` (must be single-round; see
+    /// [`LutDecoder::new`]).
+    pub fn new(graph: &DecodingGraph) -> LutBackend {
+        let lut = LutDecoder::new(graph);
+        let bank_bits = lut.num_entries() as u64 * 32;
+        LutBackend {
+            lut,
+            bank_bits,
+            fallback: UfBackend::new(),
+            cost: CostReport::default(),
+        }
+    }
+
+    /// Entries in the wrapped lookup table.
+    pub fn num_entries(&self) -> usize {
+        self.lut.num_entries()
+    }
+
+    fn charge_lookup(&mut self, escalated: bool) {
+        self.cost.record(read_latency_cycles(self.bank_bits), false);
+        if escalated {
+            self.cost.fallback_decodes += 1;
+        }
+        self.cost.jj_count = self
+            .cost
+            .jj_count
+            .max(self.bank_bits * JJ_PER_BIT + JJ_PER_CHANNEL);
+    }
+}
+
+impl DecoderBackend for LutBackend {
+    fn name(&self) -> &'static str {
+        "lut"
+    }
+
+    fn decode(&mut self, graph: &DecodingGraph, events: &[NodeId]) -> Correction {
+        match self.try_decode(graph, events) {
+            Some(correction) => correction,
+            None => {
+                let correction = self.fallback.decode(graph, events);
+                self.cost.cycles += self.fallback.cost().cycles;
+                self.fallback.reset_cost();
+                correction
+            }
+        }
+    }
+
+    fn try_decode(&mut self, graph: &DecodingGraph, events: &[NodeId]) -> Option<Correction> {
+        let correction = self.lut.try_correction(graph, events);
+        self.charge_lookup(correction.is_none());
+        correction
+    }
+
+    fn cost(&self) -> CostReport {
+        self.cost
+    }
+
+    fn reset_cost(&mut self) {
+        self.cost = CostReport::default();
+    }
+
+    fn clone_box(&self) -> Box<dyn DecoderBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// Which decode engine a run's global decoders use — the validated,
+/// user-facing selector threaded from `WorkloadSpec` / `--decoder` down
+/// to every decoding site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DecoderChoice {
+    /// Software union-find ([`UfBackend`]) — the default.
+    #[default]
+    UnionFind,
+    /// Exact minimum-weight matching with union-find fallback
+    /// ([`ExactBackend`]).
+    Exact,
+    /// Complete lookup tables with union-find fallback
+    /// ([`TableBackend`]); only feasible up to distance 5.
+    Table,
+    /// Cycle-accurate pipelined hardware union-find
+    /// ([`PipelinedUfDecoder`]), bit-identical corrections to
+    /// [`UfBackend`].
+    PipelinedUf,
+}
+
+impl DecoderChoice {
+    /// Every selectable backend, in display order.
+    pub const ALL: [DecoderChoice; 4] = [
+        DecoderChoice::UnionFind,
+        DecoderChoice::Exact,
+        DecoderChoice::Table,
+        DecoderChoice::PipelinedUf,
+    ];
+
+    /// The stable name ([`DecoderBackend::name`] of the built backend).
+    pub fn name(self) -> &'static str {
+        match self {
+            DecoderChoice::UnionFind => "union-find",
+            DecoderChoice::Exact => "exact",
+            DecoderChoice::Table => "table",
+            DecoderChoice::PipelinedUf => "pipelined-uf",
+        }
+    }
+
+    /// Parses a backend name as printed by [`DecoderChoice::name`].
+    pub fn parse(s: &str) -> Option<DecoderChoice> {
+        DecoderChoice::ALL.into_iter().find(|c| c.name() == s)
+    }
+
+    /// Builds a fresh backend of this kind.
+    pub fn backend(self) -> Box<dyn DecoderBackend> {
+        match self {
+            DecoderChoice::UnionFind => Box::new(UfBackend::new()),
+            DecoderChoice::Exact => Box::new(ExactBackend::new()),
+            DecoderChoice::Table => Box::new(TableBackend::new()),
+            DecoderChoice::PipelinedUf => Box::new(PipelinedUfDecoder::new()),
+        }
+    }
+}
+
+impl fmt::Display for DecoderChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::correction_explains_events;
+    use crate::lattice::RotatedLattice;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn random_event_sets(graph: &DecodingGraph, count: usize, seed: u64) -> Vec<Vec<NodeId>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let all: Vec<NodeId> = (0..graph.boundary()).collect();
+        (0..count)
+            .map(|i| {
+                let k = [0usize, 1, 2, 4, 6, 10][i % 6];
+                all.choose_multiple(&mut rng, k).copied().collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_backend_explains_every_syndrome() {
+        let lat = RotatedLattice::new(5);
+        for rounds in [1usize, 3] {
+            let g = DecodingGraph::new(&lat, StabKind::Z, rounds);
+            for choice in DecoderChoice::ALL {
+                let mut backend = choice.backend();
+                for events in random_event_sets(&g, 12, 7 + rounds as u64) {
+                    let c = backend.decode(&g, &events);
+                    assert!(
+                        correction_explains_events(&g, &c, &events),
+                        "{choice} failed on rounds={rounds}, events={events:?}"
+                    );
+                }
+                let cost = backend.cost();
+                assert!(cost.decodes + cost.fallback_decodes >= 12);
+            }
+        }
+    }
+
+    #[test]
+    fn costs_are_deterministic_and_order_invariant() {
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 1);
+        let sets = random_event_sets(&g, 20, 3);
+        for choice in DecoderChoice::ALL {
+            // Same decodes, same accumulated cost, run to run.
+            let run = |order: &[usize]| {
+                let mut backend = choice.backend();
+                for &i in order {
+                    backend.decode(&g, &sets[i]);
+                }
+                backend.cost()
+            };
+            let forward: Vec<usize> = (0..sets.len()).collect();
+            let reverse: Vec<usize> = (0..sets.len()).rev().collect();
+            assert_eq!(run(&forward), run(&forward), "{choice}: not reproducible");
+            assert_eq!(
+                run(&forward),
+                run(&reverse),
+                "{choice}: cost depends on decode order"
+            );
+            // Split-and-merge equals one accumulator (the decode-pool
+            // aggregation pattern).
+            let mut whole = choice.backend();
+            for s in &sets {
+                whole.decode(&g, s);
+            }
+            let mut merged = CostReport::default();
+            for half in sets.chunks(7) {
+                let mut worker = choice.backend();
+                for s in half {
+                    worker.decode(&g, s);
+                }
+                merged.merge(&worker.cost());
+            }
+            assert_eq!(merged, whole.cost(), "{choice}: merge != sequential");
+        }
+    }
+
+    #[test]
+    fn backend_corrections_match_their_reference_engines() {
+        let lat = RotatedLattice::new(3);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 1);
+        let sets = random_event_sets(&g, 12, 11);
+        let uf = UnionFindDecoder::new();
+        let exact = ExactMatchingDecoder::new();
+        for events in &sets {
+            assert_eq!(
+                UfBackend::new().decode(&g, events),
+                uf.decode(&g, events),
+                "UfBackend diverged from UnionFindDecoder"
+            );
+            assert_eq!(
+                ExactBackend::new().decode(&g, events),
+                exact.decode(&g, events),
+                "ExactBackend diverged from ExactMatchingDecoder"
+            );
+        }
+    }
+
+    #[test]
+    fn table_backend_builds_once_and_reports_hardware() {
+        let lat = RotatedLattice::new(3);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 1);
+        let mut backend = TableBackend::new();
+        backend.decode(&g, &[g.node(0, 1)]);
+        backend.decode(&g, &[]);
+        let cost = backend.cost();
+        assert_eq!(cost.decodes, 2);
+        assert_eq!(cost.fallback_decodes, 0);
+        assert!(cost.jj_count > 0, "a lookup memory has a JJ footprint");
+        // A multi-round graph routes through the union-find fallback.
+        let g3 = DecodingGraph::new(&lat, StabKind::Z, 3);
+        backend.decode(&g3, &[g3.node(1, 1)]);
+        assert_eq!(backend.cost().fallback_decodes, 1);
+    }
+
+    #[test]
+    fn lut_backend_escalates_exactly_like_the_lut() {
+        let lat = RotatedLattice::new(3);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 1);
+        let lut = LutDecoder::new(&g);
+        let mut backend = LutBackend::new(&g);
+        let sets = random_event_sets(&g, 16, 5);
+        for events in &sets {
+            let raw = lut.try_correction(&g, events);
+            let through = backend.try_decode(&g, events);
+            assert_eq!(raw, through, "events={events:?}");
+            // The total entry point must still explain everything.
+            let c = backend.decode(&g, events);
+            assert!(correction_explains_events(&g, &c, events));
+        }
+        assert!(backend.cost().jj_count > 0);
+    }
+
+    #[test]
+    fn exact_backend_falls_back_beyond_its_event_budget() {
+        let lat = RotatedLattice::new(7);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let all: Vec<NodeId> = (0..g.boundary()).collect();
+        let events: Vec<NodeId> = all
+            .choose_multiple(&mut rng, EXACT_MAX_EVENTS + 4)
+            .copied()
+            .collect();
+        let mut backend = ExactBackend::new();
+        let c = backend.decode(&g, &events);
+        assert!(correction_explains_events(&g, &c, &events));
+        assert_eq!(backend.cost().fallback_decodes, 1);
+        assert_eq!(backend.cost().decodes, 0);
+    }
+
+    #[test]
+    fn choice_round_trips_names() {
+        for choice in DecoderChoice::ALL {
+            assert_eq!(DecoderChoice::parse(choice.name()), Some(choice));
+            assert_eq!(choice.backend().name(), choice.name());
+        }
+        assert_eq!(DecoderChoice::parse("mwpm"), None);
+        assert_eq!(DecoderChoice::default(), DecoderChoice::UnionFind);
+    }
+
+    #[test]
+    fn decode_batch_backend_matches_per_job_decodes() {
+        let lat = RotatedLattice::new(5);
+        let graphs = BatchGraphs::new(&lat);
+        let jobs = vec![
+            DecodeJob {
+                kind: StabKind::Z,
+                events: vec![0, 1],
+            },
+            DecodeJob {
+                kind: StabKind::X,
+                events: vec![2],
+            },
+            DecodeJob {
+                kind: StabKind::Z,
+                events: vec![],
+            },
+        ];
+        for choice in DecoderChoice::ALL {
+            let mut backend = choice.backend();
+            let batch = decode_batch_backend(backend.as_mut(), &graphs, &jobs);
+            for (job, got) in jobs.iter().zip(&batch) {
+                let mut fresh = choice.backend();
+                assert_eq!(*got, fresh.decode(graphs.graph(job.kind), &job.events));
+            }
+        }
+    }
+}

@@ -13,18 +13,32 @@
 //! * [`ExactMatchingDecoder`] — brute-force minimum-weight perfect matching
 //!   (exponential in the number of detection events), used as ground truth
 //!   in tests and small benchmarks.
+//!
+//! All of these are also available behind the pluggable
+//! [`DecoderBackend`] trait (see [`backend`]), which adds per-run
+//! selection ([`DecoderChoice`]), scratch ownership and
+//! [`CostReport`] cycle/JJ accounting — plus the cycle-accurate
+//! [`PipelinedUfDecoder`] hardware model of the Das et al.
+//! micro-architecture.
 
+pub mod backend;
 pub mod batch;
 mod exact;
 mod lut;
+mod pipelined;
 mod table;
 mod union_find;
 
+pub use backend::{
+    decode_batch_backend, CostReport, DecoderBackend, DecoderChoice, ExactBackend, LutBackend,
+    TableBackend, UfBackend,
+};
 pub use batch::{decode_batch, BatchGraphs, DecodeJob};
 pub use exact::ExactMatchingDecoder;
 pub use lut::LutDecoder;
+pub use pipelined::PipelinedUfDecoder;
 pub use table::TableDecoder;
-pub use union_find::{UfScratch, UnionFindDecoder};
+pub use union_find::{UfScratch, UfTrace, UnionFindDecoder};
 
 use crate::graph::{DecodingGraph, EdgeId, Fault, NodeId};
 use std::collections::BTreeSet;

@@ -19,6 +19,34 @@ use super::{Correction, Decoder};
 use crate::graph::{DecodingGraph, EdgeId, NodeId};
 use std::collections::VecDeque;
 
+/// Deterministic work counters recorded by one traced union-find decode
+/// (see [`UnionFindDecoder::decode_traced`]).
+///
+/// Every counter is a pure function of `(graph, events)` — the decode
+/// itself consumes no randomness and iterates in fixed node/edge order —
+/// so hardware cost models built on a trace (the pipelined-UF backend)
+/// inherit the decoder's determinism. The counters mirror the stages of
+/// the Das et al. pipelined micro-architecture: growth work feeds the
+/// spanning-tree stage, forest traversal the DFS stage, and peeled edges
+/// the correction stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UfTrace {
+    /// Growth iterations until every cluster is even or boundary-bound.
+    pub growth_rounds: u64,
+    /// Active-cluster member nodes visited, summed over growth rounds.
+    pub member_visits: u64,
+    /// Incident edges examined while growing, summed over growth rounds.
+    pub edge_touches: u64,
+    /// Cluster merge operations (union calls on fully-grown edges).
+    pub merges: u64,
+    /// Edges in the final erasure (support saturated at 2).
+    pub erased_edges: u64,
+    /// Nodes visited while building the peeling spanning forest.
+    pub forest_visits: u64,
+    /// Edges emitted into the correction by the peeling stage.
+    pub peeled_edges: u64,
+}
+
 /// Scalable union-find decoder.
 ///
 /// # Example
@@ -168,6 +196,25 @@ impl UnionFindDecoder {
         events: &[NodeId],
         scratch: &mut UfScratch,
     ) -> Correction {
+        self.decode_traced(graph, events, scratch, &mut UfTrace::default())
+    }
+
+    /// [`UnionFindDecoder::decode_with`], additionally accumulating the
+    /// decode's deterministic work counts into `trace`. The correction is
+    /// bit-identical to the untraced path (which delegates here with a
+    /// discarded trace); the counters exist so hardware backends can put
+    /// cycle prices on the exact work this decode performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` contains the boundary node.
+    pub fn decode_traced(
+        &self,
+        graph: &DecodingGraph,
+        events: &[NodeId],
+        scratch: &mut UfScratch,
+        trace: &mut UfTrace,
+    ) -> Correction {
         if events.is_empty() {
             return Correction::default();
         }
@@ -204,10 +251,13 @@ impl UnionFindDecoder {
             if scratch.active_members.is_empty() {
                 break;
             }
+            trace.growth_rounds += 1;
+            trace.member_visits += scratch.active_members.len() as u64;
             scratch.active_members.sort_unstable();
             scratch.delta.iter_mut().for_each(|d| *d = 0);
             for i in 0..scratch.active_members.len() {
                 let (root, node) = scratch.active_members[i];
+                trace.edge_touches += graph.incident(node).len() as u64;
                 for &e in graph.incident(node) {
                     if scratch.support[e] < 2 && scratch.edge_stamp[e] != root {
                         scratch.edge_stamp[e] = root;
@@ -234,6 +284,7 @@ impl UnionFindDecoder {
                         scratch.in_cluster[a] = true;
                         scratch.in_cluster[b] = true;
                         scratch.union(a, b);
+                        trace.merges += 1;
                     }
                 }
             }
@@ -254,6 +305,7 @@ impl UnionFindDecoder {
             scratch.adj[edge.a].push(e);
             scratch.adj[edge.b].push(e);
         }
+        trace.erased_edges += scratch.erased.len() as u64;
         if !scratch.adj[boundary].is_empty() {
             Self::bfs(graph, scratch, boundary);
         }
@@ -262,6 +314,7 @@ impl UnionFindDecoder {
                 Self::bfs(graph, scratch, node);
             }
         }
+        trace.forest_visits += scratch.order.len() as u64;
 
         // Peel leaves inward: process nodes in reverse BFS order; each node
         // (except roots) has a parent edge. If the node still carries an
@@ -285,6 +338,7 @@ impl UnionFindDecoder {
             scratch.is_event.iter().all(|&p| !p),
             "union-find left unpaired events: growth stage incomplete"
         );
+        trace.peeled_edges += correction_edges.len() as u64;
 
         Correction::from_edges(graph, correction_edges)
     }

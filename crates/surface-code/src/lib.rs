@@ -37,8 +37,8 @@ pub mod schedule;
 pub mod threshold;
 
 pub use decoder::{
-    Correction, Decoder, ExactMatchingDecoder, LutDecoder, TableDecoder, UfScratch,
-    UnionFindDecoder,
+    Correction, CostReport, Decoder, DecoderBackend, DecoderChoice, ExactMatchingDecoder,
+    LutDecoder, PipelinedUfDecoder, TableDecoder, UfScratch, UnionFindDecoder,
 };
 pub use designs::SyndromeDesign;
 pub use graph::{DecodingEdge, DecodingGraph, EdgeId, Fault, NodeId};

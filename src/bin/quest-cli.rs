@@ -27,7 +27,7 @@ use quest::arch::throughput::table2;
 use quest::arch::{DeliveryMode, QuestSystem, TechnologyParams};
 use quest::estimate::kernels::workload_with_kernel;
 use quest::estimate::{analyze_suite, ShorEstimate, Workload};
-use quest::runtime::{FaultPlan, Runtime, WorkloadSpec};
+use quest::runtime::{DecoderChoice, FaultPlan, Runtime, WorkloadSpec};
 use quest::serve::{JobHandle, JobOutcome, Server, ServerConfig, TenantId, TenantQuota};
 use quest::stabilizer::{SeedableRng, StdRng};
 use std::collections::BTreeMap;
@@ -68,6 +68,13 @@ fn parse_f64(s: &str, what: &str) -> Result<f64, String> {
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, String> {
     s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn parse_decoder(s: &str) -> Result<DecoderChoice, String> {
+    DecoderChoice::parse(s).ok_or_else(|| {
+        let names: Vec<&str> = DecoderChoice::ALL.iter().map(|c| c.name()).collect();
+        format!("unknown decoder `{s}` (expected {})", names.join(" | "))
+    })
 }
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
@@ -175,6 +182,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut cycles = 50u64;
     let mut seed = 1u64;
     let mut workload = "memory".to_owned();
+    let mut decoder = DecoderChoice::default();
     let mut faults = FaultPlan::none();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -189,6 +197,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--cycles" => cycles = parse_u64(value("--cycles")?, "cycle count")?,
             "--seed" => seed = parse_u64(value("--seed")?, "seed")?,
             "--workload" => workload = value("--workload")?.clone(),
+            "--decoder" => decoder = parse_decoder(value("--decoder")?)?,
             "--fault-drop-rate" => {
                 faults.drop_rate = parse_f64(value("--fault-drop-rate")?, "drop rate")?;
             }
@@ -212,8 +221,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (expected --shards/--tiles/--distance/--error-rate/\
-                     --cycles/--seed/--workload/--fault-drop-rate/--fault-corrupt-rate/\
-                     --fault-stall-rate/--fault-quarantine/--fault-retries/--fault-kill-decoder)"
+                     --cycles/--seed/--workload/--decoder/--fault-drop-rate/\
+                     --fault-corrupt-rate/--fault-stall-rate/--fault-quarantine/\
+                     --fault-retries/--fault-kill-decoder)"
                 ))
             }
         }
@@ -225,10 +235,11 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown workload `{other}` (memory | bell)")),
     };
     spec.faults = faults;
+    spec.decoder = decoder;
     spec.validate().map_err(|e| e.to_string())?;
     println!(
         "{workload} workload: {tiles} tiles at d={distance}, p={error_rate:.0e}, \
-         {cycles} cycles, seed {seed}, {shards} shard(s)\n"
+         {cycles} cycles, seed {seed}, {shards} shard(s), {decoder} decoder\n"
     );
     let report = Runtime::new().run(&spec).map_err(|e| e.to_string())?;
     println!("{}", report.stats);
@@ -239,6 +250,12 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         }
     }
     println!("\nbus bytes: {}", report.bus_bytes());
+    let cost = report.report.decode_cost;
+    println!(
+        "decode cost [{decoder}]: {} decodes ({} fallback), {} cycles \
+         (max {} per decode), {} JJs",
+        cost.decodes, cost.fallback_decodes, cost.cycles, cost.max_decode_cycles, cost.jj_count
+    );
     let ones = report.outcomes.iter().filter(|&&(_, v)| v).count();
     println!(
         "outcomes: {} tiles read out, {} ones ({} zeros)",
@@ -266,6 +283,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut queue_depth = 64usize;
     let mut cancel_every = 0u64;
     let mut max_shots = u64::MAX;
+    let mut decoder = DecoderChoice::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| -> Result<&String, String> {
@@ -287,11 +305,12 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
                 cancel_every = parse_u64(value("--cancel-every")?, "cancel stride")?;
             }
             "--max-shots" => max_shots = parse_u64(value("--max-shots")?, "shot quota")?,
+            "--decoder" => decoder = parse_decoder(value("--decoder")?)?,
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (expected --workers/--jobs/--tenants/--tiles/\
                      --distance/--error-rate/--cycles/--seed/--queue-depth/--cancel-every/\
-                     --max-shots)"
+                     --max-shots/--decoder)"
                 ))
             }
         }
@@ -314,7 +333,8 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut handles: Vec<(u64, Option<JobHandle>)> = Vec::new();
     for i in 0..jobs {
         let tenant = TenantId(i as u32 % tenants);
-        let spec = WorkloadSpec::memory(distance, tiles, 1, error_rate, seed + i, cycles);
+        let mut spec = WorkloadSpec::memory(distance, tiles, 1, error_rate, seed + i, cycles);
+        spec.decoder = decoder;
         match server.submit(tenant, spec) {
             Ok(handle) => {
                 if cancel_every > 0 && i % cancel_every == 0 {
