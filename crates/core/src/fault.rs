@@ -164,6 +164,22 @@ impl RecoveryStats {
     pub fn is_quiet(&self) -> bool {
         *self == RecoveryStats::default()
     }
+
+    /// Accumulates another run's counters into this one. Plain sums, so
+    /// aggregation is order-invariant — the serving layer uses this to
+    /// fold every completed job's recovery counters into its tenant's
+    /// ledger section.
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.crc_corruptions += other.crc_corruptions;
+        self.dropped_packets += other.dropped_packets;
+        self.retransmissions += other.retransmissions;
+        self.retransmitted_bytes += other.retransmitted_bytes;
+        self.backoff_slots += other.backoff_slots;
+        self.watchdog_timeouts += other.watchdog_timeouts;
+        self.degraded_tile_cycles += other.degraded_tile_cycles;
+        self.decode_worker_deaths += other.decode_worker_deaths;
+        self.decode_worker_respawns += other.decode_worker_respawns;
+    }
 }
 
 impl fmt::Display for RecoveryStats {
@@ -392,6 +408,14 @@ impl FaultSession {
     pub fn note_pool_recoveries(&mut self, deaths: u64, respawns: u64) {
         self.stats.decode_worker_deaths += deaths;
         self.stats.decode_worker_respawns += respawns;
+    }
+
+    /// Permanently disarms the plan's scheduled decode-worker kill
+    /// without touching any other state. A retry supervisor calls this
+    /// on a resumed session so the fault that already killed the run
+    /// once cannot fire again on the next attempt.
+    pub fn disarm_decode_kill(&mut self) {
+        self.decode_kill_armed = false;
     }
 }
 

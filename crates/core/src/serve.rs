@@ -14,6 +14,7 @@
 //! *measurement* happens behind the runtime's `Stopwatch` boundary, never
 //! here).
 
+use crate::fault::RecoveryStats;
 use std::fmt;
 use std::time::Duration;
 
@@ -104,9 +105,27 @@ pub struct TenantServeStats {
     pub jobs_cancelled: u64,
     /// Jobs that failed with a runtime error.
     pub jobs_failed: u64,
+    /// Jobs that exhausted their cycle-budget deadline (terminal, counted
+    /// separately from failures: the runtime was healthy, the budget ran
+    /// out).
+    pub jobs_deadline_exceeded: u64,
+    /// Retry attempts started across the tenant's jobs (a job retried
+    /// twice counts 2 here and once in whatever terminal bucket it
+    /// reached).
+    pub jobs_retried: u64,
+    /// Jobs shed at admission because the server's cycle backlog exceeded
+    /// its bound (a subset of `jobs_rejected`).
+    pub jobs_shed: u64,
+    /// QECC cycles inherited from checkpoints instead of re-executed,
+    /// summed over every resumed attempt.
+    pub cycles_resumed: u64,
     /// Logical readouts ("shots") completed across the tenant's done
     /// jobs.
     pub shots_done: u64,
+    /// Fault-recovery counters (retransmissions, watchdog quarantines,
+    /// decode-pool respawns, ...) folded in from every completed job's
+    /// `RunReport::recovery`, so fault pressure is visible per tenant.
+    pub recovery: RecoveryStats,
     /// Queue latency (submit → worker pickup) of started jobs.
     pub queue_latency: LatencySummary,
     /// Run latency (worker pickup → terminal state) of finished jobs.
@@ -117,9 +136,10 @@ pub struct TenantServeStats {
 }
 
 impl TenantServeStats {
-    /// Jobs that reached a terminal state (done, cancelled or failed).
+    /// Jobs that reached a terminal state (done, cancelled, failed or
+    /// deadline-exceeded).
     pub fn jobs_finished(&self) -> u64 {
-        self.jobs_done + self.jobs_cancelled + self.jobs_failed
+        self.jobs_done + self.jobs_cancelled + self.jobs_failed + self.jobs_deadline_exceeded
     }
 }
 
@@ -170,6 +190,24 @@ impl ServeReport {
         self.tenants.iter().map(|(_, t)| t.jobs_rejected).sum()
     }
 
+    /// Jobs that exhausted their deadline across all tenants.
+    pub fn jobs_deadline_exceeded(&self) -> u64 {
+        self.tenants
+            .iter()
+            .map(|(_, t)| t.jobs_deadline_exceeded)
+            .sum()
+    }
+
+    /// Retry attempts started across all tenants.
+    pub fn jobs_retried(&self) -> u64 {
+        self.tenants.iter().map(|(_, t)| t.jobs_retried).sum()
+    }
+
+    /// Jobs shed at admission for backlog pressure across all tenants.
+    pub fn jobs_shed(&self) -> u64 {
+        self.tenants.iter().map(|(_, t)| t.jobs_shed).sum()
+    }
+
     /// Logical readouts completed across all tenants.
     pub fn shots_done(&self) -> u64 {
         self.tenants.iter().map(|(_, t)| t.shots_done).sum()
@@ -200,14 +238,23 @@ impl fmt::Display for ServeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "serve ledger: {} workers, uptime {:?}, {} done / {} cancelled / {} failed / {} rejected",
+            "serve ledger: {} workers, uptime {:?}, {} done / {} cancelled / {} failed / {} deadline-exceeded / {} rejected",
             self.workers,
             self.uptime,
             self.jobs_done(),
             self.jobs_cancelled(),
             self.jobs_failed(),
+            self.jobs_deadline_exceeded(),
             self.jobs_rejected(),
         )?;
+        if self.jobs_retried() > 0 || self.jobs_shed() > 0 {
+            writeln!(
+                f,
+                "supervision: {} retries, {} shed",
+                self.jobs_retried(),
+                self.jobs_shed(),
+            )?;
+        }
         writeln!(
             f,
             "throughput: {:.2} jobs/s, {:.2} shots/s ({} shots)",
@@ -218,11 +265,32 @@ impl fmt::Display for ServeReport {
         for (id, t) in &self.tenants {
             writeln!(
                 f,
-                "  {id}: {} done / {} cancelled / {} failed / {} rejected, {} shots",
-                t.jobs_done, t.jobs_cancelled, t.jobs_failed, t.jobs_rejected, t.shots_done,
+                "  {id}: {} done / {} cancelled / {} failed / {} deadline-exceeded / {} rejected, {} shots",
+                t.jobs_done,
+                t.jobs_cancelled,
+                t.jobs_failed,
+                t.jobs_deadline_exceeded,
+                t.jobs_rejected,
+                t.shots_done,
             )?;
+            if t.jobs_retried > 0 || t.jobs_shed > 0 || t.cycles_resumed > 0 {
+                writeln!(
+                    f,
+                    "    supervision  : {} retries, {} shed, {} cycles resumed",
+                    t.jobs_retried, t.jobs_shed, t.cycles_resumed,
+                )?;
+            }
             writeln!(f, "    queue latency: {}", t.queue_latency)?;
             writeln!(f, "    run latency  : {}", t.run_latency)?;
+            if !t.recovery.is_quiet() {
+                writeln!(
+                    f,
+                    "    recovery     : {} retransmissions, {} watchdog timeouts, {} pool respawns",
+                    t.recovery.retransmissions,
+                    t.recovery.watchdog_timeouts,
+                    t.recovery.decode_worker_respawns,
+                )?;
+            }
             if !t.jobs_by_decoder.is_empty() {
                 write!(f, "    decoders     :")?;
                 for (name, n) in &t.jobs_by_decoder {

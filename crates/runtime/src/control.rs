@@ -10,6 +10,7 @@
 //! watching, because neither hook feeds anything back into the physics
 //! or the accounting.
 
+use crate::snapshot::CheckpointSink;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -72,6 +73,7 @@ impl RunProgress {
 pub struct RunControl<'a> {
     pub(crate) cancel: Option<&'a CancelToken>,
     pub(crate) progress: Option<&'a (dyn Fn(RunProgress) + Sync)>,
+    pub(crate) checkpoints: Option<&'a CheckpointSink>,
 }
 
 impl<'a> RunControl<'a> {
@@ -91,6 +93,20 @@ impl<'a> RunControl<'a> {
     pub fn with_progress(mut self, callback: &'a (dyn Fn(RunProgress) + Sync)) -> RunControl<'a> {
         self.progress = Some(callback);
         self
+    }
+
+    /// Deposits a [`RunSnapshot`](crate::RunSnapshot) into `sink` at
+    /// every QECC-cycle barrier matching the sink's cadence (or on a
+    /// forced request). Like the other hooks, checkpointing is a pure
+    /// observer: the run's report is bit-identical with or without it.
+    pub fn with_checkpoints(mut self, sink: &'a CheckpointSink) -> RunControl<'a> {
+        self.checkpoints = Some(sink);
+        self
+    }
+
+    /// The attached checkpoint sink, if any.
+    pub(crate) fn checkpoints(&self) -> Option<&CheckpointSink> {
+        self.checkpoints
     }
 
     /// True when the attached token (if any) has been tripped.
@@ -114,6 +130,7 @@ impl std::fmt::Debug for RunControl<'_> {
         f.debug_struct("RunControl")
             .field("cancel", &self.cancel.map(CancelToken::is_cancelled))
             .field("progress", &self.progress.map(|_| "fn"))
+            .field("checkpoints", &self.checkpoints.is_some())
             .finish()
     }
 }

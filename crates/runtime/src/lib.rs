@@ -77,6 +77,7 @@ pub mod error;
 mod message;
 mod pool;
 pub mod reference;
+pub mod snapshot;
 pub mod spec;
 pub mod stats;
 
@@ -91,6 +92,7 @@ pub use quest_core::{
     ShardPanicPlan,
 };
 pub use reference::run_reference;
+pub use snapshot::{CheckpointSink, RunSnapshot, SNAPSHOT_VERSION};
 pub use spec::{SpecError, WorkloadOp, WorkloadSpec, TABLE_DECODER_MAX_DISTANCE};
 pub use stats::{PhaseTimings, RuntimeReport, RuntimeStats, ShardStats};
 
@@ -102,6 +104,7 @@ use quest_isa::LogicalInstr;
 use quest_surface::decoder::batch::DecodeJob;
 use quest_surface::{RotatedLattice, StabKind};
 use shard::ShardWorker;
+use snapshot::ShardSnapshot;
 use stats::Stopwatch;
 use std::sync::Arc;
 
@@ -201,6 +204,60 @@ impl Runtime {
         spec: &WorkloadSpec,
         control: &RunControl<'_>,
     ) -> Result<RuntimeReport, RuntimeError> {
+        self.run_inner(spec, control, None)
+    }
+
+    /// Resumes a checkpointed run from a [`RunSnapshot`] (taken by a
+    /// [`CheckpointSink`] attached to an earlier attempt) and drives it
+    /// to completion under `control`.
+    ///
+    /// The resumed run is bit-identical to the uninterrupted run of the
+    /// snapshot's spec: every shard's MCEs, tableau and RNG streams, the
+    /// master's bus/interconnect/fault accounting and the decode-cost
+    /// ledger continue exactly where the snapshot froze them. Snapshots
+    /// taken mid-resume (via another sink) compose — a run can be killed
+    /// and resumed any number of times.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Runtime::run_controlled`] returns, plus
+    /// [`RuntimeError::Protocol`] when the snapshot's version does not
+    /// match this runtime's [`SNAPSHOT_VERSION`]. An armed fault that
+    /// was not [disarmed](RunSnapshot::disarm_shard_panic) re-fires
+    /// deterministically, exactly as it would have in the original run.
+    pub fn resume(
+        &self,
+        snapshot: &RunSnapshot,
+        control: &RunControl<'_>,
+    ) -> Result<RuntimeReport, RuntimeError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(RuntimeError::Protocol {
+                context: "snapshot resume",
+                payload: format!(
+                    "snapshot version {} but this runtime speaks {}",
+                    snapshot.version, SNAPSHOT_VERSION
+                ),
+            });
+        }
+        if snapshot.shards.len() != snapshot.spec.shards {
+            return Err(RuntimeError::Protocol {
+                context: "snapshot resume",
+                payload: format!(
+                    "snapshot holds {} shard images for a {}-shard spec",
+                    snapshot.shards.len(),
+                    snapshot.spec.shards
+                ),
+            });
+        }
+        self.run_inner(&snapshot.spec, control, Some(snapshot))
+    }
+
+    fn run_inner(
+        &self,
+        spec: &WorkloadSpec,
+        control: &RunControl<'_>,
+        resume: Option<&RunSnapshot>,
+    ) -> Result<RuntimeReport, RuntimeError> {
         spec.validate()?;
         let lattice = RotatedLattice::new(spec.distance);
         // One template MCE yields the microcode cycle length for the
@@ -220,18 +277,35 @@ impl Runtime {
                     .faults
                     .shard_panic
                     .and_then(|p| (p.shard == s).then_some(p.after_cycles));
-                let worker = ShardWorker::new(
-                    s,
-                    spec.tile_range(s),
-                    &lattice,
-                    spec.error_rate,
-                    spec.delivery,
-                    spec.seed,
-                    down_rx,
-                    up_tx,
-                    panic_after,
-                );
-                scope.spawn(move || worker.run());
+                match resume {
+                    Some(snap) => {
+                        let worker = ShardWorker::from_snapshot(
+                            s,
+                            spec.tile_range(s),
+                            spec.error_rate,
+                            spec.delivery,
+                            snap.shards[s].clone(),
+                            down_rx,
+                            up_tx,
+                            panic_after,
+                        );
+                        scope.spawn(move || worker.run());
+                    }
+                    None => {
+                        let worker = ShardWorker::new(
+                            s,
+                            spec.tile_range(s),
+                            &lattice,
+                            spec.error_rate,
+                            spec.delivery,
+                            spec.seed,
+                            down_rx,
+                            up_tx,
+                            panic_after,
+                        );
+                        scope.spawn(move || worker.run());
+                    }
+                }
                 down_txs.push(down_tx);
                 up_rxs.push(up_rx);
                 down_gauges.push(down_gauge);
@@ -239,39 +313,63 @@ impl Runtime {
             }
             let pool = DecodePool::spawn(scope, &lattice, spec.decoder, self.decode_workers);
 
+            // Accounting state either starts fresh or continues exactly
+            // where the snapshot froze it; everything else (threads,
+            // channels, pool) is rebuilt the same way for both paths.
             let mut master = Master {
                 spec,
                 control,
                 cycles_total: spec.total_cycles(),
-                engine: DeliveryEngine::new(spec.delivery),
+                engine: resume.map_or_else(|| DeliveryEngine::new(spec.delivery), |r| r.engine),
                 // Degraded tiles fall back to software-managed delivery:
                 // their QECC stream crosses the bus like the baseline's.
-                degraded_engine: DeliveryEngine::new(DeliveryMode::SoftwareBaseline),
-                faults: FaultSession::new(spec.faults, spec.seed, spec.tiles),
+                degraded_engine: resume.map_or_else(
+                    || DeliveryEngine::new(DeliveryMode::SoftwareBaseline),
+                    |r| r.degraded_engine,
+                ),
+                faults: resume.map_or_else(
+                    || FaultSession::new(spec.faults, spec.seed, spec.tiles),
+                    |r| r.faults.clone(),
+                ),
                 kernel: spec.kernel.clone().into(),
-                filled: vec![false; spec.tiles],
+                filled: resume.map_or_else(|| vec![false; spec.tiles], |r| r.filled.clone()),
                 num_qubits: lattice.num_qubits(),
                 cycle_len,
-                controller: MasterController::with_decoder(spec.decoder),
-                network: Network::new(spec.tiles, self.fanout),
+                controller: resume.map_or_else(
+                    || MasterController::with_decoder(spec.decoder),
+                    |r| r.controller.clone(),
+                ),
+                network: resume.map_or_else(
+                    || Network::new(spec.tiles, self.fanout),
+                    |r| r.network.clone(),
+                ),
                 pool,
                 down_txs,
                 up_rxs,
-                shard_stats: (0..spec.shards)
-                    .map(|s| {
-                        let range = spec.tile_range(s);
-                        ShardStats {
-                            shard: s,
-                            first_tile: range.start,
-                            tiles: range.len(),
-                            ..ShardStats::default()
-                        }
-                    })
-                    .collect(),
-                outcomes: Vec::new(),
-                qecc_cycles: 0,
+                shard_stats: resume.map_or_else(
+                    || {
+                        (0..spec.shards)
+                            .map(|s| {
+                                let range = spec.tile_range(s);
+                                ShardStats {
+                                    shard: s,
+                                    first_tile: range.start,
+                                    tiles: range.len(),
+                                    ..ShardStats::default()
+                                }
+                            })
+                            .collect()
+                    },
+                    |r| r.shard_stats.clone(),
+                ),
+                outcomes: resume.map_or_else(Vec::new, |r| r.outcomes.clone()),
+                qecc_cycles: resume.map_or(0, |r| r.qecc_cycles),
                 local_decodes: 0,
                 phases: PhaseTimings::default(),
+                resume_op: resume.map_or(0, |r| r.op_index),
+                resume_cycles: resume.map_or(0, |r| r.cycles_into_op),
+                pool_stats_base: resume.map_or_else(PoolStats::default, |r| r.pool_stats),
+                pool_cost_base: resume.map_or_else(CostReport::default, |r| r.pool_cost),
             };
             // On error, dropping the master closes every channel: shard
             // workers see the disconnect and exit cleanly (they never
@@ -312,6 +410,16 @@ struct Master<'a, 'scope, 'env> {
     qecc_cycles: u64,
     local_decodes: u64,
     phases: PhaseTimings,
+    /// Resume position: index of the op (always a `Cycles` op, or 0 on a
+    /// fresh run) execution starts at, and how many of its cycles the
+    /// snapshot already completed.
+    resume_op: usize,
+    resume_cycles: u64,
+    /// Decode-pool counters inherited from the run(s) before the
+    /// snapshot; the live pool only sees post-resume work, so reported
+    /// totals and the fault layer's kill threshold add these baselines.
+    pool_stats_base: PoolStats,
+    pool_cost_base: CostReport,
 }
 
 impl Master<'_, '_, '_> {
@@ -397,7 +505,12 @@ impl Master<'_, '_, '_> {
     }
 
     fn execute(&mut self) -> Result<(), RuntimeError> {
-        for op in &self.spec.ops {
+        for (op_index, op) in self.spec.ops.iter().enumerate() {
+            // On a resumed run, everything before the snapshot position
+            // already happened — its effects live in the restored state.
+            if op_index < self.resume_op {
+                continue;
+            }
             // Operation-boundary checkpoint: a tripped token strands at
             // most one op (cycles have their own per-cycle checkpoint).
             if self.control.cancelled() {
@@ -497,11 +610,19 @@ impl Master<'_, '_, '_> {
                     self.phases.logical += start.elapsed();
                 }
                 WorkloadOp::Cycles(n) => {
-                    for _ in 0..n {
+                    // A snapshot mid-op resumes inside the op: the first
+                    // `resume_cycles` iterations already completed.
+                    let done = if op_index == self.resume_op {
+                        self.resume_cycles.min(n)
+                    } else {
+                        0
+                    };
+                    for k in done..n {
                         if self.control.cancelled() {
                             return Err(self.cancelled());
                         }
                         self.run_cycle()?;
+                        self.checkpoint(op_index, k + 1)?;
                         self.control.report(self.qecc_cycles, self.cycles_total);
                     }
                 }
@@ -564,6 +685,99 @@ impl Master<'_, '_, '_> {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Pool counters as the full run sees them: the pre-snapshot
+    /// baseline plus whatever the live pool has done since.
+    fn merged_pool_stats(&self) -> PoolStats {
+        let live = self.pool.stats();
+        PoolStats {
+            workers: live.workers,
+            batches: self.pool_stats_base.batches + live.batches,
+            jobs: self.pool_stats_base.jobs + live.jobs,
+            max_batch_jobs: self.pool_stats_base.max_batch_jobs.max(live.max_batch_jobs),
+            deaths: self.pool_stats_base.deaths + live.deaths,
+            respawns: self.pool_stats_base.respawns + live.respawns,
+        }
+    }
+
+    /// The run's decode-cost ledger: baseline merged with the live pool
+    /// (merge is order-invariant sums and maxes, so splitting a run at
+    /// any cycle leaves the final ledger bit-identical).
+    fn merged_pool_cost(&self) -> CostReport {
+        let mut cost = self.pool_cost_base;
+        cost.merge(&self.pool.cost());
+        cost
+    }
+
+    /// Deposits a [`RunSnapshot`] into the attached sink when the
+    /// barrier after this cycle matches its cadence (or was forced).
+    ///
+    /// The shard-state collection rides the regular channels as
+    /// zero-byte control envelopes *after* the cycle's corrections, so
+    /// FIFO order guarantees the snapshot sees settled frames; nothing
+    /// here touches the network, fault or bus ledgers — checkpointing is
+    /// a pure observer.
+    fn checkpoint(&mut self, op_index: usize, cycles_into_op: u64) -> Result<(), RuntimeError> {
+        let Some(sink) = self.control.checkpoints() else {
+            return Ok(());
+        };
+        if !sink.wants(self.qecc_cycles) {
+            return Ok(());
+        }
+        for shard in 0..self.spec.shards {
+            self.down_txs[shard]
+                .send(Envelope::control(PacketKind::Downstream, Payload::Snapshot))
+                .map_err(|_| self.shard_failed(shard))?;
+        }
+        let mut shards: Vec<ShardSnapshot> = Vec::with_capacity(self.spec.shards);
+        for shard in 0..self.spec.shards {
+            // Receive directly (not recv_up): observer traffic must not
+            // perturb even the upstream-message statistics.
+            let env = match self.up_rxs[shard].recv() {
+                Ok(env) => env,
+                Err(_) => {
+                    return Err(RuntimeError::ShardFailed {
+                        shard,
+                        detail: "worker exited without a failure report".into(),
+                    })
+                }
+            };
+            match env.payload {
+                Payload::ShardState { shard: s, state } => {
+                    debug_assert_eq!(s, shard);
+                    shards.push(*state);
+                }
+                Payload::Failed { shard: s, detail } => {
+                    return Err(RuntimeError::ShardFailed { shard: s, detail })
+                }
+                other => {
+                    return Err(RuntimeError::Protocol {
+                        context: "checkpoint (awaiting shard state)",
+                        payload: format!("{other:?}"),
+                    })
+                }
+            }
+        }
+        sink.store(RunSnapshot {
+            version: SNAPSHOT_VERSION,
+            spec: self.spec.clone(),
+            op_index,
+            cycles_into_op,
+            qecc_cycles: self.qecc_cycles,
+            engine: self.engine,
+            degraded_engine: self.degraded_engine,
+            faults: self.faults.clone(),
+            filled: self.filled.clone(),
+            controller: self.controller.clone(),
+            network: self.network.clone(),
+            outcomes: self.outcomes.clone(),
+            shard_stats: self.shard_stats.clone(),
+            pool_stats: self.merged_pool_stats(),
+            pool_cost: self.merged_pool_cost(),
+            shards,
+        });
         Ok(())
     }
 
@@ -639,9 +853,9 @@ impl Master<'_, '_, '_> {
         // crosses the job threshold — a pure function of the (shard-count
         // invariant) escalation totals, so faulty runs stay reproducible.
         let kill_one = !batch.is_empty()
-            && self
-                .faults
-                .take_decode_kill(self.pool.stats().jobs + batch.len() as u64);
+            && self.faults.take_decode_kill(
+                self.pool_stats_base.jobs + self.pool.stats().jobs + batch.len() as u64,
+            );
         let mut corrections = self.pool.decode(batch, kill_one)?;
         // Workers finish chunks in arbitrary order; fix a canonical
         // (tile, kind) order so the fault layer's per-lane rolls — and
@@ -673,9 +887,12 @@ impl Master<'_, '_, '_> {
         // The pool's merged decode-cost ledger must be read before the
         // shutdown consumes the pool. The master's own backend never ran
         // a decode (escalations all go through the pool), so the pool
-        // ledger IS the run's global decode cost.
-        let decode_cost = self.pool.cost();
-        let pool_stats = self.pool.shutdown();
+        // ledger — merged onto any pre-resume baseline — IS the run's
+        // global decode cost.
+        let decode_cost = self.merged_pool_cost();
+        let pool_stats = self.merged_pool_stats();
+        let live_stats = self.pool.shutdown();
+        debug_assert_eq!(live_stats.jobs + self.pool_stats_base.jobs, pool_stats.jobs);
         self.faults
             .note_pool_recoveries(pool_stats.deaths, pool_stats.respawns);
         RuntimeReport {
@@ -823,6 +1040,30 @@ mod tests {
             .with_progress(&callback);
         let err = Runtime::new().run_controlled(&spec, &control).unwrap_err();
         assert_eq!(err, RuntimeError::Cancelled { cycles_done: 5 });
+    }
+
+    #[test]
+    fn snapshot_version_mismatch_is_a_typed_error() {
+        let spec = WorkloadSpec::memory(3, 2, 1, 1e-3, 5, 4);
+        let sink = CheckpointSink::every(1);
+        let control = RunControl::new().with_checkpoints(&sink);
+        Runtime::new().run_controlled(&spec, &control).unwrap();
+        let mut snap = sink.take().unwrap();
+        snap.version = SNAPSHOT_VERSION + 1;
+        let err = Runtime::new()
+            .resume(&snap, &RunControl::new())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RuntimeError::Protocol {
+                    context: "snapshot resume",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("snapshot"), "{err}");
     }
 
     #[test]

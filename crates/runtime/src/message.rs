@@ -53,6 +53,10 @@ pub(crate) enum Payload {
     },
     /// Destructively read a tile out in the logical-Z basis.
     MeasureZ { tile: usize },
+    /// Checkpoint request: reply with the shard's owned state. Sent only
+    /// at the cycle barrier, after the cycle's corrections — channel
+    /// FIFO order guarantees they are applied before the state is read.
+    Snapshot,
     /// Terminate the worker.
     Shutdown,
 
@@ -77,6 +81,13 @@ pub(crate) enum Payload {
     /// Worker sign-off after `Shutdown`, carrying the counters only the
     /// shard could see.
     Closing { shard: usize, local_decodes: u64 },
+    /// Reply to `Snapshot`: the shard's complete state at the barrier.
+    /// Control-plane traffic (zero wire bytes): checkpoints observe the
+    /// run, they are not part of the modelled machine.
+    ShardState {
+        shard: usize,
+        state: Box<crate::snapshot::ShardSnapshot>,
+    },
     /// The shard's serve loop panicked; the worker caught it and is
     /// exiting. `detail` is the panic message, forwarded so the master
     /// can surface a typed error instead of aborting the process.

@@ -21,6 +21,7 @@
 //! early — is a clean exit, never a panic.
 
 use crate::message::{Envelope, Payload, Rx, Tx};
+use crate::snapshot::ShardSnapshot;
 use quest_core::network::PacketKind;
 use quest_core::tile;
 use quest_core::{decode_totals, DeliveryEngine, DeliveryMode, Mce, MCE_IBUF_BYTES};
@@ -93,6 +94,38 @@ impl ShardWorker {
             tx,
             panic_after_cycles,
             cycles_done: 0,
+        }
+    }
+
+    /// Rebuilds a shard worker from a checkpoint: MCEs, tableau, RNG
+    /// streams and the cycle counter resume exactly where the snapshot
+    /// froze them; the stateless noise channel and delivery engine are
+    /// rebuilt from the spec. The panic schedule compares for *equality*
+    /// against the restored counter, so a drill that already fired
+    /// before the snapshot can never re-fire on resume.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_snapshot(
+        shard: usize,
+        tiles: Range<usize>,
+        error_rate: f64,
+        delivery: DeliveryMode,
+        state: ShardSnapshot,
+        rx: Rx<Envelope>,
+        tx: Tx<Envelope>,
+        panic_after_cycles: Option<u64>,
+    ) -> ShardWorker {
+        ShardWorker {
+            shard,
+            tiles,
+            mces: state.mces,
+            substrate: state.substrate,
+            noise: PauliChannel::depolarizing(error_rate),
+            engine: DeliveryEngine::new(delivery),
+            rngs: state.rngs,
+            rx,
+            tx,
+            panic_after_cycles,
+            cycles_done: state.cycles_done,
         }
     }
 
@@ -191,6 +224,29 @@ impl ShardWorker {
                         return;
                     }
                 }
+                Payload::Snapshot => {
+                    // Deep-clone the owned state at the barrier. The
+                    // clone observes; nothing about the run changes.
+                    let state = ShardSnapshot {
+                        mces: self.mces.clone(),
+                        substrate: self.substrate.clone(),
+                        rngs: self.rngs.clone(),
+                        cycles_done: self.cycles_done,
+                    };
+                    if self
+                        .tx
+                        .send(Envelope::control(
+                            PacketKind::Upstream,
+                            Payload::ShardState {
+                                shard: self.shard,
+                                state: Box::new(state),
+                            },
+                        ))
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
                 Payload::Shutdown => {
                     // Sign off with the counters only this thread saw.
                     let (local_decodes, _) = decode_totals(&self.mces);
@@ -207,6 +263,7 @@ impl ShardWorker {
                 | Payload::CycleDone { .. }
                 | Payload::Outcome { .. }
                 | Payload::Closing { .. }
+                | Payload::ShardState { .. }
                 | Payload::Failed { .. } => {
                     // An upstream payload reaching a shard is a protocol
                     // bug in the master; report it and stop serving

@@ -4,6 +4,23 @@ use quest_core::TenantId;
 use quest_runtime::SpecError;
 use std::fmt;
 
+/// A deterministic retry hint attached to transient rejections: how many
+/// queue slots should drain before the submission is worth repeating.
+/// Measured in queue pops — the serving layer's own clock — never in
+/// wall time, so a client driving a deterministic workload can replay
+/// the exact same retry schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryAfter {
+    /// Queue pops to wait out before retrying.
+    pub slots: u64,
+}
+
+impl fmt::Display for RetryAfter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "retry after {} queue slot(s) drain", self.slots)
+    }
+}
+
 /// Why the server refused a job at submission time.
 ///
 /// Admission is all-or-nothing: a rejected job reserves nothing, queues
@@ -18,10 +35,28 @@ pub enum ServeError {
     /// admitted.
     ShuttingDown,
     /// The shared job queue is at capacity (global backpressure,
-    /// independent of any tenant's quota).
+    /// independent of any tenant's quota). Only
+    /// [`Server::try_submit`](crate::Server::try_submit) surfaces this;
+    /// the blocking [`Server::submit`](crate::Server::submit) waits for
+    /// a slot instead.
     QueueFull {
         /// The queue's bound.
         capacity: usize,
+        /// Deterministic hint for when to retry.
+        retry_after: RetryAfter,
+    },
+    /// Load shedding: the work already admitted exceeds the server's
+    /// configured backlog bound
+    /// ([`ServerConfig::max_backlog_cycles`](crate::ServerConfig)), so
+    /// new jobs are rejected outright rather than queued behind an
+    /// already-deep pipeline.
+    Overloaded {
+        /// Shard-cycles of admitted-but-unfinished queue backlog.
+        backlog_cycles: u64,
+        /// The configured shedding bound.
+        limit: u64,
+        /// Deterministic hint for when to retry.
+        retry_after: RetryAfter,
     },
     /// The tenant already has its maximum number of jobs waiting in the
     /// queue.
@@ -62,9 +97,21 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Spec(e) => e.fmt(f),
             ServeError::ShuttingDown => write!(f, "server is draining; no new jobs admitted"),
-            ServeError::QueueFull { capacity } => {
-                write!(f, "job queue is at capacity ({capacity}); retry later")
+            ServeError::QueueFull {
+                capacity,
+                retry_after,
+            } => {
+                write!(f, "job queue is at capacity ({capacity}); {retry_after}")
             }
+            ServeError::Overloaded {
+                backlog_cycles,
+                limit,
+                retry_after,
+            } => write!(
+                f,
+                "server overloaded: {backlog_cycles} backlog shard-cycles \
+                 exceed the {limit} bound; {retry_after}"
+            ),
             ServeError::QuotaQueuedJobs { tenant, limit } => write!(
                 f,
                 "{tenant} is at its queued-job quota ({limit} queued jobs)"
@@ -99,6 +146,7 @@ impl std::error::Error for ServeError {
             ServeError::Spec(e) => Some(e),
             ServeError::ShuttingDown
             | ServeError::QueueFull { .. }
+            | ServeError::Overloaded { .. }
             | ServeError::QuotaQueuedJobs { .. }
             | ServeError::QuotaShardCycles { .. }
             | ServeError::QuotaShots { .. } => None,
@@ -121,7 +169,15 @@ mod tests {
         let errors = [
             ServeError::Spec(SpecError::NoTiles),
             ServeError::ShuttingDown,
-            ServeError::QueueFull { capacity: 8 },
+            ServeError::QueueFull {
+                capacity: 8,
+                retry_after: RetryAfter { slots: 1 },
+            },
+            ServeError::Overloaded {
+                backlog_cycles: 900,
+                limit: 800,
+                retry_after: RetryAfter { slots: 3 },
+            },
             ServeError::QuotaQueuedJobs {
                 tenant: TenantId(1),
                 limit: 2,

@@ -5,19 +5,26 @@
 //! ```text
 //! queued ──► admitted ──► running(pct) ──► done
 //!    │            │            ├─────────► failed
+//!    │            │            ├─────────► deadline-exceeded
+//!    │            │            ├─► retrying(n) ──► admitted ──► …
 //!    └────────────┴────────────┴─────────► cancelled
 //! ```
 //!
 //! The transitions live in one place (`JobCell::advance`) so an
 //! illegal hop is structurally impossible: a terminal state is final,
-//! and progress can only move forward. Each transition is mirrored to
-//! the client as a [`JobEvent`] on the handle's channel — the streaming
-//! interface the ISSUE calls "incremental `RunReport` progress events".
+//! progress only moves forward, and the single legal loop is the retry
+//! supervisor's `running → retrying → admitted` cycle. Each transition
+//! is mirrored to the client as a [`JobEvent`] on the handle's channel —
+//! the streaming interface the ISSUE calls "incremental `RunReport`
+//! progress events".
 
 use crate::quota::JobCost;
+use crate::supervisor::RetryPolicy;
 use quest_core::{JobId, TenantId};
 use quest_runtime::stats::Stopwatch;
-use quest_runtime::{CancelToken, RuntimeError, RuntimeReport, WorkloadSpec};
+use quest_runtime::{
+    CancelToken, CheckpointSink, RunSnapshot, RuntimeError, RuntimeReport, WorkloadSpec,
+};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -33,12 +40,23 @@ pub enum JobState {
         /// Completed fraction in `[0, 1]`.
         fraction: f64,
     },
+    /// An attempt failed with a retryable error; the job is heading back
+    /// into the queue for attempt `attempt`.
+    Retrying {
+        /// The upcoming attempt number (1-based; attempt 1 is the first
+        /// run, so the first retry announces attempt 2).
+        attempt: u32,
+    },
     /// Ran to completion.
     Done,
     /// Cancelled before or during execution.
     Cancelled,
-    /// The runtime returned an error.
+    /// The runtime returned an error (after exhausting any retry
+    /// budget).
     Failed,
+    /// The job's QECC-cycle budget
+    /// ([`RetryPolicy::deadline_cycles`](crate::RetryPolicy)) ran out.
+    DeadlineExceeded,
 }
 
 impl JobState {
@@ -46,17 +64,23 @@ impl JobState {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobState::Done | JobState::Cancelled | JobState::Failed
+            JobState::Done | JobState::Cancelled | JobState::Failed | JobState::DeadlineExceeded
         )
     }
 
-    /// Rank in the lifecycle order (terminal states share the top rank).
+    /// Rank in the lifecycle order (terminal states share the top rank;
+    /// `Retrying` sits beside `Running` but is special-cased in
+    /// `advance` because the next attempt walks backwards to
+    /// `Admitted`).
     fn rank(&self) -> u8 {
         match self {
             JobState::Queued => 0,
             JobState::Admitted => 1,
-            JobState::Running { .. } => 2,
-            JobState::Done | JobState::Cancelled | JobState::Failed => 3,
+            JobState::Running { .. } | JobState::Retrying { .. } => 2,
+            JobState::Done
+            | JobState::Cancelled
+            | JobState::Failed
+            | JobState::DeadlineExceeded => 3,
         }
     }
 }
@@ -81,9 +105,11 @@ impl JobCell {
 
     /// Applies a transition if it is legal (forward through the
     /// lifecycle; running may update in place; terminal states are
-    /// final). Returns whether the transition was applied — callers use
-    /// this to decide whether to emit the matching event, so state and
-    /// event stream cannot diverge.
+    /// final; `Retrying` may be declared from any live state and the
+    /// next attempt then restarts the forward walk from `Admitted`).
+    /// Returns whether the transition was applied — callers use this to
+    /// decide whether to emit the matching event, so state and event
+    /// stream cannot diverge.
     pub(crate) fn advance(&self, next: JobState) -> bool {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let legal = if state.is_terminal() {
@@ -93,6 +119,14 @@ impl JobCell {
             (JobState::Running { .. }, JobState::Running { .. })
         ) {
             true
+        } else if matches!(next, JobState::Retrying { .. }) {
+            // A retry declaration from any live state (practically
+            // Running; Admitted covers a pre-cycle failure).
+            true
+        } else if matches!(*state, JobState::Retrying { .. }) {
+            // The next attempt restarts the forward walk; only a return
+            // to Queued is nonsense.
+            !matches!(next, JobState::Queued)
         } else {
             next.rank() > state.rank()
         };
@@ -125,6 +159,16 @@ pub enum JobEvent {
         /// Completed fraction of the job's QECC cycles, in `[0, 1]`.
         fraction: f64,
     },
+    /// An attempt failed with a retryable error; the supervisor is
+    /// re-enqueueing the job.
+    Retrying {
+        /// The job.
+        id: JobId,
+        /// The upcoming attempt number (1-based).
+        attempt: u32,
+        /// The retryable error the previous attempt died with.
+        error: RuntimeError,
+    },
     /// The job completed; the full report rides along.
     Done {
         /// The job.
@@ -144,6 +188,13 @@ pub enum JobEvent {
         /// What went wrong.
         error: RuntimeError,
     },
+    /// The job's QECC-cycle deadline ran out mid-run.
+    DeadlineExceeded {
+        /// The job.
+        id: JobId,
+        /// Cycles the job had executed when the deadline tripped.
+        cycles_done: u64,
+    },
 }
 
 /// How a job ended, as returned by [`JobHandle::wait`].
@@ -153,8 +204,14 @@ pub enum JobOutcome {
     Done(Box<RuntimeReport>),
     /// Cancelled before or during execution.
     Cancelled,
-    /// The runtime returned an error.
+    /// The runtime returned an error (after exhausting any retry
+    /// budget).
     Failed(RuntimeError),
+    /// The job's QECC-cycle budget ran out after `cycles_done` cycles.
+    DeadlineExceeded {
+        /// Cycles executed before the deadline tripped.
+        cycles_done: u64,
+    },
     /// The server went away without delivering a terminal event (it was
     /// dropped rather than drained).
     Lost,
@@ -169,6 +226,7 @@ pub struct JobHandle {
     events: Receiver<JobEvent>,
     cancel: CancelToken,
     cell: Arc<JobCell>,
+    sink: CheckpointSink,
 }
 
 impl JobHandle {
@@ -194,6 +252,15 @@ impl JobHandle {
         self.cell.get()
     }
 
+    /// Requests a checkpoint at the job's next QECC-cycle barrier
+    /// (meaningful while the job is running; harmless otherwise). The
+    /// snapshot lands in the job's supervision sink, where a subsequent
+    /// retry resumes from it. Like all checkpointing it is a pure
+    /// observer — the job's report is unaffected.
+    pub fn force_checkpoint(&self) {
+        self.sink.force();
+    }
+
     /// Blocking receive of the next event. `None` once the stream ends
     /// (after a terminal event, or if the server was dropped).
     pub fn next_event(&self) -> Option<JobEvent> {
@@ -213,14 +280,21 @@ impl JobHandle {
                 JobEvent::Done { report, .. } => return JobOutcome::Done(report),
                 JobEvent::Cancelled { .. } => return JobOutcome::Cancelled,
                 JobEvent::Failed { error, .. } => return JobOutcome::Failed(error),
-                JobEvent::Queued { .. } | JobEvent::Admitted { .. } | JobEvent::Running { .. } => {}
+                JobEvent::DeadlineExceeded { cycles_done, .. } => {
+                    return JobOutcome::DeadlineExceeded { cycles_done }
+                }
+                JobEvent::Queued { .. }
+                | JobEvent::Admitted { .. }
+                | JobEvent::Running { .. }
+                | JobEvent::Retrying { .. } => {}
             }
         }
         JobOutcome::Lost
     }
 }
 
-/// The server's side of one job: everything a worker needs to run it.
+/// The server's side of one job: everything a worker needs to run it
+/// (and, under supervision, to retry it).
 #[derive(Debug)]
 pub(crate) struct Job {
     pub(crate) id: JobId,
@@ -230,9 +304,21 @@ pub(crate) struct Job {
     pub(crate) events: Sender<JobEvent>,
     pub(crate) cancel: CancelToken,
     pub(crate) cell: Arc<JobCell>,
-    /// Started at submission; read once at worker pickup for the queue
-    /// latency sample.
+    /// Started at submission (and reset when a retry re-enqueues); read
+    /// once at worker pickup for the queue latency sample.
     pub(crate) queued_at: Stopwatch,
+    /// Supervision knobs fixed at submission.
+    pub(crate) policy: RetryPolicy,
+    /// Current attempt number, 1-based.
+    pub(crate) attempt: u32,
+    /// Where the next attempt resumes from (the latest checkpoint of a
+    /// failed attempt, disarmed of its causing fault class). `None` runs
+    /// from the spec.
+    pub(crate) snapshot: Option<RunSnapshot>,
+    /// The job's checkpoint sink: the worker attaches it to every
+    /// attempt; the handle can force a deposit via
+    /// [`JobHandle::force_checkpoint`].
+    pub(crate) sink: CheckpointSink,
 }
 
 impl Job {
@@ -242,10 +328,12 @@ impl Job {
         tenant: TenantId,
         spec: WorkloadSpec,
         cost: JobCost,
+        policy: RetryPolicy,
     ) -> (Job, JobHandle) {
         let (tx, rx) = std::sync::mpsc::channel();
         let cancel = CancelToken::new();
         let cell = JobCell::new();
+        let sink = CheckpointSink::every(policy.checkpoint_every);
         (
             Job {
                 id,
@@ -256,6 +344,10 @@ impl Job {
                 cancel: cancel.clone(),
                 cell: Arc::clone(&cell),
                 queued_at: Stopwatch::start(),
+                policy,
+                attempt: 1,
+                snapshot: None,
+                sink: sink.clone(),
             },
             JobHandle {
                 id,
@@ -263,6 +355,7 @@ impl Job {
                 events: rx,
                 cancel,
                 cell,
+                sink,
             },
         )
     }
@@ -306,7 +399,7 @@ mod tests {
     fn handle_streams_events_and_waits_for_terminal() {
         let spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
         let cost = JobCost::of(&spec);
-        let (job, handle) = Job::channel(JobId(4), TenantId(2), spec, cost);
+        let (job, handle) = Job::channel(JobId(4), TenantId(2), spec, cost, RetryPolicy::default());
         assert_eq!(handle.id(), JobId(4));
         assert_eq!(handle.tenant(), TenantId(2));
         job.emit(JobEvent::Queued { id: job.id });
@@ -320,20 +413,152 @@ mod tests {
     fn dropped_server_side_yields_lost() {
         let spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
         let cost = JobCost::of(&spec);
-        let (job, handle) = Job::channel(JobId(1), TenantId(0), spec, cost);
+        let (job, handle) = Job::channel(JobId(1), TenantId(0), spec, cost, RetryPolicy::default());
         job.emit(JobEvent::Queued { id: job.id });
         drop(job);
         assert!(matches!(handle.wait(), JobOutcome::Lost));
     }
 
     #[test]
+    fn retry_loop_walks_back_to_admitted_then_terminal() {
+        let cell = JobCell::new();
+        assert!(cell.advance(JobState::Admitted));
+        assert!(cell.advance(JobState::Running { fraction: 0.0 }));
+        assert!(cell.advance(JobState::Retrying { attempt: 2 }));
+        assert!(
+            cell.advance(JobState::Admitted),
+            "the next attempt restarts the forward walk"
+        );
+        assert!(cell.advance(JobState::Running { fraction: 0.0 }));
+        assert!(cell.advance(JobState::Retrying { attempt: 3 }));
+        assert!(
+            !cell.advance(JobState::Queued),
+            "a retry never returns to Queued"
+        );
+        assert!(cell.advance(JobState::Failed));
+        assert!(
+            !cell.advance(JobState::Retrying { attempt: 4 }),
+            "terminal is final, retries included"
+        );
+    }
+
+    #[test]
+    fn deadline_exceeded_is_terminal() {
+        let cell = JobCell::new();
+        assert!(cell.advance(JobState::Admitted));
+        assert!(cell.advance(JobState::Running { fraction: 0.5 }));
+        assert!(cell.advance(JobState::DeadlineExceeded));
+        assert!(cell.get().is_terminal());
+        assert!(!cell.advance(JobState::Done));
+        assert!(!cell.advance(JobState::Retrying { attempt: 2 }));
+    }
+
+    #[test]
     fn cancel_trips_the_shared_token() {
         let spec = WorkloadSpec::memory(3, 2, 1, 0.0, 1, 1);
         let cost = JobCost::of(&spec);
-        let (job, handle) = Job::channel(JobId(1), TenantId(0), spec, cost);
+        let (job, handle) = Job::channel(JobId(1), TenantId(0), spec, cost, RetryPolicy::default());
         assert!(!job.cancel.is_cancelled());
         handle.cancel();
         assert!(job.cancel.is_cancelled());
         assert!(handle.try_next_event().is_none());
+    }
+}
+
+#[cfg(test)]
+mod props {
+    //! Property pins for the state machine: under *any* sequence of
+    //! attempted transitions — retries and deadlines included, applied
+    //! from one thread or racing from several — the cell enters at most
+    //! one terminal state, terminal is final, and `Queued` is never
+    //! re-entered.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Decodes an arbitrary byte into a transition target, covering
+    /// every state (both Running fractions exercise the in-place
+    /// update).
+    fn state_from_code(code: u8) -> JobState {
+        match code % 9 {
+            0 => JobState::Queued,
+            1 => JobState::Admitted,
+            2 => JobState::Running { fraction: 0.25 },
+            3 => JobState::Running { fraction: 0.75 },
+            4 => JobState::Retrying { attempt: 2 },
+            5 => JobState::Retrying { attempt: 3 },
+            6 => JobState::Done,
+            7 => JobState::Cancelled,
+            _ => {
+                if code >= 128 {
+                    JobState::DeadlineExceeded
+                } else {
+                    JobState::Failed
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn any_sequence_enters_at_most_one_terminal_state(
+            codes in prop::collection::vec(any::<u8>(), 0..32)
+        ) {
+            let cell = JobCell::new();
+            let mut terminal_entries = 0u32;
+            for code in codes {
+                let before = cell.get();
+                let next = state_from_code(code);
+                let applied = cell.advance(next);
+                if before.is_terminal() {
+                    prop_assert!(!applied, "terminal must be final");
+                    prop_assert_eq!(cell.get(), before);
+                }
+                if applied && next.is_terminal() {
+                    terminal_entries += 1;
+                }
+                if applied && !matches!(before, JobState::Queued) {
+                    prop_assert!(
+                        !matches!(cell.get(), JobState::Queued),
+                        "Queued is never re-entered"
+                    );
+                }
+            }
+            prop_assert!(terminal_entries <= 1);
+            prop_assert_eq!(terminal_entries == 1, cell.get().is_terminal());
+        }
+
+        #[test]
+        fn racing_threads_reach_exactly_one_terminal_state(
+            a in prop::collection::vec(any::<u8>(), 1..16),
+            b in prop::collection::vec(any::<u8>(), 1..16),
+            c in prop::collection::vec(any::<u8>(), 1..16),
+        ) {
+            let cell = JobCell::new();
+            let terminal_wins: u32 = std::thread::scope(|scope| {
+                [a, b, c]
+                    .into_iter()
+                    .map(|codes| {
+                        let cell = Arc::clone(&cell);
+                        scope.spawn(move || {
+                            codes
+                                .into_iter()
+                                .map(|code| {
+                                    let next = state_from_code(code);
+                                    u32::from(cell.advance(next) && next.is_terminal())
+                                })
+                                .sum::<u32>()
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or(u32::MAX))
+                    .sum()
+            });
+            prop_assert!(terminal_wins <= 1, "terminal entries: {terminal_wins}");
+            prop_assert_eq!(terminal_wins == 1, cell.get().is_terminal());
+        }
     }
 }

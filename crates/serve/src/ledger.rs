@@ -11,7 +11,7 @@
 //! boundary) and handed in as plain [`Duration`]s. Nothing in the
 //! ledger feeds back into job execution.
 
-use quest_core::{LatencySummary, ServeReport, TenantId, TenantServeStats};
+use quest_core::{LatencySummary, RecoveryStats, ServeReport, TenantId, TenantServeStats};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
@@ -24,7 +24,16 @@ struct TenantEntry {
     jobs_done: u64,
     jobs_cancelled: u64,
     jobs_failed: u64,
+    jobs_deadline_exceeded: u64,
+    jobs_retried: u64,
+    jobs_shed: u64,
     shots_done: u64,
+    /// QECC cycles the tenant's retries resumed from checkpoints instead
+    /// of replaying (summed over every resumed attempt).
+    cycles_resumed: u64,
+    /// Fault-recovery counters absorbed from the tenant's completed
+    /// runs: what the machinery survived on this tenant's behalf.
+    recovery: RecoveryStats,
     queue_samples: Vec<Duration>,
     run_samples: Vec<Duration>,
     /// Completed jobs keyed by decoder-backend name (BTreeMap: the
@@ -61,18 +70,21 @@ impl ServerLedger {
     }
 
     /// A job ran to completion in `run_latency`, producing `shots`
-    /// logical readouts through the `decoder` backend.
+    /// logical readouts through the `decoder` backend; `recovery` is the
+    /// run's fault-recovery footprint, absorbed into the tenant section.
     pub(crate) fn done(
         &self,
         tenant: TenantId,
         run_latency: Duration,
         shots: u64,
         decoder: &'static str,
+        recovery: &RecoveryStats,
     ) {
         self.with(tenant, |t| {
             t.jobs_done += 1;
             t.shots_done += shots;
             t.run_samples.push(run_latency);
+            t.recovery.absorb(recovery);
             *t.jobs_by_decoder.entry(decoder).or_default() += 1;
         });
     }
@@ -96,6 +108,32 @@ impl ServerLedger {
         });
     }
 
+    /// A job's QECC-cycle deadline tripped after `run_latency`.
+    pub(crate) fn deadline_exceeded(&self, tenant: TenantId, run_latency: Duration) {
+        self.with(tenant, |t| {
+            t.jobs_deadline_exceeded += 1;
+            t.run_samples.push(run_latency);
+        });
+    }
+
+    /// An attempt failed with a retryable error and the supervisor
+    /// re-enqueued the job.
+    pub(crate) fn retried(&self, tenant: TenantId) {
+        self.with(tenant, |t| t.jobs_retried += 1);
+    }
+
+    /// A submission was shed at admission because the server's backlog
+    /// bound was exceeded.
+    pub(crate) fn shed(&self, tenant: TenantId) {
+        self.with(tenant, |t| t.jobs_shed += 1);
+    }
+
+    /// A retry attempt resumed from a checkpoint, skipping the replay of
+    /// `cycles` already-executed QECC cycles.
+    pub(crate) fn resumed(&self, tenant: TenantId, cycles: u64) {
+        self.with(tenant, |t| t.cycles_resumed += cycles);
+    }
+
     /// Snapshots the ledger into a report (sorted by tenant id).
     pub(crate) fn report(&self, workers: usize, uptime: Duration) -> ServeReport {
         let mut tenants = self.tenants.lock().unwrap_or_else(PoisonError::into_inner);
@@ -110,6 +148,11 @@ impl ServerLedger {
                         jobs_done: entry.jobs_done,
                         jobs_cancelled: entry.jobs_cancelled,
                         jobs_failed: entry.jobs_failed,
+                        jobs_deadline_exceeded: entry.jobs_deadline_exceeded,
+                        jobs_retried: entry.jobs_retried,
+                        jobs_shed: entry.jobs_shed,
+                        cycles_resumed: entry.cycles_resumed,
+                        recovery: entry.recovery,
                         shots_done: entry.shots_done,
                         queue_latency: LatencySummary::from_samples(&mut entry.queue_samples),
                         run_latency: LatencySummary::from_samples(&mut entry.run_samples),
@@ -147,7 +190,7 @@ mod tests {
         ledger.admitted(b);
         ledger.rejected(b);
         ledger.started(a, ms(5));
-        ledger.done(a, ms(50), 4, "union-find");
+        ledger.done(a, ms(50), 4, "union-find", &RecoveryStats::default());
         ledger.started(a, ms(15));
         ledger.cancelled(a, Some(ms(20)));
         ledger.cancelled(b, None);
@@ -175,11 +218,54 @@ mod tests {
     }
 
     #[test]
+    fn supervision_counters_and_recovery_reach_the_report() {
+        let ledger = ServerLedger::default();
+        let t = TenantId(2);
+        ledger.admitted(t);
+        ledger.shed(t);
+        ledger.rejected(t);
+        ledger.started(t, ms(3));
+        ledger.retried(t);
+        ledger.resumed(t, 6);
+        ledger.started(t, ms(1));
+        let recovery = RecoveryStats {
+            retransmissions: 4,
+            decode_worker_deaths: 1,
+            decode_worker_respawns: 1,
+            ..RecoveryStats::default()
+        };
+        ledger.done(t, ms(9), 2, "union-find", &recovery);
+        ledger.deadline_exceeded(TenantId(5), ms(7));
+        let report = ledger.report(1, ms(100));
+        let section = report.tenant(t).unwrap();
+        assert_eq!(section.jobs_retried, 1);
+        assert_eq!(section.jobs_shed, 1);
+        assert_eq!(section.cycles_resumed, 6);
+        assert_eq!(section.recovery.retransmissions, 4);
+        assert_eq!(section.recovery.decode_worker_deaths, 1);
+        let other = report.tenant(TenantId(5)).unwrap();
+        assert_eq!(other.jobs_deadline_exceeded, 1);
+        assert_eq!(
+            other.run_latency.samples, 1,
+            "a deadline trip contributes a run-latency sample"
+        );
+        assert_eq!(report.jobs_deadline_exceeded(), 1);
+        assert_eq!(report.jobs_retried(), 1);
+        assert_eq!(report.jobs_shed(), 1);
+    }
+
+    #[test]
     fn report_is_a_snapshot_not_a_drain() {
         let ledger = ServerLedger::default();
         ledger.admitted(TenantId(3));
         ledger.started(TenantId(3), ms(1));
-        ledger.done(TenantId(3), ms(2), 1, "pipelined-uf");
+        ledger.done(
+            TenantId(3),
+            ms(2),
+            1,
+            "pipelined-uf",
+            &RecoveryStats::default(),
+        );
         let first = ledger.report(1, ms(10));
         let second = ledger.report(1, ms(10));
         assert_eq!(first, second);

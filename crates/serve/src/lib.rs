@@ -31,6 +31,17 @@
 //!   [`CancelToken`](quest_runtime::CancelToken): queued jobs are dropped
 //!   at pickup, running jobs stop at the runtime's next cooperative
 //!   checkpoint. The worker pool survives either way.
+//! * **Supervision** — [`Server::submit_with_policy`] attaches a
+//!   [`RetryPolicy`]: environmental failures (crashed shard, dead decode
+//!   pool, exhausted link) are retried with deterministic pop-counted
+//!   backoff, resuming from the job's latest
+//!   [`RunSnapshot`](quest_runtime::RunSnapshot) checkpoint; a
+//!   QECC-cycle deadline terminates runaway jobs with
+//!   [`JobOutcome::DeadlineExceeded`]; and
+//!   [`ServerConfig::max_backlog_cycles`] sheds load with a typed
+//!   [`RetryAfter`] hint before the backlog grows unbounded. Recovery
+//!   footprints (retransmissions, respawns, resumed cycles) surface in
+//!   the [`ServeReport`] ledger.
 //! * **Drain** — [`Server::shutdown`] stops intake, lets the pool finish
 //!   every admitted job, joins all threads and returns the final
 //!   [`ServeReport`] ledger (per-tenant p50/p99 queue and run latency,
@@ -73,16 +84,19 @@
 // Enforced by quest-lint QL01 plus this clippy deny; test code is exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chaos;
 pub mod error;
 pub mod job;
 pub mod ledger;
 pub mod queue;
 pub mod quota;
+pub mod supervisor;
 
-pub use error::ServeError;
+pub use error::{RetryAfter, ServeError};
 pub use job::{JobEvent, JobHandle, JobOutcome, JobState};
 pub use quest_core::{JobId, LatencySummary, ServeReport, TenantId, TenantServeStats};
 pub use quota::{JobCost, TenantQuota};
+pub use supervisor::{disarm, retryable, RetryPolicy};
 
 use job::Job;
 use ledger::ServerLedger;
@@ -103,13 +117,19 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Quota applied to tenants without a per-tenant override.
     pub default_quota: TenantQuota,
+    /// Load-shedding bound: shard-cycles of admitted-but-unfinished
+    /// backlog beyond which new submissions are rejected with
+    /// [`ServeError::Overloaded`] instead of queued. `u64::MAX`
+    /// (default) never sheds.
+    pub max_backlog_cycles: u64,
     /// The runtime configuration every job runs under.
     pub runtime: Runtime,
 }
 
 impl Default for ServerConfig {
     /// Workers sized to the machine (capped at 4, like the runtime's
-    /// decode pool), a 64-deep queue, unlimited default quota.
+    /// decode pool), a 64-deep queue, unlimited default quota, no load
+    /// shedding.
     fn default() -> ServerConfig {
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZero::get)
@@ -119,6 +139,7 @@ impl Default for ServerConfig {
             workers,
             queue_depth: 64,
             default_quota: TenantQuota::UNLIMITED,
+            max_backlog_cycles: u64::MAX,
             runtime: Runtime::new(),
         }
     }
@@ -148,6 +169,12 @@ impl ServerConfig {
         self.runtime = runtime;
         self
     }
+
+    /// Overrides the load-shedding bound (shard-cycles of backlog).
+    pub fn with_max_backlog_cycles(mut self, cycles: u64) -> ServerConfig {
+        self.max_backlog_cycles = cycles;
+        self
+    }
 }
 
 /// State shared between the server front end and its workers.
@@ -158,6 +185,13 @@ struct ServerShared {
     next_job: AtomicU64,
     draining: AtomicBool,
     workers: usize,
+    /// Shard-cycles of admitted-but-not-yet-picked-up work (retries
+    /// included): the load-shedding signal. Credited before a job enters
+    /// the queue, debited at worker pickup, so it can only overstate the
+    /// backlog transiently — shedding errs conservative.
+    backlog_cycles: AtomicU64,
+    /// The shedding bound from [`ServerConfig::max_backlog_cycles`].
+    max_backlog_cycles: u64,
 }
 
 impl ServerShared {
@@ -199,6 +233,8 @@ impl Server {
             next_job: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             workers,
+            backlog_cycles: AtomicU64::new(0),
+            max_backlog_cycles: config.max_backlog_cycles,
         });
         let queue: JobQueue<Job> = JobQueue::bounded(config.queue_depth);
         let handles = (0..workers)
@@ -234,15 +270,65 @@ impl Server {
     /// [`JobHandle`]. The handle's channel already carries the
     /// [`JobEvent::Queued`] event when this returns.
     ///
+    /// **Blocks** while the shared queue is at capacity — backpressure
+    /// stalls the submitting thread instead of failing it. Use
+    /// [`Server::try_submit`] for the non-blocking variant that returns
+    /// [`ServeError::QueueFull`] with a typed [`RetryAfter`] hint.
+    ///
     /// # Errors
     ///
     /// [`ServeError::Spec`] for an invalid workload,
     /// [`ServeError::ShuttingDown`] once [`Server::shutdown`] has begun,
     /// the [`ServeError`] quota variants when the tenant is over a
-    /// limit, and [`ServeError::QueueFull`] under global backpressure.
-    /// A rejected job reserves nothing (and ticks the tenant's
+    /// limit, and [`ServeError::Overloaded`] when the server is shedding
+    /// load. A rejected job reserves nothing (and ticks the tenant's
     /// `jobs_rejected` ledger counter).
     pub fn submit(&self, tenant: TenantId, spec: WorkloadSpec) -> Result<JobHandle, ServeError> {
+        self.enqueue(tenant, spec, RetryPolicy::default(), true)
+    }
+
+    /// Non-blocking [`Server::submit`]: a full queue returns
+    /// [`ServeError::QueueFull`] (with a deterministic [`RetryAfter`]
+    /// hint) instead of waiting.
+    pub fn try_submit(
+        &self,
+        tenant: TenantId,
+        spec: WorkloadSpec,
+    ) -> Result<JobHandle, ServeError> {
+        self.enqueue(tenant, spec, RetryPolicy::default(), false)
+    }
+
+    /// [`Server::submit`] with per-job supervision: retries with
+    /// deterministic backoff on environmental failures (resuming from
+    /// the latest checkpoint), an optional QECC-cycle deadline, and a
+    /// checkpoint cadence. See [`RetryPolicy`].
+    pub fn submit_with_policy(
+        &self,
+        tenant: TenantId,
+        spec: WorkloadSpec,
+        policy: RetryPolicy,
+    ) -> Result<JobHandle, ServeError> {
+        self.enqueue(tenant, spec, policy, true)
+    }
+
+    /// Non-blocking [`Server::submit_with_policy`].
+    pub fn try_submit_with_policy(
+        &self,
+        tenant: TenantId,
+        spec: WorkloadSpec,
+        policy: RetryPolicy,
+    ) -> Result<JobHandle, ServeError> {
+        self.enqueue(tenant, spec, policy, false)
+    }
+
+    /// The one admission path behind every submit variant.
+    fn enqueue(
+        &self,
+        tenant: TenantId,
+        spec: WorkloadSpec,
+        policy: RetryPolicy,
+        blocking: bool,
+    ) -> Result<JobHandle, ServeError> {
         if self.shared.draining.load(Ordering::Acquire) {
             self.shared.ledger.rejected(tenant);
             return Err(ServeError::ShuttingDown);
@@ -252,24 +338,52 @@ impl Server {
             return Err(ServeError::Spec(e));
         }
         let cost = JobCost::of(&spec);
+        // Load shedding comes before quota so an overloaded server does
+        // the cheapest possible work per rejected submission.
+        let backlog = self.shared.backlog_cycles.load(Ordering::Acquire);
+        if backlog.saturating_add(cost.shard_cycles) > self.shared.max_backlog_cycles {
+            self.shared.ledger.shed(tenant);
+            self.shared.ledger.rejected(tenant);
+            return Err(ServeError::Overloaded {
+                backlog_cycles: backlog,
+                limit: self.shared.max_backlog_cycles,
+                retry_after: RetryAfter {
+                    slots: (self.queue.len() as u64).max(1),
+                },
+            });
+        }
         if let Err(e) = self.shared.quotas().admit(tenant, cost) {
             self.shared.ledger.rejected(tenant);
             return Err(e);
         }
         let id = JobId(self.shared.next_job.fetch_add(1, Ordering::Relaxed));
-        let (job, handle) = Job::channel(id, tenant, spec, cost);
+        let (job, handle) = Job::channel(id, tenant, spec, cost, policy);
         job.emit(JobEvent::Queued { id });
-        match self.queue.push(job) {
+        // Credit the backlog before the push so a racing pickup's debit
+        // can never precede it.
+        self.shared
+            .backlog_cycles
+            .fetch_add(cost.shard_cycles, Ordering::AcqRel);
+        let pushed = if blocking {
+            self.queue.push_wait(job)
+        } else {
+            self.queue.push(job)
+        };
+        match pushed {
             Ok(()) => {
                 self.shared.ledger.admitted(tenant);
                 Ok(handle)
             }
             Err(refused) => {
+                self.shared
+                    .backlog_cycles
+                    .fetch_sub(cost.shard_cycles, Ordering::AcqRel);
                 self.shared.quotas().rollback(tenant, cost);
                 self.shared.ledger.rejected(tenant);
                 Err(match refused {
                     PushRefused::Full(_) => ServeError::QueueFull {
                         capacity: self.queue.capacity(),
+                        retry_after: RetryAfter { slots: 1 },
                     },
                     PushRefused::Closed(_) => ServeError::ShuttingDown,
                 })
@@ -277,9 +391,23 @@ impl Server {
         }
     }
 
-    /// Jobs currently waiting in the queue.
+    /// Jobs currently waiting in the queue (parked retries included).
     pub fn queued_jobs(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Live reservations summed over every tenant: `(queued jobs,
+    /// in-flight shard-cycles)`. Reads `(0, 0)` exactly when every
+    /// admitted job has reached a terminal state — the conservation law
+    /// the chaos harness asserts.
+    pub fn outstanding(&self) -> (u64, u64) {
+        self.shared.quotas().outstanding()
+    }
+
+    /// Shard-cycles of admitted-but-not-yet-picked-up backlog (the
+    /// load-shedding signal).
+    pub fn backlog_cycles(&self) -> u64 {
+        self.shared.backlog_cycles.load(Ordering::Acquire)
     }
 
     /// A live snapshot of the server ledger.
@@ -315,21 +443,38 @@ impl Drop for Server {
     }
 }
 
-/// One worker's life: pop, run, record, repeat — until the queue closes
-/// and drains. A job's terminal bookkeeping always runs (state cell,
-/// event stream, ledger, quota release), whatever the runtime returned.
+/// One worker's life: pop, run (resuming from a checkpoint when the job
+/// carries one), supervise, record, repeat — until the queue closes and
+/// drains. A job's terminal bookkeeping always runs (quota release,
+/// ledger, state cell, event stream), whatever the runtime returned; the
+/// quota release and ledger entry land *before* the terminal event, so a
+/// client that has observed a terminal event observes conserved quotas —
+/// the ordering the chaos harness leans on. A retryable failure with
+/// attempts left is the one non-terminal exit: the job goes back into the
+/// queue (with deterministic pop-counted backoff) and its reservations
+/// stay live.
 fn worker_loop(shared: &ServerShared, queue: &JobQueue<Job>) {
-    while let Some(job) = queue.pop() {
+    while let Some(mut job) = queue.pop() {
+        shared
+            .backlog_cycles
+            .fetch_sub(job.cost.shard_cycles, Ordering::AcqRel);
         let queue_latency = job.queued_at.elapsed();
         shared.quotas().start(job.tenant);
         if job.cancel.is_cancelled() {
             // Cancelled while queued: never runs, no run-latency sample.
+            shared.ledger.cancelled(job.tenant, None);
+            shared.quotas().finish(job.tenant, job.cost);
             if job.cell.advance(JobState::Cancelled) {
                 job.emit(JobEvent::Cancelled { id: job.id });
             }
-            shared.ledger.cancelled(job.tenant, None);
-            shared.quotas().finish(job.tenant, job.cost);
             continue;
+        }
+        // The attempt resumes from the latest surviving checkpoint; keep
+        // it around as the fallback resume point should this attempt die
+        // before depositing a fresher one.
+        let resumed_from = job.snapshot.take();
+        if let Some(snap) = resumed_from.as_ref() {
+            shared.ledger.resumed(job.tenant, snap.cycles_done());
         }
         shared.ledger.started(job.tenant, queue_latency);
         if job.cell.advance(JobState::Admitted) {
@@ -343,52 +488,120 @@ fn worker_loop(shared: &ServerShared, queue: &JobQueue<Job>) {
         }
         let run_clock = Stopwatch::start();
         // Stream progress on whole-percent steps (at most 100 events per
-        // job however many cycles it runs).
+        // job however many cycles it runs). The same hook polices the
+        // policy's cycle deadline: the budget trips the job's own cancel
+        // token, and `deadline_hit` disambiguates the resulting
+        // `Cancelled` from a user cancellation (deadline wins when both
+        // race — the budget was spent either way).
         let last_percent = AtomicU64::new(0);
+        let deadline_hit = AtomicBool::new(false);
+        // The hook must be `Sync` and `Job` is not (a carried snapshot
+        // owns a decoder backend), so the closure borrows exactly the
+        // Sync pieces it needs.
+        let deadline = job.policy.deadline_cycles;
+        let deadline_cancel = job.cancel.clone();
+        let cell = Arc::clone(&job.cell);
+        let events = job.events.clone();
+        let id = job.id;
         let progress = |p: RunProgress| {
+            if let Some(limit) = deadline {
+                if p.cycles_done >= limit && !deadline_hit.swap(true, Ordering::AcqRel) {
+                    deadline_cancel.cancel();
+                }
+            }
             let fraction = p.fraction();
             let percent = (fraction * 100.0) as u64;
             if last_percent.swap(percent, Ordering::Relaxed) != percent
-                && job.cell.advance(JobState::Running { fraction })
+                && cell.advance(JobState::Running { fraction })
             {
-                job.emit(JobEvent::Running {
-                    id: job.id,
-                    fraction,
-                });
+                let _ = events.send(JobEvent::Running { id, fraction });
             }
         };
         let control = RunControl::new()
             .with_cancel(&job.cancel)
-            .with_progress(&progress);
-        let result = shared.runtime.run_controlled(&job.spec, &control);
+            .with_progress(&progress)
+            .with_checkpoints(&job.sink);
+        let result = match resumed_from.as_ref() {
+            Some(snapshot) => shared.runtime.resume(snapshot, &control),
+            None => shared.runtime.run_controlled(&job.spec, &control),
+        };
         let run_latency = run_clock.elapsed();
         match result {
             Ok(report) => {
                 let shots = report.report.outcomes.len() as u64;
+                shared.ledger.done(
+                    job.tenant,
+                    run_latency,
+                    shots,
+                    job.spec.decoder.name(),
+                    &report.report.recovery,
+                );
+                shared.quotas().finish(job.tenant, job.cost);
                 if job.cell.advance(JobState::Done) {
                     job.emit(JobEvent::Done {
                         id: job.id,
                         report: Box::new(report),
                     });
                 }
-                shared
-                    .ledger
-                    .done(job.tenant, run_latency, shots, job.spec.decoder.name());
+            }
+            Err(RuntimeError::Cancelled { cycles_done })
+                if deadline_hit.load(Ordering::Acquire) =>
+            {
+                shared.ledger.deadline_exceeded(job.tenant, run_latency);
+                shared.quotas().finish(job.tenant, job.cost);
+                if job.cell.advance(JobState::DeadlineExceeded) {
+                    job.emit(JobEvent::DeadlineExceeded {
+                        id: job.id,
+                        cycles_done,
+                    });
+                }
             }
             Err(RuntimeError::Cancelled { .. }) => {
+                shared.ledger.cancelled(job.tenant, Some(run_latency));
+                shared.quotas().finish(job.tenant, job.cost);
                 if job.cell.advance(JobState::Cancelled) {
                     job.emit(JobEvent::Cancelled { id: job.id });
                 }
-                shared.ledger.cancelled(job.tenant, Some(run_latency));
+            }
+            Err(error) if retryable(&error) && job.attempt < job.policy.max_attempts => {
+                // Retry: prefer the freshest checkpoint this attempt
+                // deposited, fall back to the one it resumed from, strip
+                // the causing fault class from spec and snapshot, and
+                // re-enqueue with pop-counted backoff. The job's quota
+                // reservations never lapsed — only its queue slot is
+                // re-taken — and its backlog credit returns with it.
+                let mut snapshot = job.sink.take().or(resumed_from);
+                supervisor::disarm(&error, &mut job.spec, snapshot.as_mut());
+                job.snapshot = snapshot;
+                job.attempt += 1;
+                let attempt = job.attempt;
+                if job.cell.advance(JobState::Retrying { attempt }) {
+                    job.emit(JobEvent::Retrying {
+                        id: job.id,
+                        attempt,
+                        error,
+                    });
+                }
+                shared.ledger.retried(job.tenant);
+                shared.quotas().requeue(job.tenant);
+                shared
+                    .backlog_cycles
+                    .fetch_add(job.cost.shard_cycles, Ordering::AcqRel);
+                job.queued_at = Stopwatch::start();
+                let delay = job
+                    .policy
+                    .backoff_slots
+                    .saturating_mul(u64::from(attempt - 1));
+                queue.push_delayed(job, delay);
             }
             Err(error) => {
+                shared.ledger.failed(job.tenant, run_latency);
+                shared.quotas().finish(job.tenant, job.cost);
                 if job.cell.advance(JobState::Failed) {
                     job.emit(JobEvent::Failed { id: job.id, error });
                 }
-                shared.ledger.failed(job.tenant, run_latency);
             }
         }
-        shared.quotas().finish(job.tenant, job.cost);
     }
 }
 
@@ -455,10 +668,11 @@ mod tests {
     #[test]
     fn queue_backpressure_is_typed() {
         // Stall the single worker with a long job, then overfill the
-        // 1-deep queue.
+        // 1-deep queue through the non-blocking path (the blocking
+        // `submit` would simply wait here).
         let server = Server::start(ServerConfig::default().with_workers(1).with_queue_depth(1));
         let long = WorkloadSpec::memory(3, 2, 1, 1e-3, 1, 2000);
-        let running = server.submit(TenantId(0), long.clone()).unwrap();
+        let running = server.try_submit(TenantId(0), long.clone()).unwrap();
         // The worker may not have picked the first job up yet; keep one
         // sacrificial submission in flight until the queue is the
         // bottleneck.
@@ -468,9 +682,13 @@ mod tests {
                 seed,
                 ..long.clone()
             };
-            match server.submit(TenantId(0), spec) {
+            match server.try_submit(TenantId(0), spec) {
                 Ok(handle) => handle.cancel(),
-                Err(ServeError::QueueFull { capacity: 1 }) => {
+                Err(ServeError::QueueFull {
+                    capacity: 1,
+                    retry_after,
+                }) => {
+                    assert_eq!(retry_after, RetryAfter { slots: 1 });
                     full_seen = true;
                     break;
                 }

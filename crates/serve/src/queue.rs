@@ -1,13 +1,20 @@
 //! The bounded multi-producer / multi-consumer job queue.
 //!
 //! Shaped like a bounded MPMC ring: producers (client threads inside
-//! [`Server::submit`](crate::Server::submit)) never block — a full queue
-//! is an admission failure, not a stall — and consumers (the fixed
-//! worker pool) block until work arrives or the queue closes. Built on
-//! `Mutex<VecDeque> + Condvar` because the workspace forbids `unsafe`
-//! outright; the *interface* is the lock-free ring's (bounded, non-
-//! blocking push, closable), so a lock-free core could be swapped in
-//! behind it without touching callers.
+//! [`Server::submit`](crate::Server::submit)) either block for a slot
+//! (`push_wait`) or get a typed refusal back (`push`), and consumers
+//! (the fixed worker pool) block until work arrives or the queue closes.
+//! Built on `Mutex<VecDeque> + Condvar` because the workspace forbids
+//! `unsafe` outright; the *interface* is the lock-free ring's (bounded,
+//! closable), so a lock-free core could be swapped in behind it without
+//! touching callers.
+//!
+//! The retry supervisor re-enqueues failed jobs through `push_delayed`,
+//! whose backoff is measured in **queue pops** — the queue's own logical
+//! clock — never in wall time (QL02: no timing feeds scheduling that
+//! could reach a report). A delayed item parks until the pop counter
+//! reaches its ready mark; an otherwise-idle queue promotes the earliest
+//! parked item instead of stalling the pool.
 //!
 //! Poisoned locks are recovered with [`PoisonError::into_inner`]: the
 //! queue state is a plain deque whose invariants hold between every
@@ -30,7 +37,46 @@ pub(crate) enum PushRefused<T> {
 #[derive(Debug)]
 struct Inner<T> {
     items: VecDeque<T>,
+    /// Retried items waiting out their backoff: `(ready_at_pops, seq,
+    /// item)`, promoted into `items` once the pop counter reaches
+    /// `ready_at_pops` (ties broken by parking order).
+    parked: Vec<(u64, u64, T)>,
+    /// Total successful pops — the backoff clock.
+    pops: u64,
+    /// Monotone parking sequence for deterministic tie-breaks.
+    seq: u64,
     closed: bool,
+}
+
+impl<T> Inner<T> {
+    /// Moves every parked item whose ready mark has passed into the main
+    /// deque, earliest mark first.
+    fn promote_ready(&mut self) {
+        if self.parked.is_empty() {
+            return;
+        }
+        self.parked.sort_by_key(|&(ready, seq, _)| (ready, seq));
+        while self
+            .parked
+            .first()
+            .is_some_and(|&(ready, _, _)| ready <= self.pops)
+        {
+            let (_, _, item) = self.parked.remove(0);
+            self.items.push_back(item);
+        }
+    }
+
+    /// Idle escape: with nothing else to run, promote the earliest
+    /// parked item rather than leaving a worker blocked behind a backoff
+    /// clock that only pops can advance.
+    fn promote_earliest(&mut self) {
+        if self.parked.is_empty() {
+            return;
+        }
+        self.parked.sort_by_key(|&(ready, seq, _)| (ready, seq));
+        let (_, _, item) = self.parked.remove(0);
+        self.items.push_back(item);
+    }
 }
 
 /// One end of the shared queue (clone freely; all clones are the same
@@ -51,7 +97,12 @@ impl<T> Clone for JobQueue<T> {
 #[derive(Debug)]
 struct Shared<T> {
     inner: Mutex<Inner<T>>,
+    /// Signalled when an item arrives (or the queue closes): wakes
+    /// blocked consumers.
     ready: Condvar,
+    /// Signalled when a slot frees (or the queue closes): wakes blocked
+    /// `push_wait` producers.
+    space: Condvar,
     capacity: usize,
 }
 
@@ -62,9 +113,13 @@ impl<T> JobQueue<T> {
             shared: Arc::new(Shared {
                 inner: Mutex::new(Inner {
                     items: VecDeque::new(),
+                    parked: Vec::new(),
+                    pops: 0,
+                    seq: 0,
                     closed: false,
                 }),
                 ready: Condvar::new(),
+                space: Condvar::new(),
                 capacity: capacity.max(1),
             }),
         }
@@ -75,9 +130,10 @@ impl<T> JobQueue<T> {
         self.shared.capacity
     }
 
-    /// Items currently waiting.
+    /// Items currently waiting (parked retries included).
     pub(crate) fn len(&self) -> usize {
-        self.lock().items.len()
+        let inner = self.lock();
+        inner.items.len() + inner.parked.len()
     }
 
     /// Non-blocking push: refuses instead of waiting when the queue is
@@ -96,13 +152,63 @@ impl<T> JobQueue<T> {
         Ok(())
     }
 
+    /// Blocking push: waits for a slot instead of refusing a full queue.
+    /// Still refuses (with the item back) once the queue is closed.
+    pub(crate) fn push_wait(&self, item: T) -> Result<(), PushRefused<T>> {
+        let mut inner = self.lock();
+        loop {
+            if inner.closed {
+                return Err(PushRefused::Closed(item));
+            }
+            if inner.items.len() < self.shared.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.shared.ready.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .shared
+                .space
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Infallible re-enqueue for an already-admitted item (a retrying
+    /// job): parks it for `delay_pops` queue pops of backoff, ignoring
+    /// both the capacity bound and the closed flag — an admitted job
+    /// must reach a terminal state even mid-drain, and its queue slot is
+    /// already accounted for by admission control.
+    pub(crate) fn push_delayed(&self, item: T, delay_pops: u64) {
+        let mut inner = self.lock();
+        if delay_pops == 0 {
+            inner.items.push_back(item);
+        } else {
+            let ready_at = inner.pops.saturating_add(delay_pops);
+            let seq = inner.seq;
+            inner.seq += 1;
+            inner.parked.push((ready_at, seq, item));
+        }
+        drop(inner);
+        // Wake a consumer either way: if every worker is blocked, the
+        // idle-escape in `pop` promotes the parked item immediately.
+        self.shared.ready.notify_one();
+    }
+
     /// Blocking pop: waits until an item arrives or the queue is closed
-    /// *and* drained. `None` means "no more work, ever" — the consumer's
-    /// signal to exit.
+    /// *and* drained (parked retries included). `None` means "no more
+    /// work, ever" — the consumer's signal to exit.
     pub(crate) fn pop(&self) -> Option<T> {
         let mut inner = self.lock();
         loop {
+            inner.promote_ready();
+            if inner.items.is_empty() {
+                inner.promote_earliest();
+            }
             if let Some(item) = inner.items.pop_front() {
+                inner.pops += 1;
+                drop(inner);
+                self.shared.space.notify_one();
                 return Some(item);
             }
             if inner.closed {
@@ -121,6 +227,7 @@ impl<T> JobQueue<T> {
     pub(crate) fn close(&self) {
         self.lock().closed = true;
         self.shared.ready.notify_all();
+        self.shared.space.notify_all();
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
@@ -183,6 +290,75 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn delayed_items_wait_out_their_pops_behind_live_traffic() {
+        let q = JobQueue::bounded(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        // Parked for 2 pops: once the ready mark passes it rejoins at
+        // the back of the live deque (FIFO among ready work).
+        q.push_delayed(99, 2);
+        assert_eq!(q.len(), 4, "parked items count toward the length");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(99), "promoted after its 2-pop backoff");
+    }
+
+    #[test]
+    fn idle_queue_promotes_parked_items_instead_of_stalling() {
+        let q = JobQueue::bounded(4);
+        q.push_delayed(7, 1000);
+        // Nothing else will ever pop, so the idle escape must hand the
+        // parked item over rather than block the consumer forever.
+        assert_eq!(q.pop(), Some(7));
+    }
+
+    #[test]
+    fn push_delayed_ignores_capacity_and_close() {
+        let q = JobQueue::bounded(1);
+        q.push(1).unwrap();
+        q.close();
+        q.push_delayed(2, 0); // over capacity AND closed: still lands
+        q.push_delayed(3, 5);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3), "parked items drain through a close");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_wait_blocks_until_a_slot_frees() {
+        let q = JobQueue::bounded(1);
+        q.push(1).unwrap();
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push_wait(2).is_ok())
+        };
+        // Give the producer a moment to block, then free the slot.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn push_wait_refuses_once_closed() {
+        let q = JobQueue::bounded(1);
+        q.push(1).unwrap();
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push_wait(2))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        match producer.join().unwrap() {
+            Err(PushRefused::Closed(item)) => assert_eq!(item, 2),
+            other => panic!("expected Closed, got {other:?}"),
+        }
     }
 
     #[test]

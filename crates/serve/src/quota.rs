@@ -178,6 +178,24 @@ impl QuotaBook {
                 .saturating_sub(cost.shard_cycles);
         }
     }
+
+    /// A supervised job is heading back into the queue for a retry: it
+    /// re-occupies a queue slot. No limits are checked — the job was
+    /// admitted once and its shard-cycle/shot reservations never lapsed;
+    /// refusing the retry here would leak them.
+    pub(crate) fn requeue(&mut self, tenant: TenantId) {
+        self.usage.entry(tenant).or_default().queued_jobs += 1;
+    }
+
+    /// Live reservations summed over every tenant: `(queued jobs,
+    /// in-flight shard-cycles)`. Both must read zero once every admitted
+    /// job has reached a terminal state — the conservation law the chaos
+    /// harness asserts.
+    pub(crate) fn outstanding(&self) -> (u64, u64) {
+        self.usage.values().fold((0, 0), |(jobs, cycles), u| {
+            (jobs + u.queued_jobs, cycles + u.inflight_shard_cycles)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +292,23 @@ mod tests {
         book.admit(t, cost(10, 5)).unwrap();
         book.rollback(t, cost(10, 5));
         book.admit(t, cost(10, 5)).unwrap();
+    }
+
+    #[test]
+    fn requeue_and_outstanding_balance_over_a_retry() {
+        let mut book = QuotaBook::new(TenantQuota::UNLIMITED);
+        let t = TenantId(4);
+        book.admit(t, cost(40, 2)).unwrap();
+        assert_eq!(book.outstanding(), (1, 40));
+        book.start(t);
+        assert_eq!(book.outstanding(), (0, 40));
+        // Attempt fails; the retry re-occupies a queue slot without
+        // touching the cycle reservation.
+        book.requeue(t);
+        assert_eq!(book.outstanding(), (1, 40));
+        book.start(t);
+        book.finish(t, cost(40, 2));
+        assert_eq!(book.outstanding(), (0, 0), "conservation after retry");
     }
 
     #[test]

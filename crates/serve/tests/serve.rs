@@ -1,9 +1,13 @@
 //! Integration tests for the multi-tenant job server: interleaving
-//! determinism, quota enforcement, and mid-run cancellation.
+//! determinism, quota enforcement, mid-run cancellation, and the retry
+//! supervisor (checkpointed resume, deadlines, load shedding).
 
-use quest_runtime::{DecoderChoice, Runtime, RuntimeReport, WorkloadSpec};
+use quest_runtime::{
+    DecoderChoice, Runtime, RuntimeError, RuntimeReport, ShardPanicPlan, WorkloadSpec,
+};
 use quest_serve::{
-    JobEvent, JobOutcome, JobState, ServeError, Server, ServerConfig, TenantId, TenantQuota,
+    JobEvent, JobOutcome, JobState, RetryPolicy, ServeError, Server, ServerConfig, TenantId,
+    TenantQuota,
 };
 use std::time::Duration;
 
@@ -315,4 +319,209 @@ fn ledger_reports_jobs_by_decoder_backend() {
     );
     let text = ledger.to_string();
     assert!(text.contains("pipelined-uf=2"), "{text}");
+}
+
+/// The supervision round trip: a job whose shard worker is scheduled to
+/// crash mid-run is retried from its latest checkpoint and completes
+/// with a report bit-identical to a solo run of the disarmed spec. The
+/// event stream carries the `Retrying` hop and the ledger records the
+/// retry and the resumed cycles.
+#[test]
+fn retry_resumes_to_a_bit_identical_report() {
+    let tenant = TenantId(0);
+    let mut spec = WorkloadSpec::memory(3, 2, 2, 1e-3, 77, 30);
+    spec.faults.shard_panic = Some(ShardPanicPlan {
+        shard: 1,
+        after_cycles: 10,
+    });
+    let mut disarmed = spec.clone();
+    disarmed.faults.shard_panic = None;
+    let solo = Runtime::new().run(&disarmed).expect("solo baseline");
+
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let policy = RetryPolicy::default()
+        .with_max_attempts(2)
+        .with_checkpoint_every(4);
+    let handle = server
+        .submit_with_policy(tenant, spec, policy)
+        .expect("admit");
+    let mut retrying = Vec::new();
+    let report = loop {
+        match handle.next_event().expect("stream stays open") {
+            JobEvent::Retrying { attempt, error, .. } => {
+                assert!(
+                    matches!(error, RuntimeError::ShardFailed { shard: 1, .. }),
+                    "{error:?}"
+                );
+                retrying.push(attempt);
+            }
+            JobEvent::Done { report, .. } => break report,
+            JobEvent::Cancelled { .. }
+            | JobEvent::Failed { .. }
+            | JobEvent::DeadlineExceeded { .. } => panic!("job must retry to Done"),
+            _ => {}
+        }
+    };
+    assert_eq!(retrying, vec![2], "exactly one retry, announcing attempt 2");
+    assert_eq!(
+        report.report, solo.report,
+        "resumed retry must match the disarmed solo run bit for bit"
+    );
+    let ledger = server.shutdown();
+    let section = ledger.tenant(tenant).expect("tenant section");
+    assert_eq!(section.jobs_done, 1);
+    assert_eq!(section.jobs_retried, 1);
+    assert_eq!(section.jobs_failed, 0);
+    assert_eq!(
+        section.cycles_resumed, 8,
+        "cadence 4, crash at cycle 10: the retry resumes from the cycle-8 checkpoint"
+    );
+    assert_eq!(
+        section.queue_latency.samples, 2,
+        "the retry re-queues and contributes a second queue sample"
+    );
+}
+
+/// Without a retry budget the same scheduled crash is terminal: the
+/// stream ends in `Failed` with the typed runtime error.
+#[test]
+fn unsupervised_crash_lands_in_failed() {
+    let tenant = TenantId(1);
+    let mut spec = WorkloadSpec::memory(3, 2, 2, 1e-3, 78, 30);
+    spec.faults.shard_panic = Some(ShardPanicPlan {
+        shard: 0,
+        after_cycles: 5,
+    });
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let handle = server.submit(tenant, spec).expect("admit");
+    match handle.wait() {
+        JobOutcome::Failed(RuntimeError::ShardFailed { shard: 0, .. }) => {}
+        other => panic!("expected ShardFailed, got {other:?}"),
+    }
+    let ledger = server.shutdown();
+    let section = ledger.tenant(tenant).expect("tenant section");
+    assert_eq!(section.jobs_failed, 1);
+    assert_eq!(section.jobs_retried, 0);
+}
+
+/// A QECC-cycle deadline terminates a runaway job with the typed
+/// `DeadlineExceeded` outcome and its own ledger counter.
+#[test]
+fn deadline_exceeded_is_typed_and_ledgered() {
+    let tenant = TenantId(2);
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let spec = WorkloadSpec::memory(3, 2, 1, 1e-3, 79, 50_000);
+    let policy = RetryPolicy::default().with_deadline_cycles(10);
+    let handle = server
+        .submit_with_policy(tenant, spec, policy)
+        .expect("admit");
+    match handle.wait() {
+        JobOutcome::DeadlineExceeded { cycles_done } => {
+            assert!(cycles_done >= 10, "budget was 10, did {cycles_done}");
+            assert!(cycles_done < 50_000, "must stop well short of completion");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let ledger = server.shutdown();
+    let section = ledger.tenant(tenant).expect("tenant section");
+    assert_eq!(section.jobs_deadline_exceeded, 1);
+    assert_eq!(
+        section.jobs_cancelled, 0,
+        "a deadline is not a cancellation"
+    );
+}
+
+/// A zero backlog budget sheds every submission with the typed
+/// `Overloaded` error and its `RetryAfter` hint, and the ledger counts
+/// the shed.
+#[test]
+fn overload_sheds_with_a_typed_retry_hint() {
+    let tenant = TenantId(3);
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_max_backlog_cycles(0),
+    );
+    let err = server
+        .submit(tenant, WorkloadSpec::memory(3, 2, 1, 1e-3, 80, 20))
+        .expect_err("zero budget sheds everything");
+    match err {
+        ServeError::Overloaded {
+            backlog_cycles,
+            limit,
+            retry_after,
+        } => {
+            assert_eq!(backlog_cycles, 0);
+            assert_eq!(limit, 0);
+            assert!(retry_after.slots >= 1);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let ledger = server.shutdown();
+    let section = ledger.tenant(tenant).expect("tenant section");
+    assert_eq!(section.jobs_shed, 1);
+    assert_eq!(section.jobs_rejected, 1);
+}
+
+/// The blocking `submit` rides out a full queue instead of failing: a
+/// submitter thread parks until the stalled worker frees a slot, and
+/// every job still completes exactly once.
+#[test]
+fn blocking_submit_waits_out_backpressure() {
+    let tenant = TenantId(4);
+    let server = Server::start(ServerConfig::default().with_workers(1).with_queue_depth(1));
+    // Worker busy on the blocker; one job fills the 1-deep queue.
+    let blocker = server
+        .submit(tenant, WorkloadSpec::memory(3, 2, 1, 1e-3, 81, 50_000))
+        .expect("admit blocker");
+    while !matches!(blocker.state(), JobState::Running { .. }) {
+        std::thread::yield_now();
+    }
+    let queued = server
+        .submit(tenant, WorkloadSpec::memory(3, 2, 1, 1e-3, 82, 10))
+        .expect("admit queued");
+    let outcome = std::thread::scope(|scope| {
+        let submitter = scope.spawn(|| {
+            // Blocks until the blocker's cancellation frees the slot.
+            server
+                .submit(tenant, WorkloadSpec::memory(3, 2, 1, 1e-3, 83, 10))
+                .expect("blocking submit succeeds once a slot frees")
+                .wait()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        blocker.cancel();
+        submitter.join().expect("submitter thread")
+    });
+    assert!(matches!(outcome, JobOutcome::Done(_)), "{outcome:?}");
+    assert!(matches!(queued.wait(), JobOutcome::Done(_)));
+    let ledger = server.shutdown();
+    let section = ledger.tenant(tenant).expect("tenant section");
+    assert_eq!(section.jobs_done, 2);
+    assert_eq!(section.jobs_cancelled, 1);
+    assert_eq!(section.jobs_rejected, 0, "nothing was refused");
+}
+
+/// In-band fault recovery (a killed decode worker, respawned by the
+/// pool) surfaces in the tenant's ledger section without any retry.
+#[test]
+fn recovery_footprint_reaches_the_ledger() {
+    let tenant = TenantId(5);
+    let mut spec = WorkloadSpec::memory(5, 4, 2, 2e-2, 20260808, 30);
+    spec.faults.kill_decode_worker_after_jobs = Some(1);
+    let server = Server::start(ServerConfig::default().with_workers(1));
+    let handle = server.submit(tenant, spec).expect("admit");
+    assert!(matches!(handle.wait(), JobOutcome::Done(_)));
+    let ledger = server.shutdown();
+    let section = ledger.tenant(tenant).expect("tenant section");
+    assert_eq!(section.jobs_done, 1);
+    assert_eq!(section.jobs_retried, 0, "respawn is in-band, not a retry");
+    assert!(
+        section.recovery.decode_worker_deaths >= 1,
+        "the kill drill must fire: {:?}",
+        section.recovery
+    );
+    assert_eq!(
+        section.recovery.decode_worker_respawns,
+        section.recovery.decode_worker_deaths
+    );
 }

@@ -11,15 +11,21 @@
 //!   concurrent sharded runtime and print its statistics; `--fault-*`
 //!   flags inject deterministic classical faults (packet drop/corrupt
 //!   rates, MCE stalls, decode-worker kills) and the report then carries
-//!   a recovery summary;
+//!   a recovery summary; `--retries`/`--deadline-cycles`/
+//!   `--checkpoint-every` supervise the run locally (checkpointed
+//!   retries, a cycle budget) and print a one-line resume summary;
 //! * `asm <file>` — assemble a logical program from text and print its
 //!   statistics (use `-` for stdin);
 //! * `submit [options]` — batch driver for the multi-tenant job server:
 //!   submit `--jobs N` memory workloads round-robin across `--tenants T`
 //!   onto a `--workers W` pool and print per-job results plus the final
-//!   server ledger;
+//!   server ledger; the same supervision flags attach a per-job
+//!   `RetryPolicy`;
 //! * `serve [options]` — interactive job server driven by stdin commands
-//!   (`submit`, `cancel`, `status`, `quota`, `drain`).
+//!   (`submit`, `cancel`, `status`, `quota`, `drain`);
+//! * `chaos [options]` — the chaos-soak harness: seeded fault storms
+//!   against a live server with all crash-safety invariants checked;
+//!   exits nonzero on any violation.
 
 #![forbid(unsafe_code)]
 
@@ -27,13 +33,21 @@ use quest::arch::throughput::table2;
 use quest::arch::{DeliveryMode, QuestSystem, TechnologyParams};
 use quest::estimate::kernels::workload_with_kernel;
 use quest::estimate::{analyze_suite, ShorEstimate, Workload};
-use quest::runtime::{DecoderChoice, FaultPlan, Runtime, WorkloadSpec};
-use quest::serve::{JobHandle, JobOutcome, Server, ServerConfig, TenantId, TenantQuota};
+use quest::runtime::{
+    CancelToken, CheckpointSink, DecoderChoice, FaultPlan, RunControl, RunProgress, RunSnapshot,
+    Runtime, RuntimeError, RuntimeReport, WorkloadSpec,
+};
+use quest::serve::chaos::{run_chaos, ChaosConfig};
+use quest::serve::{
+    disarm, retryable, JobHandle, JobOutcome, RetryPolicy, Server, ServerConfig, TenantId,
+    TenantQuota,
+};
 use quest::stabilizer::{SeedableRng, StdRng};
 use std::collections::BTreeMap;
 use std::io::BufRead;
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,9 +60,10 @@ fn main() -> ExitCode {
         Some("asm") => cmd_asm(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: quest-cli <report [p] | shor <bits> [p] | table2 | simulate <d> <p> <cycles> | run --shards N [options] | asm <file> | submit [options] | serve [options]>"
+                "usage: quest-cli <report [p] | shor <bits> [p] | table2 | simulate <d> <p> <cycles> | run --shards N [options] | asm <file> | submit [options] | serve [options] | chaos [options]>"
             );
             return ExitCode::FAILURE;
         }
@@ -184,6 +199,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut workload = "memory".to_owned();
     let mut decoder = DecoderChoice::default();
     let mut faults = FaultPlan::none();
+    let mut retries = 0u32;
+    let mut deadline = None;
+    let mut checkpoint_every = 0u64;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| -> Result<&String, String> {
@@ -198,6 +216,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--seed" => seed = parse_u64(value("--seed")?, "seed")?,
             "--workload" => workload = value("--workload")?.clone(),
             "--decoder" => decoder = parse_decoder(value("--decoder")?)?,
+            "--retries" => retries = parse_u64(value("--retries")?, "retry budget")? as u32,
+            "--deadline-cycles" => {
+                deadline = Some(parse_u64(value("--deadline-cycles")?, "cycle deadline")?);
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = parse_u64(value("--checkpoint-every")?, "checkpoint cadence")?;
+            }
             "--fault-drop-rate" => {
                 faults.drop_rate = parse_f64(value("--fault-drop-rate")?, "drop rate")?;
             }
@@ -218,12 +243,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 faults.kill_decode_worker_after_jobs =
                     Some(parse_u64(value("--fault-kill-decoder")?, "job threshold")?);
             }
+            "--fault-shard-panic" => {
+                let spec = value("--fault-shard-panic")?;
+                let (shard, after) = spec
+                    .split_once(':')
+                    .ok_or("--fault-shard-panic expects <shard>:<cycle>")?;
+                faults.shard_panic = Some(quest::runtime::ShardPanicPlan {
+                    shard: parse_u64(shard, "shard index")? as usize,
+                    after_cycles: parse_u64(after, "panic cycle")?,
+                });
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (expected --shards/--tiles/--distance/--error-rate/\
-                     --cycles/--seed/--workload/--decoder/--fault-drop-rate/\
-                     --fault-corrupt-rate/--fault-stall-rate/--fault-quarantine/\
-                     --fault-retries/--fault-kill-decoder)"
+                     --cycles/--seed/--workload/--decoder/--retries/--deadline-cycles/\
+                     --checkpoint-every/--fault-drop-rate/--fault-corrupt-rate/\
+                     --fault-stall-rate/--fault-quarantine/--fault-retries/\
+                     --fault-kill-decoder/--fault-shard-panic)"
                 ))
             }
         }
@@ -241,7 +277,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "{workload} workload: {tiles} tiles at d={distance}, p={error_rate:.0e}, \
          {cycles} cycles, seed {seed}, {shards} shard(s), {decoder} decoder\n"
     );
-    let report = Runtime::new().run(&spec).map_err(|e| e.to_string())?;
+    let report = supervised_run(spec, retries, deadline, checkpoint_every)?;
     println!("{}", report.stats);
     if !report.recovery.is_quiet() {
         println!("\nfault recovery:");
@@ -266,11 +302,84 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Local supervisor for `run`: the same retry/deadline/checkpoint loop
+/// the job server's worker applies, inline for a single workload. With
+/// the default knobs (no retries, no deadline, forced-only checkpoints)
+/// this is byte-for-byte a plain `Runtime::run`.
+fn supervised_run(
+    mut spec: WorkloadSpec,
+    retries: u32,
+    deadline: Option<u64>,
+    checkpoint_every: u64,
+) -> Result<RuntimeReport, String> {
+    let runtime = Runtime::new();
+    let sink = CheckpointSink::every(checkpoint_every);
+    let cancel = CancelToken::new();
+    let max_attempts = retries.saturating_add(1);
+    let mut attempt = 1u32;
+    let mut snapshot: Option<RunSnapshot> = None;
+    let mut resumed_cycles = 0u64;
+    let mut restarts = 0u64;
+    loop {
+        let deadline_hit = AtomicBool::new(false);
+        let progress = |p: RunProgress| {
+            if let Some(limit) = deadline {
+                if p.cycles_done >= limit && !deadline_hit.swap(true, Ordering::AcqRel) {
+                    cancel.cancel();
+                }
+            }
+        };
+        let control = RunControl::new()
+            .with_cancel(&cancel)
+            .with_progress(&progress)
+            .with_checkpoints(&sink);
+        let result = match snapshot.as_ref() {
+            Some(snap) => runtime.resume(snap, &control),
+            None => runtime.run_controlled(&spec, &control),
+        };
+        match result {
+            Ok(report) => {
+                if attempt > 1 {
+                    println!(
+                        "supervision: {attempt} attempt(s), {resumed_cycles} cycle(s) resumed \
+                         from checkpoints, {restarts} restart(s) from scratch\n"
+                    );
+                }
+                return Ok(report);
+            }
+            Err(RuntimeError::Cancelled { cycles_done })
+                if deadline_hit.load(Ordering::Acquire) =>
+            {
+                return Err(format!(
+                    "deadline exceeded: cycle budget {} ran out after {cycles_done} cycles \
+                     (attempt {attempt})",
+                    deadline.unwrap_or(0)
+                ));
+            }
+            Err(error) if retryable(&error) && attempt < max_attempts => {
+                let mut snap = sink.take().or(snapshot.take());
+                disarm(&error, &mut spec, snap.as_mut());
+                match snap.as_ref() {
+                    Some(s) => resumed_cycles += s.cycles_done(),
+                    None => restarts += 1,
+                }
+                eprintln!("attempt {attempt} failed ({error}); retrying");
+                snapshot = snap;
+                attempt += 1;
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
 /// Batch driver for the job server: `--jobs N` memory workloads spread
 /// round-robin over `--tenants T`, run on `--workers W`, with per-job
 /// seeds `--seed + job index`. `--cancel-every K` cancels every Kth job
-/// right after submission to exercise the cancellation path. Exits
-/// nonzero if any job ends in an unexpected state.
+/// right after submission to exercise the cancellation path;
+/// `--retries`/`--deadline-cycles`/`--checkpoint-every` attach a
+/// [`RetryPolicy`] to every job. Submission blocks when the queue is
+/// full (the server's blocking `submit` parks instead of busy-looping).
+/// Exits nonzero if any job ends in an unexpected state.
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut workers = 2usize;
     let mut jobs = 4u64;
@@ -284,6 +393,9 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut cancel_every = 0u64;
     let mut max_shots = u64::MAX;
     let mut decoder = DecoderChoice::default();
+    let mut retries = 0u32;
+    let mut deadline = None;
+    let mut checkpoint_every = 0u64;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| -> Result<&String, String> {
@@ -306,16 +418,29 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             }
             "--max-shots" => max_shots = parse_u64(value("--max-shots")?, "shot quota")?,
             "--decoder" => decoder = parse_decoder(value("--decoder")?)?,
+            "--retries" => retries = parse_u64(value("--retries")?, "retry budget")? as u32,
+            "--deadline-cycles" => {
+                deadline = Some(parse_u64(value("--deadline-cycles")?, "cycle deadline")?);
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = parse_u64(value("--checkpoint-every")?, "checkpoint cadence")?;
+            }
             other => {
                 return Err(format!(
                     "unknown flag `{other}` (expected --workers/--jobs/--tenants/--tiles/\
                      --distance/--error-rate/--cycles/--seed/--queue-depth/--cancel-every/\
-                     --max-shots/--decoder)"
+                     --max-shots/--decoder/--retries/--deadline-cycles/--checkpoint-every)"
                 ))
             }
         }
     }
     let tenants = tenants.max(1);
+    let mut policy = RetryPolicy::default()
+        .with_max_attempts(retries.saturating_add(1))
+        .with_checkpoint_every(checkpoint_every);
+    if let Some(limit) = deadline {
+        policy = policy.with_deadline_cycles(limit);
+    }
     let quota = TenantQuota {
         max_total_shots: max_shots,
         ..TenantQuota::UNLIMITED
@@ -335,7 +460,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         let tenant = TenantId(i as u32 % tenants);
         let mut spec = WorkloadSpec::memory(distance, tiles, 1, error_rate, seed + i, cycles);
         spec.decoder = decoder;
-        match server.submit(tenant, spec) {
+        match server.submit_with_policy(tenant, spec, policy) {
             Ok(handle) => {
                 if cancel_every > 0 && i % cancel_every == 0 {
                     handle.cancel();
@@ -373,6 +498,12 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             JobOutcome::Cancelled => {
                 println!("job {i} ({tenant}): cancelled");
                 if !expect_cancel {
+                    unexpected += 1;
+                }
+            }
+            JobOutcome::DeadlineExceeded { cycles_done } => {
+                println!("job {i} ({tenant}): deadline exceeded after {cycles_done} cycles");
+                if deadline.is_none() {
                     unexpected += 1;
                 }
             }
@@ -500,6 +631,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 },
             ),
             JobOutcome::Cancelled => "cancelled".to_owned(),
+            JobOutcome::DeadlineExceeded { cycles_done } => {
+                format!("deadline exceeded after {cycles_done} cycles")
+            }
             JobOutcome::Failed(e) => format!("failed: {e}"),
             JobOutcome::Lost => "lost".to_owned(),
         };
@@ -507,6 +641,82 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     println!("\n{ledger}");
     Ok(())
+}
+
+/// Chaos-soak harness: seeded fault storms against a live server with
+/// every crash-safety invariant checked (see `quest_serve::chaos`).
+/// Under `QUEST_FAULT_HEAVY` the default campaign widens to 10 seeds.
+/// Exits nonzero on any invariant violation.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let heavy = std::env::var_os("QUEST_FAULT_HEAVY").is_some_and(|v| v != "0" && !v.is_empty());
+    let mut config = if heavy {
+        ChaosConfig::default().with_seeds(10).with_jobs_per_seed(10)
+    } else {
+        ChaosConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> Result<&String, String> {
+            it.next().ok_or(format!("{what} needs a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => config = config.with_seeds(parse_u64(value("--seeds")?, "seed count")?),
+            "--jobs" => {
+                config = config
+                    .with_jobs_per_seed(parse_u64(value("--jobs")?, "jobs per seed")? as usize);
+            }
+            "--workers" => {
+                config =
+                    config.with_workers(parse_u64(value("--workers")?, "worker count")? as usize);
+            }
+            "--first-seed" => {
+                config = config.with_first_seed(parse_u64(value("--first-seed")?, "first seed")?);
+            }
+            "--cancel-percent" => {
+                config = config
+                    .with_cancel_percent(parse_u64(value("--cancel-percent")?, "cancel percent")?);
+            }
+            "--timeout-secs" => {
+                config = config.with_timeout(std::time::Duration::from_secs(parse_u64(
+                    value("--timeout-secs")?,
+                    "seed timeout",
+                )?));
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (expected --seeds/--jobs/--workers/--first-seed/\
+                     --cancel-percent/--timeout-secs)"
+                ))
+            }
+        }
+    }
+    println!(
+        "chaos soak: {} seed(s) from {:#x}, {} job(s) per seed, {} worker(s)\n",
+        config.seeds, config.first_seed, config.jobs_per_seed, config.workers
+    );
+    // Injected worker panics are the point of a chaos storm; keep the
+    // default hook's multi-line backtraces out of the report. Anything
+    // genuinely wrong still surfaces as an invariant violation below.
+    std::panic::set_hook(Box::new(|info| {
+        let payload = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_owned());
+        eprintln!("worker panic: {payload}");
+    }));
+    let report = run_chaos(&config);
+    let _ = std::panic::take_hook();
+    println!("{report}");
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} invariant violation(s)",
+            report.violations.len()
+        ))
+    }
 }
 
 fn cmd_asm(args: &[String]) -> Result<(), String> {

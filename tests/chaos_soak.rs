@@ -1,0 +1,67 @@
+//! End-to-end chaos soak: seeded fault storms against the full serving
+//! stack, asserting the crash-safety invariants the robustness PR
+//! provides — no hangs, exactly one terminal event per job, conserved
+//! quotas and backlog after drain, and bit-identical reports for every
+//! job that recovered to `Done`.
+//!
+//! The storm logic lives in `quest_serve::chaos` (shared with the
+//! `quest-cli chaos` subcommand); this test is the repo-level soak that
+//! CI runs. The default profile keeps the suite fast; setting
+//! `QUEST_FAULT_HEAVY=1` (the CI chaos-soak job does) widens the
+//! campaign to ≥ 10 seeds with more jobs per seed.
+
+use quest_serve::chaos::{run_chaos, ChaosConfig};
+use std::time::Duration;
+
+/// Wider campaign under `QUEST_FAULT_HEAVY=1`.
+fn heavy() -> bool {
+    std::env::var_os("QUEST_FAULT_HEAVY").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+#[test]
+fn chaos_soak_holds_every_invariant() {
+    let config = if heavy() {
+        ChaosConfig::default()
+            .with_seeds(10)
+            .with_jobs_per_seed(10)
+            .with_workers(3)
+            .with_timeout(Duration::from_secs(120))
+    } else {
+        ChaosConfig::default().with_seeds(3).with_jobs_per_seed(8)
+    };
+    let report = run_chaos(&config);
+    assert!(report.ok(), "{report}");
+    assert_eq!(report.seeds_run, config.seeds);
+    assert_eq!(
+        report.jobs_submitted,
+        config.seeds * config.jobs_per_seed as u64,
+        "every job must be admitted"
+    );
+    assert_eq!(
+        report.jobs_done
+            + report.jobs_cancelled
+            + report.jobs_failed
+            + report.jobs_deadline_exceeded,
+        report.jobs_submitted,
+        "every admitted job reaches exactly one terminal state: {report}"
+    );
+    assert!(
+        report.jobs_retried > 0,
+        "a fault storm with scheduled crashes must exercise the retry path: {report}"
+    );
+}
+
+/// The storm itself is deterministic: with cancellations disabled (their
+/// outcomes race with completion by design), two identical campaigns
+/// produce identical outcome counts.
+#[test]
+fn chaos_campaigns_replay_deterministically() {
+    let config = ChaosConfig::default()
+        .with_seeds(2)
+        .with_jobs_per_seed(6)
+        .with_cancel_percent(0);
+    let a = run_chaos(&config);
+    let b = run_chaos(&config);
+    assert!(a.ok(), "{a}");
+    assert_eq!(a, b, "same config, same storm, same report");
+}
