@@ -135,6 +135,7 @@ impl FaultPlan {
 /// Part of [`RunReport`](crate::RunReport), and covered by the same
 /// determinism guarantee: for a fixed master seed and fault plan these
 /// are bit-identical across shard counts.
+#[must_use]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Packets that arrived with a CRC mismatch and were retransmitted.

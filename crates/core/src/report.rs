@@ -17,6 +17,7 @@ use quest_surface::decoder::CostReport;
 
 /// Result of running a workload, identical in shape for the single-tile
 /// system, the multi-tile reference and the sharded runtime.
+#[must_use]
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Delivery mode accounted.

@@ -151,6 +151,7 @@ impl TenantServeStats {
 /// bit-deterministic per job), a `ServeReport` describes how the *service*
 /// treated many jobs (and is timing-dependent by nature — wall-clock
 /// latencies and throughput are observability, never physics).
+#[must_use]
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeReport {
     /// Per-tenant sections, sorted by tenant id.

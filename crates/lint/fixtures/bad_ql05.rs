@@ -1,0 +1,27 @@
+//! Seeded deadlock: `ab` nests beta inside alpha (the canonical
+//! order), while `ba` holds beta and calls a helper that locks alpha —
+//! closing an alpha↔beta cycle through the call graph.
+
+pub struct Pair {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) {
+        let first = self.alpha.lock();
+        let second = self.beta.lock();
+        use_both(first, second);
+    }
+
+    pub fn ba(&self) {
+        let guard = self.beta.lock();
+        self.take_alpha();
+        use_one(guard);
+    }
+
+    fn take_alpha(&self) {
+        let inner = self.alpha.lock();
+        use_one(inner);
+    }
+}

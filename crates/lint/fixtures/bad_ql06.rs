@@ -1,0 +1,24 @@
+//! Protocol rot both ways: `Pong` is matched but never constructed,
+//! `Halt` is constructed but only a wildcard arm ever receives it.
+
+pub enum Msg {
+    Ping,
+    Pong,
+    Halt,
+}
+
+pub fn send() -> Msg {
+    Msg::Ping
+}
+
+pub fn send_halt() -> Msg {
+    Msg::Halt
+}
+
+pub fn recv(m: Msg) -> u8 {
+    match m {
+        Msg::Ping => 0,
+        Msg::Pong => 1,
+        _ => 2,
+    }
+}

@@ -1,0 +1,12 @@
+//! A quota gauge bumped with bare `+=` — exactly the wrap hazard QL07
+//! exists to catch.
+
+pub struct Gauge {
+    queued_jobs: u64,
+}
+
+impl Gauge {
+    pub fn bump(&mut self) {
+        self.queued_jobs += 1;
+    }
+}

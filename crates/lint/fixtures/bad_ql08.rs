@@ -1,0 +1,18 @@
+//! A dead error variant: `Never` has a match arm but nothing ever
+//! raises it.
+
+pub enum DemoError {
+    Io,
+    Never,
+}
+
+pub fn make() -> DemoError {
+    DemoError::Io
+}
+
+pub fn classify(e: &DemoError) -> &'static str {
+    match e {
+        DemoError::Io => "io",
+        DemoError::Never => "never",
+    }
+}

@@ -25,6 +25,65 @@ pub fn deliberate() {
     panic!("covered by the allow comment above");
 }
 
+/// Channel enum for the flow-rule tests: every variant is both
+/// constructed and matched, so QL06 stays quiet.
+pub enum CleanMsg {
+    Tick,
+    Stop,
+}
+
+/// Error enum that is raised and specifically handled (QL08-clean).
+pub enum CleanError {
+    Bad,
+}
+
+pub fn send_all() -> (CleanMsg, CleanMsg) {
+    (CleanMsg::Tick, CleanMsg::Stop)
+}
+
+pub fn recv_all(m: CleanMsg) -> u8 {
+    match m {
+        CleanMsg::Tick => 0,
+        CleanMsg::Stop => 1,
+    }
+}
+
+pub fn raise() -> CleanError {
+    CleanError::Bad
+}
+
+pub fn describe_error(e: &CleanError) -> &'static str {
+    match e {
+        CleanError::Bad => "bad",
+    }
+}
+
+pub struct CleanPair {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+impl CleanPair {
+    /// Nests the locks in the canonical order only, so QL05 sees a
+    /// single consistent alpha→beta edge.
+    pub fn in_order(&self) {
+        let first = self.alpha.lock();
+        let second = self.beta.lock();
+        consume(first, second);
+    }
+}
+
+pub struct CleanGauge {
+    queued_jobs: u64,
+}
+
+impl CleanGauge {
+    /// Saturating arithmetic keeps the counter QL07-clean.
+    pub fn bump(&mut self) {
+        self.queued_jobs = self.queued_jobs.saturating_add(1);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

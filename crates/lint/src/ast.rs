@@ -1,0 +1,483 @@
+//! Item-level parsing: a per-file AST over the comment-free token
+//! stream.
+//!
+//! The lexer stays the single source of truth for what is and is not
+//! code; this module recovers the *item structure* on top of it — which
+//! functions exist (with their owning `impl`/`trait` type and body token
+//! range) and which enums exist (with their variants). That is exactly
+//! the shape the flow-aware passes (QL05–QL08) need: a symbol index maps
+//! call names to [`FnItem`]s, and enum definitions anchor the
+//! variant-liveness findings to their declaration lines.
+//!
+//! The parser is deliberately tolerant: Rust it does not understand is
+//! skipped with brace matching rather than rejected, so a new syntax
+//! form degrades to "no items found here", never to a crash or a
+//! spurious finding.
+
+use crate::lexer::{Token, TokenKind};
+
+/// A parsed function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// The `impl`/`trait` type the function is defined on, if any —
+    /// `JobQueue` for `impl JobQueue { fn push(…) }`.
+    pub owner: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Token range `(open_brace, close_brace)` of the body in the file's
+    /// code stream, or `None` for a bodyless trait-method signature.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One enum variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantDef {
+    /// Variant name.
+    pub name: String,
+    /// 1-indexed line of the variant.
+    pub line: u32,
+}
+
+/// A parsed enum definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumDef {
+    /// Bare enum name.
+    pub name: String,
+    /// 1-indexed line of the `enum` keyword.
+    pub line: u32,
+    /// Token range `(open_brace, close_brace)` of the body.
+    pub body: (usize, usize),
+    /// The variants, in declaration order.
+    pub variants: Vec<VariantDef>,
+}
+
+/// The item structure of one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileAst {
+    /// Every function with a body, including trait default methods and
+    /// functions nested in inline modules.
+    pub fns: Vec<FnItem>,
+    /// Every enum definition.
+    pub enums: Vec<EnumDef>,
+}
+
+/// Parses the item structure of a comment-free, test-stripped token
+/// stream (see [`crate::lexer::strip_test_code`]).
+pub fn parse(code: &[Token]) -> FileAst {
+    let mut ast = FileAst::default();
+    parse_items(code, 0, code.len(), None, &mut ast);
+    ast
+}
+
+/// Index of the token matching the `{` (or `(`/`[`) at `open`, or `end`
+/// when the stream is unbalanced.
+pub fn find_matching(code: &[Token], open: usize, end: usize) -> usize {
+    let (o, c) = match code[open].kind {
+        TokenKind::Punct('{') => ('{', '}'),
+        TokenKind::Punct('(') => ('(', ')'),
+        TokenKind::Punct('[') => ('[', ']'),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().take(end).skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    end
+}
+
+/// Modifier keywords that may precede an item keyword.
+const MODIFIERS: [&str; 4] = ["unsafe", "async", "extern", "default"];
+
+fn parse_items(code: &[Token], start: usize, end: usize, owner: Option<&str>, out: &mut FileAst) {
+    let mut i = start;
+    while i < end {
+        match &code[i].kind {
+            // Outer or inner attribute: skip the bracket group.
+            TokenKind::Punct('#') => {
+                let mut j = i + 1;
+                if code.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if code.get(j).is_some_and(|t| t.is_punct('[')) {
+                    i = find_matching(code, j, end) + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenKind::Ident => {
+                let name = code[i].text.as_str();
+                match name {
+                    "pub" => {
+                        // `pub` / `pub(crate)` / `pub(in path)`.
+                        i += 1;
+                        if code.get(i).is_some_and(|t| t.is_punct('(')) {
+                            i = find_matching(code, i, end) + 1;
+                        }
+                    }
+                    m if MODIFIERS.contains(&m) => i += 1,
+                    "const" => {
+                        // `const fn` is a modifier; a `const ITEM: T = …;`
+                        // is skipped like any other non-fn item.
+                        if code.get(i + 1).is_some_and(|t| t.is_ident("fn")) {
+                            i += 1;
+                        } else {
+                            i = skip_generic_item(code, i, end);
+                        }
+                    }
+                    "fn" => i = parse_fn(code, i, end, owner, out),
+                    "enum" => i = parse_enum(code, i, end, out),
+                    "impl" => i = parse_impl(code, i, end, out),
+                    "trait" => i = parse_braced_scope(code, i, end, out),
+                    "mod" => {
+                        // Inline module: recurse with no owner; `mod x;`
+                        // declarations are just skipped.
+                        i = parse_mod(code, i, end, out);
+                    }
+                    _ => i = skip_generic_item(code, i, end),
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// At the `fn` keyword: records the item and returns the index past it.
+fn parse_fn(
+    code: &[Token],
+    at: usize,
+    end: usize,
+    owner: Option<&str>,
+    out: &mut FileAst,
+) -> usize {
+    let line = code[at].line;
+    let Some(name_tok) = code.get(at + 1) else {
+        return end;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return at + 1;
+    }
+    // Find the body `{` at paren/bracket depth 0, stopping at a `;`
+    // (bodyless trait-method signature). `where` clauses and return
+    // types contain no top-level braces.
+    let mut depth = 0i32;
+    let mut j = at + 2;
+    let mut body = None;
+    while j < end {
+        match code[j].kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth -= 1,
+            TokenKind::Punct('{') if depth == 0 => {
+                let close = find_matching(code, j, end);
+                body = Some((j, close));
+                j = close + 1;
+                break;
+            }
+            TokenKind::Punct(';') if depth == 0 => {
+                j += 1;
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    out.fns.push(FnItem {
+        name: name_tok.text.clone(),
+        owner: owner.map(String::from),
+        line,
+        body,
+    });
+    j
+}
+
+/// At the `enum` keyword: records the definition and returns the index
+/// past it.
+fn parse_enum(code: &[Token], at: usize, end: usize, out: &mut FileAst) -> usize {
+    let line = code[at].line;
+    let Some(name_tok) = code.get(at + 1) else {
+        return end;
+    };
+    if name_tok.kind != TokenKind::Ident {
+        return at + 1;
+    }
+    // Body `{` at paren/bracket depth 0 (generics carry no braces).
+    let mut j = at + 2;
+    while j < end && !code[j].is_punct('{') {
+        if code[j].is_punct(';') {
+            return j + 1;
+        }
+        j += 1;
+    }
+    if j >= end {
+        return end;
+    }
+    let close = find_matching(code, j, end);
+    let mut variants = Vec::new();
+    let mut k = j + 1;
+    let mut expecting = true;
+    let mut depth = 0i32;
+    while k < close {
+        match &code[k].kind {
+            // Variant attribute.
+            TokenKind::Punct('#')
+                if depth == 0 && code.get(k + 1).is_some_and(|t| t.is_punct('[')) =>
+            {
+                k = find_matching(code, k + 1, close) + 1;
+                continue;
+            }
+            TokenKind::Punct('(' | '[' | '{') => depth += 1,
+            TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+            TokenKind::Punct(',') if depth == 0 => expecting = true,
+            TokenKind::Ident if expecting && depth == 0 => {
+                variants.push(VariantDef {
+                    name: code[k].text.clone(),
+                    line: code[k].line,
+                });
+                expecting = false;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out.enums.push(EnumDef {
+        name: name_tok.text.clone(),
+        line,
+        body: (j, close),
+        variants,
+    });
+    close + 1
+}
+
+/// At the `impl` keyword: extracts the implemented-on type and recurses
+/// into the body for methods.
+fn parse_impl(code: &[Token], at: usize, end: usize, out: &mut FileAst) -> usize {
+    // Body `{` at paren/bracket depth 0. Bounds like `Fn() -> R` hide
+    // their parens at depth > 0; `where` clauses carry no braces.
+    let mut j = at + 1;
+    let mut depth = 0i32;
+    while j < end {
+        match code[j].kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth -= 1,
+            TokenKind::Punct('{') if depth == 0 => break,
+            TokenKind::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= end {
+        return end;
+    }
+    let owner = impl_owner(&code[at + 1..j]);
+    let close = find_matching(code, j, end);
+    parse_items(code, j + 1, close, owner.as_deref(), out);
+    close + 1
+}
+
+/// The implemented-on type of an `impl` header: the last path segment of
+/// the type after `for` (trait impls) or of the first path at angle
+/// depth 0 (inherent impls), generics stripped.
+fn impl_owner(header: &[Token]) -> Option<String> {
+    let mut angle = 0i32;
+    let mut for_at = None;
+    for (i, t) in header.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') if angle > 0 => angle -= 1,
+            TokenKind::Ident if t.text == "for" && angle == 0 => {
+                for_at = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let search = match for_at {
+        Some(i) => &header[i + 1..],
+        None => header,
+    };
+    // Last segment of the leading path: `quest_core::Thing` → `Thing`.
+    let mut angle = 0i32;
+    let mut owner = None;
+    let mut i = 0;
+    while i < search.len() {
+        match &search[i].kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') if angle > 0 => angle -= 1,
+            TokenKind::Ident if angle == 0 => {
+                owner = Some(search[i].text.clone());
+                // Keep going only across `::` path separators.
+                if !(search.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && search.get(i + 2).is_some_and(|t| t.is_punct(':')))
+                {
+                    break;
+                }
+                i += 2;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    owner
+}
+
+/// At a `trait` keyword: the trait name becomes the owner of its default
+/// methods.
+fn parse_braced_scope(code: &[Token], at: usize, end: usize, out: &mut FileAst) -> usize {
+    let owner = code
+        .get(at + 1)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone());
+    let mut j = at + 1;
+    let mut depth = 0i32;
+    while j < end {
+        match code[j].kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth -= 1,
+            TokenKind::Punct('{') if depth == 0 => break,
+            TokenKind::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= end {
+        return end;
+    }
+    let close = find_matching(code, j, end);
+    parse_items(code, j + 1, close, owner.as_deref(), out);
+    close + 1
+}
+
+/// At a `mod` keyword: recurses into an inline module body.
+fn parse_mod(code: &[Token], at: usize, end: usize, out: &mut FileAst) -> usize {
+    let mut j = at + 1;
+    while j < end {
+        if code[j].is_punct(';') {
+            return j + 1;
+        }
+        if code[j].is_punct('{') {
+            let close = find_matching(code, j, end);
+            parse_items(code, j + 1, close, None, out);
+            return close + 1;
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Skips a non-fn item (`struct`/`use`/`static`/`type`/`macro_rules!`/…):
+/// everything to the first top-level `;` or past the first brace group.
+fn skip_generic_item(code: &[Token], at: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = at;
+    while j < end {
+        match code[j].kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => depth -= 1,
+            TokenKind::Punct('{') if depth == 0 => {
+                return find_matching(code, j, end) + 1;
+            }
+            TokenKind::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ast_of(src: &str) -> FileAst {
+        let tokens = lex(src);
+        let code: Vec<Token> = crate::lexer::strip_test_code(&tokens)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        parse(&code)
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_found_with_owners() {
+        let src = "fn free() {}\n\
+                   pub(crate) struct S { x: u32 }\n\
+                   impl S {\n    pub fn method(&self) -> u32 { self.x }\n}\n\
+                   impl std::fmt::Display for S {\n    fn fmt(&self) {}\n}\n";
+        let ast = ast_of(src);
+        let names: Vec<(String, Option<String>)> = ast
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("method".into(), Some("S".into())),
+                ("fmt".into(), Some("S".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impls_and_paths_resolve_to_the_type() {
+        let src = "impl<T: Clone> Queue<T> {\n    fn push(&mut self, t: T) {}\n}\n\
+                   impl fmt::Display for error::Kind {\n    fn fmt(&self) {}\n}\n";
+        let ast = ast_of(src);
+        assert_eq!(ast.fns[0].owner.as_deref(), Some("Queue"));
+        assert_eq!(ast.fns[1].owner.as_deref(), Some("Kind"));
+    }
+
+    #[test]
+    fn enum_variants_are_collected_past_payloads_and_attrs() {
+        let src = "#[derive(Debug)]\npub enum Msg {\n\
+                   Ping,\n\
+                   #[allow(dead_code)]\n\
+                   Data { bytes: Vec<u8>, crc: u32 },\n\
+                   Pair(u8, u8),\n\
+                   Halt = 3,\n}\n";
+        let ast = ast_of(src);
+        assert_eq!(ast.enums.len(), 1);
+        let e = &ast.enums[0];
+        assert_eq!(e.name, "Msg");
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["Ping", "Data", "Pair", "Halt"]);
+    }
+
+    #[test]
+    fn fn_bodies_span_their_braces_and_sigs_have_none() {
+        let src = "trait T {\n    fn sig(&self);\n    fn dflt(&self) { loop {} }\n}\n";
+        let ast = ast_of(src);
+        assert_eq!(ast.fns.len(), 2);
+        assert_eq!(ast.fns[0].body, None);
+        assert!(ast.fns[1].body.is_some());
+        assert_eq!(ast.fns[1].owner.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn inline_modules_and_const_fns_are_traversed() {
+        let src = "mod inner {\n    pub const fn helper() -> u32 { 1 }\n}\n\
+                   const LIMIT: usize = 4;\n\
+                   fn after() {}\n";
+        let ast = ast_of(src);
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "after"]);
+    }
+
+    #[test]
+    fn where_clauses_and_fn_pointer_args_do_not_derail_body_detection() {
+        let src = "fn apply<F>(f: F) -> u32 where F: Fn(u32) -> u32 { f(1) }\n";
+        let ast = ast_of(src);
+        assert_eq!(ast.fns.len(), 1);
+        assert!(ast.fns[0].body.is_some());
+    }
+}

@@ -1,0 +1,305 @@
+//! The committed-findings baseline: CI fails on *new* findings only.
+//!
+//! A baseline file is the JSON emitted by `--format json` (see
+//! [`crate::diag::to_json`]), committed at the workspace root. Findings
+//! are keyed `rule|path|message` — deliberately line-independent, so an
+//! unrelated edit shifting a baselined site does not resurface it,
+//! while any change to what the finding *says* (a new field, a new
+//! variant) does.
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// The baseline key of a finding.
+pub fn key(d: &Diagnostic) -> String {
+    format!("{}|{}|{}", d.rule, d.path, d.message)
+}
+
+/// Splits findings into (fresh, baselined-count).
+pub fn filter(diags: Vec<Diagnostic>, baseline: &BTreeSet<String>) -> (Vec<Diagnostic>, usize) {
+    let total = diags.len();
+    let fresh: Vec<Diagnostic> = diags
+        .into_iter()
+        .filter(|d| !baseline.contains(&key(d)))
+        .collect();
+    let suppressed = total - fresh.len();
+    (fresh, suppressed)
+}
+
+/// Loads the baseline keys from a JSON findings file.
+pub fn load(path: &Path) -> Result<BTreeSet<String>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("baseline {}: {e}", path.display()))
+}
+
+/// Parses baseline keys out of findings-file JSON text.
+pub fn parse(text: &str) -> Result<BTreeSet<String>, String> {
+    let value = Json::parse(text)?;
+    let findings = value
+        .get("findings")
+        .and_then(Json::as_array)
+        .ok_or("expected a top-level `findings` array")?;
+    let mut keys = BTreeSet::new();
+    for f in findings {
+        let field = |name: &str| {
+            f.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("finding missing string field `{name}`"))
+        };
+        keys.insert(format!(
+            "{}|{}|{}",
+            field("rule")?,
+            field("path")?,
+            field("message")?
+        ));
+    }
+    Ok(keys)
+}
+
+/// A minimal JSON value — just enough to read baseline files, which may
+/// be hand-edited (so the parser accepts any valid JSON, not only the
+/// exact shape the emitter produces).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, name: &str) -> Option<&Json> {
+        match self {
+            Json::Object(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<Json, String> {
+        let chars: Vec<char> = text.chars().collect();
+        let mut pos = 0usize;
+        let value = parse_value(&chars, &mut pos)?;
+        skip_ws(&chars, &mut pos);
+        if pos != chars.len() {
+            return Err(format!("trailing content at offset {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars
+        .get(*pos)
+        .is_some_and(|c| matches!(c, ' ' | '\t' | '\n' | '\r'))
+    {
+        *pos += 1;
+    }
+}
+
+fn expect(chars: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    if chars.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{c}` at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => parse_object(chars, pos),
+        Some('[') => parse_array(chars, pos),
+        Some('"') => parse_string(chars, pos).map(Json::Str),
+        Some('t') => parse_literal(chars, pos, "true", Json::Bool(true)),
+        Some('f') => parse_literal(chars, pos, "false", Json::Bool(false)),
+        Some('n') => parse_literal(chars, pos, "null", Json::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars, pos),
+        other => Err(format!("unexpected {other:?} at offset {pos}", pos = *pos)),
+    }
+}
+
+fn parse_literal(chars: &[char], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    for c in word.chars() {
+        expect(chars, pos, c)?;
+    }
+    Ok(value)
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while chars
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+    {
+        *pos += 1;
+    }
+    let text: String = chars[start..*pos].iter().collect();
+    text.parse::<f64>()
+        .map(Json::Number)
+        .map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+fn parse_string(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    expect(chars, pos, '"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = chars.get(*pos) else {
+            return Err("unterminated string".to_string());
+        };
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let Some(&esc) = chars.get(*pos) else {
+                    return Err("unterminated escape".to_string());
+                };
+                *pos += 1;
+                match esc {
+                    '"' | '\\' | '/' => out.push(esc),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let Some(d) = chars.get(*pos).and_then(|c| c.to_digit(16)) else {
+                                return Err("bad \\u escape".to_string());
+                            };
+                            code = code * 16 + d;
+                            *pos += 1;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape `\\{other}`")),
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+}
+
+fn parse_array(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect(chars, pos, '[')?;
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some(']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_object(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect(chars, pos, '{')?;
+    let mut entries = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Json::Object(entries));
+    }
+    loop {
+        skip_ws(chars, pos);
+        let key = parse_string(chars, pos)?;
+        skip_ws(chars, pos);
+        expect(chars, pos, ':')?;
+        let value = parse_value(chars, pos)?;
+        entries.push((key, value));
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => *pos += 1,
+            Some('}') => {
+                *pos += 1;
+                return Ok(Json::Object(entries));
+            }
+            _ => return Err(format!("expected `,` or `}}` at offset {pos}", pos = *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{to_json, RuleId};
+
+    fn d(rule: RuleId, path: &str, line: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn emitted_json_round_trips_to_the_same_keys() {
+        let diags = vec![
+            d(
+                RuleId::QL07,
+                "a.rs",
+                3,
+                "bare `+=` with \"quotes\" and\nnewline",
+            ),
+            d(RuleId::QL05, "b.rs", 9, "cycle"),
+        ];
+        let keys = parse(&to_json(&diags)).expect("parses");
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&key(&diags[0])));
+        assert!(keys.contains(&key(&diags[1])));
+    }
+
+    #[test]
+    fn empty_findings_parse_to_an_empty_baseline() {
+        let keys = parse(&to_json(&[])).expect("parses");
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn filter_is_line_independent() {
+        let baselined = d(RuleId::QL07, "a.rs", 3, "msg");
+        let baseline: std::collections::BTreeSet<String> = [key(&baselined)].into();
+        let moved = d(RuleId::QL07, "a.rs", 99, "msg");
+        let fresh_one = d(RuleId::QL07, "a.rs", 99, "other msg");
+        let (fresh, suppressed) = filter(vec![moved, fresh_one.clone()], &baseline);
+        assert_eq!(fresh, vec![fresh_one]);
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"findings\": 3}").is_err());
+        assert!(parse("{\"findings\": [{\"rule\": \"QL05\"}]}").is_err());
+    }
+}

@@ -21,6 +21,21 @@ pub enum RuleId {
     /// Lint-table hygiene: every first-party crate inherits
     /// `[workspace.lints]` and carries `#![forbid(unsafe_code)]`.
     QL04,
+    /// Lock-order safety: the cross-crate Mutex/Condvar acquisition
+    /// graph must be acyclic and respect the canonical total order
+    /// declared in `[ql05] order`.
+    QL05,
+    /// Message-protocol exhaustiveness: every channel-protocol enum
+    /// variant is both constructed on a send path and matched on a
+    /// receive path (no silently dead or unhandled protocol states).
+    QL06,
+    /// Counter-arithmetic safety: cost/ledger/quota counters use
+    /// checked/saturating ops; bare `+`/`+=`/`-`/`-=`/`*` on a listed
+    /// counter field is a finding.
+    QL07,
+    /// Error-variant liveness: every error enum variant is constructed
+    /// somewhere and matched somewhere outside a `_` arm.
+    QL08,
 }
 
 impl RuleId {
@@ -32,6 +47,10 @@ impl RuleId {
             RuleId::QL02 => "QL02",
             RuleId::QL03 => "QL03",
             RuleId::QL04 => "QL04",
+            RuleId::QL05 => "QL05",
+            RuleId::QL06 => "QL06",
+            RuleId::QL07 => "QL07",
+            RuleId::QL08 => "QL08",
         }
     }
 
@@ -43,6 +62,10 @@ impl RuleId {
             "QL02" => Some(RuleId::QL02),
             "QL03" => Some(RuleId::QL03),
             "QL04" => Some(RuleId::QL04),
+            "QL05" => Some(RuleId::QL05),
+            "QL06" => Some(RuleId::QL06),
+            "QL07" => Some(RuleId::QL07),
+            "QL08" => Some(RuleId::QL08),
             _ => None,
         }
     }
@@ -76,4 +99,44 @@ impl fmt::Display for Diagnostic {
             self.path, self.line, self.rule, self.message
         )
     }
+}
+
+/// Renders diagnostics as machine-readable JSON — the format CI uploads
+/// as an artifact and the baseline file stores. Stable shape:
+/// `{"findings": [{"rule", "path", "line", "message"}, …]}`.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": \"{}\", ", d.rule));
+        out.push_str(&format!("\"path\": \"{}\", ", json_escape(&d.path)));
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"message\": \"{}\"", json_escape(&d.message)));
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

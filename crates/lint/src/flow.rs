@@ -1,0 +1,724 @@
+//! Per-function control-flow summaries over the item AST.
+//!
+//! Three analyses live here, all feeding the flow-aware passes:
+//!
+//! * **Guard scopes** ([`analyze_fn`]) — where each Mutex/Condvar guard
+//!   is acquired and how far it lives. A let-bound guard is held to the
+//!   end of its enclosing block (or an explicit `drop(name)`); a
+//!   temporary guard is held to the end of its statement, including the
+//!   extended scope of an `if let`/`match` scrutinee.
+//! * **Call sites** — the plain `name(…)`/`recv.name(…)` calls of a
+//!   body, the raw material for the cross-crate call graph QL05 closes
+//!   transitively.
+//! * **Pattern masks** ([`pattern_mask`]) — which identifier tokens sit
+//!   in *pattern* position (match arms, `let`/`if let`/`while let`
+//!   bindings, `for` bindings, `matches!` second arguments). A
+//!   `Enum::Variant` path in pattern position is a receive-side match;
+//!   anywhere else it is a construction. QL06/QL08 are built on exactly
+//!   this distinction.
+
+use crate::ast::find_matching;
+use crate::lexer::{Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lock-acquisition signature from `[ql05] locks`, written
+/// `class @ scope :: recv.method`: a call `recv.method(…)` in a file
+/// under `scope` acquires a lock of `class`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSig {
+    /// Lock class the acquisition belongs to (`queue`, `ledger`, …).
+    pub class: String,
+    /// Path prefix (workspace-relative) the signature applies in.
+    pub scope: String,
+    /// Receiver identifier directly before the method (`inner`, `self`).
+    pub recv: String,
+    /// Method identifier (`lock`, or a locking helper like `quotas`).
+    pub method: String,
+}
+
+/// Parses the `[ql05] locks` signature list.
+pub fn parse_lock_sigs(raw: &[String]) -> Result<Vec<LockSig>, String> {
+    let mut sigs = Vec::new();
+    for entry in raw {
+        let bad = || {
+            format!("malformed [ql05] lock signature `{entry}` (expected `class @ scope :: recv.method`)")
+        };
+        let (class, rest) = entry.split_once('@').ok_or_else(bad)?;
+        let (scope, call) = rest.split_once("::").ok_or_else(bad)?;
+        let (recv, method) = call.split_once('.').ok_or_else(bad)?;
+        let sig = LockSig {
+            class: class.trim().to_string(),
+            scope: scope.trim().to_string(),
+            recv: recv.trim().to_string(),
+            method: method.trim().to_string(),
+        };
+        if sig.class.is_empty()
+            || sig.scope.is_empty()
+            || sig.recv.is_empty()
+            || sig.method.is_empty()
+        {
+            return Err(bad());
+        }
+        sigs.push(sig);
+    }
+    Ok(sigs)
+}
+
+/// One lock acquisition inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Acquisition {
+    /// Lock class acquired.
+    pub class: String,
+    /// Token index of the matched method identifier.
+    pub token: usize,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// Token index bounding the guard's life: acquisitions and calls
+    /// with `token < t <= scope_end` happen while this guard is held.
+    pub scope_end: usize,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Called name (`push`, `admit`, …) — resolution happens later
+    /// against the cross-crate index.
+    pub name: String,
+    /// Token index of the name.
+    pub token: usize,
+    /// 1-indexed source line.
+    pub line: u32,
+}
+
+/// The flow summary of one function body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnFlow {
+    /// Lock acquisitions with their guard scopes, in token order.
+    pub acqs: Vec<Acquisition>,
+    /// Call sites in token order, acquisition sites excluded (a locking
+    /// helper call is an acquisition, not a call edge — counting it as
+    /// both would fabricate self-edges).
+    pub calls: Vec<CallSite>,
+}
+
+/// Identifiers that look like calls (`kw (…)`) but are control flow.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "else", "while", "match", "for", "loop", "return", "in", "as", "move", "mut", "let",
+    "fn", "await",
+];
+
+/// Summarizes one function body: acquisitions (per the file-applicable
+/// signatures) with guard scopes, plus call sites.
+pub fn analyze_fn(code: &[Token], body: (usize, usize), sigs: &[&LockSig]) -> FnFlow {
+    let (open, close) = body;
+    let mut flow = FnFlow::default();
+    let mut acq_tokens = BTreeSet::new();
+    for i in open + 1..close {
+        if code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let is_acq = sigs.iter().any(|s| {
+            code[i].text == s.method
+                && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && i >= 2
+                && code[i - 1].is_punct('.')
+                && code[i - 2].is_ident(&s.recv)
+        });
+        if !is_acq {
+            continue;
+        }
+        let class = sigs
+            .iter()
+            .find(|s| code[i].text == s.method && code[i - 2].is_ident(&s.recv))
+            .map(|s| s.class.clone())
+            .unwrap_or_default();
+        let scope_end = guard_scope_end(code, open, close, i);
+        acq_tokens.insert(i);
+        flow.acqs.push(Acquisition {
+            class,
+            token: i,
+            line: code[i].line,
+            scope_end,
+        });
+    }
+    for i in open + 1..close {
+        if code[i].kind != TokenKind::Ident
+            || acq_tokens.contains(&i)
+            || NON_CALL_KEYWORDS.contains(&code[i].text.as_str())
+        {
+            continue;
+        }
+        // A call is `name(` — macros are `name!(` and never match.
+        if code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            flow.calls.push(CallSite {
+                name: code[i].text.clone(),
+                token: i,
+                line: code[i].line,
+            });
+        }
+    }
+    flow
+}
+
+/// The last token index at which the guard acquired at `acq` (the
+/// method-identifier token) is still held.
+fn guard_scope_end(code: &[Token], open: usize, close: usize, acq: usize) -> usize {
+    // Walk the receiver chain left: `self.shared.inner.lock` starts the
+    // expression at `self`.
+    let mut j = acq - 2;
+    while j >= open + 3 && code[j - 1].is_punct('.') && code[j - 2].kind == TokenKind::Ident {
+        j -= 2;
+    }
+    // A let-bound guard: `let [mut] name = <chain>` lives to the end of
+    // the enclosing block, or to an explicit `drop(name)`.
+    if j >= open + 3 && code[j - 1].is_punct('=') && !code[j - 2].kind_is_punct() {
+        let name_idx = j - 2;
+        let mut k = name_idx.saturating_sub(1);
+        if code[k].is_ident("mut") && k > open {
+            k -= 1;
+        }
+        if code[k].is_ident("let") {
+            let name = code[name_idx].text.as_str();
+            let mut stack = vec![open];
+            for (idx, t) in code.iter().enumerate().take(j).skip(open + 1) {
+                if t.is_punct('{') {
+                    stack.push(idx);
+                } else if t.is_punct('}') {
+                    stack.pop();
+                }
+            }
+            let encl = *stack.last().unwrap_or(&open);
+            let mut end = find_matching(code, encl, close + 1).min(close);
+            for s in acq..end.saturating_sub(3) {
+                if code[s].is_ident("drop")
+                    && code[s + 1].is_punct('(')
+                    && code[s + 2].is_ident(name)
+                    && code[s + 3].is_punct(')')
+                {
+                    end = s;
+                    break;
+                }
+            }
+            return end;
+        }
+    }
+    // A temporary guard: held to the end of the statement — the first
+    // `;` back at the acquisition's brace depth, or the `}` that closes
+    // either the enclosing block or a block entered at that depth (the
+    // `if let`/`match` scrutinee temporary-scope extension).
+    let mut depth = 0i32;
+    for (s, t) in code.iter().enumerate().take(close).skip(acq + 1) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                if depth <= 1 {
+                    return s;
+                }
+                depth -= 1;
+            }
+            TokenKind::Punct(';') if depth == 0 => return s,
+            _ => {}
+        }
+    }
+    close
+}
+
+impl Token {
+    /// True when the token is any punctuation (used to tell a let
+    /// binding `name =` from compound operators like `+=`/`==`).
+    fn kind_is_punct(&self) -> bool {
+        matches!(self.kind, TokenKind::Punct(_))
+    }
+}
+
+/// Marks which identifier tokens sit in pattern position. See the
+/// module docs for the grammar subset covered.
+pub fn pattern_mask(code: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    scan_region(code, 0, code.len(), &mut mask);
+    mask
+}
+
+/// Processes an expression/statement region, recursing into the
+/// pattern-introducing constructs.
+fn scan_region(code: &[Token], start: usize, end: usize, mask: &mut [bool]) {
+    let mut i = start;
+    while i < end {
+        let t = &code[i];
+        if t.is_ident("match") {
+            // Scrutinee up to the body `{` at paren/bracket depth 0 (a
+            // bare struct literal is not legal in a scrutinee).
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < end {
+                match code[j].kind {
+                    TokenKind::Punct('(' | '[') => depth += 1,
+                    TokenKind::Punct(')' | ']') => depth -= 1,
+                    TokenKind::Punct('{') if depth == 0 => break,
+                    TokenKind::Punct(';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j >= end || !code[j].is_punct('{') {
+                i = j;
+                continue;
+            }
+            scan_region(code, i + 1, j, mask);
+            i = scan_match_body(code, j, end, mask);
+        } else if t.is_ident("let") {
+            // `let PAT = …` / `if let PAT = …` / `while let PAT = …`:
+            // pattern until the `=` (or `;` for `let x;`).
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < end {
+                match code[j].kind {
+                    TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                    TokenKind::Punct(')' | ']' | '}') => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    TokenKind::Punct('=' | ';') if depth == 0 => break,
+                    TokenKind::Ident => mask[j] = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else if t.is_ident("impl") || t.is_ident("trait") {
+            // Item headers contain `for` (`impl Display for T`) and
+            // bound keywords that must not be mistaken for loop
+            // patterns: skip the header, then keep scanning inside the
+            // body normally.
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < end {
+                match code[j].kind {
+                    TokenKind::Punct('(' | '[') => depth += 1,
+                    TokenKind::Punct(')' | ']') => depth -= 1,
+                    TokenKind::Punct('{' | ';') if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else if t.is_ident("for") {
+            // `for PAT in …` — but `for<'a>` bounds introduce no pattern.
+            if code.get(i + 1).is_some_and(|n| n.is_punct('<')) {
+                i += 1;
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while j < end {
+                match code[j].kind {
+                    TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                    TokenKind::Punct(')' | ']' | '}') => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    // `;` bounds a runaway scan: a loop pattern never
+                    // contains a statement boundary.
+                    TokenKind::Punct(';') if depth == 0 => break,
+                    TokenKind::Ident if code[j].text == "in" && depth == 0 => break,
+                    TokenKind::Ident => mask[j] = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else if t.is_ident("matches")
+            && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && code.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            let open = i + 2;
+            let close = find_matching(code, open, end);
+            // First `,` at depth 1 separates scrutinee from pattern.
+            let mut depth = 0i32;
+            let mut comma = None;
+            for (k, t) in code.iter().enumerate().take(close).skip(open) {
+                match t.kind {
+                    TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                    TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+                    TokenKind::Punct(',') if depth == 1 => {
+                        comma = Some(k);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(c) = comma {
+                scan_region(code, open + 1, c, mask);
+                let mut depth = 0i32;
+                let mut k = c + 1;
+                while k < close {
+                    match code[k].kind {
+                        TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                        TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+                        TokenKind::Ident if code[k].text == "if" && depth == 0 => {
+                            // Guard: the rest is an expression.
+                            scan_region(code, k + 1, close, mask);
+                            break;
+                        }
+                        TokenKind::Ident => mask[k] = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Processes a `match` body starting at its `{`, marking arm patterns
+/// and recursing into guards and arm bodies. Returns the index past the
+/// closing `}`.
+fn scan_match_body(code: &[Token], open: usize, end: usize, mask: &mut [bool]) -> usize {
+    let close = find_matching(code, open, end);
+    let mut i = open + 1;
+    while i < close {
+        // Pattern section: mark until `=>` (or an `if` guard) at depth 0.
+        let mut depth = 0i32;
+        let mut arrow = None;
+        while i < close {
+            match code[i].kind {
+                TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+                TokenKind::Punct('=')
+                    if depth == 0 && code.get(i + 1).is_some_and(|n| n.is_punct('>')) =>
+                {
+                    arrow = Some(i);
+                    break;
+                }
+                TokenKind::Ident if code[i].text == "if" && depth == 0 => {
+                    // Guard expression runs to the arrow.
+                    let guard_start = i + 1;
+                    let mut d = 0i32;
+                    let mut k = guard_start;
+                    while k < close {
+                        match code[k].kind {
+                            TokenKind::Punct('(' | '[' | '{') => d += 1,
+                            TokenKind::Punct(')' | ']' | '}') => d -= 1,
+                            TokenKind::Punct('=')
+                                if d == 0 && code.get(k + 1).is_some_and(|n| n.is_punct('>')) =>
+                            {
+                                break;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    scan_region(code, guard_start, k, mask);
+                    if k < close {
+                        arrow = Some(k);
+                    }
+                    break;
+                }
+                TokenKind::Ident => mask[i] = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        let Some(a) = arrow else {
+            break;
+        };
+        let body_start = a + 2;
+        if body_start >= close {
+            break;
+        }
+        if code[body_start].is_punct('{') {
+            let body_close = find_matching(code, body_start, close);
+            scan_region(code, body_start + 1, body_close, mask);
+            i = body_close + 1;
+            if i < close && code[i].is_punct(',') {
+                i += 1;
+            }
+        } else {
+            // Expression body runs to the `,` at depth 0 (or the match
+            // close).
+            let mut d = 0i32;
+            let mut k = body_start;
+            while k < close {
+                match code[k].kind {
+                    TokenKind::Punct('(' | '[' | '{') => d += 1,
+                    TokenKind::Punct(')' | ']' | '}') => d -= 1,
+                    TokenKind::Punct(',') if d == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            scan_region(code, body_start, k, mask);
+            i = k + 1;
+        }
+    }
+    close + 1
+}
+
+/// One qualified `Enum::Variant` occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantUse {
+    /// Enum name.
+    pub enum_name: String,
+    /// Variant name.
+    pub variant: String,
+    /// Token index of the variant identifier.
+    pub token: usize,
+    /// 1-indexed source line.
+    pub line: u32,
+    /// True when the occurrence sits in pattern position (a receive-side
+    /// match); false for a construction.
+    pub is_pattern: bool,
+}
+
+/// Finds every qualified `Enum::Variant` path for the given enums and
+/// classifies it via the pattern mask.
+pub fn variant_uses(
+    code: &[Token],
+    mask: &[bool],
+    enums: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<VariantUse> {
+    let mut uses = Vec::new();
+    for i in 0..code.len().saturating_sub(3) {
+        if code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(variants) = enums.get(&code[i].text) else {
+            continue;
+        };
+        if code[i + 1].is_punct(':')
+            && code[i + 2].is_punct(':')
+            && code[i + 3].kind == TokenKind::Ident
+            && variants.contains(&code[i + 3].text)
+        {
+            uses.push(VariantUse {
+                enum_name: code[i].text.clone(),
+                variant: code[i + 3].text.clone(),
+                token: i + 3,
+                line: code[i + 3].line,
+                is_pattern: mask[i] || mask[i + 3],
+            });
+        }
+    }
+    uses
+}
+
+/// One bare arithmetic op on a listed counter field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterOp {
+    /// Field name.
+    pub field: String,
+    /// The operator as written (`+=`, `+`, `-`, `*`, …).
+    pub op: String,
+    /// 1-indexed source line.
+    pub line: u32,
+}
+
+/// Finds `.field +`/`.field +=`/`.field -`/`.field *` patterns on the
+/// listed counter fields — bare arithmetic a saturating/checked helper
+/// should replace. Left-hand-side occurrences only: `a + x.field` with
+/// no flagged token before the op is out of reach of a token-local scan
+/// (documented limitation).
+pub fn counter_ops(code: &[Token], fields: &BTreeSet<String>) -> Vec<CounterOp> {
+    let mut ops = Vec::new();
+    for i in 1..code.len().saturating_sub(1) {
+        if code[i].kind != TokenKind::Ident
+            || !fields.contains(&code[i].text)
+            || !code[i - 1].is_punct('.')
+        {
+            continue;
+        }
+        let op_char = match code[i + 1].kind {
+            TokenKind::Punct(c @ ('+' | '-' | '*')) => c,
+            _ => continue,
+        };
+        let compound = code.get(i + 2).is_some_and(|t| t.is_punct('='));
+        let op = if compound {
+            format!("{op_char}=")
+        } else {
+            op_char.to_string()
+        };
+        ops.push(CounterOp {
+            field: code[i].text.clone(),
+            op,
+            line: code[i].line,
+        });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn code_of(src: &str) -> Vec<Token> {
+        crate::lexer::strip_test_code(&lex(src))
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect()
+    }
+
+    fn flow_of(src: &str, sigs: &[LockSig]) -> FnFlow {
+        let code = code_of(src);
+        let ast = crate::ast::parse(&code);
+        let refs: Vec<&LockSig> = sigs.iter().collect();
+        analyze_fn(&code, ast.fns[0].body.expect("body"), &refs)
+    }
+
+    fn sig(class: &str, recv: &str, method: &str) -> LockSig {
+        LockSig {
+            class: class.into(),
+            scope: ".".into(),
+            recv: recv.into(),
+            method: method.into(),
+        }
+    }
+
+    #[test]
+    fn let_bound_guard_lives_to_block_end() {
+        let src = "fn f(&self) {\n    let inner = self.inner.lock();\n    use_it(inner);\n}\n";
+        let flow = flow_of(src, &[sig("queue", "inner", "lock")]);
+        assert_eq!(flow.acqs.len(), 1);
+        let code = code_of(src);
+        // Scope runs to the fn's closing brace.
+        assert!(code[flow.acqs[0].scope_end].is_punct('}'));
+    }
+
+    #[test]
+    fn explicit_drop_ends_a_guard_scope() {
+        let src = "fn f(&self) {\n    let g = self.inner.lock();\n    g.touch();\n    drop(g);\n    self.other.lock();\n}\n";
+        let sigs = [sig("a", "inner", "lock"), sig("b", "other", "lock")];
+        let flow = flow_of(src, &sigs);
+        assert_eq!(flow.acqs.len(), 2);
+        let (a, b) = (&flow.acqs[0], &flow.acqs[1]);
+        assert!(b.token > a.scope_end, "drop releases before second lock");
+    }
+
+    #[test]
+    fn temporary_guard_ends_at_statement() {
+        let src =
+            "fn f(&self) {\n    self.inner.lock().closed = true;\n    self.other.lock();\n}\n";
+        let sigs = [sig("a", "inner", "lock"), sig("b", "other", "lock")];
+        let flow = flow_of(src, &sigs);
+        assert!(flow.acqs[1].token > flow.acqs[0].scope_end);
+    }
+
+    #[test]
+    fn if_let_temporary_guard_covers_the_block() {
+        let src = "fn f(&self) {\n    if let Err(e) = self.quotas().admit(1) {\n        self.ledger.lock();\n    }\n    self.after.lock();\n}\n";
+        let sigs = [
+            sig("quotas", "self", "quotas"),
+            sig("ledger", "ledger", "lock"),
+            sig("after", "after", "lock"),
+        ];
+        let flow = flow_of(src, &sigs);
+        assert_eq!(flow.acqs.len(), 3);
+        let q = &flow.acqs[0];
+        assert!(
+            flow.acqs[1].token < q.scope_end,
+            "ledger lock inside if-let scope"
+        );
+        assert!(flow.acqs[2].token > q.scope_end, "after lock outside it");
+    }
+
+    #[test]
+    fn acquisition_sites_are_not_call_sites() {
+        let src = "fn f(&self) {\n    let g = self.inner.lock();\n    helper(g);\n}\n";
+        let flow = flow_of(src, &[sig("a", "inner", "lock")]);
+        assert!(flow.calls.iter().all(|c| c.name != "lock"));
+        assert!(flow.calls.iter().any(|c| c.name == "helper"));
+    }
+
+    #[test]
+    fn pattern_mask_separates_matches_from_constructions() {
+        let src = "fn f(m: Msg) -> Msg {\n    match m {\n        Msg::Ping => Msg::Pong,\n        Msg::Pong { code } if code > 0 => make(Msg::Ping),\n        _ => m,\n    }\n}\n";
+        let code = code_of(src);
+        let mask = pattern_mask(&code);
+        let mut enums = BTreeMap::new();
+        enums.insert(
+            "Msg".to_string(),
+            ["Ping", "Pong"].iter().map(ToString::to_string).collect(),
+        );
+        let uses = variant_uses(&code, &mask, &enums);
+        let pat: Vec<&str> = uses
+            .iter()
+            .filter(|u| u.is_pattern)
+            .map(|u| u.variant.as_str())
+            .collect();
+        let con: Vec<&str> = uses
+            .iter()
+            .filter(|u| !u.is_pattern)
+            .map(|u| u.variant.as_str())
+            .collect();
+        assert_eq!(pat, vec!["Ping", "Pong"]);
+        assert_eq!(con, vec!["Pong", "Ping"]);
+    }
+
+    #[test]
+    fn let_and_matches_patterns_are_masked() {
+        let src = "fn f(x: E) -> bool {\n    if let E::A(v) = x { return v; }\n    while let E::B = x {}\n    matches!(x, E::C | E::D if flag(E::A))\n}\n";
+        let code = code_of(src);
+        let mask = pattern_mask(&code);
+        let mut enums = BTreeMap::new();
+        enums.insert(
+            "E".to_string(),
+            ["A", "B", "C", "D"]
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+        );
+        let uses = variant_uses(&code, &mask, &enums);
+        let pats: Vec<(&str, bool)> = uses
+            .iter()
+            .map(|u| (u.variant.as_str(), u.is_pattern))
+            .collect();
+        assert_eq!(
+            pats,
+            vec![
+                ("A", true),
+                ("B", true),
+                ("C", true),
+                ("D", true),
+                ("A", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_for_headers_do_not_poison_the_pattern_mask() {
+        // `for` in an impl header is not a loop: nothing after it may be
+        // masked as a pattern, or every later construction would look
+        // like a match arm.
+        let src = "impl fmt::Display for S {\n    fn fmt(&self) {}\n}\nfn g() -> Msg {\n    Msg::Ping\n}\n";
+        let code = code_of(src);
+        let mask = pattern_mask(&code);
+        let mut enums = BTreeMap::new();
+        enums.insert(
+            "Msg".to_string(),
+            ["Ping"].iter().map(ToString::to_string).collect(),
+        );
+        let uses = variant_uses(&code, &mask, &enums);
+        assert_eq!(uses.len(), 1);
+        assert!(!uses[0].is_pattern, "construction after impl-for header");
+    }
+
+    #[test]
+    fn counter_ops_flag_bare_arithmetic_only() {
+        let src = "fn f(&mut self, n: u64) {\n    self.pops += 1;\n    self.cycles = self.cycles + n;\n    self.safe = self.safe.saturating_add(n);\n    self.pops.cmp(&n);\n}\n";
+        let code = code_of(src);
+        let fields: BTreeSet<String> = ["pops", "cycles"].iter().map(ToString::to_string).collect();
+        let ops = counter_ops(&code, &fields);
+        let got: Vec<(&str, &str)> = ops
+            .iter()
+            .map(|o| (o.field.as_str(), o.op.as_str()))
+            .collect();
+        assert_eq!(got, vec![("pops", "+="), ("cycles", "+")]);
+    }
+}

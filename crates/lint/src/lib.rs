@@ -2,9 +2,10 @@
 //!
 //! PRs 2–3 made two structural promises — the control plane is
 //! *panic-free* (every failure is a typed error) and every run is
-//! *bit-identical* at every shard count, including faulty runs. This
-//! crate turns those promises, plus the CRC-sealed wire format, into
-//! machine-checked rules:
+//! *bit-identical* at every shard count, including faulty runs. PRs 6–8
+//! added a serving layer whose correctness rests on deadlock-free lock
+//! usage, a closed message protocol, and overflow-safe accounting. This
+//! crate turns all of those promises into machine-checked rules:
 //!
 //! * **QL01 panic-freedom** — no `unwrap()`/`expect(`/`panic!`/
 //!   `unreachable!`/`todo!` in the non-test code of the policy-scoped
@@ -17,58 +18,232 @@
 //!   narrowing casts in the packet-codec files.
 //! * **QL04 lint-table hygiene** — every first-party crate inherits
 //!   `[workspace.lints]` and carries `#![forbid(unsafe_code)]`.
+//! * **QL05 lock-order safety** — the cross-crate Mutex/Condvar
+//!   acquisition graph (guard-scope nesting plus the name-resolved call
+//!   graph) is acyclic and respects the canonical `[ql05] order`.
+//! * **QL06 protocol exhaustiveness** — every channel-protocol enum
+//!   variant is constructed on a send path *and* matched on a receive
+//!   path.
+//! * **QL07 counter-arithmetic safety** — cost/ledger/quota counters use
+//!   checked/saturating arithmetic, never bare `+`/`+=`/`*`.
+//! * **QL08 error-variant liveness** — every error enum variant is
+//!   constructed somewhere and matched outside a `_` arm.
 //!
 //! Scopes come from `lint.toml` at the workspace root. A site opts out
 //! with `// quest-lint: allow(<rule>) -- <reason>`; the reason is
-//! mandatory (QL00 otherwise). The analysis is a hand-rolled lexer pass
-//! ([`lexer`]) — the build is offline, so no `syn`/`proc-macro2` — which
-//! also leaves a reusable frame for future rules (e.g. a
-//! no-alloc-in-decode-loop pass over the same token stream).
+//! mandatory (QL00 otherwise). The analysis is hand-rolled end to end —
+//! the build is offline, so no `syn`/`proc-macro2`: a lexer ([`lexer`]),
+//! an item-level parser ([`ast`]), per-fn flow summaries ([`flow`]), and
+//! the flow-aware passes ([`passes`]). Each file is read, lexed,
+//! test-stripped, and parsed exactly once; every pass works off that
+//! shared [`FileData`].
+//!
+//! Machine-readable output and the committed-baseline workflow live in
+//! [`diag::to_json`] and [`baseline`]: CI runs with
+//! `--format json --baseline lint-baseline.json`, so only *new* findings
+//! fail the build.
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
+pub mod baseline;
 pub mod diag;
+pub mod flow;
 pub mod lexer;
+pub mod passes;
 pub mod policy;
 pub mod rules;
 
 pub use diag::{Diagnostic, RuleId};
 pub use policy::{Policy, PolicyError};
 
+use lexer::TokenKind;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Which rules a file is in scope for, compiled once per file from the
+/// policy's scope globs (previously each pass re-matched per file).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scopes {
+    /// QL01 panic-freedom.
+    pub ql01: bool,
+    /// QL02 container hygiene.
+    pub ql02_containers: bool,
+    /// QL02 clock hygiene (net of the allow-list).
+    pub ql02_clocks: bool,
+    /// QL03 cast safety.
+    pub ql03: bool,
+    /// QL05 lock order.
+    pub ql05: bool,
+    /// QL06 protocol exhaustiveness.
+    pub ql06: bool,
+    /// QL07 counter arithmetic.
+    pub ql07: bool,
+    /// QL08 error-variant liveness.
+    pub ql08: bool,
+}
+
+impl Scopes {
+    /// Compiles the scope set for one file.
+    pub fn compile(policy: &Policy, rel: &str) -> Scopes {
+        Scopes {
+            ql01: Policy::in_scope(rel, &policy.ql01_paths),
+            ql02_containers: Policy::in_scope(rel, &policy.ql02_container_paths),
+            ql02_clocks: Policy::in_scope(rel, &policy.ql02_clock_paths)
+                && !Policy::in_scope(rel, &policy.ql02_clock_allow),
+            ql03: Policy::in_scope(rel, &policy.ql03_paths),
+            ql05: Policy::in_scope(rel, &policy.ql05_paths),
+            ql06: Policy::in_scope(rel, &policy.ql06_paths),
+            ql07: Policy::in_scope(rel, &policy.ql07_paths),
+            ql08: Policy::in_scope(rel, &policy.ql08_paths),
+        }
+    }
+
+    /// True when any rule applies, i.e. the file is worth lexing.
+    pub fn any(&self) -> bool {
+        self.ql01
+            || self.ql02_containers
+            || self.ql02_clocks
+            || self.ql03
+            || self.ql05
+            || self.ql06
+            || self.ql07
+            || self.ql08
+    }
+
+    /// True when a pass needs the item AST.
+    fn needs_ast(&self) -> bool {
+        self.ql05 || self.ql06 || self.ql08
+    }
+}
+
+/// One file, loaded and analyzed exactly once for every pass.
+pub struct FileData {
+    /// `/`-separated path relative to the workspace root.
+    pub rel: String,
+    /// Comment-free, test-stripped token stream.
+    pub code: Vec<lexer::Token>,
+    /// Parsed allow-comments (from the full stream, comments included).
+    pub allows: rules::Allows,
+    /// Item structure (empty unless an AST pass covers the file).
+    pub ast: ast::FileAst,
+    /// Compiled rule scopes.
+    pub scopes: Scopes,
+}
+
+/// Wall time of one pass, for `--timing`.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Pass label.
+    pub name: &'static str,
+    /// Elapsed wall time.
+    pub elapsed: Duration,
+}
 
 /// Runs every rule over the workspace at `root` under `policy`.
 /// Diagnostics come back sorted by path, then line, then rule.
 pub fn run(root: &Path, policy: &Policy) -> Result<Vec<Diagnostic>, PolicyError> {
+    run_timed(root, policy).map(|(diags, _)| diags)
+}
+
+fn pass_err(message: String) -> PolicyError {
+    PolicyError { line: 0, message }
+}
+
+/// [`run`], also returning per-pass wall times.
+pub fn run_timed(
+    root: &Path,
+    policy: &Policy,
+) -> Result<(Vec<Diagnostic>, Vec<Timing>), PolicyError> {
+    let mut timings = Vec::new();
+    let timed = |name: &'static str, timings: &mut Vec<Timing>, start: Instant| {
+        timings.push(Timing {
+            name,
+            elapsed: start.elapsed(),
+        });
+    };
+
+    // Load: walk, lex, strip, and parse each scoped file once.
+    let start = Instant::now();
     let mut diags = Vec::new();
+    let mut files = Vec::new();
     for rel in rust_files(root, &policy.exclude) {
-        let ql01 = Policy::in_scope(&rel, &policy.ql01_paths);
-        let ql02_containers = Policy::in_scope(&rel, &policy.ql02_container_paths);
-        let ql02_clocks = Policy::in_scope(&rel, &policy.ql02_clock_paths)
-            && !Policy::in_scope(&rel, &policy.ql02_clock_allow);
-        let ql03 = Policy::in_scope(&rel, &policy.ql03_paths);
-        if !(ql01 || ql02_containers || ql02_clocks || ql03) {
+        let scopes = Scopes::compile(policy, &rel);
+        if !scopes.any() {
             continue;
         }
-        let src = std::fs::read_to_string(root.join(&rel)).map_err(|e| PolicyError {
-            line: 0,
-            message: format!("cannot read {rel}: {e}"),
-        })?;
+        let src = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| pass_err(format!("cannot read {rel}: {e}")))?;
         let tokens = lexer::lex(&src);
-        diags.extend(rules::check_tokens(
-            &tokens,
-            &rel,
-            ql01,
-            ql02_containers,
-            ql02_clocks,
-            ql03,
-        ));
+        let (allows, ql00) = rules::parse_allows(&tokens, &rel);
+        diags.extend(ql00);
+        let code: Vec<lexer::Token> = lexer::strip_test_code(&tokens)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        let ast = if scopes.needs_ast() {
+            ast::parse(&code)
+        } else {
+            ast::FileAst::default()
+        };
+        files.push(FileData {
+            rel,
+            code,
+            allows,
+            ast,
+            scopes,
+        });
     }
+    timed("load", &mut timings, start);
+
+    let start = Instant::now();
+    for f in &files {
+        if f.scopes.ql01 || f.scopes.ql02_containers || f.scopes.ql02_clocks || f.scopes.ql03 {
+            diags.extend(rules::check_tokens(
+                &f.code,
+                &f.allows,
+                &f.rel,
+                f.scopes.ql01,
+                f.scopes.ql02_containers,
+                f.scopes.ql02_clocks,
+                f.scopes.ql03,
+            ));
+        }
+    }
+    timed("ql01-03", &mut timings, start);
+
+    let start = Instant::now();
     for crate_rel in &policy.ql04_crates {
         diags.extend(rules::check_crate_hygiene(root, crate_rel));
     }
+    timed("ql04", &mut timings, start);
+
+    let start = Instant::now();
+    if !policy.ql05_locks.is_empty() {
+        diags.extend(passes::ql05(&files, policy).map_err(pass_err)?);
+    }
+    timed("ql05", &mut timings, start);
+
+    let start = Instant::now();
+    if !policy.ql06_enums.is_empty() {
+        diags.extend(passes::ql06(&files, policy));
+    }
+    timed("ql06", &mut timings, start);
+
+    let start = Instant::now();
+    if !policy.ql07_fields.is_empty() {
+        diags.extend(passes::ql07(&files, policy));
+    }
+    timed("ql07", &mut timings, start);
+
+    let start = Instant::now();
+    if !policy.ql08_enums.is_empty() {
+        diags.extend(passes::ql08(&files, policy));
+    }
+    timed("ql08", &mut timings, start);
+
     diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
-    Ok(diags)
+    Ok((diags, timings))
 }
 
 /// All `.rs` files under `root`, as `/`-separated paths relative to it,

@@ -1,24 +1,47 @@
 //! The `quest-lint` binary: `cargo run --release -p quest-lint`.
 //!
 //! Walks the workspace (the current directory, or `--root <path>`)
-//! under the policy in `lint.toml` (or `--policy <path>`) and prints
-//! one `file:line: RULE: message` diagnostic per finding. Exit code 0
-//! means clean, 1 means findings, 2 means the tool itself could not run.
+//! under the policy in `lint.toml` (or `--policy <path>`) and reports
+//! findings, `file:line: RULE: message` by default or machine-readable
+//! JSON with `--format json`. With `--baseline <file>`, committed
+//! findings are subtracted and only *new* ones are reported
+//! (`--write-baseline` refreshes the file from the current findings).
+//! `--timing` prints per-pass wall times to stderr. Exit code 0 means
+//! clean (no non-baselined findings), 1 means findings, 2 means the
+//! tool itself could not run.
 
 #![forbid(unsafe_code)]
 
-use quest_lint::{run, Policy};
+use quest_lint::{baseline, diag, run_timed, Policy};
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     root: PathBuf,
     policy: PathBuf,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    timing: bool,
 }
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+const USAGE: &str = "usage: quest-lint [--root <dir>] [--policy <lint.toml>] \
+                     [--format text|json] [--baseline <file>] [--write-baseline] [--timing]";
 
 fn parse_args() -> Result<Args, String> {
     let mut root = PathBuf::from(".");
     let mut policy: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut timing = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -28,14 +51,36 @@ fn parse_args() -> Result<Args, String> {
             "--policy" => {
                 policy = Some(PathBuf::from(argv.next().ok_or("--policy needs a path")?));
             }
-            "--help" | "-h" => {
-                return Err("usage: quest-lint [--root <dir>] [--policy <lint.toml>]".to_string());
+            "--format" => {
+                format = match argv.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!("--format expects text|json, got {other:?}"));
+                    }
+                };
             }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(argv.next().ok_or("--baseline needs a path")?));
+            }
+            "--write-baseline" => write_baseline = true,
+            "--timing" => timing = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
+    if write_baseline && baseline.is_none() {
+        return Err("--write-baseline needs --baseline <file>".to_string());
+    }
     let policy = policy.unwrap_or_else(|| root.join("lint.toml"));
-    Ok(Args { root, policy })
+    Ok(Args {
+        root,
+        policy,
+        format,
+        baseline,
+        write_baseline,
+        timing,
+    })
 }
 
 fn main() -> ExitCode {
@@ -53,21 +98,62 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&args.root, &policy) {
-        Ok(diags) if diags.is_empty() => {
-            println!("quest-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            println!("quest-lint: {} diagnostic(s)", diags.len());
-            ExitCode::FAILURE
-        }
+    let (diags, timings) = match run_timed(&args.root, &policy) {
+        Ok(out) => out,
         Err(e) => {
             eprintln!("quest-lint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    if args.timing {
+        for t in &timings {
+            eprintln!("quest-lint: pass {:<8} {:>9.3?}", t.name, t.elapsed);
+        }
+    }
+    if args.write_baseline {
+        let path = args.baseline.as_deref().expect("checked in parse_args");
+        if let Err(e) = std::fs::write(path, diag::to_json(&diags)) {
+            eprintln!("quest-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "quest-lint: wrote {} finding(s) to baseline {}",
+            diags.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline_keys: BTreeSet<String> = match args.baseline.as_deref() {
+        Some(path) => match baseline::load(path) {
+            Ok(keys) => keys,
+            Err(e) => {
+                eprintln!("quest-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => BTreeSet::new(),
+    };
+    let (fresh, suppressed) = baseline::filter(diags, &baseline_keys);
+    match args.format {
+        Format::Json => print!("{}", diag::to_json(&fresh)),
+        Format::Text => {
+            for d in &fresh {
+                println!("{d}");
+            }
+            if fresh.is_empty() {
+                if suppressed > 0 {
+                    println!("quest-lint: clean ({suppressed} baselined finding(s) suppressed)");
+                } else {
+                    println!("quest-lint: clean");
+                }
+            } else {
+                println!("quest-lint: {} diagnostic(s)", fresh.len());
+            }
+        }
+    }
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

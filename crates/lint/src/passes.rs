@@ -1,0 +1,410 @@
+//! The flow-aware passes QL05–QL08, built on the per-file AST
+//! ([`crate::ast`]), the cross-crate symbol index assembled here, and
+//! the per-fn flow summaries ([`crate::flow`]).
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::flow::{self, LockSig};
+use crate::policy::Policy;
+use crate::FileData;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn diag(rule: RuleId, path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: path.to_string(),
+        line,
+        message,
+    }
+}
+
+/// One acquisition-graph edge: `to` was acquired while `from` was held.
+struct EdgeSite {
+    file: usize,
+    line: u32,
+    detail: String,
+}
+
+/// QL05: builds the lock-acquisition graph across the scoped files and
+/// reports cycles (potential deadlocks) and inversions of the canonical
+/// `[ql05] order`.
+pub fn ql05(files: &[FileData], policy: &Policy) -> Result<Vec<Diagnostic>, String> {
+    let sigs = flow::parse_lock_sigs(&policy.ql05_locks)?;
+    let excluded: BTreeSet<&str> = policy
+        .ql05_resolve_exclude
+        .iter()
+        .map(String::as_str)
+        .collect();
+
+    // Flow summaries for every scoped fn, plus the cross-crate index.
+    struct FnNode {
+        file: usize,
+        name: String,
+        flow: flow::FnFlow,
+    }
+    let mut fns: Vec<FnNode> = Vec::new();
+    let mut index: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !f.scopes.ql05 {
+            continue;
+        }
+        let file_sigs: Vec<&LockSig> = sigs
+            .iter()
+            .filter(|s| Policy::in_scope(&f.rel, std::slice::from_ref(&s.scope)))
+            .collect();
+        for item in &f.ast.fns {
+            let Some(body) = item.body else { continue };
+            fns.push(FnNode {
+                file: fi,
+                name: item.name.clone(),
+                flow: flow::analyze_fn(&f.code, body, &file_sigs),
+            });
+        }
+    }
+    for (i, node) in fns.iter().enumerate() {
+        if !excluded.contains(node.name.as_str()) {
+            index.entry(&node.name).or_default().push(i);
+        }
+    }
+
+    // Transitive acquisition sets: the classes a call to each fn may
+    // acquire, closed over the name-resolved call graph.
+    let mut trans: Vec<BTreeSet<String>> = fns
+        .iter()
+        .map(|n| n.flow.acqs.iter().map(|a| a.class.clone()).collect())
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            for call in &fns[i].flow.calls {
+                if excluded.contains(call.name.as_str()) {
+                    continue;
+                }
+                let Some(callees) = index.get(call.name.as_str()) else {
+                    continue;
+                };
+                for &c in callees {
+                    if c == i {
+                        continue;
+                    }
+                    let extra: Vec<String> = trans[c].difference(&trans[i]).cloned().collect();
+                    if !extra.is_empty() {
+                        trans[i].extend(extra);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: a nested direct acquisition, or a call whose transitive set
+    // acquires, while a guard is held.
+    let mut edges: BTreeMap<(String, String), EdgeSite> = BTreeMap::new();
+    let mut record = |from: &str, to: &str, site: EdgeSite| {
+        edges
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(site);
+    };
+    for node in &fns {
+        for a in &node.flow.acqs {
+            for b in &node.flow.acqs {
+                if b.token > a.token && b.token <= a.scope_end && b.class != a.class {
+                    record(
+                        &a.class,
+                        &b.class,
+                        EdgeSite {
+                            file: node.file,
+                            line: b.line,
+                            detail: format!("direct acquisition in `{}`", node.name),
+                        },
+                    );
+                }
+            }
+            for call in &node.flow.calls {
+                if call.token <= a.token
+                    || call.token > a.scope_end
+                    || excluded.contains(call.name.as_str())
+                {
+                    continue;
+                }
+                let Some(callees) = index.get(call.name.as_str()) else {
+                    continue;
+                };
+                let mut reached: BTreeSet<&str> = BTreeSet::new();
+                for &c in callees {
+                    reached.extend(trans[c].iter().map(String::as_str));
+                }
+                for class in reached {
+                    if class != a.class {
+                        record(
+                            &a.class,
+                            class,
+                            EdgeSite {
+                                file: node.file,
+                                line: call.line,
+                                detail: format!("call to `{}` from `{}`", call.name, node.name),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Reachability over the class graph, for cycle detection.
+    let mut reach: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys().map(|(a, b)| (a.as_str(), b.as_str())) {
+        reach.entry(from).or_default().insert(to);
+    }
+    loop {
+        let mut changed = false;
+        let keys: Vec<&str> = reach.keys().copied().collect();
+        for from in keys {
+            let nexts: Vec<&str> = reach[from].iter().copied().collect();
+            for mid in nexts {
+                let extra: Vec<&str> = reach
+                    .get(mid)
+                    .map(|s| {
+                        s.iter()
+                            .copied()
+                            .filter(|t| !reach[from].contains(t))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if !extra.is_empty() {
+                    reach.get_mut(from).expect("key present").extend(extra);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let pos: BTreeMap<&str, usize> = policy
+        .ql05_order
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_str(), i))
+        .collect();
+    let mut diags = Vec::new();
+    let mut unknown_reported: BTreeSet<&str> = BTreeSet::new();
+    for ((from, to), site) in &edges {
+        let rel = &files[site.file].rel;
+        if files[site.file].allows.covers(RuleId::QL05, site.line) {
+            continue;
+        }
+        let closes_cycle = from == to
+            || reach
+                .get(to.as_str())
+                .is_some_and(|r| r.contains(from.as_str()));
+        if closes_cycle {
+            diags.push(diag(
+                RuleId::QL05,
+                rel,
+                site.line,
+                format!(
+                    "lock-order cycle: `{to}` acquired while holding `{from}` ({}), and \
+                     `{to}` can already reach `{from}` — potential deadlock",
+                    site.detail
+                ),
+            ));
+            continue;
+        }
+        match (pos.get(from.as_str()), pos.get(to.as_str())) {
+            (Some(pf), Some(pt)) if pf > pt => {
+                diags.push(diag(
+                    RuleId::QL05,
+                    rel,
+                    site.line,
+                    format!(
+                        "lock-order inversion: `{to}` acquired while holding `{from}` ({}), \
+                         but [ql05] order puts `{to}` before `{from}` — release `{from}` \
+                         first or update the canonical order",
+                        site.detail
+                    ),
+                ));
+            }
+            (Some(_), Some(_)) => {}
+            _ => {
+                for class in [from.as_str(), to.as_str()] {
+                    if !pos.contains_key(class) && unknown_reported.insert(class) {
+                        diags.push(diag(
+                            RuleId::QL05,
+                            rel,
+                            site.line,
+                            format!(
+                                "lock class `{class}` participates in acquisition edges but \
+                                 is missing from the canonical [ql05] order"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(diags)
+}
+
+/// QL06: every channel-protocol enum variant is both constructed (a
+/// send path exists) and matched outside a wildcard arm (a receive path
+/// exists).
+pub fn ql06(files: &[FileData], policy: &Policy) -> Vec<Diagnostic> {
+    variant_liveness(
+        files,
+        |f| f.scopes.ql06,
+        &policy.ql06_enums,
+        RuleId::QL06,
+        "protocol",
+        "no send path builds it — a silently dead protocol state",
+        "no receive-side arm handles it (wildcard arms do not count) — an unhandled \
+         protocol state",
+    )
+}
+
+/// QL08: every error enum variant is constructed somewhere and matched
+/// somewhere outside a `_` arm.
+pub fn ql08(files: &[FileData], policy: &Policy) -> Vec<Diagnostic> {
+    variant_liveness(
+        files,
+        |f| f.scopes.ql08,
+        &policy.ql08_enums,
+        RuleId::QL08,
+        "error",
+        "nothing raises it — dead error surface",
+        "no caller can react to it specifically (wildcard arms do not count)",
+    )
+}
+
+fn variant_liveness(
+    files: &[FileData],
+    in_scope: impl Fn(&FileData) -> bool,
+    enum_names: &[String],
+    rule: RuleId,
+    kind: &str,
+    unconstructed_hint: &str,
+    unmatched_hint: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // Definitions: first scoped definition of each configured enum wins.
+    let mut defs: BTreeMap<&str, (usize, &crate::ast::EnumDef)> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !in_scope(f) {
+            continue;
+        }
+        for e in &f.ast.enums {
+            if enum_names.iter().any(|n| n == &e.name) {
+                defs.entry(&e.name).or_insert((fi, e));
+            }
+        }
+    }
+    for name in enum_names {
+        if !defs.contains_key(name.as_str()) {
+            diags.push(diag(
+                rule,
+                "lint.toml",
+                0,
+                format!("configured {kind} enum `{name}` was not found in any scoped file"),
+            ));
+        }
+    }
+
+    let variant_sets: BTreeMap<String, BTreeSet<String>> = defs
+        .iter()
+        .map(|(name, (_, e))| {
+            (
+                (*name).to_string(),
+                e.variants.iter().map(|v| v.name.clone()).collect(),
+            )
+        })
+        .collect();
+
+    // (enum, variant) → (constructed, matched).
+    let mut live: BTreeMap<(String, String), (bool, bool)> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !in_scope(f) {
+            continue;
+        }
+        let mask = flow::pattern_mask(&f.code);
+        for u in flow::variant_uses(&f.code, &mask, &variant_sets) {
+            let inside_def = defs
+                .get(u.enum_name.as_str())
+                .is_some_and(|(dfi, e)| *dfi == fi && u.token > e.body.0 && u.token < e.body.1);
+            if inside_def {
+                continue;
+            }
+            let entry = live
+                .entry((u.enum_name.clone(), u.variant.clone()))
+                .or_insert((false, false));
+            if u.is_pattern {
+                entry.1 = true;
+            } else {
+                entry.0 = true;
+            }
+        }
+    }
+
+    for (name, (fi, e)) in &defs {
+        let f = &files[*fi];
+        for v in &e.variants {
+            let (constructed, matched) = live
+                .get(&((*name).to_string(), v.name.clone()))
+                .copied()
+                .unwrap_or((false, false));
+            if !constructed && !f.allows.covers(rule, v.line) {
+                diags.push(diag(
+                    rule,
+                    &f.rel,
+                    v.line,
+                    format!(
+                        "{kind} variant `{name}::{}` is never constructed: {unconstructed_hint}",
+                        v.name
+                    ),
+                ));
+            }
+            if !matched && !f.allows.covers(rule, v.line) {
+                diags.push(diag(
+                    rule,
+                    &f.rel,
+                    v.line,
+                    format!(
+                        "{kind} variant `{name}::{}` is never matched: {unmatched_hint}",
+                        v.name
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// QL07: bare `+`/`-`/`*` arithmetic on the configured counter fields.
+pub fn ql07(files: &[FileData], policy: &Policy) -> Vec<Diagnostic> {
+    let fields: BTreeSet<String> = policy.ql07_fields.iter().cloned().collect();
+    let mut diags = Vec::new();
+    for f in files {
+        if !f.scopes.ql07 {
+            continue;
+        }
+        for op in flow::counter_ops(&f.code, &fields) {
+            if f.allows.covers(RuleId::QL07, op.line) {
+                continue;
+            }
+            diags.push(diag(
+                RuleId::QL07,
+                &f.rel,
+                op.line,
+                format!(
+                    "bare `{}` on counter field `{}` can wrap silently — use \
+                     checked/saturating arithmetic or carry a `quest-lint: allow(QL07)` \
+                     justification",
+                    op.op, op.field
+                ),
+            ));
+        }
+    }
+    diags
+}

@@ -30,6 +30,37 @@ pub struct Policy {
     /// QL04 (lint-table hygiene): crate directories that must inherit
     /// `[workspace.lints]` and carry `#![forbid(unsafe_code)]`.
     pub ql04_crates: Vec<String>,
+    /// QL05 (lock order): path prefixes whose functions join the
+    /// acquisition graph.
+    pub ql05_paths: Vec<String>,
+    /// QL05: the canonical total order of lock classes. Any acquisition
+    /// edge that runs against this order (or any cycle) is a finding.
+    pub ql05_order: Vec<String>,
+    /// QL05: acquisition signatures, each `class @ scope :: recv.method`
+    /// — a call `recv.method(…)` in a file under `scope` acquires a lock
+    /// of `class` (see [`crate::flow::LockSig`]).
+    pub ql05_locks: Vec<String>,
+    /// QL05: method names excluded from call-graph resolution because
+    /// std types shadow them (`len`, `push`, `lock`, …) — resolving them
+    /// to first-party functions would fabricate acquisition edges.
+    pub ql05_resolve_exclude: Vec<String>,
+    /// QL06 (protocol exhaustiveness): path prefixes scanned for
+    /// constructions and matches of the protocol enums.
+    pub ql06_paths: Vec<String>,
+    /// QL06: the channel-protocol enums (by bare name) whose variants
+    /// must all be both constructed and matched.
+    pub ql06_enums: Vec<String>,
+    /// QL07 (counter arithmetic): path prefixes where the counter fields
+    /// are checked.
+    pub ql07_paths: Vec<String>,
+    /// QL07: counter field names that must not see bare `+`/`-`/`*`.
+    pub ql07_fields: Vec<String>,
+    /// QL08 (error-variant liveness): path prefixes scanned for
+    /// constructions and matches of the error enums.
+    pub ql08_paths: Vec<String>,
+    /// QL08: the error enums (by bare name) whose variants must all be
+    /// live.
+    pub ql08_enums: Vec<String>,
     /// Directories never walked (vendored stand-ins, build output, the
     /// checker's own bad-code fixtures).
     pub exclude: Vec<String>,
@@ -118,6 +149,16 @@ impl Policy {
             ("ql02", "clock_allow") => &mut self.ql02_clock_allow,
             ("ql03", "paths") => &mut self.ql03_paths,
             ("ql04", "crates") => &mut self.ql04_crates,
+            ("ql05", "paths") => &mut self.ql05_paths,
+            ("ql05", "order") => &mut self.ql05_order,
+            ("ql05", "locks") => &mut self.ql05_locks,
+            ("ql05", "resolve_exclude") => &mut self.ql05_resolve_exclude,
+            ("ql06", "paths") => &mut self.ql06_paths,
+            ("ql06", "enums") => &mut self.ql06_enums,
+            ("ql07", "paths") => &mut self.ql07_paths,
+            ("ql07", "fields") => &mut self.ql07_fields,
+            ("ql08", "paths") => &mut self.ql08_paths,
+            ("ql08", "enums") => &mut self.ql08_enums,
             ("global", "exclude") => &mut self.exclude,
             _ => return Err(err(line, format!("unknown policy key `[{section}] {key}`"))),
         };

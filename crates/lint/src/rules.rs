@@ -14,7 +14,7 @@
 //! a diagnostic (QL00).
 
 use crate::diag::{Diagnostic, RuleId};
-use crate::lexer::{strip_test_code, Token, TokenKind};
+use crate::lexer::{Token, TokenKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifiers whose macro invocation QL01 bans (`name!`).
@@ -145,19 +145,21 @@ fn prev_code(tokens: &[Token], i: usize) -> Option<&Token> {
         .find(|t| t.kind != TokenKind::Comment)
 }
 
-/// Checks one file's token stream against the token-level rules the
-/// policy puts it in scope for. `tokens` must be the *full* stream
-/// (comments included); test code is stripped here.
+/// Checks one file against the token-level rules the policy puts it in
+/// scope for. `code` must already be comment-free and test-stripped
+/// (the orchestrator in [`crate::run`] lexes and strips each file once
+/// for all passes); `allows` comes from [`parse_allows`] over the full
+/// stream.
 pub fn check_tokens(
-    tokens: &[Token],
+    code: &[Token],
+    allows: &Allows,
     path: &str,
     ql01: bool,
     ql02_containers: bool,
     ql02_clocks: bool,
     ql03: bool,
 ) -> Vec<Diagnostic> {
-    let (allows, mut diags) = parse_allows(tokens, path);
-    let code = strip_test_code(tokens);
+    let mut diags = Vec::new();
     for (i, tok) in code.iter().enumerate() {
         if tok.kind != TokenKind::Ident {
             continue;
@@ -170,8 +172,8 @@ pub fn check_tokens(
         };
         if ql01 {
             if QL01_METHODS.contains(&name)
-                && prev_code(&code, i).is_some_and(|t| t.is_punct('.'))
-                && next_code(&code, i + 1).is_some_and(|t| t.is_punct('('))
+                && prev_code(code, i).is_some_and(|t| t.is_punct('.'))
+                && next_code(code, i + 1).is_some_and(|t| t.is_punct('('))
             {
                 report(
                     RuleId::QL01,
@@ -179,7 +181,7 @@ pub fn check_tokens(
                 );
             }
             if QL01_MACROS.contains(&name)
-                && next_code(&code, i + 1).is_some_and(|t| t.is_punct('!'))
+                && next_code(code, i + 1).is_some_and(|t| t.is_punct('!'))
             {
                 report(
                     RuleId::QL01,
@@ -207,11 +209,11 @@ pub fn check_tokens(
         }
         if ql03
             && name == "as"
-            && next_code(&code, i + 1).is_some_and(|t| {
+            && next_code(code, i + 1).is_some_and(|t| {
                 t.kind == TokenKind::Ident && QL03_NARROW.contains(&t.text.as_str())
             })
         {
-            let target = next_code(&code, i + 1).map_or("?", |t| t.text.as_str());
+            let target = next_code(code, i + 1).map_or("?", |t| t.text.as_str());
             report(
                 RuleId::QL03,
                 format!(
@@ -349,10 +351,37 @@ fn has_forbid_unsafe(tokens: &[Token]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lexer::lex;
+    use crate::lexer::{lex, strip_test_code};
+
+    /// Lexes, strips, and checks like the orchestrator does, merging
+    /// QL00 diagnostics from the allow parse.
+    fn check_src(
+        src: &str,
+        ql01: bool,
+        ql02_containers: bool,
+        ql02_clocks: bool,
+        ql03: bool,
+    ) -> Vec<Diagnostic> {
+        let tokens = lex(src);
+        let (allows, mut diags) = parse_allows(&tokens, "f.rs");
+        let code: Vec<Token> = strip_test_code(&tokens)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect();
+        diags.extend(check_tokens(
+            &code,
+            &allows,
+            "f.rs",
+            ql01,
+            ql02_containers,
+            ql02_clocks,
+            ql03,
+        ));
+        diags
+    }
 
     fn check_ql01(src: &str) -> Vec<Diagnostic> {
-        check_tokens(&lex(src), "f.rs", true, false, false, false)
+        check_src(src, true, false, false, false)
     }
 
     #[test]
@@ -417,7 +446,7 @@ mod tests {
     #[test]
     fn ql02_flags_containers_and_clocks() {
         let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }";
-        let diags = check_tokens(&lex(src), "f.rs", false, true, true, false);
+        let diags = check_src(src, false, true, true, false);
         assert_eq!(diags.len(), 2);
         assert!(diags.iter().all(|d| d.rule == RuleId::QL02));
         assert_eq!(diags[0].line, 1);
@@ -427,7 +456,7 @@ mod tests {
     #[test]
     fn ql03_flags_only_narrowing_casts() {
         let src = "fn f(x: u64) { let a = x as u16; let b = x as u64; let c = x as usize; }";
-        let diags = check_tokens(&lex(src), "f.rs", false, false, false, true);
+        let diags = check_src(src, false, false, false, true);
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].rule, RuleId::QL03);
         assert!(diags[0].message.contains("as u16"));

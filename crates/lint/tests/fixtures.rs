@@ -15,10 +15,8 @@ fn policy_for(file: &str) -> Policy {
         ql01_paths: vec![file.to_string()],
         ql02_container_paths: vec![file.to_string()],
         ql02_clock_paths: vec![file.to_string()],
-        ql02_clock_allow: Vec::new(),
         ql03_paths: vec![file.to_string()],
-        ql04_crates: Vec::new(),
-        exclude: Vec::new(),
+        ..Policy::default()
     }
 }
 
@@ -82,6 +80,106 @@ fn ql03_fixture_flags_narrowing_cast_at_pinned_line() {
     assert_eq!(diags.len(), 1, "{diags:?}");
     assert_eq!(diags[0].rule, RuleId::QL03);
     assert_eq!(diags[0].line, 4);
+}
+
+/// A policy that scopes `file` into the flow-aware rules QL05–QL08,
+/// with the fixture lock classes, enums and counter fields.
+fn flow_policy_for(file: &str) -> Policy {
+    Policy {
+        ql05_paths: vec![file.to_string()],
+        ql05_order: vec!["alpha".to_string(), "beta".to_string()],
+        ql05_locks: vec![
+            format!("alpha @ {file} :: alpha.lock"),
+            format!("beta @ {file} :: beta.lock"),
+        ],
+        ql06_paths: vec![file.to_string()],
+        ql06_enums: vec!["Msg".to_string()],
+        ql07_paths: vec![file.to_string()],
+        ql07_fields: vec!["queued_jobs".to_string()],
+        ql08_paths: vec![file.to_string()],
+        ql08_enums: vec!["DemoError".to_string()],
+        ..Policy::default()
+    }
+}
+
+fn flow_diags_for(file: &str) -> Vec<Diagnostic> {
+    let mut policy = flow_policy_for(file);
+    // Scope the liveness passes to the file's own enums so the missing-
+    // enum diagnostic does not fire for the other fixture's enum.
+    match file {
+        "bad_ql06.rs" => policy.ql08_enums.clear(),
+        "bad_ql08.rs" => policy.ql06_enums.clear(),
+        _ => {
+            policy.ql06_enums.clear();
+            policy.ql08_enums.clear();
+        }
+    }
+    run(fixtures_root(), &policy).expect("fixture run succeeds")
+}
+
+#[test]
+fn ql05_fixture_flags_the_seeded_deadlock_cycle() {
+    let diags = flow_diags_for("bad_ql05.rs");
+    assert!(diags.iter().all(|d| d.rule == RuleId::QL05), "{diags:?}");
+    let lines: Vec<u32> = diags.iter().map(|d| d.line).collect();
+    // The direct alpha→beta nesting and the call-mediated beta→alpha
+    // edge each close the cycle.
+    assert_eq!(lines, vec![13, 19], "{diags:?}");
+    assert!(
+        diags.iter().all(|d| d.message.contains("cycle")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn ql06_fixture_flags_unconstructed_and_unmatched_variants() {
+    let diags = flow_diags_for("bad_ql06.rs");
+    assert!(diags.iter().all(|d| d.rule == RuleId::QL06), "{diags:?}");
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 6 && d.message.contains("`Msg::Pong` is never constructed")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.line == 7 && d.message.contains("`Msg::Halt` is never matched")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn ql07_fixture_flags_the_bare_increment() {
+    let diags = flow_diags_for("bad_ql07.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RuleId::QL07);
+    assert_eq!(diags[0].line, 10);
+    assert!(diags[0].message.contains("queued_jobs"), "{diags:?}");
+}
+
+#[test]
+fn ql08_fixture_flags_the_never_constructed_variant() {
+    let diags = flow_diags_for("bad_ql08.rs");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, RuleId::QL08);
+    assert_eq!(diags[0].line, 6);
+    assert!(
+        diags[0]
+            .message
+            .contains("`DemoError::Never` is never constructed"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_passes_the_flow_rules_too() {
+    let mut policy = flow_policy_for("clean.rs");
+    policy.ql06_enums = vec!["CleanMsg".to_string()];
+    policy.ql08_enums = vec!["CleanError".to_string()];
+    let diags = run(fixtures_root(), &policy).expect("fixture run succeeds");
+    assert!(diags.is_empty(), "clean fixture flagged: {diags:?}");
 }
 
 #[test]

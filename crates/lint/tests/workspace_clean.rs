@@ -3,7 +3,7 @@
 //! static-analysis job runs via `cargo run -p quest-lint`, wired into
 //! the ordinary test suite so a violation cannot land unnoticed.
 
-use quest_lint::{run, Policy};
+use quest_lint::{baseline, run, Policy};
 use std::path::Path;
 
 #[test]
@@ -16,6 +16,29 @@ fn workspace_is_clean_under_the_shipped_policy() {
         "quest-lint found {} violation(s):\n{}",
         diags.len(),
         diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The v2 contract CI enforces: the full workspace run, minus the
+/// committed baseline, is empty. Today the baseline itself is empty —
+/// the whole tree is QL01–QL08 clean — so this also pins the baseline
+/// file as parseable and the filter as a no-op.
+#[test]
+fn workspace_has_zero_non_baselined_findings() {
+    let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let policy = Policy::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let diags = run(root, &policy).expect("workspace walk succeeds");
+    let keys = baseline::load(&root.join("lint-baseline.json")).expect("baseline parses");
+    let (fresh, _suppressed) = baseline::filter(diags, &keys);
+    assert!(
+        fresh.is_empty(),
+        "quest-lint found {} non-baselined violation(s):\n{}",
+        fresh.len(),
+        fresh
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()

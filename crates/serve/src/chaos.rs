@@ -245,11 +245,13 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
 impl ChaosReport {
     fn absorb(&mut self, other: ChaosReport) {
         self.jobs_submitted += other.jobs_submitted;
-        self.jobs_done += other.jobs_done;
-        self.jobs_cancelled += other.jobs_cancelled;
-        self.jobs_failed += other.jobs_failed;
-        self.jobs_deadline_exceeded += other.jobs_deadline_exceeded;
-        self.jobs_retried += other.jobs_retried;
+        self.jobs_done = self.jobs_done.saturating_add(other.jobs_done);
+        self.jobs_cancelled = self.jobs_cancelled.saturating_add(other.jobs_cancelled);
+        self.jobs_failed = self.jobs_failed.saturating_add(other.jobs_failed);
+        self.jobs_deadline_exceeded = self
+            .jobs_deadline_exceeded
+            .saturating_add(other.jobs_deadline_exceeded);
+        self.jobs_retried = self.jobs_retried.saturating_add(other.jobs_retried);
         self.violations.extend(other.violations);
     }
 }
@@ -375,7 +377,7 @@ fn run_seed(seed: u64, config: &ChaosConfig) -> ChaosReport {
         }
         match outcome {
             Some(JobOutcome::Done(report)) => {
-                out.jobs_done += 1;
+                out.jobs_done = out.jobs_done.saturating_add(1);
                 if entry.deadlined {
                     out.violations.push(format!(
                         "seed {seed} job {j}: deadlined job completed instead of tripping"
@@ -392,16 +394,18 @@ fn run_seed(seed: u64, config: &ChaosConfig) -> ChaosReport {
                 }
             }
             Some(JobOutcome::Cancelled) => {
-                out.jobs_cancelled += 1;
+                out.jobs_cancelled = out.jobs_cancelled.saturating_add(1);
                 if !entry.cancelled {
                     out.violations.push(format!(
                         "seed {seed} job {j}: spurious cancellation (harness never cancelled it)"
                     ));
                 }
             }
-            Some(JobOutcome::Failed(_)) => out.jobs_failed += 1,
+            Some(JobOutcome::Failed(_)) => {
+                out.jobs_failed = out.jobs_failed.saturating_add(1);
+            }
             Some(JobOutcome::DeadlineExceeded { .. }) => {
-                out.jobs_deadline_exceeded += 1;
+                out.jobs_deadline_exceeded = out.jobs_deadline_exceeded.saturating_add(1);
                 if !entry.deadlined {
                     out.violations.push(format!(
                         "seed {seed} job {j}: deadline tripped on a job without one"
@@ -428,7 +432,7 @@ fn run_seed(seed: u64, config: &ChaosConfig) -> ChaosReport {
         ));
     }
     let ledger = server.shutdown();
-    out.jobs_retried += ledger.jobs_retried();
+    out.jobs_retried = out.jobs_retried.saturating_add(ledger.jobs_retried());
     let terminal_total = ledger.jobs_done()
         + ledger.jobs_cancelled()
         + ledger.jobs_failed()

@@ -55,13 +55,17 @@ impl ServerLedger {
 
     /// A job passed admission and was enqueued.
     pub(crate) fn admitted(&self, tenant: TenantId) {
-        self.with(tenant, |t| t.jobs_admitted += 1);
+        self.with(tenant, |t| {
+            t.jobs_admitted = t.jobs_admitted.saturating_add(1);
+        });
     }
 
     /// A job was rejected at admission (quota, validation or
     /// backpressure).
     pub(crate) fn rejected(&self, tenant: TenantId) {
-        self.with(tenant, |t| t.jobs_rejected += 1);
+        self.with(tenant, |t| {
+            t.jobs_rejected = t.jobs_rejected.saturating_add(1);
+        });
     }
 
     /// A worker picked a job up `queue_latency` after submission.
@@ -81,8 +85,8 @@ impl ServerLedger {
         recovery: &RecoveryStats,
     ) {
         self.with(tenant, |t| {
-            t.jobs_done += 1;
-            t.shots_done += shots;
+            t.jobs_done = t.jobs_done.saturating_add(1);
+            t.shots_done = t.shots_done.saturating_add(shots);
             t.run_samples.push(run_latency);
             t.recovery.absorb(recovery);
             *t.jobs_by_decoder.entry(decoder).or_default() += 1;
@@ -93,7 +97,7 @@ impl ServerLedger {
     /// started (cancelled mid-run), `None` when it died in the queue.
     pub(crate) fn cancelled(&self, tenant: TenantId, run_latency: Option<Duration>) {
         self.with(tenant, |t| {
-            t.jobs_cancelled += 1;
+            t.jobs_cancelled = t.jobs_cancelled.saturating_add(1);
             if let Some(latency) = run_latency {
                 t.run_samples.push(latency);
             }
@@ -103,7 +107,7 @@ impl ServerLedger {
     /// A job failed after running for `run_latency`.
     pub(crate) fn failed(&self, tenant: TenantId, run_latency: Duration) {
         self.with(tenant, |t| {
-            t.jobs_failed += 1;
+            t.jobs_failed = t.jobs_failed.saturating_add(1);
             t.run_samples.push(run_latency);
         });
     }
@@ -111,7 +115,7 @@ impl ServerLedger {
     /// A job's QECC-cycle deadline tripped after `run_latency`.
     pub(crate) fn deadline_exceeded(&self, tenant: TenantId, run_latency: Duration) {
         self.with(tenant, |t| {
-            t.jobs_deadline_exceeded += 1;
+            t.jobs_deadline_exceeded = t.jobs_deadline_exceeded.saturating_add(1);
             t.run_samples.push(run_latency);
         });
     }
@@ -119,19 +123,23 @@ impl ServerLedger {
     /// An attempt failed with a retryable error and the supervisor
     /// re-enqueued the job.
     pub(crate) fn retried(&self, tenant: TenantId) {
-        self.with(tenant, |t| t.jobs_retried += 1);
+        self.with(tenant, |t| {
+            t.jobs_retried = t.jobs_retried.saturating_add(1);
+        });
     }
 
     /// A submission was shed at admission because the server's backlog
     /// bound was exceeded.
     pub(crate) fn shed(&self, tenant: TenantId) {
-        self.with(tenant, |t| t.jobs_shed += 1);
+        self.with(tenant, |t| t.jobs_shed = t.jobs_shed.saturating_add(1));
     }
 
     /// A retry attempt resumed from a checkpoint, skipping the replay of
     /// `cycles` already-executed QECC cycles.
     pub(crate) fn resumed(&self, tenant: TenantId, cycles: u64) {
-        self.with(tenant, |t| t.cycles_resumed += cycles);
+        self.with(tenant, |t| {
+            t.cycles_resumed = t.cycles_resumed.saturating_add(cycles);
+        });
     }
 
     /// Snapshots the ledger into a report (sorted by tenant id).

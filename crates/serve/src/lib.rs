@@ -573,7 +573,7 @@ fn worker_loop(shared: &ServerShared, queue: &JobQueue<Job>) {
                 let mut snapshot = job.sink.take().or(resumed_from);
                 supervisor::disarm(&error, &mut job.spec, snapshot.as_mut());
                 job.snapshot = snapshot;
-                job.attempt += 1;
+                job.attempt = job.attempt.saturating_add(1);
                 let attempt = job.attempt;
                 if job.cell.advance(JobState::Retrying { attempt }) {
                     job.emit(JobEvent::Retrying {
@@ -700,6 +700,6 @@ mod tests {
             "a 1-deep queue behind a stalled worker must fill"
         );
         running.cancel();
-        server.shutdown();
+        let _ = server.shutdown();
     }
 }

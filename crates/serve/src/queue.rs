@@ -186,7 +186,7 @@ impl<T> JobQueue<T> {
         } else {
             let ready_at = inner.pops.saturating_add(delay_pops);
             let seq = inner.seq;
-            inner.seq += 1;
+            inner.seq = inner.seq.saturating_add(1);
             inner.parked.push((ready_at, seq, item));
         }
         drop(inner);
@@ -206,7 +206,7 @@ impl<T> JobQueue<T> {
                 inner.promote_earliest();
             }
             if let Some(item) = inner.items.pop_front() {
-                inner.pops += 1;
+                inner.pops = inner.pops.saturating_add(1);
                 drop(inner);
                 self.shared.space.notify_one();
                 return Some(item);

@@ -142,9 +142,11 @@ impl QuotaBook {
                 requested: cost.shots,
             });
         }
-        usage.queued_jobs += 1;
-        usage.inflight_shard_cycles += cost.shard_cycles;
-        usage.admitted_shots += cost.shots;
+        usage.queued_jobs = usage.queued_jobs.saturating_add(1);
+        usage.inflight_shard_cycles = usage
+            .inflight_shard_cycles
+            .saturating_add(cost.shard_cycles);
+        usage.admitted_shots = usage.admitted_shots.saturating_add(cost.shots);
         Ok(())
     }
 
@@ -184,7 +186,8 @@ impl QuotaBook {
     /// admitted once and its shard-cycle/shot reservations never lapsed;
     /// refusing the retry here would leak them.
     pub(crate) fn requeue(&mut self, tenant: TenantId) {
-        self.usage.entry(tenant).or_default().queued_jobs += 1;
+        let usage = self.usage.entry(tenant).or_default();
+        usage.queued_jobs = usage.queued_jobs.saturating_add(1);
     }
 
     /// Live reservations summed over every tenant: `(queued jobs,

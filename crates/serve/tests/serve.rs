@@ -163,7 +163,7 @@ fn queued_job_quota_tracks_the_queue_not_the_run() {
     if let Ok(handle) = second {
         assert!(matches!(handle.wait(), JobOutcome::Done(_)));
     }
-    server.shutdown();
+    let _ = server.shutdown();
 }
 
 /// Mid-run cancellation: the job stops at a cooperative checkpoint, the
@@ -265,7 +265,7 @@ fn event_stream_is_ordered_and_monotone() {
     assert_eq!(*fractions.last().expect("nonempty"), 1.0);
     assert!(matches!(events.last(), Some(JobEvent::Done { .. })));
     assert_eq!(handle.state(), JobState::Done);
-    server.shutdown();
+    let _ = server.shutdown();
 }
 
 /// Drain-on-shutdown finishes every admitted job and the final ledger's

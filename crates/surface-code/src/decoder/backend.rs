@@ -61,6 +61,7 @@ pub(crate) fn read_latency_cycles(bank_bits: u64) -> u64 {
 /// maxes, so merging per-worker reports in any order yields the same
 /// total — the property that lets the sharded runtime report the same
 /// `decode_cost` as the single-threaded reference.
+#[must_use]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CostReport {
     /// Decodes performed by the backend's primary engine.
@@ -81,9 +82,9 @@ pub struct CostReport {
 impl CostReport {
     /// Folds another report in: counters and cycles add, capacities max.
     pub fn merge(&mut self, other: &CostReport) {
-        self.decodes += other.decodes;
-        self.fallback_decodes += other.fallback_decodes;
-        self.cycles += other.cycles;
+        self.decodes = self.decodes.saturating_add(other.decodes);
+        self.fallback_decodes = self.fallback_decodes.saturating_add(other.fallback_decodes);
+        self.cycles = self.cycles.saturating_add(other.cycles);
         self.max_decode_cycles = self.max_decode_cycles.max(other.max_decode_cycles);
         self.jj_count = self.jj_count.max(other.jj_count);
     }
@@ -92,11 +93,11 @@ impl CostReport {
     /// primary engine or the fallback.
     pub(crate) fn record(&mut self, cycles: u64, fallback: bool) {
         if fallback {
-            self.fallback_decodes += 1;
+            self.fallback_decodes = self.fallback_decodes.saturating_add(1);
         } else {
-            self.decodes += 1;
+            self.decodes = self.decodes.saturating_add(1);
         }
-        self.cycles += cycles;
+        self.cycles = self.cycles.saturating_add(cycles);
         self.max_decode_cycles = self.max_decode_cycles.max(cycles);
     }
 }
@@ -421,7 +422,7 @@ impl LutBackend {
     fn charge_lookup(&mut self, escalated: bool) {
         self.cost.record(read_latency_cycles(self.bank_bits), false);
         if escalated {
-            self.cost.fallback_decodes += 1;
+            self.cost.fallback_decodes = self.cost.fallback_decodes.saturating_add(1);
         }
         self.cost.jj_count = self
             .cost
@@ -440,7 +441,7 @@ impl DecoderBackend for LutBackend {
             Some(correction) => correction,
             None => {
                 let correction = self.fallback.decode(graph, events);
-                self.cost.cycles += self.fallback.cost().cycles;
+                self.cost.cycles = self.cost.cycles.saturating_add(self.fallback.cost().cycles);
                 self.fallback.reset_cost();
                 correction
             }
