@@ -110,8 +110,11 @@ fn bench_frame_batch(c: &mut Criterion) {
 }
 
 /// Head-to-head throughput: d=7 code-capacity memory, per-shot tableau
-/// loop vs. the bit-parallel frame batch. The frame path must deliver at
-/// least a 20x speedup — the headline number of the fast path.
+/// loop vs. the bit-parallel frame batch. The wide-word engine with the
+/// incremental decoder measures ~800x on the reference container; the
+/// floor is set at a conservative 200x (the pre-wide-word engine floored
+/// at 20x) so CI noise never trips it while any real fast-path
+/// regression still does.
 fn frame_throughput_comparison(_c: &mut Criterion) {
     use std::time::Instant;
     let exp = MemoryExperiment::new(7, 7, MemoryBasis::Z);
@@ -139,8 +142,8 @@ fn frame_throughput_comparison(_c: &mut Criterion) {
         batch.logical_error_rate()
     );
     assert!(
-        speedup >= 20.0,
-        "frame fast path must be at least 20x the per-shot tableau loop at d=7, got {speedup:.1}x"
+        speedup >= 200.0,
+        "frame fast path must be at least 200x the per-shot tableau loop at d=7, got {speedup:.1}x"
     );
 }
 

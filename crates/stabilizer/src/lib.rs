@@ -40,7 +40,10 @@ pub mod statevector;
 pub mod tableau;
 
 pub use circuit::{Circuit, Gate};
-pub use frame::{block_seed, BlockRngs, FrameSimulator, SHOTS_PER_WORD};
+pub use frame::{
+    block_seed, BlockRngs, FramePlanes, FrameSimulator, FrameWord, LaneWidth, SHOTS_PER_WORD, W256,
+    W512,
+};
 pub use noise::{NoiseChannel, PauliChannel};
 pub use pauli::{Pauli, PauliString};
 pub use statevector::{Complex, StateVector};

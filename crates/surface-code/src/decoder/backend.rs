@@ -26,7 +26,7 @@ use super::lut::LutDecoder;
 use super::pipelined::PipelinedUfDecoder;
 use super::table::TableDecoder;
 use super::union_find::{UfScratch, UfTrace, UnionFindDecoder};
-use super::{Correction, Decoder, ExactMatchingDecoder};
+use super::{Correction, CorrectionBatch, Decoder, EventPlanes, ExactMatchingDecoder};
 use crate::graph::{DecodingGraph, Fault, NodeId};
 use crate::lattice::StabKind;
 use std::collections::BTreeMap;
@@ -145,6 +145,30 @@ pub trait DecoderBackend: std::fmt::Debug + Send {
         Some(self.decode(graph, events))
     }
 
+    /// Decodes a whole batch handed over as detection-event bit-planes
+    /// (see [`EventPlanes`]), writing each shot's data-qubit flips into
+    /// `out`. Bit-identical to scattering the planes and calling
+    /// [`DecoderBackend::decode_many`] — the default does exactly that;
+    /// backends with a native plane path override it to skip the sparse
+    /// sets and per-shot [`Correction`] allocations.
+    fn decode_planes(
+        &mut self,
+        graph: &DecodingGraph,
+        planes: &EventPlanes<'_>,
+        out: &mut CorrectionBatch,
+    ) {
+        let mut event_sets: Vec<Vec<NodeId>> = Vec::new();
+        planes.scatter_into(&mut event_sets);
+        let corrections = self.decode_many(graph, &event_sets);
+        out.clear();
+        for c in &corrections {
+            for &q in &c.data_flips {
+                out.push_flip(q);
+            }
+            out.finish_shot();
+        }
+    }
+
     /// The cost accumulated since construction or the last
     /// [`DecoderBackend::reset_cost`].
     fn cost(&self) -> CostReport;
@@ -216,6 +240,19 @@ impl DecoderBackend for UfBackend {
             .decode_traced(graph, events, &mut self.scratch, &mut trace);
         self.cost.record(trace_work_cycles(&trace), false);
         correction
+    }
+
+    fn decode_planes(
+        &mut self,
+        graph: &DecodingGraph,
+        planes: &EventPlanes<'_>,
+        out: &mut CorrectionBatch,
+    ) {
+        let cost = &mut self.cost;
+        self.decoder
+            .decode_planes_impl(graph, planes, &mut self.scratch, out, |trace| {
+                cost.record(trace_work_cycles(trace), false);
+            });
     }
 
     fn cost(&self) -> CostReport {

@@ -75,6 +75,186 @@ impl Correction {
     }
 }
 
+/// Detection events for a whole batch of shots, as node-major bit-planes:
+/// `planes[node * blocks + b]` holds bit `s` set iff shot `64*b + s` saw
+/// an event on check node `node`. This is exactly the layout the frame
+/// sampler produces, so handing it to [`Decoder::decode_planes`] skips
+/// the per-shot sparse scatter entirely.
+///
+/// Planes cover the non-boundary check nodes `0..nodes` (the boundary is
+/// the last node id and never carries events). Bits at positions `shots`
+/// and beyond must be zero — the constructor asserts it, because a stray
+/// dead-lane bit would silently decode phantom shots.
+#[derive(Debug, Clone, Copy)]
+pub struct EventPlanes<'a> {
+    planes: &'a [u64],
+    nodes: usize,
+    blocks: usize,
+    shots: usize,
+}
+
+impl<'a> EventPlanes<'a> {
+    /// Wraps node-major planes of `nodes` check nodes × `blocks` 64-shot
+    /// words, of which the first `shots` bits per plane are live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length is not `nodes * blocks`, `shots` does
+    /// not land in the final block, or any plane has a bit set past
+    /// `shots`.
+    #[must_use]
+    pub fn new(planes: &'a [u64], nodes: usize, blocks: usize, shots: usize) -> EventPlanes<'a> {
+        assert_eq!(planes.len(), nodes * blocks, "plane slice shape mismatch");
+        assert!(shots > 0, "need at least one shot");
+        assert!(
+            shots > (blocks - 1) * 64 && shots <= blocks * 64,
+            "shots must fill the final block"
+        );
+        let tail_bits = shots - (blocks - 1) * 64;
+        if tail_bits < 64 {
+            let tail_mask = (1u64 << tail_bits) - 1;
+            for node in 0..nodes {
+                assert_eq!(
+                    planes[node * blocks + blocks - 1] & !tail_mask,
+                    0,
+                    "dead-lane bits must be masked before decoding (node {node})"
+                );
+            }
+        }
+        EventPlanes {
+            planes,
+            nodes,
+            blocks,
+            shots,
+        }
+    }
+
+    /// Check nodes covered (`0..nodes`, boundary excluded).
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// 64-shot words per plane.
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Live shots.
+    #[must_use]
+    pub fn shots(&self) -> usize {
+        self.shots
+    }
+
+    /// The bit-plane of one check node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn plane(&self, node: NodeId) -> &'a [u64] {
+        assert!(node < self.nodes, "node {node} has no event plane");
+        &self.planes[node * self.blocks..(node + 1) * self.blocks]
+    }
+
+    /// Total detection events over all shots (popcount of every plane).
+    #[must_use]
+    pub fn total_events(&self) -> usize {
+        self.planes.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Scatters the planes into per-shot sparse event lists (ascending
+    /// node order per shot). `out` is resized to `shots` and every inner
+    /// vector reused.
+    pub fn scatter_into(&self, out: &mut Vec<Vec<NodeId>>) {
+        out.resize(self.shots, Vec::new());
+        for ev in out.iter_mut() {
+            ev.clear();
+        }
+        for node in 0..self.nodes {
+            for (b, &word) in self.plane(node).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let shot = b * 64 + bits.trailing_zeros() as usize;
+                    out[shot].push(node);
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+}
+
+/// The corrections of a whole batch of shots, flattened: shot `s` flips
+/// data qubits `flips[offsets[s]..offsets[s+1]]` (sorted ascending).
+///
+/// This is the allocation-free counterpart of `Vec<Correction>` for the
+/// plane-batched decode path: one pair of growable vectors instead of a
+/// `BTreeSet` + edge vector per shot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrectionBatch {
+    offsets: Vec<usize>,
+    flips: Vec<usize>,
+}
+
+impl CorrectionBatch {
+    /// An empty batch (zero shots).
+    #[must_use]
+    pub fn new() -> CorrectionBatch {
+        CorrectionBatch {
+            offsets: vec![0],
+            flips: Vec::new(),
+        }
+    }
+
+    /// Resets to zero shots, keeping allocations.
+    pub fn clear(&mut self) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.flips.clear();
+    }
+
+    /// Appends one data-qubit flip to the shot currently being built.
+    pub fn push_flip(&mut self, q: usize) {
+        self.flips.push(q);
+    }
+
+    /// Seals the shot currently being built and starts the next one.
+    pub fn finish_shot(&mut self) {
+        self.offsets.push(self.flips.len());
+    }
+
+    /// Number of sealed shots.
+    #[must_use]
+    pub fn shots(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Data-qubit flips of one sealed shot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shot` is out of range.
+    #[must_use]
+    pub fn flips_of(&self, shot: usize) -> &[usize] {
+        assert!(shot < self.shots(), "shot {shot} not sealed");
+        &self.flips[self.offsets[shot]..self.offsets[shot + 1]]
+    }
+
+    /// Total data-qubit flips over all sealed shots (the batch
+    /// correction weight).
+    #[must_use]
+    pub fn total_flips(&self) -> usize {
+        self.flips.len()
+    }
+}
+
+impl Default for CorrectionBatch {
+    fn default() -> CorrectionBatch {
+        CorrectionBatch::new()
+    }
+}
+
 /// A decoder over the space-time decoding graph.
 ///
 /// `events` are the detection-event nodes (flipped syndrome records).
@@ -94,6 +274,30 @@ pub trait Decoder {
     /// shot-block).
     fn decode_many(&self, graph: &DecodingGraph, event_sets: &[Vec<NodeId>]) -> Vec<Correction> {
         event_sets.iter().map(|ev| self.decode(graph, ev)).collect()
+    }
+
+    /// Decodes a whole batch handed over as detection-event bit-planes,
+    /// writing each shot's data-qubit flips into `out` (shot order, flips
+    /// ascending). Bit-identical to scattering the planes and running
+    /// [`Decoder::decode_many`] — which is exactly what this default
+    /// does; implementations override it to consume the planes directly
+    /// and skip the per-shot sparse sets and `Correction` allocations.
+    fn decode_planes(
+        &self,
+        graph: &DecodingGraph,
+        planes: &EventPlanes<'_>,
+        out: &mut CorrectionBatch,
+    ) {
+        let mut event_sets: Vec<Vec<NodeId>> = Vec::new();
+        planes.scatter_into(&mut event_sets);
+        let corrections = self.decode_many(graph, &event_sets);
+        out.clear();
+        for c in &corrections {
+            for &q in &c.data_flips {
+                out.push_flip(q);
+            }
+            out.finish_shot();
+        }
     }
 }
 

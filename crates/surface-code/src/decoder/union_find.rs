@@ -15,8 +15,8 @@
 //! working vectors once instead of once per shot; [`Decoder::decode`]
 //! remains the convenient single-shot entry point.
 
-use super::{Correction, Decoder};
-use crate::graph::{DecodingGraph, EdgeId, NodeId};
+use super::{Correction, CorrectionBatch, Decoder, EventPlanes};
+use crate::graph::{DecodingGraph, EdgeId, Fault, NodeId};
 use std::collections::VecDeque;
 
 /// Deterministic work counters recorded by one traced union-find decode
@@ -33,9 +33,12 @@ use std::collections::VecDeque;
 pub struct UfTrace {
     /// Growth iterations until every cluster is even or boundary-bound.
     pub growth_rounds: u64,
-    /// Active-cluster member nodes visited, summed over growth rounds.
+    /// Frontier member nodes visited (cluster members that still have an
+    /// unsaturated incident edge), summed over growth rounds. Interior
+    /// members are skipped by an O(1) saturation check and do no work.
     pub member_visits: u64,
-    /// Incident edges examined while growing, summed over growth rounds.
+    /// Incident edges examined while growing frontier members, summed
+    /// over growth rounds.
     pub edge_touches: u64,
     /// Cluster merge operations (union calls on fully-grown edges).
     pub merges: u64,
@@ -84,6 +87,10 @@ pub struct UfScratch {
     // Node-indexed.
     is_event: Vec<bool>,
     in_cluster: Vec<bool>,
+    /// Per cluster node: its incident edges not yet saturated. Growth
+    /// skips members at 0 — interior nodes of a grown ball contribute no
+    /// delta, and on large clusters they vastly outnumber the frontier.
+    unsat: Vec<u8>,
     parent: Vec<usize>,
     rank: Vec<u8>,
     odd: Vec<bool>,
@@ -98,10 +105,22 @@ pub struct UfScratch {
     delta: Vec<u8>,
     edge_stamp: Vec<usize>,
     erased: Vec<EdgeId>,
-    /// `(root, node)` pairs of the current growth round, sorted so cluster
-    /// processing order is the deterministic node order (see the growth
-    /// loop: edge supports saturate, so claim order decides the matching).
+    /// `(root, node)` frontier pairs of the current growth round. List
+    /// order never affects results: growth deltas are per-root distinct
+    /// counts, and supports are applied in ascending edge order.
     active_members: Vec<(usize, NodeId)>,
+    /// Every node that entered a cluster this decode — the exact set of
+    /// nodes whose union-find state the undo pass must restore.
+    cluster_nodes: Vec<NodeId>,
+    /// Edges whose support went nonzero this decode (for the undo pass).
+    touched_edges: Vec<EdgeId>,
+    /// Edges that received growth `delta` in the current round; sorted
+    /// before the support update so processing order equals the old
+    /// ascending full-edge scan (claim order decides the matching).
+    round_edges: Vec<EdgeId>,
+    /// Sorted, deduplicated endpoints of erased edges: the only possible
+    /// spanning-forest roots, replacing the old all-node seed scan.
+    forest_seeds: Vec<NodeId>,
 }
 
 impl UfScratch {
@@ -119,6 +138,8 @@ impl UfScratch {
         self.is_event.resize(n, false);
         self.in_cluster.clear();
         self.in_cluster.resize(n, false);
+        self.unsat.clear();
+        self.unsat.resize(n, 0);
         self.parent.clear();
         self.parent.extend(0..n);
         self.rank.clear();
@@ -147,6 +168,10 @@ impl UfScratch {
         self.edge_stamp.resize(m, usize::MAX);
         self.erased.clear();
         self.active_members.clear();
+        self.cluster_nodes.clear();
+        self.touched_edges.clear();
+        self.round_edges.clear();
+        self.forest_seeds.clear();
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -215,17 +240,68 @@ impl UnionFindDecoder {
         scratch: &mut UfScratch,
         trace: &mut UfTrace,
     ) -> Correction {
+        let mut edges = Vec::new();
+        self.decode_edges(graph, events, scratch, trace, &mut edges);
+        Correction::from_edges(graph, edges)
+    }
+
+    /// Core decode: appends the matched edges for `events` to `edges_out`
+    /// (which is cleared first) without building a [`Correction`]. The
+    /// plane-batched path calls [`Self::decode_edges_prepared`] per shot
+    /// and XOR-folds the data flips itself.
+    fn decode_edges(
+        &self,
+        graph: &DecodingGraph,
+        events: &[NodeId],
+        scratch: &mut UfScratch,
+        trace: &mut UfTrace,
+        edges_out: &mut Vec<EdgeId>,
+    ) {
+        edges_out.clear();
         if events.is_empty() {
-            return Correction::default();
+            return;
         }
-        let n = graph.num_nodes();
-        let boundary = graph.boundary();
         scratch.reset_for(graph);
+        self.decode_edges_prepared(graph, events, scratch, trace, edges_out);
+    }
+
+    /// [`Self::decode_edges`] against a scratch already reset for `graph`.
+    ///
+    /// Every loop here walks only touched-state lists (cluster members,
+    /// delta'd edges, erased-edge endpoints), never the whole graph, and a
+    /// final undo pass restores the scratch to its post-reset state — so
+    /// per-shot cost is proportional to the clusters grown, not to
+    /// `nodes + edges`. That is what makes plane-batched decoding cheap at
+    /// low event density, where most shots grow a handful of tiny clusters.
+    ///
+    /// Output is bit-identical to a fresh-reset decode: each reordered
+    /// iteration (round edges, erasure, forest seeds) is sorted back to the
+    /// ascending order the full scans used, and the undo pass restores
+    /// exactly the entries the decode mutated (union-find state on cluster
+    /// nodes, forest state on BFS-visited nodes, support on delta'd edges;
+    /// `delta`/`edge_stamp` are already restored per growth round).
+    fn decode_edges_prepared(
+        &self,
+        graph: &DecodingGraph,
+        events: &[NodeId],
+        scratch: &mut UfScratch,
+        trace: &mut UfTrace,
+        edges_out: &mut Vec<EdgeId>,
+    ) {
+        edges_out.clear();
+        if events.is_empty() {
+            return;
+        }
+        let boundary = graph.boundary();
         for &e in events {
             assert!(!graph.is_boundary(e), "boundary node cannot be an event");
             scratch.is_event[e] = true;
             scratch.odd[e] = true;
             scratch.in_cluster[e] = true;
+            // Supports are all zero on a clean scratch, so every incident
+            // edge of a seed is unsaturated.
+            scratch.unsat[e] = graph.incident(e).len() as u8;
+            scratch.cluster_nodes.push(e);
         }
 
         // --- Growth stage -------------------------------------------------
@@ -235,12 +311,20 @@ impl UnionFindDecoder {
             // deterministic: the growth loop below iterates cluster by
             // cluster, and edge supports saturate at 2 — so the *order*
             // clusters claim shared edges decides which chains complete
-            // first. Sorted (root, node) order equals the old ordered-map
-            // iteration (roots ascending, members in node order) without
-            // allocating a map per round.
+            // first. `cluster_nodes` holds exactly the in-cluster nodes
+            // (boundary excluded), so iterating it and sorting equals the
+            // old ascending all-node scan. Members whose incident edges
+            // are all saturated contribute no delta and are skipped
+            // before the union-find lookup — `delta[e]` counts *distinct
+            // adjacent active roots*, a pure set property, so dropping
+            // zero-contribution members (and the member iteration order
+            // itself) cannot change it. On a grown ball the interior
+            // vastly outnumbers the frontier, so this check is what keeps
+            // round cost proportional to the cluster surface.
             scratch.active_members.clear();
-            for node in 0..n {
-                if node == boundary || !scratch.in_cluster[node] {
+            for i in 0..scratch.cluster_nodes.len() {
+                let node = scratch.cluster_nodes[i];
+                if scratch.unsat[node] == 0 {
                     continue;
                 }
                 let root = scratch.find(node);
@@ -248,28 +332,53 @@ impl UnionFindDecoder {
                     scratch.active_members.push((root, node));
                 }
             }
+            // An odd boundary-free cluster always has an unsaturated
+            // frontier (saturation pulls the far endpoint in), so the
+            // frontier list is empty exactly when no cluster is active.
             if scratch.active_members.is_empty() {
                 break;
             }
             trace.growth_rounds += 1;
             trace.member_visits += scratch.active_members.len() as u64;
-            scratch.active_members.sort_unstable();
-            scratch.delta.iter_mut().for_each(|d| *d = 0);
+            scratch.round_edges.clear();
             for i in 0..scratch.active_members.len() {
                 let (root, node) = scratch.active_members[i];
                 trace.edge_touches += graph.incident(node).len() as u64;
                 for &e in graph.incident(node) {
                     if scratch.support[e] < 2 && scratch.edge_stamp[e] != root {
                         scratch.edge_stamp[e] = root;
+                        if scratch.delta[e] == 0 {
+                            scratch.round_edges.push(e);
+                        }
                         scratch.delta[e] += 1;
                     }
                 }
             }
-            scratch.edge_stamp.iter_mut().for_each(|s| *s = usize::MAX);
-            for e in 0..scratch.delta.len() {
+            // Only delta'd edges were stamped; restore their stamps, then
+            // apply supports in ascending edge order, which decides edge
+            // claim priority. Sorting the touched list and scanning every
+            // edge for `delta > 0` build the same ascending vector; pick
+            // whichever is cheaper for this round's density.
+            for i in 0..scratch.round_edges.len() {
+                scratch.edge_stamp[scratch.round_edges[i]] = usize::MAX;
+            }
+            let m = scratch.delta.len();
+            if scratch.round_edges.len() * 4 >= m {
+                scratch.round_edges.clear();
+                for e in 0..m {
+                    if scratch.delta[e] > 0 {
+                        scratch.round_edges.push(e);
+                    }
+                }
+            } else {
+                scratch.round_edges.sort_unstable();
+            }
+            for i in 0..scratch.round_edges.len() {
+                let e = scratch.round_edges[i];
                 let d = scratch.delta[e];
-                if d == 0 {
-                    continue;
+                scratch.delta[e] = 0;
+                if scratch.support[e] == 0 {
+                    scratch.touched_edges.push(e);
                 }
                 scratch.support[e] = (scratch.support[e] + d).min(2);
                 if scratch.support[e] == 2 {
@@ -277,12 +386,12 @@ impl UnionFindDecoder {
                     let (a, b) = (edge.a, edge.b);
                     if a == boundary || b == boundary {
                         let inner = if a == boundary { b } else { a };
-                        scratch.in_cluster[inner] = true;
+                        Self::enter_cluster(graph, scratch, inner);
                         let root = scratch.find(inner);
                         scratch.touches_boundary[root] = true;
                     } else {
-                        scratch.in_cluster[a] = true;
-                        scratch.in_cluster[b] = true;
+                        Self::enter_cluster(graph, scratch, a);
+                        Self::enter_cluster(graph, scratch, b);
                         scratch.union(a, b);
                         trace.merges += 1;
                     }
@@ -291,25 +400,58 @@ impl UnionFindDecoder {
         }
 
         // --- Peeling stage ------------------------------------------------
-        // Erasure = fully grown edges. Build a spanning forest with BFS,
-        // seeding from the boundary first so boundary-touching trees are
-        // rooted at the boundary (which absorbs leftover parity).
-        for e in 0..scratch.support.len() {
+        // Erasure = fully grown edges. `touched_edges` holds every edge
+        // whose support went nonzero, each pushed once; sorting and
+        // filtering it equals the old ascending all-edge scan. Build a
+        // spanning forest with BFS, seeding from the boundary first so
+        // boundary-touching trees are rooted at the boundary (which absorbs
+        // leftover parity).
+        let m = scratch.support.len();
+        if scratch.touched_edges.len() * 4 >= m {
+            scratch.touched_edges.clear();
+            for e in 0..m {
+                if scratch.support[e] > 0 {
+                    scratch.touched_edges.push(e);
+                }
+            }
+        } else {
+            scratch.touched_edges.sort_unstable();
+        }
+        for i in 0..scratch.touched_edges.len() {
+            let e = scratch.touched_edges[i];
             if scratch.support[e] == 2 {
                 scratch.erased.push(e);
             }
         }
+        scratch.forest_seeds.clear();
         for i in 0..scratch.erased.len() {
             let e = scratch.erased[i];
             let edge = &graph.edges()[e];
             scratch.adj[edge.a].push(e);
             scratch.adj[edge.b].push(e);
+            scratch.forest_seeds.push(edge.a);
+            scratch.forest_seeds.push(edge.b);
         }
         trace.erased_edges += scratch.erased.len() as u64;
         if !scratch.adj[boundary].is_empty() {
             Self::bfs(graph, scratch, boundary);
         }
-        for node in 0..n {
+        // Erased-edge endpoints are the only nodes with nonempty adjacency;
+        // visiting them ascending equals the old all-node seed scan.
+        let n = graph.num_nodes();
+        if scratch.forest_seeds.len() * 2 >= n {
+            scratch.forest_seeds.clear();
+            for node in 0..n {
+                if !scratch.adj[node].is_empty() {
+                    scratch.forest_seeds.push(node);
+                }
+            }
+        } else {
+            scratch.forest_seeds.sort_unstable();
+            scratch.forest_seeds.dedup();
+        }
+        for i in 0..scratch.forest_seeds.len() {
+            let node = scratch.forest_seeds[i];
             if !scratch.visited[node] && !scratch.adj[node].is_empty() {
                 Self::bfs(graph, scratch, node);
             }
@@ -320,7 +462,6 @@ impl UnionFindDecoder {
         // (except roots) has a parent edge. If the node still carries an
         // event, the parent edge joins the correction and the event moves to
         // the parent.
-        let mut correction_edges = Vec::new();
         for i in (0..scratch.order.len()).rev() {
             let node = scratch.order[i];
             if let Some(pe) = scratch.parent_edge[node] {
@@ -330,17 +471,161 @@ impl UnionFindDecoder {
                     if parent != boundary {
                         scratch.is_event[parent] = !scratch.is_event[parent];
                     }
-                    correction_edges.push(pe);
+                    edges_out.push(pe);
                 }
             }
         }
-        debug_assert!(
-            scratch.is_event.iter().all(|&p| !p),
-            "union-find left unpaired events: growth stage incomplete"
-        );
-        trace.peeled_edges += correction_edges.len() as u64;
+        trace.peeled_edges += edges_out.len() as u64;
 
-        Correction::from_edges(graph, correction_edges)
+        // --- Undo pass ----------------------------------------------------
+        // Restore the scratch to its post-reset state so the next
+        // `decode_edges_prepared` call starts clean without an O(n + m)
+        // reset. Peeling already returns `is_event` to all-false when every
+        // event pairs up; clear it anyway so an incomplete pairing can
+        // never leak into the next shot.
+        for i in 0..scratch.cluster_nodes.len() {
+            let x = scratch.cluster_nodes[i];
+            debug_assert!(
+                !scratch.is_event[x],
+                "union-find left unpaired events: growth stage incomplete"
+            );
+            scratch.is_event[x] = false;
+            scratch.in_cluster[x] = false;
+            scratch.parent[x] = x;
+            scratch.rank[x] = 0;
+            scratch.odd[x] = false;
+            scratch.touches_boundary[x] = false;
+            scratch.unsat[x] = 0;
+        }
+        scratch.cluster_nodes.clear();
+        for i in 0..scratch.order.len() {
+            let x = scratch.order[i];
+            scratch.visited[x] = false;
+            scratch.parent_edge[x] = None;
+            scratch.adj[x].clear();
+        }
+        scratch.order.clear();
+        for i in 0..scratch.touched_edges.len() {
+            scratch.support[scratch.touched_edges[i]] = 0;
+        }
+        scratch.touched_edges.clear();
+        scratch.erased.clear();
+        scratch.active_members.clear();
+        scratch.forest_seeds.clear();
+    }
+
+    /// Plane-batched decode: transposes the node-major event planes into
+    /// per-shot event lists (CSR layout, one pass), then runs the core
+    /// decode shot by shot with fully reused working memory. `on_shot`
+    /// receives each shot's [`UfTrace`] so backends can price the work.
+    ///
+    /// The output is bit-identical to scattering the planes and calling
+    /// [`Decoder::decode_many`]: the CSR fill visits nodes in ascending
+    /// order, so each shot's events arrive sorted exactly as the sparse
+    /// path produces them, and the XOR-fold below emits flips in the same
+    /// ascending order as [`Correction::from_edges`]'s `BTreeSet`.
+    pub(crate) fn decode_planes_impl(
+        &self,
+        graph: &DecodingGraph,
+        planes: &EventPlanes<'_>,
+        scratch: &mut UfScratch,
+        out: &mut CorrectionBatch,
+        mut on_shot: impl FnMut(&UfTrace),
+    ) {
+        let shots = planes.shots();
+        out.clear();
+
+        // CSR transpose: per-shot event counts, prefix sums, fill.
+        let mut offsets = vec![0usize; shots + 1];
+        for node in 0..planes.nodes() {
+            for (b, &word) in planes.plane(node).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let shot = b * 64 + bits.trailing_zeros() as usize;
+                    offsets[shot + 1] += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+        for s in 0..shots {
+            offsets[s + 1] += offsets[s];
+        }
+        let total = offsets[shots];
+        let mut events_flat = vec![0 as NodeId; total];
+        let mut cursor = offsets.clone();
+        for node in 0..planes.nodes() {
+            for (b, &word) in planes.plane(node).iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let shot = b * 64 + bits.trailing_zeros() as usize;
+                    events_flat[cursor[shot]] = node;
+                    cursor[shot] += 1;
+                    bits &= bits - 1;
+                }
+            }
+        }
+
+        // Per-shot decode with reused scratch, edge buffer and flip marks.
+        // The scratch is reset once for the whole batch; each prepared
+        // decode cleans up after itself, so per-shot cost scales with the
+        // clusters grown rather than with the graph.
+        scratch.reset_for(graph);
+        let mut edges: Vec<EdgeId> = Vec::new();
+        let mut marked: Vec<bool> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        for shot in 0..shots {
+            let events = &events_flat[offsets[shot]..offsets[shot + 1]];
+            let mut trace = UfTrace::default();
+            self.decode_edges_prepared(graph, events, scratch, &mut trace, &mut edges);
+            on_shot(&trace);
+
+            // XOR-fold data faults without a per-shot set: mark parity in a
+            // reusable bool table, then emit odd-parity qubits ascending.
+            touched.clear();
+            for &e in &edges {
+                if let Fault::Data(q) = graph.edges()[e].fault {
+                    if q >= marked.len() {
+                        marked.resize(q + 1, false);
+                    }
+                    if !marked[q] {
+                        touched.push(q);
+                        marked[q] = true;
+                    } else {
+                        marked[q] = false;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &q in &touched {
+                if marked[q] {
+                    out.push_flip(q);
+                    marked[q] = false;
+                }
+            }
+            out.finish_shot();
+        }
+    }
+
+    /// Cluster bookkeeping for `node` after one of its incident edges
+    /// saturated: a node already in a cluster loses one unsaturated edge
+    /// (the saturating one, which its count necessarily still included);
+    /// a node entering now counts its unsaturated incident edges — the
+    /// saturating edge is already at full support, so it is excluded.
+    fn enter_cluster(graph: &DecodingGraph, scratch: &mut UfScratch, node: NodeId) {
+        if scratch.in_cluster[node] {
+            debug_assert!(scratch.unsat[node] > 0, "saturated edge not in count");
+            scratch.unsat[node] -= 1;
+        } else {
+            scratch.in_cluster[node] = true;
+            scratch.cluster_nodes.push(node);
+            let mut unsat = 0u8;
+            for &e in graph.incident(node) {
+                if scratch.support[e] < 2 {
+                    unsat += 1;
+                }
+            }
+            scratch.unsat[node] = unsat;
+        }
     }
 
     fn bfs(graph: &DecodingGraph, scratch: &mut UfScratch, start: NodeId) {
@@ -372,6 +657,16 @@ impl Decoder for UnionFindDecoder {
             .iter()
             .map(|ev| self.decode_with(graph, ev, &mut scratch))
             .collect()
+    }
+
+    fn decode_planes(
+        &self,
+        graph: &DecodingGraph,
+        planes: &EventPlanes<'_>,
+        out: &mut CorrectionBatch,
+    ) {
+        let mut scratch = UfScratch::new();
+        self.decode_planes_impl(graph, planes, &mut scratch, out, |_| {});
     }
 }
 
@@ -520,6 +815,51 @@ mod tests {
             assert_eq!(with_scratch, fresh, "rounds = {rounds}");
             assert!(correction_explains_events(&g, &with_scratch, &events));
         }
+    }
+
+    #[test]
+    fn plane_decode_matches_sparse_decode() {
+        // decode_planes (CSR transpose + alloc-free XOR fold) must be
+        // bit-identical to scattering and calling decode_many, including
+        // shots with no events and a non-multiple-of-64 shot count.
+        let mut rng = StdRng::seed_from_u64(4242);
+        let lat = RotatedLattice::new(5);
+        let g = DecodingGraph::new(&lat, StabKind::Z, 4);
+        let nodes = g.boundary();
+        let shots = 150usize; // 3 blocks, 22 live bits in the tail
+        let blocks = shots.div_ceil(64);
+        let tail_mask = (1u64 << (shots - (blocks - 1) * 64)) - 1;
+
+        let mut planes = vec![0u64; nodes * blocks];
+        for shot in 0..shots {
+            let k = [0usize, 1, 2, 4, 7][shot % 5];
+            let all: Vec<NodeId> = (0..nodes).collect();
+            for &node in all.choose_multiple(&mut rng, k) {
+                planes[node * blocks + shot / 64] |= 1u64 << (shot % 64);
+            }
+        }
+        for node in 0..nodes {
+            planes[node * blocks + blocks - 1] &= tail_mask;
+        }
+
+        let ev = EventPlanes::new(&planes, nodes, blocks, shots);
+        let uf = UnionFindDecoder::new();
+        let mut batch = CorrectionBatch::new();
+        uf.decode_planes(&g, &ev, &mut batch);
+
+        let mut sets: Vec<Vec<NodeId>> = Vec::new();
+        ev.scatter_into(&mut sets);
+        let sparse = uf.decode_many(&g, &sets);
+
+        assert_eq!(batch.shots(), shots);
+        for (shot, c) in sparse.iter().enumerate() {
+            let want: Vec<usize> = c.data_flips.iter().copied().collect();
+            assert_eq!(batch.flips_of(shot), want.as_slice(), "shot {shot}");
+        }
+        assert_eq!(
+            batch.total_flips(),
+            sparse.iter().map(Correction::weight).sum::<usize>()
+        );
     }
 
     #[test]

@@ -37,13 +37,15 @@ pub mod schedule;
 pub mod threshold;
 
 pub use decoder::{
-    Correction, CostReport, Decoder, DecoderBackend, DecoderChoice, ExactMatchingDecoder,
-    LutDecoder, PipelinedUfDecoder, TableDecoder, UfScratch, UnionFindDecoder,
+    Correction, CorrectionBatch, CostReport, Decoder, DecoderBackend, DecoderChoice, EventPlanes,
+    ExactMatchingDecoder, LutDecoder, PipelinedUfDecoder, TableDecoder, UfScratch,
+    UnionFindDecoder,
 };
 pub use designs::SyndromeDesign;
 pub use graph::{DecodingEdge, DecodingGraph, EdgeId, Fault, NodeId};
 pub use lattice::{Plaquette, RotatedLattice, StabKind};
 pub use memory::{MemoryBasis, MemoryExperiment, MemoryNoise, MemoryOutcome};
-pub use sampler::{BatchOutcome, FrameSampler};
+pub use quest_stabilizer::frame::LaneWidth;
+pub use sampler::{BatchOutcome, EarlyExit, FrameSampler, SamplerConfig, PLANE_DECODE_DENSITY};
 pub use schedule::{SyndromeCircuit, SyndromeRound};
-pub use threshold::{ThresholdPoint, ThresholdSweep};
+pub use threshold::{SweepConfig, ThresholdPoint, ThresholdSweep};

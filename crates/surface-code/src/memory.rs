@@ -10,7 +10,7 @@
 use crate::decoder::Decoder;
 use crate::graph::{DecodingGraph, NodeId};
 use crate::lattice::{RotatedLattice, StabKind};
-use crate::sampler::{BatchOutcome, FrameSampler};
+use crate::sampler::{BatchOutcome, FrameSampler, SamplerConfig};
 use crate::schedule::SyndromeCircuit;
 use quest_stabilizer::{NoiseChannel, Pauli, PauliChannel, Tableau};
 use rand::Rng;
@@ -426,6 +426,21 @@ impl MemoryExperiment {
         seed: u64,
     ) -> BatchOutcome {
         FrameSampler::new(self).run_batch(noise, decoder, shots, seed)
+    }
+
+    /// [`MemoryExperiment::run_batch`] with explicit sampler knobs (lane
+    /// width, chunk size, early exit). Outcomes are invariant in the lane
+    /// width and chunk size; an early exit may stop at a milestone short
+    /// of `shots` (reported in [`BatchOutcome::shots`]).
+    pub fn run_batch_configured<D: Decoder>(
+        &self,
+        noise: &MemoryNoise,
+        decoder: &D,
+        shots: usize,
+        seed: u64,
+        cfg: &SamplerConfig,
+    ) -> BatchOutcome {
+        FrameSampler::new(self).run_batch_configured(noise, decoder, shots, seed, cfg)
     }
 
     /// Logical error rate over `shots` frame-sampled shots (the batch

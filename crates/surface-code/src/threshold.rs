@@ -9,10 +9,35 @@
 
 use crate::decoder::Decoder;
 use crate::memory::{MemoryBasis, MemoryExperiment, MemoryNoise};
-use quest_stabilizer::frame::block_seed;
+use crate::sampler::{EarlyExit, FrameSampler, SamplerConfig};
+use quest_stabilizer::frame::{block_seed, LaneWidth};
 use rand::Rng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Knobs of a configured batch sweep (see
+/// [`ThresholdSweep::run_batch_configured`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Frame-plane lane width; sweep results are width-invariant.
+    pub width: LaneWidth,
+    /// Optional deterministic per-point early exit. Points stopped early
+    /// report their actual shot count in [`ThresholdPoint::shots`].
+    pub early_exit: Option<EarlyExit>,
+    /// OS threads grid points are fanned out over (results are
+    /// worker-invariant).
+    pub workers: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            width: LaneWidth::default(),
+            early_exit: None,
+            workers: 1,
+        }
+    }
+}
 
 /// One grid point of a threshold sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,24 +109,66 @@ impl ThresholdSweep {
         seed: u64,
         workers: usize,
     ) -> ThresholdSweep {
-        assert!(workers > 0, "need at least one worker");
+        let cfg = SweepConfig {
+            workers,
+            ..SweepConfig::default()
+        };
+        ThresholdSweep::run_batch_configured(distances, error_rates, shots, decoder, seed, &cfg)
+    }
+
+    /// [`ThresholdSweep::run_batch`] with explicit lane-width and
+    /// early-exit knobs. The sweep stays a pure function of
+    /// `(grid, shots, seed, early_exit)`: lane width and worker count
+    /// never change any point, and the early-exit decision is evaluated
+    /// per point from deterministic tallies at fixed milestones — so an
+    /// early-exited sweep equals the full sweep truncated per point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.workers` is zero.
+    pub fn run_batch_configured<D: Decoder + Sync>(
+        distances: &[usize],
+        error_rates: &[f64],
+        shots: usize,
+        decoder: &D,
+        seed: u64,
+        cfg: &SweepConfig,
+    ) -> ThresholdSweep {
+        assert!(cfg.workers > 0, "need at least one worker");
+        let workers = cfg.workers;
+        let sampler_cfg = SamplerConfig {
+            width: cfg.width,
+            early_exit: cfg.early_exit,
+            ..SamplerConfig::default()
+        };
         // Canonical grid in (distance, p) order; each point gets an
         // independent master seed from its canonical index.
         let grid: Vec<(usize, f64)> = distances
             .iter()
             .flat_map(|&d| error_rates.iter().map(move |&p| (d, p)))
             .collect();
+        // Compile (and reference-verify) one sampler per distance instead
+        // of per point: the sampler is noise-independent, and its one-time
+        // tableau verification is a visible fraction of a fast sweep.
+        let samplers: Vec<FrameSampler> = distances
+            .iter()
+            .map(|&d| FrameSampler::new(&MemoryExperiment::new(d, d, MemoryBasis::Z)))
+            .collect();
         let run_point = |i: usize| -> ThresholdPoint {
             let (d, p) = grid[i];
-            let exp = MemoryExperiment::new(d, d, MemoryBasis::Z);
             let noise = MemoryNoise::code_capacity(p);
-            let rate =
-                exp.logical_error_rate_batch(&noise, decoder, shots, block_seed(seed, i as u64));
+            let out = samplers[i / error_rates.len()].run_batch_configured(
+                &noise,
+                decoder,
+                shots,
+                block_seed(seed, i as u64),
+                &sampler_cfg,
+            );
             ThresholdPoint {
                 distance: d,
                 p,
-                logical_rate: rate,
-                shots,
+                logical_rate: out.logical_error_rate(),
+                shots: out.shots,
             }
         };
 

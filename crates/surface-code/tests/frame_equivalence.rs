@@ -11,9 +11,11 @@
 //! sampler's determinism: invariance under internal batch size and under
 //! the threshold sweep's worker count.
 
-use quest_stabilizer::{Pauli, Rng, SeedableRng, StdRng};
+use quest_stabilizer::{Pauli, PauliChannel, Rng, SeedableRng, StdRng};
 use quest_surface::{
-    FrameSampler, MemoryBasis, MemoryExperiment, MemoryNoise, ThresholdSweep, UnionFindDecoder,
+    BatchOutcome, Correction, Decoder, DecodingGraph, EarlyExit, FrameSampler, LaneWidth,
+    MemoryBasis, MemoryExperiment, MemoryNoise, NodeId, SamplerConfig, SweepConfig, ThresholdSweep,
+    UnionFindDecoder,
 };
 
 /// Draws a random fault pattern: per-round per-data-qubit Paulis (density
@@ -164,6 +166,168 @@ fn threshold_run_batch_is_invariant_under_worker_count() {
         assert_eq!(pt.distance, distances[i / rates.len()]);
         assert_eq!(pt.p, rates[i % rates.len()]);
     }
+}
+
+/// Wraps a decoder but inherits the *default* `decode_planes` (scatter to
+/// sparse sets, then `decode_many`) — so a batch run through it exercises
+/// the sparse handoff even where the sampler would pick the plane path.
+#[derive(Debug)]
+struct ForceSparse<D>(D);
+
+impl<D: Decoder> Decoder for ForceSparse<D> {
+    fn decode(&self, graph: &DecodingGraph, events: &[NodeId]) -> Correction {
+        self.0.decode(graph, events)
+    }
+
+    fn decode_many(&self, graph: &DecodingGraph, event_sets: &[Vec<NodeId>]) -> Vec<Correction> {
+        self.0.decode_many(graph, event_sets)
+    }
+}
+
+fn run_width(
+    sampler: &FrameSampler,
+    noise: &MemoryNoise,
+    shots: usize,
+    seed: u64,
+    width: LaneWidth,
+    chunk_shots: usize,
+) -> BatchOutcome {
+    let cfg = SamplerConfig {
+        width,
+        chunk_shots,
+        ..SamplerConfig::default()
+    };
+    sampler.run_batch_configured(noise, &UnionFindDecoder::new(), shots, seed, &cfg)
+}
+
+#[test]
+fn run_batch_is_invariant_under_lane_width() {
+    // 64-, 256- and 512-bit plane words over the same (shots, seed) must
+    // produce bit-identical outcomes, including at a non-multiple-of-64
+    // shot count and across different chunkings per width.
+    let exp = MemoryExperiment::new(5, 5, MemoryBasis::Z);
+    let sampler = FrameSampler::new(&exp);
+    let noise = MemoryNoise::phenomenological(0.03);
+    for shots in [1000usize, 4096] {
+        let narrow = run_width(&sampler, &noise, shots, 0xA11CE, LaneWidth::X1, 4096);
+        for width in [LaneWidth::X4, LaneWidth::X8] {
+            for chunk in [512usize, 4096] {
+                let wide = run_width(&sampler, &noise, shots, 0xA11CE, width, chunk);
+                assert_eq!(
+                    narrow,
+                    wide,
+                    "width {} chunk {chunk} diverged at {shots} shots",
+                    width.name()
+                );
+            }
+        }
+        assert!(narrow.detection_events > 0);
+    }
+}
+
+#[test]
+fn threshold_sweep_is_invariant_under_width_and_workers() {
+    let uf = UnionFindDecoder::new();
+    let distances = [3usize, 5];
+    let rates = [5e-3, 5e-2];
+    let reference = ThresholdSweep::run_batch(&distances, &rates, 1024, &uf, 0xFEED, 1);
+    for width in [LaneWidth::X1, LaneWidth::X4] {
+        for workers in [1usize, 3] {
+            let cfg = SweepConfig {
+                width,
+                workers,
+                early_exit: None,
+            };
+            let sweep =
+                ThresholdSweep::run_batch_configured(&distances, &rates, 1024, &uf, 0xFEED, &cfg);
+            assert_eq!(
+                reference,
+                sweep,
+                "width {} workers {workers} changed the sweep",
+                width.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_shot_counts_scale_deterministic_noise_linearly() {
+    // bit_flip(1.0) errors every data qubit and measurement_flip 1.0
+    // flips every record bit, in every shot identically — so every
+    // per-shot tally is the same and totals must scale exactly with the
+    // requested shot count. This is the tail-masking regression test: a
+    // padded dead lane would break linearity at non-multiples of 64.
+    let exp = MemoryExperiment::new(3, 2, MemoryBasis::Z);
+    let sampler = FrameSampler::new(&exp);
+    let noise = MemoryNoise {
+        data: PauliChannel::bit_flip(1.0),
+        measurement_flip: 1.0,
+    };
+    let uf = UnionFindDecoder::new();
+    let per_shot = sampler.run_batch(&noise, &uf, 1, 7);
+    assert_eq!(per_shot.shots, 1);
+    assert!(per_shot.detection_events > 0);
+    for shots in [64usize, 65, 100, 128, 1000] {
+        let out = sampler.run_batch(&noise, &uf, shots, 7);
+        assert_eq!(out.shots, shots);
+        assert_eq!(
+            out.detection_events,
+            shots * per_shot.detection_events,
+            "{shots} shots"
+        );
+        assert_eq!(out.failures, shots * per_shot.failures);
+        assert_eq!(out.correction_weight, shots * per_shot.correction_weight);
+    }
+}
+
+#[test]
+fn plane_and_sparse_decode_paths_agree_end_to_end() {
+    // At p = 0.08 the event density is far above the plane-decode cutoff,
+    // so the plain run takes the plane-batched path; ForceSparse inherits
+    // the default scatter path. Outcomes must be bit-identical.
+    let exp = MemoryExperiment::new(5, 5, MemoryBasis::Z);
+    let sampler = FrameSampler::new(&exp);
+    let uf = UnionFindDecoder::new();
+    for p in [0.08f64, 0.01, 1e-3] {
+        let noise = MemoryNoise::code_capacity(p);
+        let plane = sampler.run_batch(&noise, &uf, 2000, 0xCAFE);
+        let sparse = sampler.run_batch(&noise, &ForceSparse(UnionFindDecoder::new()), 2000, 0xCAFE);
+        assert_eq!(plane, sparse, "paths diverged at p = {p}");
+    }
+}
+
+#[test]
+fn early_exit_preserves_crossing_verdicts_at_pinned_point() {
+    // The CI contract: early exit may shorten points but must not change
+    // a crossing verdict. Pinned bracket [4e-3, 5e-2] at d in {3, 5}.
+    let uf = UnionFindDecoder::new();
+    let distances = [3usize, 5];
+    let rates = [4e-3, 5e-2];
+    let full = ThresholdSweep::run_batch(&distances, &rates, 4096, &uf, 0xC0DE, 1);
+    let cfg = SweepConfig {
+        early_exit: Some(EarlyExit::default()),
+        ..SweepConfig::default()
+    };
+    let early = ThresholdSweep::run_batch_configured(&distances, &rates, 4096, &uf, 0xC0DE, &cfg);
+    assert_eq!(
+        full.crossing_below(3, 5),
+        early.crossing_below(3, 5),
+        "early exit changed the d3/d5 crossing verdict"
+    );
+    // Above threshold the early run must actually have stopped short.
+    let stopped = early.points.iter().any(|pt| pt.shots < 4096);
+    assert!(
+        stopped,
+        "early exit never fired on an above-threshold point"
+    );
+    // And early-exited sweeps are themselves width-invariant.
+    let wide_cfg = SweepConfig {
+        width: LaneWidth::X1,
+        ..cfg
+    };
+    let early_narrow =
+        ThresholdSweep::run_batch_configured(&distances, &rates, 4096, &uf, 0xC0DE, &wide_cfg);
+    assert_eq!(early, early_narrow, "early exit is width-dependent");
 }
 
 #[test]
